@@ -1,0 +1,149 @@
+// Ablation studies over SSDTrain's design choices (DESIGN.md §5):
+//   1. offload budget  — sweeping the adaptive planner's amount
+//   2. data forwarding — on/off (§III-C2)
+//   3. GDS direct path — vs bouncing through host memory
+//   4. prefetch depth  — saved-scope lookahead 0..8
+//   5. malloc hook     — GDS buffer pre-registration on/off
+// Each row reports step time (overhead vs the keep baseline) and the
+// activation memory peak, on BERT H12288 L3 B16 TP2.
+
+#include <iostream>
+#include <optional>
+
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/util/table.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace m = ssdtrain::modules;
+namespace rt = ssdtrain::runtime;
+namespace u = ssdtrain::util;
+
+namespace {
+
+rt::SessionConfig base() {
+  rt::SessionConfig config;
+  config.model = m::bert_config(12288, 3, 16);
+  config.parallel.tensor_parallel = 2;
+  config.strategy = rt::Strategy::ssdtrain;
+  return config;
+}
+
+// On the Table II machine the 4-SSD array has ample headroom, so most
+// design choices are invisible — which is itself the paper's overlap
+// claim. To expose their effect, ablations 2-5 also run on a constrained
+// variant: a 2-SSD array (12.2 GB/s, right at the demanded write rate)
+// and host DRAM at 20 GB/s effectively available to staging (the paper's
+// §I argument about shared host-memory bandwidth).
+rt::SessionConfig constrained() {
+  auto config = base();
+  config.node.arrays[1].resize(2);
+  config.node.dram_bandwidth = ssdtrain::util::gbps(20);
+  return config;
+}
+
+rt::StepStats run(rt::SessionConfig config) {
+  rt::TrainingSession session(std::move(config));
+  session.run_step();
+  return session.run_step();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== SSDTrain ablations (BERT H12288 L3, B=16, TP2) ===\n\n";
+
+  auto keep_cfg = base();
+  keep_cfg.strategy = rt::Strategy::keep_in_gpu;
+  const auto keep = run(std::move(keep_cfg));
+  const auto reference = run(base());
+
+  auto row = [&](u::AsciiTable& table, const std::string& label,
+                 const rt::StepStats& s) {
+    table.add_row(
+        {label, u::format_time(s.step_time),
+         u::format_percent(s.step_time / keep.step_time - 1.0),
+         u::format_bytes(static_cast<double>(s.activation_peak)),
+         u::format_bytes(static_cast<double>(s.offloaded_bytes))});
+  };
+
+  {
+    std::cout << "--- 1. offload budget (fraction of the planner's) ---\n";
+    u::AsciiTable table(
+        {"budget", "step time", "overhead", "act peak", "offloaded"});
+    row(table, "keep-everything (0%)", keep);
+    for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
+      auto config = base();
+      rt::TrainingSession probe(base());
+      config.budget_override = static_cast<u::Bytes>(
+          static_cast<double>(probe.plan()->offload_budget) * fraction);
+      row(table, u::format_percent(fraction, 0), run(std::move(config)));
+    }
+    std::cout << table.render() << "\n";
+  }
+
+  const auto constrained_reference = run(constrained());
+
+  {
+    std::cout << "--- 2. data forwarding (constrained I/O) ---\n";
+    u::AsciiTable table({"forwarding", "step time", "act peak",
+                         "forwarding hits", "sync reload round-trips"});
+    auto fwd_row = [&](const std::string& label, const rt::StepStats& s) {
+      table.add_row(
+          {label, u::format_time(s.step_time),
+           u::format_bytes(static_cast<double>(s.activation_peak)),
+           std::to_string(s.cache.forwards),
+           std::to_string(s.cache.miss_loads)});
+    };
+    fwd_row("on (default)", constrained_reference);
+    auto config = constrained();
+    config.forwarding = false;
+    fwd_row("off", run(std::move(config)));
+    std::cout << table.render();
+    std::cout << "(Forwarding converts in-flight-store reads into free "
+                 "in-memory references;\nwithout it every such access "
+                 "waits for the store and reads the data back.)\n\n";
+  }
+
+  {
+    std::cout << "--- 3. GPU-SSD data path (constrained I/O) ---\n";
+    u::AsciiTable table(
+        {"path", "step time", "overhead", "act peak", "offloaded"});
+    row(table, "GDS direct (default)", constrained_reference);
+    auto config = constrained();
+    config.use_gds = false;
+    row(table, "bounce via host DRAM", run(std::move(config)));
+    std::cout << table.render() << "\n";
+  }
+
+  {
+    std::cout << "--- 4. prefetch lookahead (constrained I/O) ---\n";
+    u::AsciiTable table(
+        {"lookahead", "step time", "overhead", "act peak", "offloaded"});
+    for (int depth : {0, 1, 2, 4, 8}) {
+      auto config = constrained();
+      config.prefetch_lookahead = depth;
+      row(table, std::to_string(depth), run(std::move(config)));
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "(The paper notes any prefetching scheme works as long as "
+                 "the I/O queue stays\nbusy, §III-C2 — CPU launch-ahead "
+                 "hides shallow lookaheads.)\n\n";
+  }
+
+  {
+    std::cout << "--- 5. CUDA malloc hook (GDS buffer registration) ---\n";
+    u::AsciiTable table(
+        {"hook", "step time", "overhead", "act peak", "offloaded"});
+    row(table, "installed (default)", reference);
+    auto config = base();
+    config.install_malloc_hook = false;
+    row(table, "absent (register per I/O)", run(std::move(config)));
+    std::cout << table.render();
+    std::cout << "(Per-I/O registration costs ~50 us on ~50 transfers per "
+                 "step: invisible at\nthis tensor granularity; the hook "
+                 "matters for small-transfer workloads.)\n\n";
+  }
+
+  return 0;
+}

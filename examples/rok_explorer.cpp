@@ -1,0 +1,99 @@
+// ROK explorer: sweep the recompute-offload-keep design space for a model
+// of your choosing and print the curve plus a recommendation — the tool a
+// practitioner would use to pick an activation-placement strategy for a
+// given memory budget.
+//
+// Usage: example_rok_explorer [hidden] [layers] [max_batch] [arch]
+//   hidden    hidden dimension, multiple of 128     (default 12288)
+//   layers    transformer layers                    (default 3)
+//   max_batch largest micro-batch size to try       (default 16)
+//   arch      bert | gpt | t5                       (default bert)
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "ssdtrain/hw/device_allocator.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/util/table.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace m = ssdtrain::modules;
+namespace rt = ssdtrain::runtime;
+namespace hw = ssdtrain::hw;
+namespace u = ssdtrain::util;
+
+namespace {
+
+m::ModelConfig make_model(const std::string& arch, std::int64_t hidden,
+                          int layers, std::int64_t batch) {
+  if (arch == "gpt") return m::gpt_config(hidden, layers, batch);
+  if (arch == "t5") return m::t5_config(hidden, layers, batch);
+  return m::bert_config(hidden, layers, batch);
+}
+
+std::optional<rt::StepStats> measure(const std::string& arch,
+                                     std::int64_t hidden, int layers,
+                                     std::int64_t batch,
+                                     rt::Strategy strategy) {
+  rt::SessionConfig config;
+  config.model = make_model(arch, hidden, layers, batch);
+  config.parallel.tensor_parallel = 2;
+  config.strategy = strategy;
+  try {
+    rt::TrainingSession session(std::move(config));
+    session.run_step();
+    return session.run_step();
+  } catch (const hw::OutOfDeviceMemory&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t hidden = argc > 1 ? std::atoll(argv[1]) : 12288;
+  const int layers = argc > 2 ? std::atoi(argv[2]) : 3;
+  const std::int64_t max_batch = argc > 3 ? std::atoll(argv[3]) : 16;
+  const std::string arch = argc > 4 ? argv[4] : "bert";
+
+  std::cout << "ROK design-space exploration: " << arch << " H" << hidden
+            << " L" << layers << " (TP2, seq 1024)\n\n";
+
+  u::AsciiTable table({"strategy", "batch", "activation peak",
+                       "throughput", "samples/s"});
+  double best_throughput = 0.0;
+  std::string best_point;
+  for (rt::Strategy strategy :
+       {rt::Strategy::keep_in_gpu, rt::Strategy::recompute_full,
+        rt::Strategy::ssdtrain}) {
+    for (std::int64_t batch = 2; batch <= max_batch; batch *= 2) {
+      const auto stats = measure(arch, hidden, layers, batch, strategy);
+      if (!stats) {
+        table.add_row({std::string(to_string(strategy)),
+                       "B" + std::to_string(batch), "OOM", "-", "-"});
+        continue;
+      }
+      const double samples_per_s =
+          static_cast<double>(batch) / stats->step_time;
+      table.add_row(
+          {std::string(to_string(strategy)), "B" + std::to_string(batch),
+           u::format_bytes(static_cast<double>(stats->activation_peak)),
+           u::format_flops_rate(stats->model_throughput),
+           u::format_fixed(samples_per_s, 2)});
+      if (stats->model_throughput > best_throughput) {
+        best_throughput = stats->model_throughput;
+        best_point = std::string(to_string(strategy)) + " at B" +
+                     std::to_string(batch) + " (" +
+                     u::format_bytes(
+                         static_cast<double>(stats->activation_peak)) +
+                     " activation peak)";
+      }
+    }
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "highest model throughput: " << best_point << "\n";
+  return 0;
+}

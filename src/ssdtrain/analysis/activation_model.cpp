@@ -1,0 +1,82 @@
+#include "ssdtrain/analysis/activation_model.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::analysis {
+
+namespace {
+
+double sbh(const modules::ModelConfig& m) {
+  return static_cast<double>(m.seq) * static_cast<double>(m.micro_batch) *
+         static_cast<double>(m.hidden);
+}
+
+}  // namespace
+
+util::Bytes layer_activation_bytes(const modules::ModelConfig& model,
+                                   const parallel::ParallelConfig& parallel) {
+  const auto t = static_cast<double>(parallel.tensor_parallel);
+  // Sequence parallelism shards the non-TP regions (LayerNorms, dropouts,
+  // block inputs) across the TP group as well: 34/t instead of 10 + 24/t.
+  double bytes = parallel.sequence_parallel
+                     ? sbh(model) * 34.0 / t
+                     : sbh(model) * (10.0 + 24.0 / t);
+  if (!model.flash_attention) {
+    // softmax input (2) + softmax output (2) + attention dropout mask (1),
+    // each a*s^2*b elements sharded across TP.
+    bytes += 5.0 * static_cast<double>(model.heads) *
+             static_cast<double>(model.seq) * static_cast<double>(model.seq) *
+             static_cast<double>(model.micro_batch) / t;
+  }
+  return static_cast<util::Bytes>(bytes);
+}
+
+util::Bytes decoder_extra_activation_bytes(
+    const modules::ModelConfig& model,
+    const parallel::ParallelConfig& parallel) {
+  const auto t = static_cast<double>(parallel.tensor_parallel);
+  // ln_cross input (2) + q-projection input (2) + q/kv/context outputs
+  // (8/t) + dropout mask (1), in s*b*h units.
+  const double bytes = parallel.sequence_parallel
+                           ? sbh(model) * 13.0 / t
+                           : sbh(model) * (5.0 + 8.0 / t);
+  return static_cast<util::Bytes>(bytes);
+}
+
+util::Bytes model_activation_bytes(const modules::ModelConfig& model,
+                                   const parallel::ParallelConfig& parallel) {
+  util::Bytes total = 0;
+  if (model.arch == modules::Architecture::t5) {
+    const int decoders = model.layers / 2;
+    const int encoders = model.layers - decoders;
+    total += encoders * layer_activation_bytes(model, parallel);
+    total += decoders * (layer_activation_bytes(model, parallel) +
+                         decoder_extra_activation_bytes(model, parallel));
+    // The encoder memory is cross-attended by every decoder layer but
+    // deduplicated to a single saved tensor.
+    total += static_cast<util::Bytes>(2.0 * sbh(model));
+  } else {
+    total += model.layers * layer_activation_bytes(model, parallel);
+  }
+  // Head input (2*s*b*h); loss statistics are negligible.
+  total += static_cast<util::Bytes>(2.0 * sbh(model));
+  return total;
+}
+
+util::Bytes offloadable_activation_bytes(
+    const modules::ModelConfig& model,
+    const parallel::ParallelConfig& parallel) {
+  // Everything except the last module kept per Fig. 2 ④ — in practice the
+  // final MLP block of the last layer, whose backward begins within a
+  // store round-trip: fc1 input (2) + fc1 output (8/t) + GeLU output (8/t)
+  // + dropout mask (1), in s*b*h units.
+  const auto t = static_cast<double>(parallel.tensor_parallel);
+  const double kept_units =
+      parallel.sequence_parallel ? 19.0 / t : 3.0 + 16.0 / t;
+  const auto kept = static_cast<util::Bytes>(kept_units * sbh(model));
+  const util::Bytes total = model_activation_bytes(model, parallel);
+  util::check(total > kept, "degenerate model");
+  return total - kept;
+}
+
+}  // namespace ssdtrain::analysis

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file activation_model.hpp
+/// Closed-form activation-memory model, following Korthikanti et al. and the
+/// paper's §III-D (the "model estimate" column of Table III). Per
+/// transformer layer with flash attention and TP degree t:
+///     bytes = s*b*h * (10 + 24/t)
+/// and without flash attention an extra 5*a*s^2*b/t for the softmax-related
+/// intermediates. T5 decoder layers add the cross-attention block; the
+/// shared encoder memory is counted once (the tensor cache deduplicates the
+/// repeated saves).
+
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/parallel/parallel_config.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::analysis {
+
+/// Saved-activation bytes for one standard transformer layer.
+util::Bytes layer_activation_bytes(const modules::ModelConfig& model,
+                                   const parallel::ParallelConfig& parallel);
+
+/// Extra saved bytes a T5 decoder layer adds over a standard layer
+/// (cross-attention block, excluding the shared encoder memory).
+util::Bytes decoder_extra_activation_bytes(
+    const modules::ModelConfig& model,
+    const parallel::ParallelConfig& parallel);
+
+/// Total saved-activation bytes per micro-batch per GPU (all layers plus
+/// head input and, for T5, the deduplicated encoder memory).
+util::Bytes model_activation_bytes(const modules::ModelConfig& model,
+                                   const parallel::ParallelConfig& parallel);
+
+/// Bytes that SSDTrain can offload: everything except the last layer's
+/// activations (kept because its backward starts immediately, Fig. 2 ④).
+util::Bytes offloadable_activation_bytes(
+    const modules::ModelConfig& model,
+    const parallel::ParallelConfig& parallel);
+
+}  // namespace ssdtrain::analysis

@@ -1,0 +1,95 @@
+#include "ssdtrain/analysis/lifespan.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::analysis {
+
+LifespanProjection project_lifespan(const ClusterScenario& scenario,
+                                    const hw::GpuSpec& gpu,
+                                    const SsdProvisioning& provisioning,
+                                    const Fabrics& fabrics) {
+  hw::Gpu device(gpu);
+  const StepEstimate est =
+      estimate_step(scenario.model, scenario.parallel, device, fabrics,
+                    scenario.micro_batches);
+  LifespanProjection out;
+  out.step_time = est.step;
+  out.activations_per_gpu_step = activations_per_gpu_step(
+      scenario.model, scenario.parallel, scenario.micro_batches);
+  out.write_bandwidth_per_gpu =
+      required_write_bandwidth(out.activations_per_gpu_step, est.step);
+  const double budget_per_gpu =
+      provisioning.ssds_per_gpu *
+      hw::lifetime_host_writes(provisioning.rating, provisioning.workload);
+  out.lifespan = hw::lifespan_seconds(budget_per_gpu, est.step,
+                                      out.activations_per_gpu_step);
+  out.model_throughput = est.model_throughput;
+  return out;
+}
+
+namespace {
+
+modules::ModelConfig gpt_scaled(std::int64_t hidden, int layers,
+                                std::int64_t micro_batch_size) {
+  auto cfg = modules::gpt_config(hidden, layers, micro_batch_size);
+  cfg.seq = 2048;  // GPT-3-scale pretraining sequence length
+  return cfg;
+}
+
+ClusterScenario megatron(const std::string& label, std::int64_t hidden,
+                         int layers, int pp, int dp,
+                         std::int64_t micro_batch_size, int global_batch) {
+  ClusterScenario s;
+  s.label = label;
+  s.model = gpt_scaled(hidden, layers, micro_batch_size);
+  s.parallel.tensor_parallel = 8;
+  s.parallel.pipeline_parallel = pp;
+  s.parallel.data_parallel = dp;
+  s.parallel.sequence_parallel = true;
+  s.micro_batches = global_batch /
+                    (dp * static_cast<int>(micro_batch_size));
+  s.gpu_count = s.parallel.gpu_count();
+  return s;
+}
+
+ClusterScenario zero3(const std::string& label, std::int64_t hidden,
+                      int layers, int dp, std::int64_t micro_batch_size,
+                      int micro_batches) {
+  ClusterScenario s;
+  s.label = label;
+  s.model = gpt_scaled(hidden, layers, micro_batch_size);
+  s.parallel.data_parallel = dp;
+  s.parallel.zero = parallel::ZeroStage::stage3;
+  s.micro_batches = micro_batches;
+  s.gpu_count = dp;
+  return s;
+}
+
+}  // namespace
+
+std::vector<ClusterScenario> fig5_scenarios() {
+  // GPT-175B: h=12288, L=96 (Brown et al.); "350B": h=16384, L=108
+  // (N ~= 12*L*h^2). Global batches follow Megatron-LM-scale pretraining.
+  std::vector<ClusterScenario> out;
+  // Megatron 175B on 384 / 768 / 1536 GPUs: TP8 x PP8 x DP {6,12,24}.
+  out.push_back(megatron("Megatron 175B", 12288, 96, 8, 6, 8, 1536));
+  out.push_back(megatron("Megatron 175B", 12288, 96, 8, 12, 8, 1536));
+  out.push_back(megatron("Megatron 175B", 12288, 96, 8, 24, 8, 1536));
+  // Megatron 350B on 560 / 1120 / 2240 GPUs: TP8 x PP10 x DP {7,14,28}.
+  out.push_back(megatron("Megatron 350B", 16384, 108, 10, 7, 8, 2240));
+  out.push_back(megatron("Megatron 350B", 16384, 108, 10, 14, 8, 2240));
+  out.push_back(megatron("Megatron 350B", 16384, 108, 10, 28, 8, 2240));
+  // ZeRO3 175B on 384 / 768 / 1536 GPUs (pure DP, stage-3 sharding).
+  // Micro-batch sizes follow the paper's 8-32 range; the global batch
+  // grows with the cluster, as critical-batch scaling permits (§I).
+  out.push_back(zero3("ZeRO3 175B", 12288, 96, 384, 8, 1));
+  out.push_back(zero3("ZeRO3 175B", 12288, 96, 768, 4, 1));
+  out.push_back(zero3("ZeRO3 175B", 12288, 96, 1536, 2, 1));
+  // ZeRO3 350B on 640 / 1120 / 2240 GPUs.
+  out.push_back(zero3("ZeRO3 350B", 16384, 108, 640, 8, 1));
+  out.push_back(zero3("ZeRO3 350B", 16384, 108, 1120, 4, 1));
+  out.push_back(zero3("ZeRO3 350B", 16384, 108, 2240, 2, 1));
+  return out;
+}
+
+}  // namespace ssdtrain::analysis

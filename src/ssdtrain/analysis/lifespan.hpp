@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file lifespan.hpp
+/// Fig. 5 of the paper: SSD lifespan, per-GPU PCIe write bandwidth, and
+/// maximal per-GPU activation volume for large-scale deployments
+/// ({Megatron, DeepSpeed-ZeRO3} x {175B, 350B} x three cluster sizes),
+/// assuming 4x Samsung 980 PRO 1TB per GPU, sequential WAF 1 versus the
+/// JESD rating's 2.5, and 86x PE-cycle retention relaxation.
+
+#include <string>
+#include <vector>
+
+#include "ssdtrain/analysis/perf_model.hpp"
+#include "ssdtrain/hw/ssd/endurance.hpp"
+
+namespace ssdtrain::analysis {
+
+struct ClusterScenario {
+  std::string label;                    ///< e.g. "Megatron 175B"
+  modules::ModelConfig model;           ///< micro_batch holds the mb *size*
+  parallel::ParallelConfig parallel;
+  int micro_batches = 1;                ///< gradient-accumulation count
+  int gpu_count = 0;
+};
+
+struct LifespanProjection {
+  util::Seconds step_time = 0.0;
+  util::Bytes activations_per_gpu_step = 0;
+  util::BytesPerSecond write_bandwidth_per_gpu = 0.0;
+  util::Seconds lifespan = 0.0;
+  util::FlopsPerSecond model_throughput = 0.0;
+};
+
+struct SsdProvisioning {
+  int ssds_per_gpu = 4;
+  hw::EnduranceRating rating;  ///< per SSD
+  hw::WorkloadAssumptions workload =
+      hw::WorkloadAssumptions::ssdtrain_default();
+};
+
+/// Projects one scenario on the given GPU.
+LifespanProjection project_lifespan(const ClusterScenario& scenario,
+                                    const hw::GpuSpec& gpu,
+                                    const SsdProvisioning& provisioning,
+                                    const Fabrics& fabrics = {});
+
+/// The twelve configurations of the paper's Fig. 5 (GPT-architecture 175B
+/// and 350B models; Megatron = TP8 + PP + sequence parallelism, ZeRO3 =
+/// pure data parallelism with stage-3 sharding).
+std::vector<ClusterScenario> fig5_scenarios();
+
+}  // namespace ssdtrain::analysis

@@ -1,0 +1,225 @@
+#include "ssdtrain/analysis/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ssdtrain/analysis/activation_model.hpp"
+#include "ssdtrain/parallel/zero.hpp"
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::analysis {
+
+namespace {
+
+struct OpCost {
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+/// Per-GPU op list of one standard transformer layer forward pass.
+std::vector<OpCost> layer_forward_ops(const modules::ModelConfig& m,
+                                      const parallel::ParallelConfig& p) {
+  const double s = static_cast<double>(m.seq);
+  const double b = static_cast<double>(m.micro_batch);
+  const double h = static_cast<double>(m.hidden);
+  const double t = static_cast<double>(p.tensor_parallel);
+  const double sbh2 = 2.0 * s * b * h;  // bytes of one [s,b,h] fp16 tensor
+  const double w_bytes = 2.0 * h * h;   // bytes of one h*h fp16 weight
+  const double causal = m.arch == modules::Architecture::gpt ? 0.5 : 1.0;
+
+  std::vector<OpCost> ops;
+  // ln1
+  ops.push_back({8.0 * s * b * h, 2.0 * sbh2});
+  // qkv gemm (column parallel)
+  ops.push_back({6.0 * b * s * h * h / t,
+                 sbh2 + 3.0 * w_bytes / t + 3.0 * sbh2 / t});
+  // attention core
+  if (m.flash_attention) {
+    ops.push_back({4.0 * b * s * s * h / t * causal, 4.0 * sbh2 / t});
+  } else {
+    const double score_bytes =
+        2.0 * static_cast<double>(m.heads) * s * s * b / t;
+    ops.push_back({2.0 * b * s * s * h / t, 3.0 * sbh2 / t + score_bytes});
+    ops.push_back({5.0 * static_cast<double>(m.heads) * s * s * b / t,
+                   2.5 * score_bytes});  // softmax + dropout
+    ops.push_back({2.0 * b * s * s * h / t, score_bytes + 2.0 * sbh2 / t});
+  }
+  // output projection (row parallel)
+  ops.push_back({2.0 * b * s * h * h / t,
+                 sbh2 / t + w_bytes / t + sbh2});
+  // dropout + residual
+  ops.push_back({2.0 * s * b * h, 2.5 * sbh2});
+  ops.push_back({s * b * h, 3.0 * sbh2});
+  // ln2
+  ops.push_back({8.0 * s * b * h, 2.0 * sbh2});
+  // fc1 (column), gelu, fc2 (row)
+  ops.push_back({8.0 * b * s * h * h / t,
+                 sbh2 + 4.0 * w_bytes / t + 4.0 * sbh2 / t});
+  ops.push_back({12.0 * 4.0 * s * b * h / t, 8.0 * sbh2 / t});
+  ops.push_back({8.0 * b * s * h * h / t,
+                 4.0 * sbh2 / t + 4.0 * w_bytes / t + sbh2});
+  // dropout + residual
+  ops.push_back({2.0 * s * b * h, 2.5 * sbh2});
+  ops.push_back({s * b * h, 3.0 * sbh2});
+  return ops;
+}
+
+util::Seconds ops_time(const std::vector<OpCost>& ops, const hw::Gpu& gpu) {
+  util::Seconds total = 0.0;
+  for (const auto& op : ops) {
+    hw::KernelDesc kernel;
+    kernel.flops = op.flops;
+    kernel.bytes_read = static_cast<util::Bytes>(op.bytes / 2.0);
+    kernel.bytes_written = static_cast<util::Bytes>(op.bytes / 2.0);
+    total += gpu.kernel_time(kernel);
+  }
+  return total;
+}
+
+double layer_parameter_bytes(const modules::ModelConfig& m,
+                             const parallel::ParallelConfig& p) {
+  return 2.0 * 12.0 * static_cast<double>(m.hidden) *
+         static_cast<double>(m.hidden) /
+         static_cast<double>(p.tensor_parallel);
+}
+
+}  // namespace
+
+util::Flops layer_forward_flops(const modules::ModelConfig& model,
+                                const parallel::ParallelConfig& parallel) {
+  const double s = static_cast<double>(model.seq);
+  const double b = static_cast<double>(model.micro_batch);
+  const double h = static_cast<double>(model.hidden);
+  const double t = static_cast<double>(parallel.tensor_parallel);
+  const double causal =
+      model.arch == modules::Architecture::gpt ? 0.5 : 1.0;
+  return (24.0 * b * s * h * h + 4.0 * b * s * s * h * causal) / t;
+}
+
+util::Seconds layer_forward_time(const modules::ModelConfig& model,
+                                 const parallel::ParallelConfig& parallel,
+                                 const hw::Gpu& gpu, const Fabrics& fabrics) {
+  util::Seconds compute = ops_time(layer_forward_ops(model, parallel), gpu);
+  // Two all-reduces per layer forward (attention proj + MLP fc2 outputs).
+  const auto msg = static_cast<util::Bytes>(
+      2.0 * static_cast<double>(model.seq) *
+      static_cast<double>(model.micro_batch) *
+      static_cast<double>(model.hidden));
+  compute += 2.0 * parallel::all_reduce_time(msg, parallel.tensor_parallel,
+                                             fabrics.tp_fabric);
+  // ZeRO communication is modelled as perfectly pipelined at the layer
+  // level: the layer takes max(compute, communicate) (paper §III-D).
+  if (parallel.zero == parallel::ZeroStage::stage3 &&
+      parallel.data_parallel > 1) {
+    const double gather = parallel::all_gather_traffic(
+        static_cast<util::Bytes>(layer_parameter_bytes(model, parallel)),
+        parallel.data_parallel);
+    const util::Seconds comm =
+        gather / fabrics.dp_fabric.link_bandwidth;
+    compute = std::max(compute, comm);
+  }
+  return compute;
+}
+
+StepEstimate estimate_step(const modules::ModelConfig& model,
+                           const parallel::ParallelConfig& parallel,
+                           const hw::Gpu& gpu, const Fabrics& fabrics,
+                           int micro_batches) {
+  util::expects(micro_batches >= 1, "need at least one micro-batch");
+  parallel.validate();
+  StepEstimate est;
+
+  const int pp = parallel.pipeline_parallel;
+  const int layers_per_stage =
+      (model.layers + pp - 1) / pp;
+
+  util::Seconds layer_fwd = layer_forward_time(model, parallel, gpu, fabrics);
+  util::Flops layer_flops = layer_forward_flops(model, parallel);
+  if (model.arch == modules::Architecture::t5) {
+    // Roughly half the layers carry a cross-attention block: +8bsh^2/t GEMM
+    // and +4bs^2h/t core on those layers; average it across the stack.
+    const double s = static_cast<double>(model.seq);
+    const double b = static_cast<double>(model.micro_batch);
+    const double h = static_cast<double>(model.hidden);
+    const double t = static_cast<double>(parallel.tensor_parallel);
+    const double dec_frac =
+        static_cast<double>(model.layers / 2) /
+        static_cast<double>(model.layers);
+    const double extra_flops =
+        (8.0 * b * s * h * h + 4.0 * b * s * s * h) / t * dec_frac;
+    hw::KernelDesc extra;
+    extra.flops = extra_flops;
+    extra.bytes_read = static_cast<util::Bytes>(4.0 * s * b * h / t);
+    extra.bytes_written = static_cast<util::Bytes>(4.0 * s * b * h / t);
+    layer_fwd += gpu.kernel_time(extra);
+    layer_flops += extra_flops;
+  }
+
+  // Head GEMM on the last stage, amortised across stages for pp > 1.
+  const double head_flops = 2.0 * static_cast<double>(model.seq) *
+                            static_cast<double>(model.micro_batch) *
+                            static_cast<double>(model.hidden) *
+                            static_cast<double>(model.vocab) /
+                            static_cast<double>(parallel.tensor_parallel);
+  hw::KernelDesc head_kernel;
+  head_kernel.flops = head_flops;
+  head_kernel.bytes_read = static_cast<util::Bytes>(head_flops / 1000.0);
+  const util::Seconds head_time =
+      gpu.kernel_time(head_kernel) / static_cast<double>(pp);
+
+  est.forward = layers_per_stage * layer_fwd + head_time;
+  // Backward: twice the GEMM work plus heavier elementwise traffic; the
+  // standard 2x rule of thumb llm-analysis also applies.
+  est.backward = 2.0 * est.forward;
+
+  // Optimizer / weight update: gradient zeroing, SGD update, clipping —
+  // several full passes over the parameter footprint — plus the framework's
+  // fixed per-step overhead (unfused optimizer launches, loss-scale checks).
+  // The fixed term is calibrated against the micro-batch study in the
+  // paper's Fig. 8(a), where weight-update amortisation dominates the gain.
+  const double param_bytes =
+      layer_parameter_bytes(model, parallel) * layers_per_stage +
+      2.0 * static_cast<double>(model.vocab) *
+          static_cast<double>(model.hidden) /
+          static_cast<double>(parallel.tensor_parallel);
+  est.optimizer = util::ms(40) + gpu.memory_time(static_cast<util::Bytes>(
+                                     6.0 * param_bytes));
+  if (parallel.data_parallel > 1 &&
+      parallel.zero != parallel::ZeroStage::stage3) {
+    est.optimizer += parallel::all_reduce_time(
+        static_cast<util::Bytes>(param_bytes), parallel.data_parallel,
+        fabrics.dp_fabric);
+  }
+
+  // 1F1B pipeline: fill + steady state + drain.
+  const double rounds = static_cast<double>(micro_batches + pp - 1);
+  est.step = rounds * (est.forward + est.backward) + est.optimizer;
+  est.pipeline_bubble_fraction =
+      static_cast<double>(pp - 1) / rounds;
+
+  est.model_flops_per_step = 3.0 *
+                             (static_cast<double>(layers_per_stage) *
+                                  layer_flops +
+                              head_flops / pp) *
+                             micro_batches;
+  est.model_throughput = est.model_flops_per_step / est.step;
+  return est;
+}
+
+util::Bytes activations_per_gpu_step(const modules::ModelConfig& model,
+                                     const parallel::ParallelConfig& parallel,
+                                     int micro_batches) {
+  const int pp = parallel.pipeline_parallel;
+  // Each pipeline stage holds layers/pp of the model.
+  const util::Bytes whole = model_activation_bytes(model, parallel);
+  return static_cast<util::Bytes>(
+      static_cast<double>(whole) / pp * micro_batches);
+}
+
+util::BytesPerSecond required_write_bandwidth(
+    util::Bytes activation_bytes_per_step, util::Seconds step_time) {
+  util::expects(step_time > 0.0, "step time must be positive");
+  return static_cast<double>(activation_bytes_per_step) / (step_time / 2.0);
+}
+
+}  // namespace ssdtrain::analysis

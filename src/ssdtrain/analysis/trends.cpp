@@ -1,0 +1,68 @@
+#include "ssdtrain/analysis/trends.hpp"
+
+#include <cmath>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::analysis {
+
+std::vector<TrendPoint> trend_points(TrendSeries series) {
+  // Public release dates and spec-sheet figures (Epoch-AI-style database).
+  // FP16 throughput is dense tensor-core rate where applicable; memory is
+  // expressed as the number of FP16 values it holds, as in the paper's
+  // Fig. 1 axis.
+  switch (series) {
+    case TrendSeries::gpu_fp16_throughput:
+      return {
+          {"P100", 2016.25, 21.2e12},  {"V100", 2017.5, 125e12},
+          {"TPUv2", 2017.75, 46e12},   {"TPUv3", 2018.75, 123e12},
+          {"A100", 2020.4, 312e12},    {"TPUv4", 2021.25, 275e12},
+          {"H100", 2022.75, 989e12},   {"TPUv5p", 2023.9, 459e12},
+          {"B200", 2024.9, 2250e12},
+      };
+    case TrendSeries::gpu_memory_capacity:
+      return {
+          {"P100", 2016.25, 16e9 / 2},   {"V100", 2017.5, 32e9 / 2},
+          {"TPUv2", 2017.75, 16e9 / 2},  {"TPUv3", 2018.75, 32e9 / 2},
+          {"A100", 2020.4, 80e9 / 2},    {"TPUv4", 2021.25, 32e9 / 2},
+          {"H100", 2022.75, 80e9 / 2},   {"TPUv5p", 2023.9, 95e9 / 2},
+          {"B200", 2024.9, 192e9 / 2},
+      };
+    case TrendSeries::llm_size:
+      return {
+          {"GPT", 2018.45, 0.117e9},    {"BERT-L", 2018.8, 0.34e9},
+          {"GPT-2", 2019.1, 1.5e9},     {"T5-11B", 2019.8, 11e9},
+          {"GPT-3", 2020.4, 175e9},     {"MT-NLG", 2021.8, 530e9},
+          {"PaLM", 2022.3, 540e9},      {"GPT-4", 2023.2, 1760e9},
+      };
+  }
+  util::unreachable("unknown trend series");
+}
+
+TrendFit fit_trend(TrendSeries series) {
+  const auto points = trend_points(series);
+  std::vector<double> xs, ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (const auto& p : points) {
+    xs.push_back(p.year);
+    ys.push_back(p.value);
+  }
+  TrendFit out;
+  out.fit = util::exponential_fit(xs, ys);
+  out.growth_per_year = std::exp(out.fit.slope);
+  out.doubling_years = util::doubling_time(out.fit.slope);
+  return out;
+}
+
+double memory_vs_compute_growth_ratio() {
+  return fit_trend(TrendSeries::gpu_memory_capacity).fit.slope /
+         fit_trend(TrendSeries::gpu_fp16_throughput).fit.slope;
+}
+
+double llm_vs_compute_growth_ratio() {
+  return fit_trend(TrendSeries::llm_size).fit.slope /
+         fit_trend(TrendSeries::gpu_fp16_throughput).fit.slope;
+}
+
+}  // namespace ssdtrain::analysis

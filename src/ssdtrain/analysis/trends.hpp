@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file trends.hpp
+/// Fig. 1 of the paper: historical scaling of GPU FP16 throughput, GPU
+/// memory capacity, and LLM model size. The embedded dataset covers NVIDIA
+/// data-center GPUs and Google TPUs since 2016 plus landmark LLMs; the
+/// exponential fits reproduce the paper's observation that memory capacity
+/// grows at roughly 40% of the rate of compute throughput, while model
+/// sizes track compute.
+
+#include <string>
+#include <vector>
+
+#include "ssdtrain/util/stats.hpp"
+
+namespace ssdtrain::analysis {
+
+enum class TrendSeries { gpu_fp16_throughput, gpu_memory_capacity, llm_size };
+
+struct TrendPoint {
+  std::string name;
+  double year = 0.0;   ///< release date as fractional year
+  double value = 0.0;  ///< FLOP/s, bytes (as FP16 count), or parameters
+};
+
+/// Built-in dataset for one series.
+std::vector<TrendPoint> trend_points(TrendSeries series);
+
+struct TrendFit {
+  util::LinearFit fit;           ///< log-linear: slope = growth rate / year
+  double growth_per_year = 0.0;  ///< multiplicative factor per year
+  double doubling_years = 0.0;
+};
+
+TrendFit fit_trend(TrendSeries series);
+
+/// growth-rate ratio memory/compute; the paper cites ~41%.
+double memory_vs_compute_growth_ratio();
+
+/// growth-rate ratio LLM-size/compute; the paper aligns them (~1).
+double llm_vs_compute_growth_ratio();
+
+}  // namespace ssdtrain::analysis

@@ -1,0 +1,34 @@
+#include "ssdtrain/core/malloc_hook.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::core {
+
+void CudaMallocHookLibrary::install(hw::DeviceAllocator& allocator) {
+  util::expects(!installed_, "hook library installed twice");
+  installed_ = true;
+  allocator.set_allocation_hook([this](util::Bytes delta, hw::MemoryTag tag) {
+    (void)tag;
+    if (delta > 0) {
+      ++registrations_;
+      registered_bytes_ += delta;
+    } else {
+      ++deregistrations_;
+      registered_bytes_ += delta;  // delta is negative on free
+    }
+  });
+}
+
+util::Seconds CudaMallocHookLibrary::transfer_setup_latency(
+    util::Bytes bytes) const {
+  if (installed_) {
+    // Buffer already registered: just the cuFile submission overhead.
+    return util::us(3);
+  }
+  // cuFileBufRegister on the critical path: fixed cost plus page-pinning
+  // that scales with the buffer.
+  return util::us(50) +
+         static_cast<double>(bytes) / static_cast<double>(util::gib(64));
+}
+
+}  // namespace ssdtrain::core

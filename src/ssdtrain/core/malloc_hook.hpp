@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file malloc_hook.hpp
+/// Simulated counterpart of the paper's "tiny CUDA API hooking library"
+/// (§III-A): an LD_PRELOAD interposer that wraps cudaMalloc/cudaFree so
+/// every allocation is registered (and deregistered) with GPUDirect Storage
+/// for peak transfer performance — without replacing PyTorch's memory
+/// allocator. Here it attaches to the DeviceAllocator's allocation hook and
+/// tracks the registered footprint; the SSD offloader consults it to decide
+/// the per-transfer setup cost (pre-registered buffers skip the cuFile
+/// registration round trip).
+
+#include <cstdint>
+
+#include "ssdtrain/hw/device_allocator.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::core {
+
+class CudaMallocHookLibrary {
+ public:
+  /// Interposes on the allocator; from now on every device allocation is
+  /// GDS-registered at creation and deregistered at free.
+  void install(hw::DeviceAllocator& allocator);
+
+  [[nodiscard]] bool installed() const { return installed_; }
+  [[nodiscard]] util::Bytes registered_bytes() const {
+    return registered_bytes_;
+  }
+  [[nodiscard]] std::uint64_t registrations() const { return registrations_; }
+  [[nodiscard]] std::uint64_t deregistrations() const {
+    return deregistrations_;
+  }
+
+  /// Per-I/O setup latency for a transfer touching \p bytes of device
+  /// memory: negligible when buffers are pre-registered, a registration
+  /// round trip (scaling mildly with size) when they are not.
+  [[nodiscard]] util::Seconds transfer_setup_latency(util::Bytes bytes) const;
+
+ private:
+  bool installed_ = false;
+  util::Bytes registered_bytes_ = 0;
+  std::uint64_t registrations_ = 0;
+  std::uint64_t deregistrations_ = 0;
+};
+
+}  // namespace ssdtrain::core

@@ -1,0 +1,283 @@
+#include "ssdtrain/core/offloader.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::core {
+
+using tensor::Tensor;
+using tensor::TensorId;
+
+// ---------------------------------------------------------------------------
+// SsdOffloader
+// ---------------------------------------------------------------------------
+
+SsdOffloader::SsdOffloader(hw::TrainingNode& node,
+                           tensor::TensorFactory& factory,
+                           SsdOffloaderConfig config,
+                           const CudaMallocHookLibrary* malloc_hook)
+    : node_(node),
+      factory_(factory),
+      config_(config),
+      malloc_hook_(malloc_hook),
+      store_pool_(node.simulator(), "ssd-store",
+                  static_cast<std::size_t>(config.store_workers)),
+      load_pool_(node.simulator(), "ssd-load",
+                 static_cast<std::size_t>(config.load_workers)) {
+  util::expects(node.has_array(config_.gpu_index),
+                "SSD offloader needs an array for this GPU");
+}
+
+util::Seconds SsdOffloader::transfer_setup_latency() const {
+  if (malloc_hook_ != nullptr) {
+    return malloc_hook_->transfer_setup_latency(0);
+  }
+  // No hook library: unregistered buffers, pay the slow path.
+  return CudaMallocHookLibrary{}.transfer_setup_latency(0);
+}
+
+std::optional<sim::CompletionPtr> SsdOffloader::store(
+    const TensorId& id, const Tensor& t, sim::CompletionPtr ready) {
+  util::expects(t.defined() && !t.is_cpu(), "store expects a device tensor");
+  util::expects(!slots_.contains(id), "tensor already offloaded");
+
+  auto& array = node_.array(config_.gpu_index);
+  Slot slot;
+  slot.extent = array.allocate_extent(t.bytes());
+  slot.store_in_flight = true;
+  slots_.emplace(id, std::move(slot));
+
+  ++stats_.stores;
+  stats_.bytes_stored += t.bytes();
+
+  auto& sim = node_.simulator();
+  auto& net = node_.network();
+  const auto path = config_.use_gds
+                        ? node_.gds_write_path(config_.gpu_index)
+                        : node_.bounce_write_path(config_.gpu_index);
+  const util::Seconds setup = transfer_setup_latency();
+  const util::Bytes bytes = t.bytes();
+
+  // The job holds a strong reference to the tensor for the duration of the
+  // transfer: device memory must stay mapped while the DMA engine reads it,
+  // even if the tensor cache has already dropped its own reference.
+  Tensor pinned_ref = t;
+  auto done = store_pool_.submit(
+      "store:" + id.to_string(),
+      [this, id, bytes, path, setup, ready, pinned_ref, &sim,
+       &net](std::function<void()> finish) mutable {
+        auto begin_io = [this, id, bytes, path, setup, pinned_ref, &sim,
+                         &net, finish]() mutable {
+          sim.schedule_after(setup, [this, id, bytes, path, pinned_ref, &net,
+                                     finish]() mutable {
+            net.start_flow(
+                "store:" + id.to_string(), bytes, path,
+                [this, id, pinned_ref, finish]() mutable {
+                  auto it = slots_.find(id);
+                  util::check(it != slots_.end(), "store slot vanished");
+                  auto& array = node_.array(config_.gpu_index);
+                  array.record_write(it->second.extent);
+                  it->second.store_in_flight = false;
+                  if (it->second.release_deferred) {
+                    array.release_extent(it->second.extent);
+                    slots_.erase(it);
+                    ++stats_.releases;
+                  }
+                  pinned_ref.reset();  // transfer done: drop the DMA pin
+                  finish();
+                });
+          });
+        };
+        if (ready && !ready->done()) {
+          ready->add_waiter(begin_io);
+        } else {
+          begin_io();
+        }
+      });
+  return done;
+}
+
+LoadTicket SsdOffloader::load(const TensorId& id, std::string label,
+                              tensor::TensorShape shape,
+                              tensor::DType dtype) {
+  auto it = slots_.find(id);
+  util::expects(it != slots_.end(), "load of tensor never stored");
+  util::expects(!it->second.store_in_flight,
+                "load while store in flight (forwarding should cover this)");
+
+  auto& sim = node_.simulator();
+  auto& net = node_.network();
+  Tensor dst = factory_.cuda(std::move(label), std::move(shape), dtype,
+                             hw::MemoryTag::activation);
+  auto done = std::make_shared<sim::Completion>(sim, "load:" + id.to_string());
+  dst.storage()->set_ready_event(done);
+
+  ++stats_.loads;
+  stats_.bytes_loaded += dst.bytes();
+
+  const auto path = config_.use_gds ? node_.gds_read_path(config_.gpu_index)
+                                    : node_.bounce_read_path(config_.gpu_index);
+  const util::Seconds setup = transfer_setup_latency();
+  const util::Bytes bytes = dst.bytes();
+  const hw::ArrayExtent extent = it->second.extent;
+
+  // Hold the destination alive until the data lands.
+  Tensor pinned_dst = dst;
+  load_pool_.submit(
+      "load:" + id.to_string(),
+      [this, id, bytes, path, setup, extent, done, pinned_dst, &sim,
+       &net](std::function<void()> finish) mutable {
+        sim.schedule_after(setup, [this, id, bytes, path, extent, done,
+                                   pinned_dst, &net, finish]() mutable {
+          net.start_flow("load:" + id.to_string(), bytes, path,
+                         [this, extent, done, pinned_dst,
+                          finish]() mutable {
+                           node_.array(config_.gpu_index).record_read(extent);
+                           done->fire();
+                           pinned_dst.reset();
+                           finish();
+                         });
+        });
+      });
+  return LoadTicket{dst, done};
+}
+
+void SsdOffloader::release(const TensorId& id) {
+  auto it = slots_.find(id);
+  util::expects(it != slots_.end(), "release of unknown tensor");
+  if (it->second.store_in_flight) {
+    it->second.release_deferred = true;
+    return;
+  }
+  node_.array(config_.gpu_index).release_extent(it->second.extent);
+  slots_.erase(it);
+  ++stats_.releases;
+}
+
+std::string SsdOffloader::target_name() const {
+  return "ssd:" + node_.array(config_.gpu_index).name() +
+         (config_.use_gds ? " (gds)" : " (bounce)");
+}
+
+const OffloaderStats& SsdOffloader::stats() const { return stats_; }
+
+// ---------------------------------------------------------------------------
+// CpuOffloader
+// ---------------------------------------------------------------------------
+
+CpuOffloader::CpuOffloader(hw::TrainingNode& node,
+                           tensor::TensorFactory& factory,
+                           CpuOffloaderConfig config)
+    : node_(node),
+      factory_(factory),
+      config_(config),
+      store_pool_(node.simulator(), "cpu-store",
+                  static_cast<std::size_t>(config.store_workers)),
+      load_pool_(node.simulator(), "cpu-load",
+                 static_cast<std::size_t>(config.load_workers)) {}
+
+std::optional<sim::CompletionPtr> CpuOffloader::store(
+    const TensorId& id, const Tensor& t, sim::CompletionPtr ready) {
+  util::expects(t.defined() && !t.is_cpu(), "store expects a device tensor");
+  util::expects(!slots_.contains(id), "tensor already offloaded");
+
+  auto allocation = node_.pinned_pool().allocate(t.bytes());
+  if (!allocation) {
+    // Pinned pool exhausted: the tensor cache keeps the tensor on GPU.
+    ++stats_.failed_stores;
+    return std::nullopt;
+  }
+  Slot slot;
+  slot.allocation = *allocation;
+  slot.store_in_flight = true;
+  slots_.emplace(id, std::move(slot));
+
+  ++stats_.stores;
+  stats_.bytes_stored += t.bytes();
+
+  auto& net = node_.network();
+  const auto path = node_.d2h_path(config_.gpu_index);
+  const util::Bytes bytes = t.bytes();
+
+  Tensor pinned_ref = t;
+  auto done = store_pool_.submit(
+      "store:" + id.to_string(),
+      [this, id, bytes, path, ready, pinned_ref,
+       &net](std::function<void()> finish) mutable {
+        auto begin_io = [this, id, bytes, path, pinned_ref, &net,
+                         finish]() mutable {
+          net.start_flow("d2h:" + id.to_string(), bytes, path,
+                         [this, id, pinned_ref, finish]() mutable {
+                           auto it = slots_.find(id);
+                           util::check(it != slots_.end(),
+                                       "store slot vanished");
+                           it->second.store_in_flight = false;
+                           if (it->second.release_deferred) {
+                             node_.pinned_pool().free(it->second.allocation);
+                             slots_.erase(it);
+                             ++stats_.releases;
+                           }
+                           pinned_ref.reset();
+                           finish();
+                         });
+        };
+        if (ready && !ready->done()) {
+          ready->add_waiter(begin_io);
+        } else {
+          begin_io();
+        }
+      });
+  return done;
+}
+
+LoadTicket CpuOffloader::load(const TensorId& id, std::string label,
+                              tensor::TensorShape shape,
+                              tensor::DType dtype) {
+  auto it = slots_.find(id);
+  util::expects(it != slots_.end(), "load of tensor never stored");
+  util::expects(!it->second.store_in_flight,
+                "load while store in flight (forwarding should cover this)");
+
+  auto& sim = node_.simulator();
+  auto& net = node_.network();
+  Tensor dst = factory_.cuda(std::move(label), std::move(shape), dtype,
+                             hw::MemoryTag::activation);
+  auto done = std::make_shared<sim::Completion>(sim, "load:" + id.to_string());
+  dst.storage()->set_ready_event(done);
+
+  ++stats_.loads;
+  stats_.bytes_loaded += dst.bytes();
+
+  const auto path = node_.h2d_path(config_.gpu_index);
+  const util::Bytes bytes = dst.bytes();
+
+  Tensor pinned_dst = dst;
+  load_pool_.submit("load:" + id.to_string(),
+                    [id, bytes, path, done, pinned_dst,
+                     &net](std::function<void()> finish) mutable {
+                      net.start_flow("h2d:" + id.to_string(), bytes, path,
+                                     [done, pinned_dst, finish]() mutable {
+                                       done->fire();
+                                       pinned_dst.reset();
+                                       finish();
+                                     });
+                    });
+  return LoadTicket{dst, done};
+}
+
+void CpuOffloader::release(const TensorId& id) {
+  auto it = slots_.find(id);
+  util::expects(it != slots_.end(), "release of unknown tensor");
+  if (it->second.store_in_flight) {
+    it->second.release_deferred = true;
+    return;
+  }
+  node_.pinned_pool().free(it->second.allocation);
+  slots_.erase(it);
+  ++stats_.releases;
+}
+
+std::string CpuOffloader::target_name() const { return "cpu:pinned-pool"; }
+
+const OffloaderStats& CpuOffloader::stats() const { return stats_; }
+
+}  // namespace ssdtrain::core

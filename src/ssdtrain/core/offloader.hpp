@@ -1,0 +1,162 @@
+#pragma once
+
+/// \file offloader.hpp
+/// Offloader backends (paper §III-A). Each offloader encapsulates the logic
+/// to transfer CUDA tensors to and from one target:
+///   * SsdOffloader — NVMe RAID0 array in the same node, via the GDS direct
+///     path (GPU -> PCIe -> SSD, no host bounce) or the bounce path for the
+///     no-GDS ablation. Two FIFO thread pools (store, load) issue the I/O.
+///   * CpuOffloader — host pinned-memory pool over the plain D2H/H2D path
+///     (the paper positions this for future remote-storage work).
+/// Store jobs wait for the producing kernel's completion before touching
+/// the data; load completions become the ready events consumers wait on.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "ssdtrain/core/malloc_hook.hpp"
+#include "ssdtrain/hw/node.hpp"
+#include "ssdtrain/sim/completion.hpp"
+#include "ssdtrain/sim/thread_pool.hpp"
+#include "ssdtrain/tensor/tensor.hpp"
+#include "ssdtrain/tensor/tensor_id.hpp"
+
+namespace ssdtrain::core {
+
+struct OffloaderStats {
+  std::uint64_t stores = 0;
+  std::uint64_t loads = 0;
+  util::Bytes bytes_stored = 0;
+  util::Bytes bytes_loaded = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t failed_stores = 0;  ///< CPU offloader: pinned pool exhausted
+};
+
+/// Result of beginning a load: the destination tensor (device memory is
+/// allocated immediately, as cudaMalloc would be) plus the completion that
+/// fires when the data has arrived. The tensor's ready event is the same
+/// completion.
+struct LoadTicket {
+  tensor::Tensor tensor;
+  sim::CompletionPtr done;
+};
+
+class Offloader {
+ public:
+  virtual ~Offloader() = default;
+
+  /// Begins storing \p t under \p id. The transfer starts once \p ready
+  /// fires (producer kernel done) and a store-pool worker is free. Returns
+  /// the store completion, or std::nullopt if this offloader cannot take
+  /// the tensor right now (caller should keep it in GPU memory).
+  virtual std::optional<sim::CompletionPtr> store(
+      const tensor::TensorId& id, const tensor::Tensor& t,
+      sim::CompletionPtr ready) = 0;
+
+  /// Begins loading \p id back into a fresh device tensor.
+  virtual LoadTicket load(const tensor::TensorId& id, std::string label,
+                          tensor::TensorShape shape, tensor::DType dtype) = 0;
+
+  /// Releases the offloaded copy (TRIM on SSD, pool free on host). Safe to
+  /// call while a store is still in flight — the release is deferred until
+  /// the store completes.
+  virtual void release(const tensor::TensorId& id) = 0;
+
+  [[nodiscard]] virtual std::string target_name() const = 0;
+  [[nodiscard]] virtual const OffloaderStats& stats() const = 0;
+};
+
+struct SsdOffloaderConfig {
+  int gpu_index = 0;
+  int store_workers = 2;
+  int load_workers = 2;
+  bool use_gds = true;  ///< false: bounce through host memory (ablation)
+};
+
+class SsdOffloader final : public Offloader {
+ public:
+  SsdOffloader(hw::TrainingNode& node, tensor::TensorFactory& factory,
+               SsdOffloaderConfig config,
+               const CudaMallocHookLibrary* malloc_hook = nullptr);
+
+  std::optional<sim::CompletionPtr> store(const tensor::TensorId& id,
+                                          const tensor::Tensor& t,
+                                          sim::CompletionPtr ready) override;
+  LoadTicket load(const tensor::TensorId& id, std::string label,
+                  tensor::TensorShape shape, tensor::DType dtype) override;
+  void release(const tensor::TensorId& id) override;
+
+  [[nodiscard]] std::string target_name() const override;
+  [[nodiscard]] const OffloaderStats& stats() const override;
+
+  [[nodiscard]] const sim::SimThreadPool& store_pool() const {
+    return store_pool_;
+  }
+  [[nodiscard]] const sim::SimThreadPool& load_pool() const {
+    return load_pool_;
+  }
+
+ private:
+  struct Slot {
+    hw::ArrayExtent extent;
+    bool store_in_flight = false;
+    bool release_deferred = false;
+  };
+
+  /// Per-transfer setup latency: with the CUDA-malloc-hook library the
+  /// buffers are pre-registered with GDS; without it cuFileWrite pays a
+  /// registration round trip per I/O.
+  [[nodiscard]] util::Seconds transfer_setup_latency() const;
+
+  hw::TrainingNode& node_;
+  tensor::TensorFactory& factory_;
+  SsdOffloaderConfig config_;
+  const CudaMallocHookLibrary* malloc_hook_;
+  sim::SimThreadPool store_pool_;
+  sim::SimThreadPool load_pool_;
+  std::map<tensor::TensorId, Slot> slots_;
+  OffloaderStats stats_;
+};
+
+struct CpuOffloaderConfig {
+  int gpu_index = 0;
+  int store_workers = 2;
+  int load_workers = 2;
+};
+
+class CpuOffloader final : public Offloader {
+ public:
+  CpuOffloader(hw::TrainingNode& node, tensor::TensorFactory& factory,
+               CpuOffloaderConfig config);
+
+  std::optional<sim::CompletionPtr> store(const tensor::TensorId& id,
+                                          const tensor::Tensor& t,
+                                          sim::CompletionPtr ready) override;
+  LoadTicket load(const tensor::TensorId& id, std::string label,
+                  tensor::TensorShape shape, tensor::DType dtype) override;
+  void release(const tensor::TensorId& id) override;
+
+  [[nodiscard]] std::string target_name() const override;
+  [[nodiscard]] const OffloaderStats& stats() const override;
+
+ private:
+  struct Slot {
+    hw::HostAllocation allocation;
+    bool store_in_flight = false;
+    bool release_deferred = false;
+  };
+
+  hw::TrainingNode& node_;
+  tensor::TensorFactory& factory_;
+  CpuOffloaderConfig config_;
+  sim::SimThreadPool store_pool_;
+  sim::SimThreadPool load_pool_;
+  std::map<tensor::TensorId, Slot> slots_;
+  OffloaderStats stats_;
+};
+
+}  // namespace ssdtrain::core

@@ -1,0 +1,46 @@
+#include "ssdtrain/core/planner.hpp"
+
+#include <algorithm>
+
+#include "ssdtrain/analysis/activation_model.hpp"
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::core {
+
+OffloadPlan plan_offload(const PlannerInputs& inputs) {
+  util::expects(inputs.target_write_bandwidth >= 0.0,
+                "negative target bandwidth");
+  inputs.parallel.validate();
+
+  OffloadPlan plan;
+  hw::Gpu gpu(inputs.gpu);
+  const analysis::Fabrics fabrics;
+  const auto est = analysis::estimate_step(inputs.model, inputs.parallel,
+                                           gpu, fabrics,
+                                           inputs.micro_batches);
+  plan.step_time_estimate = est.step;
+  plan.activation_bytes_per_step = analysis::activations_per_gpu_step(
+      inputs.model, inputs.parallel, inputs.micro_batches);
+  plan.offloadable_bytes_per_step =
+      analysis::offloadable_activation_bytes(inputs.model, inputs.parallel) *
+      inputs.micro_batches / inputs.parallel.pipeline_parallel;
+  plan.required_write_bandwidth = analysis::required_write_bandwidth(
+      plan.offloadable_bytes_per_step, est.step);
+
+  plan.io_window_bytes = static_cast<util::Bytes>(
+      inputs.target_write_bandwidth * (est.step / 2.0) *
+      inputs.safety_factor);
+  plan.offload_budget =
+      std::min(plan.offloadable_bytes_per_step, plan.io_window_bytes);
+  plan.fully_offloadable =
+      plan.offload_budget >= plan.offloadable_bytes_per_step;
+  return plan;
+}
+
+TensorCacheConfig make_cache_config(const OffloadPlan& plan) {
+  TensorCacheConfig config;
+  config.offload_budget = plan.offload_budget;
+  return config;
+}
+
+}  // namespace ssdtrain::core

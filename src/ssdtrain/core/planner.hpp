@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file planner.hpp
+/// The adaptive part of SSDTrain (paper Fig. 3): before training, the
+/// framework retrieves the model's computation and activation sizes, the
+/// GPU throughput, and the SSD bandwidth, then sets the activation offload
+/// amount so the I/O fully hides behind compute. The budget is what
+/// Alg. 1's is_offload_amount_reached() checks against.
+
+#include "ssdtrain/analysis/perf_model.hpp"
+#include "ssdtrain/core/tensor_cache.hpp"
+#include "ssdtrain/hw/gpu.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/parallel/parallel_config.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::core {
+
+struct PlannerInputs {
+  modules::ModelConfig model;
+  parallel::ParallelConfig parallel;
+  hw::GpuSpec gpu;
+  /// Sustained write bandwidth of this GPU's offload target (RAID0 array
+  /// or pinned-host path).
+  util::BytesPerSecond target_write_bandwidth = 0.0;
+  int micro_batches = 1;
+  /// Fraction of the theoretical I/O window the planner is willing to
+  /// commit (leaves headroom for queueing and setup latencies).
+  double safety_factor = 0.92;
+};
+
+struct OffloadPlan {
+  util::Bytes activation_bytes_per_step = 0;   ///< analytic estimate
+  util::Bytes offloadable_bytes_per_step = 0;  ///< excl. keep-last-module
+  util::Seconds step_time_estimate = 0.0;
+  /// What the SSDs can absorb in half the step (the paper's bandwidth
+  /// window, §III-D), scaled by the safety factor.
+  util::Bytes io_window_bytes = 0;
+  /// Final per-step budget handed to the tensor cache.
+  util::Bytes offload_budget = 0;
+  /// Required bandwidth had everything offloadable been offloaded.
+  util::BytesPerSecond required_write_bandwidth = 0.0;
+  /// True when the SSDs absorb every offloadable byte (full overlap).
+  bool fully_offloadable = false;
+};
+
+/// Computes the offload plan (Fig. 3 "Set: offload size").
+OffloadPlan plan_offload(const PlannerInputs& inputs);
+
+/// Convenience: a TensorCacheConfig carrying the planned budget.
+TensorCacheConfig make_cache_config(const OffloadPlan& plan);
+
+}  // namespace ssdtrain::core

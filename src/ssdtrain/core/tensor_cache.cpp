@@ -1,0 +1,422 @@
+#include "ssdtrain/core/tensor_cache.hpp"
+
+#include <algorithm>
+
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/logging.hpp"
+
+namespace ssdtrain::core {
+
+using tensor::Tensor;
+using tensor::TensorId;
+
+TensorCache::TensorCache(sim::Simulator& sim, Offloader& offloader,
+                         TensorCacheConfig config)
+    : sim_(sim), offloader_(offloader), config_(config) {
+  hooks_.pack = [this](const Tensor& t) { return pack(t); };
+  hooks_.unpack = [this](const graph::PackedValue& v) { return unpack(v); };
+}
+
+void TensorCache::register_weight(const tensor::Tensor& weight) {
+  util::expects(weight.defined(), "undefined weight");
+  weight_ids_.insert(ids_.get_id(weight));
+  // Linear layers register W^T on the graph (paper §III-C1): the transpose
+  // shares the storage (and thus the stamp), so its id is stable too.
+  if (weight.shape().rank() >= 2) {
+    weight_ids_.insert(ids_.get_id(weight.transpose_view()));
+  }
+}
+
+void TensorCache::install_hooks(modules::Model& model) {
+  for (modules::Module* layer : model.transformer_layers()) {
+    layer_set_.insert(layer);
+  }
+  model.visit_modules([this](modules::Module& m) {
+    m.register_forward_pre_hook(
+        [this](modules::Module& mod, modules::ExecutionContext&) {
+          on_forward_pre(mod);
+        });
+    m.register_forward_hook(
+        [this](modules::Module& mod, modules::ExecutionContext&) {
+          on_forward_post(mod);
+        });
+    m.register_backward_pre_hook(
+        [this](modules::Module& mod, modules::ExecutionContext&) {
+          on_backward_pre(mod);
+        });
+    m.register_backward_hook(
+        [this](modules::Module& mod, modules::ExecutionContext&) {
+          on_backward_post(mod);
+        });
+  });
+}
+
+bool TensorCache::is_weight(const tensor::Tensor& t) const {
+  if (!tensor::IdAssigner::is_stamped(t)) return false;
+  // Reconstruct the id without stamping: storage already carries the stamp.
+  const TensorId id{*t.storage()->id_stamp(), t.shape().hash()};
+  return weight_ids_.contains(id);
+}
+
+void TensorCache::on_step_begin() {
+  for (auto& [mb, rec] : records_) {
+    (void)mb;
+    if (!rec.entries.empty()) {
+      util::log_warning("tensor cache: " +
+                        std::to_string(rec.entries.size()) +
+                        " entries leaked across step boundary");
+    }
+  }
+  records_.clear();
+  current_mb_ = 0;
+  in_backward_ = false;
+}
+
+void TensorCache::on_micro_batch(int index) {
+  // Fig. 2 ②: switch to the record of the new micro-batch.
+  current_mb_ = index;
+}
+
+void TensorCache::on_forward_begin() { in_backward_ = false; }
+
+void TensorCache::on_backward_begin() { in_backward_ = true; }
+
+void TensorCache::set_keep_scopes(
+    std::vector<const modules::Module*> scopes) {
+  keep_scopes_.clear();
+  for (const auto* m : scopes) keep_scopes_.insert(m);
+}
+
+std::size_t TensorCache::tracked_entries() const {
+  std::size_t n = 0;
+  for (const auto& [mb, rec] : records_) {
+    (void)mb;
+    n += rec.entries.size();
+  }
+  return n;
+}
+
+TensorCache::EntryState TensorCache::entry_state(const TensorId& id) const {
+  auto rec_it = records_.find(current_mb_);
+  util::expects(rec_it != records_.end(), "no record for micro-batch");
+  auto it = rec_it->second.entries.find(id);
+  util::expects(it != rec_it->second.entries.end(), "unknown entry");
+  return it->second.state;
+}
+
+TensorCache::Record& TensorCache::record() { return records_[current_mb_]; }
+
+bool TensorCache::in_keep_scope() const {
+  // Keep scopes may sit at any level of the module tree (the paper keeps
+  // the last module before backward — in practice the final MLP block).
+  for (const auto* m : scope_stack_) {
+    if (keep_scopes_.contains(m)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// pack (Alg. 1, lines 1-8)
+// ---------------------------------------------------------------------------
+
+graph::PackedValue TensorCache::pack(const Tensor& t) {
+  ++stats_.packs;
+  // Line 2: weights, CPU tensors, and small tensors are registered as-is.
+  if (is_weight(t)) {
+    ++stats_.passthrough_weight;
+    return t;
+  }
+  if (t.is_cpu()) {
+    ++stats_.passthrough_cpu;
+    return t;
+  }
+  if (t.numel() < config_.min_offload_elements) {
+    ++stats_.passthrough_small;
+    return t;
+  }
+
+  const TensorId id = ids_.get_id(t);  // line 3
+  Record& rec = record();
+  auto it = rec.entries.find(id);
+  const modules::Module* scope =
+      scope_stack_.empty() ? nullptr : scope_stack_.back();
+
+  if (it != rec.entries.end()) {
+    // Duplicate registration of the same tensor (e.g. the attention output
+    // saved by both the flash core and the projection): extend the scope
+    // list, do not issue more I/O (§III-C1).
+    ++stats_.dedup_hits;
+    if (scope != nullptr) it->second.scopes.insert(scope);  // line 4
+    return id;
+  }
+
+  // Record the save in the forward scope sequence (prefetch order).
+  if (scope != nullptr) {
+    Record& r = record();
+    if (r.sequence.empty() || r.sequence.back().scope != scope) {
+      r.positions[scope].push_back(r.sequence.size());
+      r.sequence.push_back(SequenceSlot{scope, {}});
+    }
+    r.sequence.back().ids.push_back(id);
+  }
+
+  Entry entry;
+  entry.label = t.label();
+  entry.shape = t.shape();
+  entry.dtype = t.dtype();
+  entry.bytes = t.bytes();
+  if (scope != nullptr) entry.scopes.insert(scope);
+
+  const bool budget_reached =
+      rec.offloaded_bytes + t.bytes() > config_.offload_budget;  // line 5
+  if (budget_reached || in_backward_ || in_keep_scope()) {
+    if (budget_reached) {
+      ++stats_.kept_budget;
+    } else if (in_backward_) {
+      ++stats_.kept_backward;
+    } else {
+      ++stats_.kept_scope;
+    }
+    stats_.kept_bytes += t.bytes();
+    entry.state = EntryState::kept;  // line 6
+    entry.strong = t;
+    rec.entries.emplace(id, std::move(entry));
+    return id;
+  }
+
+  // Line 7: offload.
+  auto store_done = offloader_.store(id, t, t.storage()->ready_event());
+  if (!store_done) {
+    // Offloader refused (e.g. pinned pool exhausted): fall back to keeping.
+    ++stats_.kept_offloader_refused;
+    stats_.kept_bytes += t.bytes();
+    entry.state = EntryState::kept;
+    entry.strong = t;
+    rec.entries.emplace(id, std::move(entry));
+    return id;
+  }
+
+  ++stats_.offload_started;
+  stats_.offloaded_bytes += t.bytes();
+  rec.offloaded_bytes += t.bytes();
+  entry.state = EntryState::offloading;
+  entry.stored = true;
+  entry.strong = t;  // held until the store completes
+  entry.weak = tensor::WeakTensor(t);
+  entry.store_done = *store_done;
+  const int mb = current_mb_;
+  (*store_done)->add_waiter([this, id, mb]() {
+    auto rec_it = records_.find(mb);
+    if (rec_it == records_.end()) return;  // record already retired
+    auto e = rec_it->second.entries.find(id);
+    if (e == rec_it->second.entries.end()) return;  // released mid-store
+    if (e->second.state != EntryState::offloading) return;
+    if (e->second.forwarded) {
+      // Data forwarding already handed the in-memory reference to
+      // backward; the tensor is both resident and on SSD.
+      e->second.state = EntryState::loaded;
+    } else {
+      // The paper's GC point: once offloading finishes the cache no longer
+      // holds a reference, so Python (here: shared_ptr) reclaims the GPU
+      // memory.
+      e->second.state = EntryState::offloaded;
+      e->second.strong.reset();
+    }
+  });
+
+  rec.entries.emplace(id, std::move(entry));
+  return id;  // line 8
+}
+
+// ---------------------------------------------------------------------------
+// unpack (Alg. 1, lines 9-12)
+// ---------------------------------------------------------------------------
+
+Tensor TensorCache::unpack(const graph::PackedValue& value) {
+  ++stats_.unpacks;
+  if (std::holds_alternative<Tensor>(value)) {
+    return std::get<Tensor>(value);  // line 10
+  }
+  const TensorId id = std::get<TensorId>(value);
+  Record& rec = record();
+  auto it = rec.entries.find(id);
+  util::expects(it != rec.entries.end(),
+                "unpack of unknown tensor id (record mismatch?)");
+  Entry& entry = it->second;
+
+  switch (entry.state) {
+    case EntryState::kept:
+    case EntryState::loaded:
+      util::check(entry.strong.defined(), "kept entry lost its tensor");
+      return entry.strong;
+
+    case EntryState::offloading: {
+      // Data forwarding (§III-C2): the tensor is still in GPU memory while
+      // the store drains; hand back the in-memory reference instead of
+      // waiting for a round trip. The reference recovered from the weak
+      // reference is stored for use by other scopes.
+      if (config_.forwarding) {
+        ++stats_.forwards;
+        entry.forwarded = true;
+        Tensor strong = entry.weak.lock();
+        util::check(strong.defined(), "in-flight store lost its tensor");
+        entry.strong = strong;
+        return strong;
+      }
+      // Forwarding disabled (ablation): serialise — wait for the store,
+      // then read the data back; consumers gate on the reload completion.
+      auto reloaded = std::make_shared<sim::Completion>(
+          sim_, "sync-reload:" + id.to_string());
+      const int mb = current_mb_;
+      entry.store_done->add_waiter([this, id, mb, reloaded]() {
+        // The consuming scope may already have retired the entry by the
+        // time the store drains (its kernels are gated regardless); in that
+        // case the reload is moot — just unblock the consumers.
+        auto rec_it = records_.find(mb);
+        if (rec_it == records_.end()) {
+          reloaded->fire();
+          return;
+        }
+        auto e = rec_it->second.entries.find(id);
+        if (e == rec_it->second.entries.end()) {
+          reloaded->fire();
+          return;
+        }
+        auto ticket = offloader_.load(id, e->second.label + ".reload",
+                                      e->second.shape, e->second.dtype);
+        e->second.strong = ticket.tensor;  // keep the reloaded copy alive
+        ticket.done->add_waiter([reloaded]() { reloaded->fire(); });
+      });
+      ++stats_.miss_loads;
+      Tensor gated = entry.weak.lock();
+      util::check(gated.defined(), "in-flight store lost its tensor");
+      gated.storage()->set_ready_event(reloaded);
+      entry.strong = gated;
+      return gated;
+    }
+
+    case EntryState::offloaded:
+      // Prefetch miss: start the load now; the consumer kernels wait on the
+      // load completion through the tensor's ready event (line 11,
+      // load_or_wait_load).
+      ++stats_.miss_loads;
+      start_load(id, entry);
+      return entry.strong;
+
+    case EntryState::loading:
+      util::check(entry.strong.defined(), "loading entry lost its tensor");
+      return entry.strong;  // ready event still pending: consumers wait
+  }
+  util::unreachable("corrupt entry state");
+}
+
+void TensorCache::start_load(const TensorId& id, Entry& entry) {
+  auto ticket = offloader_.load(id, entry.label + ".reload", entry.shape,
+                                entry.dtype);
+  entry.state = EntryState::loading;
+  entry.strong = ticket.tensor;
+  const int mb = current_mb_;
+  ticket.done->add_waiter([this, id, mb]() {
+    auto rec_it = records_.find(mb);
+    if (rec_it == records_.end()) return;
+    auto e = rec_it->second.entries.find(id);
+    if (e == rec_it->second.entries.end()) return;
+    if (e->second.state == EntryState::loading) {
+      e->second.state = EntryState::loaded;
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// module hooks
+// ---------------------------------------------------------------------------
+
+void TensorCache::on_forward_pre(modules::Module& m) {
+  scope_stack_.push_back(&m);
+  if (layer_set_.contains(&m)) {
+    layer_scope_stack_.push_back(&m);
+  }
+}
+
+void TensorCache::on_forward_post(modules::Module& m) {
+  util::expects(!scope_stack_.empty() && scope_stack_.back() == &m,
+                "scope stack corrupted in forward");
+  scope_stack_.pop_back();
+  if (!layer_scope_stack_.empty() && layer_scope_stack_.back() == &m) {
+    layer_scope_stack_.pop_back();
+  }
+}
+
+void TensorCache::on_backward_pre(modules::Module& m) {
+  scope_stack_.push_back(&m);
+  if (layer_set_.contains(&m)) {
+    layer_scope_stack_.push_back(&m);
+  }
+  // Entering a module in backward: prefetch activations of upcoming modules
+  // (reverse of the recorded forward order), §III-C2. Backward visits
+  // scopes in reverse, so each visit consumes this scope's last remaining
+  // forward position.
+  Record& rec = record();
+  auto pos_it = rec.positions.find(&m);
+  if (pos_it != rec.positions.end() && !pos_it->second.empty()) {
+    const std::size_t position = pos_it->second.back();
+    pos_it->second.pop_back();
+    prefetch_before(position);
+  }
+}
+
+void TensorCache::on_backward_post(modules::Module& m) {
+  util::expects(!scope_stack_.empty() && scope_stack_.back() == &m,
+                "scope stack corrupted in backward");
+  scope_stack_.pop_back();
+  if (!layer_scope_stack_.empty() && layer_scope_stack_.back() == &m) {
+    layer_scope_stack_.pop_back();
+  }
+  retire_scope(m);
+}
+
+void TensorCache::prefetch_before(std::size_t position) {
+  Record& rec = record();
+  std::size_t index = position;
+  for (int depth = 0; depth < config_.prefetch_lookahead && index > 0;
+       ++depth) {
+    --index;
+    for (const tensor::TensorId& id : rec.sequence[index].ids) {
+      auto it = rec.entries.find(id);
+      if (it == rec.entries.end()) continue;
+      if (it->second.state == EntryState::offloaded) {
+        ++stats_.prefetch_loads;
+        start_load(id, it->second);
+      }
+    }
+  }
+}
+
+void TensorCache::retire_scope(const modules::Module& m) {
+  Record& rec = record();
+  for (auto it = rec.entries.begin(); it != rec.entries.end();) {
+    Entry& entry = it->second;
+    entry.scopes.erase(&m);
+    if (entry.scopes.empty()) {
+      const TensorId id = it->first;
+      ++it;
+      auto node = rec.entries.extract(id);
+      release_entry(id, node.mapped());
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TensorCache::release_entry(const TensorId& id, Entry& entry) {
+  ++stats_.releases;
+  if (entry.state == EntryState::offloading) {
+    ++stats_.wasted_stores;
+  }
+  if (entry.stored) {
+    offloader_.release(id);  // deferred internally if a store is in flight
+  }
+  entry.strong.reset();  // last cache reference: GPU memory reclaimable
+}
+
+}  // namespace ssdtrain::core

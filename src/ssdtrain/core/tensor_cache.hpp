@@ -1,0 +1,191 @@
+#pragma once
+
+/// \file tensor_cache.hpp
+/// The tensor cache (paper §III-B, §III-C) — SSDTrain's central data
+/// structure. It interposes on the computational graph through the
+/// pack/unpack saved-tensor hook pair (Alg. 1), maintains the module scope
+/// stack through the four module hooks, keeps one record per micro-batch,
+/// and coordinates the offloader:
+///
+///   * pack: weights / CPU tensors / small tensors pass through; tracked
+///     activations are deduplicated by get_id; tensors are kept in GPU
+///     memory once the planner's offload budget is reached, while in
+///     backward propagation (recompute interop), or inside designated keep
+///     scopes (the last module before backward); everything else starts an
+///     asynchronous store and is registered by identifier.
+///   * unpack: returns kept/loaded tensors, forwards in-flight stores
+///     (data forwarding, §III-C2), and otherwise starts/joins a load whose
+///     completion gates the consuming kernels.
+///   * prefetch: entering a module in backward triggers loads for the
+///     activations of the next module(s) in reverse forward order.
+///   * release: when every module scope that referenced an activation has
+///     finished its backward, the reference is dropped (Python GC analogue)
+///     and the SSD extent is trimmed.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/core/offloader.hpp"
+#include "ssdtrain/graph/saved_tensors.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/modules/module.hpp"
+#include "ssdtrain/sim/simulator.hpp"
+#include "ssdtrain/tensor/tensor.hpp"
+#include "ssdtrain/tensor/tensor_id.hpp"
+
+namespace ssdtrain::core {
+
+struct TensorCacheConfig {
+  /// Per-step activation bytes to offload; set by the adaptive planner
+  /// (Fig. 3 "Set: offload size"). Tensors packed after the budget is
+  /// exhausted stay in GPU memory (Alg. 1 line 5).
+  util::Bytes offload_budget = std::numeric_limits<util::Bytes>::max();
+  /// Alg. 1 line 2: tensors smaller than 2^20 elements pass through.
+  std::int64_t min_offload_elements = 1 << 20;
+  /// Data forwarding (§III-C2): serve backward from the in-flight store.
+  bool forwarding = true;
+  /// How many upcoming saved-tensor scopes (leaf modules, in reverse
+  /// forward order) to prefetch when entering a module in backward. The
+  /// paper notes any scheme that keeps the I/O queue busy is equivalent
+  /// (§III-C2); a few modules of lookahead keeps the PCIe link fed without
+  /// making reloaded activations resident long before use.
+  int prefetch_lookahead = 4;
+};
+
+struct TensorCacheStats {
+  std::uint64_t packs = 0;
+  std::uint64_t unpacks = 0;
+  std::uint64_t passthrough_weight = 0;
+  std::uint64_t passthrough_cpu = 0;
+  std::uint64_t passthrough_small = 0;
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t offload_started = 0;
+  std::uint64_t kept_budget = 0;
+  std::uint64_t kept_backward = 0;
+  std::uint64_t kept_scope = 0;
+  std::uint64_t kept_offloader_refused = 0;
+  std::uint64_t forwards = 0;
+  std::uint64_t prefetch_loads = 0;
+  std::uint64_t miss_loads = 0;
+  std::uint64_t wasted_stores = 0;  ///< scope ended before the store finished
+  std::uint64_t releases = 0;
+  util::Bytes offloaded_bytes = 0;
+  util::Bytes kept_bytes = 0;
+};
+
+class TensorCache {
+ public:
+  enum class EntryState : std::uint8_t {
+    offloading,  ///< store in flight; strong reference held
+    offloaded,   ///< on SSD/host only; weak reference kept
+    loading,     ///< load in flight; consumers wait on its completion
+    loaded,      ///< back in GPU memory
+    kept,        ///< never offloaded (budget / keep scope / backward)
+  };
+
+  TensorCache(sim::Simulator& sim, Offloader& offloader,
+              TensorCacheConfig config);
+  TensorCache(const TensorCache&) = delete;
+  TensorCache& operator=(const TensorCache&) = delete;
+
+  // -- setup (the "few lines added to the training script", §III-A) --------
+  /// Records a weight's identifier — and its transpose's — so pack passes
+  /// them through (§III-C1).
+  void register_weight(const tensor::Tensor& weight);
+
+  /// Installs the four module hooks on every module of \p model and learns
+  /// the transformer-layer scopes used for prefetch ordering.
+  void install_hooks(modules::Model& model);
+
+  /// The pack/unpack pair to install on the executor.
+  [[nodiscard]] const graph::SavedTensorHooks& hooks() const {
+    return hooks_;
+  }
+
+  // -- scheduler hints (paper Fig. 2 ③④) -----------------------------------
+  void on_step_begin();
+  void on_micro_batch(int index);
+  void on_forward_begin();
+  void on_backward_begin();
+  /// Module scopes whose activations must stay in GPU memory (the last
+  /// module when backward follows immediately, Fig. 2 ④).
+  void set_keep_scopes(std::vector<const modules::Module*> scopes);
+
+  // -- introspection ---------------------------------------------------------
+  [[nodiscard]] const TensorCacheStats& stats() const { return stats_; }
+  [[nodiscard]] bool is_weight(const tensor::Tensor& t) const;
+  [[nodiscard]] bool in_backward() const { return in_backward_; }
+  [[nodiscard]] int current_micro_batch() const { return current_mb_; }
+  [[nodiscard]] std::size_t tracked_entries() const;
+  [[nodiscard]] const TensorCacheConfig& config() const { return config_; }
+  /// Live state of a tracked tensor (tests).
+  [[nodiscard]] EntryState entry_state(const tensor::TensorId& id) const;
+
+ private:
+  struct Entry {
+    EntryState state = EntryState::kept;
+    tensor::Tensor strong;
+    tensor::WeakTensor weak;
+    sim::CompletionPtr store_done;
+    std::string label;
+    tensor::TensorShape shape;
+    tensor::DType dtype = tensor::DType::fp16;
+    util::Bytes bytes = 0;
+    std::set<const modules::Module*> scopes;
+    bool forwarded = false;
+    bool stored = false;  ///< an offloaded copy exists (or is being written)
+  };
+
+  /// One leaf scope's saves, in forward order — the prefetch unit.
+  struct SequenceSlot {
+    const modules::Module* scope = nullptr;
+    std::vector<tensor::TensorId> ids;
+  };
+
+  struct Record {
+    std::map<tensor::TensorId, Entry> entries;
+    std::vector<SequenceSlot> sequence;  ///< leaf scopes in forward order
+    /// Remaining forward occurrences per scope; backward consumes them in
+    /// reverse to locate its position in the sequence.
+    std::map<const modules::Module*, std::vector<std::size_t>> positions;
+    util::Bytes offloaded_bytes = 0;
+  };
+
+  graph::PackedValue pack(const tensor::Tensor& t);
+  tensor::Tensor unpack(const graph::PackedValue& value);
+
+  void on_forward_pre(modules::Module& m);
+  void on_forward_post(modules::Module& m);
+  void on_backward_pre(modules::Module& m);
+  void on_backward_post(modules::Module& m);
+
+  Record& record();
+  void start_load(const tensor::TensorId& id, Entry& entry);
+  /// Prefetches the slots preceding sequence position \p position.
+  void prefetch_before(std::size_t position);
+  /// Removes \p m from every entry's scope set; releases drained entries.
+  void retire_scope(const modules::Module& m);
+  void release_entry(const tensor::TensorId& id, Entry& entry);
+  [[nodiscard]] bool in_keep_scope() const;
+
+  sim::Simulator& sim_;
+  Offloader& offloader_;
+  TensorCacheConfig config_;
+  graph::SavedTensorHooks hooks_;
+  tensor::IdAssigner ids_;
+  std::set<tensor::TensorId> weight_ids_;
+  std::set<const modules::Module*> layer_set_;
+  std::vector<const modules::Module*> scope_stack_;
+  std::vector<const modules::Module*> layer_scope_stack_;
+  std::set<const modules::Module*> keep_scopes_;
+  std::map<int, Record> records_;
+  int current_mb_ = 0;
+  bool in_backward_ = false;
+  TensorCacheStats stats_;
+};
+
+}  // namespace ssdtrain::core

@@ -1,0 +1,58 @@
+#include "ssdtrain/graph/graph.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::graph {
+
+std::size_t GraphNode::save(const tensor::Tensor& tensor,
+                            const SavedTensorHooks* hooks) {
+  util::expects(tensor.defined(), "saving undefined tensor");
+  if (hooks != nullptr) {
+    util::expects(hooks->valid(), "incomplete hook pair");
+    slots_.push_back(hooks->pack(tensor));
+  } else {
+    slots_.push_back(tensor);
+  }
+  return slots_.size() - 1;
+}
+
+tensor::Tensor GraphNode::unpack(std::size_t slot,
+                                 const SavedTensorHooks* hooks) {
+  util::expects(slot < slots_.size(), "slot out of range");
+  const PackedValue& value = slots_[slot];
+  if (hooks != nullptr) {
+    util::expects(hooks->valid(), "incomplete hook pair");
+    return hooks->unpack(value);
+  }
+  util::expects(std::holds_alternative<tensor::Tensor>(value),
+                "packed id with no unpack hook installed");
+  return std::get<tensor::Tensor>(value);
+}
+
+const PackedValue& GraphNode::slot(std::size_t index) const {
+  util::expects(index < slots_.size(), "slot out of range");
+  return slots_[index];
+}
+
+GraphNode& Graph::make_node(std::string name) {
+  nodes_.push_back(std::make_unique<GraphNode>(std::move(name)));
+  return *nodes_.back();
+}
+
+const SavedTensorHooks& discard_hooks() {
+  static const SavedTensorHooks hooks{
+      [](const tensor::Tensor&) -> PackedValue {
+        return tensor::TensorId{0, 0};  // sentinel; memory freed with scope
+      },
+      [](const PackedValue&) -> tensor::Tensor {
+        util::unreachable("unpack through discard hooks");
+      }};
+  return hooks;
+}
+
+GraphNode& Graph::node(std::size_t index) {
+  util::expects(index < nodes_.size(), "node index out of range");
+  return *nodes_[index];
+}
+
+}  // namespace ssdtrain::graph

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file graph.hpp
+/// Computational-graph skeleton. A Graph accumulates GraphNodes in forward
+/// order; each node owns the packed values for the tensors its backward
+/// needs. Backward walks nodes in reverse creation order (equivalent to
+/// reverse topological order for the sequential module execution the
+/// runtime performs) and drops saved values after a node completes, exactly
+/// as PyTorch frees saved tensors after applying a backward function.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/graph/saved_tensors.hpp"
+
+namespace ssdtrain::graph {
+
+class GraphNode {
+ public:
+  explicit GraphNode(std::string name) : name_(std::move(name)) {}
+
+  /// Registers a tensor needed in backward. Routed through \p hooks.pack
+  /// when provided. Returns the slot index.
+  std::size_t save(const tensor::Tensor& tensor,
+                   const SavedTensorHooks* hooks);
+
+  /// Retrieves a saved tensor in backward, routing packed ids through
+  /// \p hooks.unpack. The strong reference returned keeps the tensor alive
+  /// for the caller; the slot itself keeps its packed value until clear().
+  tensor::Tensor unpack(std::size_t slot, const SavedTensorHooks* hooks);
+
+  /// Drops all saved values (called when the node's backward has executed).
+  void clear() { slots_.clear(); }
+
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Inspects a slot without unpacking (tests / diagnostics).
+  [[nodiscard]] const PackedValue& slot(std::size_t index) const;
+
+ private:
+  std::string name_;
+  std::vector<PackedValue> slots_;
+};
+
+class Graph {
+ public:
+  /// Creates a node; the Graph owns it. Pointers remain valid until
+  /// clear().
+  GraphNode& make_node(std::string name);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] GraphNode& node(std::size_t index);
+
+  /// Releases all nodes (end of step).
+  void clear() { nodes_.clear(); }
+
+ private:
+  std::vector<std::unique_ptr<GraphNode>> nodes_;
+};
+
+}  // namespace ssdtrain::graph

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file saved_tensors.hpp
+/// Saved-tensor pack/unpack hook machinery — the simulated counterpart of
+/// torch.autograd.graph.saved_tensors_hooks. During forward propagation,
+/// every tensor an operator needs for backward is registered on its graph
+/// node *through* the pack hook, which may replace the strong tensor
+/// reference with a lightweight identifier (allowing the device memory to be
+/// reclaimed). During backward, the unpack hook converts the registered
+/// value back into a tensor, loading or waiting as needed. Alg. 1 of the
+/// paper is implemented against exactly this interface (core/tensor_cache).
+
+#include <functional>
+#include <variant>
+
+#include "ssdtrain/tensor/tensor.hpp"
+#include "ssdtrain/tensor/tensor_id.hpp"
+
+namespace ssdtrain::graph {
+
+/// What the pack hook may put on the computational graph: the tensor itself
+/// (weights, CPU tensors, small tensors, kept activations) or its id.
+using PackedValue = std::variant<tensor::Tensor, tensor::TensorId>;
+
+/// Hook pair. Both must be set when installed.
+struct SavedTensorHooks {
+  std::function<PackedValue(const tensor::Tensor&)> pack;
+  std::function<tensor::Tensor(const PackedValue&)> unpack;
+
+  [[nodiscard]] bool valid() const {
+    return static_cast<bool>(pack) && static_cast<bool>(unpack);
+  }
+};
+
+/// Hooks that drop every saved tensor (checkpointed forward segments whose
+/// activations will be rematerialised in backward). Unpacking through them
+/// is a logic error.
+const SavedTensorHooks& discard_hooks();
+
+}  // namespace ssdtrain::graph

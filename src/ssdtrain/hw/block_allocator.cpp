@@ -1,0 +1,85 @@
+#include "ssdtrain/hw/block_allocator.hpp"
+
+#include <algorithm>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::hw {
+
+BlockAllocator::BlockAllocator(util::Bytes capacity, util::Bytes alignment)
+    : capacity_(capacity), alignment_(alignment) {
+  util::expects(capacity > 0, "capacity must be positive");
+  util::expects(alignment > 0, "alignment must be positive");
+  free_by_offset_.emplace(0, capacity);
+}
+
+util::Bytes BlockAllocator::align_up(util::Bytes n) const {
+  return (n + alignment_ - 1) / alignment_ * alignment_;
+}
+
+std::optional<Block> BlockAllocator::allocate(util::Bytes bytes) {
+  util::expects(bytes > 0, "allocation must be positive");
+  const util::Bytes need = align_up(bytes);
+  // First fit in address order: keeps long-lived allocations packed low,
+  // mirroring the behaviour of CUDA's caching allocator well enough for
+  // fragmentation statistics.
+  for (auto it = free_by_offset_.begin(); it != free_by_offset_.end(); ++it) {
+    if (it->second < need) continue;
+    const std::int64_t offset = it->first;
+    const util::Bytes range = it->second;
+    free_by_offset_.erase(it);
+    if (range > need) {
+      free_by_offset_.emplace(offset + need, range - need);
+    }
+    live_.emplace(offset, need);
+    used_ += need;
+    return Block{offset, need};
+  }
+  return std::nullopt;
+}
+
+void BlockAllocator::free(const Block& block) {
+  auto it = live_.find(block.offset);
+  util::expects(it != live_.end(), "free of unknown or already-freed block");
+  util::expects(it->second == block.size, "free with mismatched size");
+  live_.erase(it);
+  used_ -= block.size;
+
+  std::int64_t offset = block.offset;
+  util::Bytes size = block.size;
+
+  // Coalesce with successor.
+  auto next = free_by_offset_.lower_bound(offset);
+  if (next != free_by_offset_.end() && offset + size == next->first) {
+    size += next->second;
+    next = free_by_offset_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (next != free_by_offset_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == offset) {
+      offset = prev->first;
+      size += prev->second;
+      free_by_offset_.erase(prev);
+    }
+  }
+  free_by_offset_.emplace(offset, size);
+}
+
+util::Bytes BlockAllocator::largest_free_range() const {
+  util::Bytes largest = 0;
+  for (const auto& [offset, size] : free_by_offset_) {
+    (void)offset;
+    largest = std::max(largest, size);
+  }
+  return largest;
+}
+
+double BlockAllocator::external_fragmentation() const {
+  const util::Bytes total_free = free_bytes();
+  if (total_free == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_range()) /
+                   static_cast<double>(total_free);
+}
+
+}  // namespace ssdtrain::hw

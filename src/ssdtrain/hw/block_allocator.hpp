@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file block_allocator.hpp
+/// Offset-based first-fit allocator with free-list coalescing. Used both for
+/// the simulated GPU device memory (via DeviceAllocator, which adds tag
+/// accounting) and for the CPU offloader's pinned host-memory pool. Working
+/// at the address level (rather than just counting bytes) lets tests assert
+/// non-overlap and lets us report external fragmentation, which matters when
+/// judging whether an activation working set actually fits.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::hw {
+
+/// Identifies one live allocation. Offsets are stable for the allocation's
+/// lifetime (no compaction, as on a real device).
+struct Block {
+  std::int64_t offset = 0;
+  util::Bytes size = 0;
+};
+
+class BlockAllocator {
+ public:
+  /// \p capacity total bytes; \p alignment every block offset and size is
+  /// rounded up to this (CUDA's allocator uses 512 B).
+  explicit BlockAllocator(util::Bytes capacity, util::Bytes alignment = 512);
+
+  /// Allocates \p bytes (rounded up to alignment). Returns std::nullopt when
+  /// no free range fits (out of memory or too fragmented).
+  std::optional<Block> allocate(util::Bytes bytes);
+
+  /// Frees a block previously returned by allocate(). Coalesces with
+  /// adjacent free ranges. Throws on double-free or unknown block.
+  void free(const Block& block);
+
+  [[nodiscard]] util::Bytes capacity() const { return capacity_; }
+  [[nodiscard]] util::Bytes used() const { return used_; }
+  [[nodiscard]] util::Bytes free_bytes() const { return capacity_ - used_; }
+
+  /// Largest single free range; an allocation larger than this fails even
+  /// though free_bytes() might suffice.
+  [[nodiscard]] util::Bytes largest_free_range() const;
+
+  /// 1 - largest_free_range / free_bytes; 0 when memory is unfragmented.
+  [[nodiscard]] double external_fragmentation() const;
+
+  [[nodiscard]] std::size_t live_blocks() const { return live_.size(); }
+  [[nodiscard]] std::size_t free_ranges() const { return free_by_offset_.size(); }
+
+ private:
+  util::Bytes align_up(util::Bytes n) const;
+
+  util::Bytes capacity_;
+  util::Bytes alignment_;
+  util::Bytes used_ = 0;
+  // offset -> size for free ranges and live blocks.
+  std::map<std::int64_t, util::Bytes> free_by_offset_;
+  std::map<std::int64_t, util::Bytes> live_;
+};
+
+}  // namespace ssdtrain::hw

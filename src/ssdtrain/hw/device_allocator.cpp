@@ -1,0 +1,95 @@
+#include "ssdtrain/hw/device_allocator.hpp"
+
+#include <numeric>
+
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::hw {
+
+std::string_view to_string(MemoryTag tag) {
+  switch (tag) {
+    case MemoryTag::weights:
+      return "weights";
+    case MemoryTag::gradients:
+      return "gradients";
+    case MemoryTag::optimizer_state:
+      return "optimizer_state";
+    case MemoryTag::activation:
+      return "activation";
+    case MemoryTag::workspace:
+      return "workspace";
+    case MemoryTag::other:
+      return "other";
+  }
+  return "?";
+}
+
+DeviceAllocator::DeviceAllocator(util::Bytes capacity) : arena_(capacity) {}
+
+std::size_t DeviceAllocator::tag_index(MemoryTag tag) const {
+  const auto idx = static_cast<std::size_t>(tag);
+  util::check(idx < kMemoryTagCount, "bad memory tag");
+  return idx;
+}
+
+DeviceAllocation DeviceAllocator::allocate(util::Bytes bytes, MemoryTag tag) {
+  auto block = arena_.allocate(bytes);
+  if (!block) {
+    throw OutOfDeviceMemory(
+        "device OOM: requested " + util::format_bytes_binary(
+                                       static_cast<double>(bytes)) +
+        ", live " + util::format_bytes_binary(static_cast<double>(live_total())) +
+        " of " + util::format_bytes_binary(static_cast<double>(capacity())) +
+        " (largest free range " +
+        util::format_bytes_binary(
+            static_cast<double>(arena_.largest_free_range())) +
+        ")");
+  }
+  DeviceAllocation allocation;
+  allocation.id = next_id_++;
+  allocation.bytes = block->size;
+  allocation.tag = tag;
+  blocks_.emplace(allocation.id, *block);
+
+  const std::size_t idx = tag_index(tag);
+  live_[idx] += block->size;
+  peak_[idx] = std::max(peak_[idx], live_[idx]);
+  peak_total_ = std::max(peak_total_, live_total());
+  if (hook_) hook_(block->size, tag);
+  return allocation;
+}
+
+void DeviceAllocator::free(const DeviceAllocation& allocation) {
+  auto it = blocks_.find(allocation.id);
+  util::expects(it != blocks_.end(), "free of unknown device allocation");
+  const std::size_t idx = tag_index(allocation.tag);
+  util::check(live_[idx] >= it->second.size, "tag accounting underflow");
+  live_[idx] -= it->second.size;
+  if (hook_) hook_(-it->second.size, allocation.tag);
+  arena_.free(it->second);
+  blocks_.erase(it);
+}
+
+util::Bytes DeviceAllocator::capacity() const { return arena_.capacity(); }
+
+util::Bytes DeviceAllocator::live_total() const {
+  return std::accumulate(live_.begin(), live_.end(), util::Bytes{0});
+}
+
+util::Bytes DeviceAllocator::live(MemoryTag tag) const {
+  return live_[tag_index(tag)];
+}
+
+util::Bytes DeviceAllocator::peak(MemoryTag tag) const {
+  return peak_[tag_index(tag)];
+}
+
+util::Bytes DeviceAllocator::peak_total() const { return peak_total_; }
+
+void DeviceAllocator::reset_peaks() {
+  peak_ = live_;
+  peak_total_ = live_total();
+}
+
+}  // namespace ssdtrain::hw

@@ -1,0 +1,42 @@
+#include "ssdtrain/hw/gpu.hpp"
+
+#include <algorithm>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::hw {
+
+Gpu::Gpu(GpuSpec spec) : spec_(std::move(spec)) {
+  util::expects(spec_.fp16_peak > 0.0, "GPU needs positive FLOP peak");
+  util::expects(spec_.hbm_bandwidth > 0.0, "GPU needs positive HBM bandwidth");
+  util::expects(spec_.memory_capacity > 0, "GPU needs positive memory");
+  util::expects(spec_.max_efficiency > 0.0 && spec_.max_efficiency <= 1.0,
+                "efficiency must be in (0,1]");
+}
+
+util::FlopsPerSecond Gpu::effective_rate(util::Flops flops) const {
+  util::expects(flops >= 0.0, "negative FLOPs");
+  if (flops == 0.0) return spec_.fp16_peak * spec_.max_efficiency;
+  const double saturation =
+      flops / (flops + spec_.half_efficiency_flops);
+  return spec_.fp16_peak * spec_.max_efficiency * saturation;
+}
+
+util::Seconds Gpu::kernel_time(const KernelDesc& kernel) const {
+  const double bytes = static_cast<double>(kernel.bytes_read) +
+                       static_cast<double>(kernel.bytes_written);
+  const util::Seconds compute_time =
+      kernel.flops > 0.0 ? kernel.flops / effective_rate(kernel.flops) : 0.0;
+  const util::Seconds memory_bound_time =
+      bytes / (spec_.hbm_bandwidth * spec_.hbm_efficiency);
+  return spec_.kernel_launch_latency +
+         std::max(compute_time, memory_bound_time);
+}
+
+util::Seconds Gpu::memory_time(util::Bytes bytes) const {
+  util::expects(bytes >= 0, "negative byte count");
+  return static_cast<double>(bytes) /
+         (spec_.hbm_bandwidth * spec_.hbm_efficiency);
+}
+
+}  // namespace ssdtrain::hw

@@ -1,0 +1,33 @@
+#include "ssdtrain/hw/host_memory.hpp"
+
+#include <algorithm>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::hw {
+
+PinnedMemoryPool::PinnedMemoryPool(util::Bytes pool_size)
+    : arena_(pool_size) {}
+
+std::optional<HostAllocation> PinnedMemoryPool::allocate(util::Bytes bytes) {
+  auto block = arena_.allocate(bytes);
+  if (!block) {
+    ++failed_allocations_;
+    return std::nullopt;
+  }
+  peak_used_ = std::max(peak_used_, arena_.used());
+  return HostAllocation{*block, bytes};
+}
+
+void PinnedMemoryPool::free(const HostAllocation& allocation) {
+  arena_.free(allocation.block);
+}
+
+void PinnedMemoryPool::resize(util::Bytes pool_size) {
+  util::expects(arena_.live_blocks() == 0,
+                "cannot resize pool with live allocations");
+  arena_ = BlockAllocator(pool_size);
+  peak_used_ = 0;
+}
+
+}  // namespace ssdtrain::hw

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file host_memory.hpp
+/// Pinned host-memory pool backing the CPU offloader (paper §III-A: "backed
+/// by an allocator with pre-allocated host-pinned memory. The pool size is
+/// determined by profiling the first training step"). Pinned memory cannot
+/// be swapped, so exhausting the pool is a hard failure the offloader must
+/// handle by falling back to keeping the tensor on the GPU.
+
+#include <optional>
+
+#include "ssdtrain/hw/block_allocator.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::hw {
+
+struct HostAllocation {
+  Block block;
+  util::Bytes bytes = 0;
+};
+
+class PinnedMemoryPool {
+ public:
+  explicit PinnedMemoryPool(util::Bytes pool_size);
+
+  /// Attempts an allocation; std::nullopt when the pool cannot satisfy it.
+  std::optional<HostAllocation> allocate(util::Bytes bytes);
+
+  void free(const HostAllocation& allocation);
+
+  /// Grows/shrinks the pool. Only legal while no allocations are live
+  /// (the planner resizes between profiling and steady-state steps).
+  void resize(util::Bytes pool_size);
+
+  [[nodiscard]] util::Bytes pool_size() const { return arena_.capacity(); }
+  [[nodiscard]] util::Bytes used() const { return arena_.used(); }
+  [[nodiscard]] util::Bytes peak_used() const { return peak_used_; }
+  [[nodiscard]] std::size_t live_allocations() const {
+    return arena_.live_blocks();
+  }
+  /// Allocation requests that could not be satisfied.
+  [[nodiscard]] std::uint64_t failed_allocations() const {
+    return failed_allocations_;
+  }
+
+ private:
+  BlockAllocator arena_;
+  util::Bytes peak_used_ = 0;
+  std::uint64_t failed_allocations_ = 0;
+};
+
+}  // namespace ssdtrain::hw

@@ -1,0 +1,102 @@
+#include "ssdtrain/hw/node.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::hw {
+
+TrainingNode::TrainingNode(NodeConfig config)
+    : config_(std::move(config)),
+      network_(sim_),
+      pinned_pool_(config_.pinned_pool_size) {
+  util::expects(config_.gpu_count > 0, "node needs at least one GPU");
+  util::expects(
+      config_.arrays.empty() ||
+          static_cast<int>(config_.arrays.size()) >= config_.gpu_count,
+      "when arrays are given, provide one per GPU");
+
+  dram_resource_ = network_.add_resource("dram", config_.dram_bandwidth);
+  dram_bounce_resource_ =
+      network_.add_resource("dram:bounce", config_.dram_bandwidth / 2.0);
+  nvlink_resource_ =
+      network_.add_resource("nvlink", config_.nvlink_bandwidth);
+
+  const util::BytesPerSecond link_bw = effective_bandwidth(config_.pcie);
+  gpus_.reserve(static_cast<std::size_t>(config_.gpu_count));
+  for (int i = 0; i < config_.gpu_count; ++i) {
+    GpuContext ctx;
+    ctx.gpu = std::make_unique<Gpu>(config_.gpu);
+    ctx.allocator =
+        std::make_unique<DeviceAllocator>(config_.gpu.memory_capacity);
+    ctx.compute_stream = std::make_unique<sim::Stream>(
+        sim_, "gpu" + std::to_string(i) + ":compute");
+    ctx.pcie_tx =
+        network_.add_resource("gpu" + std::to_string(i) + ":pcie_tx", link_bw);
+    ctx.pcie_rx =
+        network_.add_resource("gpu" + std::to_string(i) + ":pcie_rx", link_bw);
+    gpus_.push_back(std::move(ctx));
+  }
+
+  for (std::size_t a = 0; a < config_.arrays.size(); ++a) {
+    if (config_.arrays[a].empty()) {
+      arrays_.push_back(nullptr);
+      continue;
+    }
+    arrays_.push_back(std::make_unique<Raid0Array>(
+        network_, "array" + std::to_string(a), config_.arrays[a]));
+  }
+}
+
+TrainingNode::~TrainingNode() {
+  network_.drop_flows();
+  sim_.drop_pending();
+}
+
+GpuContext& TrainingNode::gpu(int index) {
+  util::expects(index >= 0 && index < gpu_count(), "GPU index out of range");
+  return gpus_[static_cast<std::size_t>(index)];
+}
+
+bool TrainingNode::has_array(int gpu_index) const {
+  return gpu_index >= 0 &&
+         static_cast<std::size_t>(gpu_index) < arrays_.size() &&
+         arrays_[static_cast<std::size_t>(gpu_index)] != nullptr;
+}
+
+Raid0Array& TrainingNode::array(int gpu_index) {
+  util::expects(has_array(gpu_index), "GPU has no SSD array");
+  return *arrays_[static_cast<std::size_t>(gpu_index)];
+}
+
+std::vector<sim::BandwidthNetwork::ResourceId> TrainingNode::gds_write_path(
+    int gpu_index) {
+  return {gpu(gpu_index).pcie_tx, array(gpu_index).write_resource()};
+}
+
+std::vector<sim::BandwidthNetwork::ResourceId> TrainingNode::gds_read_path(
+    int gpu_index) {
+  return {array(gpu_index).read_resource(), gpu(gpu_index).pcie_rx};
+}
+
+std::vector<sim::BandwidthNetwork::ResourceId> TrainingNode::bounce_write_path(
+    int gpu_index) {
+  return {gpu(gpu_index).pcie_tx, dram_bounce_resource_,
+          array(gpu_index).write_resource()};
+}
+
+std::vector<sim::BandwidthNetwork::ResourceId> TrainingNode::bounce_read_path(
+    int gpu_index) {
+  return {array(gpu_index).read_resource(), dram_bounce_resource_,
+          gpu(gpu_index).pcie_rx};
+}
+
+std::vector<sim::BandwidthNetwork::ResourceId> TrainingNode::d2h_path(
+    int gpu_index) {
+  return {gpu(gpu_index).pcie_tx, dram_resource_};
+}
+
+std::vector<sim::BandwidthNetwork::ResourceId> TrainingNode::h2d_path(
+    int gpu_index) {
+  return {dram_resource_, gpu(gpu_index).pcie_rx};
+}
+
+}  // namespace ssdtrain::hw

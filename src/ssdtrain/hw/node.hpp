@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file node.hpp
+/// TrainingNode assembles one machine: GPUs (compute model + allocator +
+/// streams), per-GPU PCIe links, per-GPU SSD RAID0 arrays, host DRAM, a
+/// pinned-memory pool, and the NVLink fabric for tensor parallelism — the
+/// simulated counterpart of the paper's Table II evaluation system. It owns
+/// the Simulator and the BandwidthNetwork; everything above (offloaders,
+/// tensor cache, training runtime) works against this class.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/hw/device_allocator.hpp"
+#include "ssdtrain/hw/gpu.hpp"
+#include "ssdtrain/hw/host_memory.hpp"
+#include "ssdtrain/hw/pcie.hpp"
+#include "ssdtrain/hw/ssd/raid0.hpp"
+#include "ssdtrain/sim/bandwidth_network.hpp"
+#include "ssdtrain/sim/simulator.hpp"
+#include "ssdtrain/sim/stream.hpp"
+
+namespace ssdtrain::hw {
+
+struct NodeConfig {
+  GpuSpec gpu;
+  int gpu_count = 1;
+  PcieLinkSpec pcie;  ///< one such link per GPU
+  util::Bytes host_memory = util::gib(1024);
+  util::BytesPerSecond dram_bandwidth = util::gbps(300);
+  /// Per-GPU SSD arrays; arrays[i] serves GPU i. May be empty (no offload
+  /// target — the "no offloading" baseline still works).
+  std::vector<std::vector<SsdSpec>> arrays;
+  /// NVLink per-GPU unidirectional bandwidth for TP collectives.
+  util::BytesPerSecond nvlink_bandwidth = util::gbps(300);
+  /// Pinned pool initial size; the planner resizes it after profiling.
+  util::Bytes pinned_pool_size = util::gib(16);
+};
+
+/// Per-GPU bundle: the compute model, its memory, its command stream, and
+/// its PCIe endpoints in the bandwidth network.
+struct GpuContext {
+  std::unique_ptr<Gpu> gpu;
+  std::unique_ptr<DeviceAllocator> allocator;
+  std::unique_ptr<sim::Stream> compute_stream;
+  sim::BandwidthNetwork::ResourceId pcie_tx = 0;  ///< GPU -> root complex
+  sim::BandwidthNetwork::ResourceId pcie_rx = 0;  ///< root complex -> GPU
+};
+
+class TrainingNode {
+ public:
+  explicit TrainingNode(NodeConfig config);
+  /// Drops queued events and in-flight flows before members are destroyed:
+  /// their closures can hold tensor references that free into the GPU
+  /// allocators, which must still be alive at that point.
+  ~TrainingNode();
+  TrainingNode(const TrainingNode&) = delete;
+  TrainingNode& operator=(const TrainingNode&) = delete;
+
+  [[nodiscard]] const NodeConfig& config() const { return config_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::BandwidthNetwork& network() { return network_; }
+
+  [[nodiscard]] int gpu_count() const {
+    return static_cast<int>(gpus_.size());
+  }
+  [[nodiscard]] GpuContext& gpu(int index);
+  [[nodiscard]] bool has_array(int gpu_index) const;
+  [[nodiscard]] Raid0Array& array(int gpu_index);
+  [[nodiscard]] PinnedMemoryPool& pinned_pool() { return pinned_pool_; }
+
+  [[nodiscard]] sim::BandwidthNetwork::ResourceId dram_resource() const {
+    return dram_resource_;
+  }
+  /// Bounce-buffer staging resource: a store that cannot use GDS crosses
+  /// host DRAM twice (device->host, host->SSD); routing it through this
+  /// half-capacity resource charges that double transit.
+  [[nodiscard]] sim::BandwidthNetwork::ResourceId dram_bounce_resource()
+      const {
+    return dram_bounce_resource_;
+  }
+  [[nodiscard]] sim::BandwidthNetwork::ResourceId nvlink_resource() const {
+    return nvlink_resource_;
+  }
+
+  // -- canonical transfer paths ---------------------------------------------
+  /// GPUDirect Storage write: GPU -> PCIe TX -> SSD array (no host memory).
+  [[nodiscard]] std::vector<sim::BandwidthNetwork::ResourceId> gds_write_path(
+      int gpu_index);
+  /// GPUDirect Storage read: SSD array -> PCIe RX -> GPU.
+  [[nodiscard]] std::vector<sim::BandwidthNetwork::ResourceId> gds_read_path(
+      int gpu_index);
+  /// Non-GDS write: GPU -> PCIe TX -> DRAM (bounce) -> SSD array.
+  [[nodiscard]] std::vector<sim::BandwidthNetwork::ResourceId>
+  bounce_write_path(int gpu_index);
+  [[nodiscard]] std::vector<sim::BandwidthNetwork::ResourceId>
+  bounce_read_path(int gpu_index);
+  /// CPU offloader store: GPU -> PCIe TX -> DRAM (single transit).
+  [[nodiscard]] std::vector<sim::BandwidthNetwork::ResourceId> d2h_path(
+      int gpu_index);
+  [[nodiscard]] std::vector<sim::BandwidthNetwork::ResourceId> h2d_path(
+      int gpu_index);
+
+ private:
+  NodeConfig config_;
+  sim::Simulator sim_;
+  sim::BandwidthNetwork network_;
+  std::vector<GpuContext> gpus_;
+  std::vector<std::unique_ptr<Raid0Array>> arrays_;
+  PinnedMemoryPool pinned_pool_;
+  sim::BandwidthNetwork::ResourceId dram_resource_ = 0;
+  sim::BandwidthNetwork::ResourceId dram_bounce_resource_ = 0;
+  sim::BandwidthNetwork::ResourceId nvlink_resource_ = 0;
+};
+
+}  // namespace ssdtrain::hw

@@ -1,0 +1,30 @@
+#include "ssdtrain/hw/pcie.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::hw {
+
+util::BytesPerSecond per_lane_rate(PcieGeneration generation) {
+  // After 128b/130b encoding (8b/10b for gen3's 8 GT/s predecessor lineage
+  // is already folded into these conventional figures).
+  switch (generation) {
+    case PcieGeneration::gen3:
+      return util::gbps(0.985);
+    case PcieGeneration::gen4:
+      return util::gbps(1.969);
+    case PcieGeneration::gen5:
+      return util::gbps(3.938);
+  }
+  return util::gbps(1.969);
+}
+
+util::BytesPerSecond effective_bandwidth(const PcieLinkSpec& link) {
+  util::expects(link.lanes > 0, "link needs lanes");
+  util::expects(link.protocol_efficiency > 0.0 &&
+                    link.protocol_efficiency <= 1.0,
+                "efficiency must be in (0,1]");
+  return per_lane_rate(link.generation) * link.lanes *
+         link.protocol_efficiency;
+}
+
+}  // namespace ssdtrain::hw

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file pcie.hpp
+/// PCIe link parameters. Each GPU hangs off the root complex via its own
+/// x16 link, modelled as two independent resources (PCIe is full duplex):
+/// the TX direction carries activation stores (GPU -> SSD via GDS), the RX
+/// direction carries prefetch loads (SSD -> GPU).
+
+#include <cstdint>
+
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::hw {
+
+enum class PcieGeneration : std::uint8_t { gen3, gen4, gen5 };
+
+struct PcieLinkSpec {
+  PcieGeneration generation = PcieGeneration::gen4;
+  int lanes = 16;
+  /// Fraction of raw line rate left after encoding/TLP overheads; ~0.85 is
+  /// typical of measured large-transfer throughput.
+  double protocol_efficiency = 0.85;
+};
+
+/// Raw per-lane data rate after line coding (GB/s).
+util::BytesPerSecond per_lane_rate(PcieGeneration generation);
+
+/// Usable one-direction bandwidth of the link.
+util::BytesPerSecond effective_bandwidth(const PcieLinkSpec& link);
+
+}  // namespace ssdtrain::hw

@@ -1,0 +1,53 @@
+#include "ssdtrain/hw/ssd/endurance.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::hw {
+
+EnduranceRating EnduranceRating::from_tbw(util::Bytes capacity,
+                                          util::Bytes tbw,
+                                          double warranty_years) {
+  util::expects(capacity > 0 && tbw > 0, "positive capacity and TBW required");
+  EnduranceRating rating;
+  rating.capacity = capacity;
+  rating.warranty_years = warranty_years;
+  rating.dwpd = static_cast<double>(tbw) /
+                (static_cast<double>(capacity) * 365.25 * warranty_years);
+  return rating;
+}
+
+double EnduranceRating::rated_host_writes() const {
+  return dwpd * static_cast<double>(capacity) * 365.25 * warranty_years;
+}
+
+WorkloadAssumptions WorkloadAssumptions::ssdtrain_default() {
+  WorkloadAssumptions w;
+  w.workload_waf = 1.0;
+  w.retention_multiplier = 86.0;
+  return w;
+}
+
+double lifetime_host_writes(const EnduranceRating& rating,
+                            const WorkloadAssumptions& workload) {
+  util::expects(workload.workload_waf >= 1.0, "WAF below 1 is unphysical");
+  util::expects(workload.retention_multiplier >= 1.0,
+                "retention relaxation cannot reduce endurance");
+  // The rating's media-write budget is rated host writes times the rating's
+  // WAF; retention relaxation scales the PE budget; our workload spends
+  // media writes at its own WAF.
+  const double media_budget = rating.rated_host_writes() * rating.jesd_waf *
+                              workload.retention_multiplier;
+  return media_budget / workload.workload_waf;
+}
+
+util::Seconds lifespan_seconds(double lifetime_host_write_bytes,
+                               util::Seconds step_time,
+                               util::Bytes activation_bytes_per_step) {
+  util::expects(step_time > 0.0, "step time must be positive");
+  util::expects(activation_bytes_per_step > 0,
+                "activation volume must be positive");
+  return lifetime_host_write_bytes /
+         static_cast<double>(activation_bytes_per_step) * step_time;
+}
+
+}  // namespace ssdtrain::hw

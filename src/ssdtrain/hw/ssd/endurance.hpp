@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file endurance.hpp
+/// Closed-form SSD endurance and lifespan model (paper §II-C and §III-D).
+/// Converts a JESD-rated endurance figure (DWPD over a warranty period, or
+/// a TBW figure) into the host-write budget available to the activation
+/// offloading workload, accounting for:
+///   * the JESD rating's preconditioned-random WAF (~2.5) versus the
+///     measured sequential WAF (~1) of tensor offloading, and
+///   * retention relaxation: activations live for one training step, not
+///     years; NAND retains ~86x the PE cycles when the retention requirement
+///     drops from 3 years to 1 day (paper refs [55]-[58]).
+/// Fig. 5's lifespan bars come from lifespan_seconds().
+
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::hw {
+
+struct EnduranceRating {
+  util::Bytes capacity = 0;
+  double dwpd = 0.0;            ///< drive writes per day over the warranty
+  double warranty_years = 5.0;
+  double jesd_waf = 2.5;        ///< WAF implied by the JESD 218 test method
+
+  /// Builds a rating from a total-bytes-written figure (consumer drives,
+  /// e.g. Samsung 980 PRO 1TB = 600 TBW over 5 years).
+  static EnduranceRating from_tbw(util::Bytes capacity, util::Bytes tbw,
+                                  double warranty_years = 5.0);
+
+  /// Total host bytes the JESD rating permits (dwpd * capacity * days).
+  [[nodiscard]] double rated_host_writes() const;
+};
+
+struct WorkloadAssumptions {
+  double workload_waf = 1.0;          ///< measured on large sequential writes
+  double retention_multiplier = 1.0;  ///< PE-cycle gain from relaxed retention
+
+  /// The paper's deployment model: sequential WAF 1 and 86x PE cycles for a
+  /// 1-day retention requirement.
+  static WorkloadAssumptions ssdtrain_default();
+};
+
+/// Host bytes writable over the device's life under \p workload.
+double lifetime_host_writes(const EnduranceRating& rating,
+                            const WorkloadAssumptions& workload);
+
+/// Projected lifespan t_life = S_endurance * t_step / S_activations
+/// (paper §III-D), for one device or an aggregate budget.
+util::Seconds lifespan_seconds(double lifetime_host_write_bytes,
+                               util::Seconds step_time,
+                               util::Bytes activation_bytes_per_step);
+
+}  // namespace ssdtrain::hw

@@ -1,0 +1,220 @@
+#include "ssdtrain/hw/ssd/ftl.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::hw {
+
+Ftl::Ftl(NandGeometry geometry) : geometry_(geometry) {
+  util::expects(geometry_.physical_blocks > kGcFreeBlockThreshold + 1,
+                "too few blocks");
+  util::expects(geometry_.pages_per_block > 0, "bad pages_per_block");
+  blocks_.resize(static_cast<std::size_t>(geometry_.physical_blocks));
+  for (auto& block : blocks_) {
+    block.page_owner.assign(
+        static_cast<std::size_t>(geometry_.pages_per_block), -1);
+  }
+  free_blocks_.resize(blocks_.size());
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    free_blocks_[i] = static_cast<int>(i);
+  }
+  map_.assign(static_cast<std::size_t>(geometry_.logical_pages()),
+              PhysicalAddress{});
+}
+
+std::int64_t Ftl::logical_pages() const {
+  return static_cast<std::int64_t>(map_.size());
+}
+
+bool Ftl::is_mapped(Lpa lpa) const {
+  util::expects(lpa >= 0 && lpa < logical_pages(), "LPA out of range");
+  return map_[static_cast<std::size_t>(lpa)].block >= 0;
+}
+
+void Ftl::write_page(Lpa lpa) {
+  util::expects(lpa >= 0 && lpa < logical_pages(), "LPA out of range");
+  auto& slot = map_[static_cast<std::size_t>(lpa)];
+  if (slot.block >= 0) {
+    // Overwrite: invalidate the previous physical copy.
+    auto& old_block = blocks_[static_cast<std::size_t>(slot.block)];
+    old_block.page_owner[static_cast<std::size_t>(slot.page)] = -1;
+    --old_block.valid_count;
+  }
+  ++host_pages_written_;
+  slot = append_page(lpa);
+}
+
+void Ftl::write_extent(Lpa first, std::int64_t count) {
+  util::expects(count >= 0, "negative extent");
+  for (std::int64_t i = 0; i < count; ++i) write_page(first + i);
+}
+
+void Ftl::trim_page(Lpa lpa) {
+  util::expects(lpa >= 0 && lpa < logical_pages(), "LPA out of range");
+  auto& slot = map_[static_cast<std::size_t>(lpa)];
+  if (slot.block < 0) return;  // already unmapped
+  auto& block = blocks_[static_cast<std::size_t>(slot.block)];
+  block.page_owner[static_cast<std::size_t>(slot.page)] = -1;
+  --block.valid_count;
+  slot = PhysicalAddress{};
+}
+
+void Ftl::trim_extent(Lpa first, std::int64_t count) {
+  util::expects(count >= 0, "negative extent");
+  for (std::int64_t i = 0; i < count; ++i) trim_page(first + i);
+}
+
+Ftl::PhysicalAddress Ftl::append_page(Lpa lpa) {
+  if (open_block_ < 0 ||
+      blocks_[static_cast<std::size_t>(open_block_)].write_pointer >=
+          geometry_.pages_per_block) {
+    if (open_block_ >= 0) {
+      blocks_[static_cast<std::size_t>(open_block_)].state =
+          BlockState::closed;
+    }
+    ensure_free_block();
+    open_block_ = take_free_block();
+    auto& fresh = blocks_[static_cast<std::size_t>(open_block_)];
+    fresh.state = BlockState::open;
+    fresh.write_pointer = 0;
+  }
+  auto& block = blocks_[static_cast<std::size_t>(open_block_)];
+  const int page = block.write_pointer++;
+  block.page_owner[static_cast<std::size_t>(page)] = lpa;
+  ++block.valid_count;
+  ++media_pages_written_;
+  return PhysicalAddress{open_block_, page};
+}
+
+Ftl::PhysicalAddress Ftl::gc_append_page(Lpa lpa) {
+  if (gc_block_ < 0 ||
+      blocks_[static_cast<std::size_t>(gc_block_)].write_pointer >=
+          geometry_.pages_per_block) {
+    if (gc_block_ >= 0) {
+      blocks_[static_cast<std::size_t>(gc_block_)].state = BlockState::closed;
+    }
+    // GC erases its victim before relocating, so a free block always
+    // exists here (the victim itself in the worst case).
+    gc_block_ = take_free_block();
+    auto& fresh = blocks_[static_cast<std::size_t>(gc_block_)];
+    fresh.state = BlockState::open;
+    fresh.write_pointer = 0;
+  }
+  auto& block = blocks_[static_cast<std::size_t>(gc_block_)];
+  const int page = block.write_pointer++;
+  block.page_owner[static_cast<std::size_t>(page)] = lpa;
+  ++block.valid_count;
+  ++media_pages_written_;
+  return PhysicalAddress{gc_block_, page};
+}
+
+void Ftl::ensure_free_block() {
+  while (static_cast<int>(free_blocks_.size()) <= kGcFreeBlockThreshold) {
+    const int victim = pick_victim();
+    if (victim < 0) {
+      throw std::runtime_error(
+          "FTL: device worn out (no GC victim available)");
+    }
+    ++gc_runs_;
+    auto& vb = blocks_[static_cast<std::size_t>(victim)];
+    // Relocate still-valid pages. This is where write amplification comes
+    // from: each relocated page is a media write with no host write.
+    std::vector<Lpa> survivors;
+    survivors.reserve(static_cast<std::size_t>(vb.valid_count));
+    for (int p = 0; p < geometry_.pages_per_block; ++p) {
+      const Lpa owner = vb.page_owner[static_cast<std::size_t>(p)];
+      if (owner >= 0) survivors.push_back(owner);
+    }
+    erase_block(victim);
+    for (Lpa lpa : survivors) {
+      map_[static_cast<std::size_t>(lpa)] = gc_append_page(lpa);
+    }
+  }
+}
+
+int Ftl::pick_victim() const {
+  int best = -1;
+  int best_invalid = -1;
+  int best_erases = 0;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const auto& block = blocks_[i];
+    if (block.state != BlockState::closed) continue;
+    if (static_cast<int>(i) == open_block_) continue;
+    const int invalid = geometry_.pages_per_block - block.valid_count;
+    if (invalid == 0) continue;  // nothing to gain
+    if (invalid > best_invalid ||
+        (invalid == best_invalid && block.erase_count < best_erases)) {
+      best = static_cast<int>(i);
+      best_invalid = invalid;
+      best_erases = block.erase_count;
+    }
+  }
+  return best;
+}
+
+void Ftl::erase_block(int block_index) {
+  auto& block = blocks_[static_cast<std::size_t>(block_index)];
+  ++block.erase_count;
+  ++blocks_erased_;
+  std::fill(block.page_owner.begin(), block.page_owner.end(), -1);
+  block.valid_count = 0;
+  block.write_pointer = 0;
+  if (block.erase_count >= geometry_.pe_cycle_limit) {
+    block.state = BlockState::retired;
+    ++retired_blocks_;
+    return;
+  }
+  block.state = BlockState::free;
+  free_blocks_.push_back(block_index);
+}
+
+int Ftl::take_free_block() {
+  util::check(!free_blocks_.empty(), "no free block");
+  // Wear levelling: open the least-worn free block.
+  auto it = std::min_element(
+      free_blocks_.begin(), free_blocks_.end(), [this](int a, int b) {
+        return blocks_[static_cast<std::size_t>(a)].erase_count <
+               blocks_[static_cast<std::size_t>(b)].erase_count;
+      });
+  const int chosen = *it;
+  *it = free_blocks_.back();
+  free_blocks_.pop_back();
+  return chosen;
+}
+
+double Ftl::write_amplification() const {
+  if (host_pages_written_ == 0) return 1.0;
+  return static_cast<double>(media_pages_written_) /
+         static_cast<double>(host_pages_written_);
+}
+
+double Ftl::mean_erase_count() const {
+  double sum = 0.0;
+  for (const auto& block : blocks_) sum += block.erase_count;
+  return sum / static_cast<double>(blocks_.size());
+}
+
+int Ftl::max_erase_count() const {
+  int best = 0;
+  for (const auto& block : blocks_) best = std::max(best, block.erase_count);
+  return best;
+}
+
+int Ftl::min_erase_count() const {
+  int best = blocks_.empty() ? 0 : blocks_.front().erase_count;
+  for (const auto& block : blocks_) best = std::min(best, block.erase_count);
+  return best;
+}
+
+double Ftl::wear_fraction() const {
+  const double budget = static_cast<double>(geometry_.pe_cycle_limit) *
+                        static_cast<double>(blocks_.size());
+  if (budget <= 0.0) return 1.0;
+  double consumed = 0.0;
+  for (const auto& block : blocks_) consumed += block.erase_count;
+  return consumed / budget;
+}
+
+}  // namespace ssdtrain::hw

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file ftl.hpp
+/// Page-mapped flash translation layer with greedy garbage collection and
+/// wear levelling. The FTL is what turns host writes into media writes; the
+/// ratio (write amplification factor, WAF) governs both sustained bandwidth
+/// and endurance. The paper argues activation offloading is
+/// endurance-friendly because tensors are written as large sequential
+/// streams and freed wholesale (WAF ≈ 1); this simulator lets tests verify
+/// that claim instead of assuming it, and lets us demonstrate the contrast
+/// with the JESD-style random preconditioned workload (WAF ≫ 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "ssdtrain/hw/ssd/nand.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::hw {
+
+/// Logical page address.
+using Lpa = std::int64_t;
+
+class Ftl {
+ public:
+  explicit Ftl(NandGeometry geometry);
+
+  /// Programs one logical page (overwrite invalidates the old copy). May
+  /// trigger garbage collection. Throws if the device has worn out (no
+  /// usable blocks remain).
+  void write_page(Lpa lpa);
+
+  /// Writes a run of consecutive logical pages (the activation-offload
+  /// pattern: each tensor is one large sequential extent).
+  void write_extent(Lpa first, std::int64_t count);
+
+  /// Invalidates a logical page without writing (TRIM). The tensor cache
+  /// trims a tensor's extent after backward propagation consumes it.
+  void trim_page(Lpa lpa);
+  void trim_extent(Lpa first, std::int64_t count);
+
+  [[nodiscard]] bool is_mapped(Lpa lpa) const;
+  [[nodiscard]] std::int64_t logical_pages() const;
+
+  // -- statistics ------------------------------------------------------------
+  [[nodiscard]] std::int64_t host_pages_written() const {
+    return host_pages_written_;
+  }
+  [[nodiscard]] std::int64_t media_pages_written() const {
+    return media_pages_written_;
+  }
+  /// media / host write ratio; 1.0 until GC has to relocate live pages.
+  [[nodiscard]] double write_amplification() const;
+  [[nodiscard]] std::int64_t gc_runs() const { return gc_runs_; }
+  [[nodiscard]] std::int64_t blocks_erased() const { return blocks_erased_; }
+  [[nodiscard]] std::int64_t retired_blocks() const { return retired_blocks_; }
+
+  [[nodiscard]] double mean_erase_count() const;
+  [[nodiscard]] int max_erase_count() const;
+  [[nodiscard]] int min_erase_count() const;
+
+  /// Fraction of total PE budget consumed (1.0 = worn out).
+  [[nodiscard]] double wear_fraction() const;
+
+  [[nodiscard]] const NandGeometry& geometry() const { return geometry_; }
+
+ private:
+  enum class BlockState : std::uint8_t { free, open, closed, retired };
+
+  struct BlockInfo {
+    BlockState state = BlockState::free;
+    int erase_count = 0;
+    int write_pointer = 0;  ///< next page slot in an open block
+    int valid_count = 0;
+    std::vector<Lpa> page_owner;  ///< lpa per page slot, -1 if invalid
+  };
+
+  struct PhysicalAddress {
+    int block = -1;
+    int page = -1;
+  };
+
+  /// Appends one page to the host open block (opening a fresh one as
+  /// needed) and returns where it landed. Media-write accounting happens
+  /// here.
+  PhysicalAddress append_page(Lpa lpa);
+
+  /// Appends a GC-relocated page. GC uses a dedicated open block so
+  /// relocation never re-enters GC through the host append path.
+  PhysicalAddress gc_append_page(Lpa lpa);
+
+  /// Ensures a free block is available, running GC as required.
+  void ensure_free_block();
+
+  /// Picks the GC victim: most invalid pages, ties broken by lowest erase
+  /// count (wear levelling).
+  int pick_victim() const;
+
+  void erase_block(int block_index);
+  int take_free_block();  ///< lowest-erase-count free block (wear levelling)
+
+  NandGeometry geometry_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<PhysicalAddress> map_;  ///< lpa -> physical, block == -1 if unmapped
+  std::vector<int> free_blocks_;
+  int open_block_ = -1;
+  int gc_block_ = -1;
+  std::int64_t host_pages_written_ = 0;
+  std::int64_t media_pages_written_ = 0;
+  std::int64_t gc_runs_ = 0;
+  std::int64_t blocks_erased_ = 0;
+  std::int64_t retired_blocks_ = 0;
+  // GC must keep at least this many blocks free for relocation headroom.
+  static constexpr int kGcFreeBlockThreshold = 2;
+};
+
+}  // namespace ssdtrain::hw

@@ -1,0 +1,138 @@
+#include "ssdtrain/hw/ssd/raid0.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::hw {
+
+Raid0Array::Raid0Array(sim::BandwidthNetwork& network, std::string name,
+                       std::vector<SsdSpec> member_specs, util::Bytes chunk)
+    : network_(network), name_(std::move(name)), chunk_(chunk) {
+  util::expects(!member_specs.empty(), "RAID0 needs at least one member");
+  util::expects(chunk > 0, "chunk must be positive");
+  members_.reserve(member_specs.size());
+  util::BytesPerSecond write_bw = 0.0;
+  util::BytesPerSecond read_bw = 0.0;
+  for (std::size_t i = 0; i < member_specs.size(); ++i) {
+    auto spec = member_specs[i];
+    spec.name = name_ + "/" + spec.name + "#" + std::to_string(i);
+    write_bw += spec.seq_write_bandwidth;
+    read_bw += spec.seq_read_bandwidth;
+    members_.push_back(std::make_unique<SsdDevice>(network, spec));
+  }
+  write_resource_ = network.add_resource(name_ + ":write", write_bw);
+  read_resource_ = network.add_resource(name_ + ":read", read_bw);
+}
+
+const SsdDevice& Raid0Array::member(std::size_t i) const {
+  util::expects(i < members_.size(), "member index out of range");
+  return *members_[i];
+}
+
+util::BytesPerSecond Raid0Array::nominal_write_bandwidth() const {
+  util::BytesPerSecond bw = 0.0;
+  for (const auto& m : members_) bw += m->spec().seq_write_bandwidth;
+  return bw;
+}
+
+util::BytesPerSecond Raid0Array::nominal_read_bandwidth() const {
+  util::BytesPerSecond bw = 0.0;
+  for (const auto& m : members_) bw += m->spec().seq_read_bandwidth;
+  return bw;
+}
+
+ArrayExtent Raid0Array::allocate_extent(util::Bytes bytes) {
+  util::expects(bytes > 0, "extent must be positive");
+  ArrayExtent extent;
+  extent.bytes = bytes;
+  const auto n = static_cast<util::Bytes>(members_.size());
+  // Full stripes distribute evenly; the remainder still consumes one chunk
+  // per touched member (RAID0 rounds to the stripe unit).
+  const util::Bytes per_member_raw = (bytes + n - 1) / n;
+  const util::Bytes per_member =
+      (per_member_raw + chunk_ - 1) / chunk_ * chunk_;
+  extent.member_extents.reserve(members_.size());
+  for (auto& m : members_) {
+    extent.member_extents.push_back(m->allocate_extent(per_member));
+  }
+  return extent;
+}
+
+void Raid0Array::record_write(const ArrayExtent& extent) {
+  util::expects(extent.member_extents.size() == members_.size(),
+                "extent does not belong to this array");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    members_[i]->record_write(extent.member_extents[i]);
+  }
+  refresh_aggregate_capacity();
+}
+
+void Raid0Array::record_read(const ArrayExtent& extent) {
+  util::expects(extent.member_extents.size() == members_.size(),
+                "extent does not belong to this array");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    members_[i]->record_read(extent.member_extents[i]);
+  }
+}
+
+void Raid0Array::release_extent(const ArrayExtent& extent) {
+  util::expects(extent.member_extents.size() == members_.size(),
+                "extent does not belong to this array");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    members_[i]->release_extent(extent.member_extents[i]);
+  }
+}
+
+util::Bytes Raid0Array::capacity() const {
+  util::Bytes total = 0;
+  for (const auto& m : members_) total += m->logical_capacity();
+  return total;
+}
+
+util::Bytes Raid0Array::live_bytes() const {
+  util::Bytes total = 0;
+  for (const auto& m : members_) total += m->live_bytes();
+  return total;
+}
+
+util::Bytes Raid0Array::host_bytes_written() const {
+  util::Bytes total = 0;
+  for (const auto& m : members_) total += m->host_bytes_written();
+  return total;
+}
+
+util::Bytes Raid0Array::host_bytes_read() const {
+  util::Bytes total = 0;
+  for (const auto& m : members_) total += m->host_bytes_read();
+  return total;
+}
+
+double Raid0Array::write_amplification() const {
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (const auto& m : members_) {
+    const auto written = static_cast<double>(m->host_bytes_written());
+    weighted += m->write_amplification() * written;
+    weight += written;
+  }
+  return weight > 0.0 ? weighted / weight : 1.0;
+}
+
+double Raid0Array::endurance_consumed() const {
+  double worst = 0.0;
+  for (const auto& m : members_) {
+    worst = std::max(worst, m->endurance_consumed());
+  }
+  return worst;
+}
+
+void Raid0Array::refresh_aggregate_capacity() {
+  // The aggregate channel sustains the sum of what each member sustains
+  // under its current WAF.
+  util::BytesPerSecond bw = 0.0;
+  for (const auto& m : members_) {
+    bw += m->spec().seq_write_bandwidth / m->write_amplification();
+  }
+  network_.set_capacity(write_resource_, bw);
+}
+
+}  // namespace ssdtrain::hw

@@ -1,0 +1,83 @@
+#include "ssdtrain/hw/ssd/ssd_device.hpp"
+
+#include <stdexcept>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::hw {
+
+SsdDevice::SsdDevice(sim::BandwidthNetwork& network, SsdSpec spec)
+    : network_(network),
+      spec_(std::move(spec)),
+      ftl_(std::make_unique<Ftl>(make_geometry(
+          spec_.capacity, spec_.cell_type, spec_.over_provisioning,
+          spec_.sim_page_size, spec_.pages_per_block))),
+      space_(ftl_->logical_pages() * spec_.sim_page_size, spec_.sim_page_size),
+      write_resource_(network.add_resource(spec_.name + ":write",
+                                           spec_.seq_write_bandwidth)),
+      read_resource_(network.add_resource(spec_.name + ":read",
+                                          spec_.seq_read_bandwidth)) {
+  util::expects(spec_.capacity > 0, "SSD capacity must be positive");
+  util::expects(spec_.seq_write_bandwidth > 0.0, "write bandwidth required");
+  util::expects(spec_.seq_read_bandwidth > 0.0, "read bandwidth required");
+}
+
+SsdExtent SsdDevice::allocate_extent(util::Bytes bytes) {
+  util::expects(bytes > 0, "extent must be positive");
+  auto block = space_.allocate(bytes);
+  if (!block) {
+    throw std::runtime_error("SSD " + spec_.name + " full: requested " +
+                             util::format_bytes(static_cast<double>(bytes)) +
+                             ", live " +
+                             util::format_bytes(
+                                 static_cast<double>(space_.used())));
+  }
+  SsdExtent extent;
+  extent.raw_offset = block->offset;
+  extent.raw_size = block->size;
+  extent.first_page = block->offset / spec_.sim_page_size;
+  extent.page_count = block->size / spec_.sim_page_size;
+  extent.bytes = bytes;
+  return extent;
+}
+
+void SsdDevice::record_write(const SsdExtent& extent) {
+  ftl_->write_extent(extent.first_page, extent.page_count);
+  host_bytes_written_ += extent.bytes;
+  refresh_write_capacity();
+}
+
+void SsdDevice::record_read(const SsdExtent& extent) {
+  host_bytes_read_ += extent.bytes;
+}
+
+void SsdDevice::release_extent(const SsdExtent& extent) {
+  ftl_->trim_extent(extent.first_page, extent.page_count);
+  space_.free(Block{extent.raw_offset, extent.raw_size});
+}
+
+void SsdDevice::refresh_write_capacity() {
+  // GC relocation traffic competes with host writes for the media channel;
+  // the sustainable host rate is the media rate divided by WAF.
+  const double waf = ftl_->write_amplification();
+  util::check(waf >= 1.0, "WAF below 1");
+  network_.set_capacity(write_resource_, spec_.seq_write_bandwidth / waf);
+}
+
+double SsdDevice::rated_lifetime_host_writes() const {
+  // JESD rating assumes preconditioned random writes (WAF ~2.5); our
+  // sequential workload's media-write budget goes further by the WAF ratio.
+  constexpr double kJesdWaf = 2.5;
+  const double media_budget = spec_.dwpd *
+                              static_cast<double>(spec_.capacity) * 365.25 *
+                              spec_.warranty_years * kJesdWaf;
+  return media_budget / ftl_->write_amplification();
+}
+
+double SsdDevice::endurance_consumed() const {
+  const double budget = rated_lifetime_host_writes();
+  if (budget <= 0.0) return 1.0;
+  return static_cast<double>(host_bytes_written_) / budget;
+}
+
+}  // namespace ssdtrain::hw

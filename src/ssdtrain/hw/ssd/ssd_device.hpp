@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file ssd_device.hpp
+/// One NVMe SSD: an FTL for space/wear accounting plus bandwidth resources
+/// in the fluid-flow network for timing. Tensor extents are allocated
+/// log-style through a block allocator over the logical address space and
+/// trimmed when the tensor cache releases them after backward propagation.
+///
+/// Timing and accounting are deliberately split: transfer *durations* come
+/// from the bandwidth network (write flows are capped by the device's
+/// sustained sequential rate divided by the current measured WAF), while
+/// *wear* is applied to the FTL when a flow completes. For the large
+/// sequential extents the offloader produces, the FTL measures WAF ≈ 1, so
+/// the cap stays at the spec sheet's sustained rate — which is precisely the
+/// paper's §II-C argument.
+
+#include <memory>
+#include <string>
+
+#include "ssdtrain/hw/block_allocator.hpp"
+#include "ssdtrain/hw/ssd/ftl.hpp"
+#include "ssdtrain/hw/ssd/nand.hpp"
+#include "ssdtrain/sim/bandwidth_network.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::hw {
+
+struct SsdSpec {
+  std::string name;
+  util::Bytes capacity = 0;
+  util::BytesPerSecond seq_write_bandwidth = 0.0;
+  util::BytesPerSecond seq_read_bandwidth = 0.0;
+  /// Endurance rating, JESD-style: drive-writes-per-day over the warranty.
+  double dwpd = 1.0;
+  double warranty_years = 5.0;
+  CellType cell_type = CellType::tlc;
+  double over_provisioning = 0.07;
+  /// FTL simulation granularity. Real NAND pages are ~16 KiB; simulating a
+  /// 1.6 TB drive at that granularity costs ~100 M map entries, so the
+  /// training-run presets use coarser pages. WAF for multi-MB sequential
+  /// extents is insensitive to this (verified in tests).
+  util::Bytes sim_page_size = util::mib(1);
+  int pages_per_block = 16;
+};
+
+/// A contiguous logical extent holding one offloaded tensor.
+struct SsdExtent {
+  Lpa first_page = 0;
+  std::int64_t page_count = 0;
+  util::Bytes bytes = 0;      ///< payload size
+  std::int64_t raw_offset = 0;  ///< allocator bookkeeping
+  util::Bytes raw_size = 0;
+};
+
+class SsdDevice {
+ public:
+  SsdDevice(sim::BandwidthNetwork& network, SsdSpec spec);
+
+  [[nodiscard]] const SsdSpec& spec() const { return spec_; }
+
+  /// Bandwidth-network resource ids for routing flows through this device.
+  [[nodiscard]] sim::BandwidthNetwork::ResourceId write_resource() const {
+    return write_resource_;
+  }
+  [[nodiscard]] sim::BandwidthNetwork::ResourceId read_resource() const {
+    return read_resource_;
+  }
+
+  /// Reserves logical space for \p bytes. Throws std::runtime_error when the
+  /// device is full.
+  SsdExtent allocate_extent(util::Bytes bytes);
+
+  /// Applies the FTL page programs for a completed write flow and refreshes
+  /// the write-channel capacity from the measured WAF.
+  void record_write(const SsdExtent& extent);
+
+  /// Read accounting (reads do not wear NAND; tracked for statistics).
+  void record_read(const SsdExtent& extent);
+
+  /// TRIMs and frees the extent.
+  void release_extent(const SsdExtent& extent);
+
+  // -- statistics ------------------------------------------------------------
+  [[nodiscard]] double write_amplification() const {
+    return ftl_->write_amplification();
+  }
+  [[nodiscard]] util::Bytes host_bytes_written() const {
+    return host_bytes_written_;
+  }
+  [[nodiscard]] util::Bytes host_bytes_read() const {
+    return host_bytes_read_;
+  }
+  [[nodiscard]] util::Bytes live_bytes() const { return space_.used(); }
+  [[nodiscard]] util::Bytes logical_capacity() const {
+    return space_.capacity();
+  }
+  [[nodiscard]] const Ftl& ftl() const { return *ftl_; }
+
+  /// Rated lifetime host writes under the activation-offload workload:
+  /// JESD rating converted with the measured WAF (see endurance.hpp for the
+  /// closed-form used by the Fig. 5 projections).
+  [[nodiscard]] double rated_lifetime_host_writes() const;
+
+  /// Fraction of rated endurance consumed so far.
+  [[nodiscard]] double endurance_consumed() const;
+
+ private:
+  void refresh_write_capacity();
+
+  sim::BandwidthNetwork& network_;
+  SsdSpec spec_;
+  std::unique_ptr<Ftl> ftl_;
+  BlockAllocator space_;
+  sim::BandwidthNetwork::ResourceId write_resource_;
+  sim::BandwidthNetwork::ResourceId read_resource_;
+  util::Bytes host_bytes_written_ = 0;
+  util::Bytes host_bytes_read_ = 0;
+};
+
+}  // namespace ssdtrain::hw

@@ -1,0 +1,380 @@
+#include "ssdtrain/modules/attention.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::modules {
+
+namespace {
+
+using tensor::DType;
+using tensor::Tensor;
+using tensor::TensorShape;
+
+std::int64_t shard(std::int64_t n, int tp) {
+  util::expects(n % tp == 0, "dimension not divisible by TP degree");
+  return n / tp;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FlashAttentionCore
+// ---------------------------------------------------------------------------
+
+FlashAttentionCore::FlashAttentionCore(std::string name, std::int64_t hidden,
+                                       std::int64_t heads, bool causal)
+    : Module(std::move(name)),
+      hidden_(hidden),
+      heads_(heads),
+      causal_(causal) {}
+
+tensor::Tensor FlashAttentionCore::forward_impl(ExecutionContext& ctx,
+                                                const tensor::Tensor& qkv) {
+  const int tp = ctx.parallel().tensor_parallel;
+  const std::int64_t s = qkv.shape().dim(0);
+  const std::int64_t b = qkv.shape().dim(1);
+  const std::int64_t h_local = shard(hidden_, tp);
+  util::expects(qkv.shape().dim(2) == 3 * h_local, "qkv feature mismatch");
+  const std::int64_t heads_local = shard(heads_, tp);
+
+  auto& node = ctx.make_node(name() + "::FlashAttnBWD");
+  node.save(qkv, ctx.hooks());
+
+  Tensor out = ctx.make_activation(name() + ".out",
+                                   TensorShape{s, b, h_local}, qkv.dtype());
+  // Log-sum-exp statistics for the backward recomputation.
+  Tensor lse = ctx.make_activation(name() + ".lse",
+                                   TensorShape{b, heads_local, s},
+                                   DType::fp32);
+
+  // QK^T and PV each cost 2*s^2*b*h_local; causal masking halves the work
+  // (FlashAttention-2 exploits the triangular structure).
+  const double full = 4.0 * static_cast<double>(s) * static_cast<double>(s) *
+                      static_cast<double>(b) * static_cast<double>(h_local);
+  const double flops = causal_ ? full / 2.0 : full;
+  // IO-aware: only q,k,v in and out + lse out; no s^2 traffic.
+  ctx.kernel(name() + "::flash_fwd", flops, qkv.bytes(),
+             out.bytes() + lse.bytes(), {qkv});
+  node.save(out, ctx.hooks());
+  node.save(lse, ctx.hooks());
+
+  auto& st = state(ctx);
+  st.nodes.push_back(&node);
+  st.shapes.push_back(qkv.shape());
+  return out;
+}
+
+tensor::Tensor FlashAttentionCore::backward_impl(
+    ExecutionContext& ctx, const tensor::Tensor& grad_output) {
+  auto& st = state(ctx);
+  util::expects(!st.nodes.empty(), "backward without forward");
+  graph::GraphNode& node = *st.nodes.back();
+  const TensorShape qkv_shape = st.shapes.back();
+  st.nodes.pop_back();
+  st.shapes.pop_back();
+  if (st.nodes.empty()) clear_state(ctx);
+
+  Tensor qkv = node.unpack(0, ctx.hooks());
+  Tensor out = node.unpack(1, ctx.hooks());
+  Tensor lse = node.unpack(2, ctx.hooks());
+
+  const std::int64_t s = qkv_shape.dim(0);
+  const std::int64_t b = qkv_shape.dim(1);
+  const std::int64_t h_local = qkv_shape.dim(2) / 3;
+
+  Tensor grad_qkv = ctx.make_activation(name() + ".dqkv", qkv_shape,
+                                        grad_output.dtype());
+  const double full = 4.0 * static_cast<double>(s) * static_cast<double>(s) *
+                      static_cast<double>(b) * static_cast<double>(h_local);
+  // Flash backward recomputes the score tiles: ~2.5x the forward FLOPs.
+  const double flops = 2.5 * (causal_ ? full / 2.0 : full);
+  ctx.kernel(name() + "::flash_bwd", flops,
+             qkv.bytes() + out.bytes() + lse.bytes() + grad_output.bytes(),
+             grad_qkv.bytes(), {qkv, out, lse, grad_output});
+  node.clear();
+  return grad_qkv;
+}
+
+// ---------------------------------------------------------------------------
+// UnfusedAttentionCore
+// ---------------------------------------------------------------------------
+
+UnfusedAttentionCore::UnfusedAttentionCore(std::string name,
+                                           std::int64_t hidden,
+                                           std::int64_t heads, bool causal,
+                                           double dropout_probability)
+    : Module(std::move(name)),
+      hidden_(hidden),
+      heads_(heads),
+      causal_(causal),
+      dropout_probability_(dropout_probability) {
+  (void)dropout_probability_;
+}
+
+tensor::Tensor UnfusedAttentionCore::forward_impl(ExecutionContext& ctx,
+                                                  const tensor::Tensor& qkv) {
+  const int tp = ctx.parallel().tensor_parallel;
+  const std::int64_t s = qkv.shape().dim(0);
+  const std::int64_t b = qkv.shape().dim(1);
+  const std::int64_t h_local = shard(hidden_, tp);
+  const std::int64_t a_local = shard(heads_, tp);
+  util::expects(qkv.shape().dim(2) == 3 * h_local, "qkv feature mismatch");
+
+  auto& node = ctx.make_node(name() + "::UnfusedAttnBWD");
+  node.save(qkv, ctx.hooks());
+
+  const TensorShape score_shape{b, a_local, s, s};
+  // QK^T: materialises the raw scores.
+  Tensor scores = ctx.make_activation(name() + ".scores", score_shape,
+                                      qkv.dtype());
+  const double qk_flops = 2.0 * static_cast<double>(s) *
+                          static_cast<double>(s) * static_cast<double>(b) *
+                          static_cast<double>(h_local);
+  ctx.kernel(name() + "::qk", qk_flops, qkv.bytes(), scores.bytes(), {qkv});
+  node.save(scores, ctx.hooks());
+
+  // Scale + mask + softmax.
+  Tensor probs = ctx.make_activation(name() + ".softmax", score_shape,
+                                     qkv.dtype());
+  ctx.kernel(name() + "::softmax",
+             5.0 * static_cast<double>(scores.numel()), scores.bytes(),
+             probs.bytes(), {scores});
+  node.save(probs, ctx.hooks());
+
+  // Attention dropout.
+  Tensor mask = ctx.make_activation(name() + ".attn_mask", score_shape,
+                                    DType::int8);
+  Tensor dropped = ctx.make_activation(name() + ".dropped", score_shape,
+                                       qkv.dtype());
+  ctx.kernel(name() + "::attn_dropout",
+             2.0 * static_cast<double>(probs.numel()), probs.bytes(),
+             dropped.bytes() + mask.bytes(), {probs});
+  node.save(mask, ctx.hooks());
+
+  // PV: context values.
+  Tensor out = ctx.make_activation(name() + ".out",
+                                   TensorShape{s, b, h_local}, qkv.dtype());
+  const double pv_flops = qk_flops;
+  ctx.kernel(name() + "::pv", pv_flops, dropped.bytes() + qkv.bytes() / 3,
+             out.bytes(), {dropped, qkv});
+
+  auto& st = state(ctx);
+  st.nodes.push_back(&node);
+  st.shapes.push_back(qkv.shape());
+  return out;
+}
+
+tensor::Tensor UnfusedAttentionCore::backward_impl(
+    ExecutionContext& ctx, const tensor::Tensor& grad_output) {
+  auto& st = state(ctx);
+  util::expects(!st.nodes.empty(), "backward without forward");
+  graph::GraphNode& node = *st.nodes.back();
+  const TensorShape qkv_shape = st.shapes.back();
+  st.nodes.pop_back();
+  st.shapes.pop_back();
+  if (st.nodes.empty()) clear_state(ctx);
+
+  Tensor qkv = node.unpack(0, ctx.hooks());
+  Tensor scores = node.unpack(1, ctx.hooks());
+  Tensor probs = node.unpack(2, ctx.hooks());
+  Tensor mask = node.unpack(3, ctx.hooks());
+
+  const std::int64_t s = qkv_shape.dim(0);
+  const std::int64_t b = qkv_shape.dim(1);
+  const std::int64_t h_local = qkv_shape.dim(2) / 3;
+
+  Tensor grad_qkv = ctx.make_activation(name() + ".dqkv", qkv_shape,
+                                        grad_output.dtype());
+  const double gemm_flops = 2.0 * static_cast<double>(s) *
+                            static_cast<double>(s) * static_cast<double>(b) *
+                            static_cast<double>(h_local);
+  // dV and d(probs) from PV; then dropout/softmax/scale chains; then dQ,dK.
+  ctx.kernel(name() + "::pv_bwd", 2.0 * gemm_flops,
+             probs.bytes() + grad_output.bytes() + qkv.bytes() / 3,
+             grad_qkv.bytes() / 3 + probs.bytes(),
+             {probs, mask, grad_output});
+  ctx.kernel(name() + "::softmax_bwd",
+             8.0 * static_cast<double>(probs.numel()),
+             probs.bytes() + scores.bytes(), scores.bytes(),
+             {probs, scores});
+  ctx.kernel(name() + "::qk_bwd", 2.0 * gemm_flops,
+             scores.bytes() + qkv.bytes(), grad_qkv.bytes(), {scores, qkv});
+  node.clear();
+  return grad_qkv;
+}
+
+// ---------------------------------------------------------------------------
+// SelfAttention
+// ---------------------------------------------------------------------------
+
+SelfAttention::SelfAttention(std::string name, std::int64_t hidden,
+                             std::int64_t heads, bool causal,
+                             bool flash_attention,
+                             double dropout_probability)
+    : Module(name) {
+  qkv_ = add_child(std::make_unique<Linear>(name + ".qkv", hidden,
+                                            3 * hidden, TpMode::column));
+  if (flash_attention) {
+    core_ = add_child(std::make_unique<FlashAttentionCore>(
+        name + ".core", hidden, heads, causal));
+  } else {
+    core_ = add_child(std::make_unique<UnfusedAttentionCore>(
+        name + ".core", hidden, heads, causal, dropout_probability));
+  }
+  proj_ = add_child(std::make_unique<Linear>(name + ".proj", hidden, hidden,
+                                             TpMode::row));
+  dropout_ = add_child(
+      std::make_unique<Dropout>(name + ".dropout", dropout_probability));
+}
+
+double SelfAttention::parameter_count(int tp) const {
+  return qkv_->parameter_count(tp) + proj_->parameter_count(tp);
+}
+
+tensor::Tensor SelfAttention::forward_impl(ExecutionContext& ctx,
+                                           const tensor::Tensor& input) {
+  Tensor qkv = qkv_->forward(ctx, input);
+  Tensor context = core_->forward(ctx, qkv);
+  Tensor projected = proj_->forward(ctx, context);
+  return dropout_->forward(ctx, projected);
+}
+
+tensor::Tensor SelfAttention::backward_impl(
+    ExecutionContext& ctx, const tensor::Tensor& grad_output) {
+  Tensor g = dropout_->backward(ctx, grad_output);
+  g = proj_->backward(ctx, g);
+  g = core_->backward(ctx, g);
+  return qkv_->backward(ctx, g);
+}
+
+// ---------------------------------------------------------------------------
+// CrossAttentionCore
+// ---------------------------------------------------------------------------
+
+CrossAttentionCore::CrossAttentionCore(std::string name, std::int64_t hidden,
+                                       std::int64_t heads)
+    : Module(std::move(name)), hidden_(hidden), heads_(heads) {
+  (void)heads_;
+}
+
+tensor::Tensor CrossAttentionCore::take_kv_grad() {
+  util::expects(kv_grad_.defined(), "kv grad not produced yet");
+  Tensor out = kv_grad_;
+  kv_grad_.reset();
+  return out;
+}
+
+tensor::Tensor CrossAttentionCore::forward_impl(ExecutionContext& ctx,
+                                                const tensor::Tensor& q) {
+  util::expects(kv_.defined(), "set_kv before cross-attention forward");
+  const std::int64_t s_q = q.shape().dim(0);
+  const std::int64_t b = q.shape().dim(1);
+  const std::int64_t h_local = q.shape().dim(2);
+  const std::int64_t s_kv = kv_.shape().dim(0);
+
+  auto& node = ctx.make_node(name() + "::CrossAttnBWD");
+  node.save(q, ctx.hooks());
+  node.save(kv_, ctx.hooks());
+
+  Tensor out = ctx.make_activation(name() + ".out",
+                                   TensorShape{s_q, b, h_local}, q.dtype());
+  const double flops = 4.0 * static_cast<double>(s_q) *
+                       static_cast<double>(s_kv) * static_cast<double>(b) *
+                       static_cast<double>(h_local);
+  ctx.kernel(name() + "::cross_flash_fwd", flops, q.bytes() + kv_.bytes(),
+             out.bytes(), {q, kv_});
+  node.save(out, ctx.hooks());
+
+  auto& st = state(ctx);
+  st.nodes.push_back(&node);
+  st.shapes.push_back(q.shape());
+  st.shapes.push_back(kv_.shape());
+  kv_.reset();  // the graph (or the tensor cache) owns it now
+  return out;
+}
+
+tensor::Tensor CrossAttentionCore::backward_impl(
+    ExecutionContext& ctx, const tensor::Tensor& grad_output) {
+  auto& st = state(ctx);
+  util::expects(!st.nodes.empty(), "backward without forward");
+  graph::GraphNode& node = *st.nodes.back();
+  const TensorShape kv_shape = st.shapes.back();
+  st.shapes.pop_back();
+  const TensorShape q_shape = st.shapes.back();
+  st.shapes.pop_back();
+  st.nodes.pop_back();
+  if (st.nodes.empty()) clear_state(ctx);
+
+  Tensor q = node.unpack(0, ctx.hooks());
+  Tensor kv = node.unpack(1, ctx.hooks());
+  Tensor out = node.unpack(2, ctx.hooks());
+
+  Tensor grad_q = ctx.make_activation(name() + ".dq", q_shape,
+                                      grad_output.dtype());
+  kv_grad_ = ctx.make_activation(name() + ".dkv", kv_shape,
+                                 grad_output.dtype());
+  const double flops = 2.5 * 4.0 * static_cast<double>(q_shape.dim(0)) *
+                       static_cast<double>(kv_shape.dim(0)) *
+                       static_cast<double>(q_shape.dim(1)) *
+                       static_cast<double>(q_shape.dim(2));
+  ctx.kernel(name() + "::cross_flash_bwd", flops,
+             q.bytes() + kv.bytes() + out.bytes() + grad_output.bytes(),
+             grad_q.bytes() + kv_grad_.bytes(), {q, kv, out, grad_output});
+  node.clear();
+  return grad_q;
+}
+
+// ---------------------------------------------------------------------------
+// CrossAttention
+// ---------------------------------------------------------------------------
+
+CrossAttention::CrossAttention(std::string name, std::int64_t hidden,
+                               std::int64_t heads,
+                               double dropout_probability)
+    : Module(name) {
+  q_proj_ = add_child(std::make_unique<Linear>(name + ".q", hidden, hidden,
+                                               TpMode::column));
+  kv_proj_ = add_child(std::make_unique<Linear>(name + ".kv", hidden,
+                                                2 * hidden, TpMode::column));
+  core_ = add_child(
+      std::make_unique<CrossAttentionCore>(name + ".core", hidden, heads));
+  out_proj_ = add_child(std::make_unique<Linear>(name + ".proj", hidden,
+                                                 hidden, TpMode::row));
+  dropout_ = add_child(
+      std::make_unique<Dropout>(name + ".dropout", dropout_probability));
+}
+
+double CrossAttention::parameter_count(int tp) const {
+  return q_proj_->parameter_count(tp) + kv_proj_->parameter_count(tp) +
+         out_proj_->parameter_count(tp);
+}
+
+tensor::Tensor CrossAttention::take_memory_grad() {
+  util::expects(memory_grad_.defined(), "memory grad not produced yet");
+  Tensor out = memory_grad_;
+  memory_grad_.reset();
+  return out;
+}
+
+tensor::Tensor CrossAttention::forward_impl(ExecutionContext& ctx,
+                                            const tensor::Tensor& input) {
+  util::expects(memory_.defined(), "set_memory before cross-attention");
+  Tensor q = q_proj_->forward(ctx, input);
+  Tensor kv = kv_proj_->forward(ctx, memory_);
+  memory_.reset();
+  core_->set_kv(kv);
+  Tensor context = core_->forward(ctx, q);
+  Tensor projected = out_proj_->forward(ctx, context);
+  return dropout_->forward(ctx, projected);
+}
+
+tensor::Tensor CrossAttention::backward_impl(
+    ExecutionContext& ctx, const tensor::Tensor& grad_output) {
+  Tensor g = dropout_->backward(ctx, grad_output);
+  g = out_proj_->backward(ctx, g);
+  Tensor grad_q = core_->backward(ctx, g);
+  memory_grad_ = kv_proj_->backward(ctx, core_->take_kv_grad());
+  return q_proj_->backward(ctx, grad_q);
+}
+
+}  // namespace ssdtrain::modules

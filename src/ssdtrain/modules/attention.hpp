@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file attention.hpp
+/// Attention blocks. The flash core is a single fused kernel that never
+/// materialises the s x s score matrices (FlashAttention-2, used throughout
+/// the paper's evaluation); the unfused core materialises and saves them,
+/// adding the 5*a*s^2*b/t bytes per layer that selective checkpointing used
+/// to target — with flash attention those tensors simply do not exist
+/// (paper §IV-C, last paragraph).
+
+#include <cstdint>
+#include <string>
+
+#include "ssdtrain/modules/module.hpp"
+#include "ssdtrain/modules/ops.hpp"
+
+namespace ssdtrain::modules {
+
+/// Fused attention over a combined qkv tensor [s, b, 3h/t] -> [s, b, h/t].
+class FlashAttentionCore : public Module {
+ public:
+  FlashAttentionCore(std::string name, std::int64_t hidden,
+                     std::int64_t heads, bool causal);
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& qkv) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  std::int64_t hidden_;
+  std::int64_t heads_;
+  bool causal_;
+};
+
+/// Unfused attention: QK^T -> scale+mask -> softmax -> dropout -> PV, with
+/// the intermediate [b, a/t, s, s] tensors saved for backward.
+class UnfusedAttentionCore : public Module {
+ public:
+  UnfusedAttentionCore(std::string name, std::int64_t hidden,
+                       std::int64_t heads, bool causal,
+                       double dropout_probability = 0.1);
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& qkv) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  std::int64_t hidden_;
+  std::int64_t heads_;
+  bool causal_;
+  double dropout_probability_;
+};
+
+/// Full self-attention block: column-parallel QKV projection, core,
+/// row-parallel output projection, dropout.
+class SelfAttention : public Module {
+ public:
+  SelfAttention(std::string name, std::int64_t hidden, std::int64_t heads,
+                bool causal, bool flash_attention,
+                double dropout_probability = 0.1);
+
+  [[nodiscard]] double parameter_count(int tp) const;
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  Linear* qkv_;
+  Module* core_;
+  Linear* proj_;
+  Dropout* dropout_;
+};
+
+/// Cross-attention core for encoder-decoder models: queries from the
+/// decoder stream [s_q, b, h/t], keys/values from the encoder memory
+/// [s_kv, b, 2h/t] (set via set_kv before forward).
+class CrossAttentionCore : public Module {
+ public:
+  CrossAttentionCore(std::string name, std::int64_t hidden,
+                     std::int64_t heads);
+
+  void set_kv(tensor::Tensor kv) { kv_ = std::move(kv); }
+  /// Gradient w.r.t. the kv tensor, available after backward.
+  tensor::Tensor take_kv_grad();
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& q) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  std::int64_t hidden_;
+  std::int64_t heads_;
+  tensor::Tensor kv_;
+  tensor::Tensor kv_grad_;
+};
+
+/// Cross-attention block (T5 decoder layers): q/kv projections, core,
+/// output projection, dropout. The encoder memory is set per micro-batch
+/// before forward; the memory gradient is collected after backward.
+class CrossAttention : public Module {
+ public:
+  CrossAttention(std::string name, std::int64_t hidden, std::int64_t heads,
+                 double dropout_probability = 0.1);
+
+  void set_memory(tensor::Tensor memory) { memory_ = std::move(memory); }
+  tensor::Tensor take_memory_grad();
+
+  [[nodiscard]] double parameter_count(int tp) const;
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  Linear* q_proj_;
+  Linear* kv_proj_;
+  CrossAttentionCore* core_;
+  Linear* out_proj_;
+  Dropout* dropout_;
+  tensor::Tensor memory_;
+  tensor::Tensor memory_grad_;
+};
+
+}  // namespace ssdtrain::modules

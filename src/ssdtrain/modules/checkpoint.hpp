@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Checkpoint gate: the module-level equivalent of torch.utils.checkpoint's
+/// save point. In recompute mode each transformer layer's *input* is the
+/// only tensor preserved across forward; the gate registers it on the graph
+/// through the installed saved-tensor hooks, which means that under the
+/// hybrid SSDTrain+recompute strategy the checkpoints themselves are
+/// offloaded to SSD and reloaded just before the layer's re-forward — while
+/// the tensors the re-forward rematerialises are kept in GPU memory by
+/// Alg. 1's is_current_in_backward() branch.
+
+#include "ssdtrain/modules/module.hpp"
+
+namespace ssdtrain::modules {
+
+class CheckpointGate : public Module {
+ public:
+  explicit CheckpointGate(std::string name) : Module(std::move(name)) {}
+
+  /// Backward-side retrieval of the saved input *without* retiring the
+  /// gate's scope: the tensor stays registered while the layer re-forwards
+  /// and runs its backward. Call finish() afterwards.
+  tensor::Tensor recall(ExecutionContext& ctx) {
+    auto& st = state(ctx);
+    util::expects(!st.nodes.empty(), "recall without checkpointed forward");
+    return st.nodes.back()->unpack(0, ctx.hooks());
+  }
+
+  /// Completes the gate's backward: drops the saved value and fires the
+  /// backward hook pair so the tensor cache retires this scope (releasing
+  /// the offloaded copy).
+  void finish(ExecutionContext& ctx) { backward(ctx, {}); }
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override {
+    auto& node = ctx.make_node(name() + "::CheckpointBWD");
+    node.save(input, ctx.hooks());
+    auto& st = state(ctx);
+    st.nodes.push_back(&node);
+    return input;  // identity: the gate only pins the save point
+  }
+
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override {
+    auto& st = state(ctx);
+    util::expects(!st.nodes.empty(), "finish without checkpointed forward");
+    st.nodes.back()->clear();
+    st.nodes.pop_back();
+    if (st.nodes.empty()) clear_state(ctx);
+    return grad_output;
+  }
+};
+
+}  // namespace ssdtrain::modules

@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file execution_context.hpp
+/// Interface between the module tree and the training runtime. Modules are
+/// *planners*: forward_impl/backward_impl do no arithmetic — they allocate
+/// output tensors, emit kernels with FLOP/byte costs onto the simulated
+/// compute stream, and register saved tensors on graph nodes through the
+/// installed pack/unpack hooks. The runtime (runtime/executor.cpp) provides
+/// the concrete implementation that binds all of this to a TrainingNode and
+/// a TensorCache.
+
+#include <string>
+#include <vector>
+
+#include "ssdtrain/graph/graph.hpp"
+#include "ssdtrain/graph/saved_tensors.hpp"
+#include "ssdtrain/parallel/parallel_config.hpp"
+#include "ssdtrain/tensor/tensor.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::modules {
+
+class ExecutionContext {
+ public:
+  virtual ~ExecutionContext() = default;
+
+  // -- tensors ---------------------------------------------------------------
+  /// Fresh activation tensor on the device. Its "ready event" becomes the
+  /// completion of the next kernel emitted (its producer).
+  virtual tensor::Tensor make_activation(std::string label,
+                                         tensor::TensorShape shape,
+                                         tensor::DType dtype) = 0;
+
+  /// Persistent parameter tensor, created once per unique \p key and reused
+  /// on subsequent calls (weights survive across steps; the tensor cache
+  /// records their ids before training to exclude them from offloading).
+  virtual tensor::Tensor weight(const std::string& key,
+                                tensor::TensorShape shape,
+                                tensor::DType dtype) = 0;
+
+  /// Host-side tensor (token ids and other small inputs).
+  virtual tensor::Tensor make_host_tensor(std::string label,
+                                          tensor::TensorShape shape,
+                                          tensor::DType dtype) = 0;
+
+  // -- computation -------------------------------------------------------
+  /// Emits one kernel on the compute stream. \p consumed tensors gate the
+  /// kernel start on their ready events (e.g. a reloaded activation).
+  virtual void kernel(std::string label, util::Flops flops,
+                      util::Bytes bytes_read, util::Bytes bytes_written,
+                      std::vector<tensor::Tensor> consumed = {}) = 0;
+
+  /// Tensor-parallel all-reduce of \p bytes across the TP group, emitted in
+  /// stream order on the compute stream (Megatron semantics).
+  virtual void tp_all_reduce(util::Bytes bytes) = 0;
+
+  // -- autograd ---------------------------------------------------------
+  /// Creates a graph node for the current operator.
+  virtual graph::GraphNode& make_node(std::string name) = 0;
+
+  /// The installed saved-tensor hooks (the tensor cache's pack/unpack
+  /// pair), or nullptr when no cache is active (the keep-everything
+  /// baseline).
+  virtual const graph::SavedTensorHooks* hooks() const = 0;
+
+  // -- environment -------------------------------------------------------
+  virtual const parallel::ParallelConfig& parallel() const = 0;
+
+  /// Index of the micro-batch currently being planned (modules keep
+  /// per-micro-batch backward state, since pipeline schedules interleave
+  /// several in flight).
+  virtual int micro_batch() const = 0;
+
+  // -- activation checkpointing (the recompute baseline) -------------------
+  /// True when the full-recomputation strategy is active: models checkpoint
+  /// layer inputs in forward and re-run each layer's forward during
+  /// backward.
+  virtual bool recompute_mode() const = 0;
+
+  /// Temporarily overrides the saved-tensor hooks (e.g. discard-everything
+  /// inside a checkpointed forward segment). Pop restores the previous
+  /// hooks. nullptr = keep saved tensors on the graph.
+  virtual void push_hooks(const graph::SavedTensorHooks* hooks) = 0;
+  virtual void pop_hooks() = 0;
+
+  /// Brackets kernels that re-execute forward work; their FLOPs count as
+  /// executed but not algorithmic (the paper's model-throughput metric
+  /// excludes recomputation).
+  virtual void begin_recompute_segment() = 0;
+  virtual void end_recompute_segment() = 0;
+};
+
+/// RAII helper for push_hooks/pop_hooks.
+class ScopedHooks {
+ public:
+  ScopedHooks(ExecutionContext& ctx, const graph::SavedTensorHooks* hooks)
+      : ctx_(ctx) {
+    ctx_.push_hooks(hooks);
+  }
+  ~ScopedHooks() { ctx_.pop_hooks(); }
+  ScopedHooks(const ScopedHooks&) = delete;
+  ScopedHooks& operator=(const ScopedHooks&) = delete;
+
+ private:
+  ExecutionContext& ctx_;
+};
+
+}  // namespace ssdtrain::modules

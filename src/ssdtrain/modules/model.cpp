@@ -1,0 +1,320 @@
+#include "ssdtrain/modules/model.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::modules {
+
+using tensor::DType;
+using tensor::Tensor;
+using tensor::TensorShape;
+
+std::string_view to_string(Architecture arch) {
+  switch (arch) {
+    case Architecture::bert:
+      return "BERT";
+    case Architecture::gpt:
+      return "GPT";
+    case Architecture::t5:
+      return "T5";
+  }
+  return "?";
+}
+
+namespace {
+
+std::int64_t pad_vocab(std::int64_t vocab) {
+  // Megatron pads the vocabulary so each TP shard is a multiple of 128.
+  constexpr std::int64_t kPad = 256;
+  return (vocab + kPad - 1) / kPad * kPad;
+}
+
+ModelConfig base_config(Architecture arch, std::string name,
+                        std::int64_t hidden, int layers,
+                        std::int64_t micro_batch, std::int64_t vocab) {
+  util::expects(hidden % 128 == 0, "hidden must be a multiple of 128");
+  util::expects(layers >= 1, "need at least one layer");
+  ModelConfig cfg;
+  cfg.arch = arch;
+  cfg.name = std::move(name);
+  cfg.hidden = hidden;
+  cfg.layers = layers;
+  cfg.heads = hidden / 128;  // attention head dimension 128 (paper §IV-A)
+  cfg.seq = 1024;
+  cfg.vocab = pad_vocab(vocab);
+  cfg.micro_batch = micro_batch;
+  return cfg;
+}
+
+}  // namespace
+
+ModelConfig bert_config(std::int64_t hidden, int layers,
+                        std::int64_t micro_batch) {
+  return base_config(Architecture::bert, "BERT", hidden, layers, micro_batch,
+                     30522);
+}
+
+ModelConfig gpt_config(std::int64_t hidden, int layers,
+                       std::int64_t micro_batch) {
+  return base_config(Architecture::gpt, "GPT", hidden, layers, micro_batch,
+                     50257);
+}
+
+ModelConfig t5_config(std::int64_t hidden, int layers,
+                      std::int64_t micro_batch) {
+  return base_config(Architecture::t5, "T5", hidden, layers, micro_batch,
+                     32128);
+}
+
+// ---------------------------------------------------------------------------
+// StackModel
+// ---------------------------------------------------------------------------
+
+StackModel::StackModel(ModelConfig config) : Model(std::move(config)) {
+  const auto& cfg = this->config();
+  util::expects(cfg.arch == Architecture::bert ||
+                    cfg.arch == Architecture::gpt,
+                "StackModel is for single-stack architectures");
+  const bool causal = cfg.arch == Architecture::gpt;
+  embedding_ = std::make_unique<Embedding>("embedding", cfg.vocab,
+                                           cfg.hidden);
+  layers_.reserve(static_cast<std::size_t>(cfg.layers));
+  for (int i = 0; i < cfg.layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerLayer>(
+        "layer" + std::to_string(i), cfg.hidden, cfg.heads, causal,
+        cfg.flash_attention, cfg.dropout));
+    gates_.push_back(std::make_unique<CheckpointGate>(
+        "checkpoint" + std::to_string(i)));
+  }
+  head_ = std::make_unique<LmHead>("head", cfg.hidden, cfg.vocab);
+}
+
+Tensor StackModel::forward_step(ExecutionContext& ctx) {
+  const auto& cfg = config();
+  Tensor ids = ctx.make_host_tensor(
+      "input_ids", TensorShape{cfg.seq, cfg.micro_batch}, DType::int32);
+  Tensor h = embedding_->forward(ctx, ids);
+  if (ctx.recompute_mode()) {
+    // Layerwise full recomputation: each gate pins only the layer's input
+    // (offloaded under SSDTrain); the layer forward runs with discard
+    // hooks so its inner activations are freed as soon as planning leaves
+    // their scope.
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      h = gates_[i]->forward(ctx, h);
+      {
+        ScopedHooks discard(ctx, &graph::discard_hooks());
+        h = layers_[i]->forward(ctx, h);
+      }
+      layers_[i]->clear_subtree_state(ctx);
+    }
+  } else {
+    for (auto& layer : layers_) {
+      h = layer->forward(ctx, h);
+    }
+  }
+  return head_->forward(ctx, h);
+}
+
+void StackModel::backward_step(ExecutionContext& ctx) {
+  Tensor g = head_->backward(ctx, {});
+  if (ctx.recompute_mode()) {
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+      // Reload (or take) the checkpointed input, rematerialise this
+      // layer's activations — Alg. 1 keeps these packs in GPU memory
+      // because propagation is in backward — then run its backward.
+      Tensor input = gates_[i]->recall(ctx);
+      ctx.begin_recompute_segment();
+      layers_[i]->forward(ctx, input);
+      ctx.end_recompute_segment();
+      g = layers_[i]->backward(ctx, g);
+      gates_[i]->finish(ctx);
+    }
+  } else {
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->backward(ctx, g);
+    }
+  }
+  embedding_->backward(ctx, g);
+}
+
+std::vector<Module*> StackModel::transformer_layers() {
+  std::vector<Module*> out;
+  out.reserve(layers_.size());
+  for (auto& layer : layers_) out.push_back(layer.get());
+  return out;
+}
+
+void StackModel::visit_modules(const std::function<void(Module&)>& fn) {
+  embedding_->visit(fn);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    gates_[i]->visit(fn);
+    layers_[i]->visit(fn);
+  }
+  head_->visit(fn);
+}
+
+double StackModel::parameter_count(int tp) const {
+  double params = embedding_->parameter_count();
+  for (const auto& layer : layers_) params += layer->parameter_count(tp);
+  params += head_->parameter_count(tp);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// T5Model
+// ---------------------------------------------------------------------------
+
+T5Model::T5Model(ModelConfig config) : Model(std::move(config)) {
+  const auto& cfg = this->config();
+  util::expects(cfg.arch == Architecture::t5, "T5Model is for T5");
+  // "The number of decoders is half of the total number of layers, rounded
+  // down" (paper §IV-A).
+  const int decoders = cfg.layers / 2;
+  const int encoders = cfg.layers - decoders;
+  embedding_ = std::make_unique<Embedding>("embedding", cfg.vocab,
+                                           cfg.hidden);
+  for (int i = 0; i < encoders; ++i) {
+    encoders_.push_back(std::make_unique<TransformerLayer>(
+        "encoder" + std::to_string(i), cfg.hidden, cfg.heads,
+        /*causal=*/false, cfg.flash_attention, cfg.dropout));
+    encoder_gates_.push_back(std::make_unique<CheckpointGate>(
+        "enc_checkpoint" + std::to_string(i)));
+  }
+  for (int i = 0; i < decoders; ++i) {
+    decoders_.push_back(std::make_unique<T5DecoderLayer>(
+        "decoder" + std::to_string(i), cfg.hidden, cfg.heads,
+        cfg.flash_attention, cfg.dropout));
+    decoder_gates_.push_back(std::make_unique<CheckpointGate>(
+        "dec_checkpoint" + std::to_string(i)));
+  }
+  memory_gate_ = std::make_unique<CheckpointGate>("memory_checkpoint");
+  head_ = std::make_unique<LmHead>("head", cfg.hidden, cfg.vocab);
+}
+
+Tensor T5Model::forward_step(ExecutionContext& ctx) {
+  const auto& cfg = config();
+  const bool recompute = ctx.recompute_mode();
+
+  Tensor src_ids = ctx.make_host_tensor(
+      "src_ids", TensorShape{cfg.seq, cfg.micro_batch}, DType::int32);
+  Tensor memory = embedding_->forward(ctx, src_ids);
+  for (std::size_t i = 0; i < encoders_.size(); ++i) {
+    if (recompute) {
+      memory = encoder_gates_[i]->forward(ctx, memory);
+      ScopedHooks discard(ctx, &graph::discard_hooks());
+      memory = encoders_[i]->forward(ctx, memory);
+      encoders_[i]->clear_subtree_state(ctx);
+    } else {
+      memory = encoders_[i]->forward(ctx, memory);
+    }
+  }
+  if (recompute) memory = memory_gate_->forward(ctx, memory);
+
+  Tensor tgt_ids = ctx.make_host_tensor(
+      "tgt_ids", TensorShape{cfg.seq, cfg.micro_batch}, DType::int32);
+  Tensor h = embedding_->forward(ctx, tgt_ids);
+  for (std::size_t i = 0; i < decoders_.size(); ++i) {
+    // Every decoder layer cross-attends the same encoder memory; the
+    // tensor cache deduplicates the repeated saves via get_id.
+    decoders_[i]->set_encoder_memory(memory);
+    if (recompute) {
+      h = decoder_gates_[i]->forward(ctx, h);
+      ScopedHooks discard(ctx, &graph::discard_hooks());
+      h = decoders_[i]->forward(ctx, h);
+      decoders_[i]->clear_subtree_state(ctx);
+    } else {
+      h = decoders_[i]->forward(ctx, h);
+    }
+  }
+  return head_->forward(ctx, h);
+}
+
+void T5Model::backward_step(ExecutionContext& ctx) {
+  const bool recompute = ctx.recompute_mode();
+
+  Tensor g = head_->backward(ctx, {});
+  Tensor memory_grad;
+  for (std::size_t i = decoders_.size(); i-- > 0;) {
+    auto& dec = decoders_[i];
+    if (recompute) {
+      Tensor input = decoder_gates_[i]->recall(ctx);
+      Tensor memory = memory_gate_->recall(ctx);
+      ctx.begin_recompute_segment();
+      dec->set_encoder_memory(memory);
+      dec->forward(ctx, input);
+      ctx.end_recompute_segment();
+      g = dec->backward(ctx, g);
+      decoder_gates_[i]->finish(ctx);
+    } else {
+      g = dec->backward(ctx, g);
+    }
+    Tensor mg = dec->take_encoder_memory_grad();
+    memory_grad = memory_grad.defined()
+                      ? residual_add(ctx, "t5.dmemory_acc", memory_grad, mg)
+                      : mg;
+  }
+  if (recompute) memory_gate_->finish(ctx);
+  // Decoder input gradient reaches the (shared) embedding: pops the tgt
+  // forward state.
+  embedding_->backward(ctx, g);
+
+  Tensor ge = memory_grad;
+  for (std::size_t i = encoders_.size(); i-- > 0;) {
+    auto& enc = encoders_[i];
+    if (recompute) {
+      Tensor input = encoder_gates_[i]->recall(ctx);
+      ctx.begin_recompute_segment();
+      enc->forward(ctx, input);
+      ctx.end_recompute_segment();
+      ge = enc->backward(ctx, ge);
+      encoder_gates_[i]->finish(ctx);
+    } else {
+      ge = enc->backward(ctx, ge);
+    }
+  }
+  embedding_->backward(ctx, ge);
+}
+
+std::vector<Module*> T5Model::transformer_layers() {
+  std::vector<Module*> out;
+  out.reserve(encoders_.size() + decoders_.size());
+  for (auto& enc : encoders_) out.push_back(enc.get());
+  for (auto& dec : decoders_) out.push_back(dec.get());
+  return out;
+}
+
+void T5Model::visit_modules(const std::function<void(Module&)>& fn) {
+  embedding_->visit(fn);
+  for (std::size_t i = 0; i < encoders_.size(); ++i) {
+    encoder_gates_[i]->visit(fn);
+    encoders_[i]->visit(fn);
+  }
+  memory_gate_->visit(fn);
+  for (std::size_t i = 0; i < decoders_.size(); ++i) {
+    decoder_gates_[i]->visit(fn);
+    decoders_[i]->visit(fn);
+  }
+  head_->visit(fn);
+}
+
+double T5Model::parameter_count(int tp) const {
+  double params = embedding_->parameter_count();
+  for (const auto& enc : encoders_) params += enc->parameter_count(tp);
+  for (const auto& dec : decoders_) params += dec->parameter_count(tp);
+  params += head_->parameter_count(tp);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Model> build_model(const ModelConfig& config) {
+  switch (config.arch) {
+    case Architecture::bert:
+    case Architecture::gpt:
+      return std::make_unique<StackModel>(config);
+    case Architecture::t5:
+      return std::make_unique<T5Model>(config);
+  }
+  util::unreachable("unknown architecture");
+}
+
+}  // namespace ssdtrain::modules

@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file model.hpp
+/// Whole-model assemblies for the three architectures the paper evaluates
+/// (§IV-A): BERT (encoder-only), GPT (decoder-only), and T5
+/// (encoder-decoder, with the number of decoders equal to half the total
+/// layer count, rounded down). Hyperparameters follow the paper: attention
+/// head dimension 128, sequence length 1024, FP16, FlashAttention-2 on by
+/// default.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/modules/checkpoint.hpp"
+#include "ssdtrain/modules/ops.hpp"
+#include "ssdtrain/modules/transformer.hpp"
+
+namespace ssdtrain::modules {
+
+enum class Architecture : std::uint8_t { bert, gpt, t5 };
+
+std::string_view to_string(Architecture arch);
+
+struct ModelConfig {
+  Architecture arch = Architecture::gpt;
+  std::string name;
+  std::int64_t hidden = 0;
+  int layers = 0;  ///< total transformer layers (T5: encoders + decoders)
+  std::int64_t heads = 0;
+  std::int64_t seq = 1024;
+  std::int64_t vocab = 0;
+  std::int64_t micro_batch = 1;
+  bool flash_attention = true;
+  double dropout = 0.1;
+
+  [[nodiscard]] std::int64_t head_dim() const { return hidden / heads; }
+};
+
+/// Typical hyperparameters for the paper's sweep: heads = hidden/128,
+/// vocab padded to a multiple of 128 * tp for vocab-parallel sharding.
+ModelConfig bert_config(std::int64_t hidden, int layers,
+                        std::int64_t micro_batch);
+ModelConfig gpt_config(std::int64_t hidden, int layers,
+                       std::int64_t micro_batch);
+ModelConfig t5_config(std::int64_t hidden, int layers,
+                      std::int64_t micro_batch);
+
+class Model {
+ public:
+  explicit Model(ModelConfig config) : config_(std::move(config)) {}
+  virtual ~Model() = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  [[nodiscard]] const ModelConfig& config() const { return config_; }
+
+  /// Plans one micro-batch forward pass; returns the loss statistics
+  /// tensor.
+  virtual tensor::Tensor forward_step(ExecutionContext& ctx) = 0;
+
+  /// Plans the matching backward pass.
+  virtual void backward_step(ExecutionContext& ctx) = 0;
+
+  /// Transformer-layer modules in forward order — the scopes the tensor
+  /// cache's keep-last-module rule and the recompute baseline operate on.
+  [[nodiscard]] virtual std::vector<Module*> transformer_layers() = 0;
+
+  /// Visits every module in the tree (hook installation).
+  virtual void visit_modules(const std::function<void(Module&)>& fn) = 0;
+
+  [[nodiscard]] virtual double parameter_count(int tp) const = 0;
+
+  [[nodiscard]] util::Bytes parameter_bytes(int tp) const {
+    return static_cast<util::Bytes>(parameter_count(tp) * 2.0);  // fp16
+  }
+
+ private:
+  ModelConfig config_;
+};
+
+/// Single-stack model shared by BERT (bidirectional) and GPT (causal).
+class StackModel : public Model {
+ public:
+  explicit StackModel(ModelConfig config);
+
+  tensor::Tensor forward_step(ExecutionContext& ctx) override;
+  void backward_step(ExecutionContext& ctx) override;
+  std::vector<Module*> transformer_layers() override;
+  void visit_modules(const std::function<void(Module&)>& fn) override;
+  double parameter_count(int tp) const override;
+
+ private:
+  std::unique_ptr<Embedding> embedding_;
+  std::vector<std::unique_ptr<TransformerLayer>> layers_;
+  std::unique_ptr<LmHead> head_;
+  /// One gate per layer pins the layer input across forward in recompute
+  /// mode; under SSDTrain the gates' saves are offloaded like any other
+  /// activation.
+  std::vector<std::unique_ptr<CheckpointGate>> gates_;
+};
+
+/// Encoder-decoder model (T5): decoders = floor(layers/2), encoders = rest.
+class T5Model : public Model {
+ public:
+  explicit T5Model(ModelConfig config);
+
+  tensor::Tensor forward_step(ExecutionContext& ctx) override;
+  void backward_step(ExecutionContext& ctx) override;
+  std::vector<Module*> transformer_layers() override;
+  void visit_modules(const std::function<void(Module&)>& fn) override;
+  double parameter_count(int tp) const override;
+
+  [[nodiscard]] int encoder_count() const {
+    return static_cast<int>(encoders_.size());
+  }
+  [[nodiscard]] int decoder_count() const {
+    return static_cast<int>(decoders_.size());
+  }
+
+ private:
+  std::unique_ptr<Embedding> embedding_;
+  std::vector<std::unique_ptr<TransformerLayer>> encoders_;
+  std::vector<std::unique_ptr<T5DecoderLayer>> decoders_;
+  std::unique_ptr<LmHead> head_;
+  std::vector<std::unique_ptr<CheckpointGate>> encoder_gates_;
+  std::vector<std::unique_ptr<CheckpointGate>> decoder_gates_;
+  std::unique_ptr<CheckpointGate> memory_gate_;
+};
+
+/// Builds the right Model subclass for the config's architecture.
+std::unique_ptr<Model> build_model(const ModelConfig& config);
+
+}  // namespace ssdtrain::modules

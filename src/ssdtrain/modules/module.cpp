@@ -1,0 +1,88 @@
+#include "ssdtrain/modules/module.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::modules {
+
+Module::Module(std::string name) : name_(std::move(name)) {}
+
+void Module::visit(const std::function<void(Module&)>& fn) {
+  fn(*this);
+  for (auto& child : children_) child->visit(fn);
+}
+
+void Module::clear_subtree_state(ExecutionContext& ctx) {
+  visit([&ctx](Module& m) { m.clear_state(ctx); });
+}
+
+HookHandle Module::register_forward_pre_hook(ModuleHook hook) {
+  util::expects(static_cast<bool>(hook), "null hook");
+  forward_pre_hooks_.emplace(next_hook_, std::move(hook));
+  return next_hook_++;
+}
+
+HookHandle Module::register_forward_hook(ModuleHook hook) {
+  util::expects(static_cast<bool>(hook), "null hook");
+  forward_hooks_.emplace(next_hook_, std::move(hook));
+  return next_hook_++;
+}
+
+HookHandle Module::register_backward_pre_hook(ModuleHook hook) {
+  util::expects(static_cast<bool>(hook), "null hook");
+  backward_pre_hooks_.emplace(next_hook_, std::move(hook));
+  return next_hook_++;
+}
+
+HookHandle Module::register_backward_hook(ModuleHook hook) {
+  util::expects(static_cast<bool>(hook), "null hook");
+  backward_hooks_.emplace(next_hook_, std::move(hook));
+  return next_hook_++;
+}
+
+void Module::remove_hook(HookHandle handle) {
+  forward_pre_hooks_.erase(handle);
+  forward_hooks_.erase(handle);
+  backward_pre_hooks_.erase(handle);
+  backward_hooks_.erase(handle);
+}
+
+std::size_t Module::hook_count() const {
+  return forward_pre_hooks_.size() + forward_hooks_.size() +
+         backward_pre_hooks_.size() + backward_hooks_.size();
+}
+
+tensor::Tensor Module::forward(ExecutionContext& ctx,
+                               const tensor::Tensor& input) {
+  fire(forward_pre_hooks_, ctx);
+  tensor::Tensor output = forward_impl(ctx, input);
+  fire(forward_hooks_, ctx);
+  return output;
+}
+
+tensor::Tensor Module::backward(ExecutionContext& ctx,
+                                const tensor::Tensor& grad_output) {
+  fire(backward_pre_hooks_, ctx);
+  tensor::Tensor grad_input = backward_impl(ctx, grad_output);
+  fire(backward_hooks_, ctx);
+  return grad_input;
+}
+
+Module::StepState& Module::state(ExecutionContext& ctx) {
+  return step_states_[ctx.micro_batch()];
+}
+
+void Module::clear_state(ExecutionContext& ctx) {
+  step_states_.erase(ctx.micro_batch());
+}
+
+void Module::fire(const std::map<HookHandle, ModuleHook>& hooks,
+                  ExecutionContext& ctx) {
+  // Copy: a hook may unregister itself (or others) while firing.
+  const auto snapshot = hooks;
+  for (const auto& [handle, hook] : snapshot) {
+    (void)handle;
+    hook(*this, ctx);
+  }
+}
+
+}  // namespace ssdtrain::modules

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file module.hpp
+/// Module base class with the four-hook protocol the tensor cache relies on
+/// (paper §III-B): forward-pre and forward hooks maintain the cache's scope
+/// stack during forward propagation; backward-pre and backward hooks drive
+/// prefetching and scope retirement during backward propagation.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/graph/graph.hpp"
+#include "ssdtrain/modules/execution_context.hpp"
+#include "ssdtrain/tensor/tensor.hpp"
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::modules {
+
+class Module;
+
+/// Identifies a registered hook for removal.
+using HookHandle = std::uint64_t;
+
+using ModuleHook = std::function<void(Module&, ExecutionContext&)>;
+
+class Module {
+ public:
+  explicit Module(std::string name);
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Registers \p child and returns a typed observer pointer.
+  template <typename T>
+  T* add_child(std::unique_ptr<T> child) {
+    T* raw = child.get();
+    children_.push_back(std::move(child));
+    return raw;
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Module>>& children() const {
+    return children_;
+  }
+
+  /// Depth-first traversal over this module and all descendants.
+  void visit(const std::function<void(Module&)>& fn);
+
+  /// Drops the per-micro-batch backward state of this module and all
+  /// descendants. Used after a discarded (checkpointed) forward pass whose
+  /// saved tensors will never be consumed.
+  void clear_subtree_state(ExecutionContext& ctx);
+
+  // -- hooks (paper Fig. 3 / §III-B) ------------------------------------
+  HookHandle register_forward_pre_hook(ModuleHook hook);
+  HookHandle register_forward_hook(ModuleHook hook);
+  HookHandle register_backward_pre_hook(ModuleHook hook);
+  HookHandle register_backward_hook(ModuleHook hook);
+  void remove_hook(HookHandle handle);
+  /// Number of hooks currently installed across all four sets.
+  [[nodiscard]] std::size_t hook_count() const;
+
+  // -- execution ----------------------------------------------------------
+  /// Fires forward-pre hooks, plans the module, fires forward hooks.
+  tensor::Tensor forward(ExecutionContext& ctx, const tensor::Tensor& input);
+
+  /// Fires backward-pre hooks, plans the backward, fires backward hooks.
+  /// \p grad_output matches the forward output's shape.
+  tensor::Tensor backward(ExecutionContext& ctx,
+                          const tensor::Tensor& grad_output);
+
+ protected:
+  virtual tensor::Tensor forward_impl(ExecutionContext& ctx,
+                                      const tensor::Tensor& input) = 0;
+  virtual tensor::Tensor backward_impl(ExecutionContext& ctx,
+                                       const tensor::Tensor& grad_output) = 0;
+
+  /// Per-micro-batch backward state: the graph nodes created in forward
+  /// plus any shape metadata. Cleared when backward consumes it.
+  struct StepState {
+    std::vector<graph::GraphNode*> nodes;
+    std::vector<tensor::TensorShape> shapes;
+  };
+
+  StepState& state(ExecutionContext& ctx);
+  void clear_state(ExecutionContext& ctx);
+
+ private:
+  void fire(const std::map<HookHandle, ModuleHook>& hooks,
+            ExecutionContext& ctx);
+
+  std::string name_;
+  std::vector<std::unique_ptr<Module>> children_;
+  std::map<HookHandle, ModuleHook> forward_pre_hooks_;
+  std::map<HookHandle, ModuleHook> forward_hooks_;
+  std::map<HookHandle, ModuleHook> backward_pre_hooks_;
+  std::map<HookHandle, ModuleHook> backward_hooks_;
+  std::uint64_t next_hook_ = 1;
+  std::map<int, StepState> step_states_;  // keyed by micro-batch index
+};
+
+}  // namespace ssdtrain::modules

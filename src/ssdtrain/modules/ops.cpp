@@ -1,0 +1,427 @@
+#include "ssdtrain/modules/ops.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::modules {
+
+namespace {
+
+using tensor::DType;
+using tensor::Tensor;
+using tensor::TensorShape;
+
+/// Tokens (s*b) for an [s, b, f] activation.
+std::int64_t token_count(const Tensor& t) {
+  util::expects(t.shape().rank() >= 2, "activation needs [s,b,...] shape");
+  return t.shape().dim(0) * t.shape().dim(1);
+}
+
+std::int64_t shard(std::int64_t features, int tp) {
+  util::expects(features % tp == 0, "feature dim not divisible by TP degree");
+  return features / tp;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+Linear::Linear(std::string name, std::int64_t in_features,
+               std::int64_t out_features, TpMode mode)
+    : Module(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      mode_(mode) {
+  util::expects(in_features > 0 && out_features > 0, "bad feature sizes");
+}
+
+double Linear::parameter_count(int tp) const {
+  // Both column and row sharding split the weight matrix tp ways.
+  const double full = static_cast<double>(in_features_) *
+                      static_cast<double>(out_features_);
+  return mode_ == TpMode::none ? full : full / tp;
+}
+
+tensor::Tensor Linear::forward_impl(ExecutionContext& ctx,
+                                    const tensor::Tensor& input) {
+  const int tp = ctx.parallel().tensor_parallel;
+  const std::int64_t in_local =
+      mode_ == TpMode::row ? shard(in_features_, tp) : in_features_;
+  const std::int64_t out_local =
+      mode_ == TpMode::column ? shard(out_features_, tp) : out_features_;
+  util::expects(input.shape().dim(2) == in_local,
+                "linear input feature mismatch");
+
+  const std::int64_t s = input.shape().dim(0);
+  const std::int64_t b = input.shape().dim(1);
+  const std::int64_t tokens = token_count(input);
+
+  Tensor w = ctx.weight(name() + ".weight",
+                        TensorShape{in_local, out_local}, input.dtype());
+
+  auto& node = ctx.make_node(name() + "::LinearBWD");
+  // Backward needs the input (for the weight gradient) and the transposed
+  // weight (for the input gradient). The transpose is a view sharing the
+  // weight's storage — the get_id stamp carries over, so the tensor cache
+  // recognises it as a weight across steps (paper §III-C1).
+  node.save(input, ctx.hooks());
+  node.save(w.transpose_view(), ctx.hooks());
+
+  Tensor out = ctx.make_activation(name() + ".out",
+                                   TensorShape{s, b, out_local},
+                                   input.dtype());
+  const double flops = 2.0 * static_cast<double>(tokens) *
+                       static_cast<double>(in_local) *
+                       static_cast<double>(out_local);
+  ctx.kernel(name() + "::gemm", flops, input.bytes() + w.bytes(),
+             out.bytes(), {input});
+  if (mode_ == TpMode::row && tp > 1) {
+    ctx.tp_all_reduce(out.bytes());
+  }
+
+  auto& st = state(ctx);
+  st.nodes.push_back(&node);
+  st.shapes.push_back(input.shape());
+  return out;
+}
+
+tensor::Tensor Linear::backward_impl(ExecutionContext& ctx,
+                                     const tensor::Tensor& grad_output) {
+  auto& st = state(ctx);
+  util::expects(!st.nodes.empty(), "backward without forward");
+  graph::GraphNode& node = *st.nodes.back();
+  const TensorShape input_shape = st.shapes.back();
+  st.nodes.pop_back();
+  st.shapes.pop_back();
+  if (st.nodes.empty()) clear_state(ctx);
+
+  Tensor x = node.unpack(0, ctx.hooks());
+  Tensor w_t = node.unpack(1, ctx.hooks());
+
+  const std::int64_t tokens = grad_output.shape().dim(0) *
+                              grad_output.shape().dim(1);
+  const std::int64_t in_local = input_shape.dim(2);
+  const std::int64_t out_local = grad_output.shape().dim(2);
+  const double gemm_flops = 2.0 * static_cast<double>(tokens) *
+                            static_cast<double>(in_local) *
+                            static_cast<double>(out_local);
+
+  Tensor grad_input = ctx.make_activation(name() + ".dgrad", input_shape,
+                                          grad_output.dtype());
+  // dX = dY * W^T
+  ctx.kernel(name() + "::dgrad", gemm_flops,
+             grad_output.bytes() + w_t.bytes(), grad_input.bytes(),
+             {grad_output, w_t});
+  // dW = X^T * dY — this is the kernel gated by the activation reload.
+  ctx.kernel(name() + "::wgrad", gemm_flops, x.bytes() + grad_output.bytes(),
+             w_t.bytes(), {x, grad_output});
+  if (mode_ == TpMode::column && ctx.parallel().tensor_parallel > 1) {
+    ctx.tp_all_reduce(grad_input.bytes());
+  }
+  node.clear();
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+// ---------------------------------------------------------------------------
+
+LayerNorm::LayerNorm(std::string name, std::int64_t hidden)
+    : Module(std::move(name)), hidden_(hidden) {}
+
+tensor::Tensor LayerNorm::forward_impl(ExecutionContext& ctx,
+                                       const tensor::Tensor& input) {
+  auto& node = ctx.make_node(name() + "::LayerNormBWD");
+  node.save(input, ctx.hooks());
+
+  Tensor out =
+      ctx.make_activation(name() + ".out", input.shape(), input.dtype());
+  // Memory-bound: read + write one pass (statistics fused).
+  ctx.kernel(name() + "::layernorm",
+             8.0 * static_cast<double>(input.numel()), input.bytes(),
+             out.bytes(), {input});
+
+  auto& st = state(ctx);
+  st.nodes.push_back(&node);
+  st.shapes.push_back(input.shape());
+  return out;
+}
+
+tensor::Tensor LayerNorm::backward_impl(ExecutionContext& ctx,
+                                        const tensor::Tensor& grad_output) {
+  auto& st = state(ctx);
+  util::expects(!st.nodes.empty(), "backward without forward");
+  graph::GraphNode& node = *st.nodes.back();
+  const TensorShape input_shape = st.shapes.back();
+  st.nodes.pop_back();
+  st.shapes.pop_back();
+  if (st.nodes.empty()) clear_state(ctx);
+
+  Tensor x = node.unpack(0, ctx.hooks());
+  Tensor grad_input = ctx.make_activation(name() + ".dgrad", input_shape,
+                                          grad_output.dtype());
+  ctx.kernel(name() + "::layernorm_bwd",
+             12.0 * static_cast<double>(x.numel()),
+             x.bytes() + grad_output.bytes(), grad_input.bytes(),
+             {x, grad_output});
+  node.clear();
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// Gelu
+// ---------------------------------------------------------------------------
+
+Gelu::Gelu(std::string name) : Module(std::move(name)) {}
+
+tensor::Tensor Gelu::forward_impl(ExecutionContext& ctx,
+                                  const tensor::Tensor& input) {
+  auto& node = ctx.make_node(name() + "::GeluBWD");
+  node.save(input, ctx.hooks());
+
+  Tensor out =
+      ctx.make_activation(name() + ".out", input.shape(), input.dtype());
+  ctx.kernel(name() + "::gelu", 12.0 * static_cast<double>(input.numel()),
+             input.bytes(), out.bytes(), {input});
+
+  auto& st = state(ctx);
+  st.nodes.push_back(&node);
+  st.shapes.push_back(input.shape());
+  return out;
+}
+
+tensor::Tensor Gelu::backward_impl(ExecutionContext& ctx,
+                                   const tensor::Tensor& grad_output) {
+  auto& st = state(ctx);
+  util::expects(!st.nodes.empty(), "backward without forward");
+  graph::GraphNode& node = *st.nodes.back();
+  const TensorShape input_shape = st.shapes.back();
+  st.nodes.pop_back();
+  st.shapes.pop_back();
+  if (st.nodes.empty()) clear_state(ctx);
+
+  Tensor x = node.unpack(0, ctx.hooks());
+  Tensor grad_input = ctx.make_activation(name() + ".dgrad", input_shape,
+                                          grad_output.dtype());
+  ctx.kernel(name() + "::gelu_bwd",
+             16.0 * static_cast<double>(x.numel()),
+             x.bytes() + grad_output.bytes(), grad_input.bytes(),
+             {x, grad_output});
+  node.clear();
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+// ---------------------------------------------------------------------------
+
+Dropout::Dropout(std::string name, double probability)
+    : Module(std::move(name)), probability_(probability) {
+  util::expects(probability >= 0.0 && probability < 1.0,
+                "dropout probability out of range");
+}
+
+tensor::Tensor Dropout::forward_impl(ExecutionContext& ctx,
+                                     const tensor::Tensor& input) {
+  // The mask is the only tensor backward needs: 1 byte per element — the
+  // "+1 s*b*h" terms in the activation-memory formula.
+  Tensor mask = ctx.make_activation(name() + ".mask", input.shape(),
+                                    DType::int8);
+  Tensor out =
+      ctx.make_activation(name() + ".out", input.shape(), input.dtype());
+
+  auto& node = ctx.make_node(name() + "::DropoutBWD");
+  node.save(mask, ctx.hooks());
+
+  ctx.kernel(name() + "::dropout", 2.0 * static_cast<double>(input.numel()),
+             input.bytes(), out.bytes() + mask.bytes(), {input});
+
+  auto& st = state(ctx);
+  st.nodes.push_back(&node);
+  st.shapes.push_back(input.shape());
+  return out;
+}
+
+tensor::Tensor Dropout::backward_impl(ExecutionContext& ctx,
+                                      const tensor::Tensor& grad_output) {
+  auto& st = state(ctx);
+  util::expects(!st.nodes.empty(), "backward without forward");
+  graph::GraphNode& node = *st.nodes.back();
+  const TensorShape input_shape = st.shapes.back();
+  st.nodes.pop_back();
+  st.shapes.pop_back();
+  if (st.nodes.empty()) clear_state(ctx);
+
+  Tensor mask = node.unpack(0, ctx.hooks());
+  Tensor grad_input = ctx.make_activation(name() + ".dgrad", input_shape,
+                                          grad_output.dtype());
+  ctx.kernel(name() + "::dropout_bwd",
+             2.0 * static_cast<double>(grad_output.numel()),
+             grad_output.bytes() + mask.bytes(), grad_input.bytes(),
+             {mask, grad_output});
+  node.clear();
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// Embedding
+// ---------------------------------------------------------------------------
+
+Embedding::Embedding(std::string name, std::int64_t vocab,
+                     std::int64_t hidden)
+    : Module(std::move(name)), vocab_(vocab), hidden_(hidden) {}
+
+tensor::Tensor Embedding::forward_impl(ExecutionContext& ctx,
+                                       const tensor::Tensor& input) {
+  util::expects(input.is_cpu(), "embedding expects host token ids");
+  const std::int64_t s = input.shape().dim(0);
+  const std::int64_t b = input.shape().dim(1);
+
+  Tensor table = ctx.weight(name() + ".table", TensorShape{vocab_, hidden_},
+                            DType::fp16);
+  (void)table;
+
+  auto& node = ctx.make_node(name() + "::EmbeddingBWD");
+  node.save(input, ctx.hooks());  // CPU tensor: Alg. 1 returns it as-is
+
+  Tensor out = ctx.make_activation(name() + ".out",
+                                   TensorShape{s, b, hidden_}, DType::fp16);
+  ctx.kernel(name() + "::gather", 0.0, input.bytes(), out.bytes(), {input});
+
+  auto& st = state(ctx);
+  st.nodes.push_back(&node);
+  st.shapes.push_back(input.shape());
+  return out;
+}
+
+tensor::Tensor Embedding::backward_impl(ExecutionContext& ctx,
+                                        const tensor::Tensor& grad_output) {
+  auto& st = state(ctx);
+  util::expects(!st.nodes.empty(), "backward without forward");
+  graph::GraphNode& node = *st.nodes.back();
+  st.nodes.pop_back();
+  st.shapes.pop_back();
+  if (st.nodes.empty()) clear_state(ctx);
+
+  Tensor ids = node.unpack(0, ctx.hooks());
+  ctx.kernel(name() + "::scatter_add",
+             static_cast<double>(grad_output.numel()),
+             grad_output.bytes() + ids.bytes(), grad_output.bytes(),
+             {ids, grad_output});
+  node.clear();
+  return {};  // no gradient flows into token ids
+}
+
+// ---------------------------------------------------------------------------
+// LmHead
+// ---------------------------------------------------------------------------
+
+LmHead::LmHead(std::string name, std::int64_t hidden, std::int64_t vocab)
+    : Module(std::move(name)), hidden_(hidden), vocab_(vocab) {}
+
+double LmHead::parameter_count(int tp) const {
+  return static_cast<double>(hidden_) * static_cast<double>(vocab_) / tp;
+}
+
+tensor::Tensor LmHead::forward_impl(ExecutionContext& ctx,
+                                    const tensor::Tensor& input) {
+  const int tp = ctx.parallel().tensor_parallel;
+  const std::int64_t s = input.shape().dim(0);
+  const std::int64_t b = input.shape().dim(1);
+  const std::int64_t v_local = shard(vocab_, tp);
+  const std::int64_t tokens = s * b;
+
+  Tensor w = ctx.weight(name() + ".weight", TensorShape{hidden_, v_local},
+                        input.dtype());
+
+  auto& node = ctx.make_node(name() + "::LmHeadBWD");
+  node.save(input, ctx.hooks());
+  node.save(w.transpose_view(), ctx.hooks());
+
+  // Logits live only inside the fused kernel's scope (workspace), then the
+  // per-token loss statistics are all that remain.
+  Tensor logits = ctx.make_activation(name() + ".logits",
+                                      TensorShape{s, b, v_local},
+                                      input.dtype());
+  const double gemm_flops = 2.0 * static_cast<double>(tokens) *
+                            static_cast<double>(hidden_) *
+                            static_cast<double>(v_local);
+  ctx.kernel(name() + "::logits_gemm", gemm_flops,
+             input.bytes() + w.bytes(), logits.bytes(), {input});
+
+  Tensor loss_stats = ctx.make_activation(name() + ".loss_stats",
+                                          TensorShape{s, b, 2}, DType::fp32);
+  ctx.kernel(name() + "::fused_ce",
+             10.0 * static_cast<double>(logits.numel()), logits.bytes(),
+             loss_stats.bytes(), {logits});
+  node.save(loss_stats, ctx.hooks());
+  // `logits` drops here: workspace reclaimed after the fused kernel.
+
+  auto& st = state(ctx);
+  st.nodes.push_back(&node);
+  st.shapes.push_back(input.shape());
+  return loss_stats;
+}
+
+tensor::Tensor LmHead::backward_impl(ExecutionContext& ctx,
+                                     const tensor::Tensor& grad_output) {
+  (void)grad_output;  // loss is the root: incoming grad is the scalar 1
+  auto& st = state(ctx);
+  util::expects(!st.nodes.empty(), "backward without forward");
+  graph::GraphNode& node = *st.nodes.back();
+  const TensorShape input_shape = st.shapes.back();
+  st.nodes.pop_back();
+  st.shapes.pop_back();
+  if (st.nodes.empty()) clear_state(ctx);
+
+  const int tp = ctx.parallel().tensor_parallel;
+  const std::int64_t s = input_shape.dim(0);
+  const std::int64_t b = input_shape.dim(1);
+  const std::int64_t v_local = shard(vocab_, tp);
+  const std::int64_t tokens = s * b;
+
+  Tensor x = node.unpack(0, ctx.hooks());
+  Tensor w_t = node.unpack(1, ctx.hooks());
+  Tensor loss_stats = node.unpack(2, ctx.hooks());
+
+  // Rematerialise logits, convert to dlogits in place, then the two GEMMs.
+  Tensor dlogits = ctx.make_activation(name() + ".dlogits",
+                                       TensorShape{s, b, v_local},
+                                       tensor::DType::fp16);
+  const double gemm_flops = 2.0 * static_cast<double>(tokens) *
+                            static_cast<double>(hidden_) *
+                            static_cast<double>(v_local);
+  ctx.kernel(name() + "::remat_logits", gemm_flops, x.bytes() + w_t.bytes(),
+             dlogits.bytes(), {x, w_t});
+  ctx.kernel(name() + "::softmax_grad",
+             8.0 * static_cast<double>(dlogits.numel()),
+             dlogits.bytes() + loss_stats.bytes(), dlogits.bytes(),
+             {dlogits, loss_stats});
+
+  Tensor grad_input = ctx.make_activation(name() + ".dgrad", input_shape,
+                                          tensor::DType::fp16);
+  ctx.kernel(name() + "::dgrad", gemm_flops, dlogits.bytes() + w_t.bytes(),
+             grad_input.bytes(), {dlogits, w_t});
+  ctx.kernel(name() + "::wgrad", gemm_flops, x.bytes() + dlogits.bytes(),
+             w_t.bytes(), {x, dlogits});
+  // Vocab-parallel CE grad needs a TP reduction of the input gradient.
+  if (tp > 1) ctx.tp_all_reduce(grad_input.bytes());
+  node.clear();
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// residual_add
+// ---------------------------------------------------------------------------
+
+tensor::Tensor residual_add(ExecutionContext& ctx, const std::string& label,
+                            const tensor::Tensor& a, const tensor::Tensor& b) {
+  util::expects(a.shape() == b.shape(), "residual shape mismatch");
+  Tensor out = ctx.make_activation(label, a.shape(), a.dtype());
+  ctx.kernel(label + "::add", static_cast<double>(a.numel()),
+             a.bytes() + b.bytes(), out.bytes(), {a, b});
+  return out;
+}
+
+}  // namespace ssdtrain::modules

@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file ops.hpp
+/// Leaf operator modules. Activation shapes follow the [seq, batch, feature]
+/// convention; saved-tensor sizes reproduce the per-layer decomposition of
+/// Korthikanti et al. ("Reducing Activation Recomputation in Large
+/// Transformer Models"), which the paper's activation model builds on:
+/// a transformer layer with flash attention saves 34*s*b*h bytes at TP=1
+/// and s*b*h*(10 + 24/t) at TP degree t.
+
+#include <cstdint>
+#include <string>
+
+#include "ssdtrain/modules/module.hpp"
+
+namespace ssdtrain::modules {
+
+/// Megatron tensor-parallel layout of a linear layer.
+enum class TpMode : std::uint8_t {
+  none,    ///< replicated weight, no collective
+  column,  ///< output features sharded; backward all-reduces grad_input
+  row,     ///< input features sharded; forward all-reduces output
+};
+
+class Linear : public Module {
+ public:
+  /// \p in_features and \p out_features are the *full* (unsharded) sizes;
+  /// the TP degree is read from the execution context.
+  Linear(std::string name, std::int64_t in_features,
+         std::int64_t out_features, TpMode mode);
+
+  [[nodiscard]] std::int64_t in_features() const { return in_features_; }
+  [[nodiscard]] std::int64_t out_features() const { return out_features_; }
+  [[nodiscard]] TpMode mode() const { return mode_; }
+
+  /// Parameters held by this layer under TP degree \p tp.
+  [[nodiscard]] double parameter_count(int tp) const;
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  TpMode mode_;
+};
+
+class LayerNorm : public Module {
+ public:
+  LayerNorm(std::string name, std::int64_t hidden);
+
+  [[nodiscard]] double parameter_count() const {
+    return 2.0 * static_cast<double>(hidden_);  // scale + bias
+  }
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  std::int64_t hidden_;
+};
+
+class Gelu : public Module {
+ public:
+  explicit Gelu(std::string name);
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+};
+
+class Dropout : public Module {
+ public:
+  Dropout(std::string name, double probability);
+
+  [[nodiscard]] double probability() const { return probability_; }
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  double probability_;
+};
+
+/// Token embedding. Input: host int32 ids [s, b]; output: [s, b, h].
+/// Backward needs only the ids (which the pack hook passes through — they
+/// are CPU-resident and tiny, exercising two of Alg. 1's early-outs).
+class Embedding : public Module {
+ public:
+  Embedding(std::string name, std::int64_t vocab, std::int64_t hidden);
+
+  [[nodiscard]] double parameter_count() const {
+    return static_cast<double>(vocab_) * static_cast<double>(hidden_);
+  }
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  std::int64_t vocab_;
+  std::int64_t hidden_;
+};
+
+/// Language-model head: vocab-parallel projection fused with cross-entropy.
+/// The logits (s*b*V/t elements — GBs at LLM scale) are treated as
+/// workspace: the fused kernel keeps only per-token loss statistics and
+/// *rematerialises* the logits in backward (one extra GEMM), the standard
+/// memory-efficient fused-CE design. This keeps the activation footprint
+/// aligned with the transformer-layer model the paper validates in
+/// Table III.
+class LmHead : public Module {
+ public:
+  LmHead(std::string name, std::int64_t hidden, std::int64_t vocab);
+
+  [[nodiscard]] double parameter_count(int tp) const;
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  std::int64_t hidden_;
+  std::int64_t vocab_;
+};
+
+/// Residual addition helper: out = a + b, nothing saved (AddBackward routes
+/// gradients without state). Emitted by containers, not a Module.
+tensor::Tensor residual_add(ExecutionContext& ctx, const std::string& label,
+                            const tensor::Tensor& a, const tensor::Tensor& b);
+
+}  // namespace ssdtrain::modules

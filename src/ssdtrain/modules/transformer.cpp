@@ -1,0 +1,154 @@
+#include "ssdtrain/modules/transformer.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::modules {
+
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Mlp
+// ---------------------------------------------------------------------------
+
+Mlp::Mlp(std::string name, std::int64_t hidden, std::int64_t ffn_hidden,
+         double dropout_probability)
+    : Module(name) {
+  fc1_ = add_child(std::make_unique<Linear>(name + ".fc1", hidden,
+                                            ffn_hidden, TpMode::column));
+  gelu_ = add_child(std::make_unique<Gelu>(name + ".gelu"));
+  fc2_ = add_child(std::make_unique<Linear>(name + ".fc2", ffn_hidden,
+                                            hidden, TpMode::row));
+  dropout_ = add_child(
+      std::make_unique<Dropout>(name + ".dropout", dropout_probability));
+}
+
+double Mlp::parameter_count(int tp) const {
+  return fc1_->parameter_count(tp) + fc2_->parameter_count(tp);
+}
+
+Tensor Mlp::forward_impl(ExecutionContext& ctx, const Tensor& input) {
+  Tensor h = fc1_->forward(ctx, input);
+  h = gelu_->forward(ctx, h);
+  h = fc2_->forward(ctx, h);
+  return dropout_->forward(ctx, h);
+}
+
+Tensor Mlp::backward_impl(ExecutionContext& ctx, const Tensor& grad_output) {
+  Tensor g = dropout_->backward(ctx, grad_output);
+  g = fc2_->backward(ctx, g);
+  g = gelu_->backward(ctx, g);
+  return fc1_->backward(ctx, g);
+}
+
+// ---------------------------------------------------------------------------
+// TransformerLayer
+// ---------------------------------------------------------------------------
+
+TransformerLayer::TransformerLayer(std::string name, std::int64_t hidden,
+                                   std::int64_t heads, bool causal,
+                                   bool flash_attention,
+                                   double dropout_probability)
+    : Module(name) {
+  ln1_ = add_child(std::make_unique<LayerNorm>(name + ".ln1", hidden));
+  attention_ = add_child(std::make_unique<SelfAttention>(
+      name + ".attn", hidden, heads, causal, flash_attention,
+      dropout_probability));
+  ln2_ = add_child(std::make_unique<LayerNorm>(name + ".ln2", hidden));
+  mlp_ = add_child(std::make_unique<Mlp>(name + ".mlp", hidden, 4 * hidden,
+                                         dropout_probability));
+}
+
+double TransformerLayer::parameter_count(int tp) const {
+  return ln1_->parameter_count() + attention_->parameter_count(tp) +
+         ln2_->parameter_count() + mlp_->parameter_count(tp);
+}
+
+Tensor TransformerLayer::forward_impl(ExecutionContext& ctx,
+                                      const Tensor& input) {
+  Tensor h = ln1_->forward(ctx, input);
+  h = attention_->forward(ctx, h);
+  Tensor x2 = residual_add(ctx, name() + ".res1", h, input);
+  h = ln2_->forward(ctx, x2);
+  h = mlp_->forward(ctx, h);
+  return residual_add(ctx, name() + ".res2", h, x2);
+}
+
+Tensor TransformerLayer::backward_impl(ExecutionContext& ctx,
+                                       const Tensor& grad_output) {
+  // y = x2 + MLP(LN2(x2)); dy flows to both the MLP branch and the skip.
+  Tensor g = mlp_->backward(ctx, grad_output);
+  g = ln2_->backward(ctx, g);
+  Tensor d_x2 = residual_add(ctx, name() + ".dres2", g, grad_output);
+  // x2 = x + Attn(LN1(x)).
+  g = attention_->backward(ctx, d_x2);
+  g = ln1_->backward(ctx, g);
+  return residual_add(ctx, name() + ".dres1", g, d_x2);
+}
+
+// ---------------------------------------------------------------------------
+// T5DecoderLayer
+// ---------------------------------------------------------------------------
+
+T5DecoderLayer::T5DecoderLayer(std::string name, std::int64_t hidden,
+                               std::int64_t heads, bool flash_attention,
+                               double dropout_probability)
+    : Module(name) {
+  ln1_ = add_child(std::make_unique<LayerNorm>(name + ".ln1", hidden));
+  self_attention_ = add_child(std::make_unique<SelfAttention>(
+      name + ".self_attn", hidden, heads, /*causal=*/true, flash_attention,
+      dropout_probability));
+  ln_cross_ =
+      add_child(std::make_unique<LayerNorm>(name + ".ln_cross", hidden));
+  cross_attention_ = add_child(std::make_unique<CrossAttention>(
+      name + ".cross_attn", hidden, heads, dropout_probability));
+  ln2_ = add_child(std::make_unique<LayerNorm>(name + ".ln2", hidden));
+  mlp_ = add_child(std::make_unique<Mlp>(name + ".mlp", hidden, 4 * hidden,
+                                         dropout_probability));
+}
+
+void T5DecoderLayer::set_encoder_memory(tensor::Tensor memory) {
+  cross_attention_->set_memory(std::move(memory));
+}
+
+tensor::Tensor T5DecoderLayer::take_encoder_memory_grad() {
+  return cross_attention_->take_memory_grad();
+}
+
+double T5DecoderLayer::parameter_count(int tp) const {
+  return ln1_->parameter_count() + self_attention_->parameter_count(tp) +
+         ln_cross_->parameter_count() +
+         cross_attention_->parameter_count(tp) + ln2_->parameter_count() +
+         mlp_->parameter_count(tp);
+}
+
+Tensor T5DecoderLayer::forward_impl(ExecutionContext& ctx,
+                                    const Tensor& input) {
+  Tensor h = ln1_->forward(ctx, input);
+  h = self_attention_->forward(ctx, h);
+  Tensor x2 = residual_add(ctx, name() + ".res1", h, input);
+
+  h = ln_cross_->forward(ctx, x2);
+  h = cross_attention_->forward(ctx, h);
+  Tensor x3 = residual_add(ctx, name() + ".res_cross", h, x2);
+
+  h = ln2_->forward(ctx, x3);
+  h = mlp_->forward(ctx, h);
+  return residual_add(ctx, name() + ".res2", h, x3);
+}
+
+Tensor T5DecoderLayer::backward_impl(ExecutionContext& ctx,
+                                     const Tensor& grad_output) {
+  Tensor g = mlp_->backward(ctx, grad_output);
+  g = ln2_->backward(ctx, g);
+  Tensor d_x3 = residual_add(ctx, name() + ".dres2", g, grad_output);
+
+  g = cross_attention_->backward(ctx, d_x3);
+  g = ln_cross_->backward(ctx, g);
+  Tensor d_x2 = residual_add(ctx, name() + ".dres_cross", g, d_x3);
+
+  g = self_attention_->backward(ctx, d_x2);
+  g = ln1_->backward(ctx, g);
+  return residual_add(ctx, name() + ".dres1", g, d_x2);
+}
+
+}  // namespace ssdtrain::modules

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file transformer.hpp
+/// Transformer layer containers: the pre-LN layer used by BERT/GPT (and the
+/// T5 encoder), and the decoder variant with an extra cross-attention block
+/// (T5 decoder). These are the module scopes the tensor cache tracks and
+/// the units the "keep last module" rule and the recompute baseline operate
+/// on.
+
+#include <cstdint>
+
+#include "ssdtrain/modules/attention.hpp"
+#include "ssdtrain/modules/module.hpp"
+#include "ssdtrain/modules/ops.hpp"
+
+namespace ssdtrain::modules {
+
+class Mlp : public Module {
+ public:
+  Mlp(std::string name, std::int64_t hidden, std::int64_t ffn_hidden,
+      double dropout_probability = 0.1);
+
+  [[nodiscard]] double parameter_count(int tp) const;
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  Linear* fc1_;
+  Gelu* gelu_;
+  Linear* fc2_;
+  Dropout* dropout_;
+};
+
+/// Pre-LN transformer layer: x + Attn(LN(x)), then x + MLP(LN(x)).
+class TransformerLayer : public Module {
+ public:
+  TransformerLayer(std::string name, std::int64_t hidden, std::int64_t heads,
+                   bool causal, bool flash_attention,
+                   double dropout_probability = 0.1);
+
+  [[nodiscard]] double parameter_count(int tp) const;
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  LayerNorm* ln1_;
+  SelfAttention* attention_;
+  LayerNorm* ln2_;
+  Mlp* mlp_;
+};
+
+/// T5 decoder layer: self-attention (causal), cross-attention over the
+/// encoder memory, then the MLP.
+class T5DecoderLayer : public Module {
+ public:
+  T5DecoderLayer(std::string name, std::int64_t hidden, std::int64_t heads,
+                 bool flash_attention, double dropout_probability = 0.1);
+
+  /// Encoder output for this micro-batch; must be set before forward.
+  void set_encoder_memory(tensor::Tensor memory);
+  /// Gradient flowing back into the encoder memory, valid after backward.
+  tensor::Tensor take_encoder_memory_grad();
+
+  [[nodiscard]] double parameter_count(int tp) const;
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  LayerNorm* ln1_;
+  SelfAttention* self_attention_;
+  LayerNorm* ln_cross_;
+  CrossAttention* cross_attention_;
+  LayerNorm* ln2_;
+  Mlp* mlp_;
+};
+
+}  // namespace ssdtrain::modules

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file parallel_config.hpp
+/// The three levels of LLM parallelism the paper works with (§II-A): tensor
+/// parallelism shards weight tensors and the "parallel-region" activations;
+/// pipeline parallelism places contiguous layer chunks on different GPUs;
+/// data parallelism replicates the model, optionally sharding states with
+/// ZeRO.
+
+#include <cstdint>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::parallel {
+
+/// What ZeRO shards across data-parallel ranks.
+enum class ZeroStage : std::uint8_t {
+  none = 0,        ///< plain DP: full replicas everywhere
+  stage1 = 1,      ///< optimizer states sharded
+  stage2 = 2,      ///< + gradients sharded
+  stage3 = 3,      ///< + parameters sharded (ZeRO-Infinity's base)
+};
+
+struct ParallelConfig {
+  int tensor_parallel = 1;
+  int pipeline_parallel = 1;
+  int data_parallel = 1;
+  ZeroStage zero = ZeroStage::none;
+  /// Megatron sequence parallelism: shards the LayerNorm/dropout regions
+  /// across the TP group too, making the whole per-layer activation
+  /// footprint scale as 34*s*b*h/t (used by the large-scale projections).
+  bool sequence_parallel = false;
+
+  [[nodiscard]] int gpu_count() const {
+    return tensor_parallel * pipeline_parallel * data_parallel;
+  }
+
+  void validate() const {
+    util::expects(tensor_parallel >= 1, "tp >= 1");
+    util::expects(pipeline_parallel >= 1, "pp >= 1");
+    util::expects(data_parallel >= 1, "dp >= 1");
+    util::expects(zero == ZeroStage::none || data_parallel > 1,
+                  "ZeRO requires data parallelism");
+  }
+};
+
+}  // namespace ssdtrain::parallel

@@ -1,0 +1,73 @@
+#include "ssdtrain/parallel/zero.hpp"
+
+#include "ssdtrain/parallel/collectives.hpp"
+
+namespace ssdtrain::parallel {
+
+ZeroMemoryBreakdown zero_memory_per_gpu(double parameter_count,
+                                        const ParallelConfig& config,
+                                        double weight_bytes_per_param,
+                                        double grad_bytes_per_param,
+                                        double optim_bytes_per_param) {
+  config.validate();
+  const auto dp = static_cast<double>(config.data_parallel);
+  ZeroMemoryBreakdown memory;
+  const double params_bytes = parameter_count * weight_bytes_per_param;
+  const double grads_bytes = parameter_count * grad_bytes_per_param;
+  const double optim_bytes = parameter_count * optim_bytes_per_param;
+
+  switch (config.zero) {
+    case ZeroStage::none:
+      memory.parameters = static_cast<util::Bytes>(params_bytes);
+      memory.gradients = static_cast<util::Bytes>(grads_bytes);
+      memory.optimizer_states = static_cast<util::Bytes>(optim_bytes);
+      break;
+    case ZeroStage::stage1:
+      memory.parameters = static_cast<util::Bytes>(params_bytes);
+      memory.gradients = static_cast<util::Bytes>(grads_bytes);
+      memory.optimizer_states = static_cast<util::Bytes>(optim_bytes / dp);
+      break;
+    case ZeroStage::stage2:
+      memory.parameters = static_cast<util::Bytes>(params_bytes);
+      memory.gradients = static_cast<util::Bytes>(grads_bytes / dp);
+      memory.optimizer_states = static_cast<util::Bytes>(optim_bytes / dp);
+      break;
+    case ZeroStage::stage3:
+      memory.parameters = static_cast<util::Bytes>(params_bytes / dp);
+      memory.gradients = static_cast<util::Bytes>(grads_bytes / dp);
+      memory.optimizer_states = static_cast<util::Bytes>(optim_bytes / dp);
+      break;
+  }
+  return memory;
+}
+
+double zero_dp_traffic_per_step(double parameter_bytes,
+                                const ParallelConfig& config) {
+  config.validate();
+  const int dp = config.data_parallel;
+  if (dp == 1) return 0.0;
+  switch (config.zero) {
+    case ZeroStage::none:
+    case ZeroStage::stage1:
+      // Gradient all-reduce.
+      return all_reduce_traffic(static_cast<util::Bytes>(parameter_bytes),
+                                dp);
+    case ZeroStage::stage2:
+      // Gradient reduce-scatter + (for the next step's update) no extra
+      // gather of parameters: 1x volume.
+      return reduce_scatter_traffic(static_cast<util::Bytes>(parameter_bytes),
+                                    dp) +
+             all_gather_traffic(static_cast<util::Bytes>(parameter_bytes),
+                                dp);
+    case ZeroStage::stage3:
+      // Parameters all-gathered in forward and again in backward, gradients
+      // reduce-scattered: 3x the stage-1 volume (ZeRO paper, §5).
+      return 2.0 * all_gather_traffic(
+                       static_cast<util::Bytes>(parameter_bytes), dp) +
+             reduce_scatter_traffic(static_cast<util::Bytes>(parameter_bytes),
+                                    dp);
+  }
+  return 0.0;
+}
+
+}  // namespace ssdtrain::parallel

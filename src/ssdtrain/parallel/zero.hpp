@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file zero.hpp
+/// ZeRO memory- and communication-volume model (Rajbhandari et al., SC'20),
+/// used by the analysis module for the paper's Fig. 5 / Fig. 8(b)
+/// projections ("ZeRO3" configurations) and to reason about what SSDTrain's
+/// interoperability means: activation offloading composes with any stage
+/// because activations are never sharded by ZeRO.
+
+#include "ssdtrain/parallel/parallel_config.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::parallel {
+
+struct ZeroMemoryBreakdown {
+  util::Bytes parameters = 0;
+  util::Bytes gradients = 0;
+  util::Bytes optimizer_states = 0;
+
+  [[nodiscard]] util::Bytes total() const {
+    return parameters + gradients + optimizer_states;
+  }
+};
+
+/// Per-GPU memory for model states. \p parameter_count is per pipeline
+/// stage per tensor-parallel shard (i.e. already divided by pp*tp).
+/// \p bytes_per_param covers weights (2 for fp16); optimizer-state and
+/// gradient multipliers follow mixed-precision Adam by default (paper
+/// experiments use FP16 SGD — pass 2/0 accordingly).
+ZeroMemoryBreakdown zero_memory_per_gpu(double parameter_count,
+                                        const ParallelConfig& config,
+                                        double weight_bytes_per_param = 2.0,
+                                        double grad_bytes_per_param = 2.0,
+                                        double optim_bytes_per_param = 12.0);
+
+/// Bytes each GPU moves through its DP-fabric link per step for gradient
+/// reduction and (stage 3) parameter gathering. \p parameter_bytes is the
+/// per-stage per-shard parameter footprint in bytes.
+double zero_dp_traffic_per_step(double parameter_bytes,
+                                const ParallelConfig& config);
+
+}  // namespace ssdtrain::parallel

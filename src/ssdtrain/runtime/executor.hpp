@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file executor.hpp
+/// The Executor binds the module tree to the simulated hardware: it is the
+/// concrete ExecutionContext that allocates tensors from the GPU's
+/// allocator, enqueues kernels on the compute stream (with bounded
+/// launch-ahead, mimicking how the CPU submits GPU work ahead of execution,
+/// paper §IV-B), wires saved tensors through the tensor cache's hooks, and
+/// drives a schedule of forward/backward/optimizer commands while
+/// collecting StepStats.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/core/tensor_cache.hpp"
+#include "ssdtrain/graph/graph.hpp"
+#include "ssdtrain/hw/node.hpp"
+#include "ssdtrain/modules/execution_context.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/parallel/collectives.hpp"
+#include "ssdtrain/parallel/parallel_config.hpp"
+#include "ssdtrain/runtime/step_stats.hpp"
+#include "ssdtrain/sched/schedule.hpp"
+#include "ssdtrain/tensor/tensor.hpp"
+
+namespace ssdtrain::runtime {
+
+struct ExecutorOptions {
+  int gpu_index = 0;
+  /// Maximum kernels the (simulated) CPU may run ahead of the GPU — about
+  /// half a transformer layer. Python module overhead and launch-queue
+  /// back-pressure keep the real CPU this close to the GPU, which is what
+  /// bounds how much not-yet-offloaded activation memory piles up (the
+  /// paper's §III-D estimate likewise assumes only ~two layers resident at
+  /// once).
+  int max_launch_ahead = 12;
+  bool recompute = false;  ///< layerwise full recomputation strategy
+  parallel::FabricSpec tp_fabric{util::gbps(300), util::us(5)};
+};
+
+class Executor final : public modules::ExecutionContext {
+ public:
+  Executor(hw::TrainingNode& node, parallel::ParallelConfig parallel,
+           ExecutorOptions options);
+
+  /// Attaches the tensor cache whose pack/unpack hooks intercept saved
+  /// tensors. Optional: without a cache this is the keep-everything (or
+  /// pure recompute) baseline.
+  void attach_cache(core::TensorCache* cache) { cache_ = cache; }
+
+  [[nodiscard]] tensor::TensorFactory& factory() { return factory_; }
+
+  /// Runs one training step following \p schedule. Keep-last-module hints
+  /// are derived from the schedule (backward immediately after forward).
+  StepStats run_step(modules::Model& model,
+                     const std::vector<sched::Command>& schedule);
+
+  // -- ExecutionContext -----------------------------------------------------
+  tensor::Tensor make_activation(std::string label, tensor::TensorShape shape,
+                                 tensor::DType dtype) override;
+  tensor::Tensor weight(const std::string& key, tensor::TensorShape shape,
+                        tensor::DType dtype) override;
+  tensor::Tensor make_host_tensor(std::string label,
+                                  tensor::TensorShape shape,
+                                  tensor::DType dtype) override;
+  void kernel(std::string label, util::Flops flops, util::Bytes bytes_read,
+              util::Bytes bytes_written,
+              std::vector<tensor::Tensor> consumed) override;
+  void tp_all_reduce(util::Bytes bytes) override;
+  graph::GraphNode& make_node(std::string name) override;
+  const graph::SavedTensorHooks* hooks() const override;
+  const parallel::ParallelConfig& parallel() const override;
+  int micro_batch() const override { return micro_batch_; }
+  bool recompute_mode() const override { return options_.recompute; }
+  void push_hooks(const graph::SavedTensorHooks* hooks) override;
+  void pop_hooks() override;
+  void begin_recompute_segment() override { ++recompute_depth_; }
+  void end_recompute_segment() override;
+
+  [[nodiscard]] util::Bytes weights_live() const;
+
+ private:
+  void bind_pending_ready_events(const sim::CompletionPtr& producer);
+  void pace();  ///< bounded launch-ahead: advance sim while queue too deep
+  void run_optimizer(modules::Model& model);
+
+  hw::TrainingNode& node_;
+  parallel::ParallelConfig parallel_;
+  ExecutorOptions options_;
+  tensor::TensorFactory factory_;
+  graph::Graph graph_;
+  core::TensorCache* cache_ = nullptr;
+  std::vector<const graph::SavedTensorHooks*> hook_stack_;
+  std::map<std::string, tensor::Tensor> weights_;
+  util::Bytes weight_grad_bytes_ = 0;
+  std::vector<tensor::Tensor> pending_ready_;
+  std::map<int, tensor::Tensor> loss_by_micro_batch_;
+  int micro_batch_ = 0;
+  int recompute_depth_ = 0;
+  util::Flops algorithmic_flops_ = 0.0;
+  util::Flops executed_flops_ = 0.0;
+};
+
+}  // namespace ssdtrain::runtime

@@ -1,0 +1,125 @@
+#include "ssdtrain/runtime/session.hpp"
+
+#include <algorithm>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::runtime {
+
+std::string_view to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::keep_in_gpu:
+      return "keep-in-gpu";
+    case Strategy::ssdtrain:
+      return "ssdtrain";
+    case Strategy::ssdtrain_cpu:
+      return "ssdtrain-cpu";
+    case Strategy::recompute_full:
+      return "recompute-full";
+    case Strategy::ssdtrain_recompute:
+      return "ssdtrain+recompute";
+  }
+  return "?";
+}
+
+TrainingSession::TrainingSession(SessionConfig config)
+    : config_(std::move(config)) {
+  config_.parallel.validate();
+  node_ = std::make_unique<hw::TrainingNode>(config_.node);
+  model_ = modules::build_model(config_.model);
+
+  ExecutorOptions exec_options;
+  exec_options.gpu_index = config_.gpu_index;
+  exec_options.recompute =
+      config_.strategy == Strategy::recompute_full ||
+      config_.strategy == Strategy::ssdtrain_recompute;
+  executor_ = std::make_unique<Executor>(*node_, config_.parallel,
+                                         exec_options);
+
+  const bool offloading = config_.strategy == Strategy::ssdtrain ||
+                          config_.strategy == Strategy::ssdtrain_cpu ||
+                          config_.strategy == Strategy::ssdtrain_recompute;
+  if (!offloading) return;
+
+  if (config_.install_malloc_hook) {
+    malloc_hook_ = std::make_unique<core::CudaMallocHookLibrary>();
+    malloc_hook_->install(*node_->gpu(config_.gpu_index).allocator);
+  }
+
+  util::BytesPerSecond target_bw = 0.0;
+  if (config_.strategy == Strategy::ssdtrain ||
+      config_.strategy == Strategy::ssdtrain_recompute) {
+    util::expects(node_->has_array(config_.gpu_index),
+                  "SSDTrain strategy needs an SSD array on this GPU");
+    core::SsdOffloaderConfig ssd_cfg;
+    ssd_cfg.gpu_index = config_.gpu_index;
+    ssd_cfg.store_workers = config_.store_workers;
+    ssd_cfg.load_workers = config_.load_workers;
+    ssd_cfg.use_gds = config_.use_gds;
+    offloader_ = std::make_unique<core::SsdOffloader>(
+        *node_, executor_->factory(), ssd_cfg, malloc_hook_.get());
+    target_bw = std::min(node_->array(config_.gpu_index)
+                             .nominal_write_bandwidth(),
+                         hw::effective_bandwidth(config_.node.pcie));
+  } else {
+    core::CpuOffloaderConfig cpu_cfg;
+    cpu_cfg.gpu_index = config_.gpu_index;
+    cpu_cfg.store_workers = config_.store_workers;
+    cpu_cfg.load_workers = config_.load_workers;
+    offloader_ = std::make_unique<core::CpuOffloader>(
+        *node_, executor_->factory(), cpu_cfg);
+    target_bw = std::min(hw::effective_bandwidth(config_.node.pcie),
+                         config_.node.dram_bandwidth);
+  }
+
+  // Adaptive planning (Fig. 3): set the offload amount from the model's
+  // compute/activation profile, the GPU throughput, and the target's
+  // bandwidth.
+  core::PlannerInputs inputs;
+  inputs.model = config_.model;
+  inputs.parallel = config_.parallel;
+  inputs.gpu = config_.node.gpu;
+  inputs.target_write_bandwidth = target_bw;
+  inputs.micro_batches = config_.micro_batches;
+  plan_ = core::plan_offload(inputs);
+
+  core::TensorCacheConfig cache_cfg = core::make_cache_config(*plan_);
+  if (config_.budget_override) {
+    cache_cfg.offload_budget = *config_.budget_override;
+  }
+  cache_cfg.forwarding = config_.forwarding;
+  cache_cfg.prefetch_lookahead = config_.prefetch_lookahead;
+  cache_ = std::make_unique<core::TensorCache>(node_->simulator(),
+                                               *offloader_, cache_cfg);
+  cache_->install_hooks(*model_);
+  executor_->attach_cache(cache_.get());
+
+  if (config_.strategy == Strategy::ssdtrain_cpu) {
+    // Pool sized from the planner's profile of the first step (paper
+    // §III-A), with headroom for in-flight transfers.
+    const auto pool = static_cast<util::Bytes>(
+        static_cast<double>(cache_cfg.offload_budget) * 1.25);
+    node_->pinned_pool().resize(
+        std::max<util::Bytes>(pool, util::gib(1)));
+  }
+}
+
+StepStats TrainingSession::run_step() {
+  const auto schedule = sched::grad_accum_schedule(config_.micro_batches);
+  StepStats stats = executor_->run_step(*model_, schedule);
+  if (offloader_ != nullptr) {
+    stats.offloader_totals = offloader_->stats();
+    stats.loaded_bytes = stats.offloader_totals.bytes_loaded;
+  }
+  return stats;
+}
+
+std::vector<StepStats> TrainingSession::run_steps(int n) {
+  util::expects(n >= 1, "need at least one step");
+  std::vector<StepStats> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(run_step());
+  return out;
+}
+
+}  // namespace ssdtrain::runtime

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file session.hpp
+/// TrainingSession — the top-level user-facing API. It assembles the
+/// simulated machine, the model, the strategy (keep everything / SSDTrain
+/// offloading to SSD or host memory / layerwise full recomputation), the
+/// adaptive planner, and the schedule, then runs training steps and returns
+/// per-step measurements. This is the entry point the examples and all
+/// paper-figure benches use.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ssdtrain/core/offloader.hpp"
+#include "ssdtrain/core/planner.hpp"
+#include "ssdtrain/core/tensor_cache.hpp"
+#include "ssdtrain/hw/catalog.hpp"
+#include "ssdtrain/hw/node.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/runtime/executor.hpp"
+#include "ssdtrain/runtime/step_stats.hpp"
+
+namespace ssdtrain::runtime {
+
+/// Activation-placement strategy (the three corners of the paper's
+/// recompute-offload-keep design space, plus the CPU-offload variant).
+enum class Strategy {
+  keep_in_gpu,      ///< baseline: everything stays in device memory
+  ssdtrain,         ///< offload to NVMe via GDS (the paper's system)
+  ssdtrain_cpu,     ///< offload to pinned host memory (CPU offloader)
+  recompute_full,   ///< layerwise full recomputation baseline
+  /// Hybrid: activation checkpointing whose checkpoints are themselves
+  /// offloaded to SSD, with rematerialised tensors kept in GPU memory by
+  /// Alg. 1's in-backward branch — the minimum-memory corner of the ROK
+  /// space and the interoperability case the paper's Alg. 1 line 5 covers.
+  ssdtrain_recompute,
+};
+
+std::string_view to_string(Strategy strategy);
+
+struct SessionConfig {
+  modules::ModelConfig model;
+  parallel::ParallelConfig parallel;
+  hw::NodeConfig node = hw::catalog::table2_evaluation_node();
+  /// The paper instruments the GPU attached to the 4-SSD array.
+  int gpu_index = hw::catalog::table2_measured_gpu;
+  Strategy strategy = Strategy::ssdtrain;
+  int micro_batches = 1;  ///< gradient-accumulation count
+
+  // SSDTrain knobs (ablations):
+  bool use_gds = true;
+  bool forwarding = true;
+  int prefetch_lookahead = 1;
+  bool install_malloc_hook = true;
+  int store_workers = 2;
+  int load_workers = 2;
+  /// Overrides the planner's offload budget when set.
+  std::optional<util::Bytes> budget_override;
+};
+
+class TrainingSession {
+ public:
+  explicit TrainingSession(SessionConfig config);
+  TrainingSession(const TrainingSession&) = delete;
+  TrainingSession& operator=(const TrainingSession&) = delete;
+
+  /// Runs one step and returns its measurements.
+  StepStats run_step();
+
+  /// Runs \p n steps; returns one StepStats per step.
+  std::vector<StepStats> run_steps(int n);
+
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+  [[nodiscard]] hw::TrainingNode& node() { return *node_; }
+  [[nodiscard]] modules::Model& model() { return *model_; }
+  [[nodiscard]] Executor& executor() { return *executor_; }
+  /// Null unless the strategy uses the tensor cache.
+  [[nodiscard]] core::TensorCache* cache() { return cache_.get(); }
+  [[nodiscard]] core::Offloader* offloader() { return offloader_.get(); }
+  /// The adaptive planner's decision (engaged for offloading strategies).
+  [[nodiscard]] const std::optional<core::OffloadPlan>& plan() const {
+    return plan_;
+  }
+
+ private:
+  SessionConfig config_;
+  std::unique_ptr<hw::TrainingNode> node_;
+  std::unique_ptr<modules::Model> model_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<core::CudaMallocHookLibrary> malloc_hook_;
+  std::unique_ptr<core::Offloader> offloader_;
+  std::unique_ptr<core::TensorCache> cache_;
+  std::optional<core::OffloadPlan> plan_;
+};
+
+}  // namespace ssdtrain::runtime

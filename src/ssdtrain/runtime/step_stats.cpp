@@ -1,0 +1,47 @@
+#include "ssdtrain/runtime/step_stats.hpp"
+
+#include <vector>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::runtime {
+
+StepStats average(const std::vector<StepStats>& steps) {
+  util::expects(!steps.empty(), "no steps to average");
+  StepStats out;
+  const auto n = static_cast<double>(steps.size());
+  for (const auto& s : steps) {
+    out.step_time += s.step_time / n;
+    out.drain_time += s.drain_time / n;
+    out.activation_peak += static_cast<util::Bytes>(
+        static_cast<double>(s.activation_peak) / n);
+    out.total_peak +=
+        static_cast<util::Bytes>(static_cast<double>(s.total_peak) / n);
+    out.weights_live +=
+        static_cast<util::Bytes>(static_cast<double>(s.weights_live) / n);
+    out.algorithmic_flops += s.algorithmic_flops / n;
+    out.executed_flops += s.executed_flops / n;
+    out.compute_busy += s.compute_busy / n;
+    out.offloaded_bytes += static_cast<util::Bytes>(
+        static_cast<double>(s.offloaded_bytes) / n);
+    out.loaded_bytes +=
+        static_cast<util::Bytes>(static_cast<double>(s.loaded_bytes) / n);
+    out.ssd_host_written += static_cast<util::Bytes>(
+        static_cast<double>(s.ssd_host_written) / n);
+    out.ssd_write_amplification += s.ssd_write_amplification / n;
+  }
+  out.ssd_write_amplification -= 1.0;  // remove default-initialised 1.0
+  out.model_throughput =
+      out.step_time > 0.0 ? out.algorithmic_flops / out.step_time : 0.0;
+  out.compute_utilization =
+      out.step_time > 0.0 ? out.compute_busy / out.step_time : 0.0;
+  out.required_write_bandwidth =
+      out.step_time > 0.0
+          ? static_cast<double>(out.offloaded_bytes) / (out.step_time / 2.0)
+          : 0.0;
+  out.cache = steps.back().cache;
+  out.offloader_totals = steps.back().offloader_totals;
+  return out;
+}
+
+}  // namespace ssdtrain::runtime

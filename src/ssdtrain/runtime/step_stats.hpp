@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file step_stats.hpp
+/// Per-step measurements collected by the executor — the quantities the
+/// paper's evaluation reports: step time (Fig. 6a), activation memory peak
+/// (Fig. 6b), per-GPU model throughput (Fig. 7), offloaded volume and
+/// required PCIe write bandwidth (Table III), plus cache/offloader/SSD
+/// counters for the ablations.
+
+#include "ssdtrain/core/offloader.hpp"
+#include "ssdtrain/core/tensor_cache.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::runtime {
+
+struct StepStats {
+  util::Seconds step_time = 0.0;
+  /// Extra time after the optimizer finished until all I/O drained
+  /// (non-zero only when the SSDs could not keep up).
+  util::Seconds drain_time = 0.0;
+  /// Time spent in the weight update (gradient norm, SGD, zeroing,
+  /// framework overhead) — the component whose amortisation drives the
+  /// Fig. 8(a) micro-batch study.
+  util::Seconds optimizer_time = 0.0;
+
+  util::Bytes activation_peak = 0;  ///< high-water mark, activation tag
+  util::Bytes total_peak = 0;
+  util::Bytes weights_live = 0;
+
+  util::Flops algorithmic_flops = 0.0;  ///< excludes recomputation
+  util::Flops executed_flops = 0.0;     ///< includes recomputation
+  util::FlopsPerSecond model_throughput = 0.0;  ///< algorithmic / step_time
+
+  util::Seconds compute_busy = 0.0;
+  double compute_utilization = 0.0;
+
+  // Offload-path measurements (deltas over this step).
+  util::Bytes offloaded_bytes = 0;
+  util::Bytes loaded_bytes = 0;
+  util::Bytes ssd_host_written = 0;
+  double ssd_write_amplification = 1.0;
+  util::BytesPerSecond required_write_bandwidth = 0.0;  ///< offloaded/(t/2)
+
+  core::TensorCacheStats cache;          ///< snapshot at step end
+  core::OffloaderStats offloader_totals; ///< snapshot at step end
+};
+
+/// Element-wise mean over steps (throughputs are recomputed from means).
+StepStats average(const std::vector<StepStats>& steps);
+
+}  // namespace ssdtrain::runtime

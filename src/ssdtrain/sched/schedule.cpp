@@ -1,0 +1,106 @@
+#include "ssdtrain/sched/schedule.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::sched {
+
+std::string to_string(const Command& command) {
+  switch (command.kind) {
+    case CommandKind::forward:
+      return "F" + std::to_string(command.micro_batch);
+    case CommandKind::backward:
+      return "B" + std::to_string(command.micro_batch);
+    case CommandKind::optimizer_step:
+      return "OPT";
+  }
+  return "?";
+}
+
+std::vector<Command> grad_accum_schedule(int micro_batches) {
+  util::expects(micro_batches >= 1, "need at least one micro-batch");
+  std::vector<Command> out;
+  for (int mb = 0; mb < micro_batches; ++mb) {
+    out.push_back({CommandKind::forward, mb});
+    out.push_back({CommandKind::backward, mb});
+  }
+  out.push_back({CommandKind::optimizer_step, 0});
+  return out;
+}
+
+std::vector<Command> schedule_1f1b(int micro_batches, int pipeline_stages,
+                                   int stage) {
+  util::expects(micro_batches >= 1, "need at least one micro-batch");
+  util::expects(pipeline_stages >= 1, "need at least one stage");
+  util::expects(stage >= 0 && stage < pipeline_stages, "stage out of range");
+
+  const int warmup =
+      std::min(pipeline_stages - stage - 1, micro_batches);
+  std::vector<Command> out;
+  int next_fwd = 0;
+  int next_bwd = 0;
+  for (int i = 0; i < warmup; ++i) {
+    out.push_back({CommandKind::forward, next_fwd++});
+  }
+  // Steady state: one forward, one backward.
+  while (next_fwd < micro_batches) {
+    out.push_back({CommandKind::forward, next_fwd++});
+    out.push_back({CommandKind::backward, next_bwd++});
+  }
+  // Cool-down: drain remaining backwards.
+  while (next_bwd < micro_batches) {
+    out.push_back({CommandKind::backward, next_bwd++});
+  }
+  out.push_back({CommandKind::optimizer_step, 0});
+  return out;
+}
+
+std::vector<Command> schedule_gpipe(int micro_batches, int pipeline_stages,
+                                    int stage) {
+  util::expects(micro_batches >= 1, "need at least one micro-batch");
+  util::expects(stage >= 0 && stage < pipeline_stages, "stage out of range");
+  std::vector<Command> out;
+  for (int mb = 0; mb < micro_batches; ++mb) {
+    out.push_back({CommandKind::forward, mb});
+  }
+  for (int mb = micro_batches - 1; mb >= 0; --mb) {
+    out.push_back({CommandKind::backward, mb});
+  }
+  out.push_back({CommandKind::optimizer_step, 0});
+  return out;
+}
+
+double ideal_bubble_fraction(int micro_batches, int pipeline_stages) {
+  util::expects(micro_batches >= 1 && pipeline_stages >= 1, "bad arguments");
+  return static_cast<double>(pipeline_stages - 1) /
+         static_cast<double>(micro_batches + pipeline_stages - 1);
+}
+
+bool backward_follows_immediately(const std::vector<Command>& schedule,
+                                  std::size_t index) {
+  util::expects(index < schedule.size(), "index out of range");
+  const Command& cmd = schedule[index];
+  if (cmd.kind != CommandKind::forward) return false;
+  if (index + 1 >= schedule.size()) return false;
+  const Command& next = schedule[index + 1];
+  return next.kind == CommandKind::backward &&
+         next.micro_batch == cmd.micro_batch;
+}
+
+int peak_in_flight_micro_batches(const std::vector<Command>& schedule) {
+  std::set<int> in_flight;
+  int peak = 0;
+  for (const Command& cmd : schedule) {
+    if (cmd.kind == CommandKind::forward) {
+      in_flight.insert(cmd.micro_batch);
+      peak = std::max(peak, static_cast<int>(in_flight.size()));
+    } else if (cmd.kind == CommandKind::backward) {
+      in_flight.erase(cmd.micro_batch);
+    }
+  }
+  return peak;
+}
+
+}  // namespace ssdtrain::sched

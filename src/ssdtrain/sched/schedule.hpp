@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file schedule.hpp
+/// Training-step schedules. SSDTrain adds hints to Megatron's and
+/// DeepSpeed's schedulers (paper §III-A, Fig. 2 ③④): before and after each
+/// command the tensor cache is notified of the upcoming stage so it can
+/// switch micro-batch records, prefetch, or keep the activations of a
+/// module whose backward follows immediately.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssdtrain::sched {
+
+enum class CommandKind : std::uint8_t {
+  forward,         ///< run forward for a micro-batch
+  backward,        ///< run backward for a micro-batch
+  optimizer_step,  ///< weight update (end of step)
+};
+
+struct Command {
+  CommandKind kind = CommandKind::forward;
+  int micro_batch = 0;
+
+  friend bool operator==(const Command&, const Command&) = default;
+};
+
+std::string to_string(const Command& command);
+
+/// Gradient accumulation without pipeline parallelism: each micro-batch
+/// finishes forward and backward before the next starts (paper §IV-A).
+std::vector<Command> grad_accum_schedule(int micro_batches);
+
+/// 1F1B (PipeDream-flush) schedule for one pipeline stage: `pp - stage - 1`
+/// warm-up forwards, then alternating 1F1B, then the cool-down backwards.
+std::vector<Command> schedule_1f1b(int micro_batches, int pipeline_stages,
+                                   int stage);
+
+/// GPipe: all forwards, then all backwards (higher activation pressure).
+std::vector<Command> schedule_gpipe(int micro_batches, int pipeline_stages,
+                                    int stage);
+
+/// Ideal pipeline bubble fraction (pp-1)/(mb+pp-1) — the quantity the
+/// paper's Fig. 8(a) discussion ties to micro-batch size.
+double ideal_bubble_fraction(int micro_batches, int pipeline_stages);
+
+/// True when schedule[i] is a forward whose micro-batch's backward is the
+/// next command — the condition under which the tensor cache keeps the
+/// last module's activations in GPU memory (Fig. 2 ④).
+bool backward_follows_immediately(const std::vector<Command>& schedule,
+                                  std::size_t index);
+
+/// Number of in-flight micro-batches (forwarded but not yet backwarded)
+/// at the worst point of the schedule — sizes the per-micro-batch records.
+int peak_in_flight_micro_batches(const std::vector<Command>& schedule);
+
+}  // namespace ssdtrain::sched

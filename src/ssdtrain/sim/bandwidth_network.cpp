@@ -1,0 +1,237 @@
+#include "ssdtrain/sim/bandwidth_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::sim {
+
+namespace {
+// Flows with less than this many bytes left are considered delivered;
+// transfers are MBs to GBs, so a milli-byte epsilon is far below noise.
+constexpr double kRemainingEpsilon = 1e-3;
+}  // namespace
+
+BandwidthNetwork::BandwidthNetwork(Simulator& sim) : sim_(sim) {}
+
+BandwidthNetwork::ResourceId BandwidthNetwork::add_resource(
+    std::string name, util::BytesPerSecond capacity) {
+  util::expects(capacity > 0.0, "resource capacity must be positive");
+  resources_.push_back(Resource{std::move(name), capacity, 0.0});
+  return resources_.size() - 1;
+}
+
+void BandwidthNetwork::set_capacity(ResourceId id,
+                                    util::BytesPerSecond capacity) {
+  util::expects(id < resources_.size(), "bad resource id");
+  util::expects(capacity > 0.0, "resource capacity must be positive");
+  advance();
+  resources_[id].capacity = capacity;
+  reallocate();
+}
+
+util::BytesPerSecond BandwidthNetwork::capacity(ResourceId id) const {
+  util::expects(id < resources_.size(), "bad resource id");
+  return resources_[id].capacity;
+}
+
+BandwidthNetwork::FlowId BandwidthNetwork::start_flow(
+    std::string label, util::Bytes bytes, std::vector<ResourceId> path,
+    std::function<void()> on_complete, util::BytesPerSecond rate_cap) {
+  util::expects(bytes >= 0, "negative flow size");
+  util::expects(rate_cap > 0.0, "non-positive rate cap");
+  for (ResourceId r : path) {
+    util::expects(r < resources_.size(), "bad resource id in path");
+  }
+  const FlowId id = next_flow_id_++;
+  if (bytes == 0) {
+    if (on_complete) sim_.schedule_after(0.0, std::move(on_complete));
+    return id;
+  }
+  advance();
+  Flow flow;
+  flow.label = std::move(label);
+  flow.remaining = static_cast<double>(bytes);
+  flow.path = std::move(path);
+  flow.rate_cap = rate_cap;
+  flow.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(flow));
+  reallocate();
+  return id;
+}
+
+bool BandwidthNetwork::flow_active(FlowId id) const {
+  return flows_.contains(id);
+}
+
+double BandwidthNetwork::flow_remaining(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return 0.0;
+  // Account for progress since the last advance without mutating state.
+  const double dt = sim_.now() - last_advance_;
+  return std::max(0.0, it->second.remaining - it->second.rate * dt);
+}
+
+util::BytesPerSecond BandwidthNetwork::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double BandwidthNetwork::resource_delivered(ResourceId id) const {
+  util::expects(id < resources_.size(), "bad resource id");
+  double delivered = resources_[id].delivered;
+  const double dt = sim_.now() - last_advance_;
+  if (dt > 0.0) {
+    for (const auto& [fid, flow] : flows_) {
+      (void)fid;
+      if (std::find(flow.path.begin(), flow.path.end(), id) !=
+          flow.path.end()) {
+        delivered += std::min(flow.rate * dt, flow.remaining);
+      }
+    }
+  }
+  return delivered;
+}
+
+double BandwidthNetwork::resource_utilization(ResourceId id) const {
+  util::expects(id < resources_.size(), "bad resource id");
+  const double elapsed = sim_.now();
+  if (elapsed <= 0.0) return 0.0;
+  return resource_delivered(id) / (resources_[id].capacity * elapsed);
+}
+
+void BandwidthNetwork::advance() {
+  const double dt = sim_.now() - last_advance_;
+  last_advance_ = sim_.now();
+  if (dt <= 0.0) return;
+  for (auto& [id, flow] : flows_) {
+    (void)id;
+    const double moved = std::min(flow.rate * dt, flow.remaining);
+    flow.remaining -= moved;
+    for (ResourceId r : flow.path) resources_[r].delivered += moved;
+  }
+}
+
+void BandwidthNetwork::reallocate() {
+  ++epoch_;
+
+  // Progressive filling: all unfrozen flows rise to a common level until a
+  // resource saturates or a flow hits its rate cap; constrained flows freeze
+  // and the rest continue rising on the residual capacity.
+  for (auto& [id, flow] : flows_) {
+    (void)id;
+    flow.rate = 0.0;
+  }
+  std::map<FlowId, bool> frozen;
+  for (const auto& [id, flow] : flows_) {
+    (void)flow;
+    frozen[id] = false;
+  }
+
+  auto unfrozen_count_on = [&](ResourceId r) {
+    std::size_t n = 0;
+    for (const auto& [id, flow] : flows_) {
+      if (frozen.at(id)) continue;
+      if (std::find(flow.path.begin(), flow.path.end(), r) != flow.path.end())
+        ++n;
+    }
+    return n;
+  };
+  auto frozen_rate_on = [&](ResourceId r) {
+    double sum = 0.0;
+    for (const auto& [id, flow] : flows_) {
+      if (!frozen.at(id)) continue;
+      if (std::find(flow.path.begin(), flow.path.end(), r) != flow.path.end())
+        sum += flow.rate;
+    }
+    return sum;
+  };
+
+  std::size_t remaining_unfrozen = flows_.size();
+  while (remaining_unfrozen > 0) {
+    // Highest common level permitted by any resource or flow cap.
+    double level = unlimited;
+    for (ResourceId r = 0; r < resources_.size(); ++r) {
+      const std::size_t n = unfrozen_count_on(r);
+      if (n == 0) continue;
+      const double avail = resources_[r].capacity - frozen_rate_on(r);
+      level = std::min(level, std::max(0.0, avail) / static_cast<double>(n));
+    }
+    for (const auto& [id, flow] : flows_) {
+      if (!frozen.at(id)) level = std::min(level, flow.rate_cap);
+    }
+    util::check(std::isfinite(level),
+                "flow with no constraining resource or cap");
+
+    // Freeze every flow constrained at this level.
+    bool froze_any = false;
+    for (auto& [id, flow] : flows_) {
+      if (frozen.at(id)) continue;
+      bool constrained = flow.rate_cap <= level + 1e-12;
+      if (!constrained) {
+        for (ResourceId r : flow.path) {
+          const std::size_t n = unfrozen_count_on(r);
+          const double avail = resources_[r].capacity - frozen_rate_on(r);
+          if (n > 0 &&
+              std::max(0.0, avail) / static_cast<double>(n) <= level + 1e-12) {
+            constrained = true;
+            break;
+          }
+        }
+      }
+      if (constrained) {
+        flow.rate = level;
+        frozen.at(id) = true;
+        --remaining_unfrozen;
+        froze_any = true;
+      }
+    }
+    if (!froze_any) {
+      // No constraint binds (should not happen given the finite check);
+      // give everyone the level and stop.
+      for (auto& [id, flow] : flows_) {
+        if (!frozen.at(id)) {
+          flow.rate = level;
+          frozen.at(id) = true;
+          --remaining_unfrozen;
+        }
+      }
+    }
+  }
+
+  // Schedule the next completion.
+  double next_dt = unlimited;
+  for (const auto& [id, flow] : flows_) {
+    (void)id;
+    if (flow.rate > 0.0) {
+      next_dt = std::min(next_dt, flow.remaining / flow.rate);
+    }
+  }
+  if (std::isfinite(next_dt)) {
+    const std::uint64_t epoch = epoch_;
+    sim_.schedule_after(next_dt, [this, epoch]() { on_tick(epoch); });
+  }
+}
+
+void BandwidthNetwork::on_tick(std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // superseded by a newer reallocation
+  advance();
+
+  std::vector<std::function<void()>> callbacks;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= kRemainingEpsilon) {
+      if (it->second.on_complete) {
+        callbacks.push_back(std::move(it->second.on_complete));
+      }
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reallocate();
+  for (auto& cb : callbacks) cb();
+}
+
+}  // namespace ssdtrain::sim

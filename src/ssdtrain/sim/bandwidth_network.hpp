@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file bandwidth_network.hpp
+/// Fluid-flow bandwidth model with max-min fair sharing. Resources are
+/// capacity-limited links (a PCIe link, an SSD array's write channel, the
+/// host DRAM bus); flows are in-flight transfers traversing one or more
+/// resources. Rates are reallocated via progressive filling whenever a flow
+/// starts or finishes, which reproduces the contention behaviour that
+/// determines whether activation I/O hides behind compute.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/sim/simulator.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::sim {
+
+class BandwidthNetwork {
+ public:
+  using ResourceId = std::size_t;
+  using FlowId = std::uint64_t;
+
+  static constexpr double unlimited = std::numeric_limits<double>::infinity();
+
+  explicit BandwidthNetwork(Simulator& sim);
+  BandwidthNetwork(const BandwidthNetwork&) = delete;
+  BandwidthNetwork& operator=(const BandwidthNetwork&) = delete;
+
+  /// Adds a capacity-limited resource; returns its id.
+  ResourceId add_resource(std::string name, util::BytesPerSecond capacity);
+
+  /// Changes a resource's capacity (used by experiments that degrade links).
+  /// Active flows are re-rated from the current instant.
+  void set_capacity(ResourceId id, util::BytesPerSecond capacity);
+
+  [[nodiscard]] util::BytesPerSecond capacity(ResourceId id) const;
+
+  /// Starts a transfer of \p bytes across \p path. \p on_complete fires at
+  /// the simulated instant the last byte is delivered. \p rate_cap bounds
+  /// this flow's rate regardless of available capacity (e.g. a single NVMe
+  /// namespace's sequential-write ceiling). Zero-byte flows complete at the
+  /// current time via a scheduled event.
+  FlowId start_flow(std::string label, util::Bytes bytes,
+                    std::vector<ResourceId> path,
+                    std::function<void()> on_complete,
+                    util::BytesPerSecond rate_cap = unlimited);
+
+  [[nodiscard]] bool flow_active(FlowId id) const;
+
+  /// Bytes not yet delivered for an active flow (0 for finished flows).
+  [[nodiscard]] double flow_remaining(FlowId id) const;
+
+  /// Current allocated rate for an active flow (0 for finished flows).
+  [[nodiscard]] util::BytesPerSecond flow_rate(FlowId id) const;
+
+  /// Total bytes delivered through a resource since construction.
+  [[nodiscard]] double resource_delivered(ResourceId id) const;
+
+  /// Time-integral utilisation of a resource in [0,1] over [0, now].
+  [[nodiscard]] double resource_utilization(ResourceId id) const;
+
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+  /// Discards all in-flight flows (with their completion closures) without
+  /// delivering them. Teardown helper; see Simulator::drop_pending().
+  void drop_flows() {
+    flows_.clear();
+    ++epoch_;
+  }
+
+ private:
+  struct Resource {
+    std::string name;
+    util::BytesPerSecond capacity = 0.0;
+    double delivered = 0.0;
+  };
+  struct Flow {
+    std::string label;
+    double remaining = 0.0;
+    std::vector<ResourceId> path;
+    util::BytesPerSecond rate_cap = unlimited;
+    util::BytesPerSecond rate = 0.0;
+    std::function<void()> on_complete;
+  };
+
+  /// Moves all flows forward to sim_.now() at their current rates.
+  void advance();
+
+  /// Recomputes max-min fair rates (progressive filling) and schedules the
+  /// next completion event.
+  void reallocate();
+
+  void on_tick(std::uint64_t epoch);
+
+  Simulator& sim_;
+  std::vector<Resource> resources_;
+  std::map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  TimePoint last_advance_ = 0.0;
+  std::uint64_t epoch_ = 0;  // invalidates stale scheduled ticks
+};
+
+}  // namespace ssdtrain::sim

@@ -1,0 +1,62 @@
+#include "ssdtrain/sim/completion.hpp"
+
+#include <utility>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::sim {
+
+CompletionPtr Completion::already_done(Simulator& sim, std::string label) {
+  auto c = std::make_shared<Completion>(sim, std::move(label));
+  c->fire();
+  return c;
+}
+
+TimePoint Completion::completion_time() const {
+  util::expects(done_, "completion_time() before fire");
+  return fired_at_;
+}
+
+void Completion::add_waiter(std::function<void()> fn) {
+  util::expects(static_cast<bool>(fn), "null waiter");
+  if (done_) {
+    fn();
+    return;
+  }
+  waiters_.push_back(std::move(fn));
+}
+
+void Completion::fire() {
+  util::expects(!done_, "completion fired twice");
+  done_ = true;
+  fired_at_ = sim_->now();
+  // Move out first: a waiter may register new waiters on other completions
+  // or even re-enter this object via done().
+  std::vector<std::function<void()>> waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto& w : waiters) w();
+}
+
+CompletionPtr when_all(Simulator& sim, const std::vector<CompletionPtr>& deps,
+                       std::string label) {
+  auto all = std::make_shared<Completion>(sim, std::move(label));
+  auto remaining = std::make_shared<std::size_t>(0);
+  for (const auto& d : deps) {
+    util::expects(static_cast<bool>(d), "null dependency");
+    if (!d->done()) ++*remaining;
+  }
+  if (*remaining == 0) {
+    all->fire();
+    return all;
+  }
+  for (const auto& d : deps) {
+    if (d->done()) continue;
+    d->add_waiter([all, remaining]() {
+      util::check(*remaining > 0, "when_all underflow");
+      if (--*remaining == 0) all->fire();
+    });
+  }
+  return all;
+}
+
+}  // namespace ssdtrain::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file completion.hpp
+/// One-shot completion token, the simulated analogue of a cudaEvent_t /
+/// std::future pair. Work items (kernels, I/O flows) expose a Completion;
+/// other streams and the tensor cache register waiters on it.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/sim/simulator.hpp"
+
+namespace ssdtrain::sim {
+
+class Completion;
+using CompletionPtr = std::shared_ptr<Completion>;
+
+/// Fires exactly once; waiters registered before the fire run at fire time,
+/// waiters registered after run immediately (same simulated time).
+class Completion {
+ public:
+  explicit Completion(Simulator& sim, std::string label = {})
+      : sim_(&sim), label_(std::move(label)) {}
+
+  /// Creates an already-fired completion (for dependencies that are trivially
+  /// satisfied, e.g. a tensor that never left GPU memory).
+  static CompletionPtr already_done(Simulator& sim, std::string label = {});
+
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// Time at which the completion fired. Precondition: done().
+  [[nodiscard]] TimePoint completion_time() const;
+
+  /// Registers \p fn to run when (or immediately if) the completion fires.
+  void add_waiter(std::function<void()> fn);
+
+  /// Fires the completion at the simulator's current time.
+  /// Precondition: not yet done.
+  void fire();
+
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+ private:
+  Simulator* sim_;
+  std::string label_;
+  bool done_ = false;
+  TimePoint fired_at_ = 0.0;
+  std::vector<std::function<void()>> waiters_;
+};
+
+/// Returns a completion that fires when all of \p deps have fired.
+/// An empty list yields an already-fired completion.
+CompletionPtr when_all(Simulator& sim, const std::vector<CompletionPtr>& deps,
+                       std::string label = {});
+
+}  // namespace ssdtrain::sim

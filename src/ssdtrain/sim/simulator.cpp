@@ -1,0 +1,47 @@
+#include "ssdtrain/sim/simulator.hpp"
+
+#include <utility>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::sim {
+
+void Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+  util::expects(t >= now_, "cannot schedule event in the past");
+  util::expects(static_cast<bool>(fn), "null event callback");
+  queue_.push(Entry{t, ++seq_, std::move(fn)});
+}
+
+void Simulator::schedule_after(util::Seconds dt, std::function<void()> fn) {
+  util::expects(dt >= 0.0, "negative delay");
+  schedule_at(now_ + dt, std::move(fn));
+}
+
+TimePoint Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // std::priority_queue::top() is const; move out via const_cast is UB-free
+  // alternative: copy. Entries hold std::function, so copy once per event.
+  Entry e = queue_.top();
+  queue_.pop();
+  util::check(e.time >= now_, "time went backwards");
+  now_ = e.time;
+  ++events_executed_;
+  e.fn();
+  return true;
+}
+
+void Simulator::run_until(TimePoint t) {
+  util::expects(t >= now_, "run_until into the past");
+  while (!queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace ssdtrain::sim

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Discrete-event simulation core. A Simulator owns a priority queue of
+/// timestamped callbacks and a monotonically advancing clock. Everything in
+/// the hardware model (GPU streams, PCIe flows, SSD channels) is driven by
+/// events scheduled here; no wall-clock time is ever read.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::sim {
+
+/// Simulated time in seconds since simulation start.
+using TimePoint = double;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules \p fn to run at absolute time \p t (must be >= now()).
+  /// Events at equal times run in scheduling (FIFO) order.
+  void schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Schedules \p fn to run \p dt seconds from now (dt >= 0).
+  void schedule_after(util::Seconds dt, std::function<void()> fn);
+
+  /// Runs events until the queue is empty. Returns the final time.
+  TimePoint run();
+
+  /// Runs a single event if one exists. Returns false when the queue is
+  /// empty.
+  bool step();
+
+  /// Runs events with timestamps <= \p t, then advances the clock to \p t.
+  void run_until(TimePoint t);
+
+  /// Number of events executed since construction.
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+
+  /// Number of events currently pending.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Discards all pending events without running them. Used during teardown
+  /// so event closures (which may own simulated resources) are destroyed
+  /// while the objects they release into are still alive.
+  void drop_pending() { queue_ = {}; }
+
+  /// Monotonic logical counter: each call returns a strictly increasing
+  /// value. Used for deterministic tie-breaking and for the tensor cache's
+  /// logical `get_id` timestamps (the paper uses wall-clock timestamps; a
+  /// logical clock preserves uniqueness while keeping runs reproducible).
+  std::uint64_t next_logical_stamp() { return ++logical_stamp_; }
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    std::function<void()> fn;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  TimePoint now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t logical_stamp_ = 0;
+};
+
+}  // namespace ssdtrain::sim

@@ -1,0 +1,95 @@
+#include "ssdtrain/sim/stream.hpp"
+
+#include <utility>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::sim {
+
+Stream::Stream(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+CompletionPtr Stream::enqueue(std::string label, util::Seconds duration,
+                              std::vector<CompletionPtr> deps) {
+  util::expects(duration >= 0.0, "negative task duration");
+  Task task;
+  task.label = std::move(label);
+  task.duration = duration;
+  for (const auto& w : pending_waits_) deps.push_back(w);
+  task.deps = deps.empty() ? nullptr : when_all(sim_, deps);
+  task.done = std::make_shared<Completion>(sim_, name_ + ":" + task.label);
+  CompletionPtr done = task.done;
+  queue_.push_back(std::move(task));
+  pump();
+  return done;
+}
+
+CompletionPtr Stream::enqueue_dynamic(std::string label, StartFn start,
+                                      std::vector<CompletionPtr> deps) {
+  util::expects(static_cast<bool>(start), "null start function");
+  Task task;
+  task.label = std::move(label);
+  task.start = std::move(start);
+  for (const auto& w : pending_waits_) deps.push_back(w);
+  task.deps = deps.empty() ? nullptr : when_all(sim_, deps);
+  task.done = std::make_shared<Completion>(sim_, name_ + ":" + task.label);
+  CompletionPtr done = task.done;
+  queue_.push_back(std::move(task));
+  pump();
+  return done;
+}
+
+CompletionPtr Stream::record_marker(std::string label) {
+  return enqueue(std::move(label), 0.0);
+}
+
+void Stream::wait_for(CompletionPtr dep) {
+  util::expects(static_cast<bool>(dep), "null dependency");
+  pending_waits_.push_back(std::move(dep));
+}
+
+void Stream::pump() {
+  if (running_ || queue_.empty()) return;
+  Task& head = queue_.front();
+  if (head.deps && !head.deps->done()) {
+    if (!waiting_registered_) {
+      waiting_registered_ = true;
+      head.deps->add_waiter([this]() {
+        waiting_registered_ = false;
+        pump();
+      });
+    }
+    return;
+  }
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  begin(std::move(task));
+}
+
+void Stream::begin(Task task) {
+  running_ = true;
+  const TimePoint started = sim_.now();
+  const std::string label = task.label;
+  const CompletionPtr done = task.done;
+  if (task.start) {
+    task.start([this, started, label, done]() {
+      finish_task(started, label, done);
+    });
+  } else {
+    sim_.schedule_after(task.duration, [this, started, label, done]() {
+      finish_task(started, label, done);
+    });
+  }
+}
+
+void Stream::finish_task(TimePoint started, const std::string& label,
+                         const CompletionPtr& done) {
+  busy_time_ += sim_.now() - started;
+  ++tasks_completed_;
+  if (observer_) observer_(TaskRecord{label, started, sim_.now()});
+  running_ = false;
+  done->fire();
+  pump();
+}
+
+}  // namespace ssdtrain::sim

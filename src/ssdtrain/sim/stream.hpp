@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file stream.hpp
+/// In-order execution queue with CUDA-stream semantics: tasks start in
+/// enqueue order, each after the previous task on the stream has finished
+/// and all of its explicit dependencies (completions from other streams)
+/// have fired. The GPU compute queue, DMA engines, and host worker threads
+/// are all modelled as streams.
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/sim/completion.hpp"
+#include "ssdtrain/sim/simulator.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::sim {
+
+class Stream {
+ public:
+  /// Record of one executed task, delivered to the observer for tracing.
+  struct TaskRecord {
+    std::string label;
+    TimePoint start = 0.0;
+    TimePoint end = 0.0;
+  };
+
+  /// A dynamic task receives a `finish` callback and must eventually invoke
+  /// it (possibly at a later simulated time, e.g. when an I/O flow drains).
+  using StartFn = std::function<void(std::function<void()> finish)>;
+
+  Stream(Simulator& sim, std::string name);
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueues a fixed-duration task. Returns its completion.
+  CompletionPtr enqueue(std::string label, util::Seconds duration,
+                        std::vector<CompletionPtr> deps = {});
+
+  /// Enqueues a task whose duration is decided when it starts (bandwidth
+  /// flows, lock waits). Returns its completion.
+  CompletionPtr enqueue_dynamic(std::string label, StartFn start,
+                                std::vector<CompletionPtr> deps = {});
+
+  /// Zero-duration task: fires when all previously enqueued work is done
+  /// (the analogue of cudaEventRecord on this stream).
+  CompletionPtr record_marker(std::string label = "marker");
+
+  /// Makes subsequently enqueued tasks wait for \p dep in addition to
+  /// stream order (the analogue of cudaStreamWaitEvent).
+  void wait_for(CompletionPtr dep);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Total simulated time this stream spent executing tasks.
+  [[nodiscard]] util::Seconds busy_time() const { return busy_time_; }
+
+  /// Number of tasks executed to completion.
+  [[nodiscard]] std::uint64_t tasks_completed() const {
+    return tasks_completed_;
+  }
+
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] bool idle() const { return !running_ && queue_.empty(); }
+
+  /// Observer invoked once per finished task (for chrome-trace export).
+  void set_observer(std::function<void(const TaskRecord&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  struct Task {
+    std::string label;
+    CompletionPtr deps;  // pre-combined via when_all; may be null
+    util::Seconds duration = 0.0;
+    StartFn start;  // when set, overrides `duration`
+    CompletionPtr done;
+  };
+
+  void pump();
+  void begin(Task task);
+  void finish_task(TimePoint started, const std::string& label,
+                   const CompletionPtr& done);
+
+  Simulator& sim_;
+  std::string name_;
+  std::deque<Task> queue_;
+  std::vector<CompletionPtr> pending_waits_;
+  bool running_ = false;
+  bool waiting_registered_ = false;
+  util::Seconds busy_time_ = 0.0;
+  std::uint64_t tasks_completed_ = 0;
+  std::function<void(const TaskRecord&)> observer_;
+};
+
+}  // namespace ssdtrain::sim

@@ -1,0 +1,52 @@
+#include "ssdtrain/sim/thread_pool.hpp"
+
+#include <utility>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::sim {
+
+SimThreadPool::SimThreadPool(Simulator& sim, std::string name,
+                             std::size_t workers)
+    : sim_(sim), name_(std::move(name)), workers_(workers) {
+  util::expects(workers > 0, "pool needs at least one worker");
+}
+
+CompletionPtr SimThreadPool::submit(std::string label, Job job) {
+  util::expects(static_cast<bool>(job), "null job");
+  Pending pending;
+  pending.label = std::move(label);
+  pending.job = std::move(job);
+  pending.done =
+      std::make_shared<Completion>(sim_, name_ + ":" + pending.label);
+  CompletionPtr done = pending.done;
+  queue_.push_back(std::move(pending));
+  try_dispatch();
+  return done;
+}
+
+void SimThreadPool::try_dispatch() {
+  while (running_ < workers_ && !queue_.empty()) {
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    run_job(std::move(pending));
+  }
+}
+
+void SimThreadPool::run_job(Pending pending) {
+  ++running_;
+  auto done = pending.done;
+  // The job owns `finish`; guard against double invocation.
+  auto finished = std::make_shared<bool>(false);
+  auto finish = [this, done, finished]() {
+    util::check(!*finished, "job finished twice");
+    *finished = true;
+    --running_;
+    ++jobs_completed_;
+    done->fire();
+    try_dispatch();
+  };
+  pending.job(std::move(finish));
+}
+
+}  // namespace ssdtrain::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Simulated FIFO worker pool. SSDTrain's tensor cache uses two host thread
+/// pools — one for storing tensors, one for loading them — whose jobs are
+/// executed in first-in-first-out order (paper §III-C2). This class gives
+/// those pools the same semantics in simulated time: jobs are picked up in
+/// submission order by the first free worker; each job runs until it calls
+/// its `finish` callback (typically when a bandwidth flow drains).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/sim/completion.hpp"
+#include "ssdtrain/sim/simulator.hpp"
+
+namespace ssdtrain::sim {
+
+class SimThreadPool {
+ public:
+  /// A job receives a `finish` callback and must eventually invoke it
+  /// exactly once.
+  using Job = std::function<void(std::function<void()> finish)>;
+
+  SimThreadPool(Simulator& sim, std::string name, std::size_t workers);
+  SimThreadPool(const SimThreadPool&) = delete;
+  SimThreadPool& operator=(const SimThreadPool&) = delete;
+
+  /// Submits a job; returns a completion fired when the job finishes.
+  CompletionPtr submit(std::string label, Job job);
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_; }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] std::size_t running() const { return running_; }
+  [[nodiscard]] bool idle() const { return running_ == 0 && queue_.empty(); }
+
+  /// Jobs completed since construction.
+  [[nodiscard]] std::uint64_t jobs_completed() const {
+    return jobs_completed_;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Pending {
+    std::string label;
+    Job job;
+    CompletionPtr done;
+  };
+
+  void try_dispatch();
+  void run_job(Pending pending);
+
+  Simulator& sim_;
+  std::string name_;
+  std::size_t workers_;
+  std::size_t running_ = 0;
+  std::deque<Pending> queue_;
+  std::uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace ssdtrain::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file ssdtrain.hpp
+/// Umbrella header for the SSDTrain library. Most applications only need
+/// the TrainingSession API:
+///
+///   #include "ssdtrain/ssdtrain.hpp"
+///
+///   ssdtrain::runtime::SessionConfig config;
+///   config.model = ssdtrain::modules::gpt_config(12288, 3, 16);
+///   config.parallel.tensor_parallel = 2;
+///   config.strategy = ssdtrain::runtime::Strategy::ssdtrain;
+///   ssdtrain::runtime::TrainingSession session(config);
+///   auto stats = session.run_step();
+///
+/// Lower layers (the tensor cache, offloaders, the hardware simulation, the
+/// analytic models) are all reachable through the headers below for
+/// embedders who need finer control.
+
+#include "ssdtrain/analysis/activation_model.hpp"
+#include "ssdtrain/analysis/lifespan.hpp"
+#include "ssdtrain/analysis/perf_model.hpp"
+#include "ssdtrain/analysis/trends.hpp"
+#include "ssdtrain/core/malloc_hook.hpp"
+#include "ssdtrain/core/offloader.hpp"
+#include "ssdtrain/core/planner.hpp"
+#include "ssdtrain/core/tensor_cache.hpp"
+#include "ssdtrain/hw/catalog.hpp"
+#include "ssdtrain/hw/node.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/parallel/parallel_config.hpp"
+#include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/sched/schedule.hpp"
+#include "ssdtrain/trace/chrome_trace.hpp"

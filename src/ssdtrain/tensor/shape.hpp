@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file shape.hpp
+/// Tensor shapes. get_id() keys on (first-seen stamp, shape), so shapes need
+/// cheap equality and a stable hash.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ssdtrain::tensor {
+
+class TensorShape {
+ public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<std::int64_t> dims);
+  explicit TensorShape(std::vector<std::int64_t> dims);
+
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+  [[nodiscard]] std::int64_t dim(std::size_t i) const;
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Product of dimensions (1 for rank-0 scalars).
+  [[nodiscard]] std::int64_t numel() const;
+
+  /// Shape with the last two dimensions swapped (weight transpose views).
+  [[nodiscard]] TensorShape transposed() const;
+
+  /// FNV-1a over the dimensions; part of the TensorId key.
+  [[nodiscard]] std::uint64_t hash() const;
+
+  [[nodiscard]] std::string to_string() const;  ///< "[16, 1024, 12288]"
+
+  friend bool operator==(const TensorShape& a, const TensorShape& b) {
+    return a.dims_ == b.dims_;
+  }
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace ssdtrain::tensor

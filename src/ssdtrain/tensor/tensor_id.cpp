@@ -1,0 +1,31 @@
+#include "ssdtrain/tensor/tensor_id.hpp"
+
+#include <cstdio>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::tensor {
+
+std::string TensorId::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "t%06llu-%016llx",
+                static_cast<unsigned long long>(stamp),
+                static_cast<unsigned long long>(shape_key));
+  return buf;
+}
+
+TensorId IdAssigner::get_id(const Tensor& tensor) {
+  util::expects(tensor.defined(), "get_id of undefined tensor");
+  auto& storage = *tensor.storage();
+  if (!storage.id_stamp().has_value()) {
+    storage.set_id_stamp(next_stamp_++);
+  }
+  return TensorId{*storage.id_stamp(), tensor.shape().hash()};
+}
+
+bool IdAssigner::is_stamped(const Tensor& tensor) {
+  util::expects(tensor.defined(), "is_stamped of undefined tensor");
+  return tensor.storage()->id_stamp().has_value();
+}
+
+}  // namespace ssdtrain::tensor

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file tensor_id.hpp
+/// The paper's get_id() scheme (§III-C1). PyTorch's native id() is the GPU
+/// memory address, which gets recycled once an offloaded activation is
+/// garbage-collected — causing identifier collisions. get_id() instead
+/// combines a timestamp taken when the tensor is first processed with the
+/// tensor's shape, and attaches the timestamp to the *underlying storage*
+/// (not the Tensor object) so that distinct torch.Tensor views of the same
+/// data — notably a linear layer's weight and its transpose — deduplicate
+/// consistently across steps.
+
+#include <cstdint>
+#include <string>
+
+#include "ssdtrain/tensor/tensor.hpp"
+
+namespace ssdtrain::tensor {
+
+struct TensorId {
+  std::uint64_t stamp = 0;      ///< first-processing logical timestamp
+  std::uint64_t shape_key = 0;  ///< hash of the shape at registration
+
+  friend bool operator==(const TensorId&, const TensorId&) = default;
+  friend auto operator<=>(const TensorId&, const TensorId&) = default;
+
+  /// Stable file-name-friendly form, e.g. "t000042-9f3a...". Used for the
+  /// offload path on the simulated SSD filesystem namespace.
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct TensorIdHash {
+  std::size_t operator()(const TensorId& id) const noexcept {
+    return static_cast<std::size_t>(id.stamp * 0x9E3779B97F4A7C15ULL ^
+                                    id.shape_key);
+  }
+};
+
+/// Assigns unique identifiers per the paper's scheme. One instance per
+/// tensor cache; the counter is the logical "timestamp".
+class IdAssigner {
+ public:
+  IdAssigner() = default;
+
+  /// Returns the tensor's unique id, stamping its storage on first sight.
+  TensorId get_id(const Tensor& tensor);
+
+  /// True if this tensor's storage has been stamped already (i.e. get_id
+  /// has processed it or a view sharing its storage before).
+  [[nodiscard]] static bool is_stamped(const Tensor& tensor);
+
+ private:
+  std::uint64_t next_stamp_ = 1;
+};
+
+}  // namespace ssdtrain::tensor

@@ -1,0 +1,67 @@
+#include "ssdtrain/trace/chrome_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ssdtrain::trace {
+
+void ChromeTrace::attach_stream(sim::Stream& stream, std::string track) {
+  stream.set_observer(
+      [this, track](const sim::Stream::TaskRecord& record) {
+        add_event(TraceEvent{record.label, track, record.start, record.end});
+      });
+}
+
+void ChromeTrace::add_event(TraceEvent event) {
+  events_.push_back(std::move(event));
+}
+
+std::size_t ChromeTrace::track_id(const std::string& track) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == track) return i;
+  }
+  tracks_.push_back(track);
+  return tracks_.size() - 1;
+}
+
+std::string ChromeTrace::to_json() const {
+  // Build the track table first (const_cast-free: recompute ids locally).
+  std::vector<std::string> tracks;
+  auto local_track_id = [&tracks](const std::string& track) {
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+      if (tracks[i] == track) return i;
+    }
+    tracks.push_back(track);
+    return tracks.size() - 1;
+  };
+
+  std::ostringstream out;
+  out << "[\n";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) out << ",\n";
+    first = false;
+    const std::size_t tid = local_track_id(e.track);
+    out << R"(  {"name": ")" << e.name << R"(", "ph": "X", "pid": 0, )"
+        << R"("tid": )" << tid << R"(, "ts": )" << e.start * 1e6
+        << R"(, "dur": )" << (e.end - e.start) * 1e6 << "}";
+  }
+  // Thread-name metadata so tracks render with human-readable labels.
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    if (!first) out << ",\n";
+    first = false;
+    out << R"(  {"name": "thread_name", "ph": "M", "pid": 0, "tid": )" << i
+        << R"(, "args": {"name": ")" << tracks[i] << R"("}})";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+void ChromeTrace::write(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open trace file: " + path);
+  file << to_json();
+}
+
+}  // namespace ssdtrain::trace

@@ -1,0 +1,49 @@
+#include "ssdtrain/util/csv.hpp"
+
+#include <stdexcept>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+  expects(!header.empty(), "CSV needs at least one column");
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  expects(cells.size() == columns_, "CSV row width != header width");
+  write_row(cells);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ",";
+    out_ << escape(cells[i]);
+  }
+  out_ << "\n";
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace ssdtrain::util

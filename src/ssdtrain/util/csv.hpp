@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV writer: benches optionally dump their series as CSV so the
+/// figures can be re-plotted outside the harness.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ssdtrain::util {
+
+/// Writes rows of cells to a CSV file. Cells containing commas, quotes, or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens \p path for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; also called by the destructor.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) = delete;
+  CsvWriter& operator=(CsvWriter&&) = delete;
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace ssdtrain::util

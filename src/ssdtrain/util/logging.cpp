@@ -1,0 +1,38 @@
+#include "ssdtrain/util/logging.hpp"
+
+#include <atomic>
+
+namespace ssdtrain::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::warning};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug:
+      return "debug";
+    case LogLevel::info:
+      return "info";
+    case LogLevel::warning:
+      return "warning";
+    case LogLevel::error:
+      return "error";
+    case LogLevel::off:
+      return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace ssdtrain::util

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file logging.hpp
+/// Small leveled logger. Off by default at debug level so simulations stay
+/// quiet; benches and examples raise the level when narrating runs.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ssdtrain::util {
+
+enum class LogLevel { debug = 0, info = 1, warning = 2, error = 3, off = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one log line ("[level] message") to stderr if enabled.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::debug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::info, m); }
+inline void log_warning(const std::string& m) { log(LogLevel::warning, m); }
+inline void log_error(const std::string& m) { log(LogLevel::error, m); }
+
+}  // namespace ssdtrain::util

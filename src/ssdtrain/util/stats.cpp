@@ -1,0 +1,87 @@
+#include "ssdtrain/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::util {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+  expects(!values.empty(), "percentile of empty sample");
+  expects(p >= 0.0 && p <= 100.0, "percentile rank out of range");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  expects(xs.size() == ys.size(), "mismatched fit inputs");
+  expects(xs.size() >= 2, "fit needs at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  check(sxx > 0.0, "degenerate fit: all x identical");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+LinearFit exponential_fit(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  std::vector<double> log_ys;
+  log_ys.reserve(ys.size());
+  for (double y : ys) {
+    expects(y > 0.0, "exponential fit requires positive values");
+    log_ys.push_back(std::log(y));
+  }
+  return linear_fit(xs, log_ys);
+}
+
+double doubling_time(double growth_rate_k) {
+  expects(growth_rate_k != 0.0, "zero growth rate has no doubling time");
+  return std::log(2.0) / growth_rate_k;
+}
+
+}  // namespace ssdtrain::util

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small statistics helpers: running moments, percentiles, and least-squares
+/// fits (linear and exponential-growth), used by the analysis module for the
+/// Fig. 1 trend fits and by benches for run summaries.
+
+#include <cstddef>
+#include <vector>
+
+namespace ssdtrain::util {
+
+/// Welford running mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1 divisor)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile via linear interpolation on a copy of \p values.
+/// \p p in [0, 100]. Precondition: values non-empty.
+double percentile(std::vector<double> values, double p);
+
+/// Result of an ordinary-least-squares line fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// OLS fit. Precondition: xs.size() == ys.size() >= 2.
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Exponential-growth fit y = a * exp(k * x), via OLS on log(y).
+/// Returns {k (growth rate per unit x), log(a), r2}. All ys must be > 0.
+LinearFit exponential_fit(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Doubling time (in units of x) implied by exponential growth rate k.
+double doubling_time(double growth_rate_k);
+
+}  // namespace ssdtrain::util

@@ -1,0 +1,91 @@
+#include "ssdtrain/util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  expects(!headers_.empty(), "table needs at least one column");
+  aligns_.assign(headers_.size(), Align::right);
+  aligns_[0] = Align::left;
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == headers_.size(), "row width != header width");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void AsciiTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void AsciiTable::set_align(std::size_t column, Align align) {
+  expects(column < aligns_.size(), "column out of range");
+  aligns_[column] = align;
+}
+
+std::size_t AsciiTable::row_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) {
+    if (!r.separator) ++n;
+  }
+  return n;
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto pad = [](const std::string& s, std::size_t w, Align a) {
+    std::string out;
+    const std::size_t fill = w > s.size() ? w - s.size() : 0;
+    if (a == Align::right) out.append(fill, ' ');
+    out += s;
+    if (a == Align::left) out.append(fill, ' ');
+    return out;
+  };
+
+  auto rule = [&]() {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      line += (c == 0 ? "+" : "");
+      line.append(widths[c] + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::ostringstream out;
+  out << rule();
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << " " << pad(headers_[c], widths[c], Align::left) << " |";
+  }
+  out << "\n" << rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      out << rule();
+      continue;
+    }
+    out << "|";
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      out << " " << pad(row.cells[c], widths[c], aligns_[c]) << " |";
+    }
+    out << "\n";
+  }
+  out << rule();
+  return out.str();
+}
+
+}  // namespace ssdtrain::util

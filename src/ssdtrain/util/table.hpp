@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table printer used by the bench binaries to emit the paper's tables
+/// and figure series in a readable, diff-friendly form.
+
+#include <string>
+#include <vector>
+
+namespace ssdtrain::util {
+
+/// Column alignment for AsciiTable.
+enum class Align { left, right };
+
+/// Builds and renders a fixed-column ASCII table:
+///
+///   AsciiTable t({"model", "step time", "peak"});
+///   t.add_row({"BERT", "1234.5 ms", "8.12 GB"});
+///   std::cout << t.render();
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line at this position.
+  void add_separator();
+
+  /// Sets alignment for a column (default: left for col 0, right otherwise).
+  void set_align(std::size_t column, Align align);
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  std::vector<Align> aligns_;
+};
+
+}  // namespace ssdtrain::util

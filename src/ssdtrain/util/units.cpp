@@ -1,0 +1,88 @@
+#include "ssdtrain/util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace ssdtrain::util {
+
+namespace {
+
+std::string format_scaled(double value, double base,
+                          const std::array<const char*, 6>& suffixes,
+                          const char* tail) {
+  double magnitude = std::fabs(value);
+  std::size_t idx = 0;
+  while (magnitude >= base && idx + 1 < suffixes.size()) {
+    magnitude /= base;
+    value /= base;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s%s", value, suffixes[idx], tail);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  return format_scaled(bytes, 1e3, {"B", "KB", "MB", "GB", "TB", "PB"}, "");
+}
+
+std::string format_bytes_binary(double bytes) {
+  return format_scaled(bytes, 1024.0, {"B", "KiB", "MiB", "GiB", "TiB", "PiB"},
+                       "");
+}
+
+std::string format_bandwidth(BytesPerSecond bw) {
+  return format_scaled(bw, 1e3, {"B", "KB", "MB", "GB", "TB", "PB"}, "/s");
+}
+
+std::string format_time(Seconds t) {
+  char buf[64];
+  const double magnitude = std::fabs(t);
+  if (magnitude >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", t);
+  } else if (magnitude >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", t * 1e3);
+  } else if (magnitude >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", t * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", t * 1e9);
+  }
+  return buf;
+}
+
+std::string format_flops_rate(FlopsPerSecond rate) {
+  return format_scaled(rate, 1e3,
+                       {"FLOP", "KFLOP", "MFLOP", "GFLOP", "TFLOP", "PFLOP"},
+                       "/s");
+}
+
+std::string format_duration_long(Seconds t) {
+  char buf[64];
+  if (t >= years(1.0)) {
+    std::snprintf(buf, sizeof(buf), "%.2f years", t / years(1.0));
+  } else if (t >= days(1.0)) {
+    std::snprintf(buf, sizeof(buf), "%.1f days", t / days(1.0));
+  } else if (t >= hours(1.0)) {
+    std::snprintf(buf, sizeof(buf), "%.1f hours", t / hours(1.0));
+  } else {
+    return format_time(t);
+  }
+  return buf;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_percent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace ssdtrain::util

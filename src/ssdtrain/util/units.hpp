@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file units.hpp
+/// Size, time, and bandwidth units plus human-readable formatting.
+///
+/// Conventions used throughout the code base:
+///  - Bytes are `std::int64_t` (signed arithmetic per ES.102); helpers below
+///    construct byte counts from KiB/MiB/GiB (powers of two) and KB/MB/GB/TB
+///    (powers of ten, used for storage-device capacities and bandwidths).
+///  - Simulated time is `double` seconds (sim::TimePoint).
+///  - Bandwidth is `double` bytes per second.
+
+#include <cstdint>
+#include <string>
+
+namespace ssdtrain::util {
+
+using Bytes = std::int64_t;
+
+// -- powers of two (memory sizes) -------------------------------------------
+constexpr Bytes kib(double n) { return static_cast<Bytes>(n * 1024.0); }
+constexpr Bytes mib(double n) { return static_cast<Bytes>(n * 1024.0 * 1024.0); }
+constexpr Bytes gib(double n) {
+  return static_cast<Bytes>(n * 1024.0 * 1024.0 * 1024.0);
+}
+constexpr Bytes tib(double n) {
+  return static_cast<Bytes>(n * 1024.0 * 1024.0 * 1024.0 * 1024.0);
+}
+
+// -- powers of ten (device capacities, bandwidths) ---------------------------
+constexpr Bytes kb(double n) { return static_cast<Bytes>(n * 1e3); }
+constexpr Bytes mb(double n) { return static_cast<Bytes>(n * 1e6); }
+constexpr Bytes gb(double n) { return static_cast<Bytes>(n * 1e9); }
+constexpr Bytes tb(double n) { return static_cast<Bytes>(n * 1e12); }
+constexpr Bytes pb(double n) { return static_cast<Bytes>(n * 1e15); }
+
+// -- bandwidth ---------------------------------------------------------------
+using BytesPerSecond = double;
+constexpr BytesPerSecond gbps(double n) { return n * 1e9; }
+constexpr BytesPerSecond mbps(double n) { return n * 1e6; }
+
+// -- time --------------------------------------------------------------------
+using Seconds = double;
+constexpr Seconds ms(double n) { return n * 1e-3; }
+constexpr Seconds us(double n) { return n * 1e-6; }
+constexpr Seconds ns(double n) { return n * 1e-9; }
+constexpr Seconds minutes(double n) { return n * 60.0; }
+constexpr Seconds hours(double n) { return n * 3600.0; }
+constexpr Seconds days(double n) { return n * 86400.0; }
+constexpr Seconds years(double n) { return n * 86400.0 * 365.25; }
+
+// -- compute -----------------------------------------------------------------
+using Flops = double;  ///< floating-point operations (a count, not a rate)
+using FlopsPerSecond = double;
+constexpr Flops tflop(double n) { return n * 1e12; }
+constexpr FlopsPerSecond tflops(double n) { return n * 1e12; }
+
+// -- formatting --------------------------------------------------------------
+
+/// "12.85 GB" style, decimal units (matches how the paper reports sizes).
+std::string format_bytes(double bytes);
+
+/// "12.85 GiB" style, binary units (matches allocator-style reporting).
+std::string format_bytes_binary(double bytes);
+
+/// "18.0 GB/s" style.
+std::string format_bandwidth(BytesPerSecond bw);
+
+/// "1234.5 ms" / "1.23 s" style with automatic unit choice.
+std::string format_time(Seconds t);
+
+/// "149.3 TFLOP/s" style.
+std::string format_flops_rate(FlopsPerSecond rate);
+
+/// "2.31 years" / "45 days" style for lifespan reporting.
+std::string format_duration_long(Seconds t);
+
+/// Fixed-precision helper: format a double with \p digits decimals.
+std::string format_fixed(double value, int digits);
+
+/// "−47.2%" style; \p fraction is e.g. -0.472.
+std::string format_percent(double fraction, int digits = 1);
+
+}  // namespace ssdtrain::util

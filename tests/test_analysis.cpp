@@ -1,0 +1,201 @@
+// Tests for the analytic models: activation formulas, the llm-analysis-style
+// step-time estimate, lifespan projections (Fig. 5 shape), and the Fig. 1
+// trend fits.
+
+#include <gtest/gtest.h>
+
+#include "ssdtrain/analysis/activation_model.hpp"
+#include "ssdtrain/analysis/lifespan.hpp"
+#include "ssdtrain/analysis/perf_model.hpp"
+#include "ssdtrain/analysis/trends.hpp"
+#include "ssdtrain/hw/catalog.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace a = ssdtrain::analysis;
+namespace m = ssdtrain::modules;
+namespace p = ssdtrain::parallel;
+namespace hw = ssdtrain::hw;
+namespace u = ssdtrain::util;
+
+TEST(ActivationModel, FlashLayerIs34Sbh) {
+  auto cfg = m::bert_config(8192, 4, 16);
+  p::ParallelConfig tp1;
+  const double sbh = 1024.0 * 16 * 8192;
+  EXPECT_EQ(a::layer_activation_bytes(cfg, tp1),
+            static_cast<u::Bytes>(34.0 * sbh));
+}
+
+TEST(ActivationModel, TpFormula) {
+  auto cfg = m::bert_config(8192, 4, 16);
+  p::ParallelConfig tp2;
+  tp2.tensor_parallel = 2;
+  const double sbh = 1024.0 * 16 * 8192;
+  EXPECT_EQ(a::layer_activation_bytes(cfg, tp2),
+            static_cast<u::Bytes>(sbh * (10.0 + 12.0)));
+}
+
+TEST(ActivationModel, SequenceParallelShardsEverything) {
+  auto cfg = m::bert_config(8192, 4, 16);
+  p::ParallelConfig sp;
+  sp.tensor_parallel = 8;
+  sp.sequence_parallel = true;
+  const double sbh = 1024.0 * 16 * 8192;
+  EXPECT_EQ(a::layer_activation_bytes(cfg, sp),
+            static_cast<u::Bytes>(sbh * 34.0 / 8.0));
+}
+
+TEST(ActivationModel, UnfusedAddsSoftmaxTerm) {
+  auto flash = m::bert_config(8192, 4, 16);
+  auto unfused = flash;
+  unfused.flash_attention = false;
+  p::ParallelConfig tp1;
+  const double extra = 5.0 * 64 * 1024.0 * 1024.0 * 16;  // 5*a*s^2*b
+  EXPECT_EQ(a::layer_activation_bytes(unfused, tp1) -
+                a::layer_activation_bytes(flash, tp1),
+            static_cast<u::Bytes>(extra));
+}
+
+TEST(ActivationModel, T5CountsDecodersAndSharedMemory) {
+  auto cfg = m::t5_config(8192, 3, 16);  // 2 encoders + 1 decoder
+  p::ParallelConfig tp1;
+  const double sbh = 1024.0 * 16 * 8192;
+  const auto expected = static_cast<u::Bytes>(
+      3 * 34.0 * sbh + (5.0 + 8.0) * sbh /* cross-attn */ +
+      2.0 * sbh /* shared memory */ + 2.0 * sbh /* head input */);
+  EXPECT_EQ(a::model_activation_bytes(cfg, tp1), expected);
+}
+
+TEST(ActivationModel, OffloadableExcludesLastMlpBlock) {
+  auto cfg = m::bert_config(12288, 3, 16);
+  p::ParallelConfig tp2;
+  tp2.tensor_parallel = 2;
+  const auto total = a::model_activation_bytes(cfg, tp2);
+  const auto offloadable = a::offloadable_activation_bytes(cfg, tp2);
+  // Kept: fc1 input (2) + fc1 out (8/2) + gelu out (8/2) + mask (1).
+  const double sbh = 1024.0 * 16 * 12288;
+  EXPECT_EQ(total - offloadable, static_cast<u::Bytes>(11.0 * sbh));
+}
+
+TEST(PerfModel, StepEstimateInPaperBand) {
+  // BERT H12288 L3 B16 TP2 on A100s: the paper's Fig. 6(a) shows ~1.9 s and
+  // Fig. 7 ~140-150 TFLOP/s per GPU.
+  auto cfg = m::bert_config(12288, 3, 16);
+  p::ParallelConfig tp2;
+  tp2.tensor_parallel = 2;
+  hw::Gpu gpu(hw::catalog::a100_pcie_40gb());
+  const auto est = a::estimate_step(cfg, tp2, gpu, a::Fabrics{});
+  EXPECT_GT(est.step, u::ms(1500));
+  EXPECT_LT(est.step, u::ms(2400));
+  EXPECT_GT(est.model_throughput, u::tflops(120));
+  EXPECT_LT(est.model_throughput, u::tflops(170));
+  EXPECT_NEAR(est.backward, 2.0 * est.forward, 1e-9);
+}
+
+TEST(PerfModel, ThroughputImprovesWithMicroBatchSize) {
+  // The Fig. 8(a) effect: larger micro-batches amortise the weight update
+  // and raise kernel efficiency.
+  p::ParallelConfig tp2;
+  tp2.tensor_parallel = 2;
+  hw::Gpu gpu(hw::catalog::a100_pcie_40gb());
+  double last = 0.0;
+  for (std::int64_t b : {1, 2, 4, 8, 16}) {
+    auto cfg = m::bert_config(12288, 3, b);
+    const auto est = a::estimate_step(cfg, tp2, gpu, a::Fabrics{});
+    EXPECT_GT(est.model_throughput, last) << "b=" << b;
+    last = est.model_throughput;
+  }
+}
+
+TEST(PerfModel, PipelineBubbleMatchesFormula) {
+  auto cfg = m::gpt_config(8192, 8, 2);
+  p::ParallelConfig pp4;
+  pp4.pipeline_parallel = 4;
+  hw::Gpu gpu(hw::catalog::a100_pcie_40gb());
+  const auto est = a::estimate_step(cfg, pp4, gpu, a::Fabrics{}, 8);
+  EXPECT_NEAR(est.pipeline_bubble_fraction, 3.0 / 11.0, 1e-12);
+}
+
+TEST(PerfModel, RequiredBandwidthUsesHalfStepWindow) {
+  EXPECT_DOUBLE_EQ(a::required_write_bandwidth(u::gb(10), 2.0),
+                   u::gbps(10));
+}
+
+TEST(Lifespan, Fig5ShapeHolds) {
+  // The paper's conclusions: lifespan > 2 years everywhere, per-GPU write
+  // bandwidth <= ~12.1 GB/s, both improving as the system scales up.
+  a::SsdProvisioning prov;
+  prov.rating = hw::catalog::samsung_980pro_rating();
+  const auto gpu = hw::catalog::a100_sxm_80gb();
+  const auto scenarios = a::fig5_scenarios();
+  ASSERT_EQ(scenarios.size(), 12u);
+
+  std::string last_label;
+  double last_bw = 0.0;
+  for (const auto& s : scenarios) {
+    const auto proj = a::project_lifespan(s, gpu, prov);
+    EXPECT_GT(proj.lifespan, u::years(2.0)) << s.label << " @" << s.gpu_count;
+    EXPECT_LT(proj.write_bandwidth_per_gpu, u::gbps(13))
+        << s.label << " @" << s.gpu_count;
+    EXPECT_GT(proj.activations_per_gpu_step, u::gb(50));
+    EXPECT_LT(proj.activations_per_gpu_step, u::tb(2.0));
+    if (s.label == last_label) {
+      // Within a scenario family, scaling up reduces the required
+      // bandwidth (communication slows per-GPU compute).
+      EXPECT_LT(proj.write_bandwidth_per_gpu, last_bw * 1.001)
+          << s.label << " @" << s.gpu_count;
+    }
+    last_label = s.label;
+    last_bw = proj.write_bandwidth_per_gpu;
+  }
+}
+
+TEST(Lifespan, MoreSsdsPerGpuLastLonger) {
+  a::SsdProvisioning four, eight;
+  four.rating = eight.rating = hw::catalog::samsung_980pro_rating();
+  four.ssds_per_gpu = 4;
+  eight.ssds_per_gpu = 8;
+  const auto scenario = a::fig5_scenarios().front();
+  const auto gpu = hw::catalog::a100_sxm_80gb();
+  EXPECT_NEAR(a::project_lifespan(scenario, gpu, eight).lifespan /
+                  a::project_lifespan(scenario, gpu, four).lifespan,
+              2.0, 0.01);
+}
+
+TEST(Trends, DatasetsNonEmptyAndDated) {
+  for (auto series :
+       {a::TrendSeries::gpu_fp16_throughput,
+        a::TrendSeries::gpu_memory_capacity, a::TrendSeries::llm_size}) {
+    const auto points = a::trend_points(series);
+    EXPECT_GE(points.size(), 8u);
+    for (const auto& pt : points) {
+      EXPECT_GT(pt.year, 2015.0);
+      EXPECT_LT(pt.year, 2026.0);
+      EXPECT_GT(pt.value, 0.0);
+    }
+  }
+}
+
+TEST(Trends, MemoryGrowsMuchSlowerThanCompute) {
+  // The paper's headline Fig. 1 claim: memory capacity grows at ~41% the
+  // rate of compute throughput.
+  const double ratio = a::memory_vs_compute_growth_ratio();
+  EXPECT_GT(ratio, 0.25);
+  EXPECT_LT(ratio, 0.60);
+}
+
+TEST(Trends, LlmSizeTracksCompute) {
+  const double ratio = a::llm_vs_compute_growth_ratio();
+  EXPECT_GT(ratio, 0.8);
+}
+
+TEST(Trends, FitsAreExponentialQuality) {
+  for (auto series :
+       {a::TrendSeries::gpu_fp16_throughput,
+        a::TrendSeries::gpu_memory_capacity, a::TrendSeries::llm_size}) {
+    const auto fit = a::fit_trend(series);
+    EXPECT_GT(fit.fit.r2, 0.7);
+    EXPECT_GT(fit.growth_per_year, 1.0);
+    EXPECT_GT(fit.doubling_years, 0.0);
+  }
+}

@@ -1,0 +1,151 @@
+// Tests for the computational-graph skeleton and the saved-tensor hook
+// plumbing (pack/unpack), including memory-lifetime behaviour: packing a
+// tensor through id-returning hooks releases the graph's strong reference.
+
+#include <gtest/gtest.h>
+
+#include "ssdtrain/graph/graph.hpp"
+#include "ssdtrain/hw/device_allocator.hpp"
+#include "ssdtrain/tensor/tensor.hpp"
+#include "ssdtrain/tensor/tensor_id.hpp"
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace g = ssdtrain::graph;
+namespace t = ssdtrain::tensor;
+namespace hw = ssdtrain::hw;
+namespace u = ssdtrain::util;
+
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  hw::DeviceAllocator allocator_{u::gib(4)};
+  t::TensorFactory factory_{allocator_};
+
+  t::Tensor make(const char* name) {
+    return factory_.cuda(name, {1 << 20}, t::DType::fp16,
+                         hw::MemoryTag::activation);
+  }
+};
+
+}  // namespace
+
+TEST_F(GraphTest, SaveWithoutHooksKeepsStrongReference) {
+  g::Graph graph;
+  auto& node = graph.make_node("LinearBWD");
+  {
+    auto x = make("x");
+    node.save(x, nullptr);
+  }
+  // The node holds the tensor: memory stays live.
+  EXPECT_GT(allocator_.live(hw::MemoryTag::activation), 0);
+  auto back = node.unpack(0, nullptr);
+  EXPECT_TRUE(back.defined());
+  node.clear();
+  back.reset();
+  EXPECT_EQ(allocator_.live(hw::MemoryTag::activation), 0);
+}
+
+TEST_F(GraphTest, PackHookReplacesTensorWithId) {
+  g::Graph graph;
+  t::IdAssigner ids;
+  int packs = 0;
+  g::SavedTensorHooks hooks;
+  hooks.pack = [&](const t::Tensor& tensor) -> g::PackedValue {
+    ++packs;
+    return ids.get_id(tensor);
+  };
+  hooks.unpack = [&](const g::PackedValue&) -> t::Tensor {
+    return make("reloaded");
+  };
+
+  auto& node = graph.make_node("MulBWD");
+  {
+    auto x = make("x");
+    node.save(x, &hooks);
+  }
+  EXPECT_EQ(packs, 1);
+  // Only the id is on the graph: the original memory was reclaimed.
+  EXPECT_EQ(allocator_.live(hw::MemoryTag::activation), 0);
+  EXPECT_TRUE(std::holds_alternative<t::TensorId>(node.slot(0)));
+
+  auto back = node.unpack(0, &hooks);
+  EXPECT_TRUE(back.defined());
+  EXPECT_EQ(back.label(), "reloaded");
+}
+
+TEST_F(GraphTest, PackHookMayPassTensorsThrough) {
+  g::Graph graph;
+  g::SavedTensorHooks hooks;
+  hooks.pack = [](const t::Tensor& tensor) -> g::PackedValue {
+    return tensor;  // e.g. a weight
+  };
+  hooks.unpack = [](const g::PackedValue& v) -> t::Tensor {
+    return std::get<t::Tensor>(v);
+  };
+  auto& node = graph.make_node("n");
+  auto w = make("w");
+  node.save(w, &hooks);
+  EXPECT_TRUE(same_storage(node.unpack(0, &hooks), w));
+}
+
+TEST_F(GraphTest, UnpackingPackedIdWithoutHooksThrows) {
+  g::Graph graph;
+  t::IdAssigner ids;
+  g::SavedTensorHooks hooks;
+  hooks.pack = [&](const t::Tensor& tensor) -> g::PackedValue {
+    return ids.get_id(tensor);
+  };
+  hooks.unpack = [](const g::PackedValue&) -> t::Tensor { return {}; };
+  auto& node = graph.make_node("n");
+  auto x = make("x");
+  node.save(x, &hooks);
+  EXPECT_THROW(node.unpack(0, nullptr), u::ContractViolation);
+}
+
+TEST_F(GraphTest, SlotsPreserveOrder) {
+  g::Graph graph;
+  auto& node = graph.make_node("n");
+  auto a = make("a");
+  auto b = make("b");
+  EXPECT_EQ(node.save(a, nullptr), 0u);
+  EXPECT_EQ(node.save(b, nullptr), 1u);
+  EXPECT_EQ(node.unpack(0, nullptr).label(), "a");
+  EXPECT_EQ(node.unpack(1, nullptr).label(), "b");
+  EXPECT_EQ(node.slot_count(), 2u);
+}
+
+TEST_F(GraphTest, DiscardHooksDropSavedTensors) {
+  g::Graph graph;
+  auto& node = graph.make_node("checkpointed");
+  {
+    auto x = make("x");
+    node.save(x, &g::discard_hooks());
+  }
+  // Discarded: nothing held, memory reclaimed at scope exit.
+  EXPECT_EQ(allocator_.live(hw::MemoryTag::activation), 0);
+  EXPECT_THROW(node.unpack(0, &g::discard_hooks()), u::ContractViolation);
+}
+
+TEST_F(GraphTest, GraphOwnsNodesUntilCleared) {
+  g::Graph graph;
+  graph.make_node("a");
+  graph.make_node("b");
+  EXPECT_EQ(graph.node_count(), 2u);
+  EXPECT_EQ(graph.node(0).name(), "a");
+  graph.clear();
+  EXPECT_EQ(graph.node_count(), 0u);
+}
+
+TEST_F(GraphTest, ClearReleasesSavedMemory) {
+  g::Graph graph;
+  auto& node = graph.make_node("n");
+  {
+    auto x = make("x");
+    node.save(x, nullptr);
+  }
+  EXPECT_GT(allocator_.live(hw::MemoryTag::activation), 0);
+  graph.clear();
+  EXPECT_EQ(allocator_.live(hw::MemoryTag::activation), 0);
+}

@@ -1,0 +1,172 @@
+// Tests for the block allocator and the tagged device allocator: overlap
+// freedom, coalescing, peak tracking, fragmentation, and OOM behaviour.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ssdtrain/hw/block_allocator.hpp"
+#include "ssdtrain/hw/device_allocator.hpp"
+#include "ssdtrain/hw/host_memory.hpp"
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/rng.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace hw = ssdtrain::hw;
+namespace u = ssdtrain::util;
+
+TEST(BlockAllocator, AllocatesAlignedNonOverlapping) {
+  hw::BlockAllocator a(u::kib(64), 512);
+  auto b1 = a.allocate(100);
+  auto b2 = a.allocate(1000);
+  ASSERT_TRUE(b1 && b2);
+  EXPECT_EQ(b1->size % 512, 0);
+  EXPECT_EQ(b2->size % 512, 0);
+  EXPECT_TRUE(b1->offset + b1->size <= b2->offset ||
+              b2->offset + b2->size <= b1->offset);
+}
+
+TEST(BlockAllocator, ExhaustionReturnsNullopt) {
+  hw::BlockAllocator a(u::kib(1), 512);
+  EXPECT_TRUE(a.allocate(512));
+  EXPECT_TRUE(a.allocate(512));
+  EXPECT_FALSE(a.allocate(1));
+}
+
+TEST(BlockAllocator, FreeCoalescesNeighbors) {
+  hw::BlockAllocator a(u::kib(4), 512);
+  auto b1 = a.allocate(1024);
+  auto b2 = a.allocate(1024);
+  auto b3 = a.allocate(1024);
+  ASSERT_TRUE(b1 && b2 && b3);
+  a.free(*b1);
+  a.free(*b3);
+  // b1 leaves a hole at the front; b3 coalesces with the free tail.
+  EXPECT_EQ(a.free_ranges(), 2u);
+  a.free(*b2);  // bridges everything
+  EXPECT_EQ(a.free_ranges(), 1u);
+  EXPECT_EQ(a.largest_free_range(), u::kib(4));
+  EXPECT_EQ(a.used(), 0);
+}
+
+TEST(BlockAllocator, DoubleFreeThrows) {
+  hw::BlockAllocator a(u::kib(4), 512);
+  auto b = a.allocate(512);
+  ASSERT_TRUE(b);
+  a.free(*b);
+  EXPECT_THROW(a.free(*b), u::ContractViolation);
+}
+
+TEST(BlockAllocator, FragmentationBlocksLargeAllocation) {
+  hw::BlockAllocator a(u::kib(4), 512);
+  std::vector<hw::Block> blocks;
+  for (int i = 0; i < 8; ++i) blocks.push_back(*a.allocate(512));
+  // Free every other block: 1 KiB total free but max range 512.
+  for (int i = 0; i < 8; i += 2) a.free(blocks[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(a.free_bytes(), u::kib(2));
+  EXPECT_EQ(a.largest_free_range(), 512);
+  EXPECT_FALSE(a.allocate(1024));
+  EXPECT_GT(a.external_fragmentation(), 0.5);
+}
+
+TEST(BlockAllocator, RandomStressPreservesInvariants) {
+  u::Xoshiro256 rng(2024);
+  hw::BlockAllocator a(u::mib(64), 512);
+  std::vector<hw::Block> live;
+  for (int step = 0; step < 5000; ++step) {
+    const bool do_alloc = live.empty() || rng.uniform() < 0.55;
+    if (do_alloc) {
+      const auto bytes = static_cast<u::Bytes>(rng.uniform_int(65536) + 1);
+      auto b = a.allocate(bytes);
+      if (b) live.push_back(*b);
+    } else {
+      const auto idx = rng.uniform_int(live.size());
+      a.free(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  // No two live blocks overlap and used() is the sum of live sizes.
+  std::set<std::pair<std::int64_t, std::int64_t>> ranges;
+  u::Bytes total = 0;
+  for (const auto& b : live) {
+    ranges.insert({b.offset, b.offset + b.size});
+    total += b.size;
+  }
+  std::int64_t prev_end = -1;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_GE(begin, prev_end);
+    prev_end = end;
+  }
+  EXPECT_EQ(a.used(), total);
+  EXPECT_EQ(a.live_blocks(), live.size());
+}
+
+TEST(DeviceAllocator, TracksPerTagPeaks) {
+  hw::DeviceAllocator d(u::gib(1));
+  auto w = d.allocate(u::mib(100), hw::MemoryTag::weights);
+  auto a1 = d.allocate(u::mib(200), hw::MemoryTag::activation);
+  auto a2 = d.allocate(u::mib(300), hw::MemoryTag::activation);
+  EXPECT_EQ(d.live(hw::MemoryTag::activation), a1.bytes + a2.bytes);
+  d.free(a1);
+  d.free(a2);
+  EXPECT_EQ(d.live(hw::MemoryTag::activation), 0);
+  // Peak remembers the high-water mark, not the current value.
+  EXPECT_EQ(d.peak(hw::MemoryTag::activation), a1.bytes + a2.bytes);
+  EXPECT_EQ(d.peak(hw::MemoryTag::weights), w.bytes);
+  EXPECT_EQ(d.peak_total(), w.bytes + a1.bytes + a2.bytes);
+  d.free(w);
+}
+
+TEST(DeviceAllocator, ResetPeaksDropsToLive) {
+  hw::DeviceAllocator d(u::gib(1));
+  auto a = d.allocate(u::mib(500), hw::MemoryTag::activation);
+  d.free(a);
+  auto b = d.allocate(u::mib(10), hw::MemoryTag::activation);
+  d.reset_peaks();
+  EXPECT_EQ(d.peak(hw::MemoryTag::activation), b.bytes);
+  d.free(b);
+}
+
+TEST(DeviceAllocator, ThrowsOnOom) {
+  hw::DeviceAllocator d(u::mib(64));
+  auto a = d.allocate(u::mib(60), hw::MemoryTag::activation);
+  EXPECT_THROW(d.allocate(u::mib(10), hw::MemoryTag::activation),
+               hw::OutOfDeviceMemory);
+  d.free(a);
+  EXPECT_NO_THROW(d.allocate(u::mib(10), hw::MemoryTag::activation));
+}
+
+TEST(DeviceAllocator, AllocationHookSeesDeltas) {
+  hw::DeviceAllocator d(u::gib(1));
+  u::Bytes registered = 0;
+  d.set_allocation_hook([&](u::Bytes delta, hw::MemoryTag tag) {
+    if (tag == hw::MemoryTag::activation) registered += delta;
+  });
+  auto a = d.allocate(u::mib(64), hw::MemoryTag::activation);
+  EXPECT_EQ(registered, a.bytes);
+  d.free(a);
+  EXPECT_EQ(registered, 0);
+}
+
+TEST(PinnedPool, AllocateFreeAndFailureCount) {
+  hw::PinnedMemoryPool pool(u::mib(10));
+  auto a = pool.allocate(u::mib(8));
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(pool.allocate(u::mib(4)));
+  EXPECT_EQ(pool.failed_allocations(), 1u);
+  pool.free(*a);
+  EXPECT_EQ(pool.used(), 0);
+  EXPECT_GE(pool.peak_used(), u::mib(8));
+}
+
+TEST(PinnedPool, ResizeRequiresEmptyPool) {
+  hw::PinnedMemoryPool pool(u::mib(10));
+  auto a = pool.allocate(u::mib(1));
+  ASSERT_TRUE(a);
+  EXPECT_THROW(pool.resize(u::mib(20)), u::ContractViolation);
+  pool.free(*a);
+  pool.resize(u::mib(20));
+  EXPECT_EQ(pool.pool_size(), u::mib(20));
+}

@@ -1,0 +1,326 @@
+// Tests for the module tree: hook protocol, per-layer saved-activation
+// accounting (cross-validated against the closed-form model — the same
+// check the paper's Table III performs), FLOP accounting, backward state
+// management, and the three model architectures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ssdtrain/analysis/activation_model.hpp"
+#include "ssdtrain/analysis/perf_model.hpp"
+#include "ssdtrain/hw/device_allocator.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/modules/transformer.hpp"
+#include "ssdtrain/util/units.hpp"
+#include "test_support.hpp"
+
+namespace m = ssdtrain::modules;
+namespace a = ssdtrain::analysis;
+namespace hw = ssdtrain::hw;
+namespace u = ssdtrain::util;
+namespace p = ssdtrain::parallel;
+using ssdtrain::testing::TestContext;
+
+namespace {
+
+m::ModelConfig small_config(bool flash = true,
+                            m::Architecture arch = m::Architecture::bert) {
+  m::ModelConfig cfg;
+  cfg.arch = arch;
+  cfg.hidden = 2048;
+  cfg.layers = 2;
+  cfg.heads = 16;
+  cfg.seq = 512;
+  cfg.vocab = 32000;
+  cfg.micro_batch = 4;
+  cfg.flash_attention = flash;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ModuleBase, HooksFireAroundForward) {
+  hw::DeviceAllocator alloc(u::gib(8));
+  TestContext ctx(alloc);
+  m::LayerNorm ln("ln", 2048);
+  std::vector<std::string> order;
+  ln.register_forward_pre_hook(
+      [&](m::Module& mod, m::ExecutionContext&) {
+        order.push_back("pre:" + mod.name());
+      });
+  ln.register_forward_hook([&](m::Module& mod, m::ExecutionContext&) {
+    order.push_back("post:" + mod.name());
+  });
+  auto x = ctx.make_activation("x", {512, 4, 2048},
+                               ssdtrain::tensor::DType::fp16);
+  ln.forward(ctx, x);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "pre:ln");
+  EXPECT_EQ(order[1], "post:ln");
+}
+
+TEST(ModuleBase, HookRemovalStopsFiring) {
+  hw::DeviceAllocator alloc(u::gib(8));
+  TestContext ctx(alloc);
+  m::Gelu gelu("g");
+  int count = 0;
+  auto handle = gelu.register_forward_pre_hook(
+      [&](m::Module&, m::ExecutionContext&) { ++count; });
+  auto x = ctx.make_activation("x", {512, 4, 2048},
+                               ssdtrain::tensor::DType::fp16);
+  gelu.forward(ctx, x);
+  gelu.remove_hook(handle);
+  gelu.forward(ctx, x);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(gelu.hook_count(), 0u);
+}
+
+TEST(ModuleBase, VisitCoversWholeTree) {
+  m::TransformerLayer layer("l", 2048, 16, false, true);
+  int count = 0;
+  layer.visit([&](m::Module&) { ++count; });
+  // layer + ln1 + attn(1 + qkv + core + proj + dropout) + ln2 +
+  // mlp(1 + fc1 + gelu + fc2 + dropout) = 13.
+  EXPECT_EQ(count, 13);
+}
+
+// Saved-activation accounting: the simulated layer must register exactly
+// the bytes the closed-form model predicts (34*s*b*h at TP=1 with flash
+// attention; s*b*h*(10+24/t) under TP; +5*a*s^2*b/t unfused).
+struct ActivationCase {
+  bool flash;
+  int tp;
+};
+
+class LayerActivationBytes
+    : public ::testing::TestWithParam<ActivationCase> {};
+
+TEST_P(LayerActivationBytes, MatchesClosedFormModel) {
+  const auto param = GetParam();
+  auto cfg = small_config(param.flash);
+  p::ParallelConfig parallel;
+  parallel.tensor_parallel = param.tp;
+
+  hw::DeviceAllocator alloc(u::gib(16));
+  TestContext ctx(alloc, parallel);
+  ctx.install_recording_hooks();
+
+  m::TransformerLayer layer("layer0", cfg.hidden, cfg.heads, false,
+                            cfg.flash_attention);
+  auto x = ctx.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
+                               ssdtrain::tensor::DType::fp16);
+  layer.forward(ctx, x);
+
+  const auto expected = a::layer_activation_bytes(cfg, parallel);
+  EXPECT_EQ(ctx.recorded_bytes, expected)
+      << "flash=" << param.flash << " tp=" << param.tp;
+}
+
+INSTANTIATE_TEST_SUITE_P(FlashAndTp, LayerActivationBytes,
+                         ::testing::Values(ActivationCase{true, 1},
+                                           ActivationCase{true, 2},
+                                           ActivationCase{true, 4},
+                                           ActivationCase{false, 1},
+                                           ActivationCase{false, 2},
+                                           ActivationCase{false, 4}));
+
+TEST(LayerAccounting, DedupCatchesDoubleSaves) {
+  // The attention output is saved by both the flash core and the output
+  // projection; fc inputs are shared with gelu outputs. Dedup must fire.
+  auto cfg = small_config();
+  hw::DeviceAllocator alloc(u::gib(16));
+  TestContext ctx(alloc);
+  ctx.install_recording_hooks();
+  m::TransformerLayer layer("layer0", cfg.hidden, cfg.heads, false, true);
+  auto x = ctx.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
+                               ssdtrain::tensor::DType::fp16);
+  layer.forward(ctx, x);
+  EXPECT_GE(ctx.dedup_hits, 1u);
+}
+
+TEST(LayerAccounting, ForwardGemmFlopsMatchFormula) {
+  auto cfg = small_config();
+  hw::DeviceAllocator alloc(u::gib(16));
+  TestContext ctx(alloc);
+  m::TransformerLayer layer("layer0", cfg.hidden, cfg.heads, false, true);
+  auto x = ctx.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
+                               ssdtrain::tensor::DType::fp16);
+  layer.forward(ctx, x);
+  p::ParallelConfig parallel;
+  const double expected = a::layer_forward_flops(cfg, parallel);
+  // Elementwise kernels add a little on top of the GEMM total.
+  EXPECT_GT(ctx.total_flops, expected);
+  EXPECT_LT(ctx.total_flops, expected * 1.02);
+}
+
+TEST(LayerAccounting, TpShardsComputeAndAddsCollectives) {
+  auto cfg = small_config();
+  hw::DeviceAllocator alloc(u::gib(16));
+  p::ParallelConfig tp2;
+  tp2.tensor_parallel = 2;
+  TestContext ctx1(alloc), ctx2(alloc, tp2);
+  m::TransformerLayer l1("a", cfg.hidden, cfg.heads, false, true);
+  m::TransformerLayer l2("b", cfg.hidden, cfg.heads, false, true);
+  auto x1 = ctx1.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
+                                 ssdtrain::tensor::DType::fp16);
+  l1.forward(ctx1, x1);
+  auto x2 = ctx2.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
+                                 ssdtrain::tensor::DType::fp16);
+  l2.forward(ctx2, x2);
+  EXPECT_NEAR(ctx2.total_flops, ctx1.total_flops / 2.0,
+              ctx1.total_flops * 0.02);
+  EXPECT_EQ(ctx1.all_reduces, 0u);  // tp=1: collectives elided
+  EXPECT_EQ(ctx2.all_reduces, 2u);  // proj + fc2 outputs
+}
+
+TEST(LayerAccounting, BackwardConsumesStateExactlyOnce) {
+  auto cfg = small_config();
+  hw::DeviceAllocator alloc(u::gib(16));
+  TestContext ctx(alloc);
+  ctx.install_recording_hooks();
+  m::TransformerLayer layer("layer0", cfg.hidden, cfg.heads, false, true);
+  auto x = ctx.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
+                               ssdtrain::tensor::DType::fp16);
+  auto y = layer.forward(ctx, x);
+  auto g = ctx.make_activation("dy", y.shape(), y.dtype());
+  auto dx = layer.backward(ctx, g);
+  EXPECT_EQ(dx.shape(), x.shape());
+  // State was popped: a second backward has nothing to consume.
+  EXPECT_THROW(layer.backward(ctx, g), u::ContractViolation);
+}
+
+TEST(LayerAccounting, BackwardFlopsRoughlyTwiceForward) {
+  auto cfg = small_config();
+  hw::DeviceAllocator alloc(u::gib(16));
+  TestContext ctx(alloc);
+  ctx.install_recording_hooks();
+  m::TransformerLayer layer("layer0", cfg.hidden, cfg.heads, false, true);
+  auto x = ctx.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
+                               ssdtrain::tensor::DType::fp16);
+  auto y = layer.forward(ctx, x);
+  const double fwd_flops = ctx.total_flops;
+  auto g = ctx.make_activation("dy", y.shape(), y.dtype());
+  layer.backward(ctx, g);
+  const double bwd_flops = ctx.total_flops - fwd_flops;
+  EXPECT_GT(bwd_flops / fwd_flops, 1.8);
+  EXPECT_LT(bwd_flops / fwd_flops, 2.4);
+}
+
+TEST(Models, ConfigsFollowPaperHyperparameters) {
+  const auto bert = m::bert_config(12288, 3, 16);
+  EXPECT_EQ(bert.heads, 96);  // head dimension 128
+  EXPECT_EQ(bert.seq, 1024);
+  EXPECT_EQ(bert.vocab % 256, 0);  // padded for vocab parallelism
+  const auto gpt = m::gpt_config(16384, 2, 16);
+  EXPECT_EQ(gpt.heads, 128);
+  const auto t5 = m::t5_config(8192, 4, 16);
+  EXPECT_EQ(t5.arch, m::Architecture::t5);
+}
+
+TEST(Models, T5SplitsLayersPerPaper) {
+  // "The number of decoders is half of the total number of layers, rounded
+  // down."
+  for (int layers : {2, 3, 4, 5}) {
+    auto cfg = m::t5_config(2048, layers, 2);
+    cfg.seq = 256;
+    m::T5Model model(cfg);
+    EXPECT_EQ(model.decoder_count(), layers / 2);
+    EXPECT_EQ(model.encoder_count(), layers - layers / 2);
+  }
+}
+
+TEST(Models, ParameterCountMatchesTwelveLH2) {
+  auto cfg = small_config();
+  m::StackModel model(cfg);
+  const double params = model.parameter_count(1);
+  const double layer_params = 12.0 * static_cast<double>(cfg.hidden) *
+                              static_cast<double>(cfg.hidden) * cfg.layers;
+  const double embed = 2.0 * static_cast<double>(cfg.vocab) *
+                       static_cast<double>(cfg.hidden);
+  EXPECT_NEAR(params, layer_params + embed + 256 * cfg.hidden,
+              0.02 * params);
+  // TP halves the shardable parameters.
+  EXPECT_LT(model.parameter_count(2), params);
+}
+
+TEST(Models, FullStepRunsAndReleasesActivations) {
+  auto cfg = small_config();
+  hw::DeviceAllocator alloc(u::gib(24));
+  TestContext ctx(alloc);
+  m::StackModel model(cfg);
+  auto loss = model.forward_step(ctx);
+  EXPECT_TRUE(loss.defined());
+  model.backward_step(ctx);
+  loss.reset();
+  ctx.drop_kept();
+  // Weights and gradients persist; every activation handle is released
+  // once the step finishes (graph nodes cleared by the backward pass).
+  EXPECT_GT(alloc.live(hw::MemoryTag::weights), 0);
+  EXPECT_EQ(alloc.live(hw::MemoryTag::activation), 0);
+}
+
+TEST(Models, T5FullStepRuns) {
+  auto cfg = small_config(true, m::Architecture::t5);
+  cfg.layers = 3;
+  hw::DeviceAllocator alloc(u::gib(24));
+  TestContext ctx(alloc);
+  m::T5Model model(cfg);
+  auto loss = model.forward_step(ctx);
+  model.backward_step(ctx);
+  loss.reset();
+  ctx.drop_kept();
+  EXPECT_EQ(alloc.live(hw::MemoryTag::activation), 0);
+}
+
+TEST(Models, RecomputeModeReexecutesForward) {
+  auto cfg = small_config();
+  hw::DeviceAllocator alloc(u::gib(24));
+  TestContext normal_ctx(alloc);
+  m::StackModel normal(cfg);
+  auto loss = normal.forward_step(normal_ctx);
+  normal.backward_step(normal_ctx);
+  const auto normal_kernels = normal_ctx.kernels;
+
+  hw::DeviceAllocator alloc2(u::gib(24));
+  TestContext recompute_ctx(alloc2);
+  recompute_ctx.set_recompute(true);
+  m::StackModel recompute(cfg);
+  auto loss2 = recompute.forward_step(recompute_ctx);
+  recompute.backward_step(recompute_ctx);
+  // Each layer's forward ran twice.
+  EXPECT_GT(recompute_ctx.kernels, normal_kernels);
+  EXPECT_EQ(recompute_ctx.recompute_segments_closed, cfg.layers);
+  EXPECT_EQ(recompute_ctx.recompute_segments_open, 0);
+}
+
+TEST(Models, UnfusedAttentionSavesScoreMatrices) {
+  auto flash_cfg = small_config(true);
+  auto unfused_cfg = small_config(false);
+  p::ParallelConfig parallel;
+  hw::DeviceAllocator alloc(u::gib(32));
+
+  TestContext flash_ctx(alloc);
+  flash_ctx.install_recording_hooks();
+  m::TransformerLayer flash_layer("f", flash_cfg.hidden, flash_cfg.heads,
+                                  false, true);
+  auto x1 = flash_ctx.make_activation(
+      "x", {flash_cfg.seq, flash_cfg.micro_batch, flash_cfg.hidden},
+      ssdtrain::tensor::DType::fp16);
+  flash_layer.forward(flash_ctx, x1);
+
+  TestContext unfused_ctx(alloc);
+  unfused_ctx.install_recording_hooks();
+  m::TransformerLayer unfused_layer("u", unfused_cfg.hidden,
+                                    unfused_cfg.heads, false, false);
+  auto x2 = unfused_ctx.make_activation(
+      "x", {unfused_cfg.seq, unfused_cfg.micro_batch, unfused_cfg.hidden},
+      ssdtrain::tensor::DType::fp16);
+  unfused_layer.forward(unfused_ctx, x2);
+
+  const auto extra = unfused_ctx.recorded_bytes - flash_ctx.recorded_bytes;
+  const auto expected =
+      static_cast<u::Bytes>(5.0 * unfused_cfg.heads * unfused_cfg.seq *
+                            unfused_cfg.seq * unfused_cfg.micro_batch);
+  EXPECT_EQ(extra, expected);
+}

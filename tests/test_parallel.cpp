@@ -1,0 +1,121 @@
+// Tests for the parallelism model: ring-collective costs, ZeRO memory
+// sharding and communication volumes, and configuration validation.
+
+#include <gtest/gtest.h>
+
+#include "ssdtrain/parallel/collectives.hpp"
+#include "ssdtrain/parallel/parallel_config.hpp"
+#include "ssdtrain/parallel/zero.hpp"
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace p = ssdtrain::parallel;
+namespace u = ssdtrain::util;
+
+TEST(ParallelConfig, GpuCountIsProduct) {
+  p::ParallelConfig cfg;
+  cfg.tensor_parallel = 8;
+  cfg.pipeline_parallel = 12;
+  cfg.data_parallel = 16;
+  EXPECT_EQ(cfg.gpu_count(), 8 * 12 * 16);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ParallelConfig, ZeroRequiresDataParallelism) {
+  p::ParallelConfig cfg;
+  cfg.zero = p::ZeroStage::stage3;
+  EXPECT_THROW(cfg.validate(), u::ContractViolation);
+  cfg.data_parallel = 2;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Collectives, SingleRankIsFree) {
+  p::FabricSpec fabric{u::gbps(100), u::us(5)};
+  EXPECT_DOUBLE_EQ(p::all_reduce_traffic(u::gib(1), 1), 0.0);
+  EXPECT_DOUBLE_EQ(p::all_reduce_time(u::gib(1), 1, fabric), 0.0);
+}
+
+TEST(Collectives, RingAllReduceTrafficFormula) {
+  // 2(n-1)/n * S per rank.
+  EXPECT_DOUBLE_EQ(p::all_reduce_traffic(1000, 2), 1000.0);
+  EXPECT_DOUBLE_EQ(p::all_reduce_traffic(1000, 4), 1500.0);
+  EXPECT_NEAR(p::all_reduce_traffic(1000, 1000), 1998.0, 0.01);
+}
+
+TEST(Collectives, GatherAndScatterAreHalfAllReduce) {
+  for (int ranks : {2, 4, 8, 64}) {
+    EXPECT_DOUBLE_EQ(p::all_gather_traffic(4096, ranks) * 2.0,
+                     p::all_reduce_traffic(4096, ranks));
+    EXPECT_DOUBLE_EQ(p::reduce_scatter_traffic(4096, ranks),
+                     p::all_gather_traffic(4096, ranks));
+  }
+}
+
+TEST(Collectives, TimeIncludesPerHopLatency) {
+  p::FabricSpec fabric{u::gbps(100), u::us(10)};
+  const double t2 = p::all_reduce_time(u::mb(1), 2, fabric);
+  const double t8 = p::all_reduce_time(u::mb(1), 8, fabric);
+  // More ranks: more hops of latency even though traffic saturates at 2S.
+  EXPECT_GT(t8, t2);
+  EXPECT_GE(t8, 7 * u::us(10));
+}
+
+TEST(Collectives, PointToPoint) {
+  p::FabricSpec fabric{u::gbps(10), u::us(5)};
+  EXPECT_NEAR(p::point_to_point_time(u::gb(1), fabric), 0.1 + 5e-6, 1e-9);
+  EXPECT_DOUBLE_EQ(p::point_to_point_time(0, fabric), 0.0);
+}
+
+TEST(Zero, StageProgressionShardsMoreState) {
+  const double params = 1e9;
+  p::ParallelConfig cfg;
+  cfg.data_parallel = 8;
+
+  cfg.zero = p::ZeroStage::none;
+  const auto none = p::zero_memory_per_gpu(params, cfg);
+  cfg.zero = p::ZeroStage::stage1;
+  const auto s1 = p::zero_memory_per_gpu(params, cfg);
+  cfg.zero = p::ZeroStage::stage2;
+  const auto s2 = p::zero_memory_per_gpu(params, cfg);
+  cfg.zero = p::ZeroStage::stage3;
+  const auto s3 = p::zero_memory_per_gpu(params, cfg);
+
+  EXPECT_GT(none.total(), s1.total());
+  EXPECT_GT(s1.total(), s2.total());
+  EXPECT_GT(s2.total(), s3.total());
+  // Stage 1 shards only optimizer states.
+  EXPECT_EQ(s1.parameters, none.parameters);
+  EXPECT_EQ(s1.gradients, none.gradients);
+  EXPECT_EQ(s1.optimizer_states, none.optimizer_states / 8);
+  // Stage 3 shards everything.
+  EXPECT_EQ(s3.parameters, none.parameters / 8);
+}
+
+TEST(Zero, Stage3MemoryScalesInverselyWithDp) {
+  const double params = 1e9;
+  p::ParallelConfig a, b;
+  a.data_parallel = 4;
+  a.zero = p::ZeroStage::stage3;
+  b.data_parallel = 16;
+  b.zero = p::ZeroStage::stage3;
+  EXPECT_NEAR(static_cast<double>(p::zero_memory_per_gpu(params, a).total()) /
+                  static_cast<double>(p::zero_memory_per_gpu(params, b).total()),
+              4.0, 0.01);
+}
+
+TEST(Zero, Stage3TripleTraffic) {
+  // ZeRO-3 moves ~3x the gradient-only volume (2x gather + 1x scatter).
+  const double param_bytes = 2e9;
+  p::ParallelConfig s1, s3;
+  s1.data_parallel = s3.data_parallel = 16;
+  s1.zero = p::ZeroStage::stage1;
+  s3.zero = p::ZeroStage::stage3;
+  const double t1 = p::zero_dp_traffic_per_step(param_bytes, s1);
+  const double t3 = p::zero_dp_traffic_per_step(param_bytes, s3);
+  EXPECT_NEAR(t3 / t1, 1.5, 0.01);  // 3*(n-1)/n vs 2*(n-1)/n
+}
+
+TEST(Zero, NoTrafficWithoutDataParallelism) {
+  p::ParallelConfig cfg;  // dp = 1
+  EXPECT_DOUBLE_EQ(p::zero_dp_traffic_per_step(1e9, cfg), 0.0);
+}

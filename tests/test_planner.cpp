@@ -1,0 +1,92 @@
+// Tests for the adaptive offload planner (paper Fig. 3): the budget is the
+// smaller of what is offloadable and what the SSDs can absorb in half a
+// step, and it responds correctly to bandwidth starvation.
+
+#include <gtest/gtest.h>
+
+#include "ssdtrain/core/planner.hpp"
+#include "ssdtrain/hw/catalog.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace core = ssdtrain::core;
+namespace m = ssdtrain::modules;
+namespace hw = ssdtrain::hw;
+namespace u = ssdtrain::util;
+
+namespace {
+
+core::PlannerInputs base_inputs() {
+  core::PlannerInputs inputs;
+  inputs.model = m::bert_config(12288, 3, 16);
+  inputs.parallel.tensor_parallel = 2;
+  inputs.gpu = hw::catalog::a100_pcie_40gb();
+  inputs.target_write_bandwidth = u::gbps(24.4);  // the 4-SSD array
+  return inputs;
+}
+
+}  // namespace
+
+TEST(Planner, FullyOffloadableOnTheEvaluationMachine) {
+  const auto plan = core::plan_offload(base_inputs());
+  // The Table II array absorbs everything offloadable: the budget equals
+  // the offloadable volume and the window has headroom.
+  EXPECT_TRUE(plan.fully_offloadable);
+  EXPECT_EQ(plan.offload_budget, plan.offloadable_bytes_per_step);
+  EXPECT_GT(plan.io_window_bytes, plan.offloadable_bytes_per_step);
+  EXPECT_GT(plan.step_time_estimate, u::ms(1000));
+  EXPECT_LT(plan.required_write_bandwidth, u::gbps(24.4));
+}
+
+TEST(Planner, BandwidthStarvationCapsTheBudget) {
+  auto inputs = base_inputs();
+  inputs.target_write_bandwidth = u::gbps(6.1);  // a single SSD
+  const auto plan = core::plan_offload(inputs);
+  EXPECT_FALSE(plan.fully_offloadable);
+  EXPECT_EQ(plan.offload_budget, plan.io_window_bytes);
+  EXPECT_LT(plan.offload_budget, plan.offloadable_bytes_per_step);
+}
+
+TEST(Planner, BudgetScalesWithBandwidth) {
+  auto one = base_inputs();
+  one.target_write_bandwidth = u::gbps(3.0);
+  auto two = base_inputs();
+  two.target_write_bandwidth = u::gbps(6.0);
+  EXPECT_NEAR(static_cast<double>(core::plan_offload(two).offload_budget),
+              2.0 * static_cast<double>(core::plan_offload(one).offload_budget),
+              1e6);
+}
+
+TEST(Planner, BudgetScalesWithMicroBatches) {
+  auto one = base_inputs();
+  auto three = base_inputs();
+  three.micro_batches = 3;
+  const auto p1 = core::plan_offload(one);
+  const auto p3 = core::plan_offload(three);
+  EXPECT_NEAR(static_cast<double>(p3.offloadable_bytes_per_step),
+              3.0 * static_cast<double>(p1.offloadable_bytes_per_step), 1.0);
+}
+
+TEST(Planner, EstimateTracksActivationModel) {
+  const auto plan = core::plan_offload(base_inputs());
+  // The estimate feeds Table III; it must be strictly positive and below
+  // the whole-model activation volume.
+  EXPECT_GT(plan.offloadable_bytes_per_step, u::gb(5));
+  EXPECT_LT(plan.offloadable_bytes_per_step,
+            plan.activation_bytes_per_step);
+}
+
+TEST(Planner, CacheConfigCarriesBudget) {
+  const auto plan = core::plan_offload(base_inputs());
+  const auto cfg = core::make_cache_config(plan);
+  EXPECT_EQ(cfg.offload_budget, plan.offload_budget);
+}
+
+TEST(Planner, SafetyFactorShrinksWindow) {
+  auto cautious = base_inputs();
+  cautious.safety_factor = 0.5;
+  auto bold = base_inputs();
+  bold.safety_factor = 1.0;
+  EXPECT_LT(core::plan_offload(cautious).io_window_bytes,
+            core::plan_offload(bold).io_window_bytes);
+}

@@ -1,0 +1,202 @@
+// Property-based sweeps: the paper's headline invariants must hold across
+// the whole configuration space, not just the evaluation points. Each
+// parameterized case runs full keep-baseline and SSDTrain sessions and
+// checks overlap, memory reduction, estimate accuracy, and SSD hygiene.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ssdtrain/analysis/activation_model.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace m = ssdtrain::modules;
+namespace rt = ssdtrain::runtime;
+namespace u = ssdtrain::util;
+
+namespace {
+
+struct SweepCase {
+  m::Architecture arch;
+  std::int64_t hidden;
+  int layers;
+  std::int64_t batch;
+
+  [[nodiscard]] std::string name() const {
+    return std::string(to_string(arch)) + "_H" + std::to_string(hidden) +
+           "_L" + std::to_string(layers) + "_B" + std::to_string(batch);
+  }
+};
+
+m::ModelConfig model_for(const SweepCase& c) {
+  switch (c.arch) {
+    case m::Architecture::bert:
+      return m::bert_config(c.hidden, c.layers, c.batch);
+    case m::Architecture::t5:
+      return m::t5_config(c.hidden, c.layers, c.batch);
+    case m::Architecture::gpt:
+      return m::gpt_config(c.hidden, c.layers, c.batch);
+  }
+  return m::bert_config(c.hidden, c.layers, c.batch);
+}
+
+class StrategySweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  rt::StepStats run(rt::Strategy strategy) {
+    rt::SessionConfig config;
+    config.model = model_for(GetParam());
+    config.parallel.tensor_parallel = 2;
+    config.strategy = strategy;
+    session_ = std::make_unique<rt::TrainingSession>(std::move(config));
+    session_->run_step();
+    return session_->run_step();
+  }
+
+  std::unique_ptr<rt::TrainingSession> session_;
+};
+
+}  // namespace
+
+TEST_P(StrategySweep, OverlapAndMemoryInvariantsHold) {
+  const auto keep = run(rt::Strategy::keep_in_gpu);
+  const auto ssd = run(rt::Strategy::ssdtrain);
+
+  // Invariant 1 (Fig. 6a): offloading never costs more than 2% step time.
+  EXPECT_LE(ssd.step_time, keep.step_time * 1.02) << GetParam().name();
+
+  // Invariant 2 (Fig. 6b): the activation peak shrinks materially.
+  const double reduction =
+      1.0 - static_cast<double>(ssd.activation_peak) /
+                static_cast<double>(keep.activation_peak);
+  EXPECT_GT(reduction, 0.20) << GetParam().name();
+  EXPECT_LT(reduction, 0.75) << GetParam().name();
+
+  // Invariant 3 (Table III): measured offload within 15% of the estimate.
+  ASSERT_TRUE(session_->plan().has_value());
+  const double estimate =
+      static_cast<double>(session_->plan()->offloadable_bytes_per_step);
+  EXPECT_NEAR(static_cast<double>(ssd.offloaded_bytes), estimate,
+              estimate * 0.15)
+      << GetParam().name();
+
+  // Invariant 4 (§II-C): the write pattern stays endurance-friendly and
+  // leaves no space behind.
+  EXPECT_LT(ssd.ssd_write_amplification, 1.05) << GetParam().name();
+  EXPECT_EQ(session_->node()
+                .array(session_->config().gpu_index)
+                .live_bytes(),
+            0)
+      << GetParam().name();
+
+  // Invariant 5: trailing I/O drains within the overlap window.
+  EXPECT_LT(ssd.drain_time, keep.step_time * 0.05) << GetParam().name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchitecturesAndShapes, StrategySweep,
+    ::testing::Values(SweepCase{m::Architecture::bert, 4096, 4, 8},
+                      SweepCase{m::Architecture::bert, 8192, 2, 16},
+                      SweepCase{m::Architecture::bert, 12288, 3, 4},
+                      SweepCase{m::Architecture::gpt, 4096, 3, 16},
+                      SweepCase{m::Architecture::gpt, 8192, 4, 8},
+                      SweepCase{m::Architecture::t5, 4096, 4, 8},
+                      SweepCase{m::Architecture::t5, 8192, 3, 16}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.name();
+    });
+
+namespace {
+
+class RecomputeSweep : public ::testing::TestWithParam<SweepCase> {};
+
+}  // namespace
+
+TEST_P(RecomputeSweep, RecomputeInvariantsHold) {
+  rt::SessionConfig keep_cfg, rec_cfg;
+  keep_cfg.model = rec_cfg.model = model_for(GetParam());
+  keep_cfg.parallel.tensor_parallel = rec_cfg.parallel.tensor_parallel = 2;
+  keep_cfg.strategy = rt::Strategy::keep_in_gpu;
+  rec_cfg.strategy = rt::Strategy::recompute_full;
+
+  rt::TrainingSession keep_session(std::move(keep_cfg));
+  keep_session.run_step();
+  const auto keep = keep_session.run_step();
+  rt::TrainingSession rec_session(std::move(rec_cfg));
+  rec_session.run_step();
+  const auto rec = rec_session.run_step();
+
+  // Algorithmic work identical; executed work strictly larger; the
+  // recomputation penalty stays within (1, 1.55] of a forward pass.
+  EXPECT_NEAR(rec.algorithmic_flops, keep.algorithmic_flops,
+              keep.algorithmic_flops * 0.01)
+      << GetParam().name();
+  const double overhead = rec.executed_flops / rec.algorithmic_flops;
+  EXPECT_GT(overhead, 1.05) << GetParam().name();
+  EXPECT_LT(overhead, 1.55) << GetParam().name();
+  // Memory: recompute always below keep.
+  EXPECT_LT(rec.activation_peak, keep.activation_peak) << GetParam().name();
+  // Throughput: recompute always below keep.
+  EXPECT_LT(rec.model_throughput, keep.model_throughput)
+      << GetParam().name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchitecturesAndShapes, RecomputeSweep,
+    ::testing::Values(SweepCase{m::Architecture::bert, 4096, 3, 8},
+                      SweepCase{m::Architecture::gpt, 8192, 2, 8},
+                      SweepCase{m::Architecture::t5, 4096, 4, 8}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.name();
+    });
+
+namespace {
+
+struct FormulaCase {
+  std::int64_t hidden;
+  std::int64_t batch;
+  int tp;
+  bool flash;
+  bool sp;
+};
+
+class ActivationFormulaSweep
+    : public ::testing::TestWithParam<FormulaCase> {};
+
+}  // namespace
+
+TEST_P(ActivationFormulaSweep, FormulaInternalConsistency) {
+  const auto& p = GetParam();
+  auto cfg = m::bert_config(p.hidden, 3, p.batch);
+  cfg.flash_attention = p.flash;
+  ssdtrain::parallel::ParallelConfig parallel;
+  parallel.tensor_parallel = p.tp;
+  parallel.sequence_parallel = p.sp;
+
+  namespace a = ssdtrain::analysis;
+  const double sbh = static_cast<double>(cfg.seq) * p.batch * p.hidden;
+  const auto bytes = a::layer_activation_bytes(cfg, parallel);
+  const double t = p.tp;
+
+  double expected = p.sp ? 34.0 * sbh / t : sbh * (10.0 + 24.0 / t);
+  if (!p.flash) {
+    expected += 5.0 * static_cast<double>(cfg.heads) * cfg.seq * cfg.seq *
+                p.batch / t;
+  }
+  EXPECT_EQ(bytes, static_cast<u::Bytes>(expected));
+  // Offloadable is positive and strictly below the model total.
+  EXPECT_GT(a::offloadable_activation_bytes(cfg, parallel), 0);
+  EXPECT_LT(a::offloadable_activation_bytes(cfg, parallel),
+            a::model_activation_bytes(cfg, parallel));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ActivationFormulaSweep,
+    ::testing::Values(FormulaCase{4096, 4, 1, true, false},
+                      FormulaCase{8192, 8, 2, true, false},
+                      FormulaCase{8192, 8, 2, false, false},
+                      FormulaCase{12288, 16, 4, true, false},
+                      FormulaCase{12288, 16, 8, true, true},
+                      FormulaCase{16384, 2, 8, false, false},
+                      FormulaCase{16384, 32, 8, true, true}));

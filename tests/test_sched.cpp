@@ -1,0 +1,123 @@
+// Tests for training schedules: gradient accumulation, 1F1B, GPipe, bubble
+// fractions, and the keep-last-module condition the tensor cache hints on.
+
+#include <gtest/gtest.h>
+
+#include "ssdtrain/sched/schedule.hpp"
+#include "ssdtrain/util/check.hpp"
+
+namespace s = ssdtrain::sched;
+namespace u = ssdtrain::util;
+
+namespace {
+
+int count_kind(const std::vector<s::Command>& cmds, s::CommandKind kind) {
+  int n = 0;
+  for (const auto& c : cmds) {
+    if (c.kind == kind) ++n;
+  }
+  return n;
+}
+
+/// Every micro-batch's backward must come after its forward.
+void check_causal(const std::vector<s::Command>& cmds) {
+  std::set<int> forwarded;
+  for (const auto& c : cmds) {
+    if (c.kind == s::CommandKind::forward) {
+      forwarded.insert(c.micro_batch);
+    } else if (c.kind == s::CommandKind::backward) {
+      EXPECT_TRUE(forwarded.contains(c.micro_batch))
+          << "backward before forward for mb " << c.micro_batch;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(GradAccum, AlternatesForwardBackward) {
+  const auto cmds = s::grad_accum_schedule(3);
+  ASSERT_EQ(cmds.size(), 7u);
+  EXPECT_EQ(cmds[0], (s::Command{s::CommandKind::forward, 0}));
+  EXPECT_EQ(cmds[1], (s::Command{s::CommandKind::backward, 0}));
+  EXPECT_EQ(cmds[4], (s::Command{s::CommandKind::forward, 2}));
+  EXPECT_EQ(cmds[6].kind, s::CommandKind::optimizer_step);
+  check_causal(cmds);
+}
+
+TEST(GradAccum, EveryForwardIsImmediatelyFollowedByItsBackward) {
+  const auto cmds = s::grad_accum_schedule(4);
+  for (std::size_t i = 0; i < cmds.size(); ++i) {
+    if (cmds[i].kind == s::CommandKind::forward) {
+      EXPECT_TRUE(s::backward_follows_immediately(cmds, i));
+    }
+  }
+  EXPECT_EQ(s::peak_in_flight_micro_batches(cmds), 1);
+}
+
+TEST(OneFOneB, LastStageInterleavesImmediately) {
+  // The last stage runs F0 B0 F1 B1 ... — every backward immediate.
+  const auto cmds = s::schedule_1f1b(4, 4, 3);
+  check_causal(cmds);
+  EXPECT_EQ(count_kind(cmds, s::CommandKind::forward), 4);
+  EXPECT_EQ(count_kind(cmds, s::CommandKind::backward), 4);
+  for (std::size_t i = 0; i < cmds.size(); ++i) {
+    if (cmds[i].kind == s::CommandKind::forward) {
+      EXPECT_TRUE(s::backward_follows_immediately(cmds, i));
+    }
+  }
+}
+
+TEST(OneFOneB, FirstStageWarmsUpDeep) {
+  const auto cmds = s::schedule_1f1b(8, 4, 0);
+  check_causal(cmds);
+  // First stage: pp-1 = 3 warm-up forwards before the first backward.
+  EXPECT_EQ(cmds[0].kind, s::CommandKind::forward);
+  EXPECT_EQ(cmds[1].kind, s::CommandKind::forward);
+  EXPECT_EQ(cmds[2].kind, s::CommandKind::forward);
+  EXPECT_EQ(cmds[3].kind, s::CommandKind::forward);
+  EXPECT_EQ(cmds[4].kind, s::CommandKind::backward);
+  EXPECT_EQ(s::peak_in_flight_micro_batches(cmds), 4);
+}
+
+TEST(OneFOneB, InFlightBoundedByStageDepth) {
+  // 1F1B's point versus GPipe: in-flight micro-batches (and thus live
+  // activations) are bounded by the remaining pipeline depth.
+  for (int stage = 0; stage < 4; ++stage) {
+    const auto cmds = s::schedule_1f1b(16, 4, stage);
+    check_causal(cmds);
+    EXPECT_LE(s::peak_in_flight_micro_batches(cmds), 4 - stage);
+  }
+}
+
+TEST(GPipe, AllForwardsThenAllBackwards) {
+  const auto cmds = s::schedule_gpipe(4, 2, 0);
+  check_causal(cmds);
+  EXPECT_EQ(s::peak_in_flight_micro_batches(cmds), 4);
+  // Backwards run in reverse micro-batch order.
+  EXPECT_EQ(cmds[4], (s::Command{s::CommandKind::backward, 3}));
+  EXPECT_EQ(cmds[7], (s::Command{s::CommandKind::backward, 0}));
+}
+
+TEST(Bubble, FractionShrinksWithMoreMicroBatches) {
+  // (pp-1)/(mb+pp-1): the paper's Fig. 8(a) motivation — larger micro-batch
+  // sizes mean fewer micro-batches and larger bubbles, unless memory allows
+  // raising both.
+  EXPECT_DOUBLE_EQ(s::ideal_bubble_fraction(1, 1), 0.0);
+  EXPECT_NEAR(s::ideal_bubble_fraction(8, 4), 3.0 / 11.0, 1e-12);
+  EXPECT_GT(s::ideal_bubble_fraction(4, 8), s::ideal_bubble_fraction(32, 8));
+  // The BLOOM-style example from the paper: mb >= 4 with pp gives
+  // bubble >= 11.5%... here 32 micro-batches over 8 stages:
+  EXPECT_NEAR(s::ideal_bubble_fraction(32, 8), 7.0 / 39.0, 1e-12);
+}
+
+TEST(Schedules, RejectBadArguments) {
+  EXPECT_THROW(s::grad_accum_schedule(0), u::ContractViolation);
+  EXPECT_THROW(s::schedule_1f1b(4, 4, 4), u::ContractViolation);
+  EXPECT_THROW(s::schedule_1f1b(0, 4, 0), u::ContractViolation);
+}
+
+TEST(Schedules, CommandToString) {
+  EXPECT_EQ(s::to_string({s::CommandKind::forward, 2}), "F2");
+  EXPECT_EQ(s::to_string({s::CommandKind::backward, 0}), "B0");
+  EXPECT_EQ(s::to_string({s::CommandKind::optimizer_step, 0}), "OPT");
+}

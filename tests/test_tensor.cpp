@@ -1,0 +1,178 @@
+// Tests for the tensor runtime: shapes, storages, RAII memory reclamation,
+// views, weak references, and the paper's get_id deduplication scheme
+// (§III-C1).
+
+#include <gtest/gtest.h>
+
+#include "ssdtrain/hw/device_allocator.hpp"
+#include "ssdtrain/tensor/tensor.hpp"
+#include "ssdtrain/tensor/tensor_id.hpp"
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace t = ssdtrain::tensor;
+namespace hw = ssdtrain::hw;
+namespace u = ssdtrain::util;
+
+namespace {
+
+class TensorTest : public ::testing::Test {
+ protected:
+  hw::DeviceAllocator allocator_{u::gib(8)};
+  t::TensorFactory factory_{allocator_};
+};
+
+}  // namespace
+
+TEST_F(TensorTest, ShapeBasics) {
+  t::TensorShape shape{1024, 16, 12288};
+  EXPECT_EQ(shape.rank(), 3u);
+  EXPECT_EQ(shape.numel(), 1024LL * 16 * 12288);
+  EXPECT_EQ(shape.to_string(), "[1024, 16, 12288]");
+  EXPECT_EQ(shape.transposed().dims(),
+            (std::vector<std::int64_t>{1024, 12288, 16}));
+}
+
+TEST_F(TensorTest, ShapeHashDistinguishesShapes) {
+  t::TensorShape a{128, 256};
+  t::TensorShape b{256, 128};
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), t::TensorShape({128, 256}).hash());
+}
+
+TEST_F(TensorTest, DtypeSizes) {
+  EXPECT_EQ(t::element_size(t::DType::fp16), 2);
+  EXPECT_EQ(t::element_size(t::DType::fp32), 4);
+  EXPECT_EQ(t::element_size(t::DType::int8), 1);
+  EXPECT_EQ(t::element_size(t::DType::int64), 8);
+}
+
+TEST_F(TensorTest, DeviceTensorChargesAllocator) {
+  const auto before = allocator_.live(hw::MemoryTag::activation);
+  {
+    auto x = factory_.cuda("x", {1024, 16, 128}, t::DType::fp16,
+                           hw::MemoryTag::activation);
+    EXPECT_EQ(x.bytes(), 1024LL * 16 * 128 * 2);
+    EXPECT_GE(allocator_.live(hw::MemoryTag::activation),
+              before + x.bytes());
+    EXPECT_FALSE(x.is_cpu());
+  }
+  // RAII: dropping the last handle reclaims device memory (the Python GC
+  // analogue the tensor cache relies on).
+  EXPECT_EQ(allocator_.live(hw::MemoryTag::activation), before);
+}
+
+TEST_F(TensorTest, ViewsShareStorageAndKeepMemoryAlive) {
+  auto w = factory_.cuda("w", {512, 256}, t::DType::fp16,
+                         hw::MemoryTag::weights);
+  auto wt = w.transpose_view();
+  EXPECT_TRUE(same_storage(w, wt));
+  EXPECT_EQ(wt.shape().dims(), (std::vector<std::int64_t>{256, 512}));
+  const auto live = allocator_.live(hw::MemoryTag::weights);
+  w.reset();
+  // The view still pins the storage.
+  EXPECT_EQ(allocator_.live(hw::MemoryTag::weights), live);
+  wt.reset();
+  EXPECT_EQ(allocator_.live(hw::MemoryTag::weights), 0);
+}
+
+TEST_F(TensorTest, CpuTensorIsNotDeviceTracked) {
+  const auto before = allocator_.live_total();
+  auto ids = factory_.cpu("ids", {1024, 16}, t::DType::int32);
+  EXPECT_TRUE(ids.is_cpu());
+  EXPECT_EQ(allocator_.live_total(), before);
+}
+
+TEST_F(TensorTest, WeakTensorLockAndExpiry) {
+  t::WeakTensor weak;
+  {
+    auto x = factory_.cuda("x", {1 << 20}, t::DType::fp16,
+                           hw::MemoryTag::activation);
+    weak = t::WeakTensor(x);
+    auto strong = weak.lock();
+    EXPECT_TRUE(strong.defined());
+    EXPECT_TRUE(same_storage(strong, x));
+    EXPECT_FALSE(weak.expired());
+  }
+  EXPECT_TRUE(weak.expired());
+  EXPECT_FALSE(weak.lock().defined());
+}
+
+TEST_F(TensorTest, GetIdStableAcrossCalls) {
+  t::IdAssigner ids;
+  auto x = factory_.cuda("x", {1024, 16, 128}, t::DType::fp16,
+                         hw::MemoryTag::activation);
+  const auto id1 = ids.get_id(x);
+  const auto id2 = ids.get_id(x);
+  EXPECT_EQ(id1, id2);
+}
+
+TEST_F(TensorTest, GetIdDistinguishesDifferentTensors) {
+  t::IdAssigner ids;
+  auto x = factory_.cuda("x", {1024, 16, 128}, t::DType::fp16,
+                         hw::MemoryTag::activation);
+  auto y = factory_.cuda("y", {1024, 16, 128}, t::DType::fp16,
+                         hw::MemoryTag::activation);
+  EXPECT_NE(ids.get_id(x), ids.get_id(y));
+}
+
+TEST_F(TensorTest, GetIdSurvivesAddressReuse) {
+  // The failure mode of PyTorch's id(): freeing a tensor and allocating a
+  // same-sized one may reuse the GPU address. get_id must not collide.
+  t::IdAssigner ids;
+  t::TensorId first_id;
+  {
+    auto x = factory_.cuda("x", {1 << 20}, t::DType::fp16,
+                           hw::MemoryTag::activation);
+    first_id = ids.get_id(x);
+  }
+  auto y = factory_.cuda("y", {1 << 20}, t::DType::fp16,
+                         hw::MemoryTag::activation);
+  EXPECT_NE(ids.get_id(y), first_id);
+}
+
+TEST_F(TensorTest, ViewsOfSameStorageShareStampButNotId) {
+  // New torch.Tensor objects representing the same data deduplicate via the
+  // storage stamp; the transpose (different shape) gets its own id, stable
+  // across steps.
+  t::IdAssigner ids;
+  auto w = factory_.cuda("w", {512, 256}, t::DType::fp16,
+                         hw::MemoryTag::weights);
+  const auto id_w = ids.get_id(w);
+  const auto id_wt = ids.get_id(w.transpose_view());
+  EXPECT_EQ(id_w.stamp, id_wt.stamp);
+  EXPECT_NE(id_w, id_wt);
+  // A second transpose view (a fresh Tensor object) maps to the same id.
+  EXPECT_EQ(ids.get_id(w.transpose_view()), id_wt);
+}
+
+TEST_F(TensorTest, SameShapedViewDeduplicates) {
+  t::IdAssigner ids;
+  auto x = factory_.cuda("x", {64, 64}, t::DType::fp16,
+                         hw::MemoryTag::activation);
+  t::Tensor same("x2", x.shape(), x.dtype(), x.storage());
+  EXPECT_EQ(ids.get_id(x), ids.get_id(same));
+}
+
+TEST_F(TensorTest, IdToStringIsFilenameFriendly) {
+  t::IdAssigner ids;
+  auto x = factory_.cuda("x", {64}, t::DType::fp16,
+                         hw::MemoryTag::activation);
+  const auto str = ids.get_id(x).to_string();
+  EXPECT_EQ(str.find('/'), std::string::npos);
+  EXPECT_EQ(str.find(' '), std::string::npos);
+  EXPECT_EQ(str.front(), 't');
+}
+
+TEST_F(TensorTest, UndefinedTensorRejectsAccess) {
+  t::Tensor undefined;
+  EXPECT_FALSE(undefined.defined());
+  EXPECT_THROW((void)undefined.shape(), u::ContractViolation);
+  EXPECT_THROW((void)undefined.bytes(), u::ContractViolation);
+}
+
+TEST_F(TensorTest, OomPropagates) {
+  EXPECT_THROW(factory_.cuda("huge", {u::gib(16)}, t::DType::fp16,
+                             hw::MemoryTag::activation),
+               hw::OutOfDeviceMemory);
+}

@@ -1,0 +1,83 @@
+// Tests for the Chrome-trace exporter: event capture from streams, JSON
+// structure, and file output.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ssdtrain/sim/simulator.hpp"
+#include "ssdtrain/sim/stream.hpp"
+#include "ssdtrain/trace/chrome_trace.hpp"
+
+namespace sim = ssdtrain::sim;
+namespace trace = ssdtrain::trace;
+
+TEST(ChromeTrace, CapturesStreamTasks) {
+  sim::Simulator s;
+  sim::Stream stream(s, "gpu");
+  trace::ChromeTrace tracer;
+  tracer.attach_stream(stream, "GPU compute");
+  stream.enqueue("gemm", 1.0);
+  stream.enqueue("flash", 0.5);
+  s.run();
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events()[0].name, "gemm");
+  EXPECT_DOUBLE_EQ(tracer.events()[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].end, 1.0);
+  EXPECT_DOUBLE_EQ(tracer.events()[1].end, 1.5);
+}
+
+TEST(ChromeTrace, JsonHasDurationEventsAndTrackNames) {
+  sim::Simulator s;
+  sim::Stream compute(s, "gpu");
+  sim::Stream io(s, "io");
+  trace::ChromeTrace tracer;
+  tracer.attach_stream(compute, "GPU compute");
+  tracer.attach_stream(io, "SSD I/O");
+  compute.enqueue("k", 1.0);
+  io.enqueue("store", 2.0);
+  s.run();
+
+  const std::string json = tracer.to_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find(R"("ph": "X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name": "k")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name": "store")"), std::string::npos);
+  EXPECT_NE(json.find("GPU compute"), std::string::npos);
+  EXPECT_NE(json.find("SSD I/O"), std::string::npos);
+  // Distinct tracks get distinct tids.
+  EXPECT_NE(json.find(R"("tid": 0)"), std::string::npos);
+  EXPECT_NE(json.find(R"("tid": 1)"), std::string::npos);
+}
+
+TEST(ChromeTrace, MicrosecondTimestamps) {
+  sim::Simulator s;
+  sim::Stream stream(s, "gpu");
+  trace::ChromeTrace tracer;
+  tracer.attach_stream(stream, "t");
+  stream.enqueue("k", 0.0015);  // 1.5 ms = 1500 us
+  s.run();
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find(R"("dur": 1500)"), std::string::npos);
+}
+
+TEST(ChromeTrace, WritesFile) {
+  trace::ChromeTrace tracer;
+  tracer.add_event({"manual", "track", 0.0, 1.0});
+  const std::string path = "/tmp/ssdtrain_test_trace.json";
+  tracer.write(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("manual"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, WriteToBadPathThrows) {
+  trace::ChromeTrace tracer;
+  EXPECT_THROW(tracer.write("/nonexistent-dir/trace.json"),
+               std::runtime_error);
+}

@@ -1,0 +1,199 @@
+// Unit tests for ssdtrain/util: contracts, units/formatting, RNG, stats,
+// table and CSV writers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/csv.hpp"
+#include "ssdtrain/util/rng.hpp"
+#include "ssdtrain/util/stats.hpp"
+#include "ssdtrain/util/table.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace u = ssdtrain::util;
+
+TEST(Check, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(u::expects(false, "boom"), u::ContractViolation);
+  EXPECT_NO_THROW(u::expects(true));
+}
+
+TEST(Check, EnsuresAndCheckThrowOnFalse) {
+  EXPECT_THROW(u::ensures(false), u::ContractViolation);
+  EXPECT_THROW(u::check(false), u::ContractViolation);
+  EXPECT_THROW(u::unreachable(), u::ContractViolation);
+}
+
+TEST(Check, MessageContainsLocation) {
+  try {
+    u::expects(false, "custom message");
+    FAIL() << "should have thrown";
+  } catch (const u::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom message"), std::string::npos);
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Units, BinaryAndDecimalSizes) {
+  EXPECT_EQ(u::kib(1), 1024);
+  EXPECT_EQ(u::mib(1), 1024 * 1024);
+  EXPECT_EQ(u::gib(2), 2LL * 1024 * 1024 * 1024);
+  EXPECT_EQ(u::gb(1), 1'000'000'000);
+  EXPECT_EQ(u::tb(1.6), 1'600'000'000'000LL);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(u::ms(1500), 1.5);
+  EXPECT_DOUBLE_EQ(u::us(1), 1e-6);
+  EXPECT_DOUBLE_EQ(u::years(1), 86400.0 * 365.25);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(u::format_bytes(12.85e9), "12.85 GB");
+  EXPECT_EQ(u::format_bytes(999.0), "999.00 B");
+  EXPECT_EQ(u::format_bytes_binary(1024.0 * 1024.0), "1.00 MiB");
+}
+
+TEST(Units, FormatBandwidthAndTime) {
+  EXPECT_EQ(u::format_bandwidth(u::gbps(18.0)), "18.00 GB/s");
+  EXPECT_EQ(u::format_time(u::ms(1234.5)), "1.234 s");
+  EXPECT_EQ(u::format_time(u::ms(85.25)), "85.25 ms");
+}
+
+TEST(Units, FormatDurationLong) {
+  EXPECT_EQ(u::format_duration_long(u::years(2.31)), "2.31 years");
+  EXPECT_EQ(u::format_duration_long(u::days(45.0)), "45.0 days");
+}
+
+TEST(Units, FormatPercent) {
+  EXPECT_EQ(u::format_percent(-0.472), "-47.2%");
+  EXPECT_EQ(u::format_percent(0.05, 0), "5%");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  u::Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  u::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  u::Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounded) {
+  u::Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_int(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  u::Xoshiro256 rng(9);
+  bool seen[8] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.uniform_int(8)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Stats, RunningStatMoments) {
+  u::RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(u::percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(u::percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(u::percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(u::percentile(v, 25), 2.0);
+}
+
+TEST(Stats, PercentileRejectsEmpty) {
+  EXPECT_THROW(u::percentile({}, 50), u::ContractViolation);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 1.5);
+  }
+  const auto fit = u::linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.5, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, ExponentialFitRecoversGrowthRate) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * std::exp(0.7 * i));
+  }
+  const auto fit = u::exponential_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.7, 1e-10);
+  EXPECT_NEAR(u::doubling_time(fit.slope), std::log(2.0) / 0.7, 1e-10);
+}
+
+TEST(Table, RendersAlignedCells) {
+  u::AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  u::AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), u::ContractViolation);
+}
+
+TEST(Csv, WritesEscapedCells) {
+  const std::string path = "/tmp/ssdtrain_test_csv.csv";
+  {
+    u::CsvWriter w(path, {"a", "b"});
+    w.add_row({"plain", "with,comma"});
+    w.add_row({"with\"quote", "x"});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("a,b\n"), std::string::npos);
+  EXPECT_NE(content.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(content.find("\"with\"\"quote\",x\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWrongWidth) {
+  const std::string path = "/tmp/ssdtrain_test_csv2.csv";
+  u::CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.add_row({"x"}), u::ContractViolation);
+  w.close();
+  std::remove(path.c_str());
+}

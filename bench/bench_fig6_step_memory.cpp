@@ -11,6 +11,7 @@
 
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
 
@@ -76,8 +77,7 @@ int main() {
     worst_overhead = std::max(worst_overhead, overhead);
     best_reduction = std::max(best_reduction, reduction);
     table.add_row({std::string(to_string(c.arch)),
-                   "H" + std::to_string(c.hidden) + " L" +
-                       std::to_string(c.layers),
+                   u::label("H", c.hidden) + u::label(" L", c.layers),
                    u::format_time(ssd.step_time),
                    u::format_time(keep.step_time),
                    u::format_percent(overhead),

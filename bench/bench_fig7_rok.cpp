@@ -15,6 +15,7 @@
 #include "ssdtrain/hw/device_allocator.hpp"
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
 
@@ -56,12 +57,12 @@ void rok_curve(std::int64_t hidden) {
       const auto stats = measure(hidden, batch, strategy);
       if (!stats) {
         table.add_row({std::string(to_string(strategy)),
-                       "B" + std::to_string(batch), "OOM (40 GB)", "-",
+                       u::label("B", batch), "OOM (40 GB)", "-",
                        "-"});
         continue;
       }
       table.add_row(
-          {std::string(to_string(strategy)), "B" + std::to_string(batch),
+          {std::string(to_string(strategy)), u::label("B", batch),
            u::format_bytes(static_cast<double>(stats->activation_peak)),
            u::format_flops_rate(stats->model_throughput),
            u::format_time(stats->step_time)});

@@ -12,6 +12,7 @@
 
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
 
@@ -56,7 +57,7 @@ int main() {
     const double update_saving =
         base_per_sample / update_only_per_sample - 1.0;
     const double efficiency = total - update_saving;
-    table.add_row({"B" + std::to_string(batch), u::format_time(per_sample),
+    table.add_row({u::label("B", batch), u::format_time(per_sample),
                    u::format_percent(total), u::format_percent(update_saving),
                    u::format_percent(efficiency)});
   }

@@ -15,6 +15,7 @@
 #include "ssdtrain/analysis/perf_model.hpp"
 #include "ssdtrain/hw/catalog.hpp"
 #include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
 
@@ -64,9 +65,8 @@ int main() {
   for (const auto& c : configs) {
     const double bw = project(c.tp, c.pp, c.layers, true);
     all_below = all_below && bw < baseline;
-    table.add_row({"PP" + std::to_string(c.pp) + " TP" +
-                       std::to_string(c.tp) + " L" +
-                       std::to_string(c.layers),
+    table.add_row({u::label("PP", c.pp) + u::label(" TP", c.tp) +
+                       u::label(" L", c.layers),
                    std::to_string(c.pp * c.tp), u::format_bandwidth(bw),
                    u::format_percent(bw / baseline - 1.0)});
   }

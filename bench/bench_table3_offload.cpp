@@ -12,6 +12,7 @@
 
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
 
@@ -42,8 +43,7 @@ int main() {
     const double measured = static_cast<double>(stats.offloaded_bytes);
     const double estimate =
         static_cast<double>(session.plan()->offloadable_bytes_per_step);
-    table.add_row({"H" + std::to_string(c.hidden) + " L" +
-                       std::to_string(c.layers),
+    table.add_row({u::label("H", c.hidden) + u::label(" L", c.layers),
                    u::format_bytes(measured), u::format_bytes(estimate),
                    u::format_percent(measured / estimate - 1.0),
                    u::format_bandwidth(stats.required_write_bandwidth)});

@@ -1,0 +1,40 @@
+# Shared build-hygiene flags for every target in the repo, carried by one
+# INTERFACE target so the library, tests, benches, and examples all compile
+# under identical warning and sanitizer settings. Link it PRIVATE: the flags
+# must not leak into the usage requirements of ssdtrain::ssdtrain.
+
+add_library(ssdtrain_hygiene INTERFACE)
+add_library(ssdtrain::hygiene ALIAS ssdtrain_hygiene)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(ssdtrain_hygiene INTERFACE -Wall -Wextra)
+  if(SSDTRAIN_WERROR)
+    target_compile_options(ssdtrain_hygiene INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(ssdtrain_hygiene INTERFACE /W4 /permissive-)
+  if(SSDTRAIN_WERROR)
+    target_compile_options(ssdtrain_hygiene INTERFACE /WX)
+  endif()
+endif()
+
+if(SSDTRAIN_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR
+            "SSDTRAIN_SANITIZE requires GCC or Clang, got ${CMAKE_CXX_COMPILER_ID}")
+  endif()
+  string(REPLACE "," ";" _ssdtrain_san_list "${SSDTRAIN_SANITIZE}")
+  foreach(_san IN LISTS _ssdtrain_san_list)
+    if(NOT _san MATCHES "^(address|undefined|leak|thread)$")
+      message(FATAL_ERROR "Unknown sanitizer '${_san}' in SSDTRAIN_SANITIZE "
+                          "(expected address, undefined, leak, or thread)")
+    endif()
+  endforeach()
+  string(REPLACE ";" "," _ssdtrain_san_flags "${_ssdtrain_san_list}")
+  target_compile_options(ssdtrain_hygiene INTERFACE
+                         -fsanitize=${_ssdtrain_san_flags}
+                         -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  target_link_options(ssdtrain_hygiene INTERFACE
+                      -fsanitize=${_ssdtrain_san_flags})
+  message(STATUS "SSDTrain: sanitizers enabled: ${_ssdtrain_san_flags}")
+endif()

@@ -1,0 +1,73 @@
+// Endurance report: why activation offloading does not eat SSDs (paper
+// §II-C / §III-D). For each catalog drive, contrasts the pessimistic
+// JESD-rated write budget with the budget available to SSDTrain's workload
+// (sequential WAF ~1, one-step retention -> 86x PE cycles) and projects the
+// drive's lifespan when it absorbs an activation stream at its full
+// sequential write rate around the clock.
+//
+// Usage: example_endurance_report [duty]
+//   duty  fraction of the drive's sequential write bandwidth the offload
+//         stream sustains, 0 < duty <= 1 (default 1.0, the worst case)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "ssdtrain/hw/catalog.hpp"
+#include "ssdtrain/hw/ssd/endurance.hpp"
+#include "ssdtrain/hw/ssd/ssd_device.hpp"
+#include "ssdtrain/util/table.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace hw = ssdtrain::hw;
+namespace cat = ssdtrain::hw::catalog;
+namespace u = ssdtrain::util;
+
+namespace {
+
+hw::EnduranceRating rating_of(const hw::SsdSpec& spec) {
+  hw::EnduranceRating rating;
+  rating.capacity = spec.capacity;
+  rating.dwpd = spec.dwpd;
+  rating.warranty_years = spec.warranty_years;
+  return rating;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double duty = argc > 1 ? std::atof(argv[1]) : 1.0;
+  if (duty <= 0.0 || duty > 1.0) {
+    std::cerr << "duty must be in (0, 1], got " << duty << "\n";
+    return 1;
+  }
+
+  std::cout << "SSD endurance under activation offloading (duty "
+            << u::format_fixed(duty * 100.0, 0) << "% of seq-write rate)\n"
+            << "=============================================================="
+               "\n";
+
+  u::AsciiTable table({"drive", "JESD budget", "SSDTrain budget",
+                       "write rate", "lifespan"});
+  const auto workload = hw::WorkloadAssumptions::ssdtrain_default();
+  for (const auto& spec :
+       {cat::optane_p5800x_1600gb(), cat::samsung_980pro_1tb()}) {
+    const auto rating = rating_of(spec);
+    const double rated = rating.rated_host_writes();
+    const double relaxed = hw::lifetime_host_writes(rating, workload);
+    const double write_rate = duty * spec.seq_write_bandwidth;
+    // Continuous stream: one "step" per second writing write_rate bytes.
+    const auto life = hw::lifespan_seconds(
+        relaxed, 1.0, static_cast<u::Bytes>(write_rate));
+    table.add_row({spec.name, u::format_bytes(rated),
+                   u::format_bytes(relaxed), u::format_bandwidth(write_rate),
+                   u::format_duration_long(life)});
+  }
+  std::cout << table.render() << "\n"
+            << "SSDTrain budget = JESD rating x " << workload.retention_multiplier
+            << "x retention relaxation x JESD WAF / workload WAF "
+            << workload.workload_waf << ".\n"
+            << "Even saturating the drive 24/7, the relaxed budget keeps "
+               "lifespan in deployment range;\nreal training steps leave the "
+               "drive idle between offload bursts, stretching it further.\n";
+  return 0;
+}

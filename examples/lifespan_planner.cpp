@@ -14,6 +14,7 @@
 
 #include "ssdtrain/analysis/lifespan.hpp"
 #include "ssdtrain/hw/catalog.hpp"
+#include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
 
@@ -63,13 +64,13 @@ int main(int argc, char** argv) {
   u::AsciiTable table({"quantity", "value"});
   table.set_align(1, u::Align::right);
   table.add_row({"model", std::to_string(static_cast<int>(params_b)) +
-                              "B params (H" + std::to_string(hidden) +
-                              ", L" + std::to_string(layers) + ")"});
+                              "B params (" + u::label("H", hidden) +
+                              u::label(", L", layers) + ")"});
   table.add_row({"parallelism",
-                 "TP8 x PP" +
-                     std::to_string(scenario.parallel.pipeline_parallel) +
-                     " x DP" +
-                     std::to_string(scenario.parallel.data_parallel) +
+                 u::label("TP8 x PP",
+                          scenario.parallel.pipeline_parallel) +
+                     u::label(" x DP",
+                              scenario.parallel.data_parallel) +
                      " (+SP)"});
   table.add_row({"GPUs used", std::to_string(scenario.gpu_count)});
   table.add_row({"step time", u::format_time(proj.step_time)});

@@ -15,6 +15,7 @@
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/session.hpp"
 #include "ssdtrain/sched/schedule.hpp"
+#include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
 
@@ -58,7 +59,7 @@ int main() {
     // Ideal full-pipeline step time: stage work inflated by the bubble.
     const double samples_per_s =
         kMiniBatchSamples / (stats.step_time / (1.0 - bubble));
-    table.add_row({"B" + std::to_string(mb_size),
+    table.add_row({u::label("B", mb_size),
                    std::to_string(micro_batches),
                    u::format_percent(bubble),
                    u::format_bytes(static_cast<double>(

@@ -17,6 +17,7 @@
 #include "ssdtrain/hw/device_allocator.hpp"
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
 
@@ -73,13 +74,13 @@ int main(int argc, char** argv) {
       const auto stats = measure(arch, hidden, layers, batch, strategy);
       if (!stats) {
         table.add_row({std::string(to_string(strategy)),
-                       "B" + std::to_string(batch), "OOM", "-", "-"});
+                       u::label("B", batch), "OOM", "-", "-"});
         continue;
       }
       const double samples_per_s =
           static_cast<double>(batch) / stats->step_time;
       table.add_row(
-          {std::string(to_string(strategy)), "B" + std::to_string(batch),
+          {std::string(to_string(strategy)), u::label("B", batch),
            u::format_bytes(static_cast<double>(stats->activation_peak)),
            u::format_flops_rate(stats->model_throughput),
            u::format_fixed(samples_per_s, 2)});

@@ -7,16 +7,17 @@ namespace ssdtrain::core {
 void CudaMallocHookLibrary::install(hw::DeviceAllocator& allocator) {
   util::expects(!installed_, "hook library installed twice");
   installed_ = true;
-  allocator.set_allocation_hook([this](util::Bytes delta, hw::MemoryTag tag) {
-    (void)tag;
-    if (delta > 0) {
-      ++registrations_;
-      registered_bytes_ += delta;
-    } else {
-      ++deregistrations_;
-      registered_bytes_ += delta;  // delta is negative on free
-    }
-  });
+  allocator.set_allocation_hook(
+      [stats = stats_](util::Bytes delta, hw::MemoryTag tag) {
+        (void)tag;
+        if (delta > 0) {
+          ++stats->registrations;
+          stats->registered_bytes += delta;
+        } else {
+          ++stats->deregistrations;
+          stats->registered_bytes += delta;  // delta is negative on free
+        }
+      });
 }
 
 util::Seconds CudaMallocHookLibrary::transfer_setup_latency(

@@ -11,6 +11,7 @@
 /// registration round trip).
 
 #include <cstdint>
+#include <memory>
 
 #include "ssdtrain/hw/device_allocator.hpp"
 #include "ssdtrain/util/units.hpp"
@@ -25,11 +26,13 @@ class CudaMallocHookLibrary {
 
   [[nodiscard]] bool installed() const { return installed_; }
   [[nodiscard]] util::Bytes registered_bytes() const {
-    return registered_bytes_;
+    return stats_->registered_bytes;
   }
-  [[nodiscard]] std::uint64_t registrations() const { return registrations_; }
+  [[nodiscard]] std::uint64_t registrations() const {
+    return stats_->registrations;
+  }
   [[nodiscard]] std::uint64_t deregistrations() const {
-    return deregistrations_;
+    return stats_->deregistrations;
   }
 
   /// Per-I/O setup latency for a transfer touching \p bytes of device
@@ -38,10 +41,18 @@ class CudaMallocHookLibrary {
   [[nodiscard]] util::Seconds transfer_setup_latency(util::Bytes bytes) const;
 
  private:
+  /// Counter block shared with the installed hook closure. The allocator
+  /// (and the tensors freed through it) can outlive this object — e.g.
+  /// TrainingSession tears the hook library down before the node — so the
+  /// closure keeps the stats alive instead of referring back to `this`.
+  struct Stats {
+    util::Bytes registered_bytes = 0;
+    std::uint64_t registrations = 0;
+    std::uint64_t deregistrations = 0;
+  };
+
   bool installed_ = false;
-  util::Bytes registered_bytes_ = 0;
-  std::uint64_t registrations_ = 0;
-  std::uint64_t deregistrations_ = 0;
+  std::shared_ptr<Stats> stats_ = std::make_shared<Stats>();
 };
 
 }  // namespace ssdtrain::core

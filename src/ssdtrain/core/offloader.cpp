@@ -31,8 +31,11 @@ util::Seconds SsdOffloader::transfer_setup_latency() const {
   if (malloc_hook_ != nullptr) {
     return malloc_hook_->transfer_setup_latency(0);
   }
-  // No hook library: unregistered buffers, pay the slow path.
-  return CudaMallocHookLibrary{}.transfer_setup_latency(0);
+  // No hook library: unregistered buffers, pay the slow path. One shared
+  // uninstalled instance — this runs per transfer, and constructing a
+  // CudaMallocHookLibrary allocates its stats block.
+  static const CudaMallocHookLibrary uninstalled;
+  return uninstalled.transfer_setup_latency(0);
 }
 
 std::optional<sim::CompletionPtr> SsdOffloader::store(

@@ -1,6 +1,7 @@
 #include "ssdtrain/hw/node.hpp"
 
 #include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/label.hpp"
 
 namespace ssdtrain::hw {
 
@@ -28,11 +29,11 @@ TrainingNode::TrainingNode(NodeConfig config)
     ctx.allocator =
         std::make_unique<DeviceAllocator>(config_.gpu.memory_capacity);
     ctx.compute_stream = std::make_unique<sim::Stream>(
-        sim_, "gpu" + std::to_string(i) + ":compute");
+        sim_, util::label("gpu", i) + ":compute");
     ctx.pcie_tx =
-        network_.add_resource("gpu" + std::to_string(i) + ":pcie_tx", link_bw);
+        network_.add_resource(util::label("gpu", i) + ":pcie_tx", link_bw);
     ctx.pcie_rx =
-        network_.add_resource("gpu" + std::to_string(i) + ":pcie_rx", link_bw);
+        network_.add_resource(util::label("gpu", i) + ":pcie_rx", link_bw);
     gpus_.push_back(std::move(ctx));
   }
 
@@ -42,7 +43,7 @@ TrainingNode::TrainingNode(NodeConfig config)
       continue;
     }
     arrays_.push_back(std::make_unique<Raid0Array>(
-        network_, "array" + std::to_string(a), config_.arrays[a]));
+        network_, util::label("array", a), config_.arrays[a]));
   }
 }
 

@@ -1,6 +1,7 @@
 #include "ssdtrain/hw/ssd/raid0.hpp"
 
 #include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/label.hpp"
 
 namespace ssdtrain::hw {
 
@@ -14,7 +15,8 @@ Raid0Array::Raid0Array(sim::BandwidthNetwork& network, std::string name,
   util::BytesPerSecond read_bw = 0.0;
   for (std::size_t i = 0; i < member_specs.size(); ++i) {
     auto spec = member_specs[i];
-    spec.name = name_ + "/" + spec.name + "#" + std::to_string(i);
+    spec.name = name_ + "/" + spec.name +
+                util::label("#", static_cast<std::int64_t>(i));
     write_bw += spec.seq_write_bandwidth;
     read_bw += spec.seq_read_bandwidth;
     members_.push_back(std::make_unique<SsdDevice>(network, spec));

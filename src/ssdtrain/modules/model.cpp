@@ -1,6 +1,7 @@
 #include "ssdtrain/modules/model.hpp"
 
 #include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/label.hpp"
 
 namespace ssdtrain::modules {
 
@@ -80,10 +81,10 @@ StackModel::StackModel(ModelConfig config) : Model(std::move(config)) {
   layers_.reserve(static_cast<std::size_t>(cfg.layers));
   for (int i = 0; i < cfg.layers; ++i) {
     layers_.push_back(std::make_unique<TransformerLayer>(
-        "layer" + std::to_string(i), cfg.hidden, cfg.heads, causal,
+        util::label("layer", i), cfg.hidden, cfg.heads, causal,
         cfg.flash_attention, cfg.dropout));
     gates_.push_back(std::make_unique<CheckpointGate>(
-        "checkpoint" + std::to_string(i)));
+        util::label("checkpoint", i)));
   }
   head_ = std::make_unique<LmHead>("head", cfg.hidden, cfg.vocab);
 }
@@ -174,17 +175,17 @@ T5Model::T5Model(ModelConfig config) : Model(std::move(config)) {
                                            cfg.hidden);
   for (int i = 0; i < encoders; ++i) {
     encoders_.push_back(std::make_unique<TransformerLayer>(
-        "encoder" + std::to_string(i), cfg.hidden, cfg.heads,
+        util::label("encoder", i), cfg.hidden, cfg.heads,
         /*causal=*/false, cfg.flash_attention, cfg.dropout));
     encoder_gates_.push_back(std::make_unique<CheckpointGate>(
-        "enc_checkpoint" + std::to_string(i)));
+        util::label("enc_checkpoint", i)));
   }
   for (int i = 0; i < decoders; ++i) {
     decoders_.push_back(std::make_unique<T5DecoderLayer>(
-        "decoder" + std::to_string(i), cfg.hidden, cfg.heads,
+        util::label("decoder", i), cfg.hidden, cfg.heads,
         cfg.flash_attention, cfg.dropout));
     decoder_gates_.push_back(std::make_unique<CheckpointGate>(
-        "dec_checkpoint" + std::to_string(i)));
+        util::label("dec_checkpoint", i)));
   }
   memory_gate_ = std::make_unique<CheckpointGate>("memory_checkpoint");
   head_ = std::make_unique<LmHead>("head", cfg.hidden, cfg.vocab);

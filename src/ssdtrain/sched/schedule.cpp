@@ -4,15 +4,16 @@
 #include <set>
 
 #include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/label.hpp"
 
 namespace ssdtrain::sched {
 
 std::string to_string(const Command& command) {
   switch (command.kind) {
     case CommandKind::forward:
-      return "F" + std::to_string(command.micro_batch);
+      return util::label("F", command.micro_batch);
     case CommandKind::backward:
-      return "B" + std::to_string(command.micro_batch);
+      return util::label("B", command.micro_batch);
     case CommandKind::optimizer_step:
       return "OPT";
   }

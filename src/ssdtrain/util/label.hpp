@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file label.hpp
+/// Tiny prefix+number label builder: label("B", 16) -> "B16".
+///
+/// Exists because the obvious spelling, `"B" + std::to_string(16)`, selects
+/// the `operator+(const char*, std::string&&)` overload whose inlined
+/// memcpy GCC 12 misdiagnoses under -O3 -Werror=restrict (GCC PR 105651).
+/// Appending to an lvalue sidesteps the false positive, so every
+/// "letter + count" label in the repo routes through here.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ssdtrain::util {
+
+inline std::string label(std::string_view prefix, std::int64_t value) {
+  std::string out(prefix);
+  out += std::to_string(value);
+  return out;
+}
+
+}  // namespace ssdtrain::util

@@ -1,0 +1,101 @@
+// Hardware catalog presets: the specs in hw/catalog.cpp are the ground truth
+// every benchmark and example builds on, so pin them to the paper's Table II
+// figures and check the presets stay internally consistent (ratings derived
+// from specs, node arrays wired to the documented GPU indices).
+
+#include <gtest/gtest.h>
+
+#include "ssdtrain/hw/catalog.hpp"
+#include "ssdtrain/hw/node.hpp"
+#include "ssdtrain/hw/pcie.hpp"
+#include "ssdtrain/hw/ssd/endurance.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace hw = ssdtrain::hw;
+namespace cat = ssdtrain::hw::catalog;
+namespace u = ssdtrain::util;
+
+TEST(Catalog, A100PcieMatchesDataSheet) {
+  const auto gpu = cat::a100_pcie_40gb();
+  EXPECT_EQ(gpu.name, "A100-PCIe-40GB");
+  EXPECT_DOUBLE_EQ(gpu.fp16_peak, u::tflops(312));
+  EXPECT_DOUBLE_EQ(gpu.hbm_bandwidth, u::gbps(1555));
+  EXPECT_EQ(gpu.memory_capacity, u::gib(40));
+}
+
+TEST(Catalog, A100SxmUpgradesMemoryNotCompute) {
+  const auto pcie = cat::a100_pcie_40gb();
+  const auto sxm = cat::a100_sxm_80gb();
+  EXPECT_DOUBLE_EQ(sxm.fp16_peak, pcie.fp16_peak);
+  EXPECT_GT(sxm.hbm_bandwidth, pcie.hbm_bandwidth);
+  EXPECT_EQ(sxm.memory_capacity, u::gib(80));
+}
+
+TEST(Catalog, OptaneP5800xMatchesDataSheet) {
+  const auto ssd = cat::optane_p5800x_1600gb();
+  EXPECT_EQ(ssd.capacity, u::tb(1.6));
+  EXPECT_DOUBLE_EQ(ssd.seq_write_bandwidth, u::gbps(6.1));
+  EXPECT_DOUBLE_EQ(ssd.seq_read_bandwidth, u::gbps(7.2));
+  EXPECT_DOUBLE_EQ(ssd.dwpd, 100.0);
+}
+
+TEST(Catalog, Samsung980ProSpecAgreesWithRating) {
+  const auto ssd = cat::samsung_980pro_1tb();
+  const auto rating = cat::samsung_980pro_rating();
+  EXPECT_EQ(rating.capacity, ssd.capacity);
+  EXPECT_DOUBLE_EQ(ssd.dwpd, rating.dwpd);
+  EXPECT_DOUBLE_EQ(ssd.warranty_years, rating.warranty_years);
+  // The rating encodes 600 TBW over the warranty.
+  EXPECT_NEAR(rating.rated_host_writes(), static_cast<double>(u::tb(600)),
+              1e6);
+}
+
+TEST(Catalog, PcieGen4x16LandsInMeasuredBand) {
+  const auto bw = hw::effective_bandwidth(cat::pcie_gen4_x16());
+  // Gen4 x16 raw is 32 GB/s per direction; ~85% is usable for large DMA.
+  EXPECT_GT(bw, u::gbps(24));
+  EXPECT_LT(bw, u::gbps(32));
+}
+
+TEST(Catalog, Table2NodeHasAsymmetricRaidArrays) {
+  const auto node = cat::table2_evaluation_node();
+  EXPECT_EQ(node.gpu_count, 2);
+  ASSERT_EQ(node.arrays.size(), 2u);
+  EXPECT_EQ(node.arrays[0].size(), 3u);   // GPU 0: 3-disk RAID0
+  EXPECT_EQ(node.arrays[1].size(), 4u);   // GPU 1: 4-disk RAID0 (measured)
+  EXPECT_EQ(cat::table2_measured_gpu, 1);
+  for (const auto& array : node.arrays) {
+    for (const auto& ssd : array) {
+      EXPECT_EQ(ssd.name, cat::optane_p5800x_1600gb().name);
+    }
+  }
+}
+
+TEST(Catalog, Table2NodeConstructs) {
+  hw::TrainingNode node(cat::table2_evaluation_node());
+  EXPECT_EQ(node.gpu_count(), 2);
+  EXPECT_TRUE(node.has_array(0));
+  EXPECT_TRUE(node.has_array(1));
+}
+
+TEST(Catalog, SingleGpuNodeScalesArraySize) {
+  const auto none = cat::single_gpu_node(0);
+  ASSERT_EQ(none.arrays.size(), 1u);
+  EXPECT_TRUE(none.arrays[0].empty());
+
+  const auto four = cat::single_gpu_node(4);
+  ASSERT_EQ(four.arrays.size(), 1u);
+  EXPECT_EQ(four.arrays[0].size(), 4u);
+  EXPECT_EQ(four.gpu_count, 1);
+}
+
+TEST(Catalog, MeasuredGpuArrayAbsorbsPcieLink) {
+  // The paper pairs each A100 with enough SSDs that the array's sequential
+  // write rate is not dwarfed by the PCIe link: the 4-disk array sustains
+  // most of a Gen4 x16 link.
+  const auto node = cat::table2_evaluation_node();
+  const auto ssd = cat::optane_p5800x_1600gb();
+  const double array_write =
+      static_cast<double>(node.arrays[1].size()) * ssd.seq_write_bandwidth;
+  EXPECT_GT(array_write, 0.8 * hw::effective_bandwidth(node.pcie));
+}

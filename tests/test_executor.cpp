@@ -9,6 +9,7 @@
 #include "ssdtrain/runtime/executor.hpp"
 #include "ssdtrain/runtime/session.hpp"
 #include "ssdtrain/sched/schedule.hpp"
+#include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/units.hpp"
 
 namespace rt = ssdtrain::runtime;
@@ -74,7 +75,7 @@ TEST_F(ExecutorTest, PacingBoundsLaunchAhead) {
   options.max_launch_ahead = 4;
   auto exec = make_executor(options);
   for (int i = 0; i < 64; ++i) {
-    exec.kernel("k" + std::to_string(i), 1e10, 0, 0, {});
+    exec.kernel(u::label("k", i), 1e10, 0, 0, {});
     EXPECT_LE(node_.gpu(0).compute_stream->queued(), 4u);
   }
   node_.simulator().run();

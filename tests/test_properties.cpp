@@ -10,6 +10,7 @@
 #include "ssdtrain/analysis/activation_model.hpp"
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/units.hpp"
 
 namespace m = ssdtrain::modules;
@@ -25,8 +26,8 @@ struct SweepCase {
   std::int64_t batch;
 
   [[nodiscard]] std::string name() const {
-    return std::string(to_string(arch)) + "_H" + std::to_string(hidden) +
-           "_L" + std::to_string(layers) + "_B" + std::to_string(batch);
+    return std::string(to_string(arch)) + u::label("_H", hidden) +
+           u::label("_L", layers) + u::label("_B", batch);
   }
 };
 

@@ -6,17 +6,27 @@
 //   5. malloc hook     — GDS buffer pre-registration on/off
 // Each row reports step time (overhead vs the keep baseline) and the
 // activation memory peak, on BERT H12288 L3 B16 TP2.
+//
+// Every ablation variant is an independent sweep point, so the whole study
+// shards across worker threads (--workers N); --csv PATH dumps the rows.
 
+#include <functional>
 #include <iostream>
-#include <optional>
+#include <string>
+#include <vector>
 
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/sweep/cli.hpp"
+#include "ssdtrain/sweep/runner.hpp"
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/csv.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
 
 namespace m = ssdtrain::modules;
 namespace rt = ssdtrain::runtime;
+namespace sweep = ssdtrain::sweep;
 namespace u = ssdtrain::util;
 
 namespace {
@@ -42,21 +52,94 @@ rt::SessionConfig constrained() {
   return config;
 }
 
-rt::StepStats run(rt::SessionConfig config) {
-  rt::TrainingSession session(std::move(config));
+/// One ablation variant: a name plus the config it runs.
+struct Variant {
+  std::string name;
+  std::function<rt::SessionConfig()> make;
+};
+
+rt::StepStats run_variant(const Variant& v) {
+  rt::TrainingSession session(v.make());
   session.run_step();
   return session.run_step();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto options = sweep::parse_cli(argc, argv);
+
+  std::vector<Variant> variants;
+  auto add = [&variants](std::string name,
+                         std::function<rt::SessionConfig()> make) {
+    const std::size_t index = variants.size();
+    variants.push_back({std::move(name), std::move(make)});
+    return index;
+  };
+
+  const auto keep_idx = add("keep-everything", [] {
+    auto config = base();
+    config.strategy = rt::Strategy::keep_in_gpu;
+    return config;
+  });
+  const auto reference_idx = add("ssdtrain-default", [] { return base(); });
+  const std::vector<double> fractions = {0.25, 0.5, 0.75, 1.0};
+  std::vector<std::size_t> budget_idx;
+  for (double fraction : fractions) {
+    budget_idx.push_back(add("budget-" + u::format_percent(fraction, 0),
+                             [fraction] {
+                               auto config = base();
+                               // Probe the adaptive planner's own amount,
+                               // then override with a fraction of it.
+                               rt::TrainingSession probe(base());
+                               config.budget_override = static_cast<u::Bytes>(
+                                   static_cast<double>(
+                                       probe.plan()->offload_budget) *
+                                   fraction);
+                               return config;
+                             }));
+  }
+  const auto constrained_idx =
+      add("constrained-default", [] { return constrained(); });
+  const auto no_forwarding_idx = add("forwarding-off", [] {
+    auto config = constrained();
+    config.forwarding = false;
+    return config;
+  });
+  const auto no_gds_idx = add("gds-off", [] {
+    auto config = constrained();
+    config.use_gds = false;
+    return config;
+  });
+  const std::vector<int> depths = {0, 1, 2, 4, 8};
+  std::vector<std::size_t> prefetch_idx;
+  for (int depth : depths) {
+    prefetch_idx.push_back(
+        add("prefetch-" + std::to_string(depth), [depth] {
+          auto config = constrained();
+          config.prefetch_lookahead = depth;
+          return config;
+        }));
+  }
+  const auto no_hook_idx = add("malloc-hook-off", [] {
+    auto config = base();
+    config.install_malloc_hook = false;
+    return config;
+  });
+
+  sweep::SweepRunner runner(options.workers);
+  const auto outcomes = runner.map(variants, run_variant);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    u::check(outcomes[i].ok(),
+             variants[i].name + " failed: " + outcomes[i].error);
+  }
+
   std::cout << "=== SSDTrain ablations (BERT H12288 L3, B=16, TP2) ===\n\n";
 
-  auto keep_cfg = base();
-  keep_cfg.strategy = rt::Strategy::keep_in_gpu;
-  const auto keep = run(std::move(keep_cfg));
-  const auto reference = run(base());
+  const rt::StepStats& keep = outcomes[keep_idx].get();
+  const rt::StepStats& reference = outcomes[reference_idx].get();
+  const rt::StepStats& constrained_reference =
+      outcomes[constrained_idx].get();
 
   auto row = [&](u::AsciiTable& table, const std::string& label,
                  const rt::StepStats& s) {
@@ -72,17 +155,12 @@ int main() {
     u::AsciiTable table(
         {"budget", "step time", "overhead", "act peak", "offloaded"});
     row(table, "keep-everything (0%)", keep);
-    for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
-      auto config = base();
-      rt::TrainingSession probe(base());
-      config.budget_override = static_cast<u::Bytes>(
-          static_cast<double>(probe.plan()->offload_budget) * fraction);
-      row(table, u::format_percent(fraction, 0), run(std::move(config)));
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      row(table, u::format_percent(fractions[i], 0),
+          outcomes[budget_idx[i]].get());
     }
     std::cout << table.render() << "\n";
   }
-
-  const auto constrained_reference = run(constrained());
 
   {
     std::cout << "--- 2. data forwarding (constrained I/O) ---\n";
@@ -96,9 +174,7 @@ int main() {
            std::to_string(s.cache.miss_loads)});
     };
     fwd_row("on (default)", constrained_reference);
-    auto config = constrained();
-    config.forwarding = false;
-    fwd_row("off", run(std::move(config)));
+    fwd_row("off", outcomes[no_forwarding_idx].get());
     std::cout << table.render();
     std::cout << "(Forwarding converts in-flight-store reads into free "
                  "in-memory references;\nwithout it every such access "
@@ -110,9 +186,7 @@ int main() {
     u::AsciiTable table(
         {"path", "step time", "overhead", "act peak", "offloaded"});
     row(table, "GDS direct (default)", constrained_reference);
-    auto config = constrained();
-    config.use_gds = false;
-    row(table, "bounce via host DRAM", run(std::move(config)));
+    row(table, "bounce via host DRAM", outcomes[no_gds_idx].get());
     std::cout << table.render() << "\n";
   }
 
@@ -120,10 +194,8 @@ int main() {
     std::cout << "--- 4. prefetch lookahead (constrained I/O) ---\n";
     u::AsciiTable table(
         {"lookahead", "step time", "overhead", "act peak", "offloaded"});
-    for (int depth : {0, 1, 2, 4, 8}) {
-      auto config = constrained();
-      config.prefetch_lookahead = depth;
-      row(table, std::to_string(depth), run(std::move(config)));
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+      row(table, std::to_string(depths[i]), outcomes[prefetch_idx[i]].get());
     }
     std::cout << table.render() << "\n";
     std::cout << "(The paper notes any prefetching scheme works as long as "
@@ -136,14 +208,27 @@ int main() {
     u::AsciiTable table(
         {"hook", "step time", "overhead", "act peak", "offloaded"});
     row(table, "installed (default)", reference);
-    auto config = base();
-    config.install_malloc_hook = false;
-    row(table, "absent (register per I/O)", run(std::move(config)));
+    row(table, "absent (register per I/O)", outcomes[no_hook_idx].get());
     std::cout << table.render();
     std::cout << "(Per-I/O registration costs ~50 us on ~50 transfers per "
                  "step: invisible at\nthis tensor granularity; the hook "
                  "matters for small-transfer workloads.)\n\n";
   }
 
+  if (options.csv_enabled()) {
+    u::CsvWriter csv(options.csv_path,
+                     {"variant", "step_time_s", "overhead_vs_keep",
+                      "activation_peak_bytes", "offloaded_bytes",
+                      "forwards", "miss_loads"});
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      const rt::StepStats& s = outcomes[i].get();
+      csv.add_row({variants[i].name, u::format_fixed(s.step_time, 9),
+                   u::format_fixed(s.step_time / keep.step_time - 1.0, 6),
+                   std::to_string(s.activation_peak),
+                   std::to_string(s.offloaded_bytes),
+                   std::to_string(s.cache.forwards),
+                   std::to_string(s.cache.miss_loads)});
+    }
+  }
   return 0;
 }

@@ -8,19 +8,32 @@
 // Expected shape (paper): lifespan > 2 years everywhere (5+ in most cases),
 // write bandwidth <= 12.1 GB/s and decreasing as each system scales up,
 // activations 0.4-1.8 TB/GPU per step.
+//
+// The scenario list runs through the SweepRunner (--workers N); --csv PATH
+// dumps the series.
 
+#include <algorithm>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "ssdtrain/analysis/lifespan.hpp"
 #include "ssdtrain/hw/catalog.hpp"
+#include "ssdtrain/sweep/cli.hpp"
+#include "ssdtrain/sweep/runner.hpp"
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/csv.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
 
 namespace a = ssdtrain::analysis;
 namespace hw = ssdtrain::hw;
+namespace sweep = ssdtrain::sweep;
 namespace u = ssdtrain::util;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto options = sweep::parse_cli(argc, argv);
+
   std::cout << "=== Fig. 5: SSD lifespan / write bandwidth / activation "
                "volume at scale ===\n"
             << "(4x Samsung 980 PRO 1TB per GPU; WAF 2.5 under the JESD "
@@ -31,14 +44,25 @@ int main() {
   provisioning.rating = hw::catalog::samsung_980pro_rating();
   const auto gpu = hw::catalog::a100_sxm_80gb();
 
+  const auto scenarios = a::fig5_scenarios();
+  sweep::SweepRunner runner(options.workers);
+  const auto outcomes =
+      runner.map(scenarios, [&gpu, &provisioning](const a::ClusterScenario& s) {
+        return a::project_lifespan(s, gpu, provisioning);
+      });
+  for (const auto& o : outcomes) {
+    u::check(o.ok(), "scenario failed: " + o.error);
+  }
+
   u::AsciiTable table({"framework & model", "# GPUs", "step time",
                        "write BW per GPU", "lifespan",
                        "max activations per GPU"});
   double worst_lifespan = 1e18;
   double max_bw = 0.0;
   std::string last_label;
-  for (const auto& scenario : a::fig5_scenarios()) {
-    const auto proj = a::project_lifespan(scenario, gpu, provisioning);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto& scenario = scenarios[i];
+    const auto& proj = outcomes[i].get();
     if (scenario.label != last_label && !last_label.empty()) {
       table.add_separator();
     }
@@ -59,5 +83,21 @@ int main() {
             << "   (paper: > 2 years in all cases)\n";
   std::cout << "max write bandwidth : " << u::format_bandwidth(max_bw)
             << "   (paper: <= 12.1 GB/s)\n";
+
+  if (options.csv_enabled()) {
+    u::CsvWriter csv(options.csv_path,
+                     {"scenario", "gpus", "step_time_s",
+                      "write_bandwidth_per_gpu_bps", "lifespan_s",
+                      "activations_per_gpu_step_bytes"});
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const auto& proj = outcomes[i].get();
+      csv.add_row({scenarios[i].label,
+                   std::to_string(scenarios[i].gpu_count),
+                   u::format_fixed(proj.step_time, 6),
+                   u::format_fixed(proj.write_bandwidth_per_gpu, 0),
+                   u::format_fixed(proj.lifespan, 0),
+                   std::to_string(proj.activations_per_gpu_step)});
+    }
+  }
   return 0;
 }

@@ -5,18 +5,28 @@
 //
 // Expected shape (paper): SSDTrain step time within ~1% of the baseline in
 // every configuration (full overlap), activation peaks reduced by 28-47%.
+//
+// The 9 model configs x 2 strategies run as one sweep sharded across
+// worker threads (--workers N); --csv PATH dumps the series.
 
+#include <cstdint>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/sweep/cli.hpp"
+#include "ssdtrain/sweep/runner.hpp"
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/csv.hpp"
 #include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
 
 namespace m = ssdtrain::modules;
 namespace rt = ssdtrain::runtime;
+namespace sweep = ssdtrain::sweep;
 namespace u = ssdtrain::util;
 
 namespace {
@@ -27,21 +37,26 @@ struct Case {
   int layers;
 };
 
-rt::StepStats measure(const Case& c, rt::Strategy strategy) {
+struct Point {
+  Case config;
+  rt::Strategy strategy;
+};
+
+rt::StepStats measure(const Point& p) {
   rt::SessionConfig config;
-  switch (c.arch) {
+  switch (p.config.arch) {
     case m::Architecture::bert:
-      config.model = m::bert_config(c.hidden, c.layers, 16);
+      config.model = m::bert_config(p.config.hidden, p.config.layers, 16);
       break;
     case m::Architecture::t5:
-      config.model = m::t5_config(c.hidden, c.layers, 16);
+      config.model = m::t5_config(p.config.hidden, p.config.layers, 16);
       break;
     case m::Architecture::gpt:
-      config.model = m::gpt_config(c.hidden, c.layers, 16);
+      config.model = m::gpt_config(p.config.hidden, p.config.layers, 16);
       break;
   }
   config.parallel.tensor_parallel = 2;
-  config.strategy = strategy;
+  config.strategy = p.strategy;
   rt::TrainingSession session(std::move(config));
   session.run_step();  // warm-up
   return session.run_step();
@@ -49,9 +64,8 @@ rt::StepStats measure(const Case& c, rt::Strategy strategy) {
 
 }  // namespace
 
-int main() {
-  std::cout << "=== Fig. 6: SSDTrain vs no offloading "
-               "(B=16, seq 1024, TP2, FP16+Flash) ===\n\n";
+int main(int argc, char** argv) {
+  const auto options = sweep::parse_cli(argc, argv);
 
   const std::vector<Case> cases = {
       {m::Architecture::bert, 8192, 4},  {m::Architecture::bert, 12288, 3},
@@ -60,24 +74,48 @@ int main() {
       {m::Architecture::gpt, 8192, 4},   {m::Architecture::gpt, 12288, 3},
       {m::Architecture::gpt, 16384, 2},
   };
+  // One point per (case, strategy): SSDTrain next to its keep baseline.
+  std::vector<Point> grid;
+  for (const Case& c : cases) {
+    grid.push_back({c, rt::Strategy::ssdtrain});
+    grid.push_back({c, rt::Strategy::keep_in_gpu});
+  }
+
+  sweep::SweepRunner runner(options.workers);
+  const auto outcomes = runner.map(grid, measure);
+  for (const auto& o : outcomes) {
+    u::check(o.ok(), "configuration failed: " + o.error);
+  }
+
+  std::cout << "=== Fig. 6: SSDTrain vs no offloading "
+               "(B=16, seq 1024, TP2, FP16+Flash) ===\n\n";
 
   u::AsciiTable table({"model", "config", "step time (SSDTrain)",
                        "step time (no offload)", "overhead",
                        "act peak (SSDTrain)", "act peak (no offload)",
                        "reduction"});
+  struct Row {
+    const Case* c;
+    double overhead, reduction;
+    const rt::StepStats* ssd;
+    const rt::StepStats* keep;
+  };
+  std::vector<Row> rows;
   double worst_overhead = 0.0;
   double best_reduction = 0.0;
-  for (const auto& c : cases) {
-    const auto ssd = measure(c, rt::Strategy::ssdtrain);
-    const auto keep = measure(c, rt::Strategy::keep_in_gpu);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const rt::StepStats& ssd = outcomes[2 * i].get();
+    const rt::StepStats& keep = outcomes[2 * i + 1].get();
     const double overhead = ssd.step_time / keep.step_time - 1.0;
     const double reduction =
         1.0 - static_cast<double>(ssd.activation_peak) /
                   static_cast<double>(keep.activation_peak);
     worst_overhead = std::max(worst_overhead, overhead);
     best_reduction = std::max(best_reduction, reduction);
-    table.add_row({std::string(to_string(c.arch)),
-                   u::label("H", c.hidden) + u::label(" L", c.layers),
+    rows.push_back({&cases[i], overhead, reduction, &ssd, &keep});
+    table.add_row({std::string(to_string(cases[i].arch)),
+                   u::label("H", cases[i].hidden) +
+                       u::label(" L", cases[i].layers),
                    u::format_time(ssd.step_time),
                    u::format_time(keep.step_time),
                    u::format_percent(overhead),
@@ -92,5 +130,22 @@ int main() {
   std::cout << "best activation reduction   : "
             << u::format_percent(best_reduction)
             << "   (paper: up to 47%)\n";
+
+  if (options.csv_enabled()) {
+    u::CsvWriter csv(options.csv_path,
+                     {"model", "hidden", "layers", "ssd_step_time_s",
+                      "keep_step_time_s", "overhead", "ssd_act_peak_bytes",
+                      "keep_act_peak_bytes", "reduction"});
+    for (const Row& r : rows) {
+      csv.add_row({std::string(to_string(r.c->arch)),
+                   std::to_string(r.c->hidden), std::to_string(r.c->layers),
+                   u::format_fixed(r.ssd->step_time, 9),
+                   u::format_fixed(r.keep->step_time, 9),
+                   u::format_fixed(r.overhead, 6),
+                   std::to_string(r.ssd->activation_peak),
+                   std::to_string(r.keep->activation_peak),
+                   u::format_fixed(r.reduction, 6)});
+    }
+  }
   return 0;
 }

@@ -7,14 +7,25 @@
 // recomputation's); a larger batch moves every strategy up the throughput
 // axis, so SSDTrain reaches the highest throughput within any given memory
 // budget, roughly doubling the feasible batch size.
+//
+// The 24-point grid is declared as a SweepSpec and sharded across worker
+// threads (--workers N, default all cores); --csv PATH dumps the series.
 
+#include <cstdint>
 #include <iostream>
-#include <optional>
+#include <map>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "ssdtrain/hw/device_allocator.hpp"
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/sweep/cli.hpp"
+#include "ssdtrain/sweep/runner.hpp"
+#include "ssdtrain/sweep/spec.hpp"
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/csv.hpp"
 #include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
@@ -22,40 +33,54 @@
 namespace m = ssdtrain::modules;
 namespace rt = ssdtrain::runtime;
 namespace hw = ssdtrain::hw;
+namespace sweep = ssdtrain::sweep;
 namespace u = ssdtrain::util;
 
 namespace {
 
-std::optional<rt::StepStats> measure(std::int64_t hidden, std::int64_t batch,
-                                     rt::Strategy strategy) {
+// The paper's three strategies plus the hybrid extension (checkpointing
+// whose checkpoints are offloaded): the minimum-memory corner.
+const std::vector<rt::Strategy> kStrategies = {
+    rt::Strategy::keep_in_gpu, rt::Strategy::recompute_full,
+    rt::Strategy::ssdtrain, rt::Strategy::ssdtrain_recompute};
+
+struct RokPoint {
+  bool oom = false;
+  rt::StepStats stats;
+};
+
+RokPoint measure(const sweep::SweepPoint& point) {
   rt::SessionConfig config;
-  config.model = m::bert_config(hidden, 3, batch);
+  config.model = m::bert_config(point.i64("hidden"), 3, point.i64("batch"));
   config.parallel.tensor_parallel = 2;
-  config.strategy = strategy;
+  config.strategy = rt::strategy_from(point.str("strategy"));
+  RokPoint result;
   try {
     rt::TrainingSession session(std::move(config));
     session.run_step();
-    return session.run_step();
+    result.stats = session.run_step();
   } catch (const hw::OutOfDeviceMemory&) {
-    return std::nullopt;  // the paper's missing Fig. 7(b) B16 keep point
+    result.oom = true;  // the paper's missing Fig. 7(b) B16 keep point
   }
+  return result;
 }
 
-void rok_curve(std::int64_t hidden) {
+/// (hidden, strategy, batch) -> result, for O(1) lookup while rendering.
+using RokResults =
+    std::map<std::tuple<std::int64_t, std::string, std::int64_t>, RokPoint>;
+
+void rok_curve(std::int64_t hidden, const RokResults& results) {
   std::cout << "--- ROK curve: BERT H" << hidden << " L3 (TP2) ---\n";
   u::AsciiTable table({"strategy", "batch", "activation peak",
                        "model throughput", "step time"});
   bool first_group = true;
-  // The paper's three strategies plus the hybrid extension (checkpointing
-  // whose checkpoints are offloaded): the minimum-memory corner.
-  for (rt::Strategy strategy :
-       {rt::Strategy::keep_in_gpu, rt::Strategy::recompute_full,
-        rt::Strategy::ssdtrain, rt::Strategy::ssdtrain_recompute}) {
+  for (rt::Strategy strategy : kStrategies) {
     if (!first_group) table.add_separator();
     first_group = false;
     for (std::int64_t batch : {4, 8, 16}) {
-      const auto stats = measure(hidden, batch, strategy);
-      if (!stats) {
+      const RokPoint& r =
+          results.at({hidden, std::string(to_string(strategy)), batch});
+      if (r.oom) {
         table.add_row({std::string(to_string(strategy)),
                        u::label("B", batch), "OOM (40 GB)", "-",
                        "-"});
@@ -63,28 +88,33 @@ void rok_curve(std::int64_t hidden) {
       }
       table.add_row(
           {std::string(to_string(strategy)), u::label("B", batch),
-           u::format_bytes(static_cast<double>(stats->activation_peak)),
-           u::format_flops_rate(stats->model_throughput),
-           u::format_time(stats->step_time)});
+           u::format_bytes(static_cast<double>(r.stats.activation_peak)),
+           u::format_flops_rate(r.stats.model_throughput),
+           u::format_time(r.stats.step_time)});
     }
   }
   std::cout << table.render();
 
   // The headline comparison at B16.
-  const auto keep = measure(hidden, 16, rt::Strategy::keep_in_gpu);
-  const auto ssd = measure(hidden, 16, rt::Strategy::ssdtrain);
-  const auto keep8 = measure(hidden, 8, rt::Strategy::keep_in_gpu);
-  if (keep && ssd) {
+  const std::string keep_name(to_string(rt::Strategy::keep_in_gpu));
+  const std::string ssd_name(to_string(rt::Strategy::ssdtrain));
+  const RokPoint& keep = results.at({hidden, keep_name, 16});
+  const RokPoint& ssd = results.at({hidden, ssd_name, 16});
+  const RokPoint& keep8 = results.at({hidden, keep_name, 8});
+  if (!keep.oom && !ssd.oom) {
     std::cout << "B16: SSDTrain throughput / keep throughput = "
-              << u::format_fixed(
-                     ssd->model_throughput / keep->model_throughput, 3)
+              << u::format_fixed(ssd.stats.model_throughput /
+                                     keep.stats.model_throughput,
+                                 3)
               << " (paper: ~1.0)\n";
   }
-  if (ssd && keep8) {
+  if (!ssd.oom && !keep8.oom) {
     std::cout << "SSDTrain B16 peak vs keep B8 peak: "
-              << u::format_bytes(static_cast<double>(ssd->activation_peak))
+              << u::format_bytes(
+                     static_cast<double>(ssd.stats.activation_peak))
               << " vs "
-              << u::format_bytes(static_cast<double>(keep8->activation_peak))
+              << u::format_bytes(
+                     static_cast<double>(keep8.stats.activation_peak))
               << " (paper: doubles the batch in the same budget)\n";
   }
   std::cout << "\n";
@@ -92,9 +122,51 @@ void rok_curve(std::int64_t hidden) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto options = sweep::parse_cli(argc, argv);
+
+  std::vector<std::string> strategy_names;
+  for (rt::Strategy s : kStrategies) {
+    strategy_names.emplace_back(to_string(s));
+  }
+  sweep::SweepSpec spec;
+  spec.axis("hidden", std::vector<std::int64_t>{12288, 14336})
+      .axis("strategy", strategy_names)
+      .axis("batch", std::vector<std::int64_t>{4, 8, 16});
+
+  sweep::SweepRunner runner(options.workers);
+  const auto points = spec.points();
+  const auto outcomes = runner.map(points, measure);
+
+  RokResults results;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    u::check(outcomes[i].ok(),
+             points[i].label() + " failed: " + outcomes[i].error);
+    results[{points[i].i64("hidden"), points[i].str("strategy"),
+             points[i].i64("batch")}] = outcomes[i].get();
+  }
+
   std::cout << "=== Fig. 7: recompute-offload-keep curves ===\n\n";
-  rok_curve(12288);
-  rok_curve(14336);
+  rok_curve(12288, results);
+  rok_curve(14336, results);
+
+  if (options.csv_enabled()) {
+    u::CsvWriter csv(options.csv_path,
+                     {"hidden", "strategy", "batch", "oom",
+                      "activation_peak_bytes", "model_throughput_flops",
+                      "step_time_s"});
+    for (const auto& point : points) {
+      const RokPoint& r = results.at({point.i64("hidden"),
+                                      point.str("strategy"),
+                                      point.i64("batch")});
+      csv.add_row({sweep::to_string(point.value("hidden")),
+                   point.str("strategy"),
+                   sweep::to_string(point.value("batch")),
+                   r.oom ? "1" : "0",
+                   std::to_string(r.stats.activation_peak),
+                   u::format_fixed(r.stats.model_throughput, 0),
+                   u::format_fixed(r.stats.step_time, 9)});
+    }
+  }
   return 0;
 }

@@ -1,10 +1,13 @@
 // Google-benchmark micro-benchmarks for the framework's own machinery:
 // pack/unpack hook cost, FTL page-write throughput, block-allocator
-// operations, the discrete-event engine, and max-min fair reallocation.
-// These quantify the claim that SSDTrain's CPU-side logic is cheap enough
-// to stay off the critical path (paper §IV-B).
+// operations, the discrete-event engine, max-min fair reallocation
+// (incremental vs full refill, coalesced bursts), and the sweep runner's
+// dispatch overhead. These quantify the claim that SSDTrain's CPU-side
+// logic is cheap enough to stay off the critical path (paper §IV-B).
 
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "ssdtrain/core/offloader.hpp"
 #include "ssdtrain/core/tensor_cache.hpp"
@@ -13,6 +16,7 @@
 #include "ssdtrain/hw/ssd/ftl.hpp"
 #include "ssdtrain/sim/bandwidth_network.hpp"
 #include "ssdtrain/sim/simulator.hpp"
+#include "ssdtrain/sweep/runner.hpp"
 #include "ssdtrain/util/logging.hpp"
 #include "ssdtrain/util/rng.hpp"
 #include "ssdtrain/util/units.hpp"
@@ -109,6 +113,72 @@ static void BM_MaxMinFairReallocation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * flows);
 }
 BENCHMARK(BM_MaxMinFairReallocation)->Arg(4)->Arg(16)->Arg(64);
+
+// Staggered flows over independent per-GPU arrays: the incremental policy
+// re-rates only the touched array's contention domain on each start and
+// completion, while the full reference re-rates every flow in the network.
+static void BM_ReallocationShardedArrays(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  const bool incremental = state.range(1) != 0;
+  constexpr int kArrays = 8;
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::BandwidthNetwork net(
+        s, incremental ? sim::BandwidthNetwork::RefillPolicy::incremental
+                       : sim::BandwidthNetwork::RefillPolicy::full);
+    std::vector<sim::BandwidthNetwork::ResourceId> links;
+    links.reserve(kArrays);
+    for (int a = 0; a < kArrays; ++a) {
+      links.push_back(net.add_resource("array", u::gbps(25)));
+    }
+    for (int i = 0; i < flows; ++i) {
+      s.schedule_at(i * 1e-4, [&net, &links, i] {
+        net.start_flow("f", u::gb(1) + i * 1000, {links[i % kArrays]}, [] {});
+      });
+    }
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_ReallocationShardedArrays)
+    ->Args({128, 1})
+    ->Args({128, 0})
+    ->Args({512, 1})
+    ->Args({512, 0});
+
+// A same-instant burst of flow starts coalesces into one filling pass (the
+// offloader's store pool issues exactly this pattern at step boundaries).
+static void BM_ReallocationCoalescedBurst(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  std::uint64_t passes = 0;
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::BandwidthNetwork net(s);
+    auto link = net.add_resource("link", u::gbps(100));
+    for (int i = 0; i < flows; ++i) {
+      net.start_flow("f", u::gb(1) + i * 1000, {link}, [] {});
+    }
+    s.run();
+    passes = net.filling_passes();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+  state.counters["passes"] = static_cast<double>(passes);
+}
+BENCHMARK(BM_ReallocationCoalescedBurst)->Arg(64)->Arg(256);
+
+// Dispatch overhead of the OS-thread sweep runner on trivial points; real
+// sweep points are whole simulations, so this bounds the harness tax.
+static void BM_SweepRunnerDispatch(benchmark::State& state) {
+  ssdtrain::sweep::SweepRunner runner(
+      static_cast<std::size_t>(state.range(0)));
+  std::vector<int> items(256);
+  for (auto _ : state) {
+    auto out = runner.map(items, [](int v) { return v + 1; });
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SweepRunnerDispatch)->Arg(1)->Arg(4);
 
 static void BM_TensorCachePackUnpack(benchmark::State& state) {
   // The bench never retires scopes, so silence the step-boundary warning.

@@ -8,13 +8,21 @@
 // This example runs the last pipeline stage's 1F1B schedule through the
 // executor for several micro-batch sizes of a fixed 32-sample mini-batch
 // (the BLOOM configuration the paper cites) and reports bubbles, memory,
-// and throughput.
+// and throughput. The micro-batch axis runs as a sweep (--workers N);
+// --csv PATH dumps the series.
 
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/session.hpp"
 #include "ssdtrain/sched/schedule.hpp"
+#include "ssdtrain/sweep/cli.hpp"
+#include "ssdtrain/sweep/runner.hpp"
+#include "ssdtrain/sweep/spec.hpp"
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/csv.hpp"
 #include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/table.hpp"
 #include "ssdtrain/util/units.hpp"
@@ -22,49 +30,83 @@
 namespace m = ssdtrain::modules;
 namespace rt = ssdtrain::runtime;
 namespace sched = ssdtrain::sched;
+namespace sweep = ssdtrain::sweep;
 namespace u = ssdtrain::util;
 
-int main() {
-  constexpr int kMiniBatchSamples = 32;  // per DP rank, as in BLOOM
-  constexpr int kPipelineStages = 4;
+namespace {
+
+constexpr int kMiniBatchSamples = 32;  // per DP rank, as in BLOOM
+constexpr int kPipelineStages = 4;
+
+struct StageResult {
+  int micro_batches = 0;
+  double bubble = 0.0;
+  rt::StepStats stats;
+};
+
+StageResult measure(const sweep::SweepPoint& point) {
+  const std::int64_t mb_size = point.i64("micro_batch");
+  StageResult result;
+  result.micro_batches = kMiniBatchSamples / static_cast<int>(mb_size);
+
+  rt::SessionConfig config;
+  config.model = m::bert_config(8192, 3, mb_size);  // one stage's layers
+  config.parallel.tensor_parallel = 2;
+  config.parallel.pipeline_parallel = kPipelineStages;
+  config.strategy = rt::Strategy::ssdtrain;
+  rt::TrainingSession session(std::move(config));
+
+  // Execute the last stage's 1F1B command sequence (every backward
+  // immediately follows its forward there, so keep-last-module applies
+  // to each micro-batch, Fig. 2 ④).
+  const auto schedule = sched::schedule_1f1b(
+      result.micro_batches, kPipelineStages, kPipelineStages - 1);
+  session.executor().run_step(session.model(), schedule);  // warm-up
+  result.stats = session.executor().run_step(session.model(), schedule);
+  result.bubble =
+      sched::ideal_bubble_fraction(result.micro_batches, kPipelineStages);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = sweep::parse_cli(argc, argv);
 
   std::cout << "1F1B pipeline study: BERT H8192, 3 layers per stage, "
             << kPipelineStages << " stages, " << kMiniBatchSamples
             << "-sample mini-batch per rank\n\n";
 
+  sweep::SweepSpec spec;
+  spec.axis("micro_batch", std::vector<std::int64_t>{1, 2, 4, 8});
+
+  sweep::SweepRunner runner(options.workers);
+  const auto points = spec.points();
+  const auto outcomes = runner.map(points, measure);
+
   u::AsciiTable table({"micro-batch size", "micro-batches",
                        "ideal bubble", "activation peak", "step time",
                        "samples/s (per stage)"});
-  for (std::int64_t mb_size : {1, 2, 4, 8}) {
-    const int micro_batches = kMiniBatchSamples / static_cast<int>(mb_size);
-
-    rt::SessionConfig config;
-    config.model = m::bert_config(8192, 3, mb_size);  // one stage's layers
-    config.parallel.tensor_parallel = 2;
-    config.parallel.pipeline_parallel = kPipelineStages;
-    config.strategy = rt::Strategy::ssdtrain;
-    rt::TrainingSession session(std::move(config));
-
-    // Execute the last stage's 1F1B command sequence (every backward
-    // immediately follows its forward there, so keep-last-module applies
-    // to each micro-batch, Fig. 2 ④).
-    const auto schedule = sched::schedule_1f1b(
-        micro_batches, kPipelineStages, kPipelineStages - 1);
-    session.executor().run_step(session.model(), schedule);  // warm-up
-    const auto stats =
-        session.executor().run_step(session.model(), schedule);
-
-    const double bubble =
-        sched::ideal_bubble_fraction(micro_batches, kPipelineStages);
+  struct Row {
+    std::int64_t mb_size;
+    StageResult r;
+    double samples_per_s;
+  };
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    u::check(outcomes[i].ok(),
+             points[i].label() + " failed: " + outcomes[i].error);
+    const StageResult& r = outcomes[i].get();
     // Ideal full-pipeline step time: stage work inflated by the bubble.
     const double samples_per_s =
-        kMiniBatchSamples / (stats.step_time / (1.0 - bubble));
-    table.add_row({u::label("B", mb_size),
-                   std::to_string(micro_batches),
-                   u::format_percent(bubble),
+        kMiniBatchSamples / (r.stats.step_time / (1.0 - r.bubble));
+    rows.push_back({points[i].i64("micro_batch"), r, samples_per_s});
+    table.add_row({u::label("B", points[i].i64("micro_batch")),
+                   std::to_string(r.micro_batches),
+                   u::format_percent(r.bubble),
                    u::format_bytes(static_cast<double>(
-                       stats.activation_peak)),
-                   u::format_time(stats.step_time),
+                       r.stats.activation_peak)),
+                   u::format_time(r.stats.step_time),
                    u::format_fixed(samples_per_s, 2)});
   }
   std::cout << table.render() << "\n";
@@ -74,5 +116,20 @@ int main() {
          "point (paper\n§IV-D): because offloading frees activation "
          "memory, the trainer can afford\nlarger micro-batch sizes AND "
          "keep enough micro-batches in flight.\n";
+
+  if (options.csv_enabled()) {
+    u::CsvWriter csv(options.csv_path,
+                     {"micro_batch", "micro_batches", "ideal_bubble",
+                      "activation_peak_bytes", "step_time_s",
+                      "samples_per_s_per_stage"});
+    for (const Row& row : rows) {
+      csv.add_row({std::to_string(row.mb_size),
+                   std::to_string(row.r.micro_batches),
+                   u::format_fixed(row.r.bubble, 6),
+                   std::to_string(row.r.stats.activation_peak),
+                   u::format_fixed(row.r.stats.step_time, 9),
+                   u::format_fixed(row.samples_per_s, 6)});
+    }
+  }
   return 0;
 }

@@ -22,6 +22,16 @@ std::string_view to_string(Strategy strategy) {
   return "?";
 }
 
+Strategy strategy_from(std::string_view name) {
+  for (Strategy s :
+       {Strategy::keep_in_gpu, Strategy::ssdtrain, Strategy::ssdtrain_cpu,
+        Strategy::recompute_full, Strategy::ssdtrain_recompute}) {
+    if (to_string(s) == name) return s;
+  }
+  util::check(false, "unknown strategy: " + std::string(name));
+  return Strategy::keep_in_gpu;  // unreachable
+}
+
 TrainingSession::TrainingSession(SessionConfig config)
     : config_(std::move(config)) {
   config_.parallel.validate();

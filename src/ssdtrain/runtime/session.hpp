@@ -39,6 +39,10 @@ enum class Strategy {
 
 std::string_view to_string(Strategy strategy);
 
+/// Inverse of to_string; unknown names are contract violations. Used by
+/// the sweep-driven benches, whose string strategy axes round-trip here.
+Strategy strategy_from(std::string_view name);
+
 struct SessionConfig {
   modules::ModelConfig model;
   parallel::ParallelConfig parallel;

@@ -31,4 +31,7 @@
 #include "ssdtrain/parallel/parallel_config.hpp"
 #include "ssdtrain/runtime/session.hpp"
 #include "ssdtrain/sched/schedule.hpp"
+#include "ssdtrain/sweep/cli.hpp"
+#include "ssdtrain/sweep/runner.hpp"
+#include "ssdtrain/sweep/spec.hpp"
 #include "ssdtrain/trace/chrome_trace.hpp"

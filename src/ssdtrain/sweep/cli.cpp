@@ -1,0 +1,42 @@
+#include "ssdtrain/sweep/cli.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string_view>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::sweep {
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--workers") {
+      util::expects(i + 1 < argc, "--workers requires a value");
+      const char* text = argv[++i];
+      char* end = nullptr;
+      errno = 0;
+      const long n = std::strtol(text, &end, 10);
+      // 4096 bounds even absurd machines; anything larger is a typo, not a
+      // core count.
+      util::expects(end != text && *end == '\0' && errno != ERANGE &&
+                        n >= 0 && n <= 4096,
+                    "--workers expects an integer in [0, 4096], got '" +
+                        std::string(text) + "'");
+      options.workers = static_cast<std::size_t>(n);
+    } else if (arg == "--csv") {
+      util::expects(i + 1 < argc, "--csv requires a path");
+      options.csv_path = argv[++i];
+      util::expects(!options.csv_path.empty(), "--csv path is empty");
+    } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+      util::expects(false, "unknown flag: " + std::string(arg) +
+                               " (supported: --workers N, --csv PATH)");
+    } else {
+      options.positional.emplace_back(arg);
+    }
+  }
+  return options;
+}
+
+}  // namespace ssdtrain::sweep

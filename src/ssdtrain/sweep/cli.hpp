@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file cli.hpp
+/// Shared command-line handling for the sweep-driven bench and example
+/// binaries: every one of them accepts
+///   --workers N   worker threads for the SweepRunner (default: all cores)
+///   --csv PATH    dump the sweep's data series as CSV via util::CsvWriter
+/// plus its own positional arguments, which are passed through untouched.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ssdtrain::sweep {
+
+struct CliOptions {
+  std::size_t workers = 0;  ///< 0 = one worker per hardware thread
+  std::string csv_path;     ///< empty = no CSV output
+  std::vector<std::string> positional;
+
+  [[nodiscard]] bool csv_enabled() const { return !csv_path.empty(); }
+};
+
+/// Parses argv. Unknown "--flag" arguments are contract violations;
+/// anything else lands in `positional` in order.
+CliOptions parse_cli(int argc, char** argv);
+
+}  // namespace ssdtrain::sweep

@@ -1,0 +1,113 @@
+#include "ssdtrain/sweep/runner.hpp"
+
+#include <algorithm>
+
+#include "ssdtrain/util/logging.hpp"
+
+namespace ssdtrain::sweep {
+
+SweepRunner::SweepRunner(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void SweepRunner::run_batch(std::vector<std::function<void()>> tasks) {
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  if (tasks.empty()) return;
+
+  in_flight_.store(tasks.size(), std::memory_order_relaxed);
+  {
+    // Counter first: a worker that grabs a task the instant it lands must
+    // never underflow unclaimed_. The lock pairs with the wait predicate so
+    // the notify below cannot be missed.
+    std::lock_guard<std::mutex> lock(mu_);
+    unclaimed_.fetch_add(tasks.size(), std::memory_order_relaxed);
+  }
+  // Round-robin the points across worker deques; stealing rebalances any
+  // skew in per-point cost.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    WorkerQueue& q = *queues_[i % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back(std::move(tasks[i]));
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool SweepRunner::try_pop_or_steal(std::size_t self,
+                                   std::function<void()>& task) {
+  // Own queue: LIFO tail for locality.
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      unclaimed_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal: FIFO head of the other queues, round-robin from our right.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      unclaimed_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void SweepRunner::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop_or_steal(self, task)) {
+      try {
+        task();
+      } catch (const std::exception& e) {
+        // map() captures per-point exceptions; anything reaching here came
+        // through run_batch directly. Swallowing would hide bugs — log it.
+        util::log_error(std::string("sweep task threw: ") + e.what());
+      } catch (...) {
+        util::log_error("sweep task threw an unknown exception");
+      }
+      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this] {
+      return shutdown_ || unclaimed_.load(std::memory_order_acquire) > 0;
+    });
+    if (shutdown_) return;
+  }
+}
+
+}  // namespace ssdtrain::sweep

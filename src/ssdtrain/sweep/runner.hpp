@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file runner.hpp
+/// Real OS-thread work-stealing pool for sharding independent sweep points
+/// across hardware cores. Unlike sim::SimThreadPool (which models host
+/// thread pools in simulated time), SweepRunner runs actual std::threads:
+/// each worker owns a deque, pops its own tail, and steals from other
+/// workers' heads when it runs dry, so skewed point costs (one OOM-retry
+/// BERT config next to nine cheap ones) still keep every core busy.
+///
+/// Every sweep point must build its own isolated state — its own Simulator,
+/// TrainingSession, RNGs — because points execute concurrently. Results are
+/// written into a slot per point, so the output order is deterministic (it
+/// matches the input order) no matter how the points were scheduled, and a
+/// throwing point fails only that point: the exception is captured into the
+/// point's Outcome and the pool keeps draining.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "ssdtrain/sweep/spec.hpp"
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::sweep {
+
+/// Result of one sweep point: either a value or the error that killed it.
+template <typename R>
+struct Outcome {
+  std::optional<R> value;
+  std::string error;  // empty on success
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+
+  /// The value; contract violation if the point failed.
+  [[nodiscard]] const R& get() const {
+    util::check(ok(), "sweep point failed: " + error);
+    return *value;
+  }
+};
+
+class SweepRunner {
+ public:
+  /// \p workers = 0 uses every hardware thread (at least one).
+  explicit SweepRunner(std::size_t workers = 0);
+  ~SweepRunner();
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  /// Runs fn(items[i]) for every item across the pool; out[i] holds the
+  /// result (or the error message) for items[i] regardless of execution
+  /// order. Blocks until the whole batch drains. Not reentrant: one map()
+  /// at a time per runner.
+  template <typename T, typename F>
+  auto map(const std::vector<T>& items, F fn)
+      -> std::vector<Outcome<std::invoke_result_t<F&, const T&>>> {
+    using R = std::invoke_result_t<F&, const T&>;
+    std::vector<Outcome<R>> out(items.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      tasks.push_back([&items, &out, &fn, i] {
+        try {
+          out[i].value.emplace(fn(items[i]));
+        } catch (const std::exception& e) {
+          out[i].error = e.what();
+          if (out[i].error.empty()) out[i].error = "unknown error";
+        } catch (...) {
+          out[i].error = "unknown exception";
+        }
+      });
+    }
+    run_batch(std::move(tasks));
+    return out;
+  }
+
+  /// SweepSpec convenience: fn(point) over spec.points().
+  template <typename F>
+  auto run(const SweepSpec& spec, F fn) {
+    return map(spec.points(), std::move(fn));
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void run_batch(std::vector<std::function<void()>> tasks);
+  void worker_loop(std::size_t self);
+  bool try_pop_or_steal(std::size_t self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;                 // guards the two condvars' predicates
+  std::condition_variable work_cv_;   // workers: tasks available / shutdown
+  std::condition_variable done_cv_;   // caller: batch drained
+  std::atomic<std::size_t> unclaimed_{0};  // queued, not yet popped
+  std::atomic<std::size_t> in_flight_{0};  // popped or queued, not finished
+  bool shutdown_ = false;
+
+  std::mutex batch_mu_;  // serializes concurrent run_batch callers
+};
+
+}  // namespace ssdtrain::sweep

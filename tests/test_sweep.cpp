@@ -1,0 +1,211 @@
+// Unit tests for the parallel sweep engine: SweepSpec grid enumeration,
+// SweepRunner determinism across worker counts, error isolation, and the
+// CLI option parsing the bench binaries share.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ssdtrain/sweep/cli.hpp"
+#include "ssdtrain/sweep/runner.hpp"
+#include "ssdtrain/sweep/spec.hpp"
+#include "ssdtrain/util/check.hpp"
+
+namespace sweep = ssdtrain::sweep;
+namespace u = ssdtrain::util;
+
+TEST(SweepSpec, EnumeratesCartesianProductRowMajor) {
+  sweep::SweepSpec spec;
+  spec.axis("hidden", std::vector<std::int64_t>{8192, 12288})
+      .axis("strategy", std::vector<std::string>{"keep", "ssd"})
+      .axis("batch", std::vector<std::int64_t>{4, 8, 16});
+  EXPECT_EQ(spec.size(), 12u);
+  EXPECT_EQ(spec.axis_count(), 3u);
+
+  const auto points = spec.points();
+  ASSERT_EQ(points.size(), 12u);
+  // Last axis varies fastest.
+  EXPECT_EQ(points[0].i64("hidden"), 8192);
+  EXPECT_EQ(points[0].str("strategy"), "keep");
+  EXPECT_EQ(points[0].i64("batch"), 4);
+  EXPECT_EQ(points[1].i64("batch"), 8);
+  EXPECT_EQ(points[3].str("strategy"), "ssd");
+  EXPECT_EQ(points[6].i64("hidden"), 12288);
+  EXPECT_EQ(points[11].i64("batch"), 16);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index(), i);
+  }
+}
+
+TEST(SweepSpec, EmptySpecHasNoPoints) {
+  sweep::SweepSpec spec;
+  EXPECT_EQ(spec.size(), 0u);
+  EXPECT_TRUE(spec.points().empty());
+}
+
+TEST(SweepSpec, TypedAccessorsEnforceAxisTypes) {
+  sweep::SweepSpec spec;
+  spec.axis("n", std::vector<std::int64_t>{7})
+      .axis("frac", std::vector<double>{0.5})
+      .axis("name", std::vector<std::string>{"bert"});
+  const auto point = spec.points().front();
+  EXPECT_EQ(point.i64("n"), 7);
+  EXPECT_DOUBLE_EQ(point.f64("frac"), 0.5);
+  EXPECT_DOUBLE_EQ(point.f64("n"), 7.0);  // ints widen to double
+  EXPECT_EQ(point.str("name"), "bert");
+  EXPECT_THROW((void)point.i64("frac"), u::ContractViolation);
+  EXPECT_THROW((void)point.str("n"), u::ContractViolation);
+  EXPECT_THROW((void)point.i64("missing"), u::ContractViolation);
+  EXPECT_EQ(point.label(), "n=7 frac=0.5 name=bert");
+}
+
+TEST(SweepSpec, RejectsDuplicateAxesAndEmptyValueLists) {
+  sweep::SweepSpec spec;
+  spec.axis("a", std::vector<std::int64_t>{1});
+  EXPECT_THROW(spec.axis("a", std::vector<std::int64_t>{2}),
+               u::ContractViolation);
+  EXPECT_THROW(spec.axis("b", std::vector<std::int64_t>{}),
+               u::ContractViolation);
+}
+
+TEST(SweepRunner, ResultsArriveInPointOrderRegardlessOfWorkerCount) {
+  std::vector<std::int64_t> items(64);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<std::vector<std::int64_t>> per_worker_results;
+  for (std::size_t workers : {1u, 2u, 4u, 7u}) {
+    sweep::SweepRunner runner(workers);
+    EXPECT_EQ(runner.worker_count(), workers);
+    const auto out = runner.map(items, [](std::int64_t v) {
+      // Skewed cost so fast workers run dry and steal.
+      if (v % 7 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return v * v;
+    });
+    ASSERT_EQ(out.size(), items.size());
+    std::vector<std::int64_t> values;
+    for (const auto& o : out) {
+      ASSERT_TRUE(o.ok());
+      values.push_back(o.get());
+    }
+    per_worker_results.push_back(std::move(values));
+  }
+  for (std::size_t i = 1; i < per_worker_results.size(); ++i) {
+    EXPECT_EQ(per_worker_results[i], per_worker_results[0]);
+  }
+  for (std::size_t i = 0; i < per_worker_results[0].size(); ++i) {
+    EXPECT_EQ(per_worker_results[0][i],
+              static_cast<std::int64_t>(i * i));
+  }
+}
+
+TEST(SweepRunner, ThrowingPointFailsThatPointOnly) {
+  sweep::SweepRunner runner(3);
+  std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto out = runner.map(items, [](int v) {
+    if (v == 3) throw std::runtime_error("point exploded");
+    if (v == 5) throw 42;  // non-std exception
+    return v + 100;
+  });
+  ASSERT_EQ(out.size(), items.size());
+  for (int v : items) {
+    if (v == 3) {
+      EXPECT_FALSE(out[static_cast<std::size_t>(v)].ok());
+      EXPECT_EQ(out[static_cast<std::size_t>(v)].error, "point exploded");
+    } else if (v == 5) {
+      EXPECT_FALSE(out[static_cast<std::size_t>(v)].ok());
+      EXPECT_EQ(out[static_cast<std::size_t>(v)].error, "unknown exception");
+    } else {
+      ASSERT_TRUE(out[static_cast<std::size_t>(v)].ok());
+      EXPECT_EQ(out[static_cast<std::size_t>(v)].get(), v + 100);
+    }
+  }
+}
+
+TEST(SweepRunner, PoolSurvivesFailuresAcrossBatches) {
+  sweep::SweepRunner runner(2);
+  std::vector<int> items{1, 2, 3};
+  const auto bad = runner.map(items, [](int) -> int {
+    throw std::runtime_error("all points fail");
+  });
+  for (const auto& o : bad) EXPECT_FALSE(o.ok());
+  // The pool must still drain a healthy batch afterwards.
+  const auto good = runner.map(items, [](int v) { return v * 2; });
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(good[i].ok());
+    EXPECT_EQ(good[i].get(), items[static_cast<std::size_t>(i)] * 2);
+  }
+}
+
+TEST(SweepRunner, RunsSpecPointsDirectly) {
+  sweep::SweepSpec spec;
+  spec.axis("a", std::vector<std::int64_t>{1, 2, 3})
+      .axis("b", std::vector<std::int64_t>{10, 20});
+  sweep::SweepRunner runner(2);
+  const auto out = runner.run(
+      spec, [](const sweep::SweepPoint& p) { return p.i64("a") * p.i64("b"); });
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0].get(), 10);
+  EXPECT_EQ(out[1].get(), 20);
+  EXPECT_EQ(out[5].get(), 60);
+}
+
+TEST(SweepRunner, EmptyBatchReturnsImmediately) {
+  sweep::SweepRunner runner(2);
+  const auto out = runner.map(std::vector<int>{}, [](int v) { return v; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SweepRunner, ManySmallPointsKeepEveryWorkerHonest) {
+  sweep::SweepRunner runner(4);
+  std::vector<int> items(1000);
+  std::iota(items.begin(), items.end(), 0);
+  std::atomic<int> executed{0};
+  const auto out = runner.map(items, [&executed](int v) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    return v;
+  });
+  EXPECT_EQ(executed.load(), 1000);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].get(), static_cast<int>(i));
+  }
+}
+
+TEST(SweepCli, ParsesWorkersCsvAndPositionals) {
+  const char* argv[] = {"bench", "12288", "--workers", "8",
+                        "3",     "--csv", "out.csv",   "bert"};
+  const auto options =
+      sweep::parse_cli(8, const_cast<char**>(argv));
+  EXPECT_EQ(options.workers, 8u);
+  EXPECT_EQ(options.csv_path, "out.csv");
+  EXPECT_TRUE(options.csv_enabled());
+  EXPECT_EQ(options.positional,
+            (std::vector<std::string>{"12288", "3", "bert"}));
+}
+
+TEST(SweepCli, DefaultsAndErrors) {
+  const char* bare[] = {"bench"};
+  const auto defaults = sweep::parse_cli(1, const_cast<char**>(bare));
+  EXPECT_EQ(defaults.workers, 0u);
+  EXPECT_FALSE(defaults.csv_enabled());
+  EXPECT_TRUE(defaults.positional.empty());
+
+  const char* missing[] = {"bench", "--workers"};
+  EXPECT_THROW(sweep::parse_cli(2, const_cast<char**>(missing)),
+               u::ContractViolation);
+  const char* garbage[] = {"bench", "--workers", "eight"};
+  EXPECT_THROW(sweep::parse_cli(3, const_cast<char**>(garbage)),
+               u::ContractViolation);
+  const char* trailing[] = {"bench", "--workers", "4x"};
+  EXPECT_THROW(sweep::parse_cli(3, const_cast<char**>(trailing)),
+               u::ContractViolation);
+  const char* unknown[] = {"bench", "--frobnicate"};
+  EXPECT_THROW(sweep::parse_cli(2, const_cast<char**>(unknown)),
+               u::ContractViolation);
+}

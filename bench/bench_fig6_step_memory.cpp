@@ -31,10 +31,16 @@ namespace u = ssdtrain::util;
 
 namespace {
 
+using ConfigFactory = m::ModelConfig (*)(std::int64_t, int, std::int64_t);
+
 struct Case {
-  m::Architecture arch;
+  ConfigFactory make;
   std::int64_t hidden;
   int layers;
+
+  [[nodiscard]] std::string model_name() const {
+    return make(hidden, layers, 16).name;
+  }
 };
 
 struct Point {
@@ -44,17 +50,7 @@ struct Point {
 
 rt::StepStats measure(const Point& p) {
   rt::SessionConfig config;
-  switch (p.config.arch) {
-    case m::Architecture::bert:
-      config.model = m::bert_config(p.config.hidden, p.config.layers, 16);
-      break;
-    case m::Architecture::t5:
-      config.model = m::t5_config(p.config.hidden, p.config.layers, 16);
-      break;
-    case m::Architecture::gpt:
-      config.model = m::gpt_config(p.config.hidden, p.config.layers, 16);
-      break;
-  }
+  config.model = p.config.make(p.config.hidden, p.config.layers, 16);
   config.parallel.tensor_parallel = 2;
   config.strategy = p.strategy;
   rt::TrainingSession session(std::move(config));
@@ -68,11 +64,11 @@ int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
 
   const std::vector<Case> cases = {
-      {m::Architecture::bert, 8192, 4},  {m::Architecture::bert, 12288, 3},
-      {m::Architecture::bert, 16384, 2}, {m::Architecture::t5, 8192, 4},
-      {m::Architecture::t5, 12288, 3},   {m::Architecture::t5, 16384, 2},
-      {m::Architecture::gpt, 8192, 4},   {m::Architecture::gpt, 12288, 3},
-      {m::Architecture::gpt, 16384, 2},
+      {&m::bert_config, 8192, 4},  {&m::bert_config, 12288, 3},
+      {&m::bert_config, 16384, 2}, {&m::t5_config, 8192, 4},
+      {&m::t5_config, 12288, 3},   {&m::t5_config, 16384, 2},
+      {&m::gpt_config, 8192, 4},   {&m::gpt_config, 12288, 3},
+      {&m::gpt_config, 16384, 2},
   };
   // One point per (case, strategy): SSDTrain next to its keep baseline.
   std::vector<Point> grid;
@@ -113,7 +109,7 @@ int main(int argc, char** argv) {
     worst_overhead = std::max(worst_overhead, overhead);
     best_reduction = std::max(best_reduction, reduction);
     rows.push_back({&cases[i], overhead, reduction, &ssd, &keep});
-    table.add_row({std::string(to_string(cases[i].arch)),
+    table.add_row({cases[i].model_name(),
                    u::label("H", cases[i].hidden) +
                        u::label(" L", cases[i].layers),
                    u::format_time(ssd.step_time),
@@ -137,7 +133,7 @@ int main(int argc, char** argv) {
                       "keep_step_time_s", "overhead", "ssd_act_peak_bytes",
                       "keep_act_peak_bytes", "reduction"});
     for (const Row& r : rows) {
-      csv.add_row({std::string(to_string(r.c->arch)),
+      csv.add_row({r.c->model_name(),
                    std::to_string(r.c->hidden), std::to_string(r.c->layers),
                    u::format_fixed(r.ssd->step_time, 9),
                    u::format_fixed(r.keep->step_time, 9),

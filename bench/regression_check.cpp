@@ -1,0 +1,108 @@
+// CSV regression comparator for the bench golden baselines:
+//   regression_check GOLDEN.csv CANDIDATE.csv TOLERANCE
+// Headers must match exactly, row counts must match, non-numeric cells
+// (model names, strategies) must match exactly, and numeric cells must
+// agree within the relative TOLERANCE. The simulator is deterministic, so
+// the tolerance only absorbs compiler/libm variation across CI images —
+// a real regression in step time, offloaded bytes, or ROK metrics trips it.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/sweep/resume.hpp"  // split_csv_line
+
+namespace {
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "regression_check: cannot open " << path << "\n";
+    std::exit(2);
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(ssdtrain::sweep::split_csv_line(line));
+  }
+  return rows;
+}
+
+std::optional<double> as_number(const std::string& cell) {
+  if (cell.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::cerr << "usage: regression_check GOLDEN.csv CANDIDATE.csv TOL\n";
+    return 2;
+  }
+  const auto golden = read_csv(argv[1]);
+  const auto candidate = read_csv(argv[2]);
+  const double tolerance = std::strtod(argv[3], nullptr);
+  if (!(tolerance > 0.0 && tolerance < 1.0)) {
+    std::cerr << "regression_check: tolerance must be in (0, 1)\n";
+    return 2;
+  }
+
+  if (golden.size() != candidate.size()) {
+    std::cerr << "regression_check: row count changed: golden "
+              << golden.size() << " vs candidate " << candidate.size()
+              << "\n";
+    return 1;
+  }
+
+  int failures = 0;
+  for (std::size_t r = 0; r < golden.size(); ++r) {
+    if (golden[r].size() != candidate[r].size()) {
+      std::cerr << "row " << r << ": column count changed\n";
+      ++failures;
+      continue;
+    }
+    for (std::size_t c = 0; c < golden[r].size(); ++c) {
+      const std::string& want = golden[r][c];
+      const std::string& got = candidate[r][c];
+      const auto want_num = as_number(want);
+      const auto got_num = as_number(got);
+      if (r == 0 || !want_num || !got_num) {
+        // Header cells and non-numeric cells (names, strategies) are keys:
+        // exact match required.
+        if (want != got) {
+          std::cerr << "row " << r << " col " << c << ": '" << got
+                    << "' != golden '" << want << "'\n";
+          ++failures;
+        }
+        continue;
+      }
+      const double scale =
+          std::max({std::fabs(*want_num), std::fabs(*got_num), 1e-12});
+      if (std::fabs(*want_num - *got_num) > tolerance * scale) {
+        std::cerr << "row " << r << " col " << c << " (" << golden[0][c]
+                  << "): " << got << " deviates from golden " << want
+                  << " by more than " << tolerance * 100.0 << "%\n";
+        ++failures;
+      }
+    }
+  }
+
+  if (failures > 0) {
+    std::cerr << "regression_check: " << failures
+              << " cell(s) regressed vs " << argv[1] << "\n";
+    return 1;
+  }
+  std::cout << "regression_check: " << golden.size() - 1 << " rows match "
+            << argv[1] << " within " << tolerance * 100.0 << "%\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+# Benchmark regression gate, run as a CTest entry (label: regression):
+#
+#   cmake -DBENCH=<bench binary> -DCHECKER=<regression_check binary>
+#         -DGOLDEN=<bench/golden/*.csv> -DOUT=<scratch csv>
+#         -DTOLERANCE=<relative tolerance, e.g. 0.02>
+#         -P cmake/check_bench_regression.cmake
+#
+# Runs the bench with --csv into a scratch file (removed first — several
+# benches append to an existing --csv file for sweep resume) and compares
+# the series against the checked-in golden baseline: key cells exactly,
+# numeric cells (step time, offloaded bytes, ROK metrics) within the
+# relative tolerance. Regenerate baselines with the update_bench_golden
+# target after an intentional behaviour change.
+
+foreach(var BENCH CHECKER GOLDEN OUT TOLERANCE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_bench_regression: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE "${OUT}")
+
+execute_process(COMMAND "${BENCH}" --csv "${OUT}"
+                RESULT_VARIABLE bench_rc
+                OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "check_bench_regression: ${BENCH} exited ${bench_rc}")
+endif()
+
+execute_process(COMMAND "${CHECKER}" "${GOLDEN}" "${OUT}" "${TOLERANCE}"
+                RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR
+          "check_bench_regression: ${OUT} regressed vs ${GOLDEN} "
+          "(tolerance ${TOLERANCE})")
+endif()

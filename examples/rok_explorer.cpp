@@ -8,7 +8,7 @@
 //   hidden    hidden dimension, multiple of 128     (default 12288)
 //   layers    transformer layers                    (default 3)
 //   max_batch largest micro-batch size to try       (default 16)
-//   arch      bert | gpt | t5                       (default bert)
+//   arch      bert | gpt | t5 | gpt-moe | gpt-gqa   (default bert)
 //   --workers sweep worker threads                  (default: all cores)
 //   --csv     dump the curve as CSV
 
@@ -46,6 +46,11 @@ m::ModelConfig make_model(const std::string& arch, std::int64_t hidden,
                           int layers, std::int64_t batch) {
   if (arch == "gpt") return m::gpt_config(hidden, layers, batch);
   if (arch == "t5") return m::t5_config(hidden, layers, batch);
+  if (arch == "gpt-moe") {
+    return m::gpt_moe_config(hidden, layers, batch, /*num_experts=*/8,
+                             /*top_k=*/2);
+  }
+  if (arch == "gpt-gqa") return m::gpt_gqa_config(hidden, layers, batch);
   return m::bert_config(hidden, layers, batch);
 }
 

@@ -11,19 +11,56 @@ double sbh(const modules::ModelConfig& m) {
          static_cast<double>(m.hidden);
 }
 
+/// Routed-token load of the group's FFN relative to a dense FFN, with the
+/// same rounding the MoeMlp module applies to the expert sequence length —
+/// exactly 1.0 for a dense FFN, so dense formulas specialise bit-exactly.
+double ffn_load(const modules::ModelConfig& m,
+                const workload::LayerSpec& group) {
+  return static_cast<double>(group.ffn.routed_tokens(m.seq)) /
+         static_cast<double>(m.seq);
+}
+
+/// Collapses non-TP and TP-sharded per-layer units (in s*b*h bytes) into
+/// bytes. Sequence parallelism shards the non-TP regions (LayerNorms,
+/// dropouts, block inputs) across the TP group as well.
+double units_to_bytes(const modules::ModelConfig& m,
+                      const parallel::ParallelConfig& p, double non_tp_units,
+                      double tp_units) {
+  const auto t = static_cast<double>(p.tensor_parallel);
+  if (p.sequence_parallel) {
+    const double total = non_tp_units + tp_units;
+    return sbh(m) * total / t;
+  }
+  return sbh(m) * (non_tp_units + tp_units / t);
+}
+
 }  // namespace
 
-util::Bytes layer_activation_bytes(const modules::ModelConfig& model,
-                                   const parallel::ParallelConfig& parallel) {
-  const auto t = static_cast<double>(parallel.tensor_parallel);
-  // Sequence parallelism shards the non-TP regions (LayerNorms, dropouts,
-  // block inputs) across the TP group as well: 34/t instead of 10 + 24/t.
-  double bytes = parallel.sequence_parallel
-                     ? sbh(model) * 34.0 / t
-                     : sbh(model) * (10.0 + 24.0 / t);
-  if (!model.flash_attention) {
+util::Bytes layer_spec_activation_bytes(
+    const modules::ModelConfig& model, const workload::LayerSpec& group,
+    const parallel::ParallelConfig& parallel) {
+  const double rho = group.attention.kv_ratio(model.heads);
+  const double f = ffn_load(model, group);
+  // Attention + ln1: ln1 input (2) + qkv input (2) + dropout mask (1)
+  // unsharded; qkv output (2 + 4*rho, the K/V planes shrink under GQA) +
+  // core output (2) TP-sharded. MHA: 5 + 8/t.
+  const double attn_non_tp = 5.0;
+  const double attn_tp = 2.0 + (2.0 + 4.0 * rho);
+  // FFN + ln2. Dense: ln2 input (2) + fc1 input (2) + mask (1) unsharded;
+  // fc1 output (8) + GeLU output (8) TP-sharded: 5 + 16/t. MoE: the router
+  // input replaces the fc1 input, the routed expert stream adds 2f, and
+  // the expert FC activations scale with the routed load f.
+  const double ffn_non_tp =
+      group.ffn.moe() ? 5.0 + 2.0 * f : 5.0;
+  const double ffn_tp = 16.0 * f;
+  double bytes = units_to_bytes(model, parallel, attn_non_tp + ffn_non_tp,
+                                attn_tp + ffn_tp);
+  const bool flash = group.attention.flash.value_or(model.flash_attention);
+  if (!flash) {
     // softmax input (2) + softmax output (2) + attention dropout mask (1),
-    // each a*s^2*b elements sharded across TP.
+    // each a*s^2*b elements sharded across TP (a = query heads — the score
+    // matrices do not shrink under GQA).
+    const auto t = static_cast<double>(parallel.tensor_parallel);
     bytes += 5.0 * static_cast<double>(model.heads) *
              static_cast<double>(model.seq) * static_cast<double>(model.seq) *
              static_cast<double>(model.micro_batch) / t;
@@ -31,52 +68,101 @@ util::Bytes layer_activation_bytes(const modules::ModelConfig& model,
   return static_cast<util::Bytes>(bytes);
 }
 
+util::Bytes cross_attention_extra_bytes(
+    const modules::ModelConfig& model, const workload::LayerSpec& group,
+    const parallel::ParallelConfig& parallel) {
+  const double rho = group.attention.kv_ratio(model.heads);
+  // ln_cross input (2) + q-projection input (2) + dropout mask (1)
+  // unsharded; q (2) / kv (4*rho) / context (2) outputs TP-sharded.
+  // MHA: 5 + 8/t.
+  return static_cast<util::Bytes>(
+      units_to_bytes(model, parallel, 5.0, 4.0 + 4.0 * rho));
+}
+
+util::Bytes layer_spec_kept_bytes(const modules::ModelConfig& model,
+                                  const workload::LayerSpec& group,
+                                  const parallel::ParallelConfig& parallel) {
+  // The effective keep unit is the final FFN block of the last layer,
+  // whose backward begins within a store round-trip. Dense: fc1 input (2)
+  // + mask (1) unsharded, fc1 output (8) + GeLU output (8) TP-sharded:
+  // 3 + 16/t. MoE: the router input (2) stands in for the fc1 input and
+  // the routed expert stream (2f) rides on top, with the expert FC
+  // activations scaled by f — everything MoeMlp saves is in the pinned
+  // scope, so the carve-out must count all of it.
+  const double f = ffn_load(model, group);
+  const double non_tp = group.ffn.moe() ? 3.0 + 2.0 * f : 3.0;
+  const double tp = 16.0 * f;
+  return static_cast<util::Bytes>(
+      units_to_bytes(model, parallel, non_tp, tp));
+}
+
+ActivationProfile activation_profile(
+    const modules::ModelConfig& model,
+    const parallel::ParallelConfig& parallel) {
+  const workload::WorkloadSpec spec = model.resolved_workload();
+  ActivationProfile profile;
+  profile.per_layer.reserve(static_cast<std::size_t>(model.layers));
+  for (const workload::LayerSpec& group : spec.layers) {
+    util::Bytes layer = layer_spec_activation_bytes(model, group, parallel);
+    if (group.attention.cross_attention) {
+      layer += cross_attention_extra_bytes(model, group, parallel);
+    }
+    for (int i = 0; i < group.count; ++i) profile.per_layer.push_back(layer);
+  }
+  if (spec.has_cross_attention()) {
+    // The encoder memory is cross-attended by every decoder layer but
+    // deduplicated to a single saved tensor.
+    profile.shared_memory = static_cast<util::Bytes>(2.0 * sbh(model));
+  }
+  // Head input (2*s*b*h); loss statistics are negligible.
+  profile.head_input = static_cast<util::Bytes>(2.0 * sbh(model));
+  profile.kept_last =
+      layer_spec_kept_bytes(model, spec.last_group(), parallel);
+  return profile;
+}
+
+util::Bytes ActivationProfile::total() const {
+  util::Bytes sum = 0;
+  for (util::Bytes layer : per_layer) sum += layer;
+  return sum + shared_memory + head_input;
+}
+
+util::Bytes ActivationProfile::offloadable() const {
+  const util::Bytes all = total();
+  util::check(all > kept_last, "degenerate model");
+  return all - kept_last;
+}
+
+util::Bytes layer_activation_bytes(const modules::ModelConfig& model,
+                                   const parallel::ParallelConfig& parallel) {
+  const workload::WorkloadSpec spec = model.resolved_workload();
+  return layer_spec_activation_bytes(model, spec.layers.front(), parallel);
+}
+
 util::Bytes decoder_extra_activation_bytes(
     const modules::ModelConfig& model,
     const parallel::ParallelConfig& parallel) {
-  const auto t = static_cast<double>(parallel.tensor_parallel);
-  // ln_cross input (2) + q-projection input (2) + q/kv/context outputs
-  // (8/t) + dropout mask (1), in s*b*h units.
-  const double bytes = parallel.sequence_parallel
-                           ? sbh(model) * 13.0 / t
-                           : sbh(model) * (5.0 + 8.0 / t);
-  return static_cast<util::Bytes>(bytes);
+  const workload::WorkloadSpec spec = model.resolved_workload();
+  for (const workload::LayerSpec& group : spec.layers) {
+    if (group.attention.cross_attention) {
+      return cross_attention_extra_bytes(model, group, parallel);
+    }
+  }
+  // No cross-attending group: the MHA-shaped block, the legacy constant.
+  workload::LayerSpec mha;
+  mha.count = 1;
+  return cross_attention_extra_bytes(model, mha, parallel);
 }
 
 util::Bytes model_activation_bytes(const modules::ModelConfig& model,
                                    const parallel::ParallelConfig& parallel) {
-  util::Bytes total = 0;
-  if (model.arch == modules::Architecture::t5) {
-    const int decoders = model.layers / 2;
-    const int encoders = model.layers - decoders;
-    total += encoders * layer_activation_bytes(model, parallel);
-    total += decoders * (layer_activation_bytes(model, parallel) +
-                         decoder_extra_activation_bytes(model, parallel));
-    // The encoder memory is cross-attended by every decoder layer but
-    // deduplicated to a single saved tensor.
-    total += static_cast<util::Bytes>(2.0 * sbh(model));
-  } else {
-    total += model.layers * layer_activation_bytes(model, parallel);
-  }
-  // Head input (2*s*b*h); loss statistics are negligible.
-  total += static_cast<util::Bytes>(2.0 * sbh(model));
-  return total;
+  return activation_profile(model, parallel).total();
 }
 
 util::Bytes offloadable_activation_bytes(
     const modules::ModelConfig& model,
     const parallel::ParallelConfig& parallel) {
-  // Everything except the last module kept per Fig. 2 ④ — in practice the
-  // final MLP block of the last layer, whose backward begins within a
-  // store round-trip: fc1 input (2) + fc1 output (8/t) + GeLU output (8/t)
-  // + dropout mask (1), in s*b*h units.
-  const auto t = static_cast<double>(parallel.tensor_parallel);
-  const double kept_units =
-      parallel.sequence_parallel ? 19.0 / t : 3.0 + 16.0 / t;
-  const auto kept = static_cast<util::Bytes>(kept_units * sbh(model));
-  const util::Bytes total = model_activation_bytes(model, parallel);
-  util::check(total > kept, "degenerate model");
-  return total - kept;
+  return activation_profile(model, parallel).offloadable();
 }
 
 }  // namespace ssdtrain::analysis

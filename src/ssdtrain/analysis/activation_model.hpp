@@ -2,37 +2,85 @@
 
 /// \file activation_model.hpp
 /// Closed-form activation-memory model, following Korthikanti et al. and the
-/// paper's §III-D (the "model estimate" column of Table III). Per
-/// transformer layer with flash attention and TP degree t:
+/// paper's §III-D (the "model estimate" column of Table III), computed as a
+/// fold of per-LayerSpec contributions over the model's WorkloadSpec. Per
+/// standard transformer layer with flash attention and TP degree t the fold
+/// reduces to the paper's closed form
 ///     bytes = s*b*h * (10 + 24/t)
-/// and without flash attention an extra 5*a*s^2*b/t for the softmax-related
-/// intermediates. T5 decoder layers add the cross-attention block; the
-/// shared encoder memory is counted once (the tensor cache deduplicates the
-/// repeated saves).
+/// (without flash attention an extra 5*a*s^2*b/t for the softmax-related
+/// intermediates); GQA shrinks the QKV term to (4 + 4*kv/a)/t, MoE scales
+/// the FFN terms by the routed-token load top_k*capacity/EP, and
+/// cross-attending layers add the cross-attention block with the shared
+/// encoder memory counted once (the tensor cache deduplicates the repeated
+/// saves).
+
+#include <vector>
 
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/parallel/parallel_config.hpp"
 #include "ssdtrain/util/units.hpp"
+#include "ssdtrain/workload/spec.hpp"
 
 namespace ssdtrain::analysis {
 
-/// Saved-activation bytes for one standard transformer layer.
+/// Saved bytes of one layer of \p group: LNs, self-attention, and FFN. The
+/// cross-attention extra is counted separately (cross_attention_extra_bytes)
+/// like the legacy decoder accounting.
+util::Bytes layer_spec_activation_bytes(
+    const modules::ModelConfig& model, const workload::LayerSpec& group,
+    const parallel::ParallelConfig& parallel);
+
+/// Extra saved bytes a cross-attending layer of \p group adds over its base
+/// block (cross-attention projections/core, excluding the shared memory).
+util::Bytes cross_attention_extra_bytes(
+    const modules::ModelConfig& model, const workload::LayerSpec& group,
+    const parallel::ParallelConfig& parallel);
+
+/// Bytes of a \p group layer that SSDTrain keeps in GPU memory when it is
+/// the last layer before backward (its final FFN block, Fig. 2 (4)).
+util::Bytes layer_spec_kept_bytes(const modules::ModelConfig& model,
+                                  const workload::LayerSpec& group,
+                                  const parallel::ParallelConfig& parallel);
+
+/// Per-layer byte profile of the whole model — what the adaptive planner
+/// consumes. Byte totals are per micro-batch per GPU.
+struct ActivationProfile {
+  /// One entry per transformer layer in forward order (cross-attending
+  /// layers include their extra block).
+  std::vector<util::Bytes> per_layer;
+  /// The deduplicated encoder memory every cross-attending layer reads.
+  util::Bytes shared_memory = 0;
+  util::Bytes head_input = 0;
+  /// Keep-last-layer carve-out, sized from the last group's FFN variant.
+  util::Bytes kept_last = 0;
+
+  [[nodiscard]] util::Bytes total() const;
+  [[nodiscard]] util::Bytes offloadable() const;
+};
+
+ActivationProfile activation_profile(const modules::ModelConfig& model,
+                                     const parallel::ParallelConfig& parallel);
+
+/// Saved-activation bytes for one layer of the workload's first group (the
+/// paper's "per transformer layer" number).
 util::Bytes layer_activation_bytes(const modules::ModelConfig& model,
                                    const parallel::ParallelConfig& parallel);
 
-/// Extra saved bytes a T5 decoder layer adds over a standard layer
-/// (cross-attention block, excluding the shared encoder memory).
+/// Extra saved bytes a cross-attending (T5 decoder) layer adds over a
+/// standard layer, for the first cross-attending group (MHA shape when the
+/// workload has none).
 util::Bytes decoder_extra_activation_bytes(
     const modules::ModelConfig& model,
     const parallel::ParallelConfig& parallel);
 
 /// Total saved-activation bytes per micro-batch per GPU (all layers plus
-/// head input and, for T5, the deduplicated encoder memory).
+/// head input and, for encoder-decoder workloads, the deduplicated encoder
+/// memory).
 util::Bytes model_activation_bytes(const modules::ModelConfig& model,
                                    const parallel::ParallelConfig& parallel);
 
 /// Bytes that SSDTrain can offload: everything except the last layer's
-/// activations (kept because its backward starts immediately, Fig. 2 ④).
+/// activations (kept because its backward starts immediately, Fig. 2 (4)).
 util::Bytes offloadable_activation_bytes(
     const modules::ModelConfig& model,
     const parallel::ParallelConfig& parallel);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "ssdtrain/analysis/activation_model.hpp"
 #include "ssdtrain/parallel/zero.hpp"
@@ -16,33 +17,42 @@ struct OpCost {
   double bytes = 0.0;
 };
 
-/// Per-GPU op list of one standard transformer layer forward pass.
+/// Per-GPU op list of one forward pass through a layer of \p group. The
+/// causal triangular-FLOP discount applies at workload granularity
+/// (WorkloadSpec::decoder_only), reproducing the paper's §III-D model.
 std::vector<OpCost> layer_forward_ops(const modules::ModelConfig& m,
-                                      const parallel::ParallelConfig& p) {
+                                      const parallel::ParallelConfig& p,
+                                      const workload::WorkloadSpec& spec,
+                                      const workload::LayerSpec& group) {
   const double s = static_cast<double>(m.seq);
   const double b = static_cast<double>(m.micro_batch);
   const double h = static_cast<double>(m.hidden);
   const double t = static_cast<double>(p.tensor_parallel);
   const double sbh2 = 2.0 * s * b * h;  // bytes of one [s,b,h] fp16 tensor
   const double w_bytes = 2.0 * h * h;   // bytes of one h*h fp16 weight
-  const double causal = m.arch == modules::Architecture::gpt ? 0.5 : 1.0;
+  const double causal = spec.decoder_only ? 0.5 : 1.0;
+  const double rho = group.attention.kv_ratio(m.heads);
+  const double qkv_w = 1.0 + 2.0 * rho;  // qkv planes in h units (MHA: 3)
+  const bool flash = group.attention.flash.value_or(m.flash_attention);
 
   std::vector<OpCost> ops;
   // ln1
   ops.push_back({8.0 * s * b * h, 2.0 * sbh2});
-  // qkv gemm (column parallel)
-  ops.push_back({6.0 * b * s * h * h / t,
-                 sbh2 + 3.0 * w_bytes / t + 3.0 * sbh2 / t});
-  // attention core
-  if (m.flash_attention) {
-    ops.push_back({4.0 * b * s * s * h / t * causal, 4.0 * sbh2 / t});
+  // qkv gemm (column parallel; K/V planes shrink under GQA)
+  ops.push_back({2.0 * qkv_w * b * s * h * h / t,
+                 sbh2 + qkv_w * w_bytes / t + qkv_w * sbh2 / t});
+  // attention core (query-head compute is GQA-invariant)
+  if (flash) {
+    ops.push_back({4.0 * b * s * s * h / t * causal,
+                   (qkv_w + 1.0) * sbh2 / t});
   } else {
     const double score_bytes =
         2.0 * static_cast<double>(m.heads) * s * s * b / t;
-    ops.push_back({2.0 * b * s * s * h / t, 3.0 * sbh2 / t + score_bytes});
+    ops.push_back({2.0 * b * s * s * h / t, qkv_w * sbh2 / t + score_bytes});
     ops.push_back({5.0 * static_cast<double>(m.heads) * s * s * b / t,
                    2.5 * score_bytes});  // softmax + dropout
-    ops.push_back({2.0 * b * s * s * h / t, score_bytes + 2.0 * sbh2 / t});
+    ops.push_back({2.0 * b * s * s * h / t,
+                   score_bytes + (1.0 + rho) * sbh2 / t});
   }
   // output projection (row parallel)
   ops.push_back({2.0 * b * s * h * h / t,
@@ -52,12 +62,37 @@ std::vector<OpCost> layer_forward_ops(const modules::ModelConfig& m,
   ops.push_back({s * b * h, 3.0 * sbh2});
   // ln2
   ops.push_back({8.0 * s * b * h, 2.0 * sbh2});
-  // fc1 (column), gelu, fc2 (row)
-  ops.push_back({8.0 * b * s * h * h / t,
-                 sbh2 + 4.0 * w_bytes / t + 4.0 * sbh2 / t});
-  ops.push_back({12.0 * 4.0 * s * b * h / t, 8.0 * sbh2 / t});
-  ops.push_back({8.0 * b * s * h * h / t,
-                 4.0 * sbh2 / t + 4.0 * w_bytes / t + sbh2});
+  if (group.ffn.moe()) {
+    const double f =
+        static_cast<double>(group.ffn.routed_tokens(m.seq)) /
+        static_cast<double>(m.seq);
+    const double experts = static_cast<double>(group.ffn.num_experts);
+    const double e_local =
+        experts / static_cast<double>(group.ffn.expert_parallel);
+    // router gemm (replicated) + top-k, then dispatch onto the routed
+    // stream (the all-to-all traffic rides in the bytes).
+    ops.push_back({2.0 * b * s * h * experts,
+                   sbh2 + 2.0 * b * s * experts * 3.0});
+    ops.push_back({f * s * b * h, (1.0 + f) * sbh2});
+    // expert fc1 (column), gelu, fc2 (row): block-diagonal GEMMs over the
+    // routed stream; the weight traffic streams every local expert.
+    ops.push_back({8.0 * f * b * s * h * h / t,
+                   f * sbh2 + e_local * 4.0 * w_bytes / t +
+                       f * 4.0 * sbh2 / t});
+    ops.push_back({12.0 * 4.0 * f * s * b * h / t, 8.0 * f * sbh2 / t});
+    ops.push_back({8.0 * f * b * s * h * h / t,
+                   f * 4.0 * sbh2 / t + e_local * 4.0 * w_bytes / t +
+                       f * sbh2});
+    // combine (gate-weighted return all-to-all)
+    ops.push_back({2.0 * f * s * b * h, (1.0 + f) * sbh2});
+  } else {
+    // fc1 (column), gelu, fc2 (row)
+    ops.push_back({8.0 * b * s * h * h / t,
+                   sbh2 + 4.0 * w_bytes / t + 4.0 * sbh2 / t});
+    ops.push_back({12.0 * 4.0 * s * b * h / t, 8.0 * sbh2 / t});
+    ops.push_back({8.0 * b * s * h * h / t,
+                   4.0 * sbh2 / t + 4.0 * w_bytes / t + sbh2});
+  }
   // dropout + residual
   ops.push_back({2.0 * s * b * h, 2.5 * sbh2});
   ops.push_back({s * b * h, 3.0 * sbh2});
@@ -77,29 +112,54 @@ util::Seconds ops_time(const std::vector<OpCost>& ops, const hw::Gpu& gpu) {
 }
 
 double layer_parameter_bytes(const modules::ModelConfig& m,
-                             const parallel::ParallelConfig& p) {
-  return 2.0 * 12.0 * static_cast<double>(m.hidden) *
-         static_cast<double>(m.hidden) /
-         static_cast<double>(p.tensor_parallel);
+                             const parallel::ParallelConfig& p,
+                             const workload::LayerSpec& group) {
+  const double h = static_cast<double>(m.hidden);
+  const double rho = group.attention.kv_ratio(m.heads);
+  // qkv (1 + 2*rho) + output projection (1) + FFN, in h*h units.
+  double ffn = 8.0;
+  if (group.ffn.moe()) {
+    const double e_local =
+        static_cast<double>(group.ffn.num_experts) /
+        static_cast<double>(group.ffn.expert_parallel);
+    ffn = 8.0 * e_local +
+          static_cast<double>(group.ffn.num_experts) / h;  // + router
+  }
+  const double factor = (1.0 + 2.0 * rho) + 1.0 + ffn;
+  return 2.0 * factor * h * h / static_cast<double>(p.tensor_parallel);
 }
 
 }  // namespace
 
 util::Flops layer_forward_flops(const modules::ModelConfig& model,
                                 const parallel::ParallelConfig& parallel) {
+  const workload::WorkloadSpec spec = model.resolved_workload();
+  const workload::LayerSpec& group = spec.layers.front();
   const double s = static_cast<double>(model.seq);
   const double b = static_cast<double>(model.micro_batch);
   const double h = static_cast<double>(model.hidden);
   const double t = static_cast<double>(parallel.tensor_parallel);
-  const double causal =
-      model.arch == modules::Architecture::gpt ? 0.5 : 1.0;
-  return (24.0 * b * s * h * h + 4.0 * b * s * s * h * causal) / t;
+  const double causal = spec.decoder_only ? 0.5 : 1.0;
+  const double rho = group.attention.kv_ratio(model.heads);
+  // qkv (2 + 4*rho) + projection (2) + FFN GEMMs, in b*s*h*h units.
+  double gemm = (2.0 + 4.0 * rho) + 2.0 + 16.0;
+  if (group.ffn.moe()) {
+    const double f =
+        static_cast<double>(group.ffn.routed_tokens(model.seq)) /
+        static_cast<double>(model.seq);
+    gemm = (2.0 + 4.0 * rho) + 2.0 + 16.0 * f +
+           2.0 * static_cast<double>(group.ffn.num_experts) / h;
+  }
+  return (gemm * b * s * h * h + 4.0 * b * s * s * h * causal) / t;
 }
 
 util::Seconds layer_forward_time(const modules::ModelConfig& model,
                                  const parallel::ParallelConfig& parallel,
                                  const hw::Gpu& gpu, const Fabrics& fabrics) {
-  util::Seconds compute = ops_time(layer_forward_ops(model, parallel), gpu);
+  const workload::WorkloadSpec spec = model.resolved_workload();
+  const workload::LayerSpec& group = spec.layers.front();
+  util::Seconds compute =
+      ops_time(layer_forward_ops(model, parallel, spec, group), gpu);
   // Two all-reduces per layer forward (attention proj + MLP fc2 outputs).
   const auto msg = static_cast<util::Bytes>(
       2.0 * static_cast<double>(model.seq) *
@@ -112,7 +172,8 @@ util::Seconds layer_forward_time(const modules::ModelConfig& model,
   if (parallel.zero == parallel::ZeroStage::stage3 &&
       parallel.data_parallel > 1) {
     const double gather = parallel::all_gather_traffic(
-        static_cast<util::Bytes>(layer_parameter_bytes(model, parallel)),
+        static_cast<util::Bytes>(
+            layer_parameter_bytes(model, parallel, group)),
         parallel.data_parallel);
     const util::Seconds comm =
         gather / fabrics.dp_fabric.link_bandwidth;
@@ -127,6 +188,7 @@ StepEstimate estimate_step(const modules::ModelConfig& model,
                            int micro_batches) {
   util::expects(micro_batches >= 1, "need at least one micro-batch");
   parallel.validate();
+  const workload::WorkloadSpec spec = model.resolved_workload();
   StepEstimate est;
 
   const int pp = parallel.pipeline_parallel;
@@ -135,18 +197,21 @@ StepEstimate estimate_step(const modules::ModelConfig& model,
 
   util::Seconds layer_fwd = layer_forward_time(model, parallel, gpu, fabrics);
   util::Flops layer_flops = layer_forward_flops(model, parallel);
-  if (model.arch == modules::Architecture::t5) {
-    // Roughly half the layers carry a cross-attention block: +8bsh^2/t GEMM
-    // and +4bs^2h/t core on those layers; average it across the stack.
+  for (const workload::LayerSpec& group : spec.layers) {
+    if (!group.attention.cross_attention) continue;
+    // Cross-attending layers add the cross-attention block: the q/kv/out
+    // projections plus the core, amortised across the stack (the §III-D
+    // estimator treats the stage as uniform layers).
     const double s = static_cast<double>(model.seq);
     const double b = static_cast<double>(model.micro_batch);
     const double h = static_cast<double>(model.hidden);
     const double t = static_cast<double>(parallel.tensor_parallel);
-    const double dec_frac =
-        static_cast<double>(model.layers / 2) /
+    const double rho = group.attention.kv_ratio(model.heads);
+    const double frac =
+        static_cast<double>(group.count) /
         static_cast<double>(model.layers);
     const double extra_flops =
-        (8.0 * b * s * h * h + 4.0 * b * s * s * h) / t * dec_frac;
+        ((4.0 + 4.0 * rho) * b * s * h * h + 4.0 * b * s * s * h) / t * frac;
     hw::KernelDesc extra;
     extra.flops = extra_flops;
     extra.bytes_read = static_cast<util::Bytes>(4.0 * s * b * h / t);
@@ -178,7 +243,8 @@ StepEstimate estimate_step(const modules::ModelConfig& model,
   // The fixed term is calibrated against the micro-batch study in the
   // paper's Fig. 8(a), where weight-update amortisation dominates the gain.
   const double param_bytes =
-      layer_parameter_bytes(model, parallel) * layers_per_stage +
+      layer_parameter_bytes(model, parallel, spec.layers.front()) *
+          layers_per_stage +
       2.0 * static_cast<double>(model.vocab) *
           static_cast<double>(model.hidden) /
           static_cast<double>(parallel.tensor_parallel);

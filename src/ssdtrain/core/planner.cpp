@@ -21,8 +21,15 @@ OffloadPlan plan_offload(const PlannerInputs& inputs) {
   plan.step_time_estimate = est.step;
   plan.activation_bytes_per_step = analysis::activations_per_gpu_step(
       inputs.model, inputs.parallel, inputs.micro_batches);
+  // The budget and the keep-last-layer carve-out come from the workload's
+  // per-layer byte profile, so heterogeneous stacks (MoE experts,
+  // encoder-decoder halves) are sized layer by layer.
+  const analysis::ActivationProfile profile =
+      analysis::activation_profile(inputs.model, inputs.parallel);
+  plan.per_layer_bytes = profile.per_layer;
+  plan.kept_last_layer_bytes = profile.kept_last;
   plan.offloadable_bytes_per_step =
-      analysis::offloadable_activation_bytes(inputs.model, inputs.parallel) *
+      profile.offloadable() *
       inputs.micro_batches / inputs.parallel.pipeline_parallel;
   plan.required_write_bandwidth = analysis::required_write_bandwidth(
       plan.offloadable_bytes_per_step, est.step);

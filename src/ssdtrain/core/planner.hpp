@@ -7,6 +7,9 @@
 /// amount so the I/O fully hides behind compute. The budget is what
 /// Alg. 1's is_offload_amount_reached() checks against.
 
+#include <vector>
+
+#include "ssdtrain/analysis/activation_model.hpp"
 #include "ssdtrain/analysis/perf_model.hpp"
 #include "ssdtrain/core/tensor_cache.hpp"
 #include "ssdtrain/hw/gpu.hpp"
@@ -32,6 +35,14 @@ struct PlannerInputs {
 struct OffloadPlan {
   util::Bytes activation_bytes_per_step = 0;   ///< analytic estimate
   util::Bytes offloadable_bytes_per_step = 0;  ///< excl. keep-last-module
+  /// Saved-activation bytes per transformer layer (one micro-batch, whole
+  /// model, forward order) — the workload's per-LayerSpec byte profile.
+  /// Heterogeneous stacks (MoE, encoder-decoder) are visible here rather
+  /// than assumed uniform.
+  std::vector<util::Bytes> per_layer_bytes;
+  /// Keep-last-layer carve-out (Fig. 2 (4)), sized from the last layer's
+  /// FFN variant rather than a uniform-layer assumption.
+  util::Bytes kept_last_layer_bytes = 0;
   util::Seconds step_time_estimate = 0.0;
   /// What the SSDs can absorb in half the step (the paper's bandwidth
   /// window, §III-D), scaled by the safety factor.

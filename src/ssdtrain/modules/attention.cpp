@@ -17,15 +17,26 @@ std::int64_t shard(std::int64_t n, int tp) {
 
 }  // namespace
 
+std::int64_t kv_hidden_size(std::int64_t hidden, std::int64_t heads,
+                            std::int64_t kv_heads) {
+  if (kv_heads <= 0) return hidden;
+  util::expects(kv_heads <= heads && heads % kv_heads == 0,
+                "query heads must be a multiple of kv_heads");
+  util::expects(hidden % heads == 0, "hidden not divisible by heads");
+  return hidden / heads * kv_heads;
+}
+
 // ---------------------------------------------------------------------------
 // FlashAttentionCore
 // ---------------------------------------------------------------------------
 
 FlashAttentionCore::FlashAttentionCore(std::string name, std::int64_t hidden,
-                                       std::int64_t heads, bool causal)
+                                       std::int64_t heads,
+                                       std::int64_t kv_heads, bool causal)
     : Module(std::move(name)),
       hidden_(hidden),
       heads_(heads),
+      kv_hidden_(kv_hidden_size(hidden, heads, kv_heads)),
       causal_(causal) {}
 
 tensor::Tensor FlashAttentionCore::forward_impl(ExecutionContext& ctx,
@@ -34,7 +45,9 @@ tensor::Tensor FlashAttentionCore::forward_impl(ExecutionContext& ctx,
   const std::int64_t s = qkv.shape().dim(0);
   const std::int64_t b = qkv.shape().dim(1);
   const std::int64_t h_local = shard(hidden_, tp);
-  util::expects(qkv.shape().dim(2) == 3 * h_local, "qkv feature mismatch");
+  const std::int64_t hkv_local = shard(kv_hidden_, tp);
+  util::expects(qkv.shape().dim(2) == h_local + 2 * hkv_local,
+                "qkv feature mismatch");
   const std::int64_t heads_local = shard(heads_, tp);
 
   auto& node = ctx.make_node(name() + "::FlashAttnBWD");
@@ -80,7 +93,7 @@ tensor::Tensor FlashAttentionCore::backward_impl(
 
   const std::int64_t s = qkv_shape.dim(0);
   const std::int64_t b = qkv_shape.dim(1);
-  const std::int64_t h_local = qkv_shape.dim(2) / 3;
+  const std::int64_t h_local = shard(hidden_, ctx.parallel().tensor_parallel);
 
   Tensor grad_qkv = ctx.make_activation(name() + ".dqkv", qkv_shape,
                                         grad_output.dtype());
@@ -101,11 +114,13 @@ tensor::Tensor FlashAttentionCore::backward_impl(
 
 UnfusedAttentionCore::UnfusedAttentionCore(std::string name,
                                            std::int64_t hidden,
-                                           std::int64_t heads, bool causal,
+                                           std::int64_t heads,
+                                           std::int64_t kv_heads, bool causal,
                                            double dropout_probability)
     : Module(std::move(name)),
       hidden_(hidden),
       heads_(heads),
+      kv_hidden_(kv_hidden_size(hidden, heads, kv_heads)),
       causal_(causal),
       dropout_probability_(dropout_probability) {
   (void)dropout_probability_;
@@ -117,8 +132,10 @@ tensor::Tensor UnfusedAttentionCore::forward_impl(ExecutionContext& ctx,
   const std::int64_t s = qkv.shape().dim(0);
   const std::int64_t b = qkv.shape().dim(1);
   const std::int64_t h_local = shard(hidden_, tp);
+  const std::int64_t hkv_local = shard(kv_hidden_, tp);
   const std::int64_t a_local = shard(heads_, tp);
-  util::expects(qkv.shape().dim(2) == 3 * h_local, "qkv feature mismatch");
+  util::expects(qkv.shape().dim(2) == h_local + 2 * hkv_local,
+                "qkv feature mismatch");
 
   auto& node = ctx.make_node(name() + "::UnfusedAttnBWD");
   node.save(qkv, ctx.hooks());
@@ -151,11 +168,12 @@ tensor::Tensor UnfusedAttentionCore::forward_impl(ExecutionContext& ctx,
              dropped.bytes() + mask.bytes(), {probs});
   node.save(mask, ctx.hooks());
 
-  // PV: context values.
+  // PV: context values (the V plane of the packed qkv tensor).
   Tensor out = ctx.make_activation(name() + ".out",
                                    TensorShape{s, b, h_local}, qkv.dtype());
   const double pv_flops = qk_flops;
-  ctx.kernel(name() + "::pv", pv_flops, dropped.bytes() + qkv.bytes() / 3,
+  const auto v_bytes = static_cast<util::Bytes>(2 * s * b * hkv_local);
+  ctx.kernel(name() + "::pv", pv_flops, dropped.bytes() + v_bytes,
              out.bytes(), {dropped, qkv});
 
   auto& st = state(ctx);
@@ -179,9 +197,11 @@ tensor::Tensor UnfusedAttentionCore::backward_impl(
   Tensor probs = node.unpack(2, ctx.hooks());
   Tensor mask = node.unpack(3, ctx.hooks());
 
+  const int tp = ctx.parallel().tensor_parallel;
   const std::int64_t s = qkv_shape.dim(0);
   const std::int64_t b = qkv_shape.dim(1);
-  const std::int64_t h_local = qkv_shape.dim(2) / 3;
+  const std::int64_t h_local = shard(hidden_, tp);
+  const std::int64_t hkv_local = shard(kv_hidden_, tp);
 
   Tensor grad_qkv = ctx.make_activation(name() + ".dqkv", qkv_shape,
                                         grad_output.dtype());
@@ -189,9 +209,10 @@ tensor::Tensor UnfusedAttentionCore::backward_impl(
                             static_cast<double>(s) * static_cast<double>(b) *
                             static_cast<double>(h_local);
   // dV and d(probs) from PV; then dropout/softmax/scale chains; then dQ,dK.
+  const auto v_bytes = static_cast<util::Bytes>(2 * s * b * hkv_local);
   ctx.kernel(name() + "::pv_bwd", 2.0 * gemm_flops,
-             probs.bytes() + grad_output.bytes() + qkv.bytes() / 3,
-             grad_qkv.bytes() / 3 + probs.bytes(),
+             probs.bytes() + grad_output.bytes() + v_bytes,
+             v_bytes + probs.bytes(),
              {probs, mask, grad_output});
   ctx.kernel(name() + "::softmax_bwd",
              8.0 * static_cast<double>(probs.numel()),
@@ -208,18 +229,21 @@ tensor::Tensor UnfusedAttentionCore::backward_impl(
 // ---------------------------------------------------------------------------
 
 SelfAttention::SelfAttention(std::string name, std::int64_t hidden,
-                             std::int64_t heads, bool causal,
-                             bool flash_attention,
+                             std::int64_t heads, std::int64_t kv_heads,
+                             bool causal, bool flash_attention,
                              double dropout_probability)
     : Module(name) {
+  const std::int64_t kv_hidden = kv_hidden_size(hidden, heads, kv_heads);
   qkv_ = add_child(std::make_unique<Linear>(name + ".qkv", hidden,
-                                            3 * hidden, TpMode::column));
+                                            hidden + 2 * kv_hidden,
+                                            TpMode::column));
   if (flash_attention) {
     core_ = add_child(std::make_unique<FlashAttentionCore>(
-        name + ".core", hidden, heads, causal));
+        name + ".core", hidden, heads, kv_heads, causal));
   } else {
     core_ = add_child(std::make_unique<UnfusedAttentionCore>(
-        name + ".core", hidden, heads, causal, dropout_probability));
+        name + ".core", hidden, heads, kv_heads, causal,
+        dropout_probability));
   }
   proj_ = add_child(std::make_unique<Linear>(name + ".proj", hidden, hidden,
                                              TpMode::row));
@@ -329,13 +353,15 @@ tensor::Tensor CrossAttentionCore::backward_impl(
 // ---------------------------------------------------------------------------
 
 CrossAttention::CrossAttention(std::string name, std::int64_t hidden,
-                               std::int64_t heads,
+                               std::int64_t heads, std::int64_t kv_heads,
                                double dropout_probability)
     : Module(name) {
+  const std::int64_t kv_hidden = kv_hidden_size(hidden, heads, kv_heads);
   q_proj_ = add_child(std::make_unique<Linear>(name + ".q", hidden, hidden,
                                                TpMode::column));
   kv_proj_ = add_child(std::make_unique<Linear>(name + ".kv", hidden,
-                                                2 * hidden, TpMode::column));
+                                                2 * kv_hidden,
+                                                TpMode::column));
   core_ = add_child(
       std::make_unique<CrossAttentionCore>(name + ".core", hidden, heads));
   out_proj_ = add_child(std::make_unique<Linear>(name + ".proj", hidden,

@@ -16,11 +16,18 @@
 
 namespace ssdtrain::modules {
 
-/// Fused attention over a combined qkv tensor [s, b, 3h/t] -> [s, b, h/t].
+/// Number of key/value feature channels: hidden * kv_heads / heads.
+/// kv_heads = 0 (multi-head attention) yields the full hidden size.
+std::int64_t kv_hidden_size(std::int64_t hidden, std::int64_t heads,
+                            std::int64_t kv_heads);
+
+/// Fused attention over a combined qkv tensor [s, b, (h + 2*h_kv)/t] ->
+/// [s, b, h/t]. kv_heads < heads is grouped-query attention: the K/V
+/// planes shrink while the query-side compute is unchanged.
 class FlashAttentionCore : public Module {
  public:
   FlashAttentionCore(std::string name, std::int64_t hidden,
-                     std::int64_t heads, bool causal);
+                     std::int64_t heads, std::int64_t kv_heads, bool causal);
 
  protected:
   tensor::Tensor forward_impl(ExecutionContext& ctx,
@@ -31,6 +38,7 @@ class FlashAttentionCore : public Module {
  private:
   std::int64_t hidden_;
   std::int64_t heads_;
+  std::int64_t kv_hidden_;
   bool causal_;
 };
 
@@ -39,7 +47,7 @@ class FlashAttentionCore : public Module {
 class UnfusedAttentionCore : public Module {
  public:
   UnfusedAttentionCore(std::string name, std::int64_t hidden,
-                       std::int64_t heads, bool causal,
+                       std::int64_t heads, std::int64_t kv_heads, bool causal,
                        double dropout_probability = 0.1);
 
  protected:
@@ -51,16 +59,18 @@ class UnfusedAttentionCore : public Module {
  private:
   std::int64_t hidden_;
   std::int64_t heads_;
+  std::int64_t kv_hidden_;
   bool causal_;
   double dropout_probability_;
 };
 
 /// Full self-attention block: column-parallel QKV projection, core,
-/// row-parallel output projection, dropout.
+/// row-parallel output projection, dropout. kv_heads = 0 is classic MHA;
+/// 0 < kv_heads < heads is grouped-query attention.
 class SelfAttention : public Module {
  public:
   SelfAttention(std::string name, std::int64_t hidden, std::int64_t heads,
-                bool causal, bool flash_attention,
+                std::int64_t kv_heads, bool causal, bool flash_attention,
                 double dropout_probability = 0.1);
 
   [[nodiscard]] double parameter_count(int tp) const;
@@ -109,6 +119,7 @@ class CrossAttentionCore : public Module {
 class CrossAttention : public Module {
  public:
   CrossAttention(std::string name, std::int64_t hidden, std::int64_t heads,
+                 std::int64_t kv_heads = 0,
                  double dropout_probability = 0.1);
 
   void set_memory(tensor::Tensor memory) { memory_ = std::move(memory); }

@@ -9,16 +9,15 @@ using tensor::DType;
 using tensor::Tensor;
 using tensor::TensorShape;
 
-std::string_view to_string(Architecture arch) {
-  switch (arch) {
-    case Architecture::bert:
-      return "BERT";
-    case Architecture::gpt:
-      return "GPT";
-    case Architecture::t5:
-      return "T5";
-  }
-  return "?";
+workload::WorkloadSpec ModelConfig::resolved_workload() const {
+  util::expects(layers >= 1, "need at least one layer");
+  workload::WorkloadSpec spec =
+      workload.empty() ? workload::WorkloadSpec::single_stack(layers, false)
+                       : workload;
+  util::expects(spec.total_layers() == layers,
+                "workload layer counts disagree with ModelConfig::layers");
+  spec.validate(heads);
+  return spec;
 }
 
 namespace {
@@ -29,13 +28,11 @@ std::int64_t pad_vocab(std::int64_t vocab) {
   return (vocab + kPad - 1) / kPad * kPad;
 }
 
-ModelConfig base_config(Architecture arch, std::string name,
-                        std::int64_t hidden, int layers,
+ModelConfig base_config(std::string name, std::int64_t hidden, int layers,
                         std::int64_t micro_batch, std::int64_t vocab) {
   util::expects(hidden % 128 == 0, "hidden must be a multiple of 128");
   util::expects(layers >= 1, "need at least one layer");
   ModelConfig cfg;
-  cfg.arch = arch;
   cfg.name = std::move(name);
   cfg.hidden = hidden;
   cfg.layers = layers;
@@ -50,20 +47,59 @@ ModelConfig base_config(Architecture arch, std::string name,
 
 ModelConfig bert_config(std::int64_t hidden, int layers,
                         std::int64_t micro_batch) {
-  return base_config(Architecture::bert, "BERT", hidden, layers, micro_batch,
-                     30522);
+  ModelConfig cfg = base_config("BERT", hidden, layers, micro_batch, 30522);
+  cfg.workload = workload::WorkloadSpec::single_stack(layers,
+                                                      /*causal=*/false);
+  return cfg;
 }
 
 ModelConfig gpt_config(std::int64_t hidden, int layers,
                        std::int64_t micro_batch) {
-  return base_config(Architecture::gpt, "GPT", hidden, layers, micro_batch,
-                     50257);
+  ModelConfig cfg = base_config("GPT", hidden, layers, micro_batch, 50257);
+  cfg.workload = workload::WorkloadSpec::single_stack(layers,
+                                                      /*causal=*/true);
+  return cfg;
 }
 
 ModelConfig t5_config(std::int64_t hidden, int layers,
                       std::int64_t micro_batch) {
-  return base_config(Architecture::t5, "T5", hidden, layers, micro_batch,
-                     32128);
+  ModelConfig cfg = base_config("T5", hidden, layers, micro_batch, 32128);
+  // "The number of decoders is half of the total number of layers, rounded
+  // down" (paper §IV-A).
+  const int decoders = layers / 2;
+  cfg.workload =
+      workload::WorkloadSpec::encoder_decoder(layers - decoders, decoders);
+  return cfg;
+}
+
+ModelConfig gpt_moe_config(std::int64_t hidden, int layers,
+                           std::int64_t micro_batch, int num_experts,
+                           int top_k, int expert_parallel,
+                           double capacity_factor) {
+  ModelConfig cfg =
+      base_config("GPT-MoE", hidden, layers, micro_batch, 50257);
+  cfg.workload = workload::WorkloadSpec::single_stack(layers,
+                                                      /*causal=*/true);
+  workload::FfnSpec& ffn = cfg.workload.layers.front().ffn;
+  ffn.num_experts = num_experts;
+  ffn.top_k = top_k;
+  ffn.expert_parallel = expert_parallel;
+  ffn.capacity_factor = capacity_factor;
+  return cfg;
+}
+
+ModelConfig gpt_gqa_config(std::int64_t hidden, int layers,
+                           std::int64_t micro_batch, std::int64_t kv_heads) {
+  ModelConfig cfg =
+      base_config("GPT-GQA", hidden, layers, micro_batch, 50257);
+  if (kv_heads <= 0) {
+    // The common 8:1 grouping (e.g. Llama-2-70B's 64q/8kv).
+    kv_heads = cfg.heads >= 8 ? cfg.heads / 8 : 1;
+  }
+  cfg.workload = workload::WorkloadSpec::single_stack(layers,
+                                                      /*causal=*/true);
+  cfg.workload.layers.front().attention.kv_heads = kv_heads;
+  return cfg;
 }
 
 // ---------------------------------------------------------------------------
@@ -72,19 +108,21 @@ ModelConfig t5_config(std::int64_t hidden, int layers,
 
 StackModel::StackModel(ModelConfig config) : Model(std::move(config)) {
   const auto& cfg = this->config();
-  util::expects(cfg.arch == Architecture::bert ||
-                    cfg.arch == Architecture::gpt,
-                "StackModel is for single-stack architectures");
-  const bool causal = cfg.arch == Architecture::gpt;
+  const workload::WorkloadSpec spec = cfg.resolved_workload();
+  util::expects(!spec.has_cross_attention(),
+                "StackModel is for single-stack workloads");
   embedding_ = std::make_unique<Embedding>("embedding", cfg.vocab,
                                            cfg.hidden);
   layers_.reserve(static_cast<std::size_t>(cfg.layers));
-  for (int i = 0; i < cfg.layers; ++i) {
-    layers_.push_back(std::make_unique<TransformerLayer>(
-        util::label("layer", i), cfg.hidden, cfg.heads, causal,
-        cfg.flash_attention, cfg.dropout));
-    gates_.push_back(std::make_unique<CheckpointGate>(
-        util::label("checkpoint", i)));
+  int index = 0;
+  for (const workload::LayerSpec& group : spec.layers) {
+    for (int i = 0; i < group.count; ++i, ++index) {
+      layers_.push_back(std::make_unique<TransformerLayer>(
+          util::label(group.label, index), cfg.hidden, cfg.heads,
+          group.attention, group.ffn, cfg.flash_attention, cfg.dropout));
+      gates_.push_back(std::make_unique<CheckpointGate>(
+          util::label("checkpoint", index)));
+    }
   }
   head_ = std::make_unique<LmHead>("head", cfg.hidden, cfg.vocab);
 }
@@ -166,26 +204,31 @@ double StackModel::parameter_count(int tp) const {
 
 T5Model::T5Model(ModelConfig config) : Model(std::move(config)) {
   const auto& cfg = this->config();
-  util::expects(cfg.arch == Architecture::t5, "T5Model is for T5");
-  // "The number of decoders is half of the total number of layers, rounded
-  // down" (paper §IV-A).
-  const int decoders = cfg.layers / 2;
-  const int encoders = cfg.layers - decoders;
+  const workload::WorkloadSpec spec = cfg.resolved_workload();
+  util::expects(spec.has_cross_attention(),
+                "T5Model needs a cross-attending decoder group");
   embedding_ = std::make_unique<Embedding>("embedding", cfg.vocab,
                                            cfg.hidden);
-  for (int i = 0; i < encoders; ++i) {
-    encoders_.push_back(std::make_unique<TransformerLayer>(
-        util::label("encoder", i), cfg.hidden, cfg.heads,
-        /*causal=*/false, cfg.flash_attention, cfg.dropout));
-    encoder_gates_.push_back(std::make_unique<CheckpointGate>(
-        util::label("enc_checkpoint", i)));
-  }
-  for (int i = 0; i < decoders; ++i) {
-    decoders_.push_back(std::make_unique<T5DecoderLayer>(
-        util::label("decoder", i), cfg.hidden, cfg.heads,
-        cfg.flash_attention, cfg.dropout));
-    decoder_gates_.push_back(std::make_unique<CheckpointGate>(
-        util::label("dec_checkpoint", i)));
+  int enc_index = 0;
+  int dec_index = 0;
+  for (const workload::LayerSpec& group : spec.layers) {
+    for (int i = 0; i < group.count; ++i) {
+      if (group.attention.cross_attention) {
+        decoders_.push_back(std::make_unique<TransformerLayer>(
+            util::label(group.label, dec_index), cfg.hidden, cfg.heads,
+            group.attention, group.ffn, cfg.flash_attention, cfg.dropout));
+        decoder_gates_.push_back(std::make_unique<CheckpointGate>(
+            util::label("dec_checkpoint", dec_index)));
+        ++dec_index;
+      } else {
+        encoders_.push_back(std::make_unique<TransformerLayer>(
+            util::label(group.label, enc_index), cfg.hidden, cfg.heads,
+            group.attention, group.ffn, cfg.flash_attention, cfg.dropout));
+        encoder_gates_.push_back(std::make_unique<CheckpointGate>(
+            util::label("enc_checkpoint", enc_index)));
+        ++enc_index;
+      }
+    }
   }
   memory_gate_ = std::make_unique<CheckpointGate>("memory_checkpoint");
   head_ = std::make_unique<LmHead>("head", cfg.hidden, cfg.vocab);
@@ -308,14 +351,10 @@ double T5Model::parameter_count(int tp) const {
 // ---------------------------------------------------------------------------
 
 std::unique_ptr<Model> build_model(const ModelConfig& config) {
-  switch (config.arch) {
-    case Architecture::bert:
-    case Architecture::gpt:
-      return std::make_unique<StackModel>(config);
-    case Architecture::t5:
-      return std::make_unique<T5Model>(config);
+  if (config.resolved_workload().has_cross_attention()) {
+    return std::make_unique<T5Model>(config);
   }
-  util::unreachable("unknown architecture");
+  return std::make_unique<StackModel>(config);
 }
 
 }  // namespace ssdtrain::modules

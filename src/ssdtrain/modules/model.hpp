@@ -1,11 +1,13 @@
 #pragma once
 
 /// \file model.hpp
-/// Whole-model assemblies for the three architectures the paper evaluates
-/// (§IV-A): BERT (encoder-only), GPT (decoder-only), and T5
-/// (encoder-decoder, with the number of decoders equal to half the total
-/// layer count, rounded down). Hyperparameters follow the paper: attention
-/// head dimension 128, sequence length 1024, FP16, FlashAttention-2 on by
+/// Whole-model assemblies. The three architectures the paper evaluates
+/// (§IV-A) — BERT (encoder-only), GPT (decoder-only), and T5
+/// (encoder-decoder, decoders = floor(layers/2)) — plus the MoE and GQA
+/// decoder variants, are all expressed as WorkloadSpec layer compositions:
+/// the factories fill in the spec and every module is built by folding over
+/// its layer groups. Hyperparameters follow the paper: attention head
+/// dimension 128, sequence length 1024, FP16, FlashAttention-2 on by
 /// default.
 
 #include <cstdint>
@@ -18,16 +20,12 @@
 #include "ssdtrain/modules/checkpoint.hpp"
 #include "ssdtrain/modules/ops.hpp"
 #include "ssdtrain/modules/transformer.hpp"
+#include "ssdtrain/workload/spec.hpp"
 
 namespace ssdtrain::modules {
 
-enum class Architecture : std::uint8_t { bert, gpt, t5 };
-
-std::string_view to_string(Architecture arch);
-
 struct ModelConfig {
-  Architecture arch = Architecture::gpt;
-  std::string name;
+  std::string name = "model";
   std::int64_t hidden = 0;
   int layers = 0;  ///< total transformer layers (T5: encoders + decoders)
   std::int64_t heads = 0;
@@ -36,8 +34,15 @@ struct ModelConfig {
   std::int64_t micro_batch = 1;
   bool flash_attention = true;
   double dropout = 0.1;
+  /// Layer composition. When left empty (hand-built configs), it resolves
+  /// to a uniform bidirectional single stack of `layers` dense MHA layers.
+  workload::WorkloadSpec workload;
 
   [[nodiscard]] std::int64_t head_dim() const { return hidden / heads; }
+
+  /// The workload spec with the empty-spec default applied and layer
+  /// counts checked against `layers`.
+  [[nodiscard]] workload::WorkloadSpec resolved_workload() const;
 };
 
 /// Typical hyperparameters for the paper's sweep: heads = hidden/128,
@@ -48,6 +53,23 @@ ModelConfig gpt_config(std::int64_t hidden, int layers,
                        std::int64_t micro_batch);
 ModelConfig t5_config(std::int64_t hidden, int layers,
                       std::int64_t micro_batch);
+
+/// GPT stack whose FFNs are mixture-of-experts layers: every token routes
+/// to `top_k` of `num_experts` experts, inflated by `capacity_factor` and
+/// sharded `expert_parallel` ways. Expert activations stress the offload
+/// path asymmetrically: per-GPU FFN bytes scale with top_k/EP.
+ModelConfig gpt_moe_config(std::int64_t hidden, int layers,
+                           std::int64_t micro_batch, int num_experts,
+                           int top_k, int expert_parallel = 1,
+                           double capacity_factor = 1.0);
+
+/// GPT stack with grouped-query attention: `kv_heads` key/value heads
+/// shared across the query heads (kv_heads = 0 picks heads/8, the common
+/// 8:1 grouping). Shrinks the saved QKV activations and the KV projection
+/// weights.
+ModelConfig gpt_gqa_config(std::int64_t hidden, int layers,
+                           std::int64_t micro_batch,
+                           std::int64_t kv_heads = 0);
 
 class Model {
  public:
@@ -82,7 +104,8 @@ class Model {
   ModelConfig config_;
 };
 
-/// Single-stack model shared by BERT (bidirectional) and GPT (causal).
+/// Single-stack model (BERT/GPT and their MoE/GQA variants): embedding,
+/// the spec's layer groups in order, LM head.
 class StackModel : public Model {
  public:
   explicit StackModel(ModelConfig config);
@@ -103,7 +126,9 @@ class StackModel : public Model {
   std::vector<std::unique_ptr<CheckpointGate>> gates_;
 };
 
-/// Encoder-decoder model (T5): decoders = floor(layers/2), encoders = rest.
+/// Encoder-decoder model (the T5 shape): the spec's non-cross groups form
+/// the encoder stack producing the shared memory; its cross-attention
+/// groups form the decoder stack.
 class T5Model : public Model {
  public:
   explicit T5Model(ModelConfig config);
@@ -124,14 +149,15 @@ class T5Model : public Model {
  private:
   std::unique_ptr<Embedding> embedding_;
   std::vector<std::unique_ptr<TransformerLayer>> encoders_;
-  std::vector<std::unique_ptr<T5DecoderLayer>> decoders_;
+  std::vector<std::unique_ptr<TransformerLayer>> decoders_;
   std::unique_ptr<LmHead> head_;
   std::vector<std::unique_ptr<CheckpointGate>> encoder_gates_;
   std::vector<std::unique_ptr<CheckpointGate>> decoder_gates_;
   std::unique_ptr<CheckpointGate> memory_gate_;
 };
 
-/// Builds the right Model subclass for the config's architecture.
+/// Builds the right Model subclass for the config's workload: any
+/// cross-attention group selects the encoder-decoder topology.
 std::unique_ptr<Model> build_model(const ModelConfig& config);
 
 }  // namespace ssdtrain::modules

@@ -1,0 +1,214 @@
+#include "ssdtrain/modules/moe.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::modules {
+
+namespace {
+
+using tensor::DType;
+using tensor::Tensor;
+using tensor::TensorShape;
+
+std::int64_t shard(std::int64_t features, int tp) {
+  util::expects(features % tp == 0, "feature dim not divisible by TP degree");
+  return features / tp;
+}
+
+}  // namespace
+
+MoeMlp::MoeMlp(std::string name, std::int64_t hidden, std::int64_t ffn_hidden,
+               workload::FfnSpec spec, double dropout_probability)
+    : Module(name),
+      hidden_(hidden),
+      ffn_hidden_(ffn_hidden),
+      spec_(spec) {
+  util::expects(spec_.moe(), "MoeMlp needs num_experts > 1");
+  util::expects(spec_.num_experts % spec_.expert_parallel == 0,
+                "expert_parallel must divide num_experts");
+  router_ = add_child(std::make_unique<Linear>(
+      name + ".router", hidden, spec_.num_experts, TpMode::none));
+  gelu_ = add_child(std::make_unique<Gelu>(name + ".gelu"));
+  dropout_ = add_child(
+      std::make_unique<Dropout>(name + ".dropout", dropout_probability));
+}
+
+std::int64_t MoeMlp::local_experts() const {
+  return spec_.num_experts / spec_.expert_parallel;
+}
+
+double MoeMlp::parameter_count(int tp) const {
+  const double expert =
+      2.0 * static_cast<double>(hidden_) * static_cast<double>(ffn_hidden_) /
+      static_cast<double>(tp);
+  return router_->parameter_count(tp) +
+         static_cast<double>(local_experts()) * expert;
+}
+
+tensor::Tensor MoeMlp::forward_impl(ExecutionContext& ctx,
+                                    const tensor::Tensor& input) {
+  const int tp = ctx.parallel().tensor_parallel;
+  const std::int64_t s = input.shape().dim(0);
+  const std::int64_t b = input.shape().dim(1);
+  util::expects(input.shape().dim(2) == hidden_, "moe input feature mismatch");
+  const std::int64_t s_e = spec_.routed_tokens(s);
+  const std::int64_t ffn_local = shard(ffn_hidden_, tp);
+  const std::int64_t e_local = local_experts();
+
+  // Router scores (the router's own input is saved by the Linear child).
+  Tensor logits = router_->forward(ctx, input);
+
+  auto& node = ctx.make_node(name() + "::MoeBWD");
+
+  // Top-k assignment: per-token expert ids + gate probabilities. Small
+  // (s*b*top_k elements), so the pack hook passes it through (Alg. 1
+  // line 2) and backward reads it straight off the graph.
+  Tensor route = ctx.make_activation(
+      name() + ".route", TensorShape{s, b, 2 * spec_.top_k}, DType::fp32);
+  ctx.kernel(name() + "::topk", 5.0 * static_cast<double>(logits.numel()),
+             logits.bytes(), route.bytes(), {logits});
+  node.save(route, ctx.hooks());
+
+  // Dispatch (all-to-all across the EP group): gather the routed copies of
+  // every token into the expert-ordered stream.
+  Tensor expert_in = ctx.make_activation(
+      name() + ".expert_in", TensorShape{s_e, b, hidden_}, input.dtype());
+  ctx.kernel(name() + "::dispatch",
+             static_cast<double>(expert_in.numel()),
+             input.bytes() + route.bytes(), expert_in.bytes(),
+             {input, route});
+  node.save(expert_in, ctx.hooks());
+
+  // Expert FC1 (column parallel): block-diagonal GEMM — each routed token
+  // hits exactly one expert's weight, so the FLOPs match a dense GEMM over
+  // the routed stream while the weight traffic streams all local experts.
+  Tensor w1 = ctx.weight(name() + ".experts.fc1",
+                         TensorShape{e_local * hidden_, ffn_local},
+                         input.dtype());
+  Tensor h1 = ctx.make_activation(name() + ".fc1.out",
+                                  TensorShape{s_e, b, ffn_local},
+                                  input.dtype());
+  const double fc1_flops = 2.0 * static_cast<double>(s_e) *
+                           static_cast<double>(b) *
+                           static_cast<double>(hidden_) *
+                           static_cast<double>(ffn_local);
+  ctx.kernel(name() + "::experts_fc1", fc1_flops,
+             expert_in.bytes() + w1.bytes(), h1.bytes(), {expert_in});
+
+  Tensor h2 = gelu_->forward(ctx, h1);  // saves h1
+
+  // Expert FC2 (row parallel).
+  Tensor w2 = ctx.weight(name() + ".experts.fc2",
+                         TensorShape{e_local * ffn_local, hidden_},
+                         input.dtype());
+  Tensor expert_out = ctx.make_activation(
+      name() + ".fc2.out", TensorShape{s_e, b, hidden_}, input.dtype());
+  ctx.kernel(name() + "::experts_fc2", fc1_flops,
+             h2.bytes() + w2.bytes(), expert_out.bytes(), {h2});
+  if (ctx.parallel().tensor_parallel > 1) {
+    ctx.tp_all_reduce(expert_out.bytes());
+  }
+  node.save(h2, ctx.hooks());
+
+  // Combine (the return all-to-all): gate-weighted sum of each token's
+  // top-k expert outputs back into the residual stream.
+  Tensor out = ctx.make_activation(name() + ".combined",
+                                   TensorShape{s, b, hidden_},
+                                   input.dtype());
+  ctx.kernel(name() + "::combine",
+             2.0 * static_cast<double>(expert_out.numel()),
+             expert_out.bytes() + route.bytes(), out.bytes(),
+             {expert_out, route});
+
+  auto& st = state(ctx);
+  st.nodes.push_back(&node);
+  st.shapes.push_back(input.shape());
+  st.shapes.push_back(expert_in.shape());
+
+  return dropout_->forward(ctx, out);
+}
+
+tensor::Tensor MoeMlp::backward_impl(ExecutionContext& ctx,
+                                     const tensor::Tensor& grad_output) {
+  auto& st = state(ctx);
+  util::expects(!st.nodes.empty(), "backward without forward");
+  graph::GraphNode& node = *st.nodes.back();
+  const TensorShape expert_shape = st.shapes.back();
+  st.shapes.pop_back();
+  const TensorShape input_shape = st.shapes.back();
+  st.shapes.pop_back();
+  st.nodes.pop_back();
+  if (st.nodes.empty()) clear_state(ctx);
+
+  const int tp = ctx.parallel().tensor_parallel;
+  const std::int64_t s_e = expert_shape.dim(0);
+  const std::int64_t b = expert_shape.dim(1);
+  const std::int64_t ffn_local = shard(ffn_hidden_, tp);
+  const std::int64_t e_local = local_experts();
+
+  Tensor g = dropout_->backward(ctx, grad_output);
+
+  Tensor route = node.unpack(0, ctx.hooks());
+  Tensor expert_in = node.unpack(1, ctx.hooks());
+  Tensor h2 = node.unpack(2, ctx.hooks());
+  Tensor w1 = ctx.weight(name() + ".experts.fc1",
+                         TensorShape{e_local * hidden_, ffn_local},
+                         g.dtype());
+  Tensor w2 = ctx.weight(name() + ".experts.fc2",
+                         TensorShape{e_local * ffn_local, hidden_},
+                         g.dtype());
+
+  // Combine backward: scatter the residual-stream gradient back onto the
+  // expert-ordered stream (and the gate gradient onto the router scores).
+  Tensor d_expert_out = ctx.make_activation(
+      name() + ".dfc2.out", TensorShape{s_e, b, hidden_}, g.dtype());
+  Tensor d_logits = ctx.make_activation(
+      name() + ".dlogits", TensorShape{input_shape.dim(0), b,
+                                       spec_.num_experts},
+      g.dtype());
+  ctx.kernel(name() + "::combine_bwd",
+             2.0 * static_cast<double>(d_expert_out.numel()),
+             g.bytes() + route.bytes(),
+             d_expert_out.bytes() + d_logits.bytes(), {g, route});
+
+  const double gemm_flops = 2.0 * static_cast<double>(s_e) *
+                            static_cast<double>(b) *
+                            static_cast<double>(hidden_) *
+                            static_cast<double>(ffn_local);
+  // FC2 backward: dX = dY W^T, dW = X^T dY.
+  Tensor d_h2 = ctx.make_activation(name() + ".dgelu.out",
+                                    TensorShape{s_e, b, ffn_local},
+                                    g.dtype());
+  ctx.kernel(name() + "::experts_fc2_dgrad", gemm_flops,
+             d_expert_out.bytes() + w2.bytes(), d_h2.bytes(),
+             {d_expert_out, w2});
+  ctx.kernel(name() + "::experts_fc2_wgrad", gemm_flops,
+             h2.bytes() + d_expert_out.bytes(), w2.bytes(),
+             {h2, d_expert_out});
+
+  Tensor d_h1 = gelu_->backward(ctx, d_h2);
+
+  // FC1 backward; column-parallel input gradients need the TP reduction.
+  Tensor d_expert_in = ctx.make_activation(name() + ".dexpert_in",
+                                           expert_shape, g.dtype());
+  ctx.kernel(name() + "::experts_fc1_dgrad", gemm_flops,
+             d_h1.bytes() + w1.bytes(), d_expert_in.bytes(), {d_h1, w1});
+  ctx.kernel(name() + "::experts_fc1_wgrad", gemm_flops,
+             expert_in.bytes() + d_h1.bytes(), w1.bytes(),
+             {expert_in, d_h1});
+  if (tp > 1) ctx.tp_all_reduce(d_expert_in.bytes());
+
+  // Dispatch backward: sum each token's routed-copy gradients.
+  Tensor d_dispatched = ctx.make_activation(name() + ".ddispatch",
+                                            input_shape, g.dtype());
+  ctx.kernel(name() + "::dispatch_bwd",
+             static_cast<double>(d_expert_in.numel()),
+             d_expert_in.bytes() + route.bytes(), d_dispatched.bytes(),
+             {d_expert_in, route});
+  node.clear();
+
+  Tensor d_router_in = router_->backward(ctx, d_logits);
+  return residual_add(ctx, name() + ".dinput", d_dispatched, d_router_in);
+}
+
+}  // namespace ssdtrain::modules

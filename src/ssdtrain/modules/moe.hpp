@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file moe.hpp
+/// Mixture-of-experts FFN block. A replicated router scores every token,
+/// the top-k assignments (inflated by the capacity factor) are dispatched
+/// to the expert group — per-GPU the routed-token stream is
+/// top_k * capacity / expert_parallel times the dense stream — and the
+/// expert outputs are combined back into the residual stream. The expert
+/// FC weights are tensor-parallel like a dense MLP and expert-parallel
+/// across EP ranks; dispatch/combine traffic rides in the kernels' byte
+/// counts. The routed-token activations (expert input, FC1 output, GeLU
+/// output) are what stress the offload path asymmetrically.
+
+#include <cstdint>
+#include <string>
+
+#include "ssdtrain/modules/module.hpp"
+#include "ssdtrain/modules/ops.hpp"
+#include "ssdtrain/workload/spec.hpp"
+
+namespace ssdtrain::modules {
+
+class MoeMlp : public Module {
+ public:
+  MoeMlp(std::string name, std::int64_t hidden, std::int64_t ffn_hidden,
+         workload::FfnSpec spec, double dropout_probability = 0.1);
+
+  [[nodiscard]] const workload::FfnSpec& spec() const { return spec_; }
+
+  /// Experts resident on this GPU (num_experts / expert_parallel).
+  [[nodiscard]] std::int64_t local_experts() const;
+
+  [[nodiscard]] double parameter_count(int tp) const;
+
+ protected:
+  tensor::Tensor forward_impl(ExecutionContext& ctx,
+                              const tensor::Tensor& input) override;
+  tensor::Tensor backward_impl(ExecutionContext& ctx,
+                               const tensor::Tensor& grad_output) override;
+
+ private:
+  std::int64_t hidden_;
+  std::int64_t ffn_hidden_;
+  workload::FfnSpec spec_;
+  Linear* router_;
+  Gelu* gelu_;
+  Dropout* dropout_;
+};
+
+}  // namespace ssdtrain::modules

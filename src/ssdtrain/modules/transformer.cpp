@@ -45,110 +45,96 @@ Tensor Mlp::backward_impl(ExecutionContext& ctx, const Tensor& grad_output) {
 // ---------------------------------------------------------------------------
 
 TransformerLayer::TransformerLayer(std::string name, std::int64_t hidden,
-                                   std::int64_t heads, bool causal,
+                                   std::int64_t heads,
+                                   const workload::AttentionSpec& attention,
+                                   const workload::FfnSpec& ffn,
                                    bool flash_attention,
                                    double dropout_probability)
     : Module(name) {
+  const bool flash = attention.flash.value_or(flash_attention);
   ln1_ = add_child(std::make_unique<LayerNorm>(name + ".ln1", hidden));
   attention_ = add_child(std::make_unique<SelfAttention>(
-      name + ".attn", hidden, heads, causal, flash_attention,
-      dropout_probability));
+      name + ".attn", hidden, heads, attention.kv_heads, attention.causal,
+      flash, dropout_probability));
+  if (attention.cross_attention) {
+    ln_cross_ =
+        add_child(std::make_unique<LayerNorm>(name + ".ln_cross", hidden));
+    cross_attention_ = add_child(std::make_unique<CrossAttention>(
+        name + ".cross_attn", hidden, heads, attention.kv_heads,
+        dropout_probability));
+  }
   ln2_ = add_child(std::make_unique<LayerNorm>(name + ".ln2", hidden));
-  mlp_ = add_child(std::make_unique<Mlp>(name + ".mlp", hidden, 4 * hidden,
-                                         dropout_probability));
+  // The FFN block is the layer's last child on purpose: the executor's
+  // keep-last-module rule (paper Fig. 2 (4)) pins children().back().
+  if (ffn.moe()) {
+    moe_ = add_child(std::make_unique<MoeMlp>(name + ".moe", hidden,
+                                              4 * hidden, ffn,
+                                              dropout_probability));
+  } else {
+    mlp_ = add_child(std::make_unique<Mlp>(name + ".mlp", hidden, 4 * hidden,
+                                           dropout_probability));
+  }
+}
+
+void TransformerLayer::set_encoder_memory(tensor::Tensor memory) {
+  util::expects(cross_attention_ != nullptr,
+                "layer has no cross-attention block");
+  cross_attention_->set_memory(std::move(memory));
+}
+
+tensor::Tensor TransformerLayer::take_encoder_memory_grad() {
+  util::expects(cross_attention_ != nullptr,
+                "layer has no cross-attention block");
+  return cross_attention_->take_memory_grad();
 }
 
 double TransformerLayer::parameter_count(int tp) const {
-  return ln1_->parameter_count() + attention_->parameter_count(tp) +
-         ln2_->parameter_count() + mlp_->parameter_count(tp);
+  double params = ln1_->parameter_count() + attention_->parameter_count(tp) +
+                  ln2_->parameter_count();
+  if (cross_attention_ != nullptr) {
+    params += ln_cross_->parameter_count() +
+              cross_attention_->parameter_count(tp);
+  }
+  params += mlp_ != nullptr ? mlp_->parameter_count(tp)
+                            : moe_->parameter_count(tp);
+  return params;
 }
 
 Tensor TransformerLayer::forward_impl(ExecutionContext& ctx,
                                       const Tensor& input) {
   Tensor h = ln1_->forward(ctx, input);
   h = attention_->forward(ctx, h);
-  Tensor x2 = residual_add(ctx, name() + ".res1", h, input);
-  h = ln2_->forward(ctx, x2);
-  h = mlp_->forward(ctx, h);
-  return residual_add(ctx, name() + ".res2", h, x2);
+  Tensor x = residual_add(ctx, name() + ".res1", h, input);
+
+  if (cross_attention_ != nullptr) {
+    h = ln_cross_->forward(ctx, x);
+    h = cross_attention_->forward(ctx, h);
+    x = residual_add(ctx, name() + ".res_cross", h, x);
+  }
+
+  h = ln2_->forward(ctx, x);
+  h = mlp_ != nullptr ? mlp_->forward(ctx, h) : moe_->forward(ctx, h);
+  return residual_add(ctx, name() + ".res2", h, x);
 }
 
 Tensor TransformerLayer::backward_impl(ExecutionContext& ctx,
                                        const Tensor& grad_output) {
-  // y = x2 + MLP(LN2(x2)); dy flows to both the MLP branch and the skip.
-  Tensor g = mlp_->backward(ctx, grad_output);
+  // y = x + FFN(LN2(x)); dy flows to both the FFN branch and the skip.
+  Tensor g = mlp_ != nullptr ? mlp_->backward(ctx, grad_output)
+                             : moe_->backward(ctx, grad_output);
   g = ln2_->backward(ctx, g);
-  Tensor d_x2 = residual_add(ctx, name() + ".dres2", g, grad_output);
-  // x2 = x + Attn(LN1(x)).
-  g = attention_->backward(ctx, d_x2);
+  Tensor d_x = residual_add(ctx, name() + ".dres2", g, grad_output);
+
+  if (cross_attention_ != nullptr) {
+    g = cross_attention_->backward(ctx, d_x);
+    g = ln_cross_->backward(ctx, g);
+    d_x = residual_add(ctx, name() + ".dres_cross", g, d_x);
+  }
+
+  // x = input + Attn(LN1(input)).
+  g = attention_->backward(ctx, d_x);
   g = ln1_->backward(ctx, g);
-  return residual_add(ctx, name() + ".dres1", g, d_x2);
-}
-
-// ---------------------------------------------------------------------------
-// T5DecoderLayer
-// ---------------------------------------------------------------------------
-
-T5DecoderLayer::T5DecoderLayer(std::string name, std::int64_t hidden,
-                               std::int64_t heads, bool flash_attention,
-                               double dropout_probability)
-    : Module(name) {
-  ln1_ = add_child(std::make_unique<LayerNorm>(name + ".ln1", hidden));
-  self_attention_ = add_child(std::make_unique<SelfAttention>(
-      name + ".self_attn", hidden, heads, /*causal=*/true, flash_attention,
-      dropout_probability));
-  ln_cross_ =
-      add_child(std::make_unique<LayerNorm>(name + ".ln_cross", hidden));
-  cross_attention_ = add_child(std::make_unique<CrossAttention>(
-      name + ".cross_attn", hidden, heads, dropout_probability));
-  ln2_ = add_child(std::make_unique<LayerNorm>(name + ".ln2", hidden));
-  mlp_ = add_child(std::make_unique<Mlp>(name + ".mlp", hidden, 4 * hidden,
-                                         dropout_probability));
-}
-
-void T5DecoderLayer::set_encoder_memory(tensor::Tensor memory) {
-  cross_attention_->set_memory(std::move(memory));
-}
-
-tensor::Tensor T5DecoderLayer::take_encoder_memory_grad() {
-  return cross_attention_->take_memory_grad();
-}
-
-double T5DecoderLayer::parameter_count(int tp) const {
-  return ln1_->parameter_count() + self_attention_->parameter_count(tp) +
-         ln_cross_->parameter_count() +
-         cross_attention_->parameter_count(tp) + ln2_->parameter_count() +
-         mlp_->parameter_count(tp);
-}
-
-Tensor T5DecoderLayer::forward_impl(ExecutionContext& ctx,
-                                    const Tensor& input) {
-  Tensor h = ln1_->forward(ctx, input);
-  h = self_attention_->forward(ctx, h);
-  Tensor x2 = residual_add(ctx, name() + ".res1", h, input);
-
-  h = ln_cross_->forward(ctx, x2);
-  h = cross_attention_->forward(ctx, h);
-  Tensor x3 = residual_add(ctx, name() + ".res_cross", h, x2);
-
-  h = ln2_->forward(ctx, x3);
-  h = mlp_->forward(ctx, h);
-  return residual_add(ctx, name() + ".res2", h, x3);
-}
-
-Tensor T5DecoderLayer::backward_impl(ExecutionContext& ctx,
-                                     const Tensor& grad_output) {
-  Tensor g = mlp_->backward(ctx, grad_output);
-  g = ln2_->backward(ctx, g);
-  Tensor d_x3 = residual_add(ctx, name() + ".dres2", g, grad_output);
-
-  g = cross_attention_->backward(ctx, d_x3);
-  g = ln_cross_->backward(ctx, g);
-  Tensor d_x2 = residual_add(ctx, name() + ".dres_cross", g, d_x3);
-
-  g = self_attention_->backward(ctx, d_x2);
-  g = ln1_->backward(ctx, g);
-  return residual_add(ctx, name() + ".dres1", g, d_x2);
+  return residual_add(ctx, name() + ".dres1", g, d_x);
 }
 
 }  // namespace ssdtrain::modules

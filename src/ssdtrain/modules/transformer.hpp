@@ -1,17 +1,20 @@
 #pragma once
 
 /// \file transformer.hpp
-/// Transformer layer containers: the pre-LN layer used by BERT/GPT (and the
-/// T5 encoder), and the decoder variant with an extra cross-attention block
-/// (T5 decoder). These are the module scopes the tensor cache tracks and
-/// the units the "keep last module" rule and the recompute baseline operate
-/// on.
+/// Transformer layer container, built from a workload::LayerSpec: pre-LN
+/// self-attention (MHA or GQA, causal or bidirectional, flash or unfused),
+/// an optional cross-attention block over a shared encoder memory (the T5
+/// decoder shape), and a dense-MLP or mixture-of-experts FFN. These are the
+/// module scopes the tensor cache tracks and the units the "keep last
+/// module" rule and the recompute baseline operate on.
 
 #include <cstdint>
 
 #include "ssdtrain/modules/attention.hpp"
 #include "ssdtrain/modules/module.hpp"
+#include "ssdtrain/modules/moe.hpp"
 #include "ssdtrain/modules/ops.hpp"
+#include "ssdtrain/workload/spec.hpp"
 
 namespace ssdtrain::modules {
 
@@ -35,36 +38,23 @@ class Mlp : public Module {
   Dropout* dropout_;
 };
 
-/// Pre-LN transformer layer: x + Attn(LN(x)), then x + MLP(LN(x)).
+/// Pre-LN transformer layer: x + Attn(LN(x)) [+ xc + CrossAttn(LN(xc))],
+/// then x + FFN(LN(x)). The attention and FFN variants come from the
+/// LayerSpec; the keep-last-module unit is the final FFN block
+/// (children().back()).
 class TransformerLayer : public Module {
  public:
   TransformerLayer(std::string name, std::int64_t hidden, std::int64_t heads,
-                   bool causal, bool flash_attention,
+                   const workload::AttentionSpec& attention,
+                   const workload::FfnSpec& ffn, bool flash_attention,
                    double dropout_probability = 0.1);
 
-  [[nodiscard]] double parameter_count(int tp) const;
+  [[nodiscard]] bool has_cross_attention() const {
+    return cross_attention_ != nullptr;
+  }
 
- protected:
-  tensor::Tensor forward_impl(ExecutionContext& ctx,
-                              const tensor::Tensor& input) override;
-  tensor::Tensor backward_impl(ExecutionContext& ctx,
-                               const tensor::Tensor& grad_output) override;
-
- private:
-  LayerNorm* ln1_;
-  SelfAttention* attention_;
-  LayerNorm* ln2_;
-  Mlp* mlp_;
-};
-
-/// T5 decoder layer: self-attention (causal), cross-attention over the
-/// encoder memory, then the MLP.
-class T5DecoderLayer : public Module {
- public:
-  T5DecoderLayer(std::string name, std::int64_t hidden, std::int64_t heads,
-                 bool flash_attention, double dropout_probability = 0.1);
-
-  /// Encoder output for this micro-batch; must be set before forward.
+  /// Encoder output for this micro-batch; must be set before the forward
+  /// of a cross-attending layer.
   void set_encoder_memory(tensor::Tensor memory);
   /// Gradient flowing back into the encoder memory, valid after backward.
   tensor::Tensor take_encoder_memory_grad();
@@ -79,11 +69,12 @@ class T5DecoderLayer : public Module {
 
  private:
   LayerNorm* ln1_;
-  SelfAttention* self_attention_;
-  LayerNorm* ln_cross_;
-  CrossAttention* cross_attention_;
+  SelfAttention* attention_;
+  LayerNorm* ln_cross_ = nullptr;
+  CrossAttention* cross_attention_ = nullptr;
   LayerNorm* ln2_;
-  Mlp* mlp_;
+  Mlp* mlp_ = nullptr;        ///< dense FFN (exactly one of mlp_/moe_ set)
+  MoeMlp* moe_ = nullptr;     ///< mixture-of-experts FFN
 };
 
 }  // namespace ssdtrain::modules

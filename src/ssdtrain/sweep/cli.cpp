@@ -1,5 +1,6 @@
 #include "ssdtrain/sweep/cli.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <string_view>
@@ -7,6 +8,29 @@
 #include "ssdtrain/util/check.hpp"
 
 namespace ssdtrain::sweep {
+
+namespace {
+
+void parse_points_list(std::string_view list, CliOptions& options) {
+  util::expects(!list.empty(), "--points requires a=1[,b=2...]");
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string_view::npos) comma = list.size();
+    const std::string_view item = list.substr(start, comma - start);
+    const std::size_t eq = item.find('=');
+    util::expects(eq != std::string_view::npos && eq > 0 &&
+                      eq + 1 < item.size(),
+                  "--points entries must look like axis=value, got '" +
+                      std::string(item) + "'");
+    options.point_filter.emplace_back(std::string(item.substr(0, eq)),
+                                      std::string(item.substr(eq + 1)));
+    start = comma + 1;
+    if (comma == list.size()) break;
+  }
+}
+
+}  // namespace
 
 CliOptions parse_cli(int argc, char** argv) {
   CliOptions options;
@@ -29,14 +53,49 @@ CliOptions parse_cli(int argc, char** argv) {
       util::expects(i + 1 < argc, "--csv requires a path");
       options.csv_path = argv[++i];
       util::expects(!options.csv_path.empty(), "--csv path is empty");
+    } else if (arg == "--points") {
+      util::expects(i + 1 < argc, "--points requires a=1[,b=2...]");
+      parse_points_list(argv[++i], options);
     } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
-      util::expects(false, "unknown flag: " + std::string(arg) +
-                               " (supported: --workers N, --csv PATH)");
+      util::expects(false,
+                    "unknown flag: " + std::string(arg) +
+                        " (supported: --workers N, --csv PATH, "
+                        "--points a=1,b=2)");
     } else {
       options.positional.emplace_back(arg);
     }
   }
   return options;
+}
+
+bool matches_point_filter(const CliOptions& options,
+                          const SweepPoint& point) {
+  for (const auto& [axis, expected] : options.point_filter) {
+    // value() rejects unknown axis names (typo protection).
+    if (to_string(point.value(axis)) != expected) return false;
+  }
+  return true;
+}
+
+std::vector<SweepPoint> select_points(const SweepSpec& spec,
+                                      const CliOptions& options) {
+  std::vector<SweepPoint> points = spec.points();
+  if (!options.points_enabled()) return points;
+  const std::vector<std::string> names = spec.axis_names();
+  for (const auto& [axis, value] : options.point_filter) {
+    (void)value;
+    util::expects(std::find(names.begin(), names.end(), axis) != names.end(),
+                  "--points names unknown axis '" + axis + "'");
+  }
+  std::vector<SweepPoint> selected;
+  for (SweepPoint& point : points) {
+    if (matches_point_filter(options, point)) {
+      selected.push_back(std::move(point));
+    }
+  }
+  util::check(!selected.empty(),
+              "--points selection matches no grid cell");
+  return selected;
 }
 
 }  // namespace ssdtrain::sweep

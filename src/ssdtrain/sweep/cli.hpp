@@ -3,26 +3,50 @@
 /// \file cli.hpp
 /// Shared command-line handling for the sweep-driven bench and example
 /// binaries: every one of them accepts
-///   --workers N   worker threads for the SweepRunner (default: all cores)
-///   --csv PATH    dump the sweep's data series as CSV via util::CsvWriter
+///   --workers N         worker threads for the SweepRunner (default: all
+///                       cores)
+///   --csv PATH          dump the sweep's data series as CSV via
+///                       util::CsvWriter; when PATH already holds rows from
+///                       an earlier run, benches wired for resume skip the
+///                       completed points and append only the missing ones
+///   --points a=1,b=2    run only the grid cells whose coordinates match
+///                       every listed axis=value pair (repeatable; values
+///                       compare by their axis to_string form)
 /// plus its own positional arguments, which are passed through untouched.
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "ssdtrain/sweep/spec.hpp"
 
 namespace ssdtrain::sweep {
 
 struct CliOptions {
   std::size_t workers = 0;  ///< 0 = one worker per hardware thread
   std::string csv_path;     ///< empty = no CSV output
+  /// --points constraints, in order of appearance.
+  std::vector<std::pair<std::string, std::string>> point_filter;
   std::vector<std::string> positional;
 
   [[nodiscard]] bool csv_enabled() const { return !csv_path.empty(); }
+  [[nodiscard]] bool points_enabled() const { return !point_filter.empty(); }
 };
 
 /// Parses argv. Unknown "--flag" arguments are contract violations;
 /// anything else lands in `positional` in order.
 CliOptions parse_cli(int argc, char** argv);
+
+/// True when \p point satisfies every --points constraint (vacuously true
+/// without --points). Constraint keys must name axes of the point.
+bool matches_point_filter(const CliOptions& options, const SweepPoint& point);
+
+/// The spec's grid restricted to the --points selection; the whole grid
+/// when no --points was given. Constraint keys are validated against the
+/// spec's axis names, and an empty selection is a contract violation (the
+/// requested cell does not exist).
+std::vector<SweepPoint> select_points(const SweepSpec& spec,
+                                      const CliOptions& options);
 
 }  // namespace ssdtrain::sweep

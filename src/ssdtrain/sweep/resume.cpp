@@ -1,0 +1,93 @@
+#include "ssdtrain/sweep/resume.hpp"
+
+#include <fstream>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::sweep {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"' && cell.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+CsvResume::CsvResume(const std::string& path,
+                     std::vector<std::string> key_columns)
+    : key_columns_(std::move(key_columns)) {
+  util::expects(!key_columns_.empty(), "resume needs at least one key column");
+  std::ifstream in(path);
+  if (!in.good()) return;  // nothing to resume from
+  std::string line;
+  if (!std::getline(in, line)) return;  // empty file
+  const std::vector<std::string> header = split_csv_line(line);
+  util::check(header.size() >= key_columns_.size(),
+              "existing CSV '" + path + "' has fewer columns than the "
+              "sweep's key columns — refusing to resume into it");
+  for (std::size_t i = 0; i < key_columns_.size(); ++i) {
+    util::check(header[i] == key_columns_[i],
+                "existing CSV '" + path + "' key column " +
+                    std::to_string(i) + " is '" + header[i] +
+                    "', expected '" + key_columns_[i] +
+                    "' — refusing to resume into a different sweep's file");
+  }
+  resuming_ = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells = split_csv_line(line);
+    // A point only counts as completed when the whole row made it to disk:
+    // a run killed mid-write can leave a tail row holding the key columns
+    // but not the metrics, and marking it done would skip the point
+    // forever.
+    if (cells.size() < header.size()) continue;
+    cells.resize(key_columns_.size());
+    seen_.insert(std::move(cells));
+  }
+}
+
+bool CsvResume::contains(const SweepPoint& point) const {
+  std::vector<std::string> key;
+  key.reserve(point.coordinates().size());
+  for (const auto& [name, value] : point.coordinates()) {
+    (void)name;
+    key.push_back(to_string(value));
+  }
+  key.resize(key_columns_.size());
+  return contains(key);
+}
+
+std::vector<SweepPoint> CsvResume::remaining(
+    std::vector<SweepPoint> points) const {
+  if (!resuming_) return points;
+  std::vector<SweepPoint> todo;
+  for (SweepPoint& point : points) {
+    if (!contains(point)) todo.push_back(std::move(point));
+  }
+  return todo;
+}
+
+}  // namespace ssdtrain::sweep

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file resume.hpp
+/// Resumable sweeps: when a bench is re-run with --csv pointing at a file
+/// an earlier (possibly interrupted) run produced, the points whose key
+/// columns already appear in the file are skipped and only the missing
+/// rows are computed and appended. The key columns are the leading CSV
+/// columns that identify a grid cell (they mirror the sweep axes).
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/sweep/spec.hpp"
+
+namespace ssdtrain::sweep {
+
+class CsvResume {
+ public:
+  /// Reads \p path when it exists. \p key_columns are the leading header
+  /// columns identifying a grid cell; an existing file whose header does
+  /// not start with them is a contract violation (a different sweep's
+  /// output — refusing beats silently mixing grids).
+  CsvResume(const std::string& path, std::vector<std::string> key_columns);
+
+  /// True when \p path held at least a header from an earlier run.
+  [[nodiscard]] bool resuming() const { return resuming_; }
+
+  /// Completed rows found in the existing file.
+  [[nodiscard]] std::size_t completed() const { return seen_.size(); }
+
+  /// True when a row with exactly these key-column cells is present.
+  [[nodiscard]] bool contains(const std::vector<std::string>& key) const {
+    return seen_.contains(key);
+  }
+
+  /// Point-shaped convenience: the key is the point's coordinates in axis
+  /// order, rendered with sweep::to_string — matching benches that write
+  /// their axis columns the same way.
+  [[nodiscard]] bool contains(const SweepPoint& point) const;
+
+  /// The subset of \p points not yet present in the file.
+  [[nodiscard]] std::vector<SweepPoint> remaining(
+      std::vector<SweepPoint> points) const;
+
+ private:
+  std::vector<std::string> key_columns_;
+  std::set<std::vector<std::string>> seen_;
+  bool resuming_ = false;
+};
+
+/// Splits one CSV line into cells (RFC 4180 quoting, as CsvWriter emits).
+std::vector<std::string> split_csv_line(const std::string& line);
+
+}  // namespace ssdtrain::sweep

@@ -6,12 +6,36 @@
 
 namespace ssdtrain::util {
 
+namespace {
+
+bool has_content(const std::string& path) {
+  std::ifstream in(path);
+  return in.good() && in.peek() != std::ifstream::traits_type::eof();
+}
+
+bool ends_with_newline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return true;
+  in.seekg(-1, std::ios::end);
+  char last = '\n';
+  in.get(last);
+  return last == '\n';
+}
+
+}  // namespace
+
 CsvWriter::CsvWriter(const std::string& path,
-                     const std::vector<std::string>& header)
-    : out_(path), columns_(header.size()) {
-  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+                     const std::vector<std::string>& header, bool append)
+    : columns_(header.size()) {
   expects(!header.empty(), "CSV needs at least one column");
-  write_row(header);
+  const bool resume = append && has_content(path);
+  // An interrupted earlier run can leave an unterminated partial row;
+  // close it off so appended rows do not merge into it.
+  const bool needs_newline = resume && !ends_with_newline(path);
+  out_.open(path, resume ? std::ios::out | std::ios::app : std::ios::out);
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+  if (needs_newline) out_ << "\n";
+  if (!resume) write_row(header);
 }
 
 void CsvWriter::add_row(const std::vector<std::string>& cells) {

@@ -14,9 +14,12 @@ namespace ssdtrain::util {
 /// newlines are quoted per RFC 4180.
 class CsvWriter {
  public:
-  /// Opens \p path for writing and emits the header row.
+  /// Opens \p path for writing and emits the header row. With \p append
+  /// set and \p path already holding rows, new rows are appended instead
+  /// and the header is not repeated (resumable sweeps).
   /// Throws std::runtime_error if the file cannot be opened.
-  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  CsvWriter(const std::string& path, const std::vector<std::string>& header,
+            bool append = false);
 
   void add_row(const std::vector<std::string>& cells);
 

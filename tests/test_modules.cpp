@@ -24,10 +24,8 @@ using ssdtrain::testing::TestContext;
 
 namespace {
 
-m::ModelConfig small_config(bool flash = true,
-                            m::Architecture arch = m::Architecture::bert) {
+m::ModelConfig small_config(bool flash = true) {
   m::ModelConfig cfg;
-  cfg.arch = arch;
   cfg.hidden = 2048;
   cfg.layers = 2;
   cfg.heads = 16;
@@ -35,7 +33,20 @@ m::ModelConfig small_config(bool flash = true,
   cfg.vocab = 32000;
   cfg.micro_batch = 4;
   cfg.flash_attention = flash;
-  return cfg;
+  return cfg;  // empty workload resolves to a bidirectional dense stack
+}
+
+/// A dense-MHA layer with the old five-argument shape, for the per-layer
+/// accounting tests.
+std::unique_ptr<m::TransformerLayer> make_layer(std::string name,
+                                                std::int64_t hidden,
+                                                std::int64_t heads,
+                                                bool causal, bool flash) {
+  ssdtrain::workload::AttentionSpec attn;
+  attn.causal = causal;
+  return std::make_unique<m::TransformerLayer>(
+      std::move(name), hidden, heads, attn, ssdtrain::workload::FfnSpec{},
+      flash);
 }
 
 }  // namespace
@@ -77,7 +88,8 @@ TEST(ModuleBase, HookRemovalStopsFiring) {
 }
 
 TEST(ModuleBase, VisitCoversWholeTree) {
-  m::TransformerLayer layer("l", 2048, 16, false, true);
+  auto layer_ptr = make_layer("l", 2048, 16, false, true);
+  m::TransformerLayer& layer = *layer_ptr;
   int count = 0;
   layer.visit([&](m::Module&) { ++count; });
   // layer + ln1 + attn(1 + qkv + core + proj + dropout) + ln2 +
@@ -106,8 +118,9 @@ TEST_P(LayerActivationBytes, MatchesClosedFormModel) {
   TestContext ctx(alloc, parallel);
   ctx.install_recording_hooks();
 
-  m::TransformerLayer layer("layer0", cfg.hidden, cfg.heads, false,
-                            cfg.flash_attention);
+  auto layer_ptr = make_layer("layer0", cfg.hidden, cfg.heads, false,
+                              cfg.flash_attention);
+  m::TransformerLayer& layer = *layer_ptr;
   auto x = ctx.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
                                ssdtrain::tensor::DType::fp16);
   layer.forward(ctx, x);
@@ -132,7 +145,8 @@ TEST(LayerAccounting, DedupCatchesDoubleSaves) {
   hw::DeviceAllocator alloc(u::gib(16));
   TestContext ctx(alloc);
   ctx.install_recording_hooks();
-  m::TransformerLayer layer("layer0", cfg.hidden, cfg.heads, false, true);
+  auto layer_ptr = make_layer("layer0", cfg.hidden, cfg.heads, false, true);
+  m::TransformerLayer& layer = *layer_ptr;
   auto x = ctx.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
                                ssdtrain::tensor::DType::fp16);
   layer.forward(ctx, x);
@@ -143,7 +157,8 @@ TEST(LayerAccounting, ForwardGemmFlopsMatchFormula) {
   auto cfg = small_config();
   hw::DeviceAllocator alloc(u::gib(16));
   TestContext ctx(alloc);
-  m::TransformerLayer layer("layer0", cfg.hidden, cfg.heads, false, true);
+  auto layer_ptr = make_layer("layer0", cfg.hidden, cfg.heads, false, true);
+  m::TransformerLayer& layer = *layer_ptr;
   auto x = ctx.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
                                ssdtrain::tensor::DType::fp16);
   layer.forward(ctx, x);
@@ -160,8 +175,10 @@ TEST(LayerAccounting, TpShardsComputeAndAddsCollectives) {
   p::ParallelConfig tp2;
   tp2.tensor_parallel = 2;
   TestContext ctx1(alloc), ctx2(alloc, tp2);
-  m::TransformerLayer l1("a", cfg.hidden, cfg.heads, false, true);
-  m::TransformerLayer l2("b", cfg.hidden, cfg.heads, false, true);
+  auto l1_ptr = make_layer("a", cfg.hidden, cfg.heads, false, true);
+  auto l2_ptr = make_layer("b", cfg.hidden, cfg.heads, false, true);
+  m::TransformerLayer& l1 = *l1_ptr;
+  m::TransformerLayer& l2 = *l2_ptr;
   auto x1 = ctx1.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
                                  ssdtrain::tensor::DType::fp16);
   l1.forward(ctx1, x1);
@@ -179,7 +196,8 @@ TEST(LayerAccounting, BackwardConsumesStateExactlyOnce) {
   hw::DeviceAllocator alloc(u::gib(16));
   TestContext ctx(alloc);
   ctx.install_recording_hooks();
-  m::TransformerLayer layer("layer0", cfg.hidden, cfg.heads, false, true);
+  auto layer_ptr = make_layer("layer0", cfg.hidden, cfg.heads, false, true);
+  m::TransformerLayer& layer = *layer_ptr;
   auto x = ctx.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
                                ssdtrain::tensor::DType::fp16);
   auto y = layer.forward(ctx, x);
@@ -195,7 +213,8 @@ TEST(LayerAccounting, BackwardFlopsRoughlyTwiceForward) {
   hw::DeviceAllocator alloc(u::gib(16));
   TestContext ctx(alloc);
   ctx.install_recording_hooks();
-  m::TransformerLayer layer("layer0", cfg.hidden, cfg.heads, false, true);
+  auto layer_ptr = make_layer("layer0", cfg.hidden, cfg.heads, false, true);
+  m::TransformerLayer& layer = *layer_ptr;
   auto x = ctx.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
                                ssdtrain::tensor::DType::fp16);
   auto y = layer.forward(ctx, x);
@@ -215,7 +234,8 @@ TEST(Models, ConfigsFollowPaperHyperparameters) {
   const auto gpt = m::gpt_config(16384, 2, 16);
   EXPECT_EQ(gpt.heads, 128);
   const auto t5 = m::t5_config(8192, 4, 16);
-  EXPECT_EQ(t5.arch, m::Architecture::t5);
+  EXPECT_EQ(t5.name, "T5");
+  EXPECT_TRUE(t5.workload.has_cross_attention());
 }
 
 TEST(Models, T5SplitsLayersPerPaper) {
@@ -261,8 +281,9 @@ TEST(Models, FullStepRunsAndReleasesActivations) {
 }
 
 TEST(Models, T5FullStepRuns) {
-  auto cfg = small_config(true, m::Architecture::t5);
+  auto cfg = small_config();
   cfg.layers = 3;
+  cfg.workload = ssdtrain::workload::WorkloadSpec::encoder_decoder(2, 1);
   hw::DeviceAllocator alloc(u::gib(24));
   TestContext ctx(alloc);
   m::T5Model model(cfg);
@@ -302,8 +323,9 @@ TEST(Models, UnfusedAttentionSavesScoreMatrices) {
 
   TestContext flash_ctx(alloc);
   flash_ctx.install_recording_hooks();
-  m::TransformerLayer flash_layer("f", flash_cfg.hidden, flash_cfg.heads,
-                                  false, true);
+  auto flash_ptr = make_layer("f", flash_cfg.hidden, flash_cfg.heads,
+                              false, true);
+  m::TransformerLayer& flash_layer = *flash_ptr;
   auto x1 = flash_ctx.make_activation(
       "x", {flash_cfg.seq, flash_cfg.micro_batch, flash_cfg.hidden},
       ssdtrain::tensor::DType::fp16);
@@ -311,8 +333,9 @@ TEST(Models, UnfusedAttentionSavesScoreMatrices) {
 
   TestContext unfused_ctx(alloc);
   unfused_ctx.install_recording_hooks();
-  m::TransformerLayer unfused_layer("u", unfused_cfg.hidden,
-                                    unfused_cfg.heads, false, false);
+  auto unfused_ptr = make_layer("u", unfused_cfg.hidden,
+                                unfused_cfg.heads, false, false);
+  m::TransformerLayer& unfused_layer = *unfused_ptr;
   auto x2 = unfused_ctx.make_activation(
       "x", {unfused_cfg.seq, unfused_cfg.micro_batch, unfused_cfg.hidden},
       ssdtrain::tensor::DType::fp16);

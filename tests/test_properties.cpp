@@ -19,28 +19,26 @@ namespace u = ssdtrain::util;
 
 namespace {
 
+using ConfigFactory = m::ModelConfig (*)(std::int64_t, int, std::int64_t);
+
 struct SweepCase {
-  m::Architecture arch;
+  ConfigFactory make;
   std::int64_t hidden;
   int layers;
   std::int64_t batch;
 
   [[nodiscard]] std::string name() const {
-    return std::string(to_string(arch)) + u::label("_H", hidden) +
-           u::label("_L", layers) + u::label("_B", batch);
+    std::string label = make(hidden, layers, batch).name;
+    for (char& c : label) {
+      if (c == '-') c = '_';  // gtest parameter names are [A-Za-z0-9_]
+    }
+    return label + u::label("_H", hidden) + u::label("_L", layers) +
+           u::label("_B", batch);
   }
 };
 
 m::ModelConfig model_for(const SweepCase& c) {
-  switch (c.arch) {
-    case m::Architecture::bert:
-      return m::bert_config(c.hidden, c.layers, c.batch);
-    case m::Architecture::t5:
-      return m::t5_config(c.hidden, c.layers, c.batch);
-    case m::Architecture::gpt:
-      return m::gpt_config(c.hidden, c.layers, c.batch);
-  }
-  return m::bert_config(c.hidden, c.layers, c.batch);
+  return c.make(c.hidden, c.layers, c.batch);
 }
 
 class StrategySweep : public ::testing::TestWithParam<SweepCase> {
@@ -95,15 +93,34 @@ TEST_P(StrategySweep, OverlapAndMemoryInvariantsHold) {
   EXPECT_LT(ssd.drain_time, keep.step_time * 0.05) << GetParam().name();
 }
 
+namespace {
+
+/// Wraps the MoE/GQA factories into the three-argument factory shape the
+/// sweep uses, so the new workloads ride the same invariants.
+m::ModelConfig moe_case_config(std::int64_t hidden, int layers,
+                               std::int64_t batch) {
+  return m::gpt_moe_config(hidden, layers, batch, /*num_experts=*/8,
+                           /*top_k=*/2);
+}
+
+m::ModelConfig gqa_case_config(std::int64_t hidden, int layers,
+                               std::int64_t batch) {
+  return m::gpt_gqa_config(hidden, layers, batch);
+}
+
+}  // namespace
+
 INSTANTIATE_TEST_SUITE_P(
     ArchitecturesAndShapes, StrategySweep,
-    ::testing::Values(SweepCase{m::Architecture::bert, 4096, 4, 8},
-                      SweepCase{m::Architecture::bert, 8192, 2, 16},
-                      SweepCase{m::Architecture::bert, 12288, 3, 4},
-                      SweepCase{m::Architecture::gpt, 4096, 3, 16},
-                      SweepCase{m::Architecture::gpt, 8192, 4, 8},
-                      SweepCase{m::Architecture::t5, 4096, 4, 8},
-                      SweepCase{m::Architecture::t5, 8192, 3, 16}),
+    ::testing::Values(SweepCase{&m::bert_config, 4096, 4, 8},
+                      SweepCase{&m::bert_config, 8192, 2, 16},
+                      SweepCase{&m::bert_config, 12288, 3, 4},
+                      SweepCase{&m::gpt_config, 4096, 3, 16},
+                      SweepCase{&m::gpt_config, 8192, 4, 8},
+                      SweepCase{&m::t5_config, 4096, 4, 8},
+                      SweepCase{&m::t5_config, 8192, 3, 16},
+                      SweepCase{&moe_case_config, 4096, 3, 8},
+                      SweepCase{&gqa_case_config, 8192, 3, 8}),
     [](const ::testing::TestParamInfo<SweepCase>& info) {
       return info.param.name();
     });
@@ -145,9 +162,10 @@ TEST_P(RecomputeSweep, RecomputeInvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(
     ArchitecturesAndShapes, RecomputeSweep,
-    ::testing::Values(SweepCase{m::Architecture::bert, 4096, 3, 8},
-                      SweepCase{m::Architecture::gpt, 8192, 2, 8},
-                      SweepCase{m::Architecture::t5, 4096, 4, 8}),
+    ::testing::Values(SweepCase{&m::bert_config, 4096, 3, 8},
+                      SweepCase{&m::gpt_config, 8192, 2, 8},
+                      SweepCase{&m::t5_config, 4096, 4, 8},
+                      SweepCase{&moe_case_config, 4096, 3, 8}),
     [](const ::testing::TestParamInfo<SweepCase>& info) {
       return info.param.name();
     });

@@ -165,18 +165,62 @@ TEST(Integration, BudgetOverrideLimitsOffloading) {
 }
 
 TEST(Integration, GptAndT5AlsoBenefit) {
-  for (auto arch : {m::Architecture::gpt, m::Architecture::t5}) {
+  for (const auto& model :
+       {m::gpt_config(8192, 3, 8), m::t5_config(8192, 3, 8)}) {
     auto keep_cfg = base_config(rt::Strategy::keep_in_gpu);
     auto ssd_cfg = base_config(rt::Strategy::ssdtrain);
-    keep_cfg.model = ssd_cfg.model =
-        arch == m::Architecture::gpt ? m::gpt_config(8192, 3, 8)
-                                     : m::t5_config(8192, 3, 8);
+    keep_cfg.model = ssd_cfg.model = model;
     const auto keep = run_one(std::move(keep_cfg));
     const auto ssd = run_one(std::move(ssd_cfg));
     EXPECT_NEAR(ssd.step_time, keep.step_time, keep.step_time * 0.03);
     EXPECT_LT(ssd.activation_peak,
               static_cast<double>(keep.activation_peak) * 0.8);
   }
+}
+
+TEST(Integration, MoeAndGqaWorkloadsRunUnderEveryStrategy) {
+  // The acceptance gate for the WorkloadSpec refactor: the new workloads
+  // run end-to-end through TrainingSession under all five strategies.
+  for (const auto& model :
+       {m::gpt_moe_config(4096, 2, 4, /*num_experts=*/8, /*top_k=*/2),
+        m::gpt_gqa_config(4096, 2, 4)}) {
+    for (rt::Strategy strategy :
+         {rt::Strategy::keep_in_gpu, rt::Strategy::ssdtrain,
+          rt::Strategy::ssdtrain_cpu, rt::Strategy::recompute_full,
+          rt::Strategy::ssdtrain_recompute}) {
+      auto cfg = base_config(strategy);
+      cfg.model = model;
+      const auto stats = run_one(std::move(cfg));
+      EXPECT_GT(stats.step_time, 0.0)
+          << model.name << " / " << to_string(strategy);
+      EXPECT_GT(stats.activation_peak, 0) << model.name;
+    }
+  }
+}
+
+TEST(Integration, MoeOffloadsMoreThanDenseGpt) {
+  // Expert activations stress the offload path asymmetrically: with
+  // top_k=2 the routed FFN stream roughly doubles, so the offloaded
+  // volume must exceed the dense GPT baseline at the same shape.
+  auto dense_cfg = base_config(rt::Strategy::ssdtrain);
+  dense_cfg.model = m::gpt_config(8192, 3, 8);
+  auto moe_cfg = base_config(rt::Strategy::ssdtrain);
+  moe_cfg.model = m::gpt_moe_config(8192, 3, 8, 8, 2);
+  const auto dense = run_one(std::move(dense_cfg));
+  const auto moe = run_one(std::move(moe_cfg));
+  EXPECT_GT(moe.offloaded_bytes, dense.offloaded_bytes);
+}
+
+TEST(Integration, GqaOffloadsLessThanDenseGpt) {
+  // GQA shrinks the saved QKV planes, so the offloaded volume drops below
+  // the MHA baseline at the same shape.
+  auto dense_cfg = base_config(rt::Strategy::ssdtrain);
+  dense_cfg.model = m::gpt_config(8192, 3, 8);
+  auto gqa_cfg = base_config(rt::Strategy::ssdtrain);
+  gqa_cfg.model = m::gpt_gqa_config(8192, 3, 8);
+  const auto dense = run_one(std::move(dense_cfg));
+  const auto gqa = run_one(std::move(gqa_cfg));
+  EXPECT_LT(gqa.offloaded_bytes, dense.offloaded_bytes);
 }
 
 TEST(Integration, GradAccumulationRunsMultipleMicroBatches) {

@@ -12,10 +12,15 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+
 #include "ssdtrain/sweep/cli.hpp"
+#include "ssdtrain/sweep/resume.hpp"
 #include "ssdtrain/sweep/runner.hpp"
 #include "ssdtrain/sweep/spec.hpp"
 #include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/csv.hpp"
 
 namespace sweep = ssdtrain::sweep;
 namespace u = ssdtrain::util;
@@ -187,6 +192,187 @@ TEST(SweepCli, ParsesWorkersCsvAndPositionals) {
   EXPECT_TRUE(options.csv_enabled());
   EXPECT_EQ(options.positional,
             (std::vector<std::string>{"12288", "3", "bert"}));
+}
+
+TEST(SweepCli, PointsFilterSelectsSingleGridCell) {
+  sweep::SweepSpec spec;
+  spec.axis("hidden", std::vector<std::int64_t>{8192, 12288})
+      .axis("strategy", std::vector<std::string>{"keep", "ssd"})
+      .axis("batch", std::vector<std::int64_t>{4, 8, 16});
+
+  const char* argv[] = {"bench", "--points", "hidden=12288,batch=8"};
+  const auto options = sweep::parse_cli(3, const_cast<char**>(argv));
+  ASSERT_TRUE(options.points_enabled());
+  ASSERT_EQ(options.point_filter.size(), 2u);
+  EXPECT_EQ(options.point_filter[0].first, "hidden");
+  EXPECT_EQ(options.point_filter[0].second, "12288");
+
+  const auto selected = sweep::select_points(spec, options);
+  ASSERT_EQ(selected.size(), 2u);  // both strategies at that cell
+  for (const auto& point : selected) {
+    EXPECT_EQ(point.i64("hidden"), 12288);
+    EXPECT_EQ(point.i64("batch"), 8);
+  }
+
+  // Fully pinned -> exactly one cell.
+  const char* one[] = {"bench", "--points",
+                       "hidden=8192,strategy=ssd,batch=16"};
+  const auto pinned =
+      sweep::select_points(spec, sweep::parse_cli(3, const_cast<char**>(one)));
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_EQ(pinned[0].str("strategy"), "ssd");
+}
+
+TEST(SweepCli, PointsFilterRepeatsAndRejectsGarbage) {
+  sweep::SweepSpec spec;
+  spec.axis("a", std::vector<std::int64_t>{1, 2})
+      .axis("b", std::vector<std::int64_t>{10, 20});
+
+  // Repeated --points flags accumulate constraints.
+  const char* argv[] = {"bench", "--points", "a=1", "--points", "b=20"};
+  const auto options = sweep::parse_cli(5, const_cast<char**>(argv));
+  const auto selected = sweep::select_points(spec, options);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].i64("b"), 20);
+
+  // No --points: the whole grid.
+  const char* bare[] = {"bench"};
+  EXPECT_EQ(sweep::select_points(spec,
+                                 sweep::parse_cli(1, const_cast<char**>(bare)))
+                .size(),
+            4u);
+
+  const char* missing_value[] = {"bench", "--points"};
+  EXPECT_THROW(sweep::parse_cli(2, const_cast<char**>(missing_value)),
+               u::ContractViolation);
+  const char* no_eq[] = {"bench", "--points", "a1"};
+  EXPECT_THROW(sweep::parse_cli(3, const_cast<char**>(no_eq)),
+               u::ContractViolation);
+  const char* unknown_axis[] = {"bench", "--points", "zz=1"};
+  EXPECT_THROW(
+      sweep::select_points(spec,
+                           sweep::parse_cli(3, const_cast<char**>(unknown_axis))),
+      u::ContractViolation);
+  const char* no_match[] = {"bench", "--points", "a=7"};
+  EXPECT_THROW(
+      sweep::select_points(spec,
+                           sweep::parse_cli(3, const_cast<char**>(no_match))),
+      u::ContractViolation);
+}
+
+namespace {
+
+/// Temp-file helper for the resume tests.
+struct TempCsv {
+  std::string path;
+  explicit TempCsv(const std::string& name)
+      : path(::testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~TempCsv() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+TEST(SweepResume, SkipsPointsAlreadyInTheCsv) {
+  TempCsv tmp("sweep_resume.csv");
+  sweep::SweepSpec spec;
+  spec.axis("hidden", std::vector<std::int64_t>{8192, 12288})
+      .axis("batch", std::vector<std::int64_t>{4, 8});
+
+  {
+    u::CsvWriter csv(tmp.path, {"hidden", "batch", "result"});
+    csv.add_row({"8192", "4", "1.0"});
+    csv.add_row({"12288", "8", "2.0"});
+  }
+
+  sweep::CsvResume resume(tmp.path, {"hidden", "batch"});
+  EXPECT_TRUE(resume.resuming());
+  EXPECT_EQ(resume.completed(), 2u);
+  EXPECT_TRUE(resume.contains({"8192", "4"}));
+  EXPECT_FALSE(resume.contains({"8192", "8"}));
+
+  const auto todo = resume.remaining(spec.points());
+  ASSERT_EQ(todo.size(), 2u);
+  EXPECT_EQ(todo[0].i64("hidden"), 8192);
+  EXPECT_EQ(todo[0].i64("batch"), 8);
+  EXPECT_EQ(todo[1].i64("hidden"), 12288);
+  EXPECT_EQ(todo[1].i64("batch"), 4);
+
+  // Appending the missing rows (append mode skips the header) makes the
+  // next resume see a complete grid.
+  {
+    u::CsvWriter csv(tmp.path, {"hidden", "batch", "result"},
+                     /*append=*/true);
+    csv.add_row({"8192", "8", "3.0"});
+    csv.add_row({"12288", "4", "4.0"});
+  }
+  sweep::CsvResume done(tmp.path, {"hidden", "batch"});
+  EXPECT_EQ(done.completed(), 4u);
+  EXPECT_TRUE(done.remaining(spec.points()).empty());
+
+  std::ifstream in(tmp.path);
+  std::string line;
+  std::size_t headers = 0, lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (line.rfind("hidden,", 0) == 0) ++headers;
+  }
+  EXPECT_EQ(headers, 1u);  // append mode did not duplicate the header
+  EXPECT_EQ(lines, 5u);
+}
+
+TEST(SweepResume, TruncatedTailRowIsNotTreatedAsCompleted) {
+  TempCsv tmp("sweep_resume_truncated.csv");
+  {
+    // A run killed mid-write: the final row has its key cells but not the
+    // metric column, and no trailing newline.
+    std::ofstream out(tmp.path);
+    out << "hidden,batch,result\n";
+    out << "8192,4,1.0\n";
+    out << "8192,8";  // unterminated partial row
+  }
+  sweep::CsvResume resume(tmp.path, {"hidden", "batch"});
+  EXPECT_EQ(resume.completed(), 1u);
+  EXPECT_TRUE(resume.contains({"8192", "4"}));
+  EXPECT_FALSE(resume.contains({"8192", "8"}));  // must be re-run
+
+  // Appending closes off the partial line before writing new rows.
+  {
+    u::CsvWriter csv(tmp.path, {"hidden", "batch", "result"},
+                     /*append=*/true);
+    csv.add_row({"8192", "8", "2.0"});
+  }
+  std::ifstream in(tmp.path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[2], "8192,8");        // old partial row left intact
+  EXPECT_EQ(lines[3], "8192,8,2.0");    // new row on its own line
+}
+
+TEST(SweepResume, MissingFileMeansNothingToSkip) {
+  TempCsv tmp("sweep_resume_missing.csv");
+  sweep::CsvResume resume(tmp.path, {"a"});
+  EXPECT_FALSE(resume.resuming());
+  EXPECT_EQ(resume.completed(), 0u);
+  sweep::SweepSpec spec;
+  spec.axis("a", std::vector<std::int64_t>{1, 2, 3});
+  EXPECT_EQ(resume.remaining(spec.points()).size(), 3u);
+}
+
+TEST(SweepResume, RefusesForeignCsvAndParsesQuotedCells) {
+  TempCsv tmp("sweep_resume_foreign.csv");
+  {
+    u::CsvWriter csv(tmp.path, {"other", "columns"});
+    csv.add_row({"1", "2"});
+  }
+  EXPECT_THROW(sweep::CsvResume(tmp.path, {"hidden", "batch"}),
+               u::ContractViolation);
+
+  EXPECT_EQ(sweep::split_csv_line("a,\"b,c\",\"d\"\"e\""),
+            (std::vector<std::string>{"a", "b,c", "d\"e"}));
 }
 
 TEST(SweepCli, DefaultsAndErrors) {

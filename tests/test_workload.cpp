@@ -1,0 +1,431 @@
+// Tests for the WorkloadSpec layer-composition abstraction: spec
+// validation, the property that the per-LayerSpec activation fold is
+// bit-identical to the paper's legacy closed forms across the BERT/GPT/T5
+// hidden x layers grid, frozen pre-refactor planner goldens, MoE
+// monotonicity (bytes grow with top_k, shrink with expert parallelism),
+// GQA shrinkage, and the per-layer byte profile the planner consumes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ssdtrain/analysis/activation_model.hpp"
+#include "ssdtrain/analysis/perf_model.hpp"
+#include "ssdtrain/core/planner.hpp"
+#include "ssdtrain/hw/catalog.hpp"
+#include "ssdtrain/hw/device_allocator.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/modules/transformer.hpp"
+#include "ssdtrain/util/units.hpp"
+#include "ssdtrain/workload/spec.hpp"
+#include "test_support.hpp"
+
+namespace a = ssdtrain::analysis;
+namespace core = ssdtrain::core;
+namespace hw = ssdtrain::hw;
+namespace m = ssdtrain::modules;
+namespace p = ssdtrain::parallel;
+namespace u = ssdtrain::util;
+namespace w = ssdtrain::workload;
+using ssdtrain::testing::TestContext;
+
+// ---------------------------------------------------------------------------
+// Spec construction and validation
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadSpec, FactoriesDescribeThePaperArchitectures) {
+  const auto bert = m::bert_config(8192, 4, 16);
+  ASSERT_EQ(bert.workload.layers.size(), 1u);
+  EXPECT_EQ(bert.workload.total_layers(), 4);
+  EXPECT_FALSE(bert.workload.layers[0].attention.causal);
+  EXPECT_FALSE(bert.workload.decoder_only);
+  EXPECT_FALSE(bert.workload.has_cross_attention());
+
+  const auto gpt = m::gpt_config(8192, 4, 16);
+  EXPECT_TRUE(gpt.workload.layers[0].attention.causal);
+  EXPECT_TRUE(gpt.workload.decoder_only);
+
+  const auto t5 = m::t5_config(8192, 5, 16);
+  ASSERT_EQ(t5.workload.layers.size(), 2u);
+  EXPECT_EQ(t5.workload.layers[0].count, 3);  // encoders = layers - dec
+  EXPECT_EQ(t5.workload.layers[1].count, 2);  // decoders = floor(layers/2)
+  EXPECT_TRUE(t5.workload.layers[1].attention.cross_attention);
+  EXPECT_TRUE(t5.workload.has_cross_attention());
+
+  const auto moe = m::gpt_moe_config(8192, 4, 16, 32, 2, 4, 1.25);
+  const w::FfnSpec& ffn = moe.workload.layers[0].ffn;
+  EXPECT_TRUE(ffn.moe());
+  EXPECT_EQ(ffn.num_experts, 32);
+  EXPECT_DOUBLE_EQ(ffn.effective_load(), 2.0 * 1.25 / 4.0);
+  EXPECT_TRUE(moe.workload.has_moe());
+
+  const auto gqa = m::gpt_gqa_config(8192, 4, 16);
+  EXPECT_EQ(gqa.workload.layers[0].attention.kv_heads, 8);  // 64 heads / 8
+  EXPECT_TRUE(gqa.workload.layers[0].attention.grouped_query(gqa.heads));
+}
+
+TEST(WorkloadSpec, ValidationRejectsMalformedSpecs) {
+  auto cfg = m::gpt_config(4096, 2, 4);
+  // kv_heads must divide the query heads (32 here).
+  cfg.workload.layers[0].attention.kv_heads = 5;
+  EXPECT_THROW((void)cfg.resolved_workload(), u::ContractViolation);
+  cfg = m::gpt_moe_config(4096, 2, 4, 8, 2);
+  cfg.workload.layers[0].ffn.top_k = 9;  // > num_experts
+  EXPECT_THROW((void)cfg.resolved_workload(), u::ContractViolation);
+  cfg = m::gpt_moe_config(4096, 2, 4, 8, 2);
+  cfg.workload.layers[0].ffn.expert_parallel = 3;  // does not divide 8
+  EXPECT_THROW((void)cfg.resolved_workload(), u::ContractViolation);
+  // A cross-attention group with nothing producing the shared memory.
+  cfg = m::gpt_config(4096, 2, 4);
+  cfg.workload.layers[0].attention.cross_attention = true;
+  EXPECT_THROW((void)cfg.resolved_workload(), u::ContractViolation);
+  // Encoder groups interleaved after a decoder group would execute out of
+  // declared order (the enc/dec topology buckets them): rejected.
+  cfg = m::t5_config(4096, 3, 4);
+  cfg.layers = 4;
+  w::LayerSpec trailing_encoder;
+  trailing_encoder.label = "encoder";
+  trailing_encoder.count = 1;
+  cfg.workload.layers.push_back(trailing_encoder);
+  EXPECT_THROW((void)cfg.resolved_workload(), u::ContractViolation);
+  // Counts must agree with ModelConfig::layers.
+  cfg = m::gpt_config(4096, 2, 4);
+  cfg.layers = 3;
+  EXPECT_THROW((void)cfg.resolved_workload(), u::ContractViolation);
+}
+
+TEST(WorkloadSpec, EmptySpecResolvesToBidirectionalDenseStack) {
+  m::ModelConfig cfg;
+  cfg.hidden = 2048;
+  cfg.heads = 16;
+  cfg.layers = 3;
+  const w::WorkloadSpec spec = cfg.resolved_workload();
+  ASSERT_EQ(spec.layers.size(), 1u);
+  EXPECT_EQ(spec.layers[0].count, 3);
+  EXPECT_FALSE(spec.layers[0].attention.causal);
+  EXPECT_FALSE(spec.layers[0].ffn.moe());
+}
+
+// ---------------------------------------------------------------------------
+// Legacy equivalence: the per-LayerSpec fold must reproduce the paper's
+// closed forms bit-for-bit across the evaluation grid.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The pre-refactor closed forms, verbatim (arch-switch era).
+double legacy_sbh(const m::ModelConfig& mdl) {
+  return static_cast<double>(mdl.seq) *
+         static_cast<double>(mdl.micro_batch) *
+         static_cast<double>(mdl.hidden);
+}
+
+u::Bytes legacy_layer_bytes(const m::ModelConfig& mdl,
+                            const p::ParallelConfig& par) {
+  const auto t = static_cast<double>(par.tensor_parallel);
+  double bytes = par.sequence_parallel
+                     ? legacy_sbh(mdl) * 34.0 / t
+                     : legacy_sbh(mdl) * (10.0 + 24.0 / t);
+  if (!mdl.flash_attention) {
+    bytes += 5.0 * static_cast<double>(mdl.heads) *
+             static_cast<double>(mdl.seq) * static_cast<double>(mdl.seq) *
+             static_cast<double>(mdl.micro_batch) / t;
+  }
+  return static_cast<u::Bytes>(bytes);
+}
+
+u::Bytes legacy_decoder_extra(const m::ModelConfig& mdl,
+                              const p::ParallelConfig& par) {
+  const auto t = static_cast<double>(par.tensor_parallel);
+  const double bytes = par.sequence_parallel
+                           ? legacy_sbh(mdl) * 13.0 / t
+                           : legacy_sbh(mdl) * (5.0 + 8.0 / t);
+  return static_cast<u::Bytes>(bytes);
+}
+
+u::Bytes legacy_model_bytes(const m::ModelConfig& mdl,
+                            const p::ParallelConfig& par, bool is_t5) {
+  u::Bytes total = 0;
+  if (is_t5) {
+    const int decoders = mdl.layers / 2;
+    const int encoders = mdl.layers - decoders;
+    total += encoders * legacy_layer_bytes(mdl, par);
+    total += decoders *
+             (legacy_layer_bytes(mdl, par) + legacy_decoder_extra(mdl, par));
+    total += static_cast<u::Bytes>(2.0 * legacy_sbh(mdl));
+  } else {
+    total += mdl.layers * legacy_layer_bytes(mdl, par);
+  }
+  total += static_cast<u::Bytes>(2.0 * legacy_sbh(mdl));
+  return total;
+}
+
+u::Bytes legacy_offloadable(const m::ModelConfig& mdl,
+                            const p::ParallelConfig& par, bool is_t5) {
+  const auto t = static_cast<double>(par.tensor_parallel);
+  const double kept_units =
+      par.sequence_parallel ? 19.0 / t : 3.0 + 16.0 / t;
+  const auto kept = static_cast<u::Bytes>(kept_units * legacy_sbh(mdl));
+  return legacy_model_bytes(mdl, par, is_t5) - kept;
+}
+
+}  // namespace
+
+TEST(WorkloadLegacyEquivalence, ActivationSumsAreBitIdenticalOnPaperGrid) {
+  using Factory = m::ModelConfig (*)(std::int64_t, int, std::int64_t);
+  const Factory factories[] = {&m::bert_config, &m::gpt_config,
+                               &m::t5_config};
+  const std::int64_t hiddens[] = {4096, 8192, 12288, 14336, 16384};
+  const int layer_counts[] = {2, 3, 4, 5};
+  const std::int64_t batches[] = {4, 16};
+  struct Par {
+    int tp;
+    bool sp;
+  };
+  const Par pars[] = {{1, false}, {2, false}, {4, false}, {8, true}};
+
+  for (Factory make : factories) {
+    for (std::int64_t hidden : hiddens) {
+      for (int layers : layer_counts) {
+        for (std::int64_t batch : batches) {
+          for (bool flash : {true, false}) {
+            auto cfg = make(hidden, layers, batch);
+            cfg.flash_attention = flash;
+            const bool is_t5 = cfg.workload.has_cross_attention();
+            for (const Par& par : pars) {
+              p::ParallelConfig parallel;
+              parallel.tensor_parallel = par.tp;
+              parallel.sequence_parallel = par.sp;
+              ASSERT_EQ(a::layer_activation_bytes(cfg, parallel),
+                        legacy_layer_bytes(cfg, parallel))
+                  << cfg.name << " H" << hidden << " L" << layers;
+              ASSERT_EQ(a::decoder_extra_activation_bytes(cfg, parallel),
+                        legacy_decoder_extra(cfg, parallel))
+                  << cfg.name << " H" << hidden << " L" << layers;
+              ASSERT_EQ(a::model_activation_bytes(cfg, parallel),
+                        legacy_model_bytes(cfg, parallel, is_t5))
+                  << cfg.name << " H" << hidden << " L" << layers;
+              ASSERT_EQ(a::offloadable_activation_bytes(cfg, parallel),
+                        legacy_offloadable(cfg, parallel, is_t5))
+                  << cfg.name << " H" << hidden << " L" << layers;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Frozen pre-refactor planner outputs (captured on the seed tree): the
+// whole OffloadPlan — including the floating-point step estimate, down to
+// the bit via hexfloat literals — must survive the WorkloadSpec refactor.
+TEST(WorkloadLegacyEquivalence, PlannerGoldensAreBitIdentical) {
+  struct Golden {
+    m::ModelConfig (*make)(std::int64_t, int, std::int64_t);
+    std::int64_t hidden;
+    int layers;
+    u::Bytes act, off, window, budget;
+    double step, required;
+  };
+  const Golden goldens[] = {
+      {&m::bert_config, 8192, 2, 12348030976, 9395240960, 5742165095,
+       5742165095, 0x1.3f90605f2d82p+0, 0x1.c09c7c772fb89p+33},
+      {&m::gpt_config, 12288, 3, 27380416512, 22951231488, 17335237200,
+       17335237200, 0x1.e25f2f72c5cfep+1, 0x1.6b019baed636cp+33},
+      {&m::t5_config, 16384, 4, 59055800320, 53150220288, 43662497168,
+       43662497168, 0x1.2fbd365c806d9p+3, 0x1.4dc296c844699p+33},
+  };
+  for (const Golden& g : goldens) {
+    core::PlannerInputs in;
+    in.model = g.make(g.hidden, g.layers, 16);
+    in.parallel.tensor_parallel = 2;
+    in.gpu = hw::catalog::table2_evaluation_node().gpu;
+    in.target_write_bandwidth = 1.0e10;
+    in.micro_batches = 2;
+    const core::OffloadPlan plan = core::plan_offload(in);
+    EXPECT_EQ(plan.activation_bytes_per_step, g.act) << in.model.name;
+    EXPECT_EQ(plan.offloadable_bytes_per_step, g.off) << in.model.name;
+    EXPECT_EQ(plan.io_window_bytes, g.window) << in.model.name;
+    EXPECT_EQ(plan.offload_budget, g.budget) << in.model.name;
+    EXPECT_EQ(plan.step_time_estimate, g.step) << in.model.name;
+    EXPECT_EQ(plan.required_write_bandwidth, g.required) << in.model.name;
+    EXPECT_FALSE(plan.fully_offloadable) << in.model.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MoE and GQA closed-form behaviour
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadMoe, BytesGrowWithTopK) {
+  p::ParallelConfig tp2;
+  tp2.tensor_parallel = 2;
+  u::Bytes last = 0;
+  for (int top_k : {1, 2, 4, 8}) {
+    const auto cfg = m::gpt_moe_config(8192, 3, 8, 8, top_k);
+    const u::Bytes bytes = a::model_activation_bytes(cfg, tp2);
+    EXPECT_GT(bytes, last) << "top_k=" << top_k;
+    last = bytes;
+  }
+  // The dense GPT stack lower-bounds the MoE one: top_k=1/capacity=1 adds
+  // only the router-input stream on top of the dense FFN bytes.
+  EXPECT_GT(a::model_activation_bytes(m::gpt_moe_config(8192, 3, 8, 8, 1),
+                                      tp2),
+            a::model_activation_bytes(m::gpt_config(8192, 3, 8), tp2));
+}
+
+TEST(WorkloadMoe, BytesShrinkWithExpertParallelism) {
+  p::ParallelConfig tp2;
+  tp2.tensor_parallel = 2;
+  u::Bytes last = 0;
+  for (int ep : {8, 4, 2, 1}) {  // shrinking EP -> growing per-GPU bytes
+    const auto cfg = m::gpt_moe_config(8192, 3, 8, 8, 4, ep);
+    const u::Bytes bytes = a::model_activation_bytes(cfg, tp2);
+    EXPECT_GT(bytes, last) << "ep=" << ep;
+    last = bytes;
+  }
+}
+
+TEST(WorkloadMoe, CapacityFactorInflatesTheRoutedStream) {
+  p::ParallelConfig tp1;
+  const auto base = m::gpt_moe_config(8192, 3, 8, 8, 2, 1, 1.0);
+  const auto inflated = m::gpt_moe_config(8192, 3, 8, 8, 2, 1, 1.5);
+  EXPECT_GT(a::model_activation_bytes(inflated, tp1),
+            a::model_activation_bytes(base, tp1));
+}
+
+TEST(WorkloadGqa, SavedBytesShrinkWithFewerKvHeads) {
+  p::ParallelConfig tp2;
+  tp2.tensor_parallel = 2;
+  const auto mha = m::gpt_config(8192, 3, 8);
+  u::Bytes last = a::model_activation_bytes(mha, tp2);
+  for (std::int64_t kv : {32, 16, 8, 4, 2}) {  // 64 query heads
+    const auto cfg = m::gpt_gqa_config(8192, 3, 8, kv);
+    const u::Bytes bytes = a::model_activation_bytes(cfg, tp2);
+    EXPECT_LT(bytes, last) << "kv_heads=" << kv;
+    last = bytes;
+  }
+  // kv_heads == heads degenerates to MHA exactly.
+  EXPECT_EQ(a::model_activation_bytes(m::gpt_gqa_config(8192, 3, 8, 64),
+                                      tp2),
+            a::model_activation_bytes(mha, tp2));
+}
+
+// ---------------------------------------------------------------------------
+// Module accounting: the simulated MoE/GQA layers must register exactly
+// the bytes the per-LayerSpec closed form predicts (the same
+// cross-validation the dense layers get in test_modules).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+m::ModelConfig accounting_config() {
+  m::ModelConfig cfg;
+  cfg.hidden = 2048;
+  cfg.layers = 1;
+  cfg.heads = 16;
+  cfg.seq = 512;
+  cfg.vocab = 32000;
+  cfg.micro_batch = 4;
+  return cfg;
+}
+
+u::Bytes recorded_layer_bytes(const m::ModelConfig& cfg,
+                              const w::LayerSpec& group,
+                              const p::ParallelConfig& parallel) {
+  hw::DeviceAllocator alloc(u::gib(16));
+  TestContext ctx(alloc, parallel);
+  ctx.install_recording_hooks();
+  m::TransformerLayer layer("layer0", cfg.hidden, cfg.heads, group.attention,
+                            group.ffn, cfg.flash_attention, cfg.dropout);
+  auto x = ctx.make_activation("x", {cfg.seq, cfg.micro_batch, cfg.hidden},
+                               ssdtrain::tensor::DType::fp16);
+  layer.forward(ctx, x);
+  return ctx.recorded_bytes;
+}
+
+}  // namespace
+
+TEST(WorkloadAccounting, MoeLayerMatchesClosedForm) {
+  auto cfg = accounting_config();
+  w::LayerSpec group;
+  group.count = 1;
+  group.attention.causal = true;
+  group.ffn.num_experts = 8;
+  group.ffn.top_k = 2;
+  for (int tp : {1, 2}) {
+    p::ParallelConfig parallel;
+    parallel.tensor_parallel = tp;
+    EXPECT_EQ(recorded_layer_bytes(cfg, group, parallel),
+              a::layer_spec_activation_bytes(cfg, group, parallel))
+        << "tp=" << tp;
+  }
+}
+
+TEST(WorkloadAccounting, GqaLayerMatchesClosedForm) {
+  auto cfg = accounting_config();
+  w::LayerSpec group;
+  group.count = 1;
+  group.attention.causal = true;
+  group.attention.kv_heads = 4;  // 16 query heads -> 4 kv heads
+  for (int tp : {1, 2}) {
+    p::ParallelConfig parallel;
+    parallel.tensor_parallel = tp;
+    EXPECT_EQ(recorded_layer_bytes(cfg, group, parallel),
+              a::layer_spec_activation_bytes(cfg, group, parallel))
+        << "tp=" << tp;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The per-layer byte profile the planner consumes
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadProfile, ProfileSumsToModelBytesAndExposesHeterogeneity) {
+  p::ParallelConfig tp2;
+  tp2.tensor_parallel = 2;
+  const auto t5 = m::t5_config(8192, 5, 16);  // 3 encoders + 2 decoders
+  const a::ActivationProfile profile = a::activation_profile(t5, tp2);
+  ASSERT_EQ(profile.per_layer.size(), 5u);
+  EXPECT_EQ(profile.total(), a::model_activation_bytes(t5, tp2));
+  // Decoder layers (cross-attention) are strictly heavier than encoders.
+  EXPECT_GT(profile.per_layer[4], profile.per_layer[0]);
+  EXPECT_EQ(profile.per_layer[0], profile.per_layer[1]);
+  EXPECT_GT(profile.shared_memory, 0);
+  EXPECT_GT(profile.kept_last, 0);
+  EXPECT_EQ(profile.offloadable(), profile.total() - profile.kept_last);
+}
+
+TEST(WorkloadProfile, PlanCarriesThePerLayerProfile) {
+  core::PlannerInputs in;
+  in.model = m::gpt_moe_config(8192, 3, 8, 8, 2);
+  in.parallel.tensor_parallel = 2;
+  in.gpu = hw::catalog::table2_evaluation_node().gpu;
+  in.target_write_bandwidth = 1.0e10;
+  const core::OffloadPlan plan = core::plan_offload(in);
+  ASSERT_EQ(plan.per_layer_bytes.size(), 3u);
+  EXPECT_GT(plan.kept_last_layer_bytes, 0);
+  // The MoE keep-last carve-out exceeds the dense one (routed stream).
+  core::PlannerInputs dense = in;
+  dense.model = m::gpt_config(8192, 3, 8);
+  const core::OffloadPlan dense_plan = core::plan_offload(dense);
+  EXPECT_GT(plan.kept_last_layer_bytes, dense_plan.kept_last_layer_bytes);
+  EXPECT_GT(plan.per_layer_bytes[0], dense_plan.per_layer_bytes[0]);
+}
+
+TEST(WorkloadPerf, MoeAndGqaStepEstimatesBehave) {
+  p::ParallelConfig tp2;
+  tp2.tensor_parallel = 2;
+  hw::Gpu gpu(hw::catalog::a100_pcie_40gb());
+  const auto dense = a::estimate_step(m::gpt_config(8192, 3, 8), tp2, gpu,
+                                      a::Fabrics{});
+  const auto moe = a::estimate_step(m::gpt_moe_config(8192, 3, 8, 8, 2),
+                                    tp2, gpu, a::Fabrics{});
+  const auto gqa = a::estimate_step(m::gpt_gqa_config(8192, 3, 8), tp2, gpu,
+                                    a::Fabrics{});
+  // Routed top_k=2 FFN roughly doubles the FFN GEMMs: step grows.
+  EXPECT_GT(moe.step, dense.step * 1.2);
+  // GQA trims the KV projection GEMM: never slower than MHA.
+  EXPECT_LE(gqa.step, dense.step);
+  EXPECT_GT(gqa.step, dense.step * 0.8);
+}

@@ -128,7 +128,7 @@ int main(int argc, char** argv) {
   });
 
   sweep::SweepRunner runner(options.workers);
-  const auto outcomes = runner.map(variants, run_variant);
+  const auto outcomes = runner.map(variants, run_variant, options.map_options());
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     u::check(outcomes[i].ok(),
              variants[i].name + " failed: " + outcomes[i].error);

@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   sweep::SweepRunner runner(options.workers);
   const auto outcomes = runner.map(series, [](const Series& s) {
     return SeriesResult{a::trend_points(s.series), a::fit_trend(s.series)};
-  });
+  }, options.map_options());
   for (const auto& o : outcomes) {
     u::check(o.ok(), "series fit failed: " + o.error);
   }

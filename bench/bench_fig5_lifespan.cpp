@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   const auto outcomes =
       runner.map(scenarios, [&gpu, &provisioning](const a::ClusterScenario& s) {
         return a::project_lifespan(s, gpu, provisioning);
-      });
+      }, options.map_options());
   for (const auto& o : outcomes) {
     u::check(o.ok(), "scenario failed: " + o.error);
   }

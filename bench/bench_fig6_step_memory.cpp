@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   }
 
   sweep::SweepRunner runner(options.workers);
-  const auto outcomes = runner.map(grid, measure);
+  const auto outcomes = runner.map(grid, measure, options.map_options());
   for (const auto& o : outcomes) {
     u::check(o.ok(), "configuration failed: " + o.error);
   }

@@ -136,7 +136,7 @@ int main(int argc, char** argv) {
 
   sweep::SweepRunner runner(options.workers);
   const auto points = spec.points();
-  const auto outcomes = runner.map(points, measure);
+  const auto outcomes = runner.map(points, measure, options.map_options());
 
   RokResults results;
   for (std::size_t i = 0; i < points.size(); ++i) {

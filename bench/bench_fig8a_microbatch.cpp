@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
 
   sweep::SweepRunner runner(options.workers);
   const auto points = spec.points();
-  const auto outcomes = runner.map(points, measure);
+  const auto outcomes = runner.map(points, measure, options.map_options());
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     u::check(outcomes[i].ok(),
              points[i].label() + " failed: " + outcomes[i].error);

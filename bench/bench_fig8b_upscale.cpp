@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
                                        {4, 8, 12, true}, {8, 8, 24, true}};
 
   sweep::SweepRunner runner(options.workers);
-  const auto outcomes = runner.map(configs, project);
+  const auto outcomes = runner.map(configs, project, options.map_options());
   for (const auto& o : outcomes) {
     u::check(o.ok(), "projection failed: " + o.error);
   }

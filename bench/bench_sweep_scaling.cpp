@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   for (std::size_t workers : worker_counts) {
     sweep::SweepRunner runner(workers);
     const auto t0 = std::chrono::steady_clock::now();
-    const auto outcomes = runner.run(spec, run_point);
+    const auto outcomes = runner.run(spec, run_point, options.map_options());
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();

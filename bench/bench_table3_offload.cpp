@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   const std::vector<Case> cases = {{8192, 4}, {12288, 3}, {16384, 2}};
 
   sweep::SweepRunner runner(options.workers);
-  const auto outcomes = runner.map(cases, measure);
+  const auto outcomes = runner.map(cases, measure, options.map_options());
   for (const auto& o : outcomes) {
     u::check(o.ok(), "case failed: " + o.error);
   }

@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
 
   sweep::SweepRunner runner(options.workers);
   const auto points = spec.points();
-  const auto outcomes = runner.map(points, measure);
+  const auto outcomes = runner.map(points, measure, options.map_options());
 
   u::AsciiTable table({"micro-batch size", "micro-batches",
                        "ideal bubble", "activation peak", "step time",

@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
           result.oom = true;
         }
         return result;
-      });
+      }, options.map_options());
 
   u::AsciiTable table({"strategy", "batch", "activation peak",
                        "throughput", "samples/s"});

@@ -7,6 +7,33 @@ namespace ssdtrain::core {
 using tensor::Tensor;
 using tensor::TensorId;
 
+namespace {
+
+// Interned once; per-tensor identity rides in the Label's tag payload, so
+// naming a transfer allocates nothing and renders ("store:t000042-...")
+// only on demand.
+util::Label store_label(const TensorId& id) {
+  static const util::Label kPrefix("store");
+  return util::Label::tagged(kPrefix, id.stamp, id.shape_key);
+}
+
+util::Label load_label(const TensorId& id) {
+  static const util::Label kPrefix("load");
+  return util::Label::tagged(kPrefix, id.stamp, id.shape_key);
+}
+
+util::Label d2h_label(const TensorId& id) {
+  static const util::Label kPrefix("d2h");
+  return util::Label::tagged(kPrefix, id.stamp, id.shape_key);
+}
+
+util::Label h2d_label(const TensorId& id) {
+  static const util::Label kPrefix("h2d");
+  return util::Label::tagged(kPrefix, id.stamp, id.shape_key);
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // SsdOffloader
 // ---------------------------------------------------------------------------
@@ -65,15 +92,15 @@ std::optional<sim::CompletionPtr> SsdOffloader::store(
   // even if the tensor cache has already dropped its own reference.
   Tensor pinned_ref = t;
   auto done = store_pool_.submit(
-      "store:" + id.to_string(),
+      store_label(id),
       [this, id, bytes, path, setup, ready, pinned_ref, &sim,
-       &net](std::function<void()> finish) mutable {
+       &net](sim::SimThreadPool::FinishToken finish) mutable {
         auto begin_io = [this, id, bytes, path, setup, pinned_ref, &sim,
                          &net, finish]() mutable {
           sim.schedule_after(setup, [this, id, bytes, path, pinned_ref, &net,
                                      finish]() mutable {
             net.start_flow(
-                "store:" + id.to_string(), bytes, path,
+                store_label(id), bytes, path,
                 [this, id, pinned_ref, finish]() mutable {
                   auto it = slots_.find(id);
                   util::check(it != slots_.end(), "store slot vanished");
@@ -91,7 +118,7 @@ std::optional<sim::CompletionPtr> SsdOffloader::store(
           });
         };
         if (ready && !ready->done()) {
-          ready->add_waiter(begin_io);
+          ready->add_waiter(std::move(begin_io));
         } else {
           begin_io();
         }
@@ -99,7 +126,7 @@ std::optional<sim::CompletionPtr> SsdOffloader::store(
   return done;
 }
 
-LoadTicket SsdOffloader::load(const TensorId& id, std::string label,
+LoadTicket SsdOffloader::load(const TensorId& id, util::Label label,
                               tensor::TensorShape shape,
                               tensor::DType dtype) {
   auto it = slots_.find(id);
@@ -109,9 +136,9 @@ LoadTicket SsdOffloader::load(const TensorId& id, std::string label,
 
   auto& sim = node_.simulator();
   auto& net = node_.network();
-  Tensor dst = factory_.cuda(std::move(label), std::move(shape), dtype,
+  Tensor dst = factory_.cuda(label.str(), std::move(shape), dtype,
                              hw::MemoryTag::activation);
-  auto done = std::make_shared<sim::Completion>(sim, "load:" + id.to_string());
+  auto done = sim::Completion::create(sim, load_label(id));
   dst.storage()->set_ready_event(done);
 
   ++stats_.loads;
@@ -126,12 +153,12 @@ LoadTicket SsdOffloader::load(const TensorId& id, std::string label,
   // Hold the destination alive until the data lands.
   Tensor pinned_dst = dst;
   load_pool_.submit(
-      "load:" + id.to_string(),
+      load_label(id),
       [this, id, bytes, path, setup, extent, done, pinned_dst, &sim,
-       &net](std::function<void()> finish) mutable {
+       &net](sim::SimThreadPool::FinishToken finish) mutable {
         sim.schedule_after(setup, [this, id, bytes, path, extent, done,
                                    pinned_dst, &net, finish]() mutable {
-          net.start_flow("load:" + id.to_string(), bytes, path,
+          net.start_flow(load_label(id), bytes, path,
                          [this, extent, done, pinned_dst,
                           finish]() mutable {
                            node_.array(config_.gpu_index).record_read(extent);
@@ -203,12 +230,12 @@ std::optional<sim::CompletionPtr> CpuOffloader::store(
 
   Tensor pinned_ref = t;
   auto done = store_pool_.submit(
-      "store:" + id.to_string(),
+      store_label(id),
       [this, id, bytes, path, ready, pinned_ref,
-       &net](std::function<void()> finish) mutable {
+       &net](sim::SimThreadPool::FinishToken finish) mutable {
         auto begin_io = [this, id, bytes, path, pinned_ref, &net,
                          finish]() mutable {
-          net.start_flow("d2h:" + id.to_string(), bytes, path,
+          net.start_flow(d2h_label(id), bytes, path,
                          [this, id, pinned_ref, finish]() mutable {
                            auto it = slots_.find(id);
                            util::check(it != slots_.end(),
@@ -224,7 +251,7 @@ std::optional<sim::CompletionPtr> CpuOffloader::store(
                          });
         };
         if (ready && !ready->done()) {
-          ready->add_waiter(begin_io);
+          ready->add_waiter(std::move(begin_io));
         } else {
           begin_io();
         }
@@ -232,7 +259,7 @@ std::optional<sim::CompletionPtr> CpuOffloader::store(
   return done;
 }
 
-LoadTicket CpuOffloader::load(const TensorId& id, std::string label,
+LoadTicket CpuOffloader::load(const TensorId& id, util::Label label,
                               tensor::TensorShape shape,
                               tensor::DType dtype) {
   auto it = slots_.find(id);
@@ -242,9 +269,9 @@ LoadTicket CpuOffloader::load(const TensorId& id, std::string label,
 
   auto& sim = node_.simulator();
   auto& net = node_.network();
-  Tensor dst = factory_.cuda(std::move(label), std::move(shape), dtype,
+  Tensor dst = factory_.cuda(label.str(), std::move(shape), dtype,
                              hw::MemoryTag::activation);
-  auto done = std::make_shared<sim::Completion>(sim, "load:" + id.to_string());
+  auto done = sim::Completion::create(sim, load_label(id));
   dst.storage()->set_ready_event(done);
 
   ++stats_.loads;
@@ -254,10 +281,10 @@ LoadTicket CpuOffloader::load(const TensorId& id, std::string label,
   const util::Bytes bytes = dst.bytes();
 
   Tensor pinned_dst = dst;
-  load_pool_.submit("load:" + id.to_string(),
+  load_pool_.submit(load_label(id),
                     [id, bytes, path, done, pinned_dst,
-                     &net](std::function<void()> finish) mutable {
-                      net.start_flow("h2d:" + id.to_string(), bytes, path,
+                     &net](sim::SimThreadPool::FinishToken finish) mutable {
+                      net.start_flow(h2d_label(id), bytes, path,
                                      [done, pinned_dst, finish]() mutable {
                                        done->fire();
                                        pinned_dst.reset();

@@ -12,7 +12,6 @@
 /// the data; load completions become the ready events consumers wait on.
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -22,6 +21,7 @@
 #include "ssdtrain/hw/node.hpp"
 #include "ssdtrain/sim/completion.hpp"
 #include "ssdtrain/sim/thread_pool.hpp"
+#include "ssdtrain/util/label.hpp"
 #include "ssdtrain/tensor/tensor.hpp"
 #include "ssdtrain/tensor/tensor_id.hpp"
 
@@ -57,8 +57,11 @@ class Offloader {
       const tensor::TensorId& id, const tensor::Tensor& t,
       sim::CompletionPtr ready) = 0;
 
-  /// Begins loading \p id back into a fresh device tensor.
-  virtual LoadTicket load(const tensor::TensorId& id, std::string label,
+  /// Begins loading \p id back into a fresh device tensor. \p label names
+  /// the destination tensor; it is a lazy util::Label rendered exactly
+  /// once (for the tensor's own name), so callers can pass a non-owning
+  /// Label::view over a scratch string.
+  virtual LoadTicket load(const tensor::TensorId& id, util::Label label,
                           tensor::TensorShape shape, tensor::DType dtype) = 0;
 
   /// Releases the offloaded copy (TRIM on SSD, pool free on host). Safe to
@@ -86,7 +89,7 @@ class SsdOffloader final : public Offloader {
   std::optional<sim::CompletionPtr> store(const tensor::TensorId& id,
                                           const tensor::Tensor& t,
                                           sim::CompletionPtr ready) override;
-  LoadTicket load(const tensor::TensorId& id, std::string label,
+  LoadTicket load(const tensor::TensorId& id, util::Label label,
                   tensor::TensorShape shape, tensor::DType dtype) override;
   void release(const tensor::TensorId& id) override;
 
@@ -136,7 +139,7 @@ class CpuOffloader final : public Offloader {
   std::optional<sim::CompletionPtr> store(const tensor::TensorId& id,
                                           const tensor::Tensor& t,
                                           sim::CompletionPtr ready) override;
-  LoadTicket load(const tensor::TensorId& id, std::string label,
+  LoadTicket load(const tensor::TensorId& id, util::Label label,
                   tensor::TensorShape shape, tensor::DType dtype) override;
   void release(const tensor::TensorId& id) override;
 

@@ -265,8 +265,9 @@ Tensor TensorCache::unpack(const graph::PackedValue& value) {
       }
       // Forwarding disabled (ablation): serialise — wait for the store,
       // then read the data back; consumers gate on the reload completion.
-      auto reloaded = std::make_shared<sim::Completion>(
-          sim_, "sync-reload:" + id.to_string());
+      static const util::Label kSyncReload("sync-reload");
+      auto reloaded = sim::Completion::create(
+          sim_, util::Label::tagged(kSyncReload, id.stamp, id.shape_key));
       const int mb = current_mb_;
       entry.store_done->add_waiter([this, id, mb, reloaded]() {
         // The consuming scope may already have retired the entry by the
@@ -282,7 +283,8 @@ Tensor TensorCache::unpack(const graph::PackedValue& value) {
           reloaded->fire();
           return;
         }
-        auto ticket = offloader_.load(id, e->second.label + ".reload",
+        const std::string reload_name = e->second.label + ".reload";
+        auto ticket = offloader_.load(id, util::Label::view(reload_name),
                                       e->second.shape, e->second.dtype);
         e->second.strong = ticket.tensor;  // keep the reloaded copy alive
         ticket.done->add_waiter([reloaded]() { reloaded->fire(); });
@@ -311,8 +313,9 @@ Tensor TensorCache::unpack(const graph::PackedValue& value) {
 }
 
 void TensorCache::start_load(const TensorId& id, Entry& entry) {
-  auto ticket = offloader_.load(id, entry.label + ".reload", entry.shape,
-                                entry.dtype);
+  const std::string reload_name = entry.label + ".reload";
+  auto ticket = offloader_.load(id, util::Label::view(reload_name),
+                                entry.shape, entry.dtype);
   entry.state = EntryState::loading;
   entry.strong = ticket.tensor;
   const int mb = current_mb_;

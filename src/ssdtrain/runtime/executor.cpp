@@ -22,8 +22,11 @@ tensor::Tensor Executor::make_activation(std::string label,
                                          tensor::DType dtype) {
   Tensor t = factory_.cuda(std::move(label), std::move(shape), dtype,
                            hw::MemoryTag::activation);
-  auto ready = std::make_shared<sim::Completion>(node_.simulator(),
-                                                 t.label() + ".ready");
+  // Ready events are anonymous on purpose: one is minted per activation
+  // per micro-batch, and a label would either intern an unbounded string
+  // set or allocate text nobody reads (the tensor itself carries the
+  // name).
+  auto ready = sim::Completion::create(node_.simulator());
   t.storage()->set_ready_event(ready);
   pending_ready_.push_back(t);
   return t;

@@ -42,8 +42,8 @@ util::BytesPerSecond BandwidthNetwork::capacity(ResourceId id) const {
 }
 
 BandwidthNetwork::FlowId BandwidthNetwork::start_flow(
-    std::string label, util::Bytes bytes, std::vector<ResourceId> path,
-    std::function<void()> on_complete, util::BytesPerSecond rate_cap) {
+    util::Label label, util::Bytes bytes, std::vector<ResourceId> path,
+    EventFn on_complete, util::BytesPerSecond rate_cap) {
   util::expects(bytes >= 0, "negative flow size");
   util::expects(rate_cap > 0.0, "non-positive rate cap");
   for (ResourceId r : path) {
@@ -75,7 +75,7 @@ BandwidthNetwork::FlowId BandwidthNetwork::start_flow(
     slots_.emplace_back();
   }
   Flow& flow = slots_[slot];
-  flow.label = std::move(label);
+  flow.label = label;
   flow.remaining = static_cast<double>(bytes);
   flow.path = std::move(path);
   flow.rate_cap = rate_cap;
@@ -351,8 +351,10 @@ void BandwidthNetwork::on_tick(std::uint64_t epoch) {
   advance();
 
   // Collect completions in flow-start order (the pre-slot-map behaviour) so
-  // downstream callback effects interleave deterministically.
-  std::vector<std::pair<FlowId, std::function<void()>>> callbacks;
+  // downstream callback effects interleave deterministically. The scratch
+  // vector is a reused member: steady-state ticks allocate nothing.
+  std::vector<std::pair<FlowId, EventFn>>& callbacks = tick_scratch_;
+  callbacks.clear();
   for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
     Flow& flow = slots_[slot];
     if (flow.id == 0 || flow.remaining > kRemainingEpsilon) continue;
@@ -369,6 +371,7 @@ void BandwidthNetwork::on_tick(std::uint64_t epoch) {
   // filling pass at this instant.
   schedule_flush();
   for (auto& [id, cb] : callbacks) cb();
+  callbacks.clear();
 }
 
 }  // namespace ssdtrain::sim

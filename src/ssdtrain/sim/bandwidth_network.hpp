@@ -22,12 +22,14 @@
 /// every pass and exists for differential testing).
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ssdtrain/sim/simulator.hpp"
+#include "ssdtrain/util/label.hpp"
+#include "ssdtrain/util/unique_function.hpp"
 #include "ssdtrain/util/units.hpp"
 
 namespace ssdtrain::sim {
@@ -63,10 +65,10 @@ class BandwidthNetwork {
   /// the simulated instant the last byte is delivered. \p rate_cap bounds
   /// this flow's rate regardless of available capacity (e.g. a single NVMe
   /// namespace's sequential-write ceiling). Zero-byte flows complete at the
-  /// current time via a scheduled event.
-  FlowId start_flow(std::string label, util::Bytes bytes,
-                    std::vector<ResourceId> path,
-                    std::function<void()> on_complete,
+  /// current time via a scheduled event. The label is a lazy util::Label
+  /// id (never rendered on the flow path).
+  FlowId start_flow(util::Label label, util::Bytes bytes,
+                    std::vector<ResourceId> path, EventFn on_complete,
                     util::BytesPerSecond rate_cap = unlimited);
 
   [[nodiscard]] bool flow_active(FlowId id) const;
@@ -124,12 +126,12 @@ class BandwidthNetwork {
   };
 
   struct Flow {
-    std::string label;
+    util::Label label;
     double remaining = 0.0;
     std::vector<ResourceId> path;
     util::BytesPerSecond rate_cap = unlimited;
     util::BytesPerSecond rate = 0.0;
-    std::function<void()> on_complete;
+    EventFn on_complete;
     FlowId id = 0;         // 0 = slot free
     bool in_component = false;  // scratch: collected for the current refill
     bool frozen = false;        // scratch for the progressive-filling pass
@@ -168,6 +170,9 @@ class BandwidthNetwork {
   RefillPolicy policy_;
   std::vector<Resource> resources_;
   std::vector<Flow> slots_;
+  /// Scratch for on_tick's drained-flow callbacks; reused so completion
+  /// ticks allocate nothing at steady state.
+  std::vector<std::pair<FlowId, EventFn>> tick_scratch_;
   std::vector<std::uint32_t> free_slots_;
   std::size_t active_count_ = 0;
   std::vector<ResourceId> dirty_resources_;

@@ -6,13 +6,13 @@
 
 namespace ssdtrain::sim {
 
-void Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+void Simulator::schedule_at(TimePoint t, EventFn fn) {
   util::expects(t >= now_, "cannot schedule event in the past");
   util::expects(static_cast<bool>(fn), "null event callback");
-  queue_.push(Entry{t, ++seq_, std::move(fn)});
+  queue_.push(t, ++seq_, std::move(fn));
 }
 
-void Simulator::schedule_after(util::Seconds dt, std::function<void()> fn) {
+void Simulator::schedule_after(util::Seconds dt, EventFn fn) {
   util::expects(dt >= 0.0, "negative delay");
   schedule_at(now_ + dt, std::move(fn));
 }
@@ -25,19 +25,21 @@ TimePoint Simulator::run() {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  // std::priority_queue::top() is const; move out via const_cast is UB-free
-  // alternative: copy. Entries hold std::function, so copy once per event.
-  Entry e = queue_.top();
-  queue_.pop();
+  // Move the entry out before invoking it: the callback may call
+  // drop_pending() or schedule new events, both of which mutate the heap.
+  auto e = queue_.pop();
   util::check(e.time >= now_, "time went backwards");
   now_ = e.time;
   ++events_executed_;
-  e.fn();
+  e.payload();
   return true;
 }
 
 void Simulator::run_until(TimePoint t) {
   util::expects(t >= now_, "run_until into the past");
+  // One event at a time, horizon re-checked against the live top: an event
+  // at exactly t may schedule more work at t (zero-delay flushes,
+  // completion chains), which must run before the clock is pinned.
   while (!queue_.empty() && queue_.top().time <= t) {
     step();
   }

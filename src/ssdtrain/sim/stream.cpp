@@ -6,41 +6,78 @@
 
 namespace ssdtrain::sim {
 
-Stream::Stream(Simulator& sim, std::string name)
-    : sim_(sim), name_(std::move(name)) {}
+void Stream::FinishToken::operator()() const {
+  util::expects(stream_ != nullptr, "finish token without a stream");
+  stream_->finish_task(token_);
+}
 
-CompletionPtr Stream::enqueue(std::string label, util::Seconds duration,
+Stream::Stream(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)), name_label_(name_) {}
+
+CompletionPtr Stream::combine_deps(std::vector<CompletionPtr> deps) {
+  for (const auto& w : pending_waits_) deps.push_back(w);
+  if (deps.empty()) return nullptr;
+  std::size_t unfired = 0;
+  const CompletionPtr* last_unfired = nullptr;
+  for (const auto& d : deps) {
+    util::expects(static_cast<bool>(d), "null dependency");
+    if (!d->done()) {
+      ++unfired;
+      last_unfired = &d;
+    }
+  }
+  if (unfired == 0) return nullptr;
+  if (unfired == 1) return *last_unfired;
+  return when_all(sim_, deps, name_label_);
+}
+
+CompletionPtr Stream::push_task(Task task, std::string_view label) {
+  task.done = Completion::create(sim_, name_label_);
+  CompletionPtr done = task.done;
+  if (observer_) labels_.emplace_back(label);
+  queue_.push_back(std::move(task));
+  pump();
+  return done;
+}
+
+CompletionPtr Stream::enqueue(std::string_view label, util::Seconds duration,
                               std::vector<CompletionPtr> deps) {
   util::expects(duration >= 0.0, "negative task duration");
   Task task;
-  task.label = std::move(label);
   task.duration = duration;
-  for (const auto& w : pending_waits_) deps.push_back(w);
-  task.deps = deps.empty() ? nullptr : when_all(sim_, deps);
-  task.done = std::make_shared<Completion>(sim_, name_ + ":" + task.label);
-  CompletionPtr done = task.done;
-  queue_.push_back(std::move(task));
-  pump();
-  return done;
+  task.deps = combine_deps(std::move(deps));
+  return push_task(std::move(task), label);
 }
 
-CompletionPtr Stream::enqueue_dynamic(std::string label, StartFn start,
+CompletionPtr Stream::enqueue_after(std::string_view label,
+                                    util::Seconds duration,
+                                    CompletionPtr dep) {
+  util::expects(duration >= 0.0, "negative task duration");
+  util::expects(static_cast<bool>(dep), "null dependency");
+  Task task;
+  task.duration = duration;
+  if (pending_waits_.empty()) {
+    task.deps = dep->done() ? nullptr : std::move(dep);
+  } else {
+    std::vector<CompletionPtr> deps;
+    deps.reserve(1 + pending_waits_.size());
+    deps.push_back(std::move(dep));
+    task.deps = combine_deps(std::move(deps));
+  }
+  return push_task(std::move(task), label);
+}
+
+CompletionPtr Stream::enqueue_dynamic(std::string_view label, StartFn start,
                                       std::vector<CompletionPtr> deps) {
   util::expects(static_cast<bool>(start), "null start function");
   Task task;
-  task.label = std::move(label);
   task.start = std::move(start);
-  for (const auto& w : pending_waits_) deps.push_back(w);
-  task.deps = deps.empty() ? nullptr : when_all(sim_, deps);
-  task.done = std::make_shared<Completion>(sim_, name_ + ":" + task.label);
-  CompletionPtr done = task.done;
-  queue_.push_back(std::move(task));
-  pump();
-  return done;
+  task.deps = combine_deps(std::move(deps));
+  return push_task(std::move(task), label);
 }
 
-CompletionPtr Stream::record_marker(std::string label) {
-  return enqueue(std::move(label), 0.0);
+CompletionPtr Stream::record_marker(std::string_view label) {
+  return enqueue(label, 0.0);
 }
 
 void Stream::wait_for(CompletionPtr dep) {
@@ -63,30 +100,38 @@ void Stream::pump() {
   }
   Task task = std::move(queue_.front());
   queue_.pop_front();
+  if (observer_ && !labels_.empty()) {
+    current_label_ = std::move(labels_.front());
+    labels_.pop_front();
+  }
   begin(std::move(task));
 }
 
 void Stream::begin(Task task) {
   running_ = true;
-  const TimePoint started = sim_.now();
-  const std::string label = task.label;
-  const CompletionPtr done = task.done;
+  ++run_token_;
+  current_started_ = sim_.now();
+  current_done_ = std::move(task.done);
+  const FinishToken finish{this, run_token_};
   if (task.start) {
-    task.start([this, started, label, done]() {
-      finish_task(started, label, done);
-    });
+    task.start(finish);
   } else {
-    sim_.schedule_after(task.duration, [this, started, label, done]() {
-      finish_task(started, label, done);
-    });
+    sim_.schedule_after(task.duration, finish);
   }
 }
 
-void Stream::finish_task(TimePoint started, const std::string& label,
-                         const CompletionPtr& done) {
-  busy_time_ += sim_.now() - started;
+void Stream::finish_task(std::uint64_t token) {
+  util::check(running_ && token == run_token_, "stream task finished twice");
+  busy_time_ += sim_.now() - current_started_;
   ++tasks_completed_;
-  if (observer_) observer_(TaskRecord{label, started, sim_.now()});
+  CompletionPtr done = std::move(current_done_);
+  if (observer_) {
+    observer_(TaskRecord{std::move(current_label_), current_started_,
+                         sim_.now()});
+  }
+  // Unconditional: a label recorded while observed must not leak onto a
+  // later task finishing after an observer detach/re-attach cycle.
+  current_label_.clear();
   running_ = false;
   done->fire();
   pump();

@@ -6,19 +6,26 @@
 
 namespace ssdtrain::sim {
 
+void SimThreadPool::FinishToken::operator()() const {
+  util::expects(pool_ != nullptr, "finish token without a pool");
+  pool_->finish_job(slot_, token_);
+}
+
 SimThreadPool::SimThreadPool(Simulator& sim, std::string name,
                              std::size_t workers)
-    : sim_(sim), name_(std::move(name)), workers_(workers) {
+    : sim_(sim),
+      name_(std::move(name)),
+      name_label_(name_),
+      workers_(workers) {
   util::expects(workers > 0, "pool needs at least one worker");
 }
 
-CompletionPtr SimThreadPool::submit(std::string label, Job job) {
+CompletionPtr SimThreadPool::submit(util::Label label, Job job) {
   util::expects(static_cast<bool>(job), "null job");
   Pending pending;
-  pending.label = std::move(label);
   pending.job = std::move(job);
   pending.done =
-      std::make_shared<Completion>(sim_, name_ + ":" + pending.label);
+      Completion::create(sim_, label.empty() ? name_label_ : label);
   CompletionPtr done = pending.done;
   queue_.push_back(std::move(pending));
   try_dispatch();
@@ -35,18 +42,37 @@ void SimThreadPool::try_dispatch() {
 
 void SimThreadPool::run_job(Pending pending) {
   ++running_;
-  auto done = pending.done;
-  // The job owns `finish`; guard against double invocation.
-  auto finished = std::make_shared<bool>(false);
-  auto finish = [this, done, finished]() {
-    util::check(!*finished, "job finished twice");
-    *finished = true;
-    --running_;
-    ++jobs_completed_;
-    done->fire();
-    try_dispatch();
-  };
-  pending.job(std::move(finish));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  RunningSlot& rs = slots_[slot];
+  rs.done = std::move(pending.done);
+  rs.token = ++next_token_;
+  rs.active = true;
+  const FinishToken finish{this, slot, rs.token};
+  // `pending.job` is moved to the stack first: the job may finish
+  // synchronously and dispatch the next queued job into this frame.
+  Job job = std::move(pending.job);
+  job(finish);
+}
+
+void SimThreadPool::finish_job(std::uint32_t slot, std::uint64_t token) {
+  util::check(slot < slots_.size() && slots_[slot].active &&
+                  slots_[slot].token == token,
+              "job finished twice");
+  RunningSlot& rs = slots_[slot];
+  CompletionPtr done = std::move(rs.done);
+  rs.active = false;
+  free_slots_.push_back(slot);
+  --running_;
+  ++jobs_completed_;
+  done->fire();
+  try_dispatch();
 }
 
 }  // namespace ssdtrain::sim

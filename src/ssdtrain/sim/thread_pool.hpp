@@ -6,32 +6,54 @@
 /// executed in first-in-first-out order (paper §III-C2). This class gives
 /// those pools the same semantics in simulated time: jobs are picked up in
 /// submission order by the first free worker; each job runs until it calls
-/// its `finish` callback (typically when a bandwidth flow drains).
+/// its FinishToken (typically when a bandwidth flow drains).
+///
+/// Job completions are pool-allocated, labels are lazy util::Label ids,
+/// and the double-finish guard is a per-slot generation counter instead of
+/// a heap-allocated flag — submitting and finishing a job allocates
+/// nothing at steady state.
 
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "ssdtrain/sim/completion.hpp"
 #include "ssdtrain/sim/simulator.hpp"
+#include "ssdtrain/util/label.hpp"
+#include "ssdtrain/util/unique_function.hpp"
 
 namespace ssdtrain::sim {
 
 class SimThreadPool {
  public:
-  /// A job receives a `finish` callback and must eventually invoke it
-  /// exactly once.
-  using Job = std::function<void(std::function<void()> finish)>;
+  /// Completes a running job when invoked. Copyable; a second invocation
+  /// for the same job is a contract violation ("job finished twice").
+  class FinishToken {
+   public:
+    FinishToken() = default;
+    void operator()() const;
+
+   private:
+    friend class SimThreadPool;
+    FinishToken(SimThreadPool* pool, std::uint32_t slot, std::uint64_t token)
+        : pool_(pool), slot_(slot), token_(token) {}
+
+    SimThreadPool* pool_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint64_t token_ = 0;
+  };
+
+  /// A job receives a FinishToken and must eventually invoke it exactly
+  /// once.
+  using Job = util::UniqueFunction<void(FinishToken)>;
 
   SimThreadPool(Simulator& sim, std::string name, std::size_t workers);
   SimThreadPool(const SimThreadPool&) = delete;
   SimThreadPool& operator=(const SimThreadPool&) = delete;
 
   /// Submits a job; returns a completion fired when the job finishes.
-  CompletionPtr submit(std::string label, Job job);
+  CompletionPtr submit(util::Label label, Job job);
 
   [[nodiscard]] std::size_t worker_count() const { return workers_; }
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
@@ -47,19 +69,30 @@ class SimThreadPool {
 
  private:
   struct Pending {
-    std::string label;
     Job job;
     CompletionPtr done;
   };
 
+  /// One running job's state; slots recycle through free_slots_.
+  struct RunningSlot {
+    CompletionPtr done;
+    std::uint64_t token = 0;
+    bool active = false;
+  };
+
   void try_dispatch();
   void run_job(Pending pending);
+  void finish_job(std::uint32_t slot, std::uint64_t token);
 
   Simulator& sim_;
   std::string name_;
+  util::Label name_label_;
   std::size_t workers_;
   std::size_t running_ = 0;
   std::deque<Pending> queue_;
+  std::vector<RunningSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_token_ = 0;
   std::uint64_t jobs_completed_ = 0;
 };
 

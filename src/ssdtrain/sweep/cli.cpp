@@ -56,11 +56,34 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (arg == "--points") {
       util::expects(i + 1 < argc, "--points requires a=1[,b=2...]");
       parse_points_list(argv[++i], options);
+    } else if (arg == "--point-timeout") {
+      util::expects(i + 1 < argc, "--point-timeout requires seconds");
+      const char* text = argv[++i];
+      char* end = nullptr;
+      errno = 0;
+      const double seconds = std::strtod(text, &end);
+      util::expects(end != text && *end == '\0' && errno != ERANGE &&
+                        seconds >= 0.0,
+                    "--point-timeout expects a non-negative number of "
+                    "seconds, got '" +
+                        std::string(text) + "'");
+      options.point_timeout = seconds;
+    } else if (arg == "--retries") {
+      util::expects(i + 1 < argc, "--retries requires a count");
+      const char* text = argv[++i];
+      char* end = nullptr;
+      errno = 0;
+      const long n = std::strtol(text, &end, 10);
+      util::expects(end != text && *end == '\0' && errno != ERANGE &&
+                        n >= 0 && n <= 100,
+                    "--retries expects an integer in [0, 100], got '" +
+                        std::string(text) + "'");
+      options.retries = static_cast<int>(n);
     } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
       util::expects(false,
                     "unknown flag: " + std::string(arg) +
                         " (supported: --workers N, --csv PATH, "
-                        "--points a=1,b=2)");
+                        "--points a=1,b=2, --point-timeout S, --retries N)");
     } else {
       options.positional.emplace_back(arg);
     }

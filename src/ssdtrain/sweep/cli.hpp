@@ -12,6 +12,10 @@
 ///   --points a=1,b=2    run only the grid cells whose coordinates match
 ///                       every listed axis=value pair (repeatable; values
 ///                       compare by their axis to_string form)
+///   --point-timeout S   wall-clock budget per sweep point in seconds;
+///                       over-budget points are recorded as errors instead
+///                       of hanging the batch (0 = no timeout)
+///   --retries N         re-run a throwing point up to N extra times
 /// plus its own positional arguments, which are passed through untouched.
 
 #include <cstddef>
@@ -19,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "ssdtrain/sweep/runner.hpp"
 #include "ssdtrain/sweep/spec.hpp"
 
 namespace ssdtrain::sweep {
@@ -26,12 +31,19 @@ namespace ssdtrain::sweep {
 struct CliOptions {
   std::size_t workers = 0;  ///< 0 = one worker per hardware thread
   std::string csv_path;     ///< empty = no CSV output
+  double point_timeout = 0.0;  ///< seconds; 0 = no per-point timeout
+  int retries = 0;             ///< extra attempts for throwing points
   /// --points constraints, in order of appearance.
   std::vector<std::pair<std::string, std::string>> point_filter;
   std::vector<std::string> positional;
 
   [[nodiscard]] bool csv_enabled() const { return !csv_path.empty(); }
   [[nodiscard]] bool points_enabled() const { return !point_filter.empty(); }
+
+  /// The per-point policy for SweepRunner::map/run.
+  [[nodiscard]] MapOptions map_options() const {
+    return MapOptions{point_timeout, retries};
+  }
 };
 
 /// Parses argv. Unknown "--flag" arguments are contract violations;

@@ -1,6 +1,7 @@
 #include "ssdtrain/sweep/runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "ssdtrain/util/logging.hpp"
 
@@ -27,11 +28,50 @@ SweepRunner::~SweepRunner() {
   }
   work_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  // Joining here (not between batches) is the one place a truly
+  // never-returning abandoned point can still block; a merely slow one
+  // only delays destruction.
+  for (Replacement& r : replacements_) r.thread.join();
 }
 
-void SweepRunner::run_batch(std::vector<std::function<void()>> tasks) {
+void SweepRunner::account_one() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_cv_.notify_all();
+  }
+}
+
+void SweepRunner::spawn_replacement() {
+  Replacement r;
+  r.retired = std::make_shared<std::atomic<bool>>(false);
+  std::atomic<bool>& flag = *r.retired;
+  r.thread = std::thread([this, &flag] { replacement_loop(flag); });
+  replacements_.push_back(std::move(r));
+}
+
+void SweepRunner::reap_retired_replacements() {
+  // Join only the replacements that have raised their retired flag; one
+  // still wedged inside an abandoned point is left running (and joined at
+  // destruction) so the next batch is never blocked by it.
+  std::size_t kept = 0;
+  for (Replacement& r : replacements_) {
+    if (r.retired->load(std::memory_order_acquire)) {
+      r.thread.join();
+    } else {
+      // Guard the self-move: assigning a joinable std::thread onto
+      // itself would call std::terminate.
+      if (&replacements_[kept] != &r) replacements_[kept] = std::move(r);
+      ++kept;
+    }
+  }
+  replacements_.resize(kept);
+}
+
+void SweepRunner::run_batch(std::vector<std::function<void()>> tasks,
+                            BatchState& batch, const MapOptions& options) {
   std::lock_guard<std::mutex> batch_lock(batch_mu_);
   if (tasks.empty()) return;
+  reap_retired_replacements();
 
   in_flight_.store(tasks.size(), std::memory_order_relaxed);
   {
@@ -49,11 +89,52 @@ void SweepRunner::run_batch(std::vector<std::function<void()>> tasks) {
     q.tasks.push_back(std::move(tasks[i]));
   }
   work_cv_.notify_all();
+  // Workers wedged in abandoned points from earlier batches cannot pick
+  // these tasks up; restore the lost width immediately.
+  const std::size_t wedged = wedged_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < wedged; ++i) spawn_replacement();
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] {
+  const auto drained = [this] {
     return in_flight_.load(std::memory_order_acquire) == 0;
-  });
+  };
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options.point_timeout <= 0.0) {
+    done_cv_.wait(lock, drained);
+    return;
+  }
+
+  // Watchdog: poll between waits, abandoning running points past their
+  // wall-clock budget. Abandoning accounts the slot (so the batch can
+  // drain) and spawns one replacement worker to cover the wedged one.
+  const auto timeout_ns = static_cast<std::int64_t>(
+      options.point_timeout * 1e9);
+  while (!drained()) {
+    done_cv_.wait_for(lock, std::chrono::milliseconds(20), drained);
+    if (drained()) break;
+    const std::int64_t now = BatchState::now_ns();
+    for (std::size_t i = 0; i < batch.slots.size(); ++i) {
+      SlotState& slot = batch.slots[i];
+      if (slot.state.load(std::memory_order_acquire) != SlotState::kRunning) {
+        continue;
+      }
+      const std::int64_t elapsed = now - slot.started_ns;
+      if (elapsed < timeout_ns) continue;
+      std::uint8_t expected = SlotState::kRunning;
+      if (!slot.state.compare_exchange_strong(expected, SlotState::kAbandoned,
+                                              std::memory_order_acq_rel)) {
+        continue;  // the point finished in the meantime
+      }
+      batch.abandoned.emplace_back(i, static_cast<double>(elapsed) * 1e-9);
+      util::log_warning("sweep point " + std::to_string(i) +
+                        " timed out; abandoning and spawning a replacement "
+                        "worker");
+      // Account directly (we already hold mu_; done_cv_ is re-checked by
+      // this loop, no notify needed).
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      wedged_.fetch_add(1, std::memory_order_acq_rel);
+      spawn_replacement();
+    }
+  }
 }
 
 bool SweepRunner::try_pop_or_steal(std::size_t self,
@@ -90,15 +171,12 @@ void SweepRunner::worker_loop(std::size_t self) {
       try {
         task();
       } catch (const std::exception& e) {
-        // map() captures per-point exceptions; anything reaching here came
-        // through run_batch directly. Swallowing would hide bugs — log it.
+        // map()'s wrappers capture per-point exceptions and account their
+        // slots; anything reaching here is a harness bug. Swallowing would
+        // hide it — log loudly.
         util::log_error(std::string("sweep task threw: ") + e.what());
       } catch (...) {
         util::log_error("sweep task threw an unknown exception");
-      }
-      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mu_);
-        done_cv_.notify_all();
       }
       continue;
     }
@@ -108,6 +186,29 @@ void SweepRunner::worker_loop(std::size_t self) {
     });
     if (shutdown_) return;
   }
+}
+
+void SweepRunner::replacement_loop(std::atomic<bool>& retired) {
+  // Drain whatever is queued, then retire; a replacement exists only to
+  // restore lost width while a timed-out point wedges a regular worker.
+  for (;;) {
+    std::function<void()> task;
+    if (!try_pop_or_steal(0, task)) break;
+    try {
+      task();
+    } catch (const std::exception& e) {
+      util::log_error(std::string("sweep task threw: ") + e.what());
+    } catch (...) {
+      util::log_error("sweep task threw an unknown exception");
+    }
+  }
+  retired.store(true, std::memory_order_release);
+}
+
+std::string SweepRunner::format_seconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  return buf;
 }
 
 }  // namespace ssdtrain::sweep

@@ -1,17 +1,14 @@
 #include "ssdtrain/tensor/tensor_id.hpp"
 
-#include <cstdio>
-
 #include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/label.hpp"
 
 namespace ssdtrain::tensor {
 
 std::string TensorId::to_string() const {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "t%06llu-%016llx",
-                static_cast<unsigned long long>(stamp),
-                static_cast<unsigned long long>(shape_key));
-  return buf;
+  // Single source of truth with util::Label's tagged rendering, so offload
+  // flow labels ("store:t000042-...") and tensor-id strings always agree.
+  return util::format_tensor_tag(stamp, shape_key);
 }
 
 TensorId IdAssigner::get_id(const Tensor& tensor) {

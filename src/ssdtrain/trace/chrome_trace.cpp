@@ -7,6 +7,9 @@
 namespace ssdtrain::trace {
 
 void ChromeTrace::attach_stream(sim::Stream& stream, std::string track) {
+  // Attach before enqueuing work: streams only materialise task labels
+  // while an observer is installed (lazy-label contract), so tasks queued
+  // earlier would trace with empty names.
   stream.set_observer(
       [this, track](const sim::Stream::TaskRecord& record) {
         add_event(TraceEvent{record.label, track, record.start, record.end});

@@ -1,0 +1,127 @@
+#include "ssdtrain/util/label.hpp"
+
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace ssdtrain::util {
+
+namespace {
+
+/// Sharded string intern table. Ids encode (shard, index) so a Label can
+/// find its home shard without a global lock; the per-shard deque never
+/// invalidates element references, so rendered string_views stay stable
+/// for the process lifetime.
+constexpr std::uint32_t kShardBits = 4;
+constexpr std::uint32_t kShards = 1u << kShardBits;
+
+struct Shard {
+  std::mutex mu;
+  std::unordered_map<std::string_view, std::uint32_t> ids;
+  std::deque<std::string> strings;
+};
+
+Shard& shard_table(std::uint32_t index) {
+  static Shard shards[kShards];
+  return shards[index];
+}
+
+std::uint32_t intern(std::string_view text) {
+  const std::uint32_t shard_index =
+      static_cast<std::uint32_t>(std::hash<std::string_view>{}(text)) &
+      (kShards - 1);
+  Shard& shard = shard_table(shard_index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto it = shard.ids.find(text); it != shard.ids.end()) {
+    return it->second;
+  }
+  // Indices are offset by one so id 0 stays "no text" (empty prefixes).
+  shard.strings.emplace_back(text);
+  const std::uint32_t id =
+      (static_cast<std::uint32_t>(shard.strings.size()) << kShardBits) |
+      shard_index;
+  // Key views into the deque-owned string: stable for process lifetime.
+  shard.ids.emplace(shard.strings.back(), id);
+  return id;
+}
+
+std::string interned_text(std::uint32_t id) {
+  if (id == 0) return {};
+  Shard& shard = shard_table(id & (kShards - 1));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.strings[(id >> kShardBits) - 1];
+}
+
+}  // namespace
+
+std::string format_tensor_tag(std::uint64_t stamp, std::uint64_t shape_key) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "t%06llu-%016llx",
+                static_cast<unsigned long long>(stamp),
+                static_cast<unsigned long long>(shape_key));
+  return buf;
+}
+
+Label::Label(const char* text)
+    : Label(text == nullptr ? std::string_view{} : std::string_view{text}) {}
+
+Label::Label(std::string_view text) {
+  if (text.empty()) return;
+  kind_ = Kind::plain;
+  id_ = intern(text);
+}
+
+Label::Label(const std::string& text) : Label(std::string_view{text}) {}
+
+Label Label::tagged(Label prefix, std::uint64_t stamp,
+                    std::uint64_t shape_key) {
+  Label out;
+  out.kind_ = Kind::tagged;
+  out.id_ = prefix.id_;
+  out.tag_stamp_ = stamp;
+  out.tag_key_ = shape_key;
+  return out;
+}
+
+Label Label::suffixed(Label base, const char* literal_suffix) {
+  Label out;
+  out.kind_ = Kind::suffixed;
+  out.id_ = base.id_;
+  out.text_ = literal_suffix;
+  return out;
+}
+
+Label Label::view(std::string_view text) {
+  if (text.empty()) return {};
+  Label out;
+  out.kind_ = Kind::view;
+  out.text_ = text.data();
+  out.tag_stamp_ = text.size();
+  return out;
+}
+
+std::string Label::str() const {
+  switch (kind_) {
+    case Kind::empty:
+      return {};
+    case Kind::plain:
+      return interned_text(id_);
+    case Kind::tagged: {
+      std::string out = interned_text(id_);
+      out += ':';
+      out += format_tensor_tag(tag_stamp_, tag_key_);
+      return out;
+    }
+    case Kind::suffixed: {
+      std::string out = interned_text(id_);
+      if (text_ != nullptr) out += text_;
+      return out;
+    }
+    case Kind::view:
+      return std::string(text_, static_cast<std::size_t>(tag_stamp_));
+  }
+  return {};
+}
+
+}  // namespace ssdtrain::util

@@ -1,13 +1,42 @@
 #pragma once
 
 /// \file label.hpp
-/// Tiny prefix+number label builder: label("B", 16) -> "B16".
+/// Cheap task/flow/completion naming for the event core.
 ///
-/// Exists because the obvious spelling, `"B" + std::to_string(16)`, selects
-/// the `operator+(const char*, std::string&&)` overload whose inlined
-/// memcpy GCC 12 misdiagnoses under -O3 -Werror=restrict (GCC PR 105651).
+/// `label(prefix, n)` — tiny prefix+number string builder: label("B", 16)
+/// -> "B16". Exists because the obvious spelling,
+/// `"B" + std::to_string(16)`, selects the
+/// `operator+(const char*, std::string&&)` overload whose inlined memcpy
+/// GCC 12 misdiagnoses under -O3 -Werror=restrict (GCC PR 105651).
 /// Appending to an lvalue sidesteps the false positive, so every
 /// "letter + count" label in the repo routes through here.
+///
+/// `Label` — a 32-byte interned label id. The event core (completions,
+/// bandwidth flows, thread-pool jobs) names everything with Labels instead
+/// of std::string so the hot path never materialises text: a Label is an
+/// id into a global intern table (plus optional structured payload) and
+/// only renders to std::string when an observer, tracer, or error message
+/// asks via str(). Three shapes cover every call site:
+///
+///   * plain     — interned text ("gpu0.compute"). Interning allocates
+///                 once per *unique* string process-wide, so labels must
+///                 be drawn from a bounded set (module/stream names, not
+///                 per-step serial numbers).
+///   * tagged    — interned prefix + a 128-bit tensor tag, rendered as
+///                 "prefix:t000042-9f3a..." exactly like
+///                 tensor::TensorId::to_string(). Unbounded tensor ids
+///                 ride in the payload, not the intern table.
+///   * suffixed  — interned base + a string-literal suffix
+///                 ("h.out" + ".reload"). The literal is stored by
+///                 pointer, so it must have static storage duration.
+///   * view      — non-owning pointer+length over caller-owned text, for
+///                 pass-down-and-render-now plumbing (e.g. the tensor
+///                 cache handing a scratch reload name to Offloader::load,
+///                 which renders it before returning). Never retain a
+///                 view Label beyond the source string's lifetime.
+///
+/// The intern table is sharded and mutex-protected: sweep workers intern
+/// concurrently, and renders (cold path) lock only the owning shard.
 
 #include <cstdint>
 #include <string>
@@ -20,5 +49,51 @@ inline std::string label(std::string_view prefix, std::int64_t value) {
   out += std::to_string(value);
   return out;
 }
+
+/// Renders the canonical tensor-id tag, e.g. "t000042-00000000deadbeef".
+/// Shared with tensor::TensorId::to_string so traces and offload labels
+/// agree on the format.
+std::string format_tensor_tag(std::uint64_t stamp, std::uint64_t shape_key);
+
+class Label {
+ public:
+  constexpr Label() = default;
+
+  /// Interns \p text (empty or null yields the empty label).
+  Label(const char* text);             // NOLINT(google-explicit-constructor)
+  Label(std::string_view text);        // NOLINT(google-explicit-constructor)
+  Label(const std::string& text);      // NOLINT(google-explicit-constructor)
+
+  /// prefix + ":" + tensor tag, with the 128-bit tag carried inline so
+  /// per-tensor labels never grow the intern table.
+  [[nodiscard]] static Label tagged(Label prefix, std::uint64_t stamp,
+                                    std::uint64_t shape_key);
+
+  /// base + literal suffix (e.g. ".reload"). \p literal_suffix must have
+  /// static storage duration; only the pointer is kept.
+  [[nodiscard]] static Label suffixed(Label base, const char* literal_suffix);
+
+  /// Non-owning label over caller-owned text; valid only while that text
+  /// lives. For immediate-render plumbing, never for retention.
+  [[nodiscard]] static Label view(std::string_view text);
+
+  [[nodiscard]] bool empty() const { return kind_ == Kind::empty; }
+
+  /// Renders the label text (allocates; "" for the empty label). Cold
+  /// path by contract: only observers, tracers, and error messages call
+  /// this.
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Label&, const Label&) = default;
+
+ private:
+  enum class Kind : std::uint8_t { empty, plain, tagged, suffixed, view };
+
+  Kind kind_ = Kind::empty;
+  std::uint32_t id_ = 0;            ///< intern id of text / prefix / base
+  const char* text_ = nullptr;      ///< suffix (suffixed) or data (view)
+  std::uint64_t tag_stamp_ = 0;     ///< tag payload (tagged), length (view)
+  std::uint64_t tag_key_ = 0;       ///< Kind::tagged only
+};
 
 }  // namespace ssdtrain::util

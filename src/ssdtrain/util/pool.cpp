@@ -1,0 +1,7 @@
+#include "ssdtrain/util/pool.hpp"
+
+namespace ssdtrain::util {
+
+void SlabPool::reap() { delete this; }
+
+}  // namespace ssdtrain::util

@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file pool.hpp
+/// Size-class slab pool for the discrete-event core's per-Simulator
+/// allocations (completion objects, intrusive waiter nodes). Blocks are
+/// carved from multi-kilobyte chunks and recycled through per-class free
+/// lists, so at steady state — once the simulation's high-water mark of
+/// live completions/waiters has been reached — allocation and release
+/// never touch malloc.
+///
+/// Not thread-safe by design: each Simulator (and therefore each sweep
+/// point) owns its own pool, which is exactly the isolation the parallel
+/// sweep runner already guarantees. Ownership is shared through
+/// SlabPool::Handle, an intrusive smart pointer with a *plain* (non-
+/// atomic) count — objects allocated from the pool (e.g. completions held
+/// by tensors) keep the backing chunks alive through teardown without any
+/// atomic traffic on the event hot path.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace ssdtrain::util {
+
+class SlabPool {
+ public:
+  /// Intrusive non-atomic shared handle; see file comment for the
+  /// single-threaded ownership contract.
+  class Handle {
+   public:
+    Handle() noexcept = default;
+    Handle(const Handle& other) noexcept : pool_(other.pool_) {
+      if (pool_ != nullptr) ++pool_->refs_;
+    }
+    Handle(Handle&& other) noexcept : pool_(other.pool_) {
+      other.pool_ = nullptr;
+    }
+    Handle& operator=(const Handle& other) noexcept {
+      Handle(other).swap(*this);
+      return *this;
+    }
+    Handle& operator=(Handle&& other) noexcept {
+      Handle(std::move(other)).swap(*this);
+      return *this;
+    }
+    ~Handle() {
+      if (pool_ != nullptr && --pool_->refs_ == 0) {
+        // Blocks may outlive every handle (completions held by tensors
+        // during teardown): orphan the pool and let the last deallocate
+        // reap it. Each live block is what keeps the pool reachable, so
+        // objects store a raw SlabPool* with no per-object handle churn.
+        if (pool_->live_ == 0) {
+          delete pool_;
+        } else {
+          pool_->orphaned_ = true;
+        }
+      }
+    }
+
+    void swap(Handle& other) noexcept { std::swap(pool_, other.pool_); }
+    [[nodiscard]] SlabPool* get() const noexcept { return pool_; }
+    SlabPool* operator->() const noexcept { return pool_; }
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return pool_ != nullptr;
+    }
+
+   private:
+    friend class SlabPool;
+    explicit Handle(SlabPool* adopted) noexcept : pool_(adopted) {
+      ++pool_->refs_;
+    }
+    SlabPool* pool_ = nullptr;
+  };
+
+  /// Heap-allocates a pool owned by the returned handle.
+  static Handle create() { return Handle(new SlabPool()); }
+
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Returns storage for \p bytes with alignment <= alignof(max_align_t).
+  /// Requests above kMaxBlockBytes fall through to operator new.
+  void* allocate(std::size_t bytes) {
+    const std::size_t cls = size_class(bytes);
+    if (cls == kNumClasses) return ::operator new(bytes);
+    FreeNode*& head = free_[cls];
+    if (head == nullptr) refill(cls);
+    FreeNode* node = head;
+    head = node->next;
+    ++live_;
+    return node;
+  }
+
+  void deallocate(void* p, std::size_t bytes) noexcept {
+    const std::size_t cls = size_class(bytes);
+    if (cls == kNumClasses) {
+      ::operator delete(p);
+      return;
+    }
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = free_[cls];
+    free_[cls] = node;
+    --live_;
+    // Last straggler block of an orphaned pool reaps the pool itself.
+    if (live_ == 0 && orphaned_) reap();
+  }
+
+  /// Blocks currently handed out (diagnostics / tests).
+  [[nodiscard]] std::size_t live() const { return live_; }
+
+  /// Chunks requested from malloc so far; constant at steady state.
+  [[nodiscard]] std::size_t chunks_allocated() const {
+    return chunks_.size();
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  /// Out-of-line `delete this` for orphaned pools (also keeps GCC's
+  /// use-after-free flow analysis from flagging the callers, which only
+  /// reach here when no caller can touch the pool again).
+  void reap();
+
+  // Classes cover the event core's objects: completions and waiter nodes
+  // (~80-100B) land in the 128B class; everything larger up to 256B is
+  // insurance for layout drift.
+  static constexpr std::size_t kClassBytes[] = {32, 64, 128, 256};
+  static constexpr std::size_t kNumClasses =
+      sizeof(kClassBytes) / sizeof(kClassBytes[0]);
+  static constexpr std::size_t kChunkBytes = 16 * 1024;
+
+ public:
+  /// Largest pooled request. Bigger requests fall through to operator
+  /// new and do NOT count toward live(): they do not participate in the
+  /// orphaned-pool keepalive, so objects relying on that invariant
+  /// (sim::Completion and its waiter nodes) static_assert against this.
+  static constexpr std::size_t kMaxBlockBytes = kClassBytes[kNumClasses - 1];
+
+ private:
+
+  static std::size_t size_class(std::size_t bytes) {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      if (bytes <= kClassBytes[c]) return c;
+    }
+    return kNumClasses;  // sentinel: operator new fallthrough
+  }
+
+  void refill(std::size_t cls) {
+    const std::size_t block = kClassBytes[cls];
+    chunks_.push_back(std::make_unique<Chunk>());
+    unsigned char* base = chunks_.back()->bytes;
+    // Thread every block of the fresh chunk onto the free list, last block
+    // first so allocation order walks the chunk front to back.
+    for (std::size_t off = (kChunkBytes / block) * block; off >= block;
+         off -= block) {
+      auto* node = reinterpret_cast<FreeNode*>(base + off - block);
+      node->next = free_[cls];
+      free_[cls] = node;
+    }
+  }
+
+  struct Chunk {
+    alignas(std::max_align_t) unsigned char bytes[kChunkBytes];
+  };
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  FreeNode* free_[kNumClasses] = {};
+  std::size_t live_ = 0;
+  std::size_t refs_ = 0;  ///< Handle count (plain; single-threaded pool)
+  bool orphaned_ = false;  ///< all handles gone; last live block deletes
+};
+
+}  // namespace ssdtrain::util

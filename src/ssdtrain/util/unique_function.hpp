@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file unique_function.hpp
+/// Move-only type-erased callable with inline small-object storage, the
+/// event-core replacement for std::function. Two properties matter for the
+/// discrete-event engine:
+///
+///   * Closures up to kInlineBytes that are nothrow-move-constructible are
+///     stored inline — scheduling an event, registering a completion
+///     waiter, or arming a stream finish callback performs no heap
+///     allocation. Larger or throwing-move callables fall back to one heap
+///     allocation (exactly what std::function would have done).
+///   * Move-only: captured resources (tensors pinned for DMA, completion
+///     references) are moved through the queue instead of copied, so a
+///     priority-queue pop never duplicates a closure.
+///
+/// The inline budget is 64 bytes — enough for every closure on the event
+/// hot path (stream finish tokens, bandwidth ticks, completion chains);
+/// the offloader's big I/O closures (captured paths + pinned tensors)
+/// deliberately take the heap path, as they run once per transfer, not
+/// once per event.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ssdtrain::util {
+
+template <typename Signature, std::size_t InlineBytes = 64>
+class UniqueFunction;  // undefined; only the R(Args...) partial below exists
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class UniqueFunction<R(Args...), InlineBytes> {
+ public:
+  static constexpr std::size_t kInlineBytes =
+      InlineBytes < sizeof(void*) ? sizeof(void*) : InlineBytes;
+
+  UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-*)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, UniqueFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  UniqueFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      vtable_ = &inline_vtable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          D*(new D(std::forward<F>(fn)));
+      vtable_ = &heap_vtable<D>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { take(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* self, Args&&... args);
+    /// Move-constructs *src's callable into dst's storage, then destroys
+    /// the src copy. Both point at kInlineBytes of raw storage. Null when
+    /// the callable is trivially relocatable (see below).
+    void (*relocate)(void* src, void* dst) noexcept;
+    /// Null when destruction is a no-op (trivially destructible callable).
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineBytes &&
+      alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  // Trivially-copyable callables (closures capturing pointers, ids, byte
+  // counts — the whole event hot path) relocate by memcpy with no
+  // indirect call; a null `relocate` in the vtable marks them. The heap
+  // fallback relocates by moving one pointer, so it is trivial too.
+  template <typename D>
+  static constexpr VTable inline_vtable = {
+      [](void* self, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(self)))(
+            std::forward<Args>(args)...);
+      },
+      std::is_trivially_copyable_v<D>
+          ? nullptr
+          : +[](void* src, void* dst) noexcept {
+              D* from = std::launder(reinterpret_cast<D*>(src));
+              ::new (dst) D(std::move(*from));
+              from->~D();
+            },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* self) noexcept {
+              std::launder(reinterpret_cast<D*>(self))->~D();
+            },
+  };
+
+  template <typename D>
+  static constexpr VTable heap_vtable = {
+      [](void* self, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(self)))(
+            std::forward<Args>(args)...);
+      },
+      nullptr,  // a stored pointer always relocates by memcpy
+      [](void* self) noexcept {
+        delete *std::launder(reinterpret_cast<D**>(self));
+      },
+  };
+
+  void take(UniqueFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      if (vtable_->relocate == nullptr) {
+        __builtin_memcpy(storage_, other.storage_, kInlineBytes);
+      } else {
+        vtable_->relocate(other.storage_, storage_);
+      }
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      if (vtable_->destroy != nullptr) vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace ssdtrain::util

@@ -59,7 +59,7 @@ TEST_F(OffloaderTest, StoreWaitsForProducerKernel) {
   core::SsdOffloader off(node_, factory_, {});
   auto& s = node_.simulator();
   auto x = make_tensor("x");
-  auto ready = std::make_shared<sim::Completion>(s, "producer");
+  auto ready = sim::Completion::create(s, "producer");
   const auto id = ids_.get_id(x);
   auto done = off.store(id, x, ready);
   ASSERT_TRUE(done.has_value());

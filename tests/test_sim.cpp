@@ -77,7 +77,7 @@ TEST(Simulator, LogicalStampsStrictlyIncrease) {
 
 TEST(Completion, FiresWaitersOnce) {
   sim::Simulator s;
-  auto c = std::make_shared<sim::Completion>(s, "c");
+  auto c = sim::Completion::create(s, "c");
   int count = 0;
   c->add_waiter([&] { ++count; });
   EXPECT_FALSE(c->done());
@@ -99,8 +99,8 @@ TEST(Completion, LateWaiterRunsImmediately) {
 
 TEST(Completion, WhenAllWaitsForEveryDep) {
   sim::Simulator s;
-  auto a = std::make_shared<sim::Completion>(s);
-  auto b = std::make_shared<sim::Completion>(s);
+  auto a = sim::Completion::create(s);
+  auto b = sim::Completion::create(s);
   auto all = sim::when_all(s, {a, b});
   s.schedule_at(1.0, [&] { a->fire(); });
   s.schedule_at(2.0, [&] { b->fire(); });
@@ -185,6 +185,60 @@ TEST(Stream, ObserverSeesTaskRecords) {
   EXPECT_EQ(records[0].label, "k1");
   EXPECT_DOUBLE_EQ(records[1].start, 1.0);
   EXPECT_DOUBLE_EQ(records[1].end, 3.0);
+}
+
+TEST(Stream, StaleFinishTokenIsRejected) {
+  sim::Simulator s;
+  sim::Stream a(s, "a");
+  sim::Stream::FinishToken stolen;
+  a.enqueue_dynamic("dyn", [&stolen, &s](sim::Stream::FinishToken finish) {
+    stolen = finish;
+    s.schedule_after(1.0, finish);
+  });
+  s.run();
+  // The task already finished; invoking its token again must trip the
+  // double-finish guard instead of corrupting stream state.
+  EXPECT_THROW(stolen(), u::ContractViolation);
+}
+
+TEST(Stream, LabelsAreOnlyRetainedWhileObserved) {
+  sim::Simulator s;
+  sim::Stream a(s, "a");
+  std::vector<std::string> labels;
+  // Tasks enqueued before the observer attaches trace with empty names
+  // (lazy-label contract); tasks enqueued after carry their labels.
+  a.enqueue("before", 1.0);
+  a.set_observer([&](const sim::Stream::TaskRecord& r) {
+    labels.push_back(r.label);
+  });
+  a.enqueue("after1", 1.0);
+  a.enqueue("after2", 1.0);
+  s.run();
+  EXPECT_EQ(labels, (std::vector<std::string>{"", "after1", "after2"}));
+}
+
+TEST(Stream, SingleDependencyUsesTheDepDirectly) {
+  sim::Simulator s;
+  sim::Stream a(s, "a");
+  sim::Stream b(s, "b");
+  auto ka = a.enqueue("ka", 2.0);
+  auto kb = b.enqueue_after("kb", 1.0, ka);
+  s.run();
+  EXPECT_DOUBLE_EQ(kb->completion_time(), 3.0);
+  EXPECT_DOUBLE_EQ(b.busy_time(), 1.0);
+}
+
+TEST(ThreadPool, StaleFinishTokenIsRejected) {
+  sim::Simulator s;
+  sim::SimThreadPool pool(s, "store", 1);
+  sim::SimThreadPool::FinishToken stolen;
+  pool.submit("job", [&stolen, &s](sim::SimThreadPool::FinishToken finish) {
+    stolen = finish;
+    s.schedule_after(1.0, finish);
+  });
+  s.run();
+  EXPECT_THROW(stolen(), u::ContractViolation);
+  EXPECT_EQ(pool.jobs_completed(), 1u);
 }
 
 TEST(ThreadPool, SingleWorkerIsFifo) {

@@ -182,6 +182,127 @@ TEST(SweepRunner, ManySmallPointsKeepEveryWorkerHonest) {
   }
 }
 
+TEST(SweepRunner, RetriesRerunThrowingPoints) {
+  sweep::SweepRunner runner(2);
+  std::atomic<int> attempts{0};
+  sweep::MapOptions options;
+  options.retries = 3;
+  const auto out = runner.map(
+      std::vector<int>{7},
+      [&attempts](int v) {
+        // Fails twice, then succeeds: retries must re-run the point.
+        if (attempts.fetch_add(1, std::memory_order_relaxed) < 2) {
+          throw std::runtime_error("transient");
+        }
+        return v * 2;
+      },
+      options);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].ok());
+  EXPECT_EQ(out[0].get(), 14);
+  EXPECT_EQ(attempts.load(), 3);
+}
+
+TEST(SweepRunner, ExhaustedRetriesReportAttemptCount) {
+  sweep::SweepRunner runner(2);
+  sweep::MapOptions options;
+  options.retries = 2;
+  const auto out = runner.map(
+      std::vector<int>{1},
+      [](int) -> int { throw std::runtime_error("always broken"); },
+      options);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].ok());
+  EXPECT_NE(out[0].error.find("failed after 3 attempts"), std::string::npos);
+  EXPECT_NE(out[0].error.find("always broken"), std::string::npos);
+}
+
+TEST(SweepRunner, TimedOutPointBecomesErrorNotHang) {
+  sweep::SweepRunner runner(2);
+  sweep::MapOptions options;
+  options.point_timeout = 0.05;
+  const auto start = std::chrono::steady_clock::now();
+  const auto out = runner.map(
+      std::vector<int>{1, 2},
+      [](int v) {
+        if (v == 1) {
+          // Far past the budget; the watchdog abandons the point and the
+          // batch completes while this sleep is still running.
+          std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        }
+        return v * 10;
+      },
+      options);
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].ok());
+  EXPECT_NE(out[0].error.find("timed out"), std::string::npos);
+  EXPECT_TRUE(out[1].ok());
+  EXPECT_EQ(out[1].get(), 20);
+  // The batch returned on the watchdog's schedule, not the sleeper's.
+  EXPECT_LT(elapsed.count(), 0.35);
+}
+
+TEST(SweepRunner, QueuedPointsDrainDespiteWedgedWorker) {
+  // One worker, first point wedges it past the timeout: the replacement
+  // worker must still run the queued points so the batch drains.
+  sweep::SweepRunner runner(1);
+  sweep::MapOptions options;
+  options.point_timeout = 0.05;
+  const auto out = runner.map(
+      std::vector<int>{0, 1, 2, 3},
+      [](int v) {
+        if (v == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        }
+        return v + 100;
+      },
+      options);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_FALSE(out[0].ok());
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_TRUE(out[i].ok()) << out[i].error;
+    EXPECT_EQ(out[i].get(), static_cast<int>(i) + 100);
+  }
+}
+
+TEST(SweepRunner, NextBatchIsNotStarvedByWedgedWorker) {
+  // Batch 1's only worker wedges in an abandoned point; batch 2 must not
+  // wait for it: run_batch restores the lost width with a replacement.
+  sweep::SweepRunner runner(1);
+  sweep::MapOptions options;
+  options.point_timeout = 0.05;
+  const auto first = runner.map(
+      std::vector<int>{0},
+      [](int v) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+        return v;
+      },
+      options);
+  EXPECT_FALSE(first[0].ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto second =
+      runner.map(std::vector<int>{1, 2}, [](int v) { return v + 1; });
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].get(), 2);
+  EXPECT_EQ(second[1].get(), 3);
+  EXPECT_LT(elapsed.count(), 0.3);  // not the sleeper's remaining ~450ms
+}
+
+TEST(SweepCli, ParsesPointTimeoutAndRetries) {
+  const char* argv[] = {"bench", "--point-timeout", "2.5", "--retries", "4"};
+  const auto options = sweep::parse_cli(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(options.point_timeout, 2.5);
+  EXPECT_EQ(options.retries, 4);
+  const auto map_options = options.map_options();
+  EXPECT_DOUBLE_EQ(map_options.point_timeout, 2.5);
+  EXPECT_EQ(map_options.retries, 4);
+}
+
 TEST(SweepCli, ParsesWorkersCsvAndPositionals) {
   const char* argv[] = {"bench", "12288", "--workers", "8",
                         "3",     "--csv", "out.csv",   "bert"};

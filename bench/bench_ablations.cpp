@@ -31,8 +31,12 @@ namespace u = ssdtrain::util;
 
 namespace {
 
+// --no-replay forces the legacy trace-every-step path (A/B switch).
+bool g_use_replay = true;
+
 rt::SessionConfig base() {
   rt::SessionConfig config;
+  config.use_replay = g_use_replay;
   config.model = m::bert_config(12288, 3, 16);
   config.parallel.tensor_parallel = 2;
   config.strategy = rt::Strategy::ssdtrain;
@@ -68,6 +72,7 @@ rt::StepStats run_variant(const Variant& v) {
 
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
+  g_use_replay = !options.no_replay;
 
   std::vector<Variant> variants;
   auto add = [&variants](std::string name,

@@ -31,6 +31,9 @@ namespace u = ssdtrain::util;
 
 namespace {
 
+// --no-replay forces the legacy trace-every-step path (A/B switch).
+bool g_use_replay = true;
+
 using ConfigFactory = m::ModelConfig (*)(std::int64_t, int, std::int64_t);
 
 struct Case {
@@ -50,6 +53,7 @@ struct Point {
 
 rt::StepStats measure(const Point& p) {
   rt::SessionConfig config;
+  config.use_replay = g_use_replay;
   config.model = p.config.make(p.config.hidden, p.config.layers, 16);
   config.parallel.tensor_parallel = 2;
   config.strategy = p.strategy;
@@ -62,6 +66,7 @@ rt::StepStats measure(const Point& p) {
 
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
+  g_use_replay = !options.no_replay;
 
   const std::vector<Case> cases = {
       {&m::bert_config, 8192, 4},  {&m::bert_config, 12288, 3},

@@ -38,6 +38,9 @@ namespace u = ssdtrain::util;
 
 namespace {
 
+// --no-replay forces the legacy trace-every-step path (A/B switch).
+bool g_use_replay = true;
+
 // The paper's three strategies plus the hybrid extension (checkpointing
 // whose checkpoints are offloaded): the minimum-memory corner.
 const std::vector<rt::Strategy> kStrategies = {
@@ -51,6 +54,7 @@ struct RokPoint {
 
 RokPoint measure(const sweep::SweepPoint& point) {
   rt::SessionConfig config;
+  config.use_replay = g_use_replay;
   config.model = m::bert_config(point.i64("hidden"), 3, point.i64("batch"));
   config.parallel.tensor_parallel = 2;
   config.strategy = rt::strategy_from(point.str("strategy"));
@@ -124,6 +128,7 @@ void rok_curve(std::int64_t hidden, const RokResults& results) {
 
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
+  g_use_replay = !options.no_replay;
 
   std::vector<std::string> strategy_names;
   for (rt::Strategy s : kStrategies) {

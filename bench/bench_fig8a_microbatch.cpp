@@ -32,8 +32,12 @@ namespace u = ssdtrain::util;
 
 namespace {
 
+// --no-replay forces the legacy trace-every-step path (A/B switch).
+bool g_use_replay = true;
+
 rt::StepStats measure(const sweep::SweepPoint& point) {
   rt::SessionConfig config;
+  config.use_replay = g_use_replay;
   config.model = m::bert_config(12288, 3, point.i64("batch"));
   config.parallel.tensor_parallel = 2;
   config.strategy = rt::Strategy::keep_in_gpu;
@@ -46,6 +50,7 @@ rt::StepStats measure(const sweep::SweepPoint& point) {
 
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
+  g_use_replay = !options.no_replay;
 
   const std::vector<std::int64_t> batches = {1, 2, 4, 8, 16};
   sweep::SweepSpec spec;

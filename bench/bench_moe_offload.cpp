@@ -36,6 +36,9 @@ namespace u = ssdtrain::util;
 
 namespace {
 
+// --no-replay forces the legacy trace-every-step path (A/B switch).
+bool g_use_replay = true;
+
 struct MoePoint {
   rt::StepStats stats;
   double plan_offloadable = 0.0;
@@ -43,6 +46,7 @@ struct MoePoint {
 
 MoePoint measure(const sweep::SweepPoint& point) {
   rt::SessionConfig config;
+  config.use_replay = g_use_replay;
   config.model = m::gpt_moe_config(
       4096, 3, 8, static_cast<int>(point.i64("experts")),
       static_cast<int>(point.i64("top_k")));
@@ -63,6 +67,7 @@ MoePoint measure(const sweep::SweepPoint& point) {
 
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
+  g_use_replay = !options.no_replay;
 
   sweep::SweepSpec spec;
   spec.axis("experts", std::vector<std::int64_t>{4, 8, 16})

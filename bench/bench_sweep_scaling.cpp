@@ -34,8 +34,12 @@ namespace u = ssdtrain::util;
 
 namespace {
 
+// --no-replay forces the legacy trace-every-step path (A/B switch).
+bool g_use_replay = true;
+
 double run_point(const sweep::SweepPoint& point) {
   rt::SessionConfig config;
+  config.use_replay = g_use_replay;
   config.model = m::bert_config(8192, 2, point.i64("batch"));
   config.parallel.tensor_parallel = 2;
   config.strategy = rt::strategy_from(point.str("strategy"));
@@ -48,6 +52,7 @@ double run_point(const sweep::SweepPoint& point) {
 
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
+  g_use_replay = !options.no_replay;
 
   sweep::SweepSpec spec;
   spec.axis("strategy",

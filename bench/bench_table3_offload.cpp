@@ -31,6 +31,9 @@ namespace u = ssdtrain::util;
 
 namespace {
 
+// --no-replay forces the legacy trace-every-step path (A/B switch).
+bool g_use_replay = true;
+
 struct Case {
   std::int64_t hidden;
   int layers;
@@ -44,6 +47,7 @@ struct Offload {
 
 Offload measure(const Case& c) {
   rt::SessionConfig config;
+  config.use_replay = g_use_replay;
   config.model = m::bert_config(c.hidden, c.layers, 16);
   config.parallel.tensor_parallel = 2;
   config.strategy = rt::Strategy::ssdtrain;
@@ -62,6 +66,7 @@ Offload measure(const Case& c) {
 
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
+  g_use_replay = !options.no_replay;
 
   const std::vector<Case> cases = {{8192, 4}, {12288, 3}, {16384, 2}};
 

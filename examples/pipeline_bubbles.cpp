@@ -35,6 +35,9 @@ namespace u = ssdtrain::util;
 
 namespace {
 
+// --no-replay forces the legacy trace-every-step path (A/B switch).
+bool g_use_replay = true;
+
 constexpr int kMiniBatchSamples = 32;  // per DP rank, as in BLOOM
 constexpr int kPipelineStages = 4;
 
@@ -50,6 +53,7 @@ StageResult measure(const sweep::SweepPoint& point) {
   result.micro_batches = kMiniBatchSamples / static_cast<int>(mb_size);
 
   rt::SessionConfig config;
+  config.use_replay = g_use_replay;
   config.model = m::bert_config(8192, 3, mb_size);  // one stage's layers
   config.parallel.tensor_parallel = 2;
   config.parallel.pipeline_parallel = kPipelineStages;
@@ -72,6 +76,7 @@ StageResult measure(const sweep::SweepPoint& point) {
 
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
+  g_use_replay = !options.no_replay;
 
   std::cout << "1F1B pipeline study: BERT H8192, 3 layers per stage, "
             << kPipelineStages << " stages, " << kMiniBatchSamples

@@ -38,6 +38,9 @@ namespace u = ssdtrain::util;
 
 namespace {
 
+// --no-replay forces the legacy trace-every-step path (A/B switch).
+bool g_use_replay = true;
+
 const std::vector<rt::Strategy> kStrategies = {rt::Strategy::keep_in_gpu,
                                                rt::Strategy::recompute_full,
                                                rt::Strategy::ssdtrain};
@@ -63,6 +66,7 @@ struct RokPoint {
 
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
+  g_use_replay = !options.no_replay;
   const auto& args = options.positional;
   const std::int64_t hidden = !args.empty() ? std::atoll(args[0].c_str())
                                             : 12288;
@@ -95,6 +99,7 @@ int main(int argc, char** argv) {
   const auto outcomes =
       runner.map(points, [&arch, hidden, layers](const sweep::SweepPoint& p) {
         rt::SessionConfig config;
+        config.use_replay = g_use_replay;
         config.model = make_model(arch, hidden, layers, p.i64("batch"));
         config.parallel.tensor_parallel = 2;
         config.strategy = rt::strategy_from(p.str("strategy"));

@@ -136,7 +136,7 @@ LoadTicket SsdOffloader::load(const TensorId& id, util::Label label,
 
   auto& sim = node_.simulator();
   auto& net = node_.network();
-  Tensor dst = factory_.cuda(label.str(), std::move(shape), dtype,
+  Tensor dst = factory_.cuda(label, std::move(shape), dtype,
                              hw::MemoryTag::activation);
   auto done = sim::Completion::create(sim, load_label(id));
   dst.storage()->set_ready_event(done);
@@ -269,7 +269,7 @@ LoadTicket CpuOffloader::load(const TensorId& id, util::Label label,
 
   auto& sim = node_.simulator();
   auto& net = node_.network();
-  Tensor dst = factory_.cuda(label.str(), std::move(shape), dtype,
+  Tensor dst = factory_.cuda(label, std::move(shape), dtype,
                              hw::MemoryTag::activation);
   auto done = sim::Completion::create(sim, load_label(id));
   dst.storage()->set_ready_event(done);

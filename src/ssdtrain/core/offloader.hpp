@@ -58,9 +58,9 @@ class Offloader {
       sim::CompletionPtr ready) = 0;
 
   /// Begins loading \p id back into a fresh device tensor. \p label names
-  /// the destination tensor; it is a lazy util::Label rendered exactly
-  /// once (for the tensor's own name), so callers can pass a non-owning
-  /// Label::view over a scratch string.
+  /// the destination tensor and is RETAINED for the tensor's lifetime
+  /// (tensors carry interned labels now), so pass an owning form —
+  /// interned or Label::suffixed — never a Label::view over scratch text.
   virtual LoadTicket load(const tensor::TensorId& id, util::Label label,
                           tensor::TensorShape shape, tensor::DType dtype) = 0;
 

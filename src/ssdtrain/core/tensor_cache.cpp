@@ -4,6 +4,7 @@
 
 #include "ssdtrain/util/check.hpp"
 #include "ssdtrain/util/logging.hpp"
+#include "ssdtrain/util/unique_function.hpp"
 
 namespace ssdtrain::core {
 
@@ -124,14 +125,21 @@ graph::PackedValue TensorCache::pack(const Tensor& t) {
   // Line 2: weights, CPU tensors, and small tensors are registered as-is.
   if (is_weight(t)) {
     ++stats_.passthrough_weight;
+    if (recorder_ != nullptr) {
+      recorder_->cache_pack_passthrough(PassKind::weight);
+    }
     return t;
   }
   if (t.is_cpu()) {
     ++stats_.passthrough_cpu;
+    if (recorder_ != nullptr) recorder_->cache_pack_passthrough(PassKind::cpu);
     return t;
   }
   if (t.numel() < config_.min_offload_elements) {
     ++stats_.passthrough_small;
+    if (recorder_ != nullptr) {
+      recorder_->cache_pack_passthrough(PassKind::small);
+    }
     return t;
   }
 
@@ -147,6 +155,7 @@ graph::PackedValue TensorCache::pack(const Tensor& t) {
     // list, do not issue more I/O (§III-C1).
     ++stats_.dedup_hits;
     if (scope != nullptr) it->second.scopes.insert(scope);  // line 4
+    if (recorder_ != nullptr) recorder_->cache_pack_dedup();
     return id;
   }
 
@@ -170,21 +179,28 @@ graph::PackedValue TensorCache::pack(const Tensor& t) {
   const bool budget_reached =
       rec.offloaded_bytes + t.bytes() > config_.offload_budget;  // line 5
   if (budget_reached || in_backward_ || in_keep_scope()) {
+    KeepReason reason;
     if (budget_reached) {
       ++stats_.kept_budget;
+      reason = KeepReason::budget;
     } else if (in_backward_) {
       ++stats_.kept_backward;
+      reason = KeepReason::backward;
     } else {
       ++stats_.kept_scope;
+      reason = KeepReason::scope;
     }
     stats_.kept_bytes += t.bytes();
     entry.state = EntryState::kept;  // line 6
     entry.strong = t;
     rec.entries.emplace(id, std::move(entry));
+    if (recorder_ != nullptr) recorder_->cache_pack_keep(t, id, reason);
     return id;
   }
 
-  // Line 7: offload.
+  // Line 7: offload. The recorder sees the *attempt*: replay re-attempts
+  // and takes whichever branch the offloader's live state dictates.
+  if (recorder_ != nullptr) recorder_->cache_pack_store(t, id);
   auto store_done = offloader_.store(id, t, t.storage()->ready_event());
   if (!store_done) {
     // Offloader refused (e.g. pinned pool exhausted): fall back to keeping.
@@ -235,6 +251,7 @@ graph::PackedValue TensorCache::pack(const Tensor& t) {
 Tensor TensorCache::unpack(const graph::PackedValue& value) {
   ++stats_.unpacks;
   if (std::holds_alternative<Tensor>(value)) {
+    if (recorder_ != nullptr) recorder_->cache_unpack_passthrough();
     return std::get<Tensor>(value);  // line 10
   }
   const TensorId id = std::get<TensorId>(value);
@@ -243,7 +260,12 @@ Tensor TensorCache::unpack(const graph::PackedValue& value) {
   util::expects(it != rec.entries.end(),
                 "unpack of unknown tensor id (record mismatch?)");
   Entry& entry = it->second;
+  Tensor result = unpack_entry(id, entry);
+  if (recorder_ != nullptr) recorder_->cache_unpack_entry(id, result);
+  return result;
+}
 
+Tensor TensorCache::unpack_entry(const TensorId& id, Entry& entry) {
   switch (entry.state) {
     case EntryState::kept:
     case EntryState::loaded:
@@ -283,9 +305,9 @@ Tensor TensorCache::unpack(const graph::PackedValue& value) {
           reloaded->fire();
           return;
         }
-        const std::string reload_name = e->second.label + ".reload";
-        auto ticket = offloader_.load(id, util::Label::view(reload_name),
-                                      e->second.shape, e->second.dtype);
+        auto ticket = offloader_.load(
+            id, util::Label::suffixed(e->second.label, ".reload"),
+            e->second.shape, e->second.dtype);
         e->second.strong = ticket.tensor;  // keep the reloaded copy alive
         ticket.done->add_waiter([reloaded]() { reloaded->fire(); });
       });
@@ -313,9 +335,9 @@ Tensor TensorCache::unpack(const graph::PackedValue& value) {
 }
 
 void TensorCache::start_load(const TensorId& id, Entry& entry) {
-  const std::string reload_name = entry.label + ".reload";
-  auto ticket = offloader_.load(id, util::Label::view(reload_name),
-                                entry.shape, entry.dtype);
+  auto ticket =
+      offloader_.load(id, util::Label::suffixed(entry.label, ".reload"),
+                      entry.shape, entry.dtype);
   entry.state = EntryState::loading;
   entry.strong = ticket.tensor;
   const int mb = current_mb_;
@@ -380,11 +402,19 @@ void TensorCache::on_backward_post(modules::Module& m) {
 
 void TensorCache::prefetch_before(std::size_t position) {
   Record& rec = record();
+  if (recorder_ != nullptr) prefetch_scratch_.clear();
+  // One walk serves both consumers: the recorder gets the whole candidate
+  // window (replay re-applies the released/offloaded checks per candidate,
+  // so the op carries candidates, not the loads the recorded step happened
+  // to take), and the live checks drive the actual loads. Loads emit no
+  // ops, so reporting the window after the walk lands the prefetch op at
+  // the same op-stream position.
   std::size_t index = position;
   for (int depth = 0; depth < config_.prefetch_lookahead && index > 0;
        ++depth) {
     --index;
     for (const tensor::TensorId& id : rec.sequence[index].ids) {
+      if (recorder_ != nullptr) prefetch_scratch_.push_back(id);
       auto it = rec.entries.find(id);
       if (it == rec.entries.end()) continue;
       if (it->second.state == EntryState::offloaded) {
@@ -392,6 +422,9 @@ void TensorCache::prefetch_before(std::size_t position) {
         start_load(id, it->second);
       }
     }
+  }
+  if (recorder_ != nullptr && !prefetch_scratch_.empty()) {
+    recorder_->cache_prefetch(prefetch_scratch_);
   }
 }
 
@@ -412,6 +445,7 @@ void TensorCache::retire_scope(const modules::Module& m) {
 }
 
 void TensorCache::release_entry(const TensorId& id, Entry& entry) {
+  if (recorder_ != nullptr) recorder_->cache_release(id);
   ++stats_.releases;
   if (entry.state == EntryState::offloading) {
     ++stats_.wasted_stores;
@@ -420,6 +454,232 @@ void TensorCache::release_entry(const TensorId& id, Entry& entry) {
     offloader_.release(id);  // deferred internally if a store is in flight
   }
   entry.strong.reset();  // last cache reference: GPU memory reclaimable
+}
+
+// ---------------------------------------------------------------------------
+// replay fast path — dense slot-indexed entries resolved at record time.
+// Every method mirrors one branch of pack/unpack/prefetch/release above,
+// byte for byte on the stats and the offloader/simulator interactions; the
+// only difference is how the entry is found (an index instead of the
+// TensorId-keyed map) and that closures carry (this, index) instead of
+// (this, id, micro-batch).
+// ---------------------------------------------------------------------------
+
+void TensorCache::replay_begin(std::span<const ReplayEntryInit> inits) {
+  // The step-begin semantics (leak diagnostics, record reset) are shared
+  // with the trace path by construction, then the dense entry array arms.
+  on_step_begin();
+
+  const std::size_t live = replay_live_entries();
+  if (live > 0) {
+    util::log_warning("tensor cache: " + std::to_string(live) +
+                      " replay entries leaked across step boundary");
+  }
+  replay_inits_ = inits;
+  if (replay_entries_.size() != inits.size()) {
+    replay_entries_.resize(inits.size());
+  }
+  for (auto& e : replay_entries_) e = ReplayEntry{};
+}
+
+void TensorCache::replay_pack_passthrough(PassKind kind) {
+  ++stats_.packs;
+  switch (kind) {
+    case PassKind::weight:
+      ++stats_.passthrough_weight;
+      break;
+    case PassKind::cpu:
+      ++stats_.passthrough_cpu;
+      break;
+    case PassKind::small:
+      ++stats_.passthrough_small;
+      break;
+  }
+}
+
+void TensorCache::replay_pack_dedup() {
+  ++stats_.packs;
+  ++stats_.dedup_hits;
+}
+
+void TensorCache::replay_pack_keep(std::uint32_t index, const Tensor& t,
+                                   KeepReason reason) {
+  ++stats_.packs;
+  switch (reason) {
+    case KeepReason::budget:
+      ++stats_.kept_budget;
+      break;
+    case KeepReason::backward:
+      ++stats_.kept_backward;
+      break;
+    case KeepReason::scope:
+      ++stats_.kept_scope;
+      break;
+  }
+  stats_.kept_bytes += replay_inits_[index].bytes;
+  ReplayEntry& e = replay_entries_[index];
+  util::expects(e.released, "replay entry packed twice");
+  e = ReplayEntry{};
+  e.state = EntryState::kept;
+  e.strong = t;
+  e.released = false;
+}
+
+void TensorCache::replay_pack_store(std::uint32_t index, const Tensor& t) {
+  ++stats_.packs;
+  const ReplayEntryInit& init = replay_inits_[index];
+  ReplayEntry& e = replay_entries_[index];
+  util::expects(e.released, "replay entry packed twice");
+  e = ReplayEntry{};
+  e.released = false;
+
+  auto store_done = offloader_.store(init.id, t, t.storage()->ready_event());
+  if (!store_done) {
+    // Offloader refused (e.g. pinned pool exhausted): fall back to keeping.
+    ++stats_.kept_offloader_refused;
+    stats_.kept_bytes += init.bytes;
+    e.state = EntryState::kept;
+    e.strong = t;
+    return;
+  }
+
+  ++stats_.offload_started;
+  stats_.offloaded_bytes += init.bytes;
+  e.state = EntryState::offloading;
+  e.stored = true;
+  e.strong = t;  // held until the store completes
+  e.weak = tensor::WeakTensor(t);
+  e.store_done = *store_done;
+  (*store_done)->add_waiter([this, index]() {
+    ReplayEntry& entry = replay_entries_[index];
+    if (entry.released) return;  // released mid-store
+    if (entry.state != EntryState::offloading) return;
+    if (entry.forwarded) {
+      entry.state = EntryState::loaded;
+    } else {
+      entry.state = EntryState::offloaded;
+      entry.strong.reset();
+    }
+  });
+}
+
+void TensorCache::replay_unpack_passthrough() { ++stats_.unpacks; }
+
+Tensor TensorCache::replay_unpack(std::uint32_t index) {
+  ++stats_.unpacks;
+  ReplayEntry& e = replay_entries_[index];
+  util::expects(!e.released, "replay unpack of released entry");
+  switch (e.state) {
+    case EntryState::kept:
+    case EntryState::loaded:
+      util::check(e.strong.defined(), "kept entry lost its tensor");
+      return e.strong;
+
+    case EntryState::offloading: {
+      if (config_.forwarding) {
+        ++stats_.forwards;
+        e.forwarded = true;
+        Tensor strong = e.weak.lock();
+        util::check(strong.defined(), "in-flight store lost its tensor");
+        e.strong = strong;
+        return strong;
+      }
+      static const util::Label kSyncReload("sync-reload");
+      const ReplayEntryInit& init = replay_inits_[index];
+      auto reloaded = sim::Completion::create(
+          sim_,
+          util::Label::tagged(kSyncReload, init.id.stamp, init.id.shape_key));
+      // The closure captures a CompletionPtr; relocatable() keeps it on the
+      // memcpy lane through the waiter chain and event ring.
+      e.store_done->add_waiter(util::relocatable([this, index, reloaded]() {
+        ReplayEntry& entry = replay_entries_[index];
+        if (entry.released) {
+          reloaded->fire();
+          return;
+        }
+        const ReplayEntryInit& ini = replay_inits_[index];
+        auto ticket =
+            offloader_.load(ini.id, util::Label::suffixed(ini.label, ".reload"),
+                            ini.shape, ini.dtype);
+        entry.strong = ticket.tensor;
+        ticket.done->add_waiter(
+            util::relocatable([reloaded]() { reloaded->fire(); }));
+      }));
+      ++stats_.miss_loads;
+      Tensor gated = e.weak.lock();
+      util::check(gated.defined(), "in-flight store lost its tensor");
+      gated.storage()->set_ready_event(reloaded);
+      e.strong = gated;
+      return gated;
+    }
+
+    case EntryState::offloaded:
+      ++stats_.miss_loads;
+      replay_start_load(index);
+      return e.strong;
+
+    case EntryState::loading:
+      util::check(e.strong.defined(), "loading entry lost its tensor");
+      return e.strong;
+  }
+  util::unreachable("corrupt replay entry state");
+}
+
+void TensorCache::replay_start_load(std::uint32_t index) {
+  const ReplayEntryInit& init = replay_inits_[index];
+  auto ticket =
+      offloader_.load(init.id, util::Label::suffixed(init.label, ".reload"),
+                      init.shape, init.dtype);
+  ReplayEntry& e = replay_entries_[index];
+  e.state = EntryState::loading;
+  e.strong = ticket.tensor;
+  ticket.done->add_waiter([this, index]() {
+    ReplayEntry& entry = replay_entries_[index];
+    if (entry.released) return;
+    if (entry.state == EntryState::loading) {
+      entry.state = EntryState::loaded;
+    }
+  });
+}
+
+void TensorCache::replay_prefetch(std::span<const std::uint32_t> candidates) {
+  for (std::uint32_t index : candidates) {
+    ReplayEntry& e = replay_entries_[index];
+    if (e.released) continue;  // scope retired before this prefetch point
+    if (e.state == EntryState::offloaded) {
+      ++stats_.prefetch_loads;
+      replay_start_load(index);
+    }
+  }
+}
+
+void TensorCache::replay_release(std::uint32_t index) {
+  ReplayEntry& e = replay_entries_[index];
+  util::expects(!e.released, "replay entry released twice");
+  ++stats_.releases;
+  if (e.state == EntryState::offloading) {
+    ++stats_.wasted_stores;
+  }
+  if (e.stored) {
+    offloader_.release(replay_inits_[index].id);
+  }
+  e.strong.reset();
+  e.weak = tensor::WeakTensor{};
+  e.released = true;
+}
+
+std::size_t TensorCache::replay_live_entries() const {
+  std::size_t n = 0;
+  for (const auto& e : replay_entries_) {
+    if (!e.released) ++n;
+  }
+  return n;
+}
+
+TensorCache::EntryState TensorCache::replay_entry_state(
+    std::uint32_t index) const {
+  util::expects(index < replay_entries_.size(), "replay entry out of range");
+  return replay_entries_[index].state;
 }
 
 }  // namespace ssdtrain::core

@@ -26,6 +26,7 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,49 @@ class TensorCache {
     kept,        ///< never offloaded (budget / keep scope / backward)
   };
 
+  /// Which of Alg. 1's early-outs a pack took (line 2).
+  enum class PassKind : std::uint8_t { weight, cpu, small };
+
+  /// Why a pack kept the tensor in GPU memory (Alg. 1 lines 5-6).
+  enum class KeepReason : std::uint8_t { budget, backward, scope };
+
+  /// Observer for the step recorder: every pack/unpack/prefetch/release
+  /// decision the cache makes during the recorded step is reported here so
+  /// runtime::StepRecorder can compile it into a StepProgram op. Pure
+  /// observation — the trace path behaves identically with or without it.
+  class TraceRecorder {
+   public:
+    virtual ~TraceRecorder() = default;
+    virtual void cache_pack_passthrough(PassKind kind) = 0;
+    virtual void cache_pack_dedup() = 0;
+    virtual void cache_pack_keep(const tensor::Tensor& t,
+                                 const tensor::TensorId& id,
+                                 KeepReason reason) = 0;
+    /// A store *attempt* (replay re-attempts and handles refusal itself).
+    virtual void cache_pack_store(const tensor::Tensor& t,
+                                  const tensor::TensorId& id) = 0;
+    virtual void cache_unpack_passthrough() = 0;
+    virtual void cache_unpack_entry(const tensor::TensorId& id,
+                                    const tensor::Tensor& result) = 0;
+    /// Prefetch window candidates, in trace iteration order (replay
+    /// re-checks each candidate's live state, exactly as the trace does).
+    virtual void cache_prefetch(
+        std::span<const tensor::TensorId> candidates) = 0;
+    virtual void cache_release(const tensor::TensorId& id) = 0;
+  };
+
+  /// Record-time constants of one replay entry: everything the dense
+  /// replay path needs that the trace path recomputed from strings and
+  /// maps (interned labels, byte/shape metadata, the stable TensorId the
+  /// offloader files the extent under).
+  struct ReplayEntryInit {
+    tensor::TensorId id;
+    util::Label label;
+    tensor::TensorShape shape;
+    tensor::DType dtype = tensor::DType::fp16;
+    util::Bytes bytes = 0;
+  };
+
   TensorCache(sim::Simulator& sim, Offloader& offloader,
               TensorCacheConfig config);
   TensorCache(const TensorCache&) = delete;
@@ -115,6 +159,32 @@ class TensorCache {
   /// module when backward follows immediately, Fig. 2 ④).
   void set_keep_scopes(std::vector<const modules::Module*> scopes);
 
+  // -- record/replay ---------------------------------------------------------
+  /// Attaches (or detaches, with nullptr) the step recorder. Active only
+  /// while runtime::Executor records a step.
+  void set_trace_recorder(TraceRecorder* recorder) { recorder_ = recorder; }
+
+  /// The dense slot-indexed fast path resolved at record time (the
+  /// TensorId-keyed maps stay on the trace path): replayed steps address
+  /// entries by index into \p inits, which must outlive the replay (the
+  /// StepProgram owns it). State transitions, stats, forwarding, refusal
+  /// fallback, and wasted-store accounting mirror pack/unpack exactly.
+  void replay_begin(std::span<const ReplayEntryInit> inits);
+  void replay_pack_passthrough(PassKind kind);
+  void replay_pack_dedup();
+  void replay_pack_keep(std::uint32_t index, const tensor::Tensor& t,
+                        KeepReason reason);
+  void replay_pack_store(std::uint32_t index, const tensor::Tensor& t);
+  void replay_unpack_passthrough();
+  [[nodiscard]] tensor::Tensor replay_unpack(std::uint32_t index);
+  void replay_prefetch(std::span<const std::uint32_t> candidates);
+  void replay_release(std::uint32_t index);
+
+  /// Replay entries not yet released (diagnostics/tests).
+  [[nodiscard]] std::size_t replay_live_entries() const;
+  /// Live state of a replay entry (tests).
+  [[nodiscard]] EntryState replay_entry_state(std::uint32_t index) const;
+
   // -- introspection ---------------------------------------------------------
   [[nodiscard]] const TensorCacheStats& stats() const { return stats_; }
   [[nodiscard]] bool is_weight(const tensor::Tensor& t) const;
@@ -131,13 +201,26 @@ class TensorCache {
     tensor::Tensor strong;
     tensor::WeakTensor weak;
     sim::CompletionPtr store_done;
-    std::string label;
+    util::Label label;
     tensor::TensorShape shape;
     tensor::DType dtype = tensor::DType::fp16;
     util::Bytes bytes = 0;
     std::set<const modules::Module*> scopes;
     bool forwarded = false;
     bool stored = false;  ///< an offloaded copy exists (or is being written)
+  };
+
+  /// Dense replay-path entry: addressed by index, no TensorId map lookups.
+  /// The record-time constants live in the program's ReplayEntryInit array;
+  /// only the dynamic state lives here, reset by replay_begin.
+  struct ReplayEntry {
+    EntryState state = EntryState::kept;
+    tensor::Tensor strong;
+    tensor::WeakTensor weak;
+    sim::CompletionPtr store_done;
+    bool forwarded = false;
+    bool stored = false;
+    bool released = true;  ///< default-released so reset() is cheap
   };
 
   /// One leaf scope's saves, in forward order — the prefetch unit.
@@ -157,6 +240,7 @@ class TensorCache {
 
   graph::PackedValue pack(const tensor::Tensor& t);
   tensor::Tensor unpack(const graph::PackedValue& value);
+  tensor::Tensor unpack_entry(const tensor::TensorId& id, Entry& entry);
 
   void on_forward_pre(modules::Module& m);
   void on_forward_post(modules::Module& m);
@@ -165,6 +249,7 @@ class TensorCache {
 
   Record& record();
   void start_load(const tensor::TensorId& id, Entry& entry);
+  void replay_start_load(std::uint32_t index);
   /// Prefetches the slots preceding sequence position \p position.
   void prefetch_before(std::size_t position);
   /// Removes \p m from every entry's scope set; releases drained entries.
@@ -186,6 +271,11 @@ class TensorCache {
   int current_mb_ = 0;
   bool in_backward_ = false;
   TensorCacheStats stats_;
+
+  TraceRecorder* recorder_ = nullptr;
+  std::vector<tensor::TensorId> prefetch_scratch_;  ///< recorder candidates
+  std::span<const ReplayEntryInit> replay_inits_;
+  std::vector<ReplayEntry> replay_entries_;
 };
 
 }  // namespace ssdtrain::core

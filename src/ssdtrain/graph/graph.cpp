@@ -34,8 +34,8 @@ const PackedValue& GraphNode::slot(std::size_t index) const {
   return slots_[index];
 }
 
-GraphNode& Graph::make_node(std::string name) {
-  nodes_.push_back(std::make_unique<GraphNode>(std::move(name)));
+GraphNode& Graph::make_node(util::Label name) {
+  nodes_.push_back(std::make_unique<GraphNode>(name));
   return *nodes_.back();
 }
 

@@ -13,12 +13,16 @@
 #include <vector>
 
 #include "ssdtrain/graph/saved_tensors.hpp"
+#include "ssdtrain/util/label.hpp"
 
 namespace ssdtrain::graph {
 
 class GraphNode {
  public:
-  explicit GraphNode(std::string name) : name_(std::move(name)) {}
+  /// Node names are interned util::Label ids drawn from the bounded set of
+  /// module names; text materialises only when a tracer or error message
+  /// asks via name().str().
+  explicit GraphNode(util::Label name) : name_(name) {}
 
   /// Registers a tensor needed in backward. Routed through \p hooks.pack
   /// when provided. Returns the slot index.
@@ -34,13 +38,13 @@ class GraphNode {
   void clear() { slots_.clear(); }
 
   [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
-  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const util::Label& name() const { return name_; }
 
   /// Inspects a slot without unpacking (tests / diagnostics).
   [[nodiscard]] const PackedValue& slot(std::size_t index) const;
 
  private:
-  std::string name_;
+  util::Label name_;
   std::vector<PackedValue> slots_;
 };
 
@@ -48,7 +52,7 @@ class Graph {
  public:
   /// Creates a node; the Graph owns it. Pointers remain valid until
   /// clear().
-  GraphNode& make_node(std::string name);
+  GraphNode& make_node(util::Label name);
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] GraphNode& node(std::size_t index);

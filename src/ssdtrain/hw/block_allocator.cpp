@@ -7,7 +7,10 @@
 namespace ssdtrain::hw {
 
 BlockAllocator::BlockAllocator(util::Bytes capacity, util::Bytes alignment)
-    : capacity_(capacity), alignment_(alignment) {
+    : capacity_(capacity),
+      alignment_(alignment),
+      pool_(util::SlabPool::create()),
+      free_by_offset_(RangeMap::allocator_type(pool_)) {
   util::expects(capacity > 0, "capacity must be positive");
   util::expects(alignment > 0, "alignment must be positive");
   free_by_offset_.emplace(0, capacity);
@@ -31,18 +34,32 @@ std::optional<Block> BlockAllocator::allocate(util::Bytes bytes) {
     if (range > need) {
       free_by_offset_.emplace(offset + need, range - need);
     }
-    live_.emplace(offset, need);
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(live_slots_.size());
+      live_slots_.emplace_back();
+    }
+    const std::uint32_t generation = live_slots_[slot].generation + 1;
+    live_slots_[slot] = LiveSlot{offset, need, generation};
+    ++live_count_;
     used_ += need;
-    return Block{offset, need};
+    return Block{offset, need, slot, generation};
   }
   return std::nullopt;
 }
 
 void BlockAllocator::free(const Block& block) {
-  auto it = live_.find(block.offset);
-  util::expects(it != live_.end(), "free of unknown or already-freed block");
-  util::expects(it->second == block.size, "free with mismatched size");
-  live_.erase(it);
+  util::expects(block.cookie < live_slots_.size() &&
+                    live_slots_[block.cookie].offset == block.offset &&
+                    live_slots_[block.cookie].size == block.size &&
+                    live_slots_[block.cookie].generation == block.generation,
+                "free of unknown or already-freed block");
+  live_slots_[block.cookie].offset = -1;
+  free_slots_.push_back(block.cookie);
+  --live_count_;
   used_ -= block.size;
 
   std::int64_t offset = block.offset;

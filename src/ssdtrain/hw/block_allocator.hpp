@@ -12,16 +12,25 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "ssdtrain/util/pool.hpp"
 #include "ssdtrain/util/units.hpp"
 
 namespace ssdtrain::hw {
 
 /// Identifies one live allocation. Offsets are stable for the allocation's
-/// lifetime (no compaction, as on a real device).
+/// lifetime (no compaction, as on a real device). `cookie` indexes the
+/// allocator's live-block table and `generation` stamps the slot's issue
+/// (O(1) free + double-free detection without a search tree on the
+/// per-activation hot path — the generation keeps a stale handle from
+/// matching a recycled slot that re-carved the same range); treat both as
+/// opaque and hand the whole Block back to free().
 struct Block {
   std::int64_t offset = 0;
   util::Bytes size = 0;
+  std::uint32_t cookie = 0;
+  std::uint32_t generation = 0;
 };
 
 class BlockAllocator {
@@ -49,18 +58,41 @@ class BlockAllocator {
   /// 1 - largest_free_range / free_bytes; 0 when memory is unfragmented.
   [[nodiscard]] double external_fragmentation() const;
 
-  [[nodiscard]] std::size_t live_blocks() const { return live_.size(); }
+  [[nodiscard]] std::size_t live_blocks() const { return live_count_; }
   [[nodiscard]] std::size_t free_ranges() const { return free_by_offset_.size(); }
 
  private:
   util::Bytes align_up(util::Bytes n) const;
 
+  // Map nodes recycle through a per-allocator slab pool: sustained
+  // alloc/free traffic (one activation per operator, every step) reaches
+  // its high-water mark once and then never touches malloc — a
+  // prerequisite for the step-replay path's zero-allocation contract.
+  using RangeMap =
+      std::map<std::int64_t, util::Bytes, std::less<std::int64_t>,
+               util::PoolAllocator<std::pair<const std::int64_t,
+                                             util::Bytes>>>;
+
+  /// One live block's identity; slots recycle through free_slots_. A
+  /// vector instead of a map: free() and double-free detection are O(1)
+  /// array probes keyed by the Block's cookie + generation (the
+  /// generation advances on every reissue, so a stale Block cannot match
+  /// a recycled slot even if the same range was re-carved).
+  struct LiveSlot {
+    std::int64_t offset = -1;  ///< -1 = slot vacant
+    util::Bytes size = 0;
+    std::uint32_t generation = 0;
+  };
+
   util::Bytes capacity_;
   util::Bytes alignment_;
   util::Bytes used_ = 0;
-  // offset -> size for free ranges and live blocks.
-  std::map<std::int64_t, util::Bytes> free_by_offset_;
-  std::map<std::int64_t, util::Bytes> live_;
+  util::SlabPool::Handle pool_;
+  // offset -> size for free ranges.
+  RangeMap free_by_offset_;
+  std::vector<LiveSlot> live_slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
 };
 
 }  // namespace ssdtrain::hw

@@ -50,25 +50,31 @@ DeviceAllocation DeviceAllocator::allocate(util::Bytes bytes, MemoryTag tag) {
   allocation.id = next_id_++;
   allocation.bytes = block->size;
   allocation.tag = tag;
-  blocks_.emplace(allocation.id, *block);
+  allocation.block = *block;
 
   const std::size_t idx = tag_index(tag);
   live_[idx] += block->size;
   peak_[idx] = std::max(peak_[idx], live_[idx]);
   peak_total_ = std::max(peak_total_, live_total());
   if (hook_) hook_(block->size, tag);
+  if (trace_observer_) {
+    trace_observer_(allocation.id, block->size, tag, /*is_free=*/false);
+  }
   return allocation;
 }
 
 void DeviceAllocator::free(const DeviceAllocation& allocation) {
-  auto it = blocks_.find(allocation.id);
-  util::expects(it != blocks_.end(), "free of unknown device allocation");
+  // The arena's live-block table rejects unknown/double frees.
+  arena_.free(allocation.block);
   const std::size_t idx = tag_index(allocation.tag);
-  util::check(live_[idx] >= it->second.size, "tag accounting underflow");
-  live_[idx] -= it->second.size;
-  if (hook_) hook_(-it->second.size, allocation.tag);
-  arena_.free(it->second);
-  blocks_.erase(it);
+  util::check(live_[idx] >= allocation.block.size,
+              "tag accounting underflow");
+  live_[idx] -= allocation.block.size;
+  if (hook_) hook_(-allocation.block.size, allocation.tag);
+  if (trace_observer_) {
+    trace_observer_(allocation.id, allocation.block.size, allocation.tag,
+                    /*is_free=*/true);
+  }
 }
 
 util::Bytes DeviceAllocator::capacity() const { return arena_.capacity(); }

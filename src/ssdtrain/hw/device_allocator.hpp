@@ -17,6 +17,7 @@
 #include <string_view>
 
 #include "ssdtrain/hw/block_allocator.hpp"
+#include "ssdtrain/util/pool.hpp"
 #include "ssdtrain/util/units.hpp"
 
 namespace ssdtrain::hw {
@@ -34,11 +35,15 @@ inline constexpr std::size_t kMemoryTagCount = 6;
 
 std::string_view to_string(MemoryTag tag);
 
-/// Handle to one live device allocation.
+/// Handle to one live device allocation. Carries its arena block so the
+/// free path is handle-driven — no id-keyed map between DeviceAllocator
+/// and the arena (double-free detection lives in the arena's live-block
+/// table). Treat `block` as opaque.
 struct DeviceAllocation {
   std::uint64_t id = 0;
   util::Bytes bytes = 0;
   MemoryTag tag = MemoryTag::other;
+  Block block;
 };
 
 /// Thrown when an allocation exceeds remaining device memory.
@@ -75,7 +80,7 @@ class DeviceAllocator {
 
   [[nodiscard]] std::uint64_t allocation_count() const { return next_id_ - 1; }
   [[nodiscard]] std::size_t live_allocation_count() const {
-    return blocks_.size();
+    return arena_.live_blocks();
   }
   [[nodiscard]] double external_fragmentation() const {
     return arena_.external_fragmentation();
@@ -87,16 +92,26 @@ class DeviceAllocator {
   using AllocationHook = std::function<void(util::Bytes delta, MemoryTag tag)>;
   void set_allocation_hook(AllocationHook hook) { hook_ = std::move(hook); }
 
+  /// Identified alloc/free observer for the step recorder: unlike the
+  /// AllocationHook it carries the allocation id, so the recorder can
+  /// attribute each free to the value slot that owns the storage. Installed
+  /// only while a step is being recorded.
+  using TraceObserver = std::function<void(std::uint64_t id, util::Bytes bytes,
+                                           MemoryTag tag, bool is_free)>;
+  void set_trace_observer(TraceObserver observer) {
+    trace_observer_ = std::move(observer);
+  }
+
  private:
   std::size_t tag_index(MemoryTag tag) const;
 
   BlockAllocator arena_;
-  std::map<std::uint64_t, Block> blocks_;
   std::uint64_t next_id_ = 1;
   std::array<util::Bytes, kMemoryTagCount> live_{};
   std::array<util::Bytes, kMemoryTagCount> peak_{};
   util::Bytes peak_total_ = 0;
   AllocationHook hook_;
+  TraceObserver trace_observer_;
 };
 
 }  // namespace ssdtrain::hw

@@ -33,8 +33,7 @@ SsdExtent SsdDevice::allocate_extent(util::Bytes bytes) {
                                  static_cast<double>(space_.used())));
   }
   SsdExtent extent;
-  extent.raw_offset = block->offset;
-  extent.raw_size = block->size;
+  extent.raw = *block;
   extent.first_page = block->offset / spec_.sim_page_size;
   extent.page_count = block->size / spec_.sim_page_size;
   extent.bytes = bytes;
@@ -53,7 +52,7 @@ void SsdDevice::record_read(const SsdExtent& extent) {
 
 void SsdDevice::release_extent(const SsdExtent& extent) {
   ftl_->trim_extent(extent.first_page, extent.page_count);
-  space_.free(Block{extent.raw_offset, extent.raw_size});
+  space_.free(extent.raw);
 }
 
 void SsdDevice::refresh_write_capacity() {

@@ -48,8 +48,7 @@ struct SsdExtent {
   Lpa first_page = 0;
   std::int64_t page_count = 0;
   util::Bytes bytes = 0;      ///< payload size
-  std::int64_t raw_offset = 0;  ///< allocator bookkeeping
-  util::Bytes raw_size = 0;
+  Block raw;                  ///< allocator bookkeeping
 };
 
 class SsdDevice {

@@ -20,8 +20,7 @@ Executor::Executor(hw::TrainingNode& node, parallel::ParallelConfig parallel,
 tensor::Tensor Executor::make_activation(std::string label,
                                          tensor::TensorShape shape,
                                          tensor::DType dtype) {
-  Tensor t = factory_.cuda(std::move(label), std::move(shape), dtype,
-                           hw::MemoryTag::activation);
+  Tensor t = factory_.cuda(label, shape, dtype, hw::MemoryTag::activation);
   // Ready events are anonymous on purpose: one is minted per activation
   // per micro-batch, and a label would either intern an unbounded string
   // set or allocate text nobody reads (the tensor itself carries the
@@ -29,6 +28,7 @@ tensor::Tensor Executor::make_activation(std::string label,
   auto ready = sim::Completion::create(node_.simulator());
   t.storage()->set_ready_event(ready);
   pending_ready_.push_back(t);
+  if (recorder_ != nullptr) recorder_->on_make_activation(t);
   return t;
 }
 
@@ -52,7 +52,9 @@ tensor::Tensor Executor::weight(const std::string& key,
 tensor::Tensor Executor::make_host_tensor(std::string label,
                                           tensor::TensorShape shape,
                                           tensor::DType dtype) {
-  return factory_.cpu(std::move(label), std::move(shape), dtype);
+  Tensor t = factory_.cpu(label, shape, dtype);
+  if (recorder_ != nullptr) recorder_->on_make_host_tensor(t);
+  return t;
 }
 
 void Executor::kernel(std::string label, util::Flops flops,
@@ -65,6 +67,11 @@ void Executor::kernel(std::string label, util::Flops flops,
   desc.bytes_read = bytes_read;
   desc.bytes_written = bytes_written;
   const util::Seconds duration = gpu_ctx.gpu->kernel_time(desc);
+
+  if (recorder_ != nullptr) {
+    recorder_->on_kernel(label, duration, flops, recompute_depth_ == 0,
+                         consumed);
+  }
 
   std::vector<sim::CompletionPtr> deps;
   for (const auto& t : consumed) {
@@ -85,6 +92,10 @@ void Executor::tp_all_reduce(util::Bytes bytes) {
   if (parallel_.tensor_parallel <= 1) return;
   const util::Seconds duration = parallel::all_reduce_time(
       bytes, parallel_.tensor_parallel, options_.tp_fabric);
+  if (recorder_ != nullptr) {
+    recorder_->on_kernel("tp_all_reduce", duration, 0.0,
+                         recompute_depth_ == 0, {});
+  }
   auto done = node_.gpu(options_.gpu_index)
                   .compute_stream->enqueue("tp_all_reduce", duration);
   bind_pending_ready_events(done);
@@ -140,13 +151,28 @@ void Executor::bind_pending_ready_events(const sim::CompletionPtr& producer) {
   });
 }
 
+void Executor::bind_pending_replay(const sim::CompletionPtr& producer) {
+  // Same firing order as the trace path's vector waiter, without the
+  // vector: one inline waiter per still-pending event, registered
+  // back-to-back so they run consecutively at producer completion.
+  for (const auto& e : replay_pending_) {
+    if (e->done()) continue;
+    producer->add_waiter(util::relocatable([e]() {
+      if (!e->done()) e->fire();
+    }));
+  }
+  replay_pending_.clear();
+}
+
 void Executor::pace() {
   auto& stream = *node_.gpu(options_.gpu_index).compute_stream;
   auto& sim = node_.simulator();
+  if (recorder_ != nullptr) recorder_->enter_sim();
   while (stream.queued() >
          static_cast<std::size_t>(options_.max_launch_ahead)) {
     if (!sim.step()) break;
   }
+  if (recorder_ != nullptr) recorder_->exit_sim();
 }
 
 void Executor::run_optimizer(modules::Model& model) {
@@ -167,29 +193,91 @@ void Executor::run_optimizer(modules::Model& model) {
   // launches, loss-scale bookkeeping, scheduler housekeeping. Calibrated
   // against the micro-batch-size study (Fig. 8a), where weight-update
   // amortisation dominates the throughput gain of larger micro-batches.
+  static const util::Label kOverhead("optimizer::framework_overhead");
+  if (recorder_ != nullptr) {
+    recorder_->on_plain_enqueue(kOverhead, util::ms(40));
+  }
   gpu_ctx.compute_stream->enqueue("optimizer::framework_overhead",
                                   util::ms(40));
+}
+
+Executor::StepBaseline Executor::begin_step() {
+  auto& gpu_ctx = node_.gpu(options_.gpu_index);
+  StepBaseline base;
+  base.step_start = node_.simulator().now();
+  base.busy_start = gpu_ctx.compute_stream->busy_time();
+  base.algo_start = algorithmic_flops_;
+  base.exec_start = executed_flops_;
+  base.offloaded_start =
+      cache_ != nullptr ? cache_->stats().offloaded_bytes : 0;
+  base.ssd_written_start =
+      node_.has_array(options_.gpu_index)
+          ? node_.array(options_.gpu_index).host_bytes_written()
+          : 0;
+  return base;
+}
+
+StepStats Executor::finish_step(const StepBaseline& base,
+                                const sim::CompletionPtr& pre_opt_marker) {
+  auto& gpu_ctx = node_.gpu(options_.gpu_index);
+  auto& sim = node_.simulator();
+  auto& allocator = *gpu_ctx.allocator;
+
+  // Step time: until the compute stream (incl. optimizer) finishes.
+  auto step_end_marker = gpu_ctx.compute_stream->record_marker("step_end");
+  if (recorder_ != nullptr) recorder_->enter_sim();
+  while (!step_end_marker->done()) {
+    util::check(sim.step(), "simulation stalled before step end");
+  }
+  const util::Seconds step_end = sim.now();
+  // Drain any trailing I/O (should be negligible when overlap is perfect).
+  sim.run();
+  if (recorder_ != nullptr) recorder_->exit_sim();
+
+  StepStats stats;
+  stats.step_time = step_end - base.step_start;
+  stats.drain_time = sim.now() - step_end;
+  if (pre_opt_marker && pre_opt_marker->done()) {
+    stats.optimizer_time = step_end - pre_opt_marker->completion_time();
+  }
+  stats.activation_peak = allocator.peak(hw::MemoryTag::activation);
+  stats.total_peak = allocator.peak_total();
+  stats.weights_live = allocator.live(hw::MemoryTag::weights);
+  stats.algorithmic_flops = algorithmic_flops_ - base.algo_start;
+  stats.executed_flops = executed_flops_ - base.exec_start;
+  stats.model_throughput =
+      stats.step_time > 0.0 ? stats.algorithmic_flops / stats.step_time : 0.0;
+  stats.compute_busy = gpu_ctx.compute_stream->busy_time() - base.busy_start;
+  stats.compute_utilization =
+      stats.step_time > 0.0 ? stats.compute_busy / stats.step_time : 0.0;
+  if (cache_ != nullptr) {
+    stats.cache = cache_->stats();
+    stats.offloaded_bytes =
+        stats.cache.offloaded_bytes - base.offloaded_start;
+  }
+  if (node_.has_array(options_.gpu_index)) {
+    auto& array = node_.array(options_.gpu_index);
+    stats.ssd_host_written =
+        array.host_bytes_written() - base.ssd_written_start;
+    stats.ssd_write_amplification = array.write_amplification();
+  }
+  stats.required_write_bandwidth =
+      stats.step_time > 0.0
+          ? static_cast<double>(stats.offloaded_bytes) /
+                (stats.step_time / 2.0)
+          : 0.0;
+  return stats;
 }
 
 StepStats Executor::run_step(modules::Model& model,
                              const std::vector<sched::Command>& schedule) {
   auto& gpu_ctx = node_.gpu(options_.gpu_index);
-  auto& sim = node_.simulator();
   auto& allocator = *gpu_ctx.allocator;
 
   allocator.reset_peaks();
   if (cache_ != nullptr) cache_->on_step_begin();
 
-  const util::Seconds step_start = sim.now();
-  const util::Seconds busy_start = gpu_ctx.compute_stream->busy_time();
-  const util::Flops algo_start = algorithmic_flops_;
-  const util::Flops exec_start = executed_flops_;
-  const util::Bytes offloaded_start =
-      cache_ != nullptr ? cache_->stats().offloaded_bytes : 0;
-  const util::Bytes ssd_written_start =
-      node_.has_array(options_.gpu_index)
-          ? node_.array(options_.gpu_index).host_bytes_written()
-          : 0;
+  const StepBaseline base = begin_step();
   sim::CompletionPtr pre_optimizer_marker;
 
   for (std::size_t i = 0; i < schedule.size(); ++i) {
@@ -231,54 +319,244 @@ StepStats Executor::run_step(modules::Model& model,
       case sched::CommandKind::optimizer_step: {
         pre_optimizer_marker =
             gpu_ctx.compute_stream->record_marker("pre_optimizer");
+        if (recorder_ != nullptr) recorder_->on_pre_optimizer_marker();
         run_optimizer(model);
         break;
       }
     }
   }
 
-  // Step time: until the compute stream (incl. optimizer) finishes.
-  auto step_end_marker = gpu_ctx.compute_stream->record_marker("step_end");
-  while (!step_end_marker->done()) {
-    util::check(sim.step(), "simulation stalled before step end");
-  }
-  const util::Seconds step_end = sim.now();
-  // Drain any trailing I/O (should be negligible when overlap is perfect).
-  sim.run();
-
-  StepStats stats;
-  stats.step_time = step_end - step_start;
-  stats.drain_time = sim.now() - step_end;
-  if (pre_optimizer_marker && pre_optimizer_marker->done()) {
-    stats.optimizer_time = step_end - pre_optimizer_marker->completion_time();
-  }
-  stats.activation_peak = allocator.peak(hw::MemoryTag::activation);
-  stats.total_peak = allocator.peak_total();
-  stats.weights_live = allocator.live(hw::MemoryTag::weights);
-  stats.algorithmic_flops = algorithmic_flops_ - algo_start;
-  stats.executed_flops = executed_flops_ - exec_start;
-  stats.model_throughput =
-      stats.step_time > 0.0 ? stats.algorithmic_flops / stats.step_time : 0.0;
-  stats.compute_busy = gpu_ctx.compute_stream->busy_time() - busy_start;
-  stats.compute_utilization =
-      stats.step_time > 0.0 ? stats.compute_busy / stats.step_time : 0.0;
-  if (cache_ != nullptr) {
-    stats.cache = cache_->stats();
-    stats.offloaded_bytes = stats.cache.offloaded_bytes - offloaded_start;
-  }
-  if (node_.has_array(options_.gpu_index)) {
-    auto& array = node_.array(options_.gpu_index);
-    stats.ssd_host_written = array.host_bytes_written() - ssd_written_start;
-    stats.ssd_write_amplification = array.write_amplification();
-  }
-  stats.required_write_bandwidth =
-      stats.step_time > 0.0
-          ? static_cast<double>(stats.offloaded_bytes) /
-                (stats.step_time / 2.0)
-          : 0.0;
+  StepStats stats = finish_step(base, pre_optimizer_marker);
+  // Seal the program before the post-stats teardown below: those frees
+  // belong to the inter-step gap, which replay handles with its own slot
+  // cleanup after finish_step.
+  if (recorder_ != nullptr) recorder_->finalize();
 
   graph_.clear();
   loss_by_micro_batch_.clear();
+  return stats;
+}
+
+StepStats Executor::record_step(modules::Model& model,
+                                const std::vector<sched::Command>& schedule,
+                                StepProgram& program) {
+  util::expects(recorder_ == nullptr, "already recording");
+  program = StepProgram{};
+  program.schedule = schedule;
+  StepRecorder recorder(program, *node_.gpu(options_.gpu_index).allocator,
+                        cache_ != nullptr);
+  recorder_ = &recorder;
+  if (cache_ != nullptr) cache_->set_trace_recorder(&recorder);
+  StepStats stats;
+  try {
+    stats = run_step(model, schedule);
+  } catch (...) {
+    recorder_ = nullptr;
+    if (cache_ != nullptr) cache_->set_trace_recorder(nullptr);
+    throw;
+  }
+  recorder_ = nullptr;
+  if (cache_ != nullptr) cache_->set_trace_recorder(nullptr);
+  return stats;
+}
+
+void Executor::replay_kernel(const StepProgram& program,
+                             const StepProgram::Op& op,
+                             std::span<const sim::CompletionPtr> deps) {
+  auto& stream = *node_.gpu(options_.gpu_index).compute_stream;
+  if ((op.flags & StepProgram::kFlagBind) != 0 && !replay_pending_.empty()) {
+    auto done = stream.enqueue_labeled(program.labels[op.b], op.x, deps);
+    bind_pending_replay(done);
+  } else {
+    // Nothing will ever wait on this kernel's completion (the trace path
+    // never observed it either) — skip minting one.
+    stream.enqueue_labeled_detached(program.labels[op.b], op.x, deps);
+  }
+  executed_flops_ += op.y;
+  if ((op.flags & StepProgram::kFlagAlgorithmic) != 0) {
+    algorithmic_flops_ += op.y;
+  }
+  if ((op.flags & StepProgram::kFlagPace) != 0) pace();
+}
+
+/// Generic interpreter for cache-attached programs: value slots hold real
+/// Tensors because the cache and offloader APIs consume them.
+void Executor::replay_ops_tensor(const StepProgram& program,
+                                 sim::CompletionPtr& pre_optimizer_marker) {
+  auto& stream = *node_.gpu(options_.gpu_index).compute_stream;
+  auto& sim = node_.simulator();
+  if (replay_slots_.size() < program.slot_count) {
+    replay_slots_.resize(program.slot_count);
+  }
+
+  for (const StepProgram::Op& op : program.ops) {
+    switch (op.kind) {
+      case StepProgram::OpKind::alloc_activation: {
+        Tensor t = factory_.cuda(program.labels[op.b], program.shapes[op.c],
+                                 static_cast<tensor::DType>(op.dtype),
+                                 hw::MemoryTag::activation);
+        auto ready = sim::Completion::create(sim);
+        t.storage()->set_ready_event(ready);
+        replay_pending_.push_back(std::move(ready));
+        replay_slots_[op.a] = std::move(t);
+        break;
+      }
+      case StepProgram::OpKind::alloc_host: {
+        replay_slots_[op.a] =
+            factory_.cpu(program.labels[op.b], program.shapes[op.c],
+                         static_cast<tensor::DType>(op.dtype));
+        break;
+      }
+      case StepProgram::OpKind::kernel: {
+        replay_deps_scratch_.clear();
+        for (std::uint32_t i = 0; i < op.count; ++i) {
+          const std::uint32_t slot = program.aux[op.a + i];
+          const auto& ready = replay_slots_[slot].storage()->ready_event();
+          if (ready && !ready->done()) {
+            replay_deps_scratch_.push_back(ready);
+          }
+        }
+        replay_kernel(program, op, replay_deps_scratch_);
+        break;
+      }
+      case StepProgram::OpKind::enqueue_only:
+        // The optimizer tail's completion is never observed (finish_step
+        // gates on the step_end marker): don't mint one.
+        stream.enqueue_labeled_detached(program.labels[op.b], op.x);
+        break;
+      case StepProgram::OpKind::marker_pre_optimizer:
+        pre_optimizer_marker = stream.record_marker("pre_optimizer");
+        break;
+      case StepProgram::OpKind::drop_value:
+        replay_slots_[op.a].reset();
+        break;
+      case StepProgram::OpKind::pack_passthrough:
+        cache_->replay_pack_passthrough(
+            static_cast<core::TensorCache::PassKind>(op.flags));
+        break;
+      case StepProgram::OpKind::pack_dedup:
+        cache_->replay_pack_dedup();
+        break;
+      case StepProgram::OpKind::pack_keep:
+        cache_->replay_pack_keep(
+            op.a, replay_slots_[op.b],
+            static_cast<core::TensorCache::KeepReason>(op.flags));
+        break;
+      case StepProgram::OpKind::pack_store:
+        cache_->replay_pack_store(op.a, replay_slots_[op.b]);
+        break;
+      case StepProgram::OpKind::unpack_passthrough:
+        cache_->replay_unpack_passthrough();
+        break;
+      case StepProgram::OpKind::unpack_entry:
+        replay_slots_[op.b] = cache_->replay_unpack(op.a);
+        break;
+      case StepProgram::OpKind::prefetch:
+        cache_->replay_prefetch(
+            std::span<const std::uint32_t>(&program.aux[op.a], op.count));
+        break;
+      case StepProgram::OpKind::release_entry:
+        cache_->replay_release(op.a);
+        break;
+    }
+  }
+}
+
+/// Specialised interpreter for cache-less programs (keep-in-gpu and pure
+/// recompute): no consumer ever needs a Tensor object, so a value slot is
+/// just the device block plus the ready event — tensor creation shrinks to
+/// one arena allocation and one pooled completion, with no shared_ptr
+/// machinery at all. Host-tensor ops vanish entirely (nothing observes
+/// host storage).
+void Executor::replay_ops_raw(const StepProgram& program,
+                              sim::CompletionPtr& pre_optimizer_marker) {
+  auto& gpu_ctx = node_.gpu(options_.gpu_index);
+  auto& allocator = *gpu_ctx.allocator;
+  auto& stream = *gpu_ctx.compute_stream;
+  auto& sim = node_.simulator();
+  if (replay_raw_slots_.size() < program.slot_count) {
+    replay_raw_slots_.resize(program.slot_count);
+  }
+
+  for (const StepProgram::Op& op : program.ops) {
+    switch (op.kind) {
+      case StepProgram::OpKind::alloc_activation: {
+        RawSlot& slot = replay_raw_slots_[op.a];
+        slot.alloc = allocator.allocate(static_cast<util::Bytes>(op.y),
+                                        hw::MemoryTag::activation);
+        slot.ready = sim::Completion::create(sim);
+        slot.device = true;
+        slot.live = true;
+        replay_pending_.push_back(slot.ready);
+        break;
+      }
+      case StepProgram::OpKind::alloc_host:
+        break;  // host storage is unobservable without a cache
+      case StepProgram::OpKind::kernel: {
+        replay_deps_scratch_.clear();
+        for (std::uint32_t i = 0; i < op.count; ++i) {
+          const std::uint32_t slot = program.aux[op.a + i];
+          const auto& ready = replay_raw_slots_[slot].ready;
+          if (ready && !ready->done()) {
+            replay_deps_scratch_.push_back(ready);
+          }
+        }
+        replay_kernel(program, op, replay_deps_scratch_);
+        break;
+      }
+      case StepProgram::OpKind::enqueue_only:
+        // The optimizer tail's completion is never observed (finish_step
+        // gates on the step_end marker): don't mint one.
+        stream.enqueue_labeled_detached(program.labels[op.b], op.x);
+        break;
+      case StepProgram::OpKind::marker_pre_optimizer:
+        pre_optimizer_marker = stream.record_marker("pre_optimizer");
+        break;
+      case StepProgram::OpKind::drop_value: {
+        RawSlot& slot = replay_raw_slots_[op.a];
+        if (slot.live && slot.device) allocator.free(slot.alloc);
+        slot.live = false;
+        slot.ready.reset();
+        break;
+      }
+      default:
+        util::unreachable("cache op in a cache-less program");
+    }
+  }
+}
+
+StepStats Executor::replay(const StepProgram& program,
+                           const std::vector<sched::Command>& schedule) {
+  util::expects(program.replayable,
+                "replay of a program marked non-replayable");
+  util::expects(program.schedule == schedule,
+                "schedule changed since the program was recorded");
+  util::expects(program.uses_cache == (cache_ != nullptr),
+                "cache attachment changed since the program was recorded");
+
+  auto& gpu_ctx = node_.gpu(options_.gpu_index);
+  gpu_ctx.allocator->reset_peaks();
+  if (cache_ != nullptr) cache_->replay_begin(program.entries);
+
+  const StepBaseline base = begin_step();
+  sim::CompletionPtr pre_optimizer_marker;
+  if (program.uses_cache) {
+    replay_ops_tensor(program, pre_optimizer_marker);
+  } else {
+    replay_ops_raw(program, pre_optimizer_marker);
+  }
+
+  StepStats stats = finish_step(base, pre_optimizer_marker);
+  // Inter-step teardown, the replay analogue of graph/loss clearing on the
+  // trace path: surviving slots (host inputs and step-crossing handles)
+  // drop here, after the step's measurements are taken.
+  for (auto& slot : replay_slots_) slot.reset();
+  for (auto& slot : replay_raw_slots_) {
+    if (slot.live && slot.device) gpu_ctx.allocator->free(slot.alloc);
+    slot.live = false;
+    slot.ready.reset();
+  }
+  replay_pending_.clear();
   return stats;
 }
 

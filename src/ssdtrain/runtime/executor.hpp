@@ -8,6 +8,13 @@
 /// paper §IV-B), wires saved tensors through the tensor cache's hooks, and
 /// drives a schedule of forward/backward/optimizer commands while
 /// collecting StepStats.
+///
+/// Two execution pipelines share the hardware bindings:
+///   * run_step — the trace path: walks the module tree each step.
+///   * record_step / replay — trace once into a StepProgram, then replay
+///     the flattened op array for every subsequent step (see
+///     step_program.hpp). Replay is bit-identical to the trace and
+///     allocation-free at steady state on the no-offload path.
 
 #include <map>
 #include <memory>
@@ -21,6 +28,7 @@
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/parallel/collectives.hpp"
 #include "ssdtrain/parallel/parallel_config.hpp"
+#include "ssdtrain/runtime/step_program.hpp"
 #include "ssdtrain/runtime/step_stats.hpp"
 #include "ssdtrain/sched/schedule.hpp"
 #include "ssdtrain/tensor/tensor.hpp"
@@ -57,6 +65,19 @@ class Executor final : public modules::ExecutionContext {
   StepStats run_step(modules::Model& model,
                      const std::vector<sched::Command>& schedule);
 
+  /// Runs one step on the trace path while compiling it into \p program.
+  /// Simulated behaviour (and the returned StepStats) is identical to
+  /// run_step; check program.replayable before replaying.
+  StepStats record_step(modules::Model& model,
+                        const std::vector<sched::Command>& schedule,
+                        StepProgram& program);
+
+  /// Replays a recorded program: walks the flattened op array and drives
+  /// streams, offloader, and cache directly — no module dispatch, no graph
+  /// nodes, no id-keyed lookups. \p schedule must equal the recorded one.
+  StepStats replay(const StepProgram& program,
+                   const std::vector<sched::Command>& schedule);
+
   // -- ExecutionContext -----------------------------------------------------
   tensor::Tensor make_activation(std::string label, tensor::TensorShape shape,
                                  tensor::DType dtype) override;
@@ -82,7 +103,24 @@ class Executor final : public modules::ExecutionContext {
   [[nodiscard]] util::Bytes weights_live() const;
 
  private:
+  /// Counter snapshot taken at step begin; finish_step() turns the deltas
+  /// into StepStats. Shared by the trace and replay pipelines so both
+  /// measure identically.
+  struct StepBaseline {
+    util::Seconds step_start = 0.0;
+    util::Seconds busy_start = 0.0;
+    util::Flops algo_start = 0.0;
+    util::Flops exec_start = 0.0;
+    util::Bytes offloaded_start = 0;
+    util::Bytes ssd_written_start = 0;
+  };
+
+  StepBaseline begin_step();
+  StepStats finish_step(const StepBaseline& base,
+                        const sim::CompletionPtr& pre_optimizer_marker);
+
   void bind_pending_ready_events(const sim::CompletionPtr& producer);
+  void bind_pending_replay(const sim::CompletionPtr& producer);
   void pace();  ///< bounded launch-ahead: advance sim while queue too deep
   void run_optimizer(modules::Model& model);
 
@@ -92,6 +130,7 @@ class Executor final : public modules::ExecutionContext {
   tensor::TensorFactory factory_;
   graph::Graph graph_;
   core::TensorCache* cache_ = nullptr;
+  StepRecorder* recorder_ = nullptr;  ///< non-null only inside record_step
   std::vector<const graph::SavedTensorHooks*> hook_stack_;
   std::map<std::string, tensor::Tensor> weights_;
   util::Bytes weight_grad_bytes_ = 0;
@@ -101,6 +140,29 @@ class Executor final : public modules::ExecutionContext {
   int recompute_depth_ = 0;
   util::Flops algorithmic_flops_ = 0.0;
   util::Flops executed_flops_ = 0.0;
+
+  /// Value slot for programs without a tensor cache: nothing downstream
+  /// needs a Tensor object, so the slot carries just the device block and
+  /// the ready event — no Storage, no Impl, no shared_ptr traffic.
+  struct RawSlot {
+    hw::DeviceAllocation alloc;
+    sim::CompletionPtr ready;
+    bool device = false;
+    bool live = false;
+  };
+
+  void replay_ops_tensor(const StepProgram& program,
+                         sim::CompletionPtr& pre_optimizer_marker);
+  void replay_ops_raw(const StepProgram& program,
+                      sim::CompletionPtr& pre_optimizer_marker);
+  void replay_kernel(const StepProgram& program, const StepProgram::Op& op,
+                     std::span<const sim::CompletionPtr> deps);
+
+  // Replay state, reused across replayed steps (steady-state capacity).
+  std::vector<tensor::Tensor> replay_slots_;
+  std::vector<RawSlot> replay_raw_slots_;
+  std::vector<sim::CompletionPtr> replay_pending_;
+  std::vector<sim::CompletionPtr> replay_deps_scratch_;
 };
 
 }  // namespace ssdtrain::runtime

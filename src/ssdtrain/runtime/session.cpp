@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/logging.hpp"
 
 namespace ssdtrain::runtime {
 
@@ -35,6 +36,11 @@ Strategy strategy_from(std::string_view name) {
 TrainingSession::TrainingSession(SessionConfig config)
     : config_(std::move(config)) {
   config_.parallel.validate();
+  replay_active_ = config_.use_replay;
+  // Computed once: the schedule is part of the session's identity (a
+  // recorded StepProgram is valid only for this exact command sequence),
+  // and replayed steps must not allocate for it.
+  schedule_ = sched::grad_accum_schedule(config_.micro_batches);
   node_ = std::make_unique<hw::TrainingNode>(config_.node);
   model_ = modules::build_model(config_.model);
 
@@ -115,8 +121,29 @@ TrainingSession::TrainingSession(SessionConfig config)
 }
 
 StepStats TrainingSession::run_step() {
-  const auto schedule = sched::grad_accum_schedule(config_.micro_batches);
-  StepStats stats = executor_->run_step(*model_, schedule);
+  const auto& schedule = schedule_;
+  StepStats stats;
+  if (!config_.use_replay) {
+    stats = executor_->run_step(*model_, schedule);
+  } else if (program_ != nullptr) {
+    stats = executor_->replay(*program_, schedule);
+  } else if (!replay_active_) {
+    // A previous recording came back non-replayable: stay on the trace
+    // path for the rest of the session.
+    stats = executor_->run_step(*model_, schedule);
+  } else {
+    // First step: trace through the module tree while compiling the
+    // program; every later step replays it.
+    auto program = std::make_unique<StepProgram>();
+    stats = executor_->record_step(*model_, schedule, *program);
+    if (program->replayable) {
+      program_ = std::move(program);
+    } else {
+      replay_active_ = false;
+      util::log_warning("step replay disabled for this session: " +
+                        program->invalid_reason);
+    }
+  }
   if (offloader_ != nullptr) {
     stats.offloader_totals = offloader_->stats();
     stats.loaded_bytes = stats.offloader_totals.bytes_loaded;

@@ -52,6 +52,13 @@ struct SessionConfig {
   Strategy strategy = Strategy::ssdtrain;
   int micro_batches = 1;  ///< gradient-accumulation count
 
+  /// Step-graph record/replay (on by default): the first run_step traces
+  /// through the module tree while recording a StepProgram; every later
+  /// step replays the flattened program, bit-identically and much faster.
+  /// Disable (--no-replay in the benches) to force the legacy trace path
+  /// on every step for A/B comparison.
+  bool use_replay = true;
+
   // SSDTrain knobs (ablations):
   bool use_gds = true;
   bool forwarding = true;
@@ -87,6 +94,11 @@ class TrainingSession {
     return plan_;
   }
 
+  /// The recorded step program, once the first step has run with replay
+  /// enabled (null before that, after a recording failure, or with
+  /// use_replay = false).
+  [[nodiscard]] const StepProgram* program() const { return program_.get(); }
+
  private:
   SessionConfig config_;
   std::unique_ptr<hw::TrainingNode> node_;
@@ -96,6 +108,9 @@ class TrainingSession {
   std::unique_ptr<core::Offloader> offloader_;
   std::unique_ptr<core::TensorCache> cache_;
   std::optional<core::OffloadPlan> plan_;
+  std::unique_ptr<StepProgram> program_;
+  std::vector<sched::Command> schedule_;
+  bool replay_active_ = false;  ///< false after a non-replayable recording
 };
 
 }  // namespace ssdtrain::runtime

@@ -118,6 +118,11 @@ void Completion::notify_dep_fired() {
 
 CompletionPtr when_all(Simulator& sim, const std::vector<CompletionPtr>& deps,
                        util::Label label) {
+  return when_all_span(sim, deps, label);
+}
+
+CompletionPtr when_all_span(Simulator& sim, std::span<const CompletionPtr> deps,
+                            util::Label label) {
   std::size_t unfired = 0;
   const CompletionPtr* last_unfired = nullptr;
   for (const auto& d : deps) {
@@ -142,7 +147,10 @@ CompletionPtr when_all(Simulator& sim, const std::vector<CompletionPtr>& deps,
       dep->combine_target_ = all.get();
       all->add_ref();
     } else {
-      dep->add_waiter([all]() { all->notify_dep_fired(); });
+      // The fallback waiter captures a CompletionPtr; the relocatable
+      // wrapper keeps it on the memcpy relocation lane through the queue.
+      dep->add_waiter(
+          util::relocatable([all]() { all->notify_dep_fired(); }));
     }
   }
   return all;

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -106,9 +107,9 @@ class Completion {
 
  private:
   friend class CompletionPtr;
-  friend CompletionPtr when_all(Simulator& sim,
-                                const std::vector<CompletionPtr>& deps,
-                                util::Label label);
+  friend CompletionPtr when_all_span(Simulator& sim,
+                                     std::span<const CompletionPtr> deps,
+                                     util::Label label);
 
   struct WaiterNode {
     EventFn fn;
@@ -188,4 +189,18 @@ inline void CompletionPtr::reset() noexcept {
 CompletionPtr when_all(Simulator& sim, const std::vector<CompletionPtr>& deps,
                        util::Label label = {});
 
+/// Span form of when_all for callers that keep their dependency list in a
+/// reused scratch buffer (the step-replay kernel path): no vector is
+/// materialised anywhere on the way to the combiner.
+CompletionPtr when_all_span(Simulator& sim, std::span<const CompletionPtr> deps,
+                            util::Label label = {});
+
 }  // namespace ssdtrain::sim
+
+namespace ssdtrain::util {
+// A CompletionPtr relocates by memcpy: its move is a pointer steal and the
+// abandoned source is never destroyed, so closures capturing completions
+// can take UniqueFunction's memcpy lane through the event ring.
+template <>
+inline constexpr bool enable_trivial_relocation<sim::CompletionPtr> = true;
+}  // namespace ssdtrain::util

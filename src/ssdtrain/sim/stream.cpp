@@ -31,6 +31,55 @@ CompletionPtr Stream::combine_deps(std::vector<CompletionPtr> deps) {
   return when_all(sim_, deps, name_label_);
 }
 
+CompletionPtr Stream::combine_deps_span(std::span<const CompletionPtr> deps) {
+  if (!pending_waits_.empty()) {
+    // wait_for() is off the replay hot path; fold through the vector form.
+    std::vector<CompletionPtr> all(deps.begin(), deps.end());
+    return combine_deps(std::move(all));
+  }
+  std::size_t unfired = 0;
+  const CompletionPtr* last_unfired = nullptr;
+  for (const auto& d : deps) {
+    util::expects(static_cast<bool>(d), "null dependency");
+    if (!d->done()) {
+      ++unfired;
+      last_unfired = &d;
+    }
+  }
+  if (unfired == 0) return nullptr;
+  if (unfired == 1) return *last_unfired;
+  return when_all_span(sim_, deps, name_label_);
+}
+
+CompletionPtr Stream::enqueue_labeled(util::Label label,
+                                      util::Seconds duration,
+                                      std::span<const CompletionPtr> deps) {
+  util::expects(duration >= 0.0, "negative task duration");
+  Task task;
+  task.duration = duration;
+  task.deps = combine_deps_span(deps);
+  task.done = Completion::create(sim_, name_label_);
+  CompletionPtr done = task.done;
+  // The lazy-label contract, one layer up: the interned label renders to
+  // text only when someone is actually watching.
+  if (observer_) labels_.emplace_back(label.str());
+  queue_.push_back(std::move(task));
+  pump();
+  return done;
+}
+
+void Stream::enqueue_labeled_detached(util::Label label,
+                                      util::Seconds duration,
+                                      std::span<const CompletionPtr> deps) {
+  util::expects(duration >= 0.0, "negative task duration");
+  Task task;
+  task.duration = duration;
+  task.deps = combine_deps_span(deps);
+  if (observer_) labels_.emplace_back(label.str());
+  queue_.push_back(std::move(task));
+  pump();
+}
+
 CompletionPtr Stream::push_task(Task task, std::string_view label) {
   task.done = Completion::create(sim_, name_label_);
   CompletionPtr done = task.done;
@@ -133,7 +182,7 @@ void Stream::finish_task(std::uint64_t token) {
   // later task finishing after an observer detach/re-attach cycle.
   current_label_.clear();
   running_ = false;
-  done->fire();
+  if (done) done->fire();  // null for detached tasks
   pump();
 }
 

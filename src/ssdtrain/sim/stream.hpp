@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "ssdtrain/sim/completion.hpp"
 #include "ssdtrain/sim/simulator.hpp"
 #include "ssdtrain/util/label.hpp"
+#include "ssdtrain/util/ring_deque.hpp"
 #include "ssdtrain/util/unique_function.hpp"
 #include "ssdtrain/util/units.hpp"
 
@@ -71,6 +73,18 @@ class Stream {
   /// Enqueues a fixed-duration task. Returns its completion.
   CompletionPtr enqueue(std::string_view label, util::Seconds duration,
                         std::vector<CompletionPtr> deps = {});
+
+  /// Replay-path form: the label is an interned util::Label (rendered to
+  /// text only while an observer is attached) and the dependencies arrive
+  /// in a caller-owned scratch span — enqueuing allocates nothing.
+  CompletionPtr enqueue_labeled(util::Label label, util::Seconds duration,
+                                std::span<const CompletionPtr> deps = {});
+
+  /// Fire-and-forget variant: no completion is minted for the task, so
+  /// nothing can (or ever will) wait on it. Replay uses this for the many
+  /// kernels whose completion the trace path also never observed.
+  void enqueue_labeled_detached(util::Label label, util::Seconds duration,
+                                std::span<const CompletionPtr> deps = {});
 
   /// Single-dependency overload: the common kernel-chain shape, kept free
   /// of the deps-vector allocation.
@@ -131,6 +145,7 @@ class Stream {
   /// nullptr when everything has already fired, the dep itself when one is
   /// unfired, a when_all combiner otherwise.
   CompletionPtr combine_deps(std::vector<CompletionPtr> deps);
+  CompletionPtr combine_deps_span(std::span<const CompletionPtr> deps);
   CompletionPtr push_task(Task task, std::string_view label);
   void pump();
   void begin(Task task);
@@ -139,7 +154,10 @@ class Stream {
   Simulator& sim_;
   std::string name_;
   util::Label name_label_;  ///< interned once; names task completions
-  std::deque<Task> queue_;
+  /// Power-of-two ring, not std::deque: sustained enqueue/finish traffic
+  /// reaches its high-water capacity once and then never mallocs (a
+  /// std::deque allocates a node every few tasks under the same load).
+  util::RingDeque<Task> queue_;
   /// Task labels, parallel to queue_ — populated only while an observer
   /// is attached, so unobserved streams move no strings through the queue.
   std::deque<std::string> labels_;

@@ -14,13 +14,13 @@
 /// nothing at steady state.
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "ssdtrain/sim/completion.hpp"
 #include "ssdtrain/sim/simulator.hpp"
 #include "ssdtrain/util/label.hpp"
+#include "ssdtrain/util/ring_deque.hpp"
 #include "ssdtrain/util/unique_function.hpp"
 
 namespace ssdtrain::sim {
@@ -89,7 +89,7 @@ class SimThreadPool {
   util::Label name_label_;
   std::size_t workers_;
   std::size_t running_ = 0;
-  std::deque<Pending> queue_;
+  util::RingDeque<Pending> queue_;
   std::vector<RunningSlot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_token_ = 0;

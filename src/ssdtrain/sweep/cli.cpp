@@ -68,6 +68,8 @@ CliOptions parse_cli(int argc, char** argv) {
                     "seconds, got '" +
                         std::string(text) + "'");
       options.point_timeout = seconds;
+    } else if (arg == "--no-replay") {
+      options.no_replay = true;
     } else if (arg == "--retries") {
       util::expects(i + 1 < argc, "--retries requires a count");
       const char* text = argv[++i];
@@ -83,7 +85,8 @@ CliOptions parse_cli(int argc, char** argv) {
       util::expects(false,
                     "unknown flag: " + std::string(arg) +
                         " (supported: --workers N, --csv PATH, "
-                        "--points a=1,b=2, --point-timeout S, --retries N)");
+                        "--points a=1,b=2, --point-timeout S, --retries N, "
+                        "--no-replay)");
     } else {
       options.positional.emplace_back(arg);
     }

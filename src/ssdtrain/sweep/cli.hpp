@@ -16,6 +16,9 @@
 ///                       over-budget points are recorded as errors instead
 ///                       of hanging the batch (0 = no timeout)
 ///   --retries N         re-run a throwing point up to N extra times
+///   --no-replay         force the legacy trace-every-step execution path
+///                       (step record/replay is on by default; this flag is
+///                       the A/B switch — results are bit-identical)
 /// plus its own positional arguments, which are passed through untouched.
 
 #include <cstddef>
@@ -33,6 +36,7 @@ struct CliOptions {
   std::string csv_path;     ///< empty = no CSV output
   double point_timeout = 0.0;  ///< seconds; 0 = no per-point timeout
   int retries = 0;             ///< extra attempts for throwing points
+  bool no_replay = false;      ///< force the trace path in every session
   /// --points constraints, in order of appearance.
   std::vector<std::pair<std::string, std::string>> point_filter;
   std::vector<std::string> positional;

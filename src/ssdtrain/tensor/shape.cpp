@@ -4,38 +4,44 @@
 
 namespace ssdtrain::tensor {
 
-TensorShape::TensorShape(std::initializer_list<std::int64_t> dims)
-    : dims_(dims) {
-  for (auto d : dims_) util::expects(d >= 0, "negative dimension");
+TensorShape::TensorShape(std::initializer_list<std::int64_t> dims) {
+  util::expects(dims.size() <= kMaxRank, "rank exceeds TensorShape::kMaxRank");
+  for (auto d : dims) {
+    util::expects(d >= 0, "negative dimension");
+    dims_[rank_++] = d;
+  }
 }
 
-TensorShape::TensorShape(std::vector<std::int64_t> dims)
-    : dims_(std::move(dims)) {
-  for (auto d : dims_) util::expects(d >= 0, "negative dimension");
+TensorShape::TensorShape(const std::vector<std::int64_t>& dims) {
+  util::expects(dims.size() <= kMaxRank, "rank exceeds TensorShape::kMaxRank");
+  for (auto d : dims) {
+    util::expects(d >= 0, "negative dimension");
+    dims_[rank_++] = d;
+  }
 }
 
 std::int64_t TensorShape::dim(std::size_t i) const {
-  util::expects(i < dims_.size(), "dimension index out of range");
+  util::expects(i < rank_, "dimension index out of range");
   return dims_[i];
 }
 
 std::int64_t TensorShape::numel() const {
   std::int64_t n = 1;
-  for (auto d : dims_) n *= d;
+  for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
   return n;
 }
 
 TensorShape TensorShape::transposed() const {
-  util::expects(dims_.size() >= 2, "transpose needs rank >= 2");
-  auto dims = dims_;
-  std::swap(dims[dims.size() - 1], dims[dims.size() - 2]);
-  return TensorShape(std::move(dims));
+  util::expects(rank_ >= 2, "transpose needs rank >= 2");
+  TensorShape out = *this;
+  std::swap(out.dims_[rank_ - 1], out.dims_[rank_ - 2]);
+  return out;
 }
 
 std::uint64_t TensorShape::hash() const {
   std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
-  for (auto d : dims_) {
-    auto x = static_cast<std::uint64_t>(d);
+  for (std::size_t i = 0; i < rank_; ++i) {
+    auto x = static_cast<std::uint64_t>(dims_[i]);
     for (int byte = 0; byte < 8; ++byte) {
       h ^= (x >> (byte * 8)) & 0xFF;
       h *= 1099511628211ULL;  // FNV prime
@@ -46,7 +52,7 @@ std::uint64_t TensorShape::hash() const {
 
 std::string TensorShape::to_string() const {
   std::string out = "[";
-  for (std::size_t i = 0; i < dims_.size(); ++i) {
+  for (std::size_t i = 0; i < rank_; ++i) {
     if (i > 0) out += ", ";
     out += std::to_string(dims_[i]);
   }

@@ -2,10 +2,15 @@
 
 /// \file shape.hpp
 /// Tensor shapes. get_id() keys on (first-seen stamp, shape), so shapes need
-/// cheap equality and a stable hash.
+/// cheap equality and a stable hash. Dimensions live in a small inline
+/// array (every activation in the model is rank <= 4): copying a shape —
+/// which happens on every tensor creation, weak-reference, and replay-
+/// program entry — is a trivial memcpy and never touches the heap.
 
+#include <array>
 #include <cstdint>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,13 +18,17 @@ namespace ssdtrain::tensor {
 
 class TensorShape {
  public:
+  static constexpr std::size_t kMaxRank = 4;
+
   TensorShape() = default;
   TensorShape(std::initializer_list<std::int64_t> dims);
-  explicit TensorShape(std::vector<std::int64_t> dims);
+  explicit TensorShape(const std::vector<std::int64_t>& dims);
 
-  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+  [[nodiscard]] std::size_t rank() const { return rank_; }
   [[nodiscard]] std::int64_t dim(std::size_t i) const;
-  [[nodiscard]] const std::vector<std::int64_t>& dims() const { return dims_; }
+  [[nodiscard]] std::span<const std::int64_t> dims() const {
+    return {dims_.data(), rank_};
+  }
 
   /// Product of dimensions (1 for rank-0 scalars).
   [[nodiscard]] std::int64_t numel() const;
@@ -33,11 +42,16 @@ class TensorShape {
   [[nodiscard]] std::string to_string() const;  ///< "[16, 1024, 12288]"
 
   friend bool operator==(const TensorShape& a, const TensorShape& b) {
-    return a.dims_ == b.dims_;
+    if (a.rank_ != b.rank_) return false;
+    for (std::size_t i = 0; i < a.rank_; ++i) {
+      if (a.dims_[i] != b.dims_[i]) return false;
+    }
+    return true;
   }
 
  private:
-  std::vector<std::int64_t> dims_;
+  std::array<std::int64_t, kMaxRank> dims_{};
+  std::uint8_t rank_ = 0;
 };
 
 }  // namespace ssdtrain::tensor

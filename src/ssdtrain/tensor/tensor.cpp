@@ -49,14 +49,14 @@ Storage::~Storage() {
   }
 }
 
-Tensor::Tensor(std::string label, TensorShape shape, DType dtype,
+Tensor::Tensor(util::Label label, TensorShape shape, DType dtype,
                std::shared_ptr<Storage> storage)
-    : impl_(std::make_shared<Impl>(Impl{std::move(label), std::move(shape),
-                                        dtype, std::move(storage)})) {
+    : impl_(std::make_shared<Impl>(Impl{label, shape, dtype,
+                                        std::move(storage)})) {
   util::expects(impl_->storage != nullptr, "tensor needs storage");
 }
 
-const std::string& Tensor::label() const {
+const util::Label& Tensor::label() const {
   util::expects(defined(), "undefined tensor");
   return impl_->label;
 }
@@ -89,8 +89,8 @@ const std::shared_ptr<Storage>& Tensor::storage() const {
 
 Tensor Tensor::transpose_view() const {
   util::expects(defined(), "undefined tensor");
-  return Tensor(impl_->label + ".T", impl_->shape.transposed(), impl_->dtype,
-                impl_->storage);
+  return Tensor(util::Label::suffixed(impl_->label, ".T"),
+                impl_->shape.transposed(), impl_->dtype, impl_->storage);
 }
 
 bool same_storage(const Tensor& a, const Tensor& b) {
@@ -114,23 +114,27 @@ Tensor WeakTensor::lock() const {
 bool WeakTensor::expired() const { return storage_.expired(); }
 
 TensorFactory::TensorFactory(hw::DeviceAllocator& allocator)
-    : allocator_(allocator) {}
+    : allocator_(allocator), pool_(util::SlabPool::create()) {}
 
-Tensor TensorFactory::cuda(std::string label, TensorShape shape, DType dtype,
+Tensor TensorFactory::cuda(util::Label label, TensorShape shape, DType dtype,
                            hw::MemoryTag tag) {
   const util::Bytes bytes = shape.numel() * element_size(dtype);
   util::expects(bytes > 0, "empty device tensor");
   auto allocation = allocator_.allocate(bytes, tag);
-  auto storage = std::make_shared<Storage>(allocator_, allocation);
-  return Tensor(std::move(label), std::move(shape), dtype,
-                std::move(storage));
+  auto storage = std::allocate_shared<Storage>(
+      util::PoolAllocator<Storage>(pool_), allocator_, allocation);
+  return Tensor(std::allocate_shared<Tensor::Impl>(
+      util::PoolAllocator<Tensor::Impl>(pool_),
+      Tensor::Impl{label, shape, dtype, std::move(storage)}));
 }
 
-Tensor TensorFactory::cpu(std::string label, TensorShape shape, DType dtype) {
+Tensor TensorFactory::cpu(util::Label label, TensorShape shape, DType dtype) {
   const util::Bytes bytes = shape.numel() * element_size(dtype);
-  auto storage = std::make_shared<Storage>(bytes);
-  return Tensor(std::move(label), std::move(shape), dtype,
-                std::move(storage));
+  auto storage = std::allocate_shared<Storage>(
+      util::PoolAllocator<Storage>(pool_), bytes);
+  return Tensor(std::allocate_shared<Tensor::Impl>(
+      util::PoolAllocator<Tensor::Impl>(pool_),
+      Tensor::Impl{label, shape, dtype, std::move(storage)}));
 }
 
 }  // namespace ssdtrain::tensor

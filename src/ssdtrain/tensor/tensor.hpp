@@ -7,6 +7,12 @@
 /// (simulated) device memory and frees it on destruction — the C++ analogue
 /// of Python garbage collection reclaiming an activation once the tensor
 /// cache drops its reference (paper §III-B).
+///
+/// Names are interned util::Label ids, not std::string: creating a tensor
+/// never materialises text (only observers, tracers, and error paths call
+/// Label::str()). Factory-made tensors draw their Impl and Storage blocks
+/// from the factory's SlabPool, so the step-replay hot path creates and
+/// destroys tensors without touching malloc at steady state.
 
 #include <cstdint>
 #include <memory>
@@ -17,6 +23,8 @@
 #include "ssdtrain/sim/completion.hpp"
 #include "ssdtrain/tensor/dtype.hpp"
 #include "ssdtrain/tensor/shape.hpp"
+#include "ssdtrain/util/label.hpp"
+#include "ssdtrain/util/pool.hpp"
 
 namespace ssdtrain::tensor {
 
@@ -40,6 +48,12 @@ class Storage {
 
   [[nodiscard]] util::Bytes bytes() const { return bytes_; }
   [[nodiscard]] Device device() const { return device_; }
+
+  /// Device-allocator id of the backing allocation (0 for CPU storage).
+  /// The step recorder keys its free observations on this.
+  [[nodiscard]] std::uint64_t allocation_id() const {
+    return allocation_.id;
+  }
 
   /// get_id() attribute: logical timestamp from first processing (the paper
   /// attaches a wall-clock timestamp to t.untyped_storage(); a logical
@@ -74,11 +88,11 @@ class Tensor {
  public:
   Tensor() = default;  ///< undefined tensor (like a default torch.Tensor)
 
-  Tensor(std::string label, TensorShape shape, DType dtype,
+  Tensor(util::Label label, TensorShape shape, DType dtype,
          std::shared_ptr<Storage> storage);
 
   [[nodiscard]] bool defined() const { return impl_ != nullptr; }
-  [[nodiscard]] const std::string& label() const;
+  [[nodiscard]] const util::Label& label() const;
   [[nodiscard]] const TensorShape& shape() const;
   [[nodiscard]] DType dtype() const;
   [[nodiscard]] Device device() const;
@@ -106,12 +120,17 @@ class Tensor {
   friend bool same_storage(const Tensor& a, const Tensor& b);
 
  private:
+  friend class TensorFactory;
+
   struct Impl {
-    std::string label;
+    util::Label label;
     TensorShape shape;
     DType dtype = DType::fp16;
     std::shared_ptr<Storage> storage;
   };
+
+  explicit Tensor(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
   std::shared_ptr<Impl> impl_;
 };
 
@@ -129,30 +148,38 @@ class WeakTensor {
 
  private:
   // Rebuilding a Tensor from the weak storage reference requires the
-  // original metadata; keep a copy (cheap: label + dims).
-  std::string label_;
+  // original metadata; keep a copy (cheap: interned label + inline dims).
+  util::Label label_;
   TensorShape shape_;
   DType dtype_ = DType::fp16;
   std::weak_ptr<Storage> storage_;
 };
 
-/// Creates tensors against a device allocator with proper tagging.
+/// Creates tensors against a device allocator with proper tagging. Impl and
+/// Storage blocks come from the factory's own SlabPool (allocate_shared
+/// with a PoolAllocator), so steady-state tensor creation on the replay
+/// path is heap-free; the pool's orphan contract keeps blocks valid for
+/// tensors that outlive the factory.
 class TensorFactory {
  public:
   explicit TensorFactory(hw::DeviceAllocator& allocator);
 
   /// Device tensor; memory is charged to \p tag immediately (like
   /// torch.empty on CUDA).
-  Tensor cuda(std::string label, TensorShape shape, DType dtype,
+  Tensor cuda(util::Label label, TensorShape shape, DType dtype,
               hw::MemoryTag tag);
 
   /// Host tensor (inputs, small metadata).
-  Tensor cpu(std::string label, TensorShape shape, DType dtype);
+  Tensor cpu(util::Label label, TensorShape shape, DType dtype);
 
   [[nodiscard]] hw::DeviceAllocator& allocator() { return allocator_; }
 
+  /// The pool backing this factory's tensors (diagnostics/tests).
+  [[nodiscard]] const util::SlabPool::Handle& pool() const { return pool_; }
+
  private:
   hw::DeviceAllocator& allocator_;
+  util::SlabPool::Handle pool_;
 };
 
 }  // namespace ssdtrain::tensor

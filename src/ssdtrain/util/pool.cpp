@@ -4,4 +4,12 @@ namespace ssdtrain::util {
 
 void SlabPool::reap() { delete this; }
 
+void SlabPool::on_handles_gone() {
+  if (live_ == 0) {
+    delete this;
+  } else {
+    orphaned_ = true;
+  }
+}
+
 }  // namespace ssdtrain::util

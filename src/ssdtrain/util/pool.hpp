@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "ssdtrain/util/check.hpp"
+
 namespace ssdtrain::util {
 
 class SlabPool {
@@ -46,17 +48,14 @@ class SlabPool {
       return *this;
     }
     ~Handle() {
-      if (pool_ != nullptr && --pool_->refs_ == 0) {
-        // Blocks may outlive every handle (completions held by tensors
-        // during teardown): orphan the pool and let the last deallocate
-        // reap it. Each live block is what keeps the pool reachable, so
-        // objects store a raw SlabPool* with no per-object handle churn.
-        if (pool_->live_ == 0) {
-          delete pool_;
-        } else {
-          pool_->orphaned_ = true;
-        }
-      }
+      // Blocks may outlive every handle (completions held by tensors
+      // during teardown): orphan the pool and let the last deallocate
+      // reap it. Each live block is what keeps the pool reachable, so
+      // objects store a raw SlabPool* with no per-object handle churn.
+      // Out-of-line tail: the conditional `delete this` confuses GCC's
+      // use-after-free flow analysis when several Handle destructors
+      // inline into one frame (same reason reap() is out of line).
+      if (pool_ != nullptr && --pool_->refs_ == 0) pool_->on_handles_gone();
     }
 
     void swap(Handle& other) noexcept { std::swap(pool_, other.pool_); }
@@ -126,6 +125,10 @@ class SlabPool {
   /// reach here when no caller can touch the pool again).
   void reap();
 
+  /// Last handle dropped: delete now if no blocks are outstanding, else
+  /// orphan (the final deallocate reaps). Out of line — see ~Handle().
+  void on_handles_gone();
+
   // Classes cover the event core's objects: completions and waiter nodes
   // (~80-100B) land in the 128B class; everything larger up to 256B is
   // insurance for layout drift.
@@ -173,6 +176,43 @@ class SlabPool {
   std::size_t live_ = 0;
   std::size_t refs_ = 0;  ///< Handle count (plain; single-threaded pool)
   bool orphaned_ = false;  ///< all handles gone; last live block deletes
+};
+
+/// Standard-allocator adapter over a SlabPool, for container nodes and
+/// allocate_shared control blocks on single-threaded hot paths (allocator
+/// maps, pooled tensor impls). Holds a refcounted Handle so blocks freed
+/// after the owner died (tensors outliving their factory) still find the
+/// pool alive — the same orphan contract the event core relies on.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(SlabPool::Handle pool) : pool_(std::move(pool)) {
+    expects(static_cast<bool>(pool_), "PoolAllocator needs a pool");
+  }
+
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) noexcept  // NOLINT
+      : pool_(other.pool()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_->allocate(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    pool_->deallocate(p, n * sizeof(T));
+  }
+
+  [[nodiscard]] const SlabPool::Handle& pool() const { return pool_; }
+
+  template <typename U>
+  friend bool operator==(const PoolAllocator& a, const PoolAllocator<U>& b) {
+    return a.pool_.get() == b.pool().get();
+  }
+
+ private:
+  SlabPool::Handle pool_;
 };
 
 }  // namespace ssdtrain::util

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file ring_deque.hpp
+/// Bounded-growth FIFO over a power-of-two ring. std::deque allocates and
+/// frees a node roughly every page of sustained push/pop traffic, which is
+/// exactly the pattern a stream's task queue and a thread pool's pending
+/// queue produce; this ring reaches its high-water capacity once and then
+/// never touches the heap again. Elements must be default-constructible
+/// and movable; pop_front() resets the vacated slot to T{} so resources
+/// held by queued elements (completions, closures) release immediately.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::util {
+
+template <typename T>
+class RingDeque {
+ public:
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  [[nodiscard]] T& front() {
+    expects(size_ > 0, "front() on empty ring");
+    return buf_[head_];
+  }
+
+  void push_back(T value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() {
+    expects(size_ > 0, "pop_front() on empty ring");
+    buf_[head_] = T{};
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+  }
+
+  void clear() {
+    while (size_ > 0) pop_front();
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ssdtrain::util

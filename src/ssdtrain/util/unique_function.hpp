@@ -29,6 +29,45 @@
 
 namespace ssdtrain::util {
 
+/// Opt-in trivial-relocation trait. A type is trivially relocatable when
+/// "move-construct into new storage + destroy the source" is equivalent to
+/// memcpy-ing the bytes and *abandoning* the source (no destructor run).
+/// That holds for almost every handle type whose move is a pointer steal —
+/// sim::CompletionPtr, shared_ptr-backed tensors — but C++ cannot prove it,
+/// so types (and closures, via `relocatable()` below) assert it explicitly.
+template <typename T>
+inline constexpr bool enable_trivial_relocation = false;
+
+template <typename T>
+inline constexpr bool is_trivially_relocatable_v =
+    std::is_trivially_copyable_v<T> ||
+    enable_trivial_relocation<std::remove_cv_t<T>>;
+
+/// Wrapper that carries a caller's assertion that \p F is trivially
+/// relocatable. Closures capturing CompletionPtr / pooled tensors wrap
+/// themselves in this to take UniqueFunction's memcpy relocation lane
+/// through the event ring instead of the move-construct + destroy detour.
+template <typename F>
+struct Relocatable {
+  F fn;
+
+  template <typename... Args>
+  decltype(auto) operator()(Args&&... args) {
+    return fn(std::forward<Args>(args)...);
+  }
+};
+
+template <typename F>
+inline constexpr bool enable_trivial_relocation<Relocatable<F>> = true;
+
+/// Marks \p fn trivially relocatable (see Relocatable). The caller asserts
+/// every capture relocates by memcpy — true for raw/smart pointer handles,
+/// ids, and byte counts; false for self-referential captures.
+template <typename F>
+[[nodiscard]] Relocatable<std::decay_t<F>> relocatable(F&& fn) {
+  return Relocatable<std::decay_t<F>>{std::forward<F>(fn)};
+}
+
 template <typename Signature, std::size_t InlineBytes = 64>
 class UniqueFunction;  // undefined; only the R(Args...) partial below exists
 
@@ -104,15 +143,17 @@ class UniqueFunction<R(Args...), InlineBytes> {
 
   // Trivially-copyable callables (closures capturing pointers, ids, byte
   // counts — the whole event hot path) relocate by memcpy with no
-  // indirect call; a null `relocate` in the vtable marks them. The heap
-  // fallback relocates by moving one pointer, so it is trivial too.
+  // indirect call; a null `relocate` in the vtable marks them. Types that
+  // opted in via enable_trivial_relocation (the `relocatable()` wrapper)
+  // take the same lane. The heap fallback relocates by moving one
+  // pointer, so it is trivial too.
   template <typename D>
   static constexpr VTable inline_vtable = {
       [](void* self, Args&&... args) -> R {
         return (*std::launder(reinterpret_cast<D*>(self)))(
             std::forward<Args>(args)...);
       },
-      std::is_trivially_copyable_v<D>
+      is_trivially_relocatable_v<D>
           ? nullptr
           : +[](void* src, void* dst) noexcept {
               D* from = std::launder(reinterpret_cast<D*>(src));

@@ -58,6 +58,24 @@ TEST(BlockAllocator, DoubleFreeThrows) {
   EXPECT_THROW(a.free(*b), u::ContractViolation);
 }
 
+TEST(BlockAllocator, StaleFreeAfterSameRangeReallocationThrows) {
+  // The cookie-slot fast path must not be fooled by ABA: freeing a block,
+  // re-carving the identical range into the recycled slot, then freeing
+  // the *stale* handle again has to trip the generation check instead of
+  // silently releasing the live allocation.
+  hw::BlockAllocator a(u::kib(4), 512);
+  auto stale = a.allocate(512);
+  ASSERT_TRUE(stale);
+  a.free(*stale);
+  auto fresh = a.allocate(512);
+  ASSERT_TRUE(fresh);
+  EXPECT_EQ(fresh->offset, stale->offset);
+  EXPECT_EQ(fresh->cookie, stale->cookie);
+  EXPECT_THROW(a.free(*stale), u::ContractViolation);
+  a.free(*fresh);
+  EXPECT_EQ(a.live_blocks(), 0u);
+}
+
 TEST(BlockAllocator, FragmentationBlocksLargeAllocation) {
   hw::BlockAllocator a(u::kib(4), 512);
   std::vector<hw::Block> blocks;

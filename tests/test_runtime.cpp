@@ -277,3 +277,48 @@ TEST(Integration, CacheCountersAreConsistent) {
   // Keep-last-module fired (backward follows forward immediately).
   EXPECT_GT(c.kept_scope, 0u);
 }
+
+TEST(Integration, ReplayedStepsKeepLastModuleAndTrimExtents) {
+  // Steps 2+ run through Executor::replay (the session records step 1).
+  // The scheduler-hint behaviours must carry over to the replay pipeline:
+  // the keep-last-module rule fires every replayed step, prefetch keeps
+  // issuing, and every SSD extent is trimmed after its backward use.
+  auto config = base_config(rt::Strategy::ssdtrain);
+  rt::TrainingSession session(config);
+  const auto steps = session.run_steps(4);
+  ASSERT_NE(session.program(), nullptr);
+  EXPECT_TRUE(session.program()->replayable);
+
+  // Cache counters are cumulative; the per-step deltas of the replayed
+  // steps must match each other and stay active.
+  for (std::size_t i = 2; i < steps.size(); ++i) {
+    const auto& prev = steps[i - 1].cache;
+    const auto& cur = steps[i].cache;
+    EXPECT_EQ(cur.kept_scope - prev.kept_scope,
+              steps[1].cache.kept_scope - steps[0].cache.kept_scope);
+    EXPECT_GT(cur.kept_scope, prev.kept_scope);
+    EXPECT_GT(cur.prefetch_loads, prev.prefetch_loads);
+    EXPECT_EQ(cur.releases - prev.releases,
+              steps[1].cache.releases - steps[0].cache.releases);
+  }
+  // Eviction hygiene under replay: no space leaks on the array.
+  EXPECT_EQ(session.node().array(config.gpu_index).live_bytes(), 0);
+}
+
+TEST(Integration, ReplayDisabledSessionMatchesReplayEnabledExactly) {
+  // The ablation switch: --no-replay must be a pure A/B toggle.
+  auto with = base_config(rt::Strategy::ssdtrain);
+  auto without = base_config(rt::Strategy::ssdtrain);
+  without.use_replay = false;
+  rt::TrainingSession a(std::move(with));
+  rt::TrainingSession b(std::move(without));
+  for (int i = 0; i < 3; ++i) {
+    const auto sa = a.run_step();
+    const auto sb = b.run_step();
+    EXPECT_EQ(sa.step_time, sb.step_time);
+    EXPECT_EQ(sa.activation_peak, sb.activation_peak);
+    EXPECT_EQ(sa.offloaded_bytes, sb.offloaded_bytes);
+  }
+  EXPECT_NE(a.program(), nullptr);
+  EXPECT_EQ(b.program(), nullptr);
+}

@@ -29,8 +29,7 @@ TEST_F(TensorTest, ShapeBasics) {
   EXPECT_EQ(shape.rank(), 3u);
   EXPECT_EQ(shape.numel(), 1024LL * 16 * 12288);
   EXPECT_EQ(shape.to_string(), "[1024, 16, 12288]");
-  EXPECT_EQ(shape.transposed().dims(),
-            (std::vector<std::int64_t>{1024, 12288, 16}));
+  EXPECT_EQ(shape.transposed(), (t::TensorShape{1024, 12288, 16}));
 }
 
 TEST_F(TensorTest, ShapeHashDistinguishesShapes) {
@@ -67,7 +66,7 @@ TEST_F(TensorTest, ViewsShareStorageAndKeepMemoryAlive) {
                          hw::MemoryTag::weights);
   auto wt = w.transpose_view();
   EXPECT_TRUE(same_storage(w, wt));
-  EXPECT_EQ(wt.shape().dims(), (std::vector<std::int64_t>{256, 512}));
+  EXPECT_EQ(wt.shape(), (t::TensorShape{256, 512}));
   const auto live = allocator_.live(hw::MemoryTag::weights);
   w.reset();
   // The view still pins the storage.

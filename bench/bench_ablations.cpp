@@ -33,12 +33,15 @@ namespace {
 
 // --no-replay forces the legacy trace-every-step path (A/B switch).
 bool g_use_replay = true;
+// --pp/--tp/--dp/--zero override each measured session's parallelism.
+sweep::CliOptions g_cli;
 
 rt::SessionConfig base() {
   rt::SessionConfig config;
   config.use_replay = g_use_replay;
   config.model = m::bert_config(12288, 3, 16);
   config.parallel.tensor_parallel = 2;
+  g_cli.apply_parallel(config.parallel);
   config.strategy = rt::Strategy::ssdtrain;
   return config;
 }
@@ -73,6 +76,7 @@ rt::StepStats run_variant(const Variant& v) {
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
+  g_cli = options;
 
   std::vector<Variant> variants;
   auto add = [&variants](std::string name,

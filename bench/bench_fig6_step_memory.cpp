@@ -33,6 +33,8 @@ namespace {
 
 // --no-replay forces the legacy trace-every-step path (A/B switch).
 bool g_use_replay = true;
+// --pp/--tp/--dp/--zero override each measured session's parallelism.
+sweep::CliOptions g_cli;
 
 using ConfigFactory = m::ModelConfig (*)(std::int64_t, int, std::int64_t);
 
@@ -56,6 +58,7 @@ rt::StepStats measure(const Point& p) {
   config.use_replay = g_use_replay;
   config.model = p.config.make(p.config.hidden, p.config.layers, 16);
   config.parallel.tensor_parallel = 2;
+  g_cli.apply_parallel(config.parallel);
   config.strategy = p.strategy;
   rt::TrainingSession session(std::move(config));
   session.run_step();  // warm-up
@@ -67,6 +70,7 @@ rt::StepStats measure(const Point& p) {
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
+  g_cli = options;
 
   const std::vector<Case> cases = {
       {&m::bert_config, 8192, 4},  {&m::bert_config, 12288, 3},

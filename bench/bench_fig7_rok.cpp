@@ -40,6 +40,8 @@ namespace {
 
 // --no-replay forces the legacy trace-every-step path (A/B switch).
 bool g_use_replay = true;
+// --pp/--tp/--dp/--zero override each measured session's parallelism.
+sweep::CliOptions g_cli;
 
 // The paper's three strategies plus the hybrid extension (checkpointing
 // whose checkpoints are offloaded): the minimum-memory corner.
@@ -57,6 +59,7 @@ RokPoint measure(const sweep::SweepPoint& point) {
   config.use_replay = g_use_replay;
   config.model = m::bert_config(point.i64("hidden"), 3, point.i64("batch"));
   config.parallel.tensor_parallel = 2;
+  g_cli.apply_parallel(config.parallel);
   config.strategy = rt::strategy_from(point.str("strategy"));
   RokPoint result;
   try {
@@ -129,6 +132,7 @@ void rok_curve(std::int64_t hidden, const RokResults& results) {
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
+  g_cli = options;
 
   std::vector<std::string> strategy_names;
   for (rt::Strategy s : kStrategies) {

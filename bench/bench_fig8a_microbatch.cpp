@@ -34,12 +34,15 @@ namespace {
 
 // --no-replay forces the legacy trace-every-step path (A/B switch).
 bool g_use_replay = true;
+// --pp/--tp/--dp/--zero override each measured session's parallelism.
+sweep::CliOptions g_cli;
 
 rt::StepStats measure(const sweep::SweepPoint& point) {
   rt::SessionConfig config;
   config.use_replay = g_use_replay;
   config.model = m::bert_config(12288, 3, point.i64("batch"));
   config.parallel.tensor_parallel = 2;
+  g_cli.apply_parallel(config.parallel);
   config.strategy = rt::Strategy::keep_in_gpu;
   rt::TrainingSession session(std::move(config));
   session.run_step();
@@ -51,6 +54,7 @@ rt::StepStats measure(const sweep::SweepPoint& point) {
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
+  g_cli = options;
 
   const std::vector<std::int64_t> batches = {1, 2, 4, 8, 16};
   sweep::SweepSpec spec;

@@ -38,6 +38,8 @@ namespace {
 
 // --no-replay forces the legacy trace-every-step path (A/B switch).
 bool g_use_replay = true;
+// --pp/--tp/--dp/--zero override each measured session's parallelism.
+sweep::CliOptions g_cli;
 
 struct MoePoint {
   rt::StepStats stats;
@@ -51,6 +53,7 @@ MoePoint measure(const sweep::SweepPoint& point) {
       4096, 3, 8, static_cast<int>(point.i64("experts")),
       static_cast<int>(point.i64("top_k")));
   config.parallel.tensor_parallel = 2;
+  g_cli.apply_parallel(config.parallel);
   config.strategy = rt::strategy_from(point.str("strategy"));
   rt::TrainingSession session(std::move(config));
   session.run_step();  // warm-up
@@ -68,6 +71,7 @@ MoePoint measure(const sweep::SweepPoint& point) {
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
+  g_cli = options;
 
   sweep::SweepSpec spec;
   spec.axis("experts", std::vector<std::int64_t>{4, 8, 16})

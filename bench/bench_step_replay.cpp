@@ -76,6 +76,9 @@ namespace rt = ssdtrain::runtime;
 namespace sweep = ssdtrain::sweep;
 namespace u = ssdtrain::util;
 
+// --pp/--tp/--dp/--zero override each measured session's parallelism.
+sweep::CliOptions g_cli;
+
 struct Case {
   std::string name;
   m::ModelConfig model;
@@ -98,6 +101,7 @@ Result run_mode(const Case& c, bool replay, int warm_steps, int steps,
   rt::SessionConfig config;
   config.model = c.model;
   config.parallel.tensor_parallel = 2;
+  g_cli.apply_parallel(config.parallel);
   config.strategy = c.strategy;
   config.use_replay = replay;
   rt::TrainingSession session(std::move(config));
@@ -152,6 +156,7 @@ std::string format_allocs_per_step(const Result& r) {
 
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
+  g_cli = options;
   const bool smoke =
       !options.positional.empty() && options.positional[0] == "smoke";
 

@@ -36,12 +36,15 @@ namespace {
 
 // --no-replay forces the legacy trace-every-step path (A/B switch).
 bool g_use_replay = true;
+// --pp/--tp/--dp/--zero override each measured session's parallelism.
+sweep::CliOptions g_cli;
 
 double run_point(const sweep::SweepPoint& point) {
   rt::SessionConfig config;
   config.use_replay = g_use_replay;
   config.model = m::bert_config(8192, 2, point.i64("batch"));
   config.parallel.tensor_parallel = 2;
+  g_cli.apply_parallel(config.parallel);
   config.strategy = rt::strategy_from(point.str("strategy"));
   rt::TrainingSession session(std::move(config));
   session.run_step();
@@ -53,6 +56,7 @@ double run_point(const sweep::SweepPoint& point) {
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
+  g_cli = options;
 
   sweep::SweepSpec spec;
   spec.axis("strategy",

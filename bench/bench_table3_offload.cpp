@@ -33,6 +33,8 @@ namespace {
 
 // --no-replay forces the legacy trace-every-step path (A/B switch).
 bool g_use_replay = true;
+// --pp/--tp/--dp/--zero override each measured session's parallelism.
+sweep::CliOptions g_cli;
 
 struct Case {
   std::int64_t hidden;
@@ -50,6 +52,7 @@ Offload measure(const Case& c) {
   config.use_replay = g_use_replay;
   config.model = m::bert_config(c.hidden, c.layers, 16);
   config.parallel.tensor_parallel = 2;
+  g_cli.apply_parallel(config.parallel);
   config.strategy = rt::Strategy::ssdtrain;
   rt::TrainingSession session(std::move(config));
   session.run_step();
@@ -67,6 +70,7 @@ Offload measure(const Case& c) {
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
+  g_cli = options;
 
   const std::vector<Case> cases = {{8192, 4}, {12288, 3}, {16384, 2}};
 

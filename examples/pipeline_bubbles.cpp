@@ -5,18 +5,21 @@
 // SSDTrain's memory savings let the trainer raise the micro-batch size
 // without blowing the activation budget, navigating this trade-off.
 //
-// This example runs the last pipeline stage's 1F1B schedule through the
-// executor for several micro-batch sizes of a fixed 32-sample mini-batch
-// (the BLOOM configuration the paper cites) and reports bubbles, memory,
-// and throughput. The micro-batch axis runs as a sweep (--workers N);
-// --csv PATH dumps the series.
+// This example runs the full 4-stage pipeline as a measured ClusterSession
+// (one executor + offloader per stage on one shared simulator) for several
+// micro-batch sizes of a fixed 32-sample mini-batch (the BLOOM
+// configuration the paper cites) and prints the analytical 1F1B bubble
+// side by side with the measured one — the measured bubble sits above the
+// ideal because pipeline sends contend with SSD offload traffic on each
+// GPU's PCIe link. The micro-batch axis runs as a sweep (--workers N);
+// --csv PATH dumps the series; --pp/--tp override the pipeline shape.
 
 #include <cstdint>
 #include <iostream>
 #include <vector>
 
 #include "ssdtrain/modules/model.hpp"
-#include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/runtime/cluster_session.hpp"
 #include "ssdtrain/sched/schedule.hpp"
 #include "ssdtrain/sweep/cli.hpp"
 #include "ssdtrain/sweep/runner.hpp"
@@ -37,14 +40,17 @@ namespace {
 
 // --no-replay forces the legacy trace-every-step path (A/B switch).
 bool g_use_replay = true;
+// --pp/--tp override the cluster shape (defaults: PP4 TP2).
+int g_pipeline_stages = 4;
+int g_tensor_parallel = 2;
 
 constexpr int kMiniBatchSamples = 32;  // per DP rank, as in BLOOM
-constexpr int kPipelineStages = 4;
+constexpr int kLayersPerStage = 3;
 
 struct StageResult {
   int micro_batches = 0;
-  double bubble = 0.0;
-  rt::StepStats stats;
+  double bubble = 0.0;  ///< analytical (pp-1)/(mb+pp-1)
+  rt::ClusterStepStats stats;
 };
 
 StageResult measure(const sweep::SweepPoint& point) {
@@ -52,23 +58,22 @@ StageResult measure(const sweep::SweepPoint& point) {
   StageResult result;
   result.micro_batches = kMiniBatchSamples / static_cast<int>(mb_size);
 
-  rt::SessionConfig config;
+  rt::ClusterConfig config;
   config.use_replay = g_use_replay;
-  config.model = m::bert_config(8192, 3, mb_size);  // one stage's layers
-  config.parallel.tensor_parallel = 2;
-  config.parallel.pipeline_parallel = kPipelineStages;
+  config.model =
+      m::bert_config(8192, kLayersPerStage * g_pipeline_stages, mb_size);
+  config.parallel.tensor_parallel = g_tensor_parallel;
+  config.parallel.pipeline_parallel = g_pipeline_stages;
   config.strategy = rt::Strategy::ssdtrain;
-  rt::TrainingSession session(std::move(config));
+  config.micro_batches = result.micro_batches;
+  config.schedule = sched::PipelineKind::one_f_one_b;
+  rt::ClusterSession session(std::move(config));
 
-  // Execute the last stage's 1F1B command sequence (every backward
-  // immediately follows its forward there, so keep-last-module applies
-  // to each micro-batch, Fig. 2 ④).
-  const auto schedule = sched::schedule_1f1b(
-      result.micro_batches, kPipelineStages, kPipelineStages - 1);
-  session.executor().run_step(session.model(), schedule);  // warm-up
-  result.stats = session.executor().run_step(session.model(), schedule);
+  // Step 1 traces and records every stage's program; step 2 is the
+  // replayed steady state the numbers come from.
+  result.stats = session.run_steps(2).back();
   result.bubble =
-      sched::ideal_bubble_fraction(result.micro_batches, kPipelineStages);
+      sched::ideal_bubble_fraction(result.micro_batches, g_pipeline_stages);
   return result;
 }
 
@@ -77,21 +82,27 @@ StageResult measure(const sweep::SweepPoint& point) {
 int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
+  if (options.pipeline_parallel > 0) {
+    g_pipeline_stages = options.pipeline_parallel;
+  }
+  if (options.tensor_parallel > 0) {
+    g_tensor_parallel = options.tensor_parallel;
+  }
 
-  std::cout << "1F1B pipeline study: BERT H8192, 3 layers per stage, "
-            << kPipelineStages << " stages, " << kMiniBatchSamples
-            << "-sample mini-batch per rank\n\n";
+  std::cout << "1F1B pipeline study: BERT H8192, " << kLayersPerStage
+            << " layers per stage, " << g_pipeline_stages << " stages, "
+            << kMiniBatchSamples << "-sample mini-batch per rank\n\n";
 
   sweep::SweepSpec spec;
   spec.axis("micro_batch", std::vector<std::int64_t>{1, 2, 4, 8});
 
   sweep::SweepRunner runner(options.workers);
-  const auto points = spec.points();
+  const auto points = sweep::select_points(spec, options);
   const auto outcomes = runner.map(points, measure, options.map_options());
 
-  u::AsciiTable table({"micro-batch size", "micro-batches",
-                       "ideal bubble", "activation peak", "step time",
-                       "samples/s (per stage)"});
+  u::AsciiTable table({"micro-batch size", "micro-batches", "ideal bubble",
+                       "measured bubble", "pipeline time",
+                       "activation peak (stage)", "samples/s (cluster)"});
   struct Row {
     std::int64_t mb_size;
     StageResult r;
@@ -102,37 +113,44 @@ int main(int argc, char** argv) {
     u::check(outcomes[i].ok(),
              points[i].label() + " failed: " + outcomes[i].error);
     const StageResult& r = outcomes[i].get();
-    // Ideal full-pipeline step time: stage work inflated by the bubble.
+    // Measured full-cluster throughput: the mini-batch over the measured
+    // step (compute pipeline + DP reduction + optimizer).
     const double samples_per_s =
-        kMiniBatchSamples / (r.stats.step_time / (1.0 - r.bubble));
+        kMiniBatchSamples / r.stats.combined.step_time;
     rows.push_back({points[i].i64("micro_batch"), r, samples_per_s});
     table.add_row({u::label("B", points[i].i64("micro_batch")),
                    std::to_string(r.micro_batches),
                    u::format_percent(r.bubble),
+                   u::format_percent(r.stats.measured_bubble),
+                   u::format_time(r.stats.pipeline_time),
                    u::format_bytes(static_cast<double>(
-                       r.stats.activation_peak)),
-                   u::format_time(r.stats.step_time),
+                       r.stats.combined.activation_peak)),
                    u::format_fixed(samples_per_s, 2)});
   }
   std::cout << table.render() << "\n";
   std::cout
       << "Larger micro-batches raise per-GPU efficiency but shrink the\n"
-         "micro-batch count, inflating the pipeline bubble. SSDTrain's "
-         "point (paper\n§IV-D): because offloading frees activation "
-         "memory, the trainer can afford\nlarger micro-batch sizes AND "
-         "keep enough micro-batches in flight.\n";
+         "micro-batch count, inflating the pipeline bubble; the measured\n"
+         "bubble sits above the ideal because boundary sends share PCIe "
+         "with\nSSD offload traffic. SSDTrain's point (paper §IV-D): "
+         "because offloading\nfrees activation memory, the trainer can "
+         "afford larger micro-batch sizes\nAND keep enough micro-batches "
+         "in flight.\n";
 
   if (options.csv_enabled()) {
     u::CsvWriter csv(options.csv_path,
                      {"micro_batch", "micro_batches", "ideal_bubble",
+                      "measured_bubble", "pipeline_time_s",
                       "activation_peak_bytes", "step_time_s",
-                      "samples_per_s_per_stage"});
+                      "samples_per_s_cluster"});
     for (const Row& row : rows) {
       csv.add_row({std::to_string(row.mb_size),
                    std::to_string(row.r.micro_batches),
                    u::format_fixed(row.r.bubble, 6),
-                   std::to_string(row.r.stats.activation_peak),
-                   u::format_fixed(row.r.stats.step_time, 9),
+                   u::format_fixed(row.r.stats.measured_bubble, 6),
+                   u::format_fixed(row.r.stats.pipeline_time, 9),
+                   std::to_string(row.r.stats.combined.activation_peak),
+                   u::format_fixed(row.r.stats.combined.step_time, 9),
                    u::format_fixed(row.samples_per_s, 6)});
     }
   }

@@ -37,8 +37,17 @@ OffloadPlan plan_offload(const PlannerInputs& inputs) {
   plan.io_window_bytes = static_cast<util::Bytes>(
       inputs.target_write_bandwidth * (est.step / 2.0) *
       inputs.safety_factor);
+  util::Bytes budget_floor = plan.io_window_bytes;
+  if (inputs.peak_in_flight > 0) {
+    // Pipeline stages hold peak_in_flight micro-batches of activations at
+    // once during warmup; at least that much must leave the GPU per step
+    // regardless of the overlap window (inputs.model is the stage's slice
+    // here, so the profile is already per stage).
+    budget_floor = std::max(
+        budget_floor, profile.offloadable() * inputs.peak_in_flight);
+  }
   plan.offload_budget =
-      std::min(plan.offloadable_bytes_per_step, plan.io_window_bytes);
+      std::min(plan.offloadable_bytes_per_step, budget_floor);
   plan.fully_offloadable =
       plan.offload_budget >= plan.offloadable_bytes_per_step;
   return plan;

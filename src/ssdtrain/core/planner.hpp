@@ -30,6 +30,13 @@ struct PlannerInputs {
   /// Fraction of the theoretical I/O window the planner is willing to
   /// commit (leaves headroom for queueing and setup latencies).
   double safety_factor = 0.92;
+  /// Peak micro-batches a pipeline stage holds in flight at once (1F1B:
+  /// pp - stage; interleaved: the schedule's closed form). 0 — the
+  /// default — keeps the single-stage budget rule untouched. When > 0 the
+  /// planner raises the budget to at least the peak in-flight activation
+  /// bytes: a deep warmup cannot keep everything resident, so offload
+  /// becomes a memory necessity even past the perfect-overlap I/O window.
+  int peak_in_flight = 0;
 };
 
 struct OffloadPlan {

@@ -106,4 +106,22 @@ NodeConfig single_gpu_node(int ssds_per_array) {
   return node;
 }
 
+NodeConfig cluster_node(int gpus, int ssds_per_gpu) {
+  NodeConfig node;
+  node.gpu = a100_pcie_40gb();
+  node.gpu_count = gpus;
+  node.pcie = pcie_gen4_x16();
+  node.host_memory = util::gib(1024);
+  node.dram_bandwidth = util::gbps(300);
+  for (int g = 0; g < gpus; ++g) {
+    node.arrays.emplace_back();
+    for (int i = 0; i < ssds_per_gpu; ++i) {
+      node.arrays.back().push_back(optane_p5800x_1600gb());
+    }
+  }
+  node.nvlink_bandwidth = util::gbps(300);
+  node.pinned_pool_size = util::gib(16);
+  return node;
+}
+
 }  // namespace ssdtrain::hw::catalog

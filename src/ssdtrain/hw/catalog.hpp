@@ -49,4 +49,10 @@ inline constexpr int table2_measured_gpu = 1;
 /// Single-GPU node with a configurable SSD count, for sweeps/ablations.
 NodeConfig single_gpu_node(int ssds_per_array);
 
+/// Multi-GPU cluster node for ClusterSession: \p gpus A100s, each with its
+/// own PCIe Gen4 link and a \p ssds_per_gpu P5800X RAID0 array, sharing the
+/// NVLink fabric and host DRAM. gpus = 1, ssds_per_gpu = 4 matches the
+/// single-GPU measured configuration.
+NodeConfig cluster_node(int gpus, int ssds_per_gpu);
+
 }  // namespace ssdtrain::hw::catalog

@@ -34,6 +34,8 @@ TrainingNode::TrainingNode(NodeConfig config)
         network_.add_resource(util::label("gpu", i) + ":pcie_tx", link_bw);
     ctx.pcie_rx =
         network_.add_resource(util::label("gpu", i) + ":pcie_rx", link_bw);
+    ctx.nvlink_port = network_.add_resource(
+        util::label("gpu", i) + ":nvlink_port", config_.nvlink_bandwidth);
     gpus_.push_back(std::move(ctx));
   }
 

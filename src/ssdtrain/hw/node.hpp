@@ -46,6 +46,11 @@ struct GpuContext {
   std::unique_ptr<sim::Stream> compute_stream;
   sim::BandwidthNetwork::ResourceId pcie_tx = 0;  ///< GPU -> root complex
   sim::BandwidthNetwork::ResourceId pcie_rx = 0;  ///< root complex -> GPU
+  /// This GPU's injection port into the NVLink fabric. TP collectives flow
+  /// over {nvlink_port, shared nvlink}, so one GPU's collectives contend
+  /// with its own offload-free traffic but a peer stage's only on the
+  /// shared spine.
+  sim::BandwidthNetwork::ResourceId nvlink_port = 0;
 };
 
 class TrainingNode {

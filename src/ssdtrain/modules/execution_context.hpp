@@ -43,6 +43,17 @@ class ExecutionContext {
                                           tensor::TensorShape shape,
                                           tensor::DType dtype) = 0;
 
+  /// Boundary activation arriving from another pipeline stage (the cluster
+  /// session's activation recv). Unlike make_activation its ready event is
+  /// the recv flow's completion, supplied externally by the runtime — not
+  /// the next kernel. Single-stage contexts never receive anything, so the
+  /// default is a plain activation.
+  virtual tensor::Tensor make_stage_input(std::string label,
+                                          tensor::TensorShape shape,
+                                          tensor::DType dtype) {
+    return make_activation(std::move(label), std::move(shape), dtype);
+  }
+
   // -- computation -------------------------------------------------------
   /// Emits one kernel on the compute stream. \p consumed tensors gate the
   /// kernel start on their ready events (e.g. a reloaded activation).

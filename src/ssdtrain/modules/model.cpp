@@ -106,17 +106,42 @@ ModelConfig gpt_gqa_config(std::int64_t hidden, int layers,
 // StackModel
 // ---------------------------------------------------------------------------
 
-StackModel::StackModel(ModelConfig config) : Model(std::move(config)) {
+namespace {
+
+/// Resolves the -1 "through the end" layer count and range-checks a slice.
+StageSlice resolve_slice(StageSlice slice, int total_layers) {
+  if (slice.layer_count < 0) slice.layer_count = total_layers - slice.first_layer;
+  util::expects(slice.first_layer >= 0 && slice.layer_count >= 1 &&
+                    slice.first_layer + slice.layer_count <= total_layers,
+                "stage slice out of the model's layer range");
+  return slice;
+}
+
+/// Boundary hidden state exchanged between pipeline stages.
+TensorShape boundary_shape(const ModelConfig& cfg) {
+  return TensorShape{cfg.seq, cfg.micro_batch, cfg.hidden};
+}
+
+}  // namespace
+
+StackModel::StackModel(ModelConfig config, StageSlice slice)
+    : Model(std::move(config)), slice_(slice) {
   const auto& cfg = this->config();
   const workload::WorkloadSpec spec = cfg.resolved_workload();
   util::expects(!spec.has_cross_attention(),
                 "StackModel is for single-stack workloads");
-  embedding_ = std::make_unique<Embedding>("embedding", cfg.vocab,
-                                           cfg.hidden);
-  layers_.reserve(static_cast<std::size_t>(cfg.layers));
+  slice_ = resolve_slice(slice_, cfg.layers);
+  const int first = slice_.first_layer;
+  const int last = first + slice_.layer_count;
+  if (slice_.first_stage) {
+    embedding_ = std::make_unique<Embedding>("embedding", cfg.vocab,
+                                             cfg.hidden);
+  }
+  layers_.reserve(static_cast<std::size_t>(slice_.layer_count));
   int index = 0;
   for (const workload::LayerSpec& group : spec.layers) {
     for (int i = 0; i < group.count; ++i, ++index) {
+      if (index < first || index >= last) continue;
       layers_.push_back(std::make_unique<TransformerLayer>(
           util::label(group.label, index), cfg.hidden, cfg.heads,
           group.attention, group.ffn, cfg.flash_attention, cfg.dropout));
@@ -124,14 +149,22 @@ StackModel::StackModel(ModelConfig config) : Model(std::move(config)) {
           util::label("checkpoint", index)));
     }
   }
-  head_ = std::make_unique<LmHead>("head", cfg.hidden, cfg.vocab);
+  if (slice_.last_stage) {
+    head_ = std::make_unique<LmHead>("head", cfg.hidden, cfg.vocab);
+  }
 }
 
 Tensor StackModel::forward_step(ExecutionContext& ctx) {
   const auto& cfg = config();
-  Tensor ids = ctx.make_host_tensor(
-      "input_ids", TensorShape{cfg.seq, cfg.micro_batch}, DType::int32);
-  Tensor h = embedding_->forward(ctx, ids);
+  Tensor h;
+  if (slice_.first_stage) {
+    Tensor ids = ctx.make_host_tensor(
+        "input_ids", TensorShape{cfg.seq, cfg.micro_batch}, DType::int32);
+    h = embedding_->forward(ctx, ids);
+  } else {
+    h = ctx.make_stage_input("stage_input", boundary_shape(cfg),
+                             DType::fp16);
+  }
   if (ctx.recompute_mode()) {
     // Layerwise full recomputation: each gate pins only the layer's input
     // (offloaded under SSDTrain); the layer forward runs with discard
@@ -150,11 +183,19 @@ Tensor StackModel::forward_step(ExecutionContext& ctx) {
       h = layer->forward(ctx, h);
     }
   }
-  return head_->forward(ctx, h);
+  if (slice_.last_stage) return head_->forward(ctx, h);
+  return h;  // boundary activation — the runtime sends it downstream
 }
 
 void StackModel::backward_step(ExecutionContext& ctx) {
-  Tensor g = head_->backward(ctx, {});
+  const auto& cfg = config();
+  Tensor g;
+  if (slice_.last_stage) {
+    g = head_->backward(ctx, {});
+  } else {
+    g = ctx.make_stage_input("stage_grad_input", boundary_shape(cfg),
+                             DType::fp16);
+  }
   if (ctx.recompute_mode()) {
     for (std::size_t i = layers_.size(); i-- > 0;) {
       // Reload (or take) the checkpointed input, rematerialise this
@@ -172,7 +213,9 @@ void StackModel::backward_step(ExecutionContext& ctx) {
       g = (*it)->backward(ctx, g);
     }
   }
-  embedding_->backward(ctx, g);
+  // On non-first stages g is the boundary gradient; the runtime sends it
+  // upstream.
+  if (slice_.first_stage) embedding_->backward(ctx, g);
 }
 
 std::vector<Module*> StackModel::transformer_layers() {
@@ -183,64 +226,103 @@ std::vector<Module*> StackModel::transformer_layers() {
 }
 
 void StackModel::visit_modules(const std::function<void(Module&)>& fn) {
-  embedding_->visit(fn);
+  if (embedding_) embedding_->visit(fn);
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     gates_[i]->visit(fn);
     layers_[i]->visit(fn);
   }
-  head_->visit(fn);
+  if (head_) head_->visit(fn);
 }
 
 double StackModel::parameter_count(int tp) const {
-  double params = embedding_->parameter_count();
+  double params = embedding_ ? embedding_->parameter_count() : 0.0;
   for (const auto& layer : layers_) params += layer->parameter_count(tp);
-  params += head_->parameter_count(tp);
+  if (head_) params += head_->parameter_count(tp);
   return params;
+}
+
+int StackModel::forward_recv_tensors() const {
+  return slice_.first_stage ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
 // T5Model
 // ---------------------------------------------------------------------------
 
-T5Model::T5Model(ModelConfig config) : Model(std::move(config)) {
+T5Model::T5Model(ModelConfig config, StageSlice slice)
+    : Model(std::move(config)), slice_(slice) {
   const auto& cfg = this->config();
   const workload::WorkloadSpec spec = cfg.resolved_workload();
   util::expects(spec.has_cross_attention(),
                 "T5Model needs a cross-attending decoder group");
-  embedding_ = std::make_unique<Embedding>("embedding", cfg.vocab,
-                                           cfg.hidden);
+  slice_ = resolve_slice(slice_, cfg.layers);
+  const int first = slice_.first_layer;
+  const int last = first + slice_.layer_count;
+
+  // Global layer order is encoders then decoders (validate() enforces the
+  // topology), so the encoder count locates the memory producer (last
+  // encoder) and the tgt-embedding owner (first decoder) in slice terms.
+  int total_encoders = 0;
+  for (const workload::LayerSpec& group : spec.layers) {
+    if (!group.attention.cross_attention) total_encoders += group.count;
+  }
+  owns_memory_ = first <= total_encoders - 1 && total_encoders - 1 < last;
+  owns_tgt_ = first <= total_encoders && total_encoders < last;
+
+  if (slice_.first_stage || owns_tgt_) {
+    embedding_ = std::make_unique<Embedding>("embedding", cfg.vocab,
+                                             cfg.hidden);
+  }
   int enc_index = 0;
   int dec_index = 0;
+  int index = 0;
   for (const workload::LayerSpec& group : spec.layers) {
-    for (int i = 0; i < group.count; ++i) {
+    for (int i = 0; i < group.count; ++i, ++index) {
       if (group.attention.cross_attention) {
-        decoders_.push_back(std::make_unique<TransformerLayer>(
-            util::label(group.label, dec_index), cfg.hidden, cfg.heads,
-            group.attention, group.ffn, cfg.flash_attention, cfg.dropout));
-        decoder_gates_.push_back(std::make_unique<CheckpointGate>(
-            util::label("dec_checkpoint", dec_index)));
+        if (index >= first && index < last) {
+          decoders_.push_back(std::make_unique<TransformerLayer>(
+              util::label(group.label, dec_index), cfg.hidden, cfg.heads,
+              group.attention, group.ffn, cfg.flash_attention, cfg.dropout));
+          decoder_gates_.push_back(std::make_unique<CheckpointGate>(
+              util::label("dec_checkpoint", dec_index)));
+        }
         ++dec_index;
       } else {
-        encoders_.push_back(std::make_unique<TransformerLayer>(
-            util::label(group.label, enc_index), cfg.hidden, cfg.heads,
-            group.attention, group.ffn, cfg.flash_attention, cfg.dropout));
-        encoder_gates_.push_back(std::make_unique<CheckpointGate>(
-            util::label("enc_checkpoint", enc_index)));
+        if (index >= first && index < last) {
+          encoders_.push_back(std::make_unique<TransformerLayer>(
+              util::label(group.label, enc_index), cfg.hidden, cfg.heads,
+              group.attention, group.ffn, cfg.flash_attention, cfg.dropout));
+          encoder_gates_.push_back(std::make_unique<CheckpointGate>(
+              util::label("enc_checkpoint", enc_index)));
+        }
         ++enc_index;
       }
     }
   }
-  memory_gate_ = std::make_unique<CheckpointGate>("memory_checkpoint");
-  head_ = std::make_unique<LmHead>("head", cfg.hidden, cfg.vocab);
+  if (!decoders_.empty()) {
+    memory_gate_ = std::make_unique<CheckpointGate>("memory_checkpoint");
+  }
+  if (slice_.last_stage) {
+    head_ = std::make_unique<LmHead>("head", cfg.hidden, cfg.vocab);
+  }
 }
 
 Tensor T5Model::forward_step(ExecutionContext& ctx) {
   const auto& cfg = config();
   const bool recompute = ctx.recompute_mode();
 
-  Tensor src_ids = ctx.make_host_tensor(
-      "src_ids", TensorShape{cfg.seq, cfg.micro_batch}, DType::int32);
-  Tensor memory = embedding_->forward(ctx, src_ids);
+  // Encoder-side hidden state: embedded on the first stage, received from
+  // the previous stage otherwise. After the local encoder run it is (or
+  // will become, downstream) the shared memory.
+  Tensor memory;
+  if (slice_.first_stage) {
+    Tensor src_ids = ctx.make_host_tensor(
+        "src_ids", TensorShape{cfg.seq, cfg.micro_batch}, DType::int32);
+    memory = embedding_->forward(ctx, src_ids);
+  } else if (!encoders_.empty()) {
+    memory = ctx.make_stage_input("enc_stage_input", boundary_shape(cfg),
+                                  DType::fp16);
+  }
   for (std::size_t i = 0; i < encoders_.size(); ++i) {
     if (recompute) {
       memory = encoder_gates_[i]->forward(ctx, memory);
@@ -251,11 +333,24 @@ Tensor T5Model::forward_step(ExecutionContext& ctx) {
       memory = encoders_[i]->forward(ctx, memory);
     }
   }
+  // Decoder stages downstream of the memory producer receive the shared
+  // memory over the fabric.
+  if (!decoders_.empty() && !owns_memory_) {
+    memory = ctx.make_stage_input("memory_stage_input", boundary_shape(cfg),
+                                  DType::fp16);
+  }
+  if (decoders_.empty()) return memory;  // boundary: h_enc (or the memory)
   if (recompute) memory = memory_gate_->forward(ctx, memory);
 
-  Tensor tgt_ids = ctx.make_host_tensor(
-      "tgt_ids", TensorShape{cfg.seq, cfg.micro_batch}, DType::int32);
-  Tensor h = embedding_->forward(ctx, tgt_ids);
+  Tensor h;
+  if (owns_tgt_) {
+    Tensor tgt_ids = ctx.make_host_tensor(
+        "tgt_ids", TensorShape{cfg.seq, cfg.micro_batch}, DType::int32);
+    h = embedding_->forward(ctx, tgt_ids);
+  } else {
+    h = ctx.make_stage_input("dec_stage_input", boundary_shape(cfg),
+                             DType::fp16);
+  }
   for (std::size_t i = 0; i < decoders_.size(); ++i) {
     // Every decoder layer cross-attends the same encoder memory; the
     // tensor cache deduplicates the repeated saves via get_id.
@@ -269,39 +364,60 @@ Tensor T5Model::forward_step(ExecutionContext& ctx) {
       h = decoders_[i]->forward(ctx, h);
     }
   }
-  return head_->forward(ctx, h);
+  if (slice_.last_stage) return head_->forward(ctx, h);
+  return h;
 }
 
 void T5Model::backward_step(ExecutionContext& ctx) {
+  const auto& cfg = config();
   const bool recompute = ctx.recompute_mode();
 
-  Tensor g = head_->backward(ctx, {});
   Tensor memory_grad;
-  for (std::size_t i = decoders_.size(); i-- > 0;) {
-    auto& dec = decoders_[i];
-    if (recompute) {
-      Tensor input = decoder_gates_[i]->recall(ctx);
-      Tensor memory = memory_gate_->recall(ctx);
-      ctx.begin_recompute_segment();
-      dec->set_encoder_memory(memory);
-      dec->forward(ctx, input);
-      ctx.end_recompute_segment();
-      g = dec->backward(ctx, g);
-      decoder_gates_[i]->finish(ctx);
+  Tensor g;
+  if (!decoders_.empty()) {
+    if (slice_.last_stage) {
+      g = head_->backward(ctx, {});
     } else {
-      g = dec->backward(ctx, g);
+      // Boundary gradients from the downstream decoder stage: dh for the
+      // local decoder chain plus its partial dmemory accumulation.
+      g = ctx.make_stage_input("dec_stage_grad", boundary_shape(cfg),
+                               DType::fp16);
+      memory_grad = ctx.make_stage_input("memory_stage_grad",
+                                         boundary_shape(cfg), DType::fp16);
     }
-    Tensor mg = dec->take_encoder_memory_grad();
-    memory_grad = memory_grad.defined()
-                      ? residual_add(ctx, "t5.dmemory_acc", memory_grad, mg)
-                      : mg;
+    for (std::size_t i = decoders_.size(); i-- > 0;) {
+      auto& dec = decoders_[i];
+      if (recompute) {
+        Tensor input = decoder_gates_[i]->recall(ctx);
+        Tensor memory = memory_gate_->recall(ctx);
+        ctx.begin_recompute_segment();
+        dec->set_encoder_memory(memory);
+        dec->forward(ctx, input);
+        ctx.end_recompute_segment();
+        g = dec->backward(ctx, g);
+        decoder_gates_[i]->finish(ctx);
+      } else {
+        g = dec->backward(ctx, g);
+      }
+      Tensor mg = dec->take_encoder_memory_grad();
+      memory_grad = memory_grad.defined()
+                        ? residual_add(ctx, "t5.dmemory_acc", memory_grad, mg)
+                        : mg;
+    }
+    if (recompute) memory_gate_->finish(ctx);
+    // Decoder input gradient reaches the (shared) embedding: pops the tgt
+    // forward state. On stages without the first decoder it is the boundary
+    // gradient the runtime sends upstream instead.
+    if (owns_tgt_) embedding_->backward(ctx, g);
   }
-  if (recompute) memory_gate_->finish(ctx);
-  // Decoder input gradient reaches the (shared) embedding: pops the tgt
-  // forward state.
-  embedding_->backward(ctx, g);
 
   Tensor ge = memory_grad;
+  if (decoders_.empty() && !slice_.last_stage) {
+    // Encoder-side stage: the incoming boundary gradient is the accumulated
+    // dmemory (or the next encoder's dh).
+    ge = ctx.make_stage_input("enc_stage_grad", boundary_shape(cfg),
+                              DType::fp16);
+  }
   for (std::size_t i = encoders_.size(); i-- > 0;) {
     auto& enc = encoders_[i];
     if (recompute) {
@@ -315,7 +431,9 @@ void T5Model::backward_step(ExecutionContext& ctx) {
       ge = enc->backward(ctx, ge);
     }
   }
-  embedding_->backward(ctx, ge);
+  if (slice_.first_stage && !encoders_.empty()) {
+    embedding_->backward(ctx, ge);
+  }
 }
 
 std::vector<Module*> T5Model::transformer_layers() {
@@ -327,34 +445,43 @@ std::vector<Module*> T5Model::transformer_layers() {
 }
 
 void T5Model::visit_modules(const std::function<void(Module&)>& fn) {
-  embedding_->visit(fn);
+  if (embedding_) embedding_->visit(fn);
   for (std::size_t i = 0; i < encoders_.size(); ++i) {
     encoder_gates_[i]->visit(fn);
     encoders_[i]->visit(fn);
   }
-  memory_gate_->visit(fn);
+  if (memory_gate_) memory_gate_->visit(fn);
   for (std::size_t i = 0; i < decoders_.size(); ++i) {
     decoder_gates_[i]->visit(fn);
     decoders_[i]->visit(fn);
   }
-  head_->visit(fn);
+  if (head_) head_->visit(fn);
 }
 
 double T5Model::parameter_count(int tp) const {
-  double params = embedding_->parameter_count();
+  double params = embedding_ ? embedding_->parameter_count() : 0.0;
   for (const auto& enc : encoders_) params += enc->parameter_count(tp);
   for (const auto& dec : decoders_) params += dec->parameter_count(tp);
-  params += head_->parameter_count(tp);
+  if (head_) params += head_->parameter_count(tp);
   return params;
+}
+
+int T5Model::forward_recv_tensors() const {
+  int n = 0;
+  if (!slice_.first_stage && !encoders_.empty()) ++n;  // encoder hidden
+  if (!decoders_.empty() && !owns_memory_) ++n;        // shared memory
+  if (!decoders_.empty() && !owns_tgt_) ++n;           // decoder hidden
+  return n;
 }
 
 // ---------------------------------------------------------------------------
 
-std::unique_ptr<Model> build_model(const ModelConfig& config) {
+std::unique_ptr<Model> build_model(const ModelConfig& config,
+                                   StageSlice slice) {
   if (config.resolved_workload().has_cross_attention()) {
-    return std::make_unique<T5Model>(config);
+    return std::make_unique<T5Model>(config, slice);
   }
-  return std::make_unique<StackModel>(config);
+  return std::make_unique<StackModel>(config, slice);
 }
 
 }  // namespace ssdtrain::modules

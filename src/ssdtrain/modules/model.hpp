@@ -71,6 +71,21 @@ ModelConfig gpt_gqa_config(std::int64_t hidden, int layers,
                            std::int64_t micro_batch,
                            std::int64_t kv_heads = 0);
 
+/// Contiguous run of the model's transformer layers owned by one pipeline
+/// (virtual) stage. The default — the whole layer range with both ends —
+/// reproduces the single-GPU model bit for bit, so every existing caller
+/// keeps its behaviour.
+struct StageSlice {
+  int first_layer = 0;   ///< global index of the first local layer
+  int layer_count = -1;  ///< -1 = through the model's last layer
+  bool first_stage = true;  ///< owns the input embedding
+  bool last_stage = true;   ///< owns the LM head (and the loss)
+
+  [[nodiscard]] bool whole_model() const {
+    return first_layer == 0 && layer_count < 0 && first_stage && last_stage;
+  }
+};
+
 class Model {
  public:
   explicit Model(ModelConfig config) : config_(std::move(config)) {}
@@ -96,6 +111,13 @@ class Model {
 
   [[nodiscard]] virtual double parameter_count(int tp) const = 0;
 
+  /// Number of boundary activation tensors this stage receives from the
+  /// previous virtual stage on each forward micro-batch (and, mirrored,
+  /// the number of gradient tensors it sends back on each backward). 0 for
+  /// whole-model slices. Each tensor is one {seq, micro_batch, hidden}
+  /// fp16 hidden state.
+  [[nodiscard]] virtual int forward_recv_tensors() const { return 0; }
+
   [[nodiscard]] util::Bytes parameter_bytes(int tp) const {
     return static_cast<util::Bytes>(parameter_count(tp) * 2.0);  // fp16
   }
@@ -108,18 +130,20 @@ class Model {
 /// the spec's layer groups in order, LM head.
 class StackModel : public Model {
  public:
-  explicit StackModel(ModelConfig config);
+  explicit StackModel(ModelConfig config, StageSlice slice = {});
 
   tensor::Tensor forward_step(ExecutionContext& ctx) override;
   void backward_step(ExecutionContext& ctx) override;
   std::vector<Module*> transformer_layers() override;
   void visit_modules(const std::function<void(Module&)>& fn) override;
   double parameter_count(int tp) const override;
+  int forward_recv_tensors() const override;
 
  private:
-  std::unique_ptr<Embedding> embedding_;
+  StageSlice slice_;
+  std::unique_ptr<Embedding> embedding_;  ///< first stage only
   std::vector<std::unique_ptr<TransformerLayer>> layers_;
-  std::unique_ptr<LmHead> head_;
+  std::unique_ptr<LmHead> head_;  ///< last stage only
   /// One gate per layer pins the layer input across forward in recompute
   /// mode; under SSDTrain the gates' saves are offloaded like any other
   /// activation.
@@ -131,13 +155,14 @@ class StackModel : public Model {
 /// groups form the decoder stack.
 class T5Model : public Model {
  public:
-  explicit T5Model(ModelConfig config);
+  explicit T5Model(ModelConfig config, StageSlice slice = {});
 
   tensor::Tensor forward_step(ExecutionContext& ctx) override;
   void backward_step(ExecutionContext& ctx) override;
   std::vector<Module*> transformer_layers() override;
   void visit_modules(const std::function<void(Module&)>& fn) override;
   double parameter_count(int tp) const override;
+  int forward_recv_tensors() const override;
 
   [[nodiscard]] int encoder_count() const {
     return static_cast<int>(encoders_.size());
@@ -147,6 +172,9 @@ class T5Model : public Model {
   }
 
  private:
+  StageSlice slice_;
+  bool owns_memory_ = true;   ///< slice contains the last encoder layer
+  bool owns_tgt_ = true;      ///< slice contains the first decoder layer
   std::unique_ptr<Embedding> embedding_;
   std::vector<std::unique_ptr<TransformerLayer>> encoders_;
   std::vector<std::unique_ptr<TransformerLayer>> decoders_;
@@ -157,7 +185,9 @@ class T5Model : public Model {
 };
 
 /// Builds the right Model subclass for the config's workload: any
-/// cross-attention group selects the encoder-decoder topology.
-std::unique_ptr<Model> build_model(const ModelConfig& config);
+/// cross-attention group selects the encoder-decoder topology. A non-default
+/// \p slice builds the sub-model for one pipeline (virtual) stage.
+std::unique_ptr<Model> build_model(const ModelConfig& config,
+                                   StageSlice slice = {});
 
 }  // namespace ssdtrain::modules

@@ -1,6 +1,7 @@
 #include "ssdtrain/runtime/executor.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "ssdtrain/util/check.hpp"
 
@@ -12,8 +13,8 @@ Executor::Executor(hw::TrainingNode& node, parallel::ParallelConfig parallel,
                    ExecutorOptions options)
     : node_(node),
       parallel_(parallel),
-      options_(options),
-      factory_(*node.gpu(options.gpu_index).allocator) {
+      options_(std::move(options)),
+      factory_(*node.gpu(options_.gpu_index).allocator) {
   parallel_.validate();
 }
 
@@ -30,6 +31,34 @@ tensor::Tensor Executor::make_activation(std::string label,
   pending_ready_.push_back(t);
   if (recorder_ != nullptr) recorder_->on_make_activation(t);
   return t;
+}
+
+sim::CompletionPtr Executor::next_stage_input_ready() {
+  if (!stage_input_ready_.empty()) {
+    auto ready = std::move(stage_input_ready_.front());
+    stage_input_ready_.pop_front();
+    return ready;
+  }
+  // No session pushed a recv completion: a sliced model running standalone
+  // (tests, analysis). The boundary input is simply available.
+  return sim::Completion::already_done(node_.simulator());
+}
+
+tensor::Tensor Executor::make_stage_input(std::string label,
+                                          tensor::TensorShape shape,
+                                          tensor::DType dtype) {
+  Tensor t = factory_.cuda(label, shape, dtype, hw::MemoryTag::activation);
+  // Unlike make_activation the producer is external (the upstream stage's
+  // send flow), so the tensor must NOT join pending_ready_ — binding it to
+  // this stage's next kernel would gate the kernel on its own input's
+  // arrival *and* declare that kernel the input's producer, a cycle.
+  t.storage()->set_ready_event(next_stage_input_ready());
+  if (recorder_ != nullptr) recorder_->on_stage_input(t);
+  return t;
+}
+
+void Executor::push_stage_input(sim::CompletionPtr ready) {
+  stage_input_ready_.push_back(std::move(ready));
 }
 
 tensor::Tensor Executor::weight(const std::string& key,
@@ -88,8 +117,45 @@ void Executor::kernel(std::string label, util::Flops flops,
   pace();
 }
 
+sim::CompletionPtr Executor::launch_comm_flow(util::Label label,
+                                              util::Bytes traffic,
+                                              util::Seconds latency) {
+  auto done = sim::Completion::create(node_.simulator(), label);
+  // NCCL semantics: the collective starts when the stream reaches it, not
+  // when the CPU plans it — so the flow launch rides a stream marker.
+  auto launch = node_.gpu(options_.gpu_index)
+                    .compute_stream->record_marker("comm_launch");
+  launch->add_waiter([this, done, label, traffic, latency]() {
+    node_.network().start_flow(
+        label, traffic, options_.tp_flow_path, [this, done, latency]() {
+          node_.simulator().schedule_after(latency, [done]() {
+            if (!done->done()) done->fire();
+          });
+        });
+  });
+  return done;
+}
+
 void Executor::tp_all_reduce(util::Bytes bytes) {
   if (parallel_.tensor_parallel <= 1) return;
+  static const util::Label kLabel("tp_all_reduce");
+  if (!options_.tp_flow_path.empty()) {
+    // Fabric-contended path: ring traffic over the shared network, so TP
+    // collectives slow down (and are slowed by) offload and peer-stage
+    // traffic. The closed form below stays the zero-contention reference.
+    const auto traffic = static_cast<util::Bytes>(
+        parallel::all_reduce_traffic(bytes, parallel_.tensor_parallel));
+    const util::Seconds latency = 2.0 *
+                                  (parallel_.tensor_parallel - 1) *
+                                  options_.tp_fabric.per_hop_latency;
+    if (recorder_ != nullptr) recorder_->on_comm(kLabel, traffic, latency);
+    auto done = launch_comm_flow(kLabel, traffic, latency);
+    auto& stream = *node_.gpu(options_.gpu_index).compute_stream;
+    stream.wait_for(done);
+    bind_pending_ready_events(done);
+    pace();
+    return;
+  }
   const util::Seconds duration = parallel::all_reduce_time(
       bytes, parallel_.tensor_parallel, options_.tp_fabric);
   if (recorder_ != nullptr) {
@@ -99,6 +165,16 @@ void Executor::tp_all_reduce(util::Bytes bytes) {
   auto done = node_.gpu(options_.gpu_index)
                   .compute_stream->enqueue("tp_all_reduce", duration);
   bind_pending_ready_events(done);
+  pace();
+}
+
+void Executor::replay_comm(const StepProgram& program,
+                           const StepProgram::Op& op) {
+  auto done = launch_comm_flow(program.labels[op.b],
+                               static_cast<util::Bytes>(op.y), op.x);
+  auto& stream = *node_.gpu(options_.gpu_index).compute_stream;
+  stream.wait_for(done);
+  bind_pending_replay(done);
   pace();
 }
 
@@ -127,6 +203,14 @@ void Executor::pop_hooks() {
 void Executor::end_recompute_segment() {
   util::expects(recompute_depth_ > 0, "recompute segment underflow");
   --recompute_depth_;
+}
+
+void Executor::set_optimizer_shards(double weight_shard, double grad_shard) {
+  util::expects(weight_shard > 0.0 && weight_shard <= 1.0 &&
+                    grad_shard > 0.0 && grad_shard <= 1.0,
+                "optimizer shards must be in (0, 1]");
+  optimizer_weight_shard_ = weight_shard;
+  optimizer_grad_shard_ = grad_shard;
 }
 
 util::Bytes Executor::weights_live() const {
@@ -164,29 +248,52 @@ void Executor::bind_pending_replay(const sim::CompletionPtr& producer) {
   replay_pending_.clear();
 }
 
+void Executor::enter_sim_section() {
+  if (sim_guard_ != nullptr) {
+    sim_guard_->enter();
+  } else if (recorder_ != nullptr) {
+    recorder_->enter_sim();
+  }
+}
+
+void Executor::exit_sim_section() {
+  if (sim_guard_ != nullptr) {
+    sim_guard_->exit();
+  } else if (recorder_ != nullptr) {
+    recorder_->exit_sim();
+  }
+}
+
 void Executor::pace() {
   auto& stream = *node_.gpu(options_.gpu_index).compute_stream;
   auto& sim = node_.simulator();
-  if (recorder_ != nullptr) recorder_->enter_sim();
+  enter_sim_section();
   while (stream.queued() >
          static_cast<std::size_t>(options_.max_launch_ahead)) {
     if (!sim.step()) break;
   }
-  if (recorder_ != nullptr) recorder_->exit_sim();
+  exit_sim_section();
 }
 
 void Executor::run_optimizer(modules::Model& model) {
   (void)model;
   auto& gpu_ctx = node_.gpu(options_.gpu_index);
-  const util::Bytes weight_bytes = weights_live();
-  const util::Bytes grad_bytes = weight_grad_bytes_;
+  // ZeRO sharding: under stage 1+ this rank updates only its
+  // 1/dp parameter partition; under stage 2+ it also holds only its
+  // gradient partition. Both shards default to 1.0 (whole tensors).
+  const auto weight_bytes = static_cast<util::Bytes>(
+      static_cast<double>(weights_live()) * optimizer_weight_shard_);
+  const auto grad_bytes = static_cast<util::Bytes>(
+      static_cast<double>(weight_grad_bytes_) * optimizer_grad_shard_);
+  const auto grad_partition = static_cast<util::Bytes>(
+      static_cast<double>(weight_grad_bytes_) * optimizer_weight_shard_);
 
   // Gradient clipping / global norm: one read pass over the gradients.
   kernel("optimizer::grad_norm", static_cast<double>(grad_bytes) / 2.0,
          grad_bytes, 0, {});
   // SGD: w -= lr * g (read weights + grads, write weights).
   kernel("optimizer::sgd_update", static_cast<double>(weight_bytes),
-         weight_bytes + grad_bytes, weight_bytes, {});
+         weight_bytes + grad_partition, weight_bytes, {});
   // Zero gradients for the next accumulation window.
   kernel("optimizer::zero_grads", 0.0, 0, grad_bytes, {});
   // Fixed framework overhead per step: unfused per-tensor optimizer
@@ -217,26 +324,23 @@ Executor::StepBaseline Executor::begin_step() {
   return base;
 }
 
-StepStats Executor::finish_step(const StepBaseline& base,
-                                const sim::CompletionPtr& pre_opt_marker) {
-  auto& gpu_ctx = node_.gpu(options_.gpu_index);
-  auto& sim = node_.simulator();
-  auto& allocator = *gpu_ctx.allocator;
+sim::CompletionPtr Executor::record_step_end() {
+  return node_.gpu(options_.gpu_index).compute_stream->record_marker(
+      "step_end");
+}
 
-  // Step time: until the compute stream (incl. optimizer) finishes.
-  auto step_end_marker = gpu_ctx.compute_stream->record_marker("step_end");
-  if (recorder_ != nullptr) recorder_->enter_sim();
-  while (!step_end_marker->done()) {
-    util::check(sim.step(), "simulation stalled before step end");
-  }
-  const util::Seconds step_end = sim.now();
-  // Drain any trailing I/O (should be negligible when overlap is perfect).
-  sim.run();
-  if (recorder_ != nullptr) recorder_->exit_sim();
+StepStats Executor::collect_step(const StepBaseline& base,
+                                 const sim::CompletionPtr& pre_opt_marker,
+                                 const sim::CompletionPtr& step_end_marker) {
+  util::expects(step_end_marker && step_end_marker->done(),
+                "collect_step before the step-end marker completed");
+  auto& gpu_ctx = node_.gpu(options_.gpu_index);
+  auto& allocator = *gpu_ctx.allocator;
+  const util::Seconds step_end = step_end_marker->completion_time();
 
   StepStats stats;
   stats.step_time = step_end - base.step_start;
-  stats.drain_time = sim.now() - step_end;
+  stats.drain_time = node_.simulator().now() - step_end;
   if (pre_opt_marker && pre_opt_marker->done()) {
     stats.optimizer_time = step_end - pre_opt_marker->completion_time();
   }
@@ -269,61 +373,98 @@ StepStats Executor::finish_step(const StepBaseline& base,
   return stats;
 }
 
+StepStats Executor::finish_step(const StepBaseline& base,
+                                const sim::CompletionPtr& pre_opt_marker) {
+  auto& sim = node_.simulator();
+
+  // Step time: until the compute stream (incl. optimizer) finishes.
+  auto step_end_marker = record_step_end();
+  enter_sim_section();
+  while (!step_end_marker->done()) {
+    util::check(sim.step(), "simulation stalled before step end");
+  }
+  // Drain any trailing I/O (should be negligible when overlap is perfect).
+  sim.run();
+  exit_sim_section();
+
+  return collect_step(base, pre_opt_marker, step_end_marker);
+}
+
+Executor::StepBaseline Executor::begin_trace_step() {
+  node_.gpu(options_.gpu_index).allocator->reset_peaks();
+  if (cache_ != nullptr) cache_->on_step_begin();
+  return begin_step();
+}
+
+void Executor::exec_command(modules::Model& model,
+                            const std::vector<sched::Command>& schedule,
+                            std::size_t index,
+                            sim::CompletionPtr& pre_optimizer_marker) {
+  const sched::Command& cmd = schedule[index];
+  switch (cmd.kind) {
+    case sched::CommandKind::forward: {
+      micro_batch_ = cmd.micro_batch;
+      if (cache_ != nullptr) {
+        cache_->on_micro_batch(cmd.micro_batch);
+        cache_->on_forward_begin();
+        // Fig. 2 ④: when this micro-batch's backward follows
+        // immediately, the last module's activations are kept. The
+        // effective unit is the final block of the last layer (its
+        // backward starts within a store round-trip time).
+        if (sched::backward_follows_immediately(schedule, index)) {
+          modules::Module* last_layer = model.transformer_layers().back();
+          const modules::Module* keep =
+              last_layer->children().empty()
+                  ? last_layer
+                  : last_layer->children().back().get();
+          cache_->set_keep_scopes({keep});
+        } else {
+          cache_->set_keep_scopes({});
+        }
+      }
+      loss_by_micro_batch_[cmd.micro_batch] = model.forward_step(*this);
+      break;
+    }
+    case sched::CommandKind::backward: {
+      micro_batch_ = cmd.micro_batch;
+      if (cache_ != nullptr) {
+        cache_->on_micro_batch(cmd.micro_batch);
+        cache_->on_backward_begin();
+      }
+      model.backward_step(*this);
+      loss_by_micro_batch_.erase(cmd.micro_batch);
+      break;
+    }
+    case sched::CommandKind::optimizer_step: {
+      pre_optimizer_marker = node_.gpu(options_.gpu_index)
+                                 .compute_stream->record_marker(
+                                     "pre_optimizer");
+      if (recorder_ != nullptr) recorder_->on_pre_optimizer_marker();
+      run_optimizer(model);
+      break;
+    }
+    case sched::CommandKind::recv_forward:
+    case sched::CommandKind::send_forward:
+    case sched::CommandKind::recv_backward:
+    case sched::CommandKind::send_backward:
+      // Stage-boundary transfers are flows between executors; only the
+      // cluster session's driver can dispatch them.
+      util::unreachable("communication command on the executor");
+  }
+}
+
+void Executor::end_trace_step() {
+  graph_.clear();
+  loss_by_micro_batch_.clear();
+}
+
 StepStats Executor::run_step(modules::Model& model,
                              const std::vector<sched::Command>& schedule) {
-  auto& gpu_ctx = node_.gpu(options_.gpu_index);
-  auto& allocator = *gpu_ctx.allocator;
-
-  allocator.reset_peaks();
-  if (cache_ != nullptr) cache_->on_step_begin();
-
-  const StepBaseline base = begin_step();
+  const StepBaseline base = begin_trace_step();
   sim::CompletionPtr pre_optimizer_marker;
 
   for (std::size_t i = 0; i < schedule.size(); ++i) {
-    const sched::Command& cmd = schedule[i];
-    switch (cmd.kind) {
-      case sched::CommandKind::forward: {
-        micro_batch_ = cmd.micro_batch;
-        if (cache_ != nullptr) {
-          cache_->on_micro_batch(cmd.micro_batch);
-          cache_->on_forward_begin();
-          // Fig. 2 ④: when this micro-batch's backward follows
-          // immediately, the last module's activations are kept. The
-          // effective unit is the final block of the last layer (its
-          // backward starts within a store round-trip time).
-          if (sched::backward_follows_immediately(schedule, i)) {
-            modules::Module* last_layer = model.transformer_layers().back();
-            const modules::Module* keep =
-                last_layer->children().empty()
-                    ? last_layer
-                    : last_layer->children().back().get();
-            cache_->set_keep_scopes({keep});
-          } else {
-            cache_->set_keep_scopes({});
-          }
-        }
-        loss_by_micro_batch_[cmd.micro_batch] = model.forward_step(*this);
-        break;
-      }
-      case sched::CommandKind::backward: {
-        micro_batch_ = cmd.micro_batch;
-        if (cache_ != nullptr) {
-          cache_->on_micro_batch(cmd.micro_batch);
-          cache_->on_backward_begin();
-        }
-        model.backward_step(*this);
-        loss_by_micro_batch_.erase(cmd.micro_batch);
-        break;
-      }
-      case sched::CommandKind::optimizer_step: {
-        pre_optimizer_marker =
-            gpu_ctx.compute_stream->record_marker("pre_optimizer");
-        if (recorder_ != nullptr) recorder_->on_pre_optimizer_marker();
-        run_optimizer(model);
-        break;
-      }
-    }
+    exec_command(model, schedule, i, pre_optimizer_marker);
   }
 
   StepStats stats = finish_step(base, pre_optimizer_marker);
@@ -332,9 +473,31 @@ StepStats Executor::run_step(modules::Model& model,
   // cleanup after finish_step.
   if (recorder_ != nullptr) recorder_->finalize();
 
-  graph_.clear();
-  loss_by_micro_batch_.clear();
+  end_trace_step();
   return stats;
+}
+
+void Executor::start_recording(StepProgram& program,
+                               const std::vector<sched::Command>& schedule) {
+  util::expects(recorder_ == nullptr, "already recording");
+  program = StepProgram{};
+  program.schedule = schedule;
+  recorder_owned_ = std::make_unique<StepRecorder>(
+      program, *node_.gpu(options_.gpu_index).allocator, cache_ != nullptr);
+  recorder_ = recorder_owned_.get();
+  if (cache_ != nullptr) cache_->set_trace_recorder(recorder_);
+}
+
+void Executor::begin_recorded_command() {
+  if (recorder_ != nullptr) recorder_->begin_command();
+}
+
+void Executor::finish_recording() {
+  if (recorder_owned_ == nullptr) return;
+  if (!recorder_owned_->finalized()) recorder_owned_->finalize();
+  if (cache_ != nullptr) cache_->set_trace_recorder(nullptr);
+  recorder_ = nullptr;
+  recorder_owned_.reset();
 }
 
 StepStats Executor::record_step(modules::Model& model,
@@ -382,6 +545,7 @@ void Executor::replay_kernel(const StepProgram& program,
 /// Generic interpreter for cache-attached programs: value slots hold real
 /// Tensors because the cache and offloader APIs consume them.
 void Executor::replay_ops_tensor(const StepProgram& program,
+                                 std::size_t begin, std::size_t end,
                                  sim::CompletionPtr& pre_optimizer_marker) {
   auto& stream = *node_.gpu(options_.gpu_index).compute_stream;
   auto& sim = node_.simulator();
@@ -389,7 +553,8 @@ void Executor::replay_ops_tensor(const StepProgram& program,
     replay_slots_.resize(program.slot_count);
   }
 
-  for (const StepProgram::Op& op : program.ops) {
+  for (std::size_t index = begin; index < end; ++index) {
+    const StepProgram::Op& op = program.ops[index];
     switch (op.kind) {
       case StepProgram::OpKind::alloc_activation: {
         Tensor t = factory_.cuda(program.labels[op.b], program.shapes[op.c],
@@ -398,6 +563,14 @@ void Executor::replay_ops_tensor(const StepProgram& program,
         auto ready = sim::Completion::create(sim);
         t.storage()->set_ready_event(ready);
         replay_pending_.push_back(std::move(ready));
+        replay_slots_[op.a] = std::move(t);
+        break;
+      }
+      case StepProgram::OpKind::stage_input: {
+        Tensor t = factory_.cuda(program.labels[op.b], program.shapes[op.c],
+                                 static_cast<tensor::DType>(op.dtype),
+                                 hw::MemoryTag::activation);
+        t.storage()->set_ready_event(next_stage_input_ready());
         replay_slots_[op.a] = std::move(t);
         break;
       }
@@ -419,6 +592,9 @@ void Executor::replay_ops_tensor(const StepProgram& program,
         replay_kernel(program, op, replay_deps_scratch_);
         break;
       }
+      case StepProgram::OpKind::comm:
+        replay_comm(program, op);
+        break;
       case StepProgram::OpKind::enqueue_only:
         // The optimizer tail's completion is never observed (finish_step
         // gates on the step_end marker): don't mint one.
@@ -468,7 +644,8 @@ void Executor::replay_ops_tensor(const StepProgram& program,
 /// one arena allocation and one pooled completion, with no shared_ptr
 /// machinery at all. Host-tensor ops vanish entirely (nothing observes
 /// host storage).
-void Executor::replay_ops_raw(const StepProgram& program,
+void Executor::replay_ops_raw(const StepProgram& program, std::size_t begin,
+                              std::size_t end,
                               sim::CompletionPtr& pre_optimizer_marker) {
   auto& gpu_ctx = node_.gpu(options_.gpu_index);
   auto& allocator = *gpu_ctx.allocator;
@@ -478,7 +655,8 @@ void Executor::replay_ops_raw(const StepProgram& program,
     replay_raw_slots_.resize(program.slot_count);
   }
 
-  for (const StepProgram::Op& op : program.ops) {
+  for (std::size_t index = begin; index < end; ++index) {
+    const StepProgram::Op& op = program.ops[index];
     switch (op.kind) {
       case StepProgram::OpKind::alloc_activation: {
         RawSlot& slot = replay_raw_slots_[op.a];
@@ -488,6 +666,15 @@ void Executor::replay_ops_raw(const StepProgram& program,
         slot.device = true;
         slot.live = true;
         replay_pending_.push_back(slot.ready);
+        break;
+      }
+      case StepProgram::OpKind::stage_input: {
+        RawSlot& slot = replay_raw_slots_[op.a];
+        slot.alloc = allocator.allocate(static_cast<util::Bytes>(op.y),
+                                        hw::MemoryTag::activation);
+        slot.ready = next_stage_input_ready();
+        slot.device = true;
+        slot.live = true;
         break;
       }
       case StepProgram::OpKind::alloc_host:
@@ -504,6 +691,9 @@ void Executor::replay_ops_raw(const StepProgram& program,
         replay_kernel(program, op, replay_deps_scratch_);
         break;
       }
+      case StepProgram::OpKind::comm:
+        replay_comm(program, op);
+        break;
       case StepProgram::OpKind::enqueue_only:
         // The optimizer tail's completion is never observed (finish_step
         // gates on the step_end marker): don't mint one.
@@ -525,31 +715,36 @@ void Executor::replay_ops_raw(const StepProgram& program,
   }
 }
 
-StepStats Executor::replay(const StepProgram& program,
-                           const std::vector<sched::Command>& schedule) {
+Executor::StepBaseline Executor::begin_replay_step(
+    const StepProgram& program,
+    const std::vector<sched::Command>& schedule) {
   util::expects(program.replayable,
                 "replay of a program marked non-replayable");
   util::expects(program.schedule == schedule,
                 "schedule changed since the program was recorded");
   util::expects(program.uses_cache == (cache_ != nullptr),
                 "cache attachment changed since the program was recorded");
-
-  auto& gpu_ctx = node_.gpu(options_.gpu_index);
-  gpu_ctx.allocator->reset_peaks();
+  node_.gpu(options_.gpu_index).allocator->reset_peaks();
   if (cache_ != nullptr) cache_->replay_begin(program.entries);
+  return begin_step();
+}
 
-  const StepBaseline base = begin_step();
-  sim::CompletionPtr pre_optimizer_marker;
+void Executor::replay_segment(const StepProgram& program,
+                              std::size_t command_index,
+                              sim::CompletionPtr& pre_optimizer_marker) {
+  util::expects(command_index + 1 < program.segments.size(),
+                "replayed command outside the recorded segment table");
+  const std::size_t begin = program.segments[command_index];
+  const std::size_t end = program.segments[command_index + 1];
   if (program.uses_cache) {
-    replay_ops_tensor(program, pre_optimizer_marker);
+    replay_ops_tensor(program, begin, end, pre_optimizer_marker);
   } else {
-    replay_ops_raw(program, pre_optimizer_marker);
+    replay_ops_raw(program, begin, end, pre_optimizer_marker);
   }
+}
 
-  StepStats stats = finish_step(base, pre_optimizer_marker);
-  // Inter-step teardown, the replay analogue of graph/loss clearing on the
-  // trace path: surviving slots (host inputs and step-crossing handles)
-  // drop here, after the step's measurements are taken.
+void Executor::end_replay_step() {
+  auto& gpu_ctx = node_.gpu(options_.gpu_index);
   for (auto& slot : replay_slots_) slot.reset();
   for (auto& slot : replay_raw_slots_) {
     if (slot.live && slot.device) gpu_ctx.allocator->free(slot.alloc);
@@ -557,6 +752,24 @@ StepStats Executor::replay(const StepProgram& program,
     slot.ready.reset();
   }
   replay_pending_.clear();
+  stage_input_ready_.clear();
+}
+
+StepStats Executor::replay(const StepProgram& program,
+                           const std::vector<sched::Command>& schedule) {
+  const StepBaseline base = begin_replay_step(program, schedule);
+  sim::CompletionPtr pre_optimizer_marker;
+  if (program.uses_cache) {
+    replay_ops_tensor(program, 0, program.ops.size(), pre_optimizer_marker);
+  } else {
+    replay_ops_raw(program, 0, program.ops.size(), pre_optimizer_marker);
+  }
+
+  StepStats stats = finish_step(base, pre_optimizer_marker);
+  // Inter-step teardown, the replay analogue of graph/loss clearing on the
+  // trace path: surviving slots (host inputs and step-crossing handles)
+  // drop here, after the step's measurements are taken.
+  end_replay_step();
   return stats;
 }
 

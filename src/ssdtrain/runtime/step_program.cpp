@@ -132,6 +132,30 @@ void StepRecorder::on_make_activation(const Tensor& t) {
   op.dtype = static_cast<std::uint8_t>(t.dtype());
 }
 
+void StepRecorder::on_stage_input(const Tensor& t) {
+  const std::uint32_t label = intern_label(t.label());
+  const std::uint32_t shape = intern_shape(t.shape());
+  const std::uint32_t slot = new_slot(t);
+  StepProgram::Op& op = push(StepProgram::OpKind::stage_input);
+  op.a = slot;
+  op.b = label;
+  op.c = shape;
+  op.y = static_cast<double>(t.bytes());
+  op.dtype = static_cast<std::uint8_t>(t.dtype());
+}
+
+void StepRecorder::on_comm(util::Label label, util::Bytes traffic,
+                           util::Seconds latency) {
+  StepProgram::Op& op = push(StepProgram::OpKind::comm);
+  op.b = intern_label(label);
+  op.x = latency;
+  op.y = static_cast<double>(traffic);
+}
+
+void StepRecorder::begin_command() {
+  program_.segments.push_back(static_cast<std::uint32_t>(program_.ops.size()));
+}
+
 void StepRecorder::on_make_host_tensor(const Tensor& t) {
   const std::uint32_t label = intern_label(t.label());
   const std::uint32_t shape = intern_shape(t.shape());
@@ -276,6 +300,13 @@ void StepRecorder::finalize() {
     invalidate("recorded step leaked cache entries");
   }
 
+  // Close the per-command segment table (only present when begin_command
+  // was driven, i.e. cluster recording) before drop insertion moves ops.
+  if (!program_.segments.empty()) {
+    program_.segments.push_back(
+        static_cast<std::uint32_t>(program_.ops.size()));
+  }
+
   // Deferred drops for asynchronously-released storages: the slot's
   // reference must be gone before the cache/transfer waiter that freed the
   // storage can fire, and anywhere after the slot's last op-stream use is
@@ -303,6 +334,15 @@ void StepRecorder::finalize() {
       }
     }
     program_.ops = std::move(merged);
+    // Inserted drops shift every segment boundary past them: a drop keyed
+    // "after op i" lands inside any segment whose old boundary exceeds i.
+    for (std::uint32_t& boundary : program_.segments) {
+      std::uint32_t shift = 0;
+      for (const auto& [pos, slots] : inserts) {
+        if (pos < boundary) shift += static_cast<std::uint32_t>(slots.size());
+      }
+      boundary += shift;
+    }
   }
   // Slots still alive here (host inputs, weights-adjacent survivors) are
   // reset by Executor::replay after the step's stats are taken, mirroring

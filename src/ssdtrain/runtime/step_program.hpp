@@ -62,6 +62,8 @@ struct StepProgram {
     unpack_entry,        ///< a=entry, b=destination slot
     prefetch,            ///< a/count=candidate entries (aux)
     release_entry,       ///< a=entry
+    stage_input,         ///< a=slot, b=label, c=shape, dtype, y=bytes
+    comm,                ///< b=label, x=latency (s), y=traffic bytes
   };
 
   // Kernel-op flags.
@@ -90,6 +92,13 @@ struct StepProgram {
   std::vector<sched::Command> schedule;
   bool uses_cache = false;
 
+  /// Op-range boundaries per recorded schedule command: segment i covers
+  /// ops [segments[i], segments[i+1]). Empty for whole-step programs (the
+  /// single-GPU session replays the whole array at once); the cluster
+  /// session records one segment per command so a stage can replay exactly
+  /// the ops of the command its pipeline lane just dispatched.
+  std::vector<std::uint32_t> segments;
+
   /// False when the recorded step cannot be replayed faithfully (leaked
   /// cache entries, a gated tensor outside the slot table); the session
   /// then stays on the trace path. invalid_reason says why.
@@ -114,6 +123,11 @@ class StepRecorder final : public core::TensorCache::TraceRecorder {
   // -- executor events -------------------------------------------------------
   void on_make_activation(const tensor::Tensor& t);
   void on_make_host_tensor(const tensor::Tensor& t);
+  void on_stage_input(const tensor::Tensor& t);
+  void on_comm(util::Label label, util::Bytes traffic, util::Seconds latency);
+  /// Marks the start of one schedule command's op range (cluster replay
+  /// dispatches per command). Sessions replaying whole steps never call it.
+  void begin_command();
   void on_kernel(const std::string& label, util::Seconds duration,
                  util::Flops flops, bool algorithmic,
                  std::span<const tensor::Tensor> consumed);
@@ -131,6 +145,7 @@ class StepRecorder final : public core::TensorCache::TraceRecorder {
   /// deferred drop ops for asynchronously-released storages after their
   /// last op-stream use, and validates replayability.
   void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
 
   // -- core::TensorCache::TraceRecorder --------------------------------------
   void cache_pack_passthrough(core::TensorCache::PassKind kind) override;

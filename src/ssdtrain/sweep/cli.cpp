@@ -30,6 +30,29 @@ void parse_points_list(std::string_view list, CliOptions& options) {
   }
 }
 
+// --pp/--tp/--dp values: a parallelism degree is a small positive integer.
+int parse_degree(std::string_view flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long n = std::strtol(text, &end, 10);
+  util::expects(end != text && *end == '\0' && errno != ERANGE && n >= 1 &&
+                    n <= 4096,
+                std::string(flag) + " expects an integer in [1, 4096], got '" +
+                    std::string(text) + "'");
+  return static_cast<int>(n);
+}
+
+parallel::ZeroStage parse_zero_stage(const char* text) {
+  const std::string_view value = text;
+  if (value == "none" || value == "0") return parallel::ZeroStage::none;
+  if (value == "1" || value == "stage1") return parallel::ZeroStage::stage1;
+  if (value == "2" || value == "stage2") return parallel::ZeroStage::stage2;
+  if (value == "3" || value == "stage3") return parallel::ZeroStage::stage3;
+  util::expects(false, "--zero expects none|1|2|3, got '" +
+                           std::string(value) + "'");
+  return parallel::ZeroStage::none;  // unreachable
+}
+
 }  // namespace
 
 CliOptions parse_cli(int argc, char** argv) {
@@ -70,6 +93,18 @@ CliOptions parse_cli(int argc, char** argv) {
       options.point_timeout = seconds;
     } else if (arg == "--no-replay") {
       options.no_replay = true;
+    } else if (arg == "--pp") {
+      util::expects(i + 1 < argc, "--pp requires a degree");
+      options.pipeline_parallel = parse_degree(arg, argv[++i]);
+    } else if (arg == "--tp") {
+      util::expects(i + 1 < argc, "--tp requires a degree");
+      options.tensor_parallel = parse_degree(arg, argv[++i]);
+    } else if (arg == "--dp") {
+      util::expects(i + 1 < argc, "--dp requires a degree");
+      options.data_parallel = parse_degree(arg, argv[++i]);
+    } else if (arg == "--zero") {
+      util::expects(i + 1 < argc, "--zero requires none|1|2|3");
+      options.zero = parse_zero_stage(argv[++i]);
     } else if (arg == "--retries") {
       util::expects(i + 1 < argc, "--retries requires a count");
       const char* text = argv[++i];
@@ -86,7 +121,8 @@ CliOptions parse_cli(int argc, char** argv) {
                     "unknown flag: " + std::string(arg) +
                         " (supported: --workers N, --csv PATH, "
                         "--points a=1,b=2, --point-timeout S, --retries N, "
-                        "--no-replay)");
+                        "--no-replay, --pp N, --tp N, --dp N, "
+                        "--zero none|1|2|3)");
     } else {
       options.positional.emplace_back(arg);
     }

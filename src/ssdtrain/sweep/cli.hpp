@@ -19,13 +19,21 @@
 ///   --no-replay         force the legacy trace-every-step execution path
 ///                       (step record/replay is on by default; this flag is
 ///                       the A/B switch — results are bit-identical)
+///   --pp N / --tp N / --dp N
+///                       override the pipeline / tensor / data parallelism
+///                       of every session the bench builds (unset = the
+///                       bench's own defaults, so golden CSVs reproduce
+///                       bit-for-bit without the flags)
+///   --zero none|1|2|3   override the ZeRO stage the same way
 /// plus its own positional arguments, which are passed through untouched.
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "ssdtrain/parallel/parallel_config.hpp"
 #include "ssdtrain/sweep/runner.hpp"
 #include "ssdtrain/sweep/spec.hpp"
 
@@ -40,9 +48,27 @@ struct CliOptions {
   /// --points constraints, in order of appearance.
   std::vector<std::pair<std::string, std::string>> point_filter;
   std::vector<std::string> positional;
+  // --pp/--tp/--dp/--zero parallelism overrides; 0 / nullopt = unset.
+  int pipeline_parallel = 0;
+  int tensor_parallel = 0;
+  int data_parallel = 0;
+  std::optional<parallel::ZeroStage> zero;
 
   [[nodiscard]] bool csv_enabled() const { return !csv_path.empty(); }
   [[nodiscard]] bool points_enabled() const { return !point_filter.empty(); }
+  [[nodiscard]] bool parallel_overridden() const {
+    return pipeline_parallel > 0 || tensor_parallel > 0 ||
+           data_parallel > 0 || zero.has_value();
+  }
+
+  /// Overwrites only the axes set on the command line, leaving the bench's
+  /// defaults in place otherwise (the golden-CSV compatibility contract).
+  void apply_parallel(parallel::ParallelConfig& parallel) const {
+    if (pipeline_parallel > 0) parallel.pipeline_parallel = pipeline_parallel;
+    if (tensor_parallel > 0) parallel.tensor_parallel = tensor_parallel;
+    if (data_parallel > 0) parallel.data_parallel = data_parallel;
+    if (zero) parallel.zero = *zero;
+  }
 
   /// The per-point policy for SweepRunner::map/run.
   [[nodiscard]] MapOptions map_options() const {

@@ -1,5 +1,7 @@
 #include "ssdtrain/workload/spec.hpp"
 
+#include <algorithm>
+
 #include "ssdtrain/util/check.hpp"
 
 namespace ssdtrain::workload {
@@ -71,7 +73,7 @@ void WorkloadSpec::validate(std::int64_t query_heads) const {
                     "query heads must be a multiple of kv_heads");
     }
     if (attn.cross_attention) {
-      util::expects(saw_memory_producer,
+      util::expects(saw_memory_producer || stage_slice,
                     "cross-attention group needs a preceding encoder group "
                     "to produce the shared memory");
       saw_cross = true;
@@ -96,6 +98,29 @@ void WorkloadSpec::validate(std::int64_t query_heads) const {
                       ffn.num_experts % ffn.expert_parallel == 0,
                   "expert_parallel must divide num_experts");
   }
+}
+
+WorkloadSpec WorkloadSpec::slice(int first, int count) const {
+  util::expects(first >= 0 && count >= 1, "bad slice range");
+  util::expects(first + count <= total_layers(), "slice past the workload");
+  WorkloadSpec out;
+  out.decoder_only = decoder_only;
+  out.stage_slice = true;
+  int begin = first;            // remaining offset into the current group
+  int remaining = count;
+  for (const LayerSpec& group : layers) {
+    if (remaining == 0) break;
+    if (begin >= group.count) {
+      begin -= group.count;
+      continue;
+    }
+    LayerSpec part = group;
+    part.count = std::min(group.count - begin, remaining);
+    remaining -= part.count;
+    begin = 0;
+    out.layers.push_back(std::move(part));
+  }
+  return out;
 }
 
 WorkloadSpec WorkloadSpec::single_stack(int layers, bool causal) {

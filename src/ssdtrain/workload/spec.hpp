@@ -88,6 +88,10 @@ struct WorkloadSpec {
   /// decoder stacks keep the full-rectangle estimate even though their
   /// decoder halves mask causally, reproducing the paper's §III-D model.
   bool decoder_only = false;
+  /// Set by slice(): this spec covers one pipeline stage's layer range, so
+  /// validate() accepts cross-attention groups with no local memory
+  /// producer (the encoder memory arrives from an upstream stage).
+  bool stage_slice = false;
 
   [[nodiscard]] bool empty() const { return layers.empty(); }
   [[nodiscard]] int total_layers() const;
@@ -98,6 +102,13 @@ struct WorkloadSpec {
   /// The last transformer layer's group — the keep-last-module carve-out
   /// (paper Fig. 2 (4)) is sized from this group's FFN variant.
   [[nodiscard]] const LayerSpec& last_group() const;
+
+  /// Sub-spec covering the `count` transformer layers starting at global
+  /// layer `first` (0-based, forward order): partial groups shrink and
+  /// untouched groups drop. A slice over the whole range reproduces this
+  /// spec's groups exactly (plus the stage_slice marker). Backbone of the
+  /// per-pipeline-stage planner budgets.
+  [[nodiscard]] WorkloadSpec slice(int first, int count) const;
 
   /// Contract checks: positive counts, kv_heads dividing the query heads,
   /// MoE fields in range, cross-attention groups preceded by at least one

@@ -3,13 +3,20 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/parallel/collectives.hpp"
 #include "ssdtrain/parallel/parallel_config.hpp"
 #include "ssdtrain/parallel/zero.hpp"
+#include "ssdtrain/runtime/cluster_session.hpp"
+#include "ssdtrain/runtime/session.hpp"
 #include "ssdtrain/util/check.hpp"
 #include "ssdtrain/util/units.hpp"
 
+namespace m = ssdtrain::modules;
 namespace p = ssdtrain::parallel;
+namespace rt = ssdtrain::runtime;
 namespace u = ssdtrain::util;
 
 TEST(ParallelConfig, GpuCountIsProduct) {
@@ -118,4 +125,28 @@ TEST(Zero, Stage3TripleTraffic) {
 TEST(Zero, NoTrafficWithoutDataParallelism) {
   p::ParallelConfig cfg;  // dp = 1
   EXPECT_DOUBLE_EQ(p::zero_dp_traffic_per_step(1e9, cfg), 0.0);
+}
+
+// The session path must reject an invalid ParallelConfig at construction
+// (the validate() call in TrainingSession / ClusterSession), not deep in
+// planning where the error loses its context.
+TEST(ParallelConfig, SessionConstructionValidates) {
+  {
+    rt::SessionConfig config;
+    config.model = m::bert_config(1024, 2, 2);
+    config.parallel.tensor_parallel = 0;
+    EXPECT_THROW(rt::TrainingSession{std::move(config)}, u::ContractViolation);
+  }
+  {
+    rt::ClusterConfig config;
+    config.model = m::bert_config(1024, 2, 2);
+    config.parallel.zero = p::ZeroStage::stage2;  // ZeRO needs dp > 1
+    EXPECT_THROW(rt::ClusterSession{std::move(config)}, u::ContractViolation);
+  }
+  {
+    rt::ClusterConfig config;
+    config.model = m::bert_config(1024, 2, 2);
+    config.parallel.pipeline_parallel = -2;
+    EXPECT_THROW(rt::ClusterSession{std::move(config)}, u::ContractViolation);
+  }
 }

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
 #include "ssdtrain/sched/schedule.hpp"
 #include "ssdtrain/util/check.hpp"
 
@@ -114,6 +119,72 @@ TEST(Schedules, RejectBadArguments) {
   EXPECT_THROW(s::grad_accum_schedule(0), u::ContractViolation);
   EXPECT_THROW(s::schedule_1f1b(4, 4, 4), u::ContractViolation);
   EXPECT_THROW(s::schedule_1f1b(0, 4, 0), u::ContractViolation);
+  // The Megatron constraint: interleaving needs mb % pp == 0.
+  EXPECT_THROW(s::schedule_interleaved_1f1b(6, 4, 0, 2), u::ContractViolation);
+}
+
+TEST(Interleaved1F1B, EveryMicroBatchRunsOncePerVirtualStage) {
+  // Schedule invariant: across the whole cluster, virtual stage
+  // chunk * pp + stage forwards (and backwards) each micro-batch exactly
+  // once — no chunk is skipped or double-run by the interleaving.
+  const int mb = 8, pp = 4, v = 2;
+  for (int stage = 0; stage < pp; ++stage) {
+    const auto cmds =
+        s::stage_schedule(s::PipelineKind::interleaved_1f1b, mb, pp, stage, v);
+    std::map<std::pair<int, int>, int> forwards;   // {chunk, mb} -> count
+    std::map<std::pair<int, int>, int> backwards;
+    for (const auto& c : cmds) {
+      if (c.kind == s::CommandKind::forward) ++forwards[{c.chunk, c.micro_batch}];
+      if (c.kind == s::CommandKind::backward) ++backwards[{c.chunk, c.micro_batch}];
+      EXPECT_GE(c.chunk, 0);
+      EXPECT_LT(c.chunk, v);
+    }
+    EXPECT_EQ(forwards.size(), static_cast<std::size_t>(mb * v));
+    EXPECT_EQ(backwards.size(), static_cast<std::size_t>(mb * v));
+    for (const auto& entry : forwards) EXPECT_EQ(entry.second, 1);
+    for (const auto& entry : backwards) EXPECT_EQ(entry.second, 1);
+    EXPECT_EQ(cmds.back().kind, s::CommandKind::optimizer_step);
+  }
+}
+
+TEST(Interleaved1F1B, BackwardNeverPrecedesItsForward) {
+  // Causality holds per (chunk, micro-batch) pair on every stage of every
+  // legal grid point.
+  for (const auto& [mb, pp, v] : {std::tuple{4, 2, 2}, std::tuple{8, 4, 2},
+                                  std::tuple{8, 2, 4}, std::tuple{12, 4, 3}}) {
+    for (int stage = 0; stage < pp; ++stage) {
+      const auto cmds = s::stage_schedule(s::PipelineKind::interleaved_1f1b,
+                                          mb, pp, stage, v);
+      std::set<std::pair<int, int>> forwarded;
+      for (const auto& c : cmds) {
+        if (c.kind == s::CommandKind::forward) {
+          forwarded.insert({c.chunk, c.micro_batch});
+        } else if (c.kind == s::CommandKind::backward) {
+          EXPECT_TRUE(forwarded.contains({c.chunk, c.micro_batch}))
+              << "mb=" << mb << " pp=" << pp << " v=" << v << " stage="
+              << stage << ": backward before forward for chunk " << c.chunk
+              << " mb " << c.micro_batch;
+        }
+      }
+    }
+  }
+}
+
+TEST(Interleaved1F1B, DegeneratesToPlain1F1BPeakInFlight) {
+  // With one chunk per GPU the interleaved scheduler must reproduce the
+  // plain 1F1B in-flight closed form pp - stage (the planner's budget
+  // contract) whenever mb >= pp keeps the warm-up saturated.
+  for (const int mb : {4, 8, 16}) {
+    for (int stage = 0; stage < 4; ++stage) {
+      const auto plain =
+          s::stage_schedule(s::PipelineKind::one_f_one_b, mb, 4, stage);
+      EXPECT_EQ(s::peak_in_flight_micro_batches(plain), 4 - stage)
+          << "mb=" << mb << " stage=" << stage;
+      const auto interleaved = s::stage_schedule(
+          s::PipelineKind::interleaved_1f1b, mb, 4, stage, 1);
+      EXPECT_EQ(interleaved, plain);
+    }
+  }
 }
 
 TEST(Schedules, CommandToString) {

@@ -315,6 +315,42 @@ TEST(SweepCli, ParsesWorkersCsvAndPositionals) {
             (std::vector<std::string>{"12288", "3", "bert"}));
 }
 
+TEST(SweepCli, ParsesParallelismOverrides) {
+  const char* argv[] = {"bench", "--pp", "4", "--tp", "2",
+                        "--dp",  "8",    "--zero", "2"};
+  const auto options = sweep::parse_cli(9, const_cast<char**>(argv));
+  ASSERT_TRUE(options.parallel_overridden());
+  ssdtrain::parallel::ParallelConfig parallel;
+  options.apply_parallel(parallel);
+  EXPECT_EQ(parallel.pipeline_parallel, 4);
+  EXPECT_EQ(parallel.tensor_parallel, 2);
+  EXPECT_EQ(parallel.data_parallel, 8);
+  EXPECT_EQ(parallel.zero, ssdtrain::parallel::ZeroStage::stage2);
+
+  // Unset flags leave the bench's own defaults untouched (the golden-CSV
+  // compatibility contract).
+  const char* partial[] = {"bench", "--dp", "2", "--zero", "stage3"};
+  const auto partial_options = sweep::parse_cli(5, const_cast<char**>(partial));
+  ssdtrain::parallel::ParallelConfig defaults;
+  defaults.tensor_parallel = 2;
+  partial_options.apply_parallel(defaults);
+  EXPECT_EQ(defaults.tensor_parallel, 2);
+  EXPECT_EQ(defaults.pipeline_parallel, 1);
+  EXPECT_EQ(defaults.data_parallel, 2);
+  EXPECT_EQ(defaults.zero, ssdtrain::parallel::ZeroStage::stage3);
+
+  const char* bare[] = {"bench"};
+  EXPECT_FALSE(sweep::parse_cli(1, const_cast<char**>(bare))
+                   .parallel_overridden());
+
+  const char* zero_degree[] = {"bench", "--pp", "0"};
+  EXPECT_THROW(sweep::parse_cli(3, const_cast<char**>(zero_degree)),
+               u::ContractViolation);
+  const char* bad_zero[] = {"bench", "--zero", "4"};
+  EXPECT_THROW(sweep::parse_cli(3, const_cast<char**>(bad_zero)),
+               u::ContractViolation);
+}
+
 TEST(SweepCli, PointsFilterSelectsSingleGridCell) {
   sweep::SweepSpec spec;
   spec.axis("hidden", std::vector<std::int64_t>{8192, 12288})

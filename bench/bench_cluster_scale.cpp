@@ -62,6 +62,7 @@ ScalePoint measure(const sweep::SweepPoint& point) {
   config.parallel.zero = ssdtrain::parallel::ZeroStage::stage2;
   g_cli.apply_parallel(config.parallel);
   config.strategy = rt::strategy_from(point.str("strategy"));
+  if (g_cli.faults_enabled()) config.faults = g_cli.fault_config();
   config.micro_batches = 2 * pp;
   config.schedule = sched::PipelineKind::one_f_one_b;
   rt::ClusterSession session(std::move(config));

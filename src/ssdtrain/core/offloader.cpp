@@ -1,5 +1,6 @@
 #include "ssdtrain/core/offloader.hpp"
 
+#include "ssdtrain/fault/injector.hpp"
 #include "ssdtrain/util/check.hpp"
 
 namespace ssdtrain::core {
@@ -30,6 +31,45 @@ util::Label d2h_label(const TensorId& id) {
 util::Label h2d_label(const TensorId& id) {
   static const util::Label kPrefix("h2d");
   return util::Label::tagged(kPrefix, id.stamp, id.shape_key);
+}
+
+util::Seconds backoff_for(const OffloadFaultPolicy& policy, int attempt) {
+  // initial * multiplier^(attempt-1), computed by repeated multiplication so
+  // the value is bit-stable across compilers (no libm pow variance).
+  util::Seconds backoff = policy.initial_backoff;
+  for (int i = 1; i < attempt; ++i) backoff *= policy.backoff_multiplier;
+  return backoff;
+}
+
+/// Degradation ladder, last rung: the offloaded copy is unrecoverable, so
+/// the consumer's tensor is rematerialised on-GPU instead of loaded. The
+/// cost is charged as a plain timer, not a compute-stream task — consumers
+/// of `done` are already enqueued on that FIFO stream, and queueing the
+/// recompute behind them would deadlock.
+void schedule_recompute(hw::TrainingNode& node, const OffloadFaultPolicy& policy,
+                        int gpu_index, OffloaderStats& stats,
+                        sim::CompletionPtr done, Tensor pinned_dst,
+                        IoError reason) {
+  const auto bytes = pinned_dst.bytes();
+  const double per_byte = policy.recompute_seconds_per_byte;
+  const util::Seconds cost =
+      per_byte > 0.0
+          ? per_byte * static_cast<double>(bytes)
+          : node.gpu(gpu_index).gpu->memory_time(bytes) * 4.0;
+  ++stats.load_faults;
+  ++stats.recompute_fallbacks;
+  stats.recompute_fallback_time += cost;
+  if (policy.injector != nullptr) {
+    policy.injector->note_structural(
+        reason.code == IoErrorCode::device_lost ? fault::FaultKind::ssd_dropout
+                                                : fault::FaultKind::io_error,
+        gpu_index,
+        std::string("recompute fallback (") + reason.message() + ")");
+  }
+  node.simulator().schedule_after(cost, [done, pinned_dst]() mutable {
+    done->fire();
+    pinned_dst.reset();
+  });
 }
 
 }  // namespace
@@ -79,8 +119,6 @@ std::optional<sim::CompletionPtr> SsdOffloader::store(
   ++stats_.stores;
   stats_.bytes_stored += t.bytes();
 
-  auto& sim = node_.simulator();
-  auto& net = node_.network();
   const auto path = config_.use_gds
                         ? node_.gds_write_path(config_.gpu_index)
                         : node_.bounce_write_path(config_.gpu_index);
@@ -93,29 +131,13 @@ std::optional<sim::CompletionPtr> SsdOffloader::store(
   Tensor pinned_ref = t;
   auto done = store_pool_.submit(
       store_label(id),
-      [this, id, bytes, path, setup, ready, pinned_ref, &sim,
-       &net](sim::SimThreadPool::FinishToken finish) mutable {
-        auto begin_io = [this, id, bytes, path, setup, pinned_ref, &sim,
-                         &net, finish]() mutable {
-          sim.schedule_after(setup, [this, id, bytes, path, pinned_ref, &net,
-                                     finish]() mutable {
-            net.start_flow(
-                store_label(id), bytes, path,
-                [this, id, pinned_ref, finish]() mutable {
-                  auto it = slots_.find(id);
-                  util::check(it != slots_.end(), "store slot vanished");
-                  auto& array = node_.array(config_.gpu_index);
-                  array.record_write(it->second.extent);
-                  it->second.store_in_flight = false;
-                  if (it->second.release_deferred) {
-                    array.release_extent(it->second.extent);
-                    slots_.erase(it);
-                    ++stats_.releases;
-                  }
-                  pinned_ref.reset();  // transfer done: drop the DMA pin
-                  finish();
-                });
-          });
+      [this, id, bytes, path, setup, ready,
+       pinned_ref](sim::SimThreadPool::FinishToken finish) mutable {
+        auto begin_io = [this, id, bytes, path = std::move(path), setup,
+                         pinned_ref = std::move(pinned_ref),
+                         finish]() mutable {
+          store_attempt(id, bytes, std::move(path), setup,
+                        std::move(pinned_ref), finish, 1);
         };
         if (ready && !ready->done()) {
           ready->add_waiter(std::move(begin_io));
@@ -124,6 +146,88 @@ std::optional<sim::CompletionPtr> SsdOffloader::store(
         }
       });
   return done;
+}
+
+void SsdOffloader::store_attempt(const TensorId& id, util::Bytes bytes,
+                                 Path path, util::Seconds setup,
+                                 Tensor pinned_ref,
+                                 sim::SimThreadPool::FinishToken finish,
+                                 int attempt) {
+  auto& sim = node_.simulator();
+  auto& net = node_.network();
+  util::Seconds attempt_setup = setup;
+  if (fault::FaultInjector* injector = config_.fault.injector) {
+    const util::Seconds extra = injector->extra_io_latency(config_.gpu_index);
+    if (extra > 0.0) {
+      attempt_setup += extra;
+      stats_.fault_extra_latency += extra;
+    }
+    IoError err = injector->io_attempt(config_.gpu_index);
+    if (!err && config_.fault.attempt_timeout > 0.0 &&
+        attempt_setup >= config_.fault.attempt_timeout) {
+      err = IoError{IoErrorCode::timeout};
+    }
+    if (err) {
+      ++stats_.io_failures;
+      auto it = slots_.find(id);
+      util::check(it != slots_.end(), "store slot vanished");
+      auto& array = node_.array(config_.gpu_index);
+      // The aborted attempt still programmed NAND up to the failure point:
+      // charge the stripes anyway, so retries show up as extra write
+      // amplification in the endurance model.
+      array.record_write(it->second.extent);
+      if (attempt >= config_.fault.max_attempts) {
+        // Retries exhausted: give up on offloading this tensor. The extent
+        // never held valid data; the cache sees store_status() == data_lost
+        // at store-done time and keeps the tensor on GPU instead.
+        array.release_extent(it->second.extent);
+        it->second.store_in_flight = false;
+        it->second.lost = true;
+        ++stats_.store_faults;
+        if (it->second.release_deferred) {
+          slots_.erase(it);
+          ++stats_.releases;
+        }
+        pinned_ref.reset();
+        finish();
+        return;
+      }
+      ++stats_.io_retries;
+      const util::Seconds backoff = backoff_for(config_.fault, attempt);
+      stats_.retry_backoff_time += backoff;
+      // The worker stays occupied across the backoff, as a real retry loop
+      // holding its queue slot would.
+      sim.schedule_after(
+          attempt_setup + backoff,
+          [this, id, bytes, path = std::move(path), setup,
+           pinned_ref = std::move(pinned_ref), finish, attempt]() mutable {
+            store_attempt(id, bytes, std::move(path), setup,
+                          std::move(pinned_ref), finish, attempt + 1);
+          });
+      return;
+    }
+  }
+  sim.schedule_after(
+      attempt_setup, [this, id, bytes, path = std::move(path),
+                      pinned_ref = std::move(pinned_ref), &net,
+                      finish]() mutable {
+        net.start_flow(
+            store_label(id), bytes, std::move(path),
+            [this, id, pinned_ref, finish]() mutable {
+              auto it = slots_.find(id);
+              util::check(it != slots_.end(), "store slot vanished");
+              auto& array = node_.array(config_.gpu_index);
+              array.record_write(it->second.extent);
+              it->second.store_in_flight = false;
+              if (it->second.release_deferred) {
+                array.release_extent(it->second.extent);
+                slots_.erase(it);
+                ++stats_.releases;
+              }
+              pinned_ref.reset();  // transfer done: drop the DMA pin
+              finish();
+            });
+      });
 }
 
 LoadTicket SsdOffloader::load(const TensorId& id, util::Label label,
@@ -135,11 +239,27 @@ LoadTicket SsdOffloader::load(const TensorId& id, util::Label label,
                 "load while store in flight (forwarding should cover this)");
 
   auto& sim = node_.simulator();
-  auto& net = node_.network();
   Tensor dst = factory_.cuda(label, std::move(shape), dtype,
                              hw::MemoryTag::activation);
   auto done = sim::Completion::create(sim, load_label(id));
   dst.storage()->set_ready_event(done);
+
+  if (config_.fault.injector != nullptr) {
+    IoError gone{};
+    if (it->second.lost) {
+      gone = IoError{IoErrorCode::data_lost};
+    } else if (node_.array(config_.gpu_index).extent_lost(it->second.extent)) {
+      gone = IoError{IoErrorCode::device_lost};
+    }
+    if (gone) {
+      // The copy is unrecoverable (store never landed, or a RAID member
+      // carrying its stripes dropped): skip the load pool entirely and
+      // rematerialise. Not counted as a load — no bytes left the array.
+      schedule_recompute(node_, config_.fault, config_.gpu_index, stats_,
+                         done, dst, gone);
+      return LoadTicket{dst, done};
+    }
+  }
 
   ++stats_.loads;
   stats_.bytes_loaded += dst.bytes();
@@ -154,21 +274,71 @@ LoadTicket SsdOffloader::load(const TensorId& id, util::Label label,
   Tensor pinned_dst = dst;
   load_pool_.submit(
       load_label(id),
-      [this, id, bytes, path, setup, extent, done, pinned_dst, &sim,
-       &net](sim::SimThreadPool::FinishToken finish) mutable {
-        sim.schedule_after(setup, [this, id, bytes, path, extent, done,
-                                   pinned_dst, &net, finish]() mutable {
-          net.start_flow(load_label(id), bytes, path,
-                         [this, extent, done, pinned_dst,
-                          finish]() mutable {
-                           node_.array(config_.gpu_index).record_read(extent);
-                           done->fire();
-                           pinned_dst.reset();
-                           finish();
-                         });
-        });
+      [this, id, bytes, path, setup, extent, done,
+       pinned_dst](sim::SimThreadPool::FinishToken finish) mutable {
+        load_attempt(id, bytes, std::move(path), setup, extent, done,
+                     std::move(pinned_dst), finish, 1);
       });
   return LoadTicket{dst, done};
+}
+
+void SsdOffloader::load_attempt(const TensorId& id, util::Bytes bytes,
+                                Path path, util::Seconds setup,
+                                hw::ArrayExtent extent, sim::CompletionPtr done,
+                                Tensor pinned_dst,
+                                sim::SimThreadPool::FinishToken finish,
+                                int attempt) {
+  auto& sim = node_.simulator();
+  auto& net = node_.network();
+  util::Seconds attempt_setup = setup;
+  if (fault::FaultInjector* injector = config_.fault.injector) {
+    const util::Seconds extra = injector->extra_io_latency(config_.gpu_index);
+    if (extra > 0.0) {
+      attempt_setup += extra;
+      stats_.fault_extra_latency += extra;
+    }
+    IoError err = injector->io_attempt(config_.gpu_index);
+    if (!err && config_.fault.attempt_timeout > 0.0 &&
+        attempt_setup >= config_.fault.attempt_timeout) {
+      err = IoError{IoErrorCode::timeout};
+    }
+    if (err) {
+      ++stats_.io_failures;
+      if (attempt >= config_.fault.max_attempts) {
+        // Retries exhausted: escalate down the ladder to recompute. The
+        // bytes were charged optimistically at load() time; no data
+        // actually left the array.
+        stats_.bytes_loaded -= bytes;
+        schedule_recompute(node_, config_.fault, config_.gpu_index, stats_,
+                           done, std::move(pinned_dst), err);
+        finish();
+        return;
+      }
+      ++stats_.io_retries;
+      const util::Seconds backoff = backoff_for(config_.fault, attempt);
+      stats_.retry_backoff_time += backoff;
+      sim.schedule_after(
+          attempt_setup + backoff,
+          [this, id, bytes, path = std::move(path), setup, extent, done,
+           pinned_dst = std::move(pinned_dst), finish, attempt]() mutable {
+            load_attempt(id, bytes, std::move(path), setup, extent, done,
+                         std::move(pinned_dst), finish, attempt + 1);
+          });
+      return;
+    }
+  }
+  sim.schedule_after(
+      attempt_setup,
+      [this, id, bytes, path = std::move(path), extent, done,
+       pinned_dst = std::move(pinned_dst), &net, finish]() mutable {
+        net.start_flow(load_label(id), bytes, std::move(path),
+                       [this, extent, done, pinned_dst, finish]() mutable {
+                         node_.array(config_.gpu_index).record_read(extent);
+                         done->fire();
+                         pinned_dst.reset();
+                         finish();
+                       });
+      });
 }
 
 void SsdOffloader::release(const TensorId& id) {
@@ -178,7 +348,9 @@ void SsdOffloader::release(const TensorId& id) {
     it->second.release_deferred = true;
     return;
   }
-  node_.array(config_.gpu_index).release_extent(it->second.extent);
+  if (!it->second.lost) {
+    node_.array(config_.gpu_index).release_extent(it->second.extent);
+  }
   slots_.erase(it);
   ++stats_.releases;
 }
@@ -189,6 +361,14 @@ std::string SsdOffloader::target_name() const {
 }
 
 const OffloaderStats& SsdOffloader::stats() const { return stats_; }
+
+IoError SsdOffloader::store_status(const TensorId& id) const {
+  auto it = slots_.find(id);
+  if (it != slots_.end() && it->second.lost) {
+    return IoError{IoErrorCode::data_lost};
+  }
+  return {};
+}
 
 // ---------------------------------------------------------------------------
 // CpuOffloader
@@ -224,31 +404,19 @@ std::optional<sim::CompletionPtr> CpuOffloader::store(
   ++stats_.stores;
   stats_.bytes_stored += t.bytes();
 
-  auto& net = node_.network();
   const auto path = node_.d2h_path(config_.gpu_index);
   const util::Bytes bytes = t.bytes();
 
   Tensor pinned_ref = t;
   auto done = store_pool_.submit(
       store_label(id),
-      [this, id, bytes, path, ready, pinned_ref,
-       &net](sim::SimThreadPool::FinishToken finish) mutable {
-        auto begin_io = [this, id, bytes, path, pinned_ref, &net,
+      [this, id, bytes, path, ready,
+       pinned_ref](sim::SimThreadPool::FinishToken finish) mutable {
+        auto begin_io = [this, id, bytes, path = std::move(path),
+                         pinned_ref = std::move(pinned_ref),
                          finish]() mutable {
-          net.start_flow(d2h_label(id), bytes, path,
-                         [this, id, pinned_ref, finish]() mutable {
-                           auto it = slots_.find(id);
-                           util::check(it != slots_.end(),
-                                       "store slot vanished");
-                           it->second.store_in_flight = false;
-                           if (it->second.release_deferred) {
-                             node_.pinned_pool().free(it->second.allocation);
-                             slots_.erase(it);
-                             ++stats_.releases;
-                           }
-                           pinned_ref.reset();
-                           finish();
-                         });
+          store_attempt(id, bytes, std::move(path), std::move(pinned_ref),
+                        finish, 1);
         };
         if (ready && !ready->done()) {
           ready->add_waiter(std::move(begin_io));
@@ -257,6 +425,62 @@ std::optional<sim::CompletionPtr> CpuOffloader::store(
         }
       });
   return done;
+}
+
+void CpuOffloader::store_attempt(const TensorId& id, util::Bytes bytes,
+                                 Path path, Tensor pinned_ref,
+                                 sim::SimThreadPool::FinishToken finish,
+                                 int attempt) {
+  auto& sim = node_.simulator();
+  auto& net = node_.network();
+  // The injected ssd-latency windows model NVMe-side stalls and do not
+  // apply to the host DMA path; io-error windows do (a flaky PCIe link
+  // corrupts D2H copies just as well).
+  if (fault::FaultInjector* injector = config_.fault.injector) {
+    IoError err = injector->io_attempt(config_.gpu_index);
+    if (err) {
+      ++stats_.io_failures;
+      auto it = slots_.find(id);
+      util::check(it != slots_.end(), "store slot vanished");
+      if (attempt >= config_.fault.max_attempts) {
+        node_.pinned_pool().free(it->second.allocation);
+        it->second.store_in_flight = false;
+        it->second.lost = true;
+        ++stats_.store_faults;
+        if (it->second.release_deferred) {
+          slots_.erase(it);
+          ++stats_.releases;
+        }
+        pinned_ref.reset();
+        finish();
+        return;
+      }
+      ++stats_.io_retries;
+      const util::Seconds backoff = backoff_for(config_.fault, attempt);
+      stats_.retry_backoff_time += backoff;
+      sim.schedule_after(
+          backoff, [this, id, bytes, path = std::move(path),
+                    pinned_ref = std::move(pinned_ref), finish,
+                    attempt]() mutable {
+            store_attempt(id, bytes, std::move(path), std::move(pinned_ref),
+                          finish, attempt + 1);
+          });
+      return;
+    }
+  }
+  net.start_flow(d2h_label(id), bytes, std::move(path),
+                 [this, id, pinned_ref, finish]() mutable {
+                   auto it = slots_.find(id);
+                   util::check(it != slots_.end(), "store slot vanished");
+                   it->second.store_in_flight = false;
+                   if (it->second.release_deferred) {
+                     node_.pinned_pool().free(it->second.allocation);
+                     slots_.erase(it);
+                     ++stats_.releases;
+                   }
+                   pinned_ref.reset();
+                   finish();
+                 });
 }
 
 LoadTicket CpuOffloader::load(const TensorId& id, util::Label label,
@@ -268,11 +492,16 @@ LoadTicket CpuOffloader::load(const TensorId& id, util::Label label,
                 "load while store in flight (forwarding should cover this)");
 
   auto& sim = node_.simulator();
-  auto& net = node_.network();
   Tensor dst = factory_.cuda(label, std::move(shape), dtype,
                              hw::MemoryTag::activation);
   auto done = sim::Completion::create(sim, load_label(id));
   dst.storage()->set_ready_event(done);
+
+  if (config_.fault.injector != nullptr && it->second.lost) {
+    schedule_recompute(node_, config_.fault, config_.gpu_index, stats_, done,
+                       dst, IoError{IoErrorCode::data_lost});
+    return LoadTicket{dst, done};
+  }
 
   ++stats_.loads;
   stats_.bytes_loaded += dst.bytes();
@@ -281,17 +510,53 @@ LoadTicket CpuOffloader::load(const TensorId& id, util::Label label,
   const util::Bytes bytes = dst.bytes();
 
   Tensor pinned_dst = dst;
-  load_pool_.submit(load_label(id),
-                    [id, bytes, path, done, pinned_dst,
-                     &net](sim::SimThreadPool::FinishToken finish) mutable {
-                      net.start_flow(h2d_label(id), bytes, path,
-                                     [done, pinned_dst, finish]() mutable {
-                                       done->fire();
-                                       pinned_dst.reset();
-                                       finish();
-                                     });
-                    });
+  load_pool_.submit(
+      load_label(id),
+      [this, id, bytes, path, done,
+       pinned_dst](sim::SimThreadPool::FinishToken finish) mutable {
+        load_attempt(id, bytes, std::move(path), done, std::move(pinned_dst),
+                     finish, 1);
+      });
   return LoadTicket{dst, done};
+}
+
+void CpuOffloader::load_attempt(const TensorId& id, util::Bytes bytes,
+                                Path path, sim::CompletionPtr done,
+                                Tensor pinned_dst,
+                                sim::SimThreadPool::FinishToken finish,
+                                int attempt) {
+  auto& sim = node_.simulator();
+  auto& net = node_.network();
+  if (fault::FaultInjector* injector = config_.fault.injector) {
+    IoError err = injector->io_attempt(config_.gpu_index);
+    if (err) {
+      ++stats_.io_failures;
+      if (attempt >= config_.fault.max_attempts) {
+        stats_.bytes_loaded -= bytes;
+        schedule_recompute(node_, config_.fault, config_.gpu_index, stats_,
+                           done, std::move(pinned_dst), err);
+        finish();
+        return;
+      }
+      ++stats_.io_retries;
+      const util::Seconds backoff = backoff_for(config_.fault, attempt);
+      stats_.retry_backoff_time += backoff;
+      sim.schedule_after(
+          backoff, [this, id, bytes, path = std::move(path), done,
+                    pinned_dst = std::move(pinned_dst), finish,
+                    attempt]() mutable {
+            load_attempt(id, bytes, std::move(path), done,
+                         std::move(pinned_dst), finish, attempt + 1);
+          });
+      return;
+    }
+  }
+  net.start_flow(h2d_label(id), bytes, std::move(path),
+                 [done, pinned_dst, finish]() mutable {
+                   done->fire();
+                   pinned_dst.reset();
+                   finish();
+                 });
 }
 
 void CpuOffloader::release(const TensorId& id) {
@@ -301,7 +566,9 @@ void CpuOffloader::release(const TensorId& id) {
     it->second.release_deferred = true;
     return;
   }
-  node_.pinned_pool().free(it->second.allocation);
+  if (!it->second.lost) {
+    node_.pinned_pool().free(it->second.allocation);
+  }
   slots_.erase(it);
   ++stats_.releases;
 }
@@ -309,5 +576,13 @@ void CpuOffloader::release(const TensorId& id) {
 std::string CpuOffloader::target_name() const { return "cpu:pinned-pool"; }
 
 const OffloaderStats& CpuOffloader::stats() const { return stats_; }
+
+IoError CpuOffloader::store_status(const TensorId& id) const {
+  auto it = slots_.find(id);
+  if (it != slots_.end() && it->second.lost) {
+    return IoError{IoErrorCode::data_lost};
+  }
+  return {};
+}
 
 }  // namespace ssdtrain::core

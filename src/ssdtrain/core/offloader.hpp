@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "ssdtrain/core/malloc_hook.hpp"
+#include "ssdtrain/fault/io_error.hpp"
 #include "ssdtrain/hw/node.hpp"
 #include "ssdtrain/sim/completion.hpp"
 #include "ssdtrain/sim/thread_pool.hpp"
@@ -25,15 +26,47 @@
 #include "ssdtrain/tensor/tensor.hpp"
 #include "ssdtrain/tensor/tensor_id.hpp"
 
+namespace ssdtrain::fault {
+class FaultInjector;
+}  // namespace ssdtrain::fault
+
 namespace ssdtrain::core {
 
 struct OffloaderStats {
   std::uint64_t stores = 0;
   std::uint64_t loads = 0;
   util::Bytes bytes_stored = 0;
-  util::Bytes bytes_loaded = 0;
+  util::Bytes bytes_loaded = 0;  ///< bytes read back from the target
   std::uint64_t releases = 0;
   std::uint64_t failed_stores = 0;  ///< CPU offloader: pinned pool exhausted
+
+  // Fault-injection reactions (all zero with the injector disabled).
+  std::uint64_t io_retries = 0;     ///< attempts re-issued after an error
+  std::uint64_t io_failures = 0;    ///< failed attempts (transient + timeout)
+  std::uint64_t store_faults = 0;   ///< stores that permanently failed
+  std::uint64_t load_faults = 0;    ///< loads that hit permanent data loss
+  std::uint64_t recompute_fallbacks = 0;  ///< loads served by rematerialising
+  util::Seconds retry_backoff_time = 0.0;
+  util::Seconds fault_extra_latency = 0.0;  ///< injected ssd-latency paid
+  util::Seconds recompute_fallback_time = 0.0;
+};
+
+/// Retry/timeout/backoff policy for offload I/O, driven by the fault
+/// injector. With `injector == nullptr` (the default) every guard in the
+/// transfer paths is skipped and behaviour is byte-identical to a build
+/// without the fault layer.
+struct OffloadFaultPolicy {
+  fault::FaultInjector* injector = nullptr;
+  int max_attempts = 4;
+  util::Seconds initial_backoff = util::us(50);
+  double backoff_multiplier = 2.0;
+  /// 0 = no deadline; otherwise an attempt whose setup latency (base +
+  /// injected) reaches this fails with IoErrorCode::timeout and retries.
+  util::Seconds attempt_timeout = 0.0;
+  /// Cost model for the recompute fallback after permanent data loss;
+  /// 0 = four HBM traversals of the lost bytes (a conservative stand-in
+  /// for re-running the producing layer's forward).
+  double recompute_seconds_per_byte = 0.0;
 };
 
 /// Result of beginning a load: the destination tensor (device memory is
@@ -71,6 +104,14 @@ class Offloader {
 
   [[nodiscard]] virtual std::string target_name() const = 0;
   [[nodiscard]] virtual const OffloaderStats& stats() const = 0;
+
+  /// Typed status of the offloaded copy of \p id: data_lost after a store
+  /// permanently failed (the cache then keeps the tensor on GPU instead of
+  /// dropping it). none for healthy or unknown ids.
+  [[nodiscard]] virtual IoError store_status(const tensor::TensorId& id) const {
+    (void)id;
+    return {};
+  }
 };
 
 struct SsdOffloaderConfig {
@@ -78,6 +119,7 @@ struct SsdOffloaderConfig {
   int store_workers = 2;
   int load_workers = 2;
   bool use_gds = true;  ///< false: bounce through host memory (ablation)
+  OffloadFaultPolicy fault;
 };
 
 class SsdOffloader final : public Offloader {
@@ -95,6 +137,8 @@ class SsdOffloader final : public Offloader {
 
   [[nodiscard]] std::string target_name() const override;
   [[nodiscard]] const OffloaderStats& stats() const override;
+  [[nodiscard]] IoError store_status(const tensor::TensorId& id) const
+      override;
 
   [[nodiscard]] const sim::SimThreadPool& store_pool() const {
     return store_pool_;
@@ -108,7 +152,21 @@ class SsdOffloader final : public Offloader {
     hw::ArrayExtent extent;
     bool store_in_flight = false;
     bool release_deferred = false;
+    bool lost = false;  ///< store permanently failed; no data on the array
   };
+
+  using Path = std::vector<sim::BandwidthNetwork::ResourceId>;
+
+  /// One store/load attempt: consults the injector, pays injected latency,
+  /// retries with exponential backoff on transient errors, and escalates
+  /// (store: keep-on-GPU; load: recompute fallback) once attempts run out.
+  void store_attempt(const tensor::TensorId& id, util::Bytes bytes, Path path,
+                     util::Seconds setup, tensor::Tensor pinned_ref,
+                     sim::SimThreadPool::FinishToken finish, int attempt);
+  void load_attempt(const tensor::TensorId& id, util::Bytes bytes, Path path,
+                    util::Seconds setup, hw::ArrayExtent extent,
+                    sim::CompletionPtr done, tensor::Tensor pinned_dst,
+                    sim::SimThreadPool::FinishToken finish, int attempt);
 
   /// Per-transfer setup latency: with the CUDA-malloc-hook library the
   /// buffers are pre-registered with GDS; without it cuFileWrite pays a
@@ -129,6 +187,7 @@ struct CpuOffloaderConfig {
   int gpu_index = 0;
   int store_workers = 2;
   int load_workers = 2;
+  OffloadFaultPolicy fault;
 };
 
 class CpuOffloader final : public Offloader {
@@ -145,13 +204,25 @@ class CpuOffloader final : public Offloader {
 
   [[nodiscard]] std::string target_name() const override;
   [[nodiscard]] const OffloaderStats& stats() const override;
+  [[nodiscard]] IoError store_status(const tensor::TensorId& id) const
+      override;
 
  private:
   struct Slot {
     hw::HostAllocation allocation;
     bool store_in_flight = false;
     bool release_deferred = false;
+    bool lost = false;  ///< store permanently failed; allocation freed
   };
+
+  using Path = std::vector<sim::BandwidthNetwork::ResourceId>;
+
+  void store_attempt(const tensor::TensorId& id, util::Bytes bytes, Path path,
+                     tensor::Tensor pinned_ref,
+                     sim::SimThreadPool::FinishToken finish, int attempt);
+  void load_attempt(const tensor::TensorId& id, util::Bytes bytes, Path path,
+                    sim::CompletionPtr done, tensor::Tensor pinned_dst,
+                    sim::SimThreadPool::FinishToken finish, int attempt);
 
   hw::TrainingNode& node_;
   tensor::TensorFactory& factory_;

@@ -227,6 +227,19 @@ graph::PackedValue TensorCache::pack(const Tensor& t) {
     auto e = rec_it->second.entries.find(id);
     if (e == rec_it->second.entries.end()) return;  // released mid-store
     if (e->second.state != EntryState::offloading) return;
+    if (offloader_.store_status(id)) {
+      // Store permanently failed (degradation ladder: keep on GPU). The
+      // strong reference was never dropped, so the tensor is still
+      // resident; reclaim the dead offloader slot now so the same id can
+      // be stored again on a later step, and clear `stored` so
+      // release_entry doesn't release it a second time.
+      ++stats_.kept_store_failed;
+      stats_.kept_bytes += e->second.bytes;
+      e->second.state = EntryState::loaded;
+      e->second.stored = false;
+      offloader_.release(id);
+      return;
+    }
     if (e->second.forwarded) {
       // Data forwarding already handed the in-memory reference to
       // backward; the tensor is both resident and on SSD.
@@ -554,6 +567,16 @@ void TensorCache::replay_pack_store(std::uint32_t index, const Tensor& t) {
     ReplayEntry& entry = replay_entries_[index];
     if (entry.released) return;  // released mid-store
     if (entry.state != EntryState::offloading) return;
+    if (offloader_.store_status(replay_inits_[index].id)) {
+      // Permanent store failure during replay: keep on GPU and reclaim the
+      // dead slot (replay reuses the same TensorIds every step).
+      ++stats_.kept_store_failed;
+      stats_.kept_bytes += replay_inits_[index].bytes;
+      entry.state = EntryState::loaded;
+      entry.stored = false;
+      offloader_.release(replay_inits_[index].id);
+      return;
+    }
     if (entry.forwarded) {
       entry.state = EntryState::loaded;
     } else {

@@ -69,6 +69,8 @@ struct TensorCacheStats {
   std::uint64_t kept_backward = 0;
   std::uint64_t kept_scope = 0;
   std::uint64_t kept_offloader_refused = 0;
+  /// Store permanently failed under fault injection; tensor kept on GPU.
+  std::uint64_t kept_store_failed = 0;
   std::uint64_t forwards = 0;
   std::uint64_t prefetch_loads = 0;
   std::uint64_t miss_loads = 0;
@@ -192,6 +194,13 @@ class TensorCache {
   [[nodiscard]] int current_micro_batch() const { return current_mb_; }
   [[nodiscard]] std::size_t tracked_entries() const;
   [[nodiscard]] const TensorCacheConfig& config() const { return config_; }
+
+  /// Rebalances the offload budget mid-run (sessions call this after a
+  /// structural fault degrades the SSD array's sustainable bandwidth).
+  /// Takes effect from the next pack decision.
+  void set_offload_budget(util::Bytes budget) {
+    config_.offload_budget = budget;
+  }
   /// Live state of a tracked tensor (tests).
   [[nodiscard]] EntryState entry_state(const tensor::TensorId& id) const;
 

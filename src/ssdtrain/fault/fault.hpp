@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file fault.hpp
+/// Declarative fault specifications. A FaultSpec describes one injected
+/// hardware misbehaviour — an SSD latency spike, a link derating window, a
+/// RAID-member dropout, a transient-I/O-error window, a straggling GPU, or
+/// a pipeline-stage crash — and the FaultInjector (injector.hpp) schedules
+/// it as first-class simulator events.
+///
+/// Text grammar (the --faults flag): semicolon-separated specs, each
+/// `kind` or `kind:key=value,key=value`:
+///
+///   --faults "io-error:rate=0.01;ssd-derate:gpu=0,at=0.5,dur=0.2,factor=0.25"
+///
+/// Keys: gpu (target GPU index; -1 = all, the default), member (RAID member
+/// index for ssd-dropout), at (window start, seconds), dur (window length,
+/// seconds; omitted = open-ended), factor (capacity multiplier in (0, 1]
+/// for derates, time multiplier >= 1 for gpu-straggler), rate (per-attempt
+/// transient-failure probability for io-error), latency (extra per-I/O
+/// setup latency in seconds for ssd-latency).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::fault {
+
+enum class FaultKind {
+  ssd_latency,    ///< extra setup latency on every SSD I/O attempt
+  ssd_derate,     ///< SSD array write/read bandwidth multiplied by factor
+  ssd_dropout,    ///< RAID member fails permanently at `at` (structural)
+  io_error,       ///< each offload I/O attempt fails with prob. `rate`
+  pcie_derate,    ///< PCIe tx/rx capacity multiplied by factor
+  nvlink_derate,  ///< NVLink fabric capacity multiplied by factor
+  dp_derate,      ///< DP-fabric port capacity multiplied by factor
+  gpu_straggler,  ///< kernel/memory times multiplied by factor
+  stage_crash,    ///< compute stream stalls for `dur` at `at` (structural)
+};
+
+std::string_view to_string(FaultKind kind);
+FaultKind fault_kind_from(std::string_view name);
+
+struct FaultSpec {
+  /// Window end used when `dur` is omitted: effectively "for the rest of
+  /// the run" while keeping begin+dur finite arithmetic exact.
+  static constexpr util::Seconds open_ended = 1e30;
+
+  FaultKind kind = FaultKind::io_error;
+  int gpu = -1;      ///< target GPU; -1 = every GPU
+  int member = 0;    ///< RAID member index (ssd-dropout)
+  util::Seconds at = 0.0;
+  util::Seconds duration = open_ended;
+  double factor = 1.0;
+  double rate = 0.0;
+  util::Seconds latency = 0.0;
+
+  [[nodiscard]] util::Seconds end() const { return at + duration; }
+  /// Round-trips through parse_faults.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Parses the --faults grammar. Malformed text is a contract violation with
+/// a message naming the offending token.
+std::vector<FaultSpec> parse_faults(std::string_view text);
+
+struct FaultConfig {
+  std::vector<FaultSpec> specs;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool enabled() const { return !specs.empty(); }
+};
+
+}  // namespace ssdtrain::fault

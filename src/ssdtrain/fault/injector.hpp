@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file injector.hpp
+/// Seed-driven fault injector. Binds a declarative FaultSpec list to a
+/// simulated machine and schedules each fault's begin/end as first-class
+/// simulator events: link and SSD derating windows move bandwidth-network
+/// capacities, straggler windows scale a GPU's kernel times, RAID-member
+/// dropouts and stage crashes bump the structural epoch (sessions discard
+/// their recorded StepPrograms and re-trace), and io-error windows make the
+/// offloader's per-attempt fault draws come up positive with the configured
+/// rate. All randomness comes from one Xoshiro256 seeded by
+/// FaultConfig::seed, and draws happen only inside active io-error windows,
+/// so identical seeds give bit-identical runs — on the trace and the replay
+/// path alike.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/fault/fault.hpp"
+#include "ssdtrain/fault/io_error.hpp"
+#include "ssdtrain/hw/node.hpp"
+#include "ssdtrain/sim/simulator.hpp"
+#include "ssdtrain/util/rng.hpp"
+
+namespace ssdtrain::fault {
+
+/// One entry of the fault log: a window edge or a structural fault. The
+/// chrome-trace exporter renders begin/end pairs as annotation slices.
+struct FaultEvent {
+  sim::TimePoint time = 0.0;
+  FaultKind kind = FaultKind::io_error;
+  int gpu = -1;
+  bool begin = true;
+  std::string detail;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, FaultConfig config);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Binds the machine and schedules every spec's window events. Call once,
+  /// before the first step runs.
+  void bind_node(hw::TrainingNode& node);
+
+  /// Registers a DP-fabric port for \p gpu (cluster sessions create these
+  /// per lane after node construction); dp-derate windows matching the GPU
+  /// are scheduled against it here.
+  void bind_dp_resource(int gpu, sim::BandwidthNetwork::ResourceId id);
+
+  [[nodiscard]] bool enabled() const { return config_.enabled(); }
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Per-attempt transient-failure draw for offload I/O on \p gpu. Consumes
+  /// one RNG draw only while an io-error window covering the GPU is active,
+  /// so the draw sequence tracks the (deterministic) I/O sequence.
+  IoError io_attempt(int gpu);
+
+  /// Sum of the active ssd-latency windows covering \p gpu.
+  [[nodiscard]] util::Seconds extra_io_latency(int gpu) const;
+
+  /// Bumped by every structural fault (member dropout, stage crash,
+  /// recompute fallback). Sessions compare it against the value they last
+  /// saw and discard recorded StepPrograms when it moved; timing-only
+  /// faults never touch it.
+  [[nodiscard]] std::uint64_t structural_epoch() const {
+    return structural_epoch_;
+  }
+  /// Records a structural reaction that happened outside the injector (the
+  /// offloader's recompute fallback) and bumps the epoch.
+  void note_structural(FaultKind kind, int gpu, std::string detail);
+
+  /// Applies a fault at the current simulated instant (benches and tests
+  /// trigger dropouts at step boundaries); windowed kinds run from now for
+  /// spec.duration.
+  void trigger(FaultSpec spec);
+
+  /// Complete fault log in time order (window edges + structural events).
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  struct DpPort {
+    int gpu = 0;
+    sim::BandwidthNetwork::ResourceId id = 0;
+    util::BytesPerSecond base = 0.0;
+  };
+
+  [[nodiscard]] static bool covers(const FaultSpec& spec, int gpu) {
+    return spec.gpu < 0 || spec.gpu == gpu;
+  }
+  /// Product of the active specs of \p kind covering \p gpu (1.0 when
+  /// none — the exact restore value).
+  [[nodiscard]] double active_factor(FaultKind kind, int gpu) const;
+
+  void schedule_windows(std::size_t index);
+  void apply_begin(std::size_t index);
+  void apply_end(std::size_t index);
+  void apply_dropout(const FaultSpec& spec);
+  void apply_stage_crash(const FaultSpec& spec);
+  void refresh_derates(FaultKind kind, int gpu);
+  void log(const FaultSpec& spec, bool begin);
+
+  sim::Simulator& sim_;
+  FaultConfig config_;
+  std::vector<char> active_;  ///< index-aligned with config_.specs
+  util::Xoshiro256 rng_;
+  hw::TrainingNode* node_ = nullptr;
+  std::vector<util::BytesPerSecond> pcie_tx_base_;
+  std::vector<util::BytesPerSecond> pcie_rx_base_;
+  std::vector<util::BytesPerSecond> nvlink_port_base_;
+  util::BytesPerSecond nvlink_base_ = 0.0;
+  std::vector<DpPort> dp_ports_;
+  std::uint64_t structural_epoch_ = 0;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace ssdtrain::fault

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file io_error.hpp
+/// Typed I/O status for the offloader/session boundary. Transfers that used
+/// to abort on failure now report one of these codes to the retry policy;
+/// hard CHECK/expects aborts remain reserved for programmer errors (loading
+/// a tensor that was never stored, releasing an unknown id).
+
+namespace ssdtrain {
+
+enum class IoErrorCode {
+  none = 0,     ///< success
+  transient,    ///< injected transient failure; retry may succeed
+  timeout,      ///< attempt exceeded its deadline; retry may succeed
+  device_lost,  ///< RAID member holding the data dropped out (structural)
+  data_lost,    ///< store never landed; the offloaded copy does not exist
+};
+
+struct IoError {
+  IoErrorCode code = IoErrorCode::none;
+
+  [[nodiscard]] explicit operator bool() const {
+    return code != IoErrorCode::none;
+  }
+  /// Retryable errors may succeed on a later attempt; device/data loss is
+  /// permanent and escalates straight to the degradation ladder.
+  [[nodiscard]] bool retryable() const {
+    return code == IoErrorCode::transient || code == IoErrorCode::timeout;
+  }
+  [[nodiscard]] bool permanent() const {
+    return code == IoErrorCode::device_lost || code == IoErrorCode::data_lost;
+  }
+
+  [[nodiscard]] const char* message() const {
+    switch (code) {
+      case IoErrorCode::none:
+        return "ok";
+      case IoErrorCode::transient:
+        return "transient I/O error";
+      case IoErrorCode::timeout:
+        return "I/O attempt timed out";
+      case IoErrorCode::device_lost:
+        return "device lost";
+      case IoErrorCode::data_lost:
+        return "offloaded data lost";
+    }
+    return "?";
+  }
+};
+
+}  // namespace ssdtrain

@@ -29,14 +29,20 @@ util::Seconds Gpu::kernel_time(const KernelDesc& kernel) const {
       kernel.flops > 0.0 ? kernel.flops / effective_rate(kernel.flops) : 0.0;
   const util::Seconds memory_bound_time =
       bytes / (spec_.hbm_bandwidth * spec_.hbm_efficiency);
-  return spec_.kernel_launch_latency +
-         std::max(compute_time, memory_bound_time);
+  return (spec_.kernel_launch_latency +
+          std::max(compute_time, memory_bound_time)) *
+         time_scale_;
 }
 
 util::Seconds Gpu::memory_time(util::Bytes bytes) const {
   util::expects(bytes >= 0, "negative byte count");
   return static_cast<double>(bytes) /
-         (spec_.hbm_bandwidth * spec_.hbm_efficiency);
+         (spec_.hbm_bandwidth * spec_.hbm_efficiency) * time_scale_;
+}
+
+void Gpu::set_time_scale(double scale) {
+  util::expects(scale >= 1.0, "straggler time scale must be >= 1");
+  time_scale_ = scale;
 }
 
 }  // namespace ssdtrain::hw

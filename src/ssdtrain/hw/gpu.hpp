@@ -57,8 +57,15 @@ class Gpu {
   /// update traffic, etc.).
   [[nodiscard]] util::Seconds memory_time(util::Bytes bytes) const;
 
+  /// Fault-injected straggler multiplier (>= 1) applied to kernel and
+  /// memory times. Exactly 1.0 outside straggler windows, so the no-fault
+  /// timing stays bit-identical.
+  void set_time_scale(double scale);
+  [[nodiscard]] double time_scale() const { return time_scale_; }
+
  private:
   GpuSpec spec_;
+  double time_scale_ = 1.0;
 };
 
 }  // namespace ssdtrain::hw

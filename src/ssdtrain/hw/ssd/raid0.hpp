@@ -45,11 +45,30 @@ class Raid0Array {
   [[nodiscard]] util::BytesPerSecond nominal_write_bandwidth() const;
   [[nodiscard]] util::BytesPerSecond nominal_read_bandwidth() const;
 
-  /// Stripes \p bytes across members (each member gets ceil to chunk).
+  /// Stripes \p bytes across the surviving members (each gets ceil to
+  /// chunk); failed members get an empty sub-extent so index alignment with
+  /// `members_` is preserved.
   ArrayExtent allocate_extent(util::Bytes bytes);
   void record_write(const ArrayExtent& extent);
   void record_read(const ArrayExtent& extent);
   void release_extent(const ArrayExtent& extent);
+
+  // -- fault model ----------------------------------------------------------
+  /// Permanently drops member \p i out of the array (device dropout). New
+  /// extents stripe over the survivors at their summed bandwidth; extents
+  /// with pages on the failed member report extent_lost(). At least one
+  /// member must survive — a fully dead array would strand in-flight flows
+  /// on a zero-capacity channel.
+  void fail_member(std::size_t i);
+  [[nodiscard]] bool member_failed(std::size_t i) const;
+  [[nodiscard]] std::size_t surviving_members() const;
+  /// True when any stripe of \p extent lives on a failed member (the data
+  /// is unrecoverable — RAID0 has no parity).
+  [[nodiscard]] bool extent_lost(const ArrayExtent& extent) const;
+  /// Fault-injected throughput multiplier in (0, 1], folded into every
+  /// aggregate-capacity refresh (refresh runs after each write, so setting
+  /// the network capacity directly would be overwritten).
+  void set_bandwidth_derate(double factor);
 
   [[nodiscard]] util::Bytes capacity() const;
   [[nodiscard]] util::Bytes live_bytes() const;
@@ -68,6 +87,8 @@ class Raid0Array {
   std::string name_;
   util::Bytes chunk_;
   std::vector<std::unique_ptr<SsdDevice>> members_;
+  std::vector<bool> failed_;  ///< index-aligned with members_
+  double bandwidth_derate_ = 1.0;
   sim::BandwidthNetwork::ResourceId write_resource_;
   sim::BandwidthNetwork::ResourceId read_resource_;
 };

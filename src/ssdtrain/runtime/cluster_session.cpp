@@ -24,6 +24,9 @@ struct ClusterSession::StageContext {
   std::unique_ptr<core::Offloader> offloader;
   std::unique_ptr<core::TensorCache> cache;
   std::optional<core::OffloadPlan> plan;
+  /// Planner inputs kept for post-fault rebalancing (offloading stages).
+  core::PlannerInputs planner_inputs;
+  core::OffloaderStats last_offloader;  ///< snapshot for per-step deltas
   /// This chunk's forwards/backwards in stage order, closed by its own
   /// optimizer command — the schedule its StepProgram is recorded against.
   std::vector<sched::Command> compute_schedule;
@@ -98,6 +101,7 @@ void accumulate(core::TensorCacheStats& into,
   into.kept_backward += from.kept_backward;
   into.kept_scope += from.kept_scope;
   into.kept_offloader_refused += from.kept_offloader_refused;
+  into.kept_store_failed += from.kept_store_failed;
   into.forwards += from.forwards;
   into.prefetch_loads += from.prefetch_loads;
   into.miss_loads += from.miss_loads;
@@ -114,6 +118,14 @@ void accumulate(core::OffloaderStats& into, const core::OffloaderStats& from) {
   into.bytes_loaded += from.bytes_loaded;
   into.releases += from.releases;
   into.failed_stores += from.failed_stores;
+  into.io_retries += from.io_retries;
+  into.io_failures += from.io_failures;
+  into.store_faults += from.store_faults;
+  into.load_faults += from.load_faults;
+  into.recompute_fallbacks += from.recompute_fallbacks;
+  into.retry_backoff_time += from.retry_backoff_time;
+  into.fault_extra_latency += from.fault_extra_latency;
+  into.recompute_fallback_time += from.recompute_fallback_time;
 }
 
 /// Cluster-level aggregate. Byte/FLOP counters are per-context and sum;
@@ -133,6 +145,10 @@ StepStats merge_cluster_stats(const std::vector<StageStepStats>& stages,
     out.executed_flops += st.executed_flops;
     out.offloaded_bytes += st.offloaded_bytes;
     out.loaded_bytes += st.loaded_bytes;
+    out.io_retries += st.io_retries;
+    out.io_failures += st.io_failures;
+    out.recompute_fallbacks += st.recompute_fallbacks;
+    out.fault_stall_time += st.fault_stall_time;
     accumulate(out.cache, st.cache);
     accumulate(out.offloader_totals, st.offloader_totals);
     if (stage.chunk == 0) {
@@ -180,6 +196,11 @@ ClusterSession::ClusterSession(ClusterConfig config)
                 "node needs one GPU per pipeline stage");
   node_ = std::make_unique<hw::TrainingNode>(node_cfg);
   guard_ = std::make_unique<ClusterSimGuard>(*this);
+  if (config_.faults.enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(node_->simulator(),
+                                                       config_.faults);
+    injector_->bind_node(*node_);
+  }
 
   ideal_bubble_ = sched::ideal_bubble_fraction_interleaved(
       config_.micro_batches, pp, v);
@@ -207,6 +228,7 @@ ClusterSession::ClusterSession(ClusterConfig config)
     if (config_.parallel.data_parallel > 1) {
       lane.dp_port = node_->network().add_resource(
           util::label("gpu", s) + ":dp_port", config_.dp_fabric_bandwidth);
+      if (injector_ != nullptr) injector_->bind_dp_resource(s, lane.dp_port);
     }
     if (offloading && config_.install_malloc_hook) {
       lane.malloc_hook = std::make_unique<core::CudaMallocHookLibrary>();
@@ -332,6 +354,8 @@ util::Bytes ClusterSession::build_stage(int virtual_stage) {
     ssd_cfg.store_workers = config_.store_workers;
     ssd_cfg.load_workers = config_.load_workers;
     ssd_cfg.use_gds = config_.use_gds;
+    ssd_cfg.fault = config_.fault_policy;
+    ssd_cfg.fault.injector = injector_.get();
     ctx.offloader = std::make_unique<core::SsdOffloader>(
         *node_, ctx.executor->factory(), ssd_cfg,
         lanes_[static_cast<std::size_t>(s)].malloc_hook.get());
@@ -342,6 +366,8 @@ util::Bytes ClusterSession::build_stage(int virtual_stage) {
     cpu_cfg.gpu_index = s;
     cpu_cfg.store_workers = config_.store_workers;
     cpu_cfg.load_workers = config_.load_workers;
+    cpu_cfg.fault = config_.fault_policy;
+    cpu_cfg.fault.injector = injector_.get();
     ctx.offloader = std::make_unique<core::CpuOffloader>(
         *node_, ctx.executor->factory(), cpu_cfg);
     target_bw = std::min(hw::effective_bandwidth(node_->config().pcie),
@@ -369,6 +395,7 @@ util::Bytes ClusterSession::build_stage(int virtual_stage) {
   inputs.gpu = node_->config().gpu;
   inputs.target_write_bandwidth = target_bw;
   inputs.micro_batches = config_.micro_batches;
+  ctx.planner_inputs = inputs;
   ctx.plan = core::plan_offload(inputs);
 
   core::TensorCacheConfig cache_cfg = core::make_cache_config(*ctx.plan);
@@ -656,9 +683,44 @@ bool ClusterSession::dispatch(int gpu, const sched::Command& command) {
   return true;
 }
 
+void ClusterSession::rebalance_after_fault() {
+  if (config_.budget_override) return;
+  if (config_.strategy != Strategy::ssdtrain &&
+      config_.strategy != Strategy::ssdtrain_recompute) {
+    return;
+  }
+  for (auto& ctx : contexts_) {
+    if (ctx.cache == nullptr) continue;
+    ctx.planner_inputs.target_write_bandwidth =
+        std::min(node_->array(ctx.gpu).nominal_write_bandwidth(),
+                 hw::effective_bandwidth(node_->config().pcie));
+    ctx.plan = core::plan_offload(ctx.planner_inputs);
+    ctx.cache->set_offload_budget(
+        core::make_cache_config(*ctx.plan).offload_budget);
+  }
+}
+
 ClusterStepStats ClusterSession::run_step() {
   const int pp = config_.parallel.pipeline_parallel;
   auto& sim = node_->simulator();
+
+  std::uint64_t invalidations = 0;
+  if (injector_ != nullptr &&
+      injector_->structural_epoch() != fault_epoch_seen_) {
+    fault_epoch_seen_ = injector_->structural_epoch();
+    // Structural fault since the last boundary: every stage's recorded
+    // program is suspect (the fault may have moved any stage's pack/load
+    // branches), so all are discarded and re-recorded with the same
+    // chunk stagger, counted from this step.
+    for (auto& ctx : contexts_) {
+      if (ctx.program != nullptr) {
+        ctx.program.reset();
+        ++invalidations;
+      }
+    }
+    record_base_ = step_index_;
+    rebalance_after_fault();
+  }
 
   pending_forward_.clear();
   pending_backward_.clear();
@@ -680,7 +742,7 @@ ClusterStepStats ClusterSession::run_step() {
       ctx.mode = StageContext::Mode::trace;
     } else if (ctx.program != nullptr) {
       ctx.mode = StageContext::Mode::replay;
-    } else if (step_index_ == ctx.chunk) {
+    } else if (step_index_ - record_base_ == ctx.chunk) {
       // One allocator trace observer per GPU at a time: chunk c records
       // on step c, so a V-chunk GPU reaches all-replay at step V.
       ctx.mode = StageContext::Mode::record;
@@ -775,6 +837,17 @@ ClusterStepStats ClusterSession::run_step() {
     if (ctx.offloader != nullptr) {
       stats.offloader_totals = ctx.offloader->stats();
       stats.loaded_bytes = stats.offloader_totals.bytes_loaded;
+      const core::OffloaderStats& t = stats.offloader_totals;
+      stats.io_retries = t.io_retries - ctx.last_offloader.io_retries;
+      stats.io_failures = t.io_failures - ctx.last_offloader.io_failures;
+      stats.recompute_fallbacks =
+          t.recompute_fallbacks - ctx.last_offloader.recompute_fallbacks;
+      stats.fault_stall_time =
+          (t.retry_backoff_time - ctx.last_offloader.retry_backoff_time) +
+          (t.fault_extra_latency - ctx.last_offloader.fault_extra_latency) +
+          (t.recompute_fallback_time -
+           ctx.last_offloader.recompute_fallback_time);
+      ctx.last_offloader = t;
     }
     out.per_stage.push_back({ctx.gpu, ctx.chunk, std::move(stats)});
   }
@@ -824,6 +897,7 @@ ClusterStepStats ClusterSession::run_step() {
   out.combined = contexts_.size() == 1
                      ? out.per_stage.front().stats
                      : merge_cluster_stats(out.per_stage, pp);
+  out.combined.program_invalidations = invalidations;
   out.p2p_bytes = p2p_bytes_step_;
   out.dp_bytes = dp_bytes_step_;
   ++step_index_;

@@ -81,6 +81,11 @@ struct ClusterConfig {
   int load_workers = 2;
   /// Overrides each stage planner's offload budget when set.
   std::optional<util::Bytes> budget_override;
+
+  /// Seeded fault injection over the whole cluster (empty = disabled).
+  fault::FaultConfig faults;
+  /// Offload retry/backoff knobs applied to every stage's offloader.
+  core::OffloadFaultPolicy fault_policy;
 };
 
 /// One virtual stage's measurements (virtual stage = chunk * pp + gpu).
@@ -132,6 +137,8 @@ class ClusterSession {
   /// Per-stage offload plan (engaged for offloading strategies).
   [[nodiscard]] const std::optional<core::OffloadPlan>& plan(
       int virtual_stage) const;
+  /// Null unless config.faults has specs.
+  [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
 
  private:
   struct StageContext;  ///< one (gpu, chunk) model slice and its runtime
@@ -153,6 +160,9 @@ class ClusterSession {
   /// reduction flows, optimizer-state fetch, then every chunk's optimizer
   /// command, then the post-optimizer all-gather / state writeback.
   void dispatch_optimizer(int gpu);
+  /// Re-plans every offloading stage against its degraded array bandwidth
+  /// and installs the rebalanced budgets into the live caches.
+  void rebalance_after_fault();
   sim::CompletionPtr launch_fabric_flow(
       util::Label label, util::Bytes bytes,
       std::vector<sim::BandwidthNetwork::ResourceId> path, int gpu,
@@ -168,6 +178,11 @@ class ClusterSession {
   util::Bytes boundary_bytes_ = 0;  ///< one {seq, mb, hidden} fp16 tensor
   double ideal_bubble_ = 0.0;
   int step_index_ = 0;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::uint64_t fault_epoch_seen_ = 0;
+  /// Step index the record stagger counts from; reset when a structural
+  /// fault discards the programs so re-recording staggers the same way.
+  int record_base_ = 0;
 
   // Per-step driver state, keyed {virtual stage, micro batch}: the recv
   // completion registered by the matching send's dispatch.

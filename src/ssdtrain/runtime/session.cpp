@@ -42,6 +42,11 @@ TrainingSession::TrainingSession(SessionConfig config)
   // and replayed steps must not allocate for it.
   schedule_ = sched::grad_accum_schedule(config_.micro_batches);
   node_ = std::make_unique<hw::TrainingNode>(config_.node);
+  if (config_.faults.enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(node_->simulator(),
+                                                       config_.faults);
+    injector_->bind_node(*node_);
+  }
   model_ = modules::build_model(config_.model);
 
   ExecutorOptions exec_options;
@@ -72,6 +77,8 @@ TrainingSession::TrainingSession(SessionConfig config)
     ssd_cfg.store_workers = config_.store_workers;
     ssd_cfg.load_workers = config_.load_workers;
     ssd_cfg.use_gds = config_.use_gds;
+    ssd_cfg.fault = config_.fault_policy;
+    ssd_cfg.fault.injector = injector_.get();
     offloader_ = std::make_unique<core::SsdOffloader>(
         *node_, executor_->factory(), ssd_cfg, malloc_hook_.get());
     target_bw = std::min(node_->array(config_.gpu_index)
@@ -82,6 +89,8 @@ TrainingSession::TrainingSession(SessionConfig config)
     cpu_cfg.gpu_index = config_.gpu_index;
     cpu_cfg.store_workers = config_.store_workers;
     cpu_cfg.load_workers = config_.load_workers;
+    cpu_cfg.fault = config_.fault_policy;
+    cpu_cfg.fault.injector = injector_.get();
     offloader_ = std::make_unique<core::CpuOffloader>(
         *node_, executor_->factory(), cpu_cfg);
     target_bw = std::min(hw::effective_bandwidth(config_.node.pcie),
@@ -120,7 +129,41 @@ TrainingSession::TrainingSession(SessionConfig config)
   }
 }
 
+void TrainingSession::rebalance_after_fault() {
+  if (!plan_.has_value() || cache_ == nullptr || config_.budget_override) {
+    return;
+  }
+  if (config_.strategy != Strategy::ssdtrain &&
+      config_.strategy != Strategy::ssdtrain_recompute) {
+    return;
+  }
+  core::PlannerInputs inputs;
+  inputs.model = config_.model;
+  inputs.parallel = config_.parallel;
+  inputs.gpu = config_.node.gpu;
+  inputs.target_write_bandwidth =
+      std::min(node_->array(config_.gpu_index).nominal_write_bandwidth(),
+               hw::effective_bandwidth(config_.node.pcie));
+  inputs.micro_batches = config_.micro_batches;
+  plan_ = core::plan_offload(inputs);
+  cache_->set_offload_budget(core::make_cache_config(*plan_).offload_budget);
+}
+
 StepStats TrainingSession::run_step() {
+  std::uint64_t invalidations = 0;
+  if (injector_ != nullptr &&
+      injector_->structural_epoch() != fault_epoch_seen_) {
+    fault_epoch_seen_ = injector_->structural_epoch();
+    // Structural fault since the last boundary: the recorded program's
+    // pack/load branch decisions may no longer match live offloader state,
+    // so it is discarded and the next step re-traces. Timing-only faults
+    // never reach this path.
+    if (program_ != nullptr) {
+      program_.reset();
+      ++invalidations;
+    }
+    rebalance_after_fault();
+  }
   const auto& schedule = schedule_;
   StepStats stats;
   if (!config_.use_replay) {
@@ -147,7 +190,18 @@ StepStats TrainingSession::run_step() {
   if (offloader_ != nullptr) {
     stats.offloader_totals = offloader_->stats();
     stats.loaded_bytes = stats.offloader_totals.bytes_loaded;
+    const core::OffloaderStats& t = stats.offloader_totals;
+    stats.io_retries = t.io_retries - last_offloader_.io_retries;
+    stats.io_failures = t.io_failures - last_offloader_.io_failures;
+    stats.recompute_fallbacks =
+        t.recompute_fallbacks - last_offloader_.recompute_fallbacks;
+    stats.fault_stall_time =
+        (t.retry_backoff_time - last_offloader_.retry_backoff_time) +
+        (t.fault_extra_latency - last_offloader_.fault_extra_latency) +
+        (t.recompute_fallback_time - last_offloader_.recompute_fallback_time);
+    last_offloader_ = t;
   }
+  stats.program_invalidations = invalidations;
   return stats;
 }
 

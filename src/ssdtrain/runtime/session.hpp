@@ -15,6 +15,7 @@
 #include "ssdtrain/core/offloader.hpp"
 #include "ssdtrain/core/planner.hpp"
 #include "ssdtrain/core/tensor_cache.hpp"
+#include "ssdtrain/fault/injector.hpp"
 #include "ssdtrain/hw/catalog.hpp"
 #include "ssdtrain/hw/node.hpp"
 #include "ssdtrain/modules/model.hpp"
@@ -68,6 +69,13 @@ struct SessionConfig {
   int load_workers = 2;
   /// Overrides the planner's offload budget when set.
   std::optional<util::Bytes> budget_override;
+
+  /// Seeded fault injection (empty spec list = disabled; the no-fault path
+  /// is byte-identical to a session without the fault layer).
+  fault::FaultConfig faults;
+  /// Offload retry/backoff knobs; the injector pointer is filled in by the
+  /// session.
+  core::OffloadFaultPolicy fault_policy;
 };
 
 class TrainingSession {
@@ -99,7 +107,16 @@ class TrainingSession {
   /// use_replay = false).
   [[nodiscard]] const StepProgram* program() const { return program_.get(); }
 
+  /// Null unless config.faults has specs. Benches and tests use it to
+  /// trigger structural faults at step boundaries and read the fault log.
+  [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
+
  private:
+  /// Re-runs the adaptive planner against the degraded machine (a dropped
+  /// RAID member shrinks the array's sustainable write bandwidth) and
+  /// installs the rebalanced budget into the live cache.
+  void rebalance_after_fault();
+
   SessionConfig config_;
   std::unique_ptr<hw::TrainingNode> node_;
   std::unique_ptr<modules::Model> model_;
@@ -111,6 +128,12 @@ class TrainingSession {
   std::unique_ptr<StepProgram> program_;
   std::vector<sched::Command> schedule_;
   bool replay_active_ = false;  ///< false after a non-replayable recording
+  std::unique_ptr<fault::FaultInjector> injector_;
+  /// Last structural epoch acted on; a moved epoch at a step boundary
+  /// discards the recorded program (structural faults re-trace, timing
+  /// faults replay).
+  std::uint64_t fault_epoch_seen_ = 0;
+  core::OffloaderStats last_offloader_;  ///< snapshot for per-step deltas
 };
 
 }  // namespace ssdtrain::runtime

@@ -29,6 +29,11 @@ StepStats average(const std::vector<StepStats>& steps) {
     out.ssd_host_written += static_cast<util::Bytes>(
         static_cast<double>(s.ssd_host_written) / n);
     out.ssd_write_amplification += s.ssd_write_amplification / n;
+    out.io_retries += s.io_retries;
+    out.io_failures += s.io_failures;
+    out.recompute_fallbacks += s.recompute_fallbacks;
+    out.fault_stall_time += s.fault_stall_time / n;
+    out.program_invalidations += s.program_invalidations;
   }
   out.ssd_write_amplification -= 1.0;  // remove default-initialised 1.0
   out.model_throughput =

@@ -41,6 +41,17 @@ struct StepStats {
   double ssd_write_amplification = 1.0;
   util::BytesPerSecond required_write_bandwidth = 0.0;  ///< offloaded/(t/2)
 
+  // Fault-injection reactions, as deltas over this step (all zero with the
+  // injector disabled).
+  std::uint64_t io_retries = 0;
+  std::uint64_t io_failures = 0;
+  std::uint64_t recompute_fallbacks = 0;
+  /// Resilience overhead paid this step: retry backoff + injected I/O
+  /// latency + recompute-fallback time.
+  util::Seconds fault_stall_time = 0.0;
+  /// Recorded StepPrograms discarded this step after a structural fault.
+  std::uint64_t program_invalidations = 0;
+
   core::TensorCacheStats cache;          ///< snapshot at step end
   core::OffloaderStats offloader_totals; ///< snapshot at step end
 };

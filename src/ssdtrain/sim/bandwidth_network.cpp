@@ -142,6 +142,18 @@ double BandwidthNetwork::resource_utilization(ResourceId id) const {
   return resource_delivered(id) / (resources_[id].capacity * elapsed);
 }
 
+bool BandwidthNetwork::cancel_flow(FlowId id) {
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return false;
+  if (slots_[slot].id != id) return false;
+  // Credit progress up to this instant before the flow disappears from the
+  // advance() scan; the flush this schedules then re-rates the freed path.
+  advance();
+  remove_flow(slot);
+  schedule_flush();
+  return true;
+}
+
 void BandwidthNetwork::drop_flows() {
   for (Resource& r : resources_) {
     r.subscribers.clear();

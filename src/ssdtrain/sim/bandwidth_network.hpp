@@ -103,6 +103,14 @@ class BandwidthNetwork {
 
   [[nodiscard]] RefillPolicy refill_policy() const { return policy_; }
 
+  /// Tears down one in-flight flow without delivering it (device dropout:
+  /// the target vanished mid-transfer). Bytes moved so far stay credited to
+  /// the path's delivered counters; the completion closure is destroyed
+  /// unfired; the slot and its subscriber-index entries are reclaimed for
+  /// reuse. Returns false when \p id is unknown or already finished (also
+  /// for the pseudo-ids zero-byte flows return — those completed at start).
+  bool cancel_flow(FlowId id);
+
   /// Discards all in-flight flows (with their completion closures) without
   /// delivering them. Teardown helper; see Simulator::drop_pending().
   void drop_flows();

@@ -105,6 +105,22 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (arg == "--zero") {
       util::expects(i + 1 < argc, "--zero requires none|1|2|3");
       options.zero = parse_zero_stage(argv[++i]);
+    } else if (arg == "--faults") {
+      util::expects(i + 1 < argc, "--faults requires a spec list");
+      options.faults = argv[++i];
+      util::expects(!options.faults.empty(), "--faults spec list is empty");
+      // Parse eagerly so grammar errors surface at startup.
+      (void)fault::parse_faults(options.faults);
+    } else if (arg == "--fault-seed") {
+      util::expects(i + 1 < argc, "--fault-seed requires a value");
+      const char* text = argv[++i];
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long n = std::strtoull(text, &end, 10);
+      util::expects(end != text && *end == '\0' && errno != ERANGE,
+                    "--fault-seed expects a non-negative integer, got '" +
+                        std::string(text) + "'");
+      options.fault_seed = static_cast<std::uint64_t>(n);
     } else if (arg == "--retries") {
       util::expects(i + 1 < argc, "--retries requires a count");
       const char* text = argv[++i];
@@ -122,7 +138,8 @@ CliOptions parse_cli(int argc, char** argv) {
                         " (supported: --workers N, --csv PATH, "
                         "--points a=1,b=2, --point-timeout S, --retries N, "
                         "--no-replay, --pp N, --tp N, --dp N, "
-                        "--zero none|1|2|3)");
+                        "--zero none|1|2|3, --faults SPECS, "
+                        "--fault-seed N)");
     } else {
       options.positional.emplace_back(arg);
     }

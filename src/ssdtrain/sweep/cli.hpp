@@ -25,6 +25,13 @@
 ///                       bench's own defaults, so golden CSVs reproduce
 ///                       bit-for-bit without the flags)
 ///   --zero none|1|2|3   override the ZeRO stage the same way
+///   --faults SPECS      seeded fault injection: a semicolon-separated
+///                       FaultSpec list (fault::parse_faults grammar, e.g.
+///                       "io-error:rate=0.01;ssd-derate:at=0.5,dur=0.2,
+///                       factor=0.25") applied to every session the bench
+///                       builds; unset = no injector, byte-identical output
+///   --fault-seed N      seed for the injector's RNG (default 0); identical
+///                       seeds reproduce bit-identical fault runs
 /// plus its own positional arguments, which are passed through untouched.
 
 #include <cstddef>
@@ -33,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "ssdtrain/fault/fault.hpp"
 #include "ssdtrain/parallel/parallel_config.hpp"
 #include "ssdtrain/sweep/runner.hpp"
 #include "ssdtrain/sweep/spec.hpp"
@@ -53,8 +61,23 @@ struct CliOptions {
   int tensor_parallel = 0;
   int data_parallel = 0;
   std::optional<parallel::ZeroStage> zero;
+  /// --faults spec text (empty = injection disabled) and --fault-seed.
+  std::string faults;
+  std::uint64_t fault_seed = 0;
 
   [[nodiscard]] bool csv_enabled() const { return !csv_path.empty(); }
+  [[nodiscard]] bool faults_enabled() const { return !faults.empty(); }
+
+  /// Parsed --faults/--fault-seed as the config sessions take. Parse errors
+  /// in the spec text are contract violations (reported at startup, not
+  /// mid-sweep).
+  [[nodiscard]] fault::FaultConfig fault_config() const {
+    fault::FaultConfig config;
+    config.specs = fault::parse_faults(faults);
+    config.seed = fault_seed;
+    return config;
+  }
+
   [[nodiscard]] bool points_enabled() const { return !point_filter.empty(); }
   [[nodiscard]] bool parallel_overridden() const {
     return pipeline_parallel > 0 || tensor_parallel > 0 ||

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "ssdtrain/fault/injector.hpp"
 #include "ssdtrain/sim/stream.hpp"
 #include "ssdtrain/util/units.hpp"
 
@@ -29,6 +30,14 @@ class ChromeTrace {
 
   /// Adds an event directly (e.g. bandwidth flows, pool jobs).
   void add_event(TraceEvent event);
+
+  /// Renders a fault log onto a "faults" track: window begin/end pairs
+  /// become slices spanning the window, structural events (dropouts, stage
+  /// crashes, recompute fallbacks) become zero-width markers at the instant
+  /// they fired. \p horizon caps open-ended windows at the end of the
+  /// traced range.
+  void append_fault_events(const std::vector<fault::FaultEvent>& log,
+                           util::Seconds horizon);
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;

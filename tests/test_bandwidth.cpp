@@ -251,3 +251,137 @@ TEST(BandwidthIncremental, PropertyIncrementalMatchesFullRefillExactly) {
     EXPECT_LE(incremental.flows_refilled(), full.flows_refilled());
   }
 }
+
+TEST(BandwidthCancel, MidFlightCancelCreditsBytesAndFreesTheSlot) {
+  for (RefillPolicy policy : {RefillPolicy::incremental, RefillPolicy::full}) {
+    sim::Simulator s;
+    sim::BandwidthNetwork net(s, policy);
+    auto link = net.add_resource("pcie", u::gbps(10));
+    bool completed = false;
+    auto id = net.start_flow("a", u::gb(10), {link}, [&] { completed = true; });
+    s.schedule_at(0.5, [&] {
+      EXPECT_TRUE(net.flow_active(id));
+      EXPECT_TRUE(net.cancel_flow(id));
+      EXPECT_FALSE(net.flow_active(id));
+      EXPECT_FALSE(net.cancel_flow(id));  // second cancel: already gone
+    });
+    s.run();
+    // The completion callback never fires, the slot is reclaimed, and the
+    // bytes moved before the cancel stay in the delivered accounting.
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(net.active_flows(), 0u);
+    EXPECT_NEAR(net.resource_delivered(link), u::gb(5), u::mb(1));
+    // The network stays usable: a follow-up flow gets full capacity.
+    // (Scheduled at t=2, past the cancelled flow's defunct completion
+    // event, which still advances simulated time as a no-op.)
+    double t = -1;
+    s.schedule_at(2.0, [&] {
+      net.start_flow("b", u::gb(10), {link}, [&] { t = s.now(); });
+    });
+    s.run();
+    EXPECT_NEAR(t, 3.0, 1e-9);
+  }
+}
+
+TEST(BandwidthCancel, CancelRejectsUnknownAndFinishedIds) {
+  sim::Simulator s;
+  sim::BandwidthNetwork net(s);
+  auto link = net.add_resource("pcie", u::gbps(10));
+  EXPECT_FALSE(net.cancel_flow(0));       // pseudo id (capped pathless flows)
+  EXPECT_FALSE(net.cancel_flow(123456));  // never issued
+  auto id = net.start_flow("a", u::gb(1), {link}, [] {});
+  s.run();
+  EXPECT_FALSE(net.cancel_flow(id));  // already finished
+}
+
+// Fault-layer teardown property: a randomized program of flow arrivals,
+// capacity changes (the injector's derate windows), and mid-flight cancels
+// (RAID-member dropout tearing down in-flight transfers) must behave
+// bit-identically under the incremental and full refill policies, never
+// fire a cancelled flow's completion, and leak no slots.
+TEST(BandwidthCancel, PropertyRandomCancelsMatchAcrossRefillPolicies) {
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    SCOPED_TRACE(u::label("seed ", static_cast<std::int64_t>(seed)));
+    FlowProgram program = random_program(seed);
+    // Give roughly a third of the flows a cancel point after arrival.
+    u::Xoshiro256 rng(seed * 977);
+    std::vector<double> cancel_at(program.flows.size(), -1.0);
+    for (std::size_t i = 0; i < program.flows.size(); ++i) {
+      if (rng.uniform() < 0.35) {
+        cancel_at[i] = program.flows[i].at + rng.uniform() * 2.0;
+      }
+    }
+
+    sim::Simulator s;
+    sim::BandwidthNetwork incremental(s, RefillPolicy::incremental);
+    sim::BandwidthNetwork full(s, RefillPolicy::full);
+
+    struct Target {
+      sim::BandwidthNetwork* net = nullptr;
+      std::vector<sim::BandwidthNetwork::ResourceId> ids;
+      std::vector<sim::BandwidthNetwork::FlowId> flow_ids;
+      std::vector<double> done;
+      std::vector<char> cancelled;
+    };
+    Target targets[2];
+    targets[0].net = &incremental;
+    targets[1].net = &full;
+    for (Target& target : targets) {
+      for (std::size_t r = 0; r < program.capacities.size(); ++r) {
+        target.ids.push_back(target.net->add_resource(
+            u::label("r", static_cast<std::int64_t>(r)),
+            program.capacities[r]));
+      }
+      target.flow_ids.assign(program.flows.size(), 0);
+      target.done.assign(program.flows.size(), -1.0);
+      target.cancelled.assign(program.flows.size(), 0);
+      Target* tp = &target;
+      for (std::size_t i = 0; i < program.flows.size(); ++i) {
+        const auto& e = program.flows[i];
+        std::vector<sim::BandwidthNetwork::ResourceId> path;
+        for (std::size_t r : e.path) path.push_back(target.ids[r]);
+        s.schedule_at(e.at, [tp, i, &e, path, &s] {
+          tp->flow_ids[i] = tp->net->start_flow(
+              u::label("f", static_cast<std::int64_t>(i)), e.bytes, path,
+              [tp, i, &s] { tp->done[i] = s.now(); }, e.rate_cap);
+        });
+        if (cancel_at[i] >= 0.0) {
+          s.schedule_at(cancel_at[i], [tp, i] {
+            tp->cancelled[i] =
+                tp->net->cancel_flow(tp->flow_ids[i]) ? 1 : 0;
+          });
+        }
+      }
+      for (const auto& c : program.capacity_changes) {
+        const auto rid = target.ids[c.resource];
+        const double capacity = c.capacity;
+        s.schedule_at(c.at, [tp, rid, capacity] {
+          tp->net->set_capacity(rid, capacity);
+        });
+      }
+    }
+    s.run();
+
+    for (std::size_t i = 0; i < program.flows.size(); ++i) {
+      SCOPED_TRACE(u::label("flow ", static_cast<std::int64_t>(i)));
+      // Both policies must agree on whether the cancel caught the flow
+      // mid-flight, and a caught flow must never complete.
+      EXPECT_EQ(targets[0].cancelled[i], targets[1].cancelled[i]);
+      EXPECT_EQ(targets[0].done[i], targets[1].done[i]);  // bit-identical
+      if (targets[0].cancelled[i] != 0) {
+        EXPECT_EQ(targets[0].done[i], -1.0);
+      } else if (cancel_at[i] < 0.0) {
+        EXPECT_GE(targets[0].done[i], 0.0);
+      }
+    }
+    for (std::size_t r = 0; r < program.capacities.size(); ++r) {
+      SCOPED_TRACE(u::label("resource ", static_cast<std::int64_t>(r)));
+      EXPECT_EQ(incremental.resource_delivered(targets[0].ids[r]),
+                full.resource_delivered(targets[1].ids[r]));
+    }
+    // No slot or subscriber leaks: every flow either completed or was torn
+    // down, and both networks drained to empty.
+    EXPECT_EQ(incremental.active_flows(), 0u);
+    EXPECT_EQ(full.active_flows(), 0u);
+  }
+}

@@ -1,0 +1,744 @@
+// Fault injection and resilience: the --faults grammar, injector windows
+// (exact capacity restore), offload retry/backoff/timeout accounting, the
+// degradation ladder (keep-on-GPU after a permanently failed store,
+// recompute fallback after data loss), program-invalidation semantics
+// (timing faults never invalidate a recorded StepProgram, structural
+// faults force a re-trace), and seeded determinism: identical fault seeds
+// give bit-identical StepStats and fault logs, on the trace path and the
+// replay path alike, across the model grid under every strategy.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ssdtrain/core/offloader.hpp"
+#include "ssdtrain/fault/fault.hpp"
+#include "ssdtrain/fault/injector.hpp"
+#include "ssdtrain/hw/catalog.hpp"
+#include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/runtime/cluster_session.hpp"
+#include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/sched/schedule.hpp"
+#include "ssdtrain/tensor/tensor_id.hpp"
+#include "ssdtrain/trace/chrome_trace.hpp"
+#include "ssdtrain/util/check.hpp"
+#include "ssdtrain/util/units.hpp"
+
+namespace core = ssdtrain::core;
+namespace f = ssdtrain::fault;
+namespace hw = ssdtrain::hw;
+namespace m = ssdtrain::modules;
+namespace rt = ssdtrain::runtime;
+namespace t = ssdtrain::tensor;
+namespace sim = ssdtrain::sim;
+namespace u = ssdtrain::util;
+
+using ssdtrain::IoError;
+using ssdtrain::IoErrorCode;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Grammar
+
+TEST(FaultGrammar, ParsesKeyedSpecs) {
+  const auto specs = f::parse_faults(
+      "io-error:rate=0.01;"
+      "ssd-derate:gpu=0,at=0.5,dur=0.2,factor=0.25;"
+      "ssd-dropout:gpu=1,member=2,at=1.5;"
+      "gpu-straggler:factor=1.5,at=0.1,dur=0.3;"
+      "ssd-latency:latency=0.0002");
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].kind, f::FaultKind::io_error);
+  EXPECT_EQ(specs[0].rate, 0.01);
+  EXPECT_EQ(specs[0].gpu, -1);
+  EXPECT_EQ(specs[0].duration, f::FaultSpec::open_ended);
+  EXPECT_EQ(specs[1].kind, f::FaultKind::ssd_derate);
+  EXPECT_EQ(specs[1].gpu, 0);
+  EXPECT_EQ(specs[1].at, 0.5);
+  EXPECT_EQ(specs[1].duration, 0.2);
+  EXPECT_EQ(specs[1].factor, 0.25);
+  EXPECT_EQ(specs[2].kind, f::FaultKind::ssd_dropout);
+  EXPECT_EQ(specs[2].member, 2);
+  EXPECT_EQ(specs[3].kind, f::FaultKind::gpu_straggler);
+  EXPECT_EQ(specs[3].factor, 1.5);
+  EXPECT_EQ(specs[4].kind, f::FaultKind::ssd_latency);
+  EXPECT_EQ(specs[4].latency, 0.0002);
+}
+
+TEST(FaultGrammar, RoundTripsThroughToText) {
+  const auto specs = f::parse_faults(
+      "io-error:rate=0.01;"
+      "ssd-derate:gpu=0,at=0.5,dur=0.2,factor=0.25;"
+      "pcie-derate:factor=0.5;"
+      "nvlink-derate:gpu=2,factor=0.75,at=1;"
+      "dp-derate:factor=0.9;"
+      "ssd-dropout:gpu=1,member=2,at=1.5;"
+      "gpu-straggler:factor=1.5,at=0.1,dur=0.3;"
+      "stage-crash:gpu=0,at=2,dur=0.5;"
+      "ssd-latency:latency=0.0002");
+  for (const auto& spec : specs) {
+    SCOPED_TRACE(spec.to_text());
+    const auto reparsed = f::parse_faults(spec.to_text());
+    ASSERT_EQ(reparsed.size(), 1u);
+    EXPECT_EQ(reparsed[0].kind, spec.kind);
+    EXPECT_EQ(reparsed[0].gpu, spec.gpu);
+    EXPECT_EQ(reparsed[0].member, spec.member);
+    EXPECT_EQ(reparsed[0].at, spec.at);
+    EXPECT_EQ(reparsed[0].duration, spec.duration);
+    EXPECT_EQ(reparsed[0].factor, spec.factor);
+    EXPECT_EQ(reparsed[0].rate, spec.rate);
+    EXPECT_EQ(reparsed[0].latency, spec.latency);
+  }
+}
+
+TEST(FaultGrammar, EmptyTextMeansNoFaults) {
+  // An empty --faults value (and stray separators) disable injection
+  // rather than erroring: the CLI passes the flag through unconditionally.
+  EXPECT_TRUE(f::parse_faults("").empty());
+  EXPECT_TRUE(f::parse_faults(";").empty());
+  EXPECT_EQ(f::parse_faults("io-error:rate=0.5;").size(), 1u);
+}
+
+TEST(FaultGrammar, MalformedSpecsAreContractViolations) {
+  EXPECT_THROW((void)f::parse_faults("bogus-kind:rate=0.5"),
+               u::ContractViolation);
+  EXPECT_THROW((void)f::parse_faults("io-error:bogus=1"),
+               u::ContractViolation);
+  EXPECT_THROW((void)f::parse_faults("io-error:rate=2"),
+               u::ContractViolation);
+  EXPECT_THROW((void)f::parse_faults("io-error"), u::ContractViolation);
+  EXPECT_THROW((void)f::parse_faults("ssd-derate:factor=1.5"),
+               u::ContractViolation);
+  EXPECT_THROW((void)f::parse_faults("gpu-straggler:factor=0.5"),
+               u::ContractViolation);
+  EXPECT_THROW((void)f::parse_faults("ssd-latency:latency=-1"),
+               u::ContractViolation);
+  EXPECT_THROW((void)f::parse_faults("stage-crash:at=1"),
+               u::ContractViolation);  // needs a finite duration
+  EXPECT_THROW((void)f::parse_faults("io-error:"), u::ContractViolation);
+  EXPECT_THROW((void)f::parse_faults("io-error:rate"), u::ContractViolation);
+}
+
+TEST(FaultGrammar, IoErrorSemantics) {
+  EXPECT_FALSE(IoError{});
+  EXPECT_TRUE(IoError{IoErrorCode::transient});
+  EXPECT_TRUE(IoError{IoErrorCode::transient}.retryable());
+  EXPECT_TRUE(IoError{IoErrorCode::timeout}.retryable());
+  EXPECT_FALSE(IoError{IoErrorCode::data_lost}.retryable());
+  EXPECT_TRUE(IoError{IoErrorCode::data_lost}.permanent());
+  EXPECT_TRUE(IoError{IoErrorCode::device_lost}.permanent());
+  EXPECT_FALSE(IoError{IoErrorCode::transient}.permanent());
+}
+
+// ---------------------------------------------------------------------------
+// Injector windows
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultInjectorTest() : node_(hw::catalog::single_gpu_node(2)) {}
+
+  f::FaultInjector& make_injector(std::vector<f::FaultSpec> specs,
+                                  std::uint64_t seed = 1) {
+    f::FaultConfig config;
+    config.specs = std::move(specs);
+    config.seed = seed;
+    injector_ = std::make_unique<f::FaultInjector>(node_.simulator(),
+                                                   std::move(config));
+    injector_->bind_node(node_);
+    return *injector_;
+  }
+
+  hw::TrainingNode node_;
+  std::unique_ptr<f::FaultInjector> injector_;
+};
+
+TEST_F(FaultInjectorTest, DerateWindowRestoresExactCapacity) {
+  auto& sim = node_.simulator();
+  f::FaultSpec derate;
+  derate.kind = f::FaultKind::ssd_derate;
+  derate.at = 1.0;
+  derate.duration = 1.0;
+  derate.factor = 0.5;
+  make_injector({derate});
+
+  // The derate lands on the array's aggregate write channel in the
+  // bandwidth network (nominal_write_bandwidth reports the healthy spec).
+  auto& net = node_.network();
+  const auto channel = node_.array(0).write_resource();
+  const double base_write = net.capacity(channel);
+  double mid_window = 0.0;
+  double after_window = 0.0;
+  sim.schedule_at(1.5, [&] { mid_window = net.capacity(channel); });
+  sim.schedule_at(2.5, [&] { after_window = net.capacity(channel); });
+  sim.run();
+  EXPECT_EQ(mid_window, base_write * 0.5);
+  // Window end must restore the base bit-for-bit, not approximately: the
+  // no-fault replay-identity guarantee depends on exact 1.0 factors.
+  EXPECT_EQ(after_window, base_write);
+}
+
+TEST_F(FaultInjectorTest, StragglerWindowScalesAndRestoresTimeScale) {
+  auto& sim = node_.simulator();
+  f::FaultSpec straggler;
+  straggler.kind = f::FaultKind::gpu_straggler;
+  straggler.at = 1.0;
+  straggler.duration = 1.0;
+  straggler.factor = 1.5;
+  make_injector({straggler});
+
+  double mid_window = 0.0;
+  double after_window = 0.0;
+  sim.schedule_at(1.5, [&] { mid_window = node_.gpu(0).gpu->time_scale(); });
+  sim.schedule_at(2.5, [&] {
+    after_window = node_.gpu(0).gpu->time_scale();
+  });
+  sim.run();
+  EXPECT_EQ(mid_window, 1.5);
+  EXPECT_EQ(after_window, 1.0);
+}
+
+TEST_F(FaultInjectorTest, IoAttemptDrawsOnlyInsideActiveWindows) {
+  auto& sim = node_.simulator();
+  f::FaultSpec errors;
+  errors.kind = f::FaultKind::io_error;
+  errors.rate = 1.0;
+  errors.at = 1.0;
+  errors.duration = 1.0;
+  auto& injector = make_injector({errors});
+
+  // Before the window: no failure and, crucially, no RNG consumption — the
+  // draw sequence must track the I/O sequence, not wall-clock polling.
+  EXPECT_FALSE(injector.io_attempt(0));
+  std::vector<char> inside;
+  sim.schedule_at(1.5, [&] {
+    inside.push_back(injector.io_attempt(0) ? 1 : 0);
+  });
+  sim.schedule_at(2.5, [&] {
+    inside.push_back(injector.io_attempt(0) ? 1 : 0);
+  });
+  sim.run();
+  ASSERT_EQ(inside.size(), 2u);
+  EXPECT_EQ(inside[0], 1);  // rate=1.0 inside the window always fails
+  EXPECT_EQ(inside[1], 0);  // window over
+}
+
+TEST_F(FaultInjectorTest, DropoutBumpsStructuralEpochAndLogs) {
+  auto& injector = make_injector({});
+  EXPECT_EQ(injector.structural_epoch(), 0u);
+  f::FaultSpec dropout;
+  dropout.kind = f::FaultKind::ssd_dropout;
+  dropout.gpu = 0;
+  dropout.member = 0;
+  injector.trigger(dropout);
+  EXPECT_EQ(injector.structural_epoch(), 1u);
+  EXPECT_TRUE(node_.array(0).member_failed(0));
+  EXPECT_EQ(node_.array(0).surviving_members(), 1u);
+  ASSERT_FALSE(injector.events().empty());
+  EXPECT_EQ(injector.events().back().kind, f::FaultKind::ssd_dropout);
+
+  // The last survivor is never dropped (total array loss is not modeled).
+  f::FaultSpec again;
+  again.kind = f::FaultKind::ssd_dropout;
+  again.gpu = 0;
+  again.member = 1;
+  injector.trigger(again);
+  EXPECT_EQ(node_.array(0).surviving_members(), 1u);
+  EXPECT_EQ(injector.structural_epoch(), 1u);
+}
+
+TEST_F(FaultInjectorTest, FaultEventsRenderOntoChromeTrace) {
+  auto& sim = node_.simulator();
+  f::FaultSpec derate;
+  derate.kind = f::FaultKind::ssd_derate;
+  derate.at = 0.5;
+  derate.duration = 1.0;
+  derate.factor = 0.5;
+  auto& injector = make_injector({derate});
+  sim.schedule_at(3.0, [] {});
+  sim.run();
+
+  ssdtrain::trace::ChromeTrace trace;
+  trace.append_fault_events(injector.events(), sim.now());
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("faults"), std::string::npos);
+  EXPECT_NE(json.find("ssd-derate"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Offloader retry / backoff / degradation ladder
+
+class FaultOffloaderTest : public ::testing::Test {
+ protected:
+  FaultOffloaderTest()
+      : node_(hw::catalog::single_gpu_node(2)),
+        factory_(*node_.gpu(0).allocator) {}
+
+  f::FaultInjector& make_injector(std::vector<f::FaultSpec> specs,
+                                  std::uint64_t seed = 1) {
+    f::FaultConfig config;
+    config.specs = std::move(specs);
+    config.seed = seed;
+    injector_ = std::make_unique<f::FaultInjector>(node_.simulator(),
+                                                   std::move(config));
+    injector_->bind_node(node_);
+    return *injector_;
+  }
+
+  /// Executes the pending window-begin events (open-ended windows at t=0)
+  /// so that I/O issued from test code observes an active window, the way
+  /// session-driven I/O does.
+  void settle() { node_.simulator().run(); }
+
+  static f::FaultSpec always_fail() {
+    f::FaultSpec errors;
+    errors.kind = f::FaultKind::io_error;
+    errors.rate = 1.0;
+    return errors;  // open-ended from t=0: every attempt fails
+  }
+
+  t::Tensor make_tensor(const char* name, u::Bytes mib_size = 64) {
+    return factory_.cuda(name, {u::mib(mib_size) / 2}, t::DType::fp16,
+                         hw::MemoryTag::activation);
+  }
+
+  hw::TrainingNode node_;
+  t::TensorFactory factory_;
+  std::unique_ptr<f::FaultInjector> injector_;
+  t::IdAssigner ids_;
+};
+
+TEST_F(FaultOffloaderTest, ExhaustedRetriesKeepCountersAndLoseData) {
+  core::SsdOffloaderConfig cfg;
+  cfg.fault.injector = &make_injector({always_fail()});
+  cfg.fault.max_attempts = 4;
+  cfg.fault.initial_backoff = u::us(50);
+  cfg.fault.backoff_multiplier = 2.0;
+  core::SsdOffloader off(node_, factory_, cfg);
+  settle();
+
+  auto x = make_tensor("x");
+  const auto id = ids_.get_id(x);
+  auto done = off.store(id, x, nullptr);
+  ASSERT_TRUE(done.has_value());
+  node_.simulator().run();
+
+  // All four attempts failed; three were retries with exponential backoff
+  // 50us * (1 + 2 + 4).
+  EXPECT_TRUE((*done)->done());  // store completes (as a failure)
+  EXPECT_EQ(off.stats().io_failures, 4u);
+  EXPECT_EQ(off.stats().io_retries, 3u);
+  EXPECT_EQ(off.stats().store_faults, 1u);
+  EXPECT_DOUBLE_EQ(off.stats().retry_backoff_time, 350e-6);
+  EXPECT_EQ(off.store_status(id).code, IoErrorCode::data_lost);
+
+  // Degradation ladder, last rung: a load of the lost tensor is served by
+  // the recompute fallback (no I/O — not counted as a load), and the
+  // fallback is a structural event.
+  auto ticket = off.load(id, "x'", {u::mib(64) / 2}, t::DType::fp16);
+  node_.simulator().run();
+  EXPECT_TRUE(ticket.done->done());
+  EXPECT_EQ(off.stats().loads, 0u);
+  EXPECT_EQ(off.stats().load_faults, 1u);
+  EXPECT_EQ(off.stats().recompute_fallbacks, 1u);
+  EXPECT_GT(off.stats().recompute_fallback_time, 0.0);
+  EXPECT_GT(injector_->structural_epoch(), 0u);
+  off.release(id);  // releasing a lost slot must not abort
+  EXPECT_EQ(off.stats().releases, 1u);
+}
+
+TEST_F(FaultOffloaderTest, TransientErrorRetriesThenSucceeds) {
+  f::FaultSpec errors = always_fail();
+  errors.duration = 1e-4;  // window closes before the first retry lands
+  core::SsdOffloaderConfig cfg;
+  cfg.fault.injector = &make_injector({errors});
+  cfg.fault.initial_backoff = u::ms(1);
+  core::SsdOffloader off(node_, factory_, cfg);
+
+  auto x = make_tensor("x");
+  const auto id = ids_.get_id(x);
+  std::optional<sim::CompletionPtr> done;
+  // Issue the store inside the window (the begin event at t=0 runs first).
+  node_.simulator().schedule_at(0.0, [&] { done = off.store(id, x, nullptr); });
+  node_.simulator().run();
+  ASSERT_TRUE(done.has_value());
+
+  EXPECT_TRUE((*done)->done());
+  EXPECT_EQ(off.stats().io_retries, 1u);
+  EXPECT_EQ(off.stats().io_failures, 1u);
+  EXPECT_EQ(off.stats().store_faults, 0u);
+  EXPECT_EQ(off.store_status(id).code, IoErrorCode::none);
+  // The retried attempt still landed: the data loads back normally.
+  auto ticket = off.load(id, "x'", {u::mib(64) / 2}, t::DType::fp16);
+  node_.simulator().run();
+  EXPECT_TRUE(ticket.done->done());
+  EXPECT_EQ(off.stats().loads, 1u);
+  EXPECT_EQ(off.stats().recompute_fallbacks, 0u);
+}
+
+TEST_F(FaultOffloaderTest, RetriesChargeWriteAmplification) {
+  core::SsdOffloaderConfig cfg;
+  cfg.fault.injector = &make_injector({always_fail()});
+  cfg.fault.max_attempts = 4;
+  core::SsdOffloader off(node_, factory_, cfg);
+  settle();
+
+  const u::Bytes before = node_.array(0).host_bytes_written();
+  auto x = make_tensor("x");
+  auto done = off.store(ids_.get_id(x), x, nullptr);
+  (void)done;
+  node_.simulator().run();
+  // Every aborted attempt programmed NAND up to the failure point: four
+  // attempts' worth of stripes show up in the endurance model even though
+  // no store ever landed.
+  EXPECT_GE(node_.array(0).host_bytes_written() - before, 4 * x.bytes());
+}
+
+TEST_F(FaultOffloaderTest, LatencyWindowShiftsCompletionBySpecLatency) {
+  f::FaultSpec spike;
+  spike.kind = f::FaultKind::ssd_latency;
+  spike.latency = u::us(200);
+  core::SsdOffloaderConfig cfg;
+  cfg.fault.injector = &make_injector({spike});
+  core::SsdOffloader off(node_, factory_, cfg);
+  settle();
+
+  auto x = make_tensor("x");
+  auto done = off.store(ids_.get_id(x), x, nullptr);
+  ASSERT_TRUE(done.has_value());
+  node_.simulator().run();
+  const double faulty = (*done)->completion_time();
+  EXPECT_DOUBLE_EQ(off.stats().fault_extra_latency, 200e-6);
+
+  // Reference: the identical store on an identical clean machine.
+  hw::TrainingNode clean(hw::catalog::single_gpu_node(2));
+  t::TensorFactory clean_factory(*clean.gpu(0).allocator);
+  core::SsdOffloader clean_off(clean, clean_factory, {});
+  auto y = clean_factory.cuda("x", {u::mib(64) / 2}, t::DType::fp16,
+                              hw::MemoryTag::activation);
+  auto clean_done = clean_off.store(ids_.get_id(y), y, nullptr);
+  ASSERT_TRUE(clean_done.has_value());
+  clean.simulator().run();
+  EXPECT_NEAR(faulty - (*clean_done)->completion_time(), 200e-6, 1e-9);
+}
+
+TEST_F(FaultOffloaderTest, AttemptTimeoutRetriesUnderInjectedLatency) {
+  f::FaultSpec spike;
+  spike.kind = f::FaultKind::ssd_latency;
+  spike.latency = u::ms(2);
+  spike.duration = 1e-3;  // the spike is over before the first retry
+  core::SsdOffloaderConfig cfg;
+  cfg.fault.injector = &make_injector({spike});
+  cfg.fault.attempt_timeout = u::ms(1);
+  cfg.fault.initial_backoff = u::ms(2);
+  core::SsdOffloader off(node_, factory_, cfg);
+
+  auto x = make_tensor("x");
+  std::optional<sim::CompletionPtr> done;
+  node_.simulator().schedule_at(
+      0.0, [&] { done = off.store(ids_.get_id(x), x, nullptr); });
+  node_.simulator().run();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_TRUE((*done)->done());
+  EXPECT_EQ(off.stats().io_failures, 1u);  // the timed-out attempt
+  EXPECT_EQ(off.stats().io_retries, 1u);
+  EXPECT_EQ(off.stats().store_faults, 0u);
+}
+
+TEST_F(FaultOffloaderTest, CpuOffloaderRetriesAndFallsBackToo) {
+  core::CpuOffloaderConfig cfg;
+  cfg.fault.injector = &make_injector({always_fail()});
+  cfg.fault.max_attempts = 2;
+  core::CpuOffloader off(node_, factory_, cfg);
+  settle();
+
+  auto x = make_tensor("x");
+  const auto id = ids_.get_id(x);
+  auto done = off.store(id, x, nullptr);
+  ASSERT_TRUE(done.has_value());
+  node_.simulator().run();
+  EXPECT_TRUE((*done)->done());
+  EXPECT_EQ(off.stats().io_failures, 2u);
+  EXPECT_EQ(off.stats().io_retries, 1u);
+  EXPECT_EQ(off.stats().store_faults, 1u);
+  EXPECT_EQ(off.store_status(id).code, IoErrorCode::data_lost);
+
+  auto ticket = off.load(id, "x'", {u::mib(64) / 2}, t::DType::fp16);
+  node_.simulator().run();
+  EXPECT_TRUE(ticket.done->done());
+  EXPECT_EQ(off.stats().recompute_fallbacks, 1u);
+  off.release(id);
+}
+
+// ---------------------------------------------------------------------------
+// Session-level determinism and program invalidation
+
+rt::SessionConfig small_config(m::ModelConfig model, rt::Strategy strategy) {
+  rt::SessionConfig config;
+  config.model = std::move(model);
+  config.parallel.tensor_parallel = 2;
+  config.strategy = strategy;
+  return config;
+}
+
+/// Timing-only fault mix for the determinism grid: an open-ended transient
+/// error window plus an SSD latency spike inside the first step.
+f::FaultConfig timing_faults(std::uint64_t seed) {
+  f::FaultSpec errors;
+  errors.kind = f::FaultKind::io_error;
+  errors.rate = 0.3;
+  f::FaultSpec spike;
+  spike.kind = f::FaultKind::ssd_latency;
+  spike.latency = u::us(100);
+  spike.at = 0.001;
+  spike.duration = 0.01;
+  f::FaultConfig config;
+  config.specs = {errors, spike};
+  config.seed = seed;
+  return config;
+}
+
+/// A spec list that enables the injector without ever perturbing a step:
+/// the window closes at t=1ns, before any offload I/O can begin.
+f::FaultConfig armed_but_quiet() {
+  f::FaultSpec armed;
+  armed.kind = f::FaultKind::ssd_latency;
+  armed.latency = 1e-9;
+  armed.duration = 1e-9;
+  f::FaultConfig config;
+  config.specs = {armed};
+  config.seed = 11;
+  return config;
+}
+
+void expect_steps_equal(const rt::StepStats& a, const rt::StepStats& b,
+                        const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.step_time, b.step_time);
+  EXPECT_EQ(a.drain_time, b.drain_time);
+  EXPECT_EQ(a.activation_peak, b.activation_peak);
+  EXPECT_EQ(a.total_peak, b.total_peak);
+  EXPECT_EQ(a.executed_flops, b.executed_flops);
+  EXPECT_EQ(a.compute_busy, b.compute_busy);
+  EXPECT_EQ(a.offloaded_bytes, b.offloaded_bytes);
+  EXPECT_EQ(a.loaded_bytes, b.loaded_bytes);
+  EXPECT_EQ(a.ssd_host_written, b.ssd_host_written);
+  EXPECT_EQ(a.io_retries, b.io_retries);
+  EXPECT_EQ(a.io_failures, b.io_failures);
+  EXPECT_EQ(a.recompute_fallbacks, b.recompute_fallbacks);
+  EXPECT_EQ(a.fault_stall_time, b.fault_stall_time);
+  EXPECT_EQ(a.program_invalidations, b.program_invalidations);
+  EXPECT_EQ(a.cache.kept_store_failed, b.cache.kept_store_failed);
+  EXPECT_EQ(a.offloader_totals.io_retries, b.offloader_totals.io_retries);
+  EXPECT_EQ(a.offloader_totals.store_faults,
+            b.offloader_totals.store_faults);
+  EXPECT_EQ(a.offloader_totals.retry_backoff_time,
+            b.offloader_totals.retry_backoff_time);
+  EXPECT_EQ(a.offloader_totals.fault_extra_latency,
+            b.offloader_totals.fault_extra_latency);
+}
+
+void expect_fault_logs_equal(const std::vector<f::FaultEvent>& a,
+                             const std::vector<f::FaultEvent>& b,
+                             const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].gpu, b[i].gpu);
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].detail, b[i].detail);
+  }
+}
+
+std::vector<m::ModelConfig> model_grid() {
+  return {
+      m::bert_config(2048, 2, 2),
+      m::gpt_config(2048, 2, 2),
+      m::t5_config(2048, 2, 2),
+      m::gpt_moe_config(2048, 2, 2, /*num_experts=*/4, /*top_k=*/2),
+      m::gpt_gqa_config(2048, 2, 2),
+  };
+}
+
+std::vector<rt::Strategy> all_strategies() {
+  return {rt::Strategy::keep_in_gpu, rt::Strategy::ssdtrain,
+          rt::Strategy::ssdtrain_cpu, rt::Strategy::recompute_full,
+          rt::Strategy::ssdtrain_recompute};
+}
+
+constexpr int kSteps = 3;
+
+TEST(FaultDeterminism, IdenticalSeedIsBitIdenticalAcrossSessions) {
+  for (const auto& model : model_grid()) {
+    for (rt::Strategy strategy : all_strategies()) {
+      const std::string what =
+          model.name + " / " + std::string(to_string(strategy));
+      auto config = small_config(model, strategy);
+      config.faults = timing_faults(42);
+      rt::SessionConfig config2 = config;
+      rt::TrainingSession a(std::move(config));
+      rt::TrainingSession b(std::move(config2));
+      for (int step = 0; step < kSteps; ++step) {
+        expect_steps_equal(a.run_step(), b.run_step(),
+                           what + " step " + std::to_string(step));
+      }
+      ASSERT_NE(a.injector(), nullptr);
+      ASSERT_NE(b.injector(), nullptr);
+      expect_fault_logs_equal(a.injector()->events(),
+                              b.injector()->events(), what);
+      EXPECT_EQ(a.node().simulator().events_executed(),
+                b.node().simulator().events_executed())
+          << what;
+    }
+  }
+}
+
+TEST(FaultDeterminism, TracePathMatchesReplayPathUnderFaults) {
+  // The injector's RNG draws track the I/O attempt sequence, which the
+  // trace and replay paths issue identically — so the same seed must give
+  // bit-identical steps whether the program is replayed or re-traced.
+  for (const auto& model : model_grid()) {
+    for (rt::Strategy strategy :
+         {rt::Strategy::ssdtrain, rt::Strategy::ssdtrain_cpu,
+          rt::Strategy::ssdtrain_recompute}) {
+      const std::string what =
+          model.name + " / " + std::string(to_string(strategy));
+      auto traced_cfg = small_config(model, strategy);
+      traced_cfg.faults = timing_faults(42);
+      traced_cfg.use_replay = false;
+      rt::SessionConfig replayed_cfg = traced_cfg;
+      replayed_cfg.use_replay = true;
+      rt::TrainingSession traced(std::move(traced_cfg));
+      rt::TrainingSession replayed(std::move(replayed_cfg));
+      for (int step = 0; step < kSteps; ++step) {
+        expect_steps_equal(traced.run_step(), replayed.run_step(),
+                           what + " step " + std::to_string(step));
+      }
+      ASSERT_NE(replayed.program(), nullptr) << what;
+      expect_fault_logs_equal(traced.injector()->events(),
+                              replayed.injector()->events(), what);
+    }
+  }
+}
+
+TEST(FaultProgram, TimingFaultsNeverInvalidateTheProgram) {
+  auto config = small_config(m::bert_config(2048, 2, 2),
+                             rt::Strategy::ssdtrain);
+  config.faults = timing_faults(7);
+  rt::TrainingSession session(std::move(config));
+  std::uint64_t invalidations = 0;
+  for (int step = 0; step < 4; ++step) {
+    invalidations += session.run_step().program_invalidations;
+  }
+  EXPECT_EQ(invalidations, 0u);
+  ASSERT_NE(session.program(), nullptr);
+  EXPECT_TRUE(session.program()->replayable);
+}
+
+TEST(FaultProgram, StructuralFaultForcesRetrace) {
+  auto config = small_config(m::bert_config(2048, 2, 2),
+                             rt::Strategy::ssdtrain);
+  config.faults = armed_but_quiet();
+  const int gpu = config.gpu_index;
+  rt::TrainingSession session(std::move(config));
+  session.run_steps(2);
+  ASSERT_NE(session.program(), nullptr);
+
+  f::FaultSpec dropout;
+  dropout.kind = f::FaultKind::ssd_dropout;
+  dropout.gpu = gpu;
+  dropout.member = 0;
+  session.injector()->trigger(dropout);
+
+  const auto recovery = session.run_step();
+  EXPECT_EQ(recovery.program_invalidations, 1u);
+  // The re-trace re-recorded a fresh program against the degraded array...
+  ASSERT_NE(session.program(), nullptr);
+  EXPECT_TRUE(session.program()->replayable);
+  // ...and replay resumes: no further invalidations.
+  EXPECT_EQ(session.run_step().program_invalidations, 0u);
+}
+
+TEST(FaultRecovery, PostDropoutStateMatchesFreshDegradedSession) {
+  // Session A: healthy for two steps, then a RAID member drops and it
+  // recovers (re-trace, re-record, rebalanced offload budget). Session B:
+  // the member is already dead before step one. After recovery, A's
+  // steady-state replay steps must be bit-identical to B's — degraded
+  // mode is a state, not an accumulating error.
+  auto make = [] {
+    auto config = small_config(m::bert_config(2048, 2, 2),
+                               rt::Strategy::ssdtrain);
+    config.faults = armed_but_quiet();
+    return config;
+  };
+  const int gpu = make().gpu_index;
+  f::FaultSpec dropout;
+  dropout.kind = f::FaultKind::ssd_dropout;
+  dropout.gpu = gpu;
+  dropout.member = 0;
+
+  rt::TrainingSession a(make());
+  a.run_steps(2);
+  a.injector()->trigger(dropout);
+  a.run_step();  // re-trace + re-record against the degraded array
+  const auto a_steady = a.run_step();
+
+  rt::TrainingSession b(make());
+  b.injector()->trigger(dropout);
+  b.run_step();  // records against the degraded array right away
+  const auto b_steady = b.run_step();
+
+  // Times agree to rounding noise only: the two sessions reach the steady
+  // state at different absolute simulated instants, so the subtraction
+  // end - start rounds differently in the last bits.
+  EXPECT_NEAR(a_steady.step_time, b_steady.step_time,
+              1e-12 * b_steady.step_time);
+  EXPECT_NEAR(a_steady.compute_busy, b_steady.compute_busy,
+              1e-12 * b_steady.compute_busy);
+  EXPECT_EQ(a_steady.offloaded_bytes, b_steady.offloaded_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster sessions
+
+TEST(ClusterFaults, SeededDeterminismAndStructuralInvalidation) {
+  auto make = [] {
+    rt::ClusterConfig config;
+    config.model = m::bert_config(2048, 4, 4);
+    config.parallel.pipeline_parallel = 2;
+    config.strategy = rt::Strategy::ssdtrain;
+    config.micro_batches = 4;
+    config.schedule = ssdtrain::sched::PipelineKind::one_f_one_b;
+    config.faults = timing_faults(13);
+    return config;
+  };
+  rt::ClusterSession a(make());
+  rt::ClusterSession b(make());
+  for (int step = 0; step < kSteps; ++step) {
+    const auto sa = a.run_step();
+    const auto sb = b.run_step();
+    expect_steps_equal(sa.combined, sb.combined,
+                       "cluster step " + std::to_string(step));
+    EXPECT_EQ(sa.pipeline_time, sb.pipeline_time);
+    EXPECT_EQ(sa.p2p_bytes, sb.p2p_bytes);
+    EXPECT_EQ(sa.dp_bytes, sb.dp_bytes);
+  }
+  ASSERT_NE(a.injector(), nullptr);
+  expect_fault_logs_equal(a.injector()->events(), b.injector()->events(),
+                          "cluster fault logs");
+
+  // A structural fault discards every stage's recorded program at the next
+  // step boundary; both stages re-record (chunk-staggered) and recover.
+  f::FaultSpec dropout;
+  dropout.kind = f::FaultKind::ssd_dropout;
+  dropout.gpu = 0;
+  dropout.member = 0;
+  a.injector()->trigger(dropout);
+  EXPECT_EQ(a.run_step().combined.program_invalidations, 2u);
+  EXPECT_EQ(a.run_step().combined.program_invalidations, 0u);
+}
+
+}  // namespace

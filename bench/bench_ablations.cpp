@@ -12,10 +12,12 @@
 
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/runtime/program_cache.hpp"
 #include "ssdtrain/runtime/session.hpp"
 #include "ssdtrain/sweep/cli.hpp"
 #include "ssdtrain/sweep/runner.hpp"
@@ -35,6 +37,10 @@ namespace {
 bool g_use_replay = true;
 // --pp/--tp/--dp/--zero override each measured session's parallelism.
 sweep::CliOptions g_cli;
+// Shared program cache: repeated-config points skip their trace step, and
+// --program-cache DIR extends the sharing to sibling shard processes
+// (--no-program-cache disables it for cold-trace A/B runs).
+std::unique_ptr<rt::ProgramCache> g_program_cache;
 
 rt::SessionConfig base() {
   rt::SessionConfig config;
@@ -42,6 +48,7 @@ rt::SessionConfig base() {
   config.model = m::bert_config(12288, 3, 16);
   config.parallel.tensor_parallel = 2;
   g_cli.apply_parallel(config.parallel);
+  config.program_cache = g_program_cache.get();
   config.strategy = rt::Strategy::ssdtrain;
   return config;
 }
@@ -77,6 +84,10 @@ int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
   g_cli = options;
+  if (g_cli.program_cache_enabled()) {
+    g_program_cache = std::make_unique<rt::ProgramCache>(
+        rt::ProgramCacheConfig{g_cli.program_cache_dir});
+  }
 
   std::vector<Variant> variants;
   auto add = [&variants](std::string name,

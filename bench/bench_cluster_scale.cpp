@@ -13,11 +13,13 @@
 #include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/cluster_session.hpp"
+#include "ssdtrain/runtime/program_cache.hpp"
 #include "ssdtrain/sched/schedule.hpp"
 #include "ssdtrain/sweep/cli.hpp"
 #include "ssdtrain/sweep/runner.hpp"
@@ -40,6 +42,10 @@ namespace {
 bool g_use_replay = true;
 // --pp/--tp/--dp/--zero override each measured session's parallelism.
 sweep::CliOptions g_cli;
+// Shared program cache: repeated-config points skip their trace step, and
+// --program-cache DIR extends the sharing to sibling shard processes
+// (--no-program-cache disables it for cold-trace A/B runs).
+std::unique_ptr<rt::ProgramCache> g_program_cache;
 int g_measure_steps = 4;
 
 struct ScalePoint {
@@ -61,6 +67,7 @@ ScalePoint measure(const sweep::SweepPoint& point) {
   config.parallel.data_parallel = 2;
   config.parallel.zero = ssdtrain::parallel::ZeroStage::stage2;
   g_cli.apply_parallel(config.parallel);
+  config.program_cache = g_program_cache.get();
   config.strategy = rt::strategy_from(point.str("strategy"));
   if (g_cli.faults_enabled()) config.faults = g_cli.fault_config();
   config.micro_batches = 2 * pp;
@@ -87,6 +94,10 @@ int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
   g_cli = options;
+  if (g_cli.program_cache_enabled()) {
+    g_program_cache = std::make_unique<rt::ProgramCache>(
+        rt::ProgramCacheConfig{g_cli.program_cache_dir});
+  }
   const bool smoke =
       !options.positional.empty() && options.positional[0] == "smoke";
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <map>
 #include <string>
 #include <tuple>
@@ -20,6 +21,7 @@
 
 #include "ssdtrain/hw/device_allocator.hpp"
 #include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/runtime/program_cache.hpp"
 #include "ssdtrain/runtime/session.hpp"
 #include "ssdtrain/sweep/cli.hpp"
 #include "ssdtrain/sweep/runner.hpp"
@@ -42,6 +44,10 @@ namespace {
 bool g_use_replay = true;
 // --pp/--tp/--dp/--zero override each measured session's parallelism.
 sweep::CliOptions g_cli;
+// Shared program cache: repeated-config points skip their trace step, and
+// --program-cache DIR extends the sharing to sibling shard processes
+// (--no-program-cache disables it for cold-trace A/B runs).
+std::unique_ptr<rt::ProgramCache> g_program_cache;
 
 // The paper's three strategies plus the hybrid extension (checkpointing
 // whose checkpoints are offloaded): the minimum-memory corner.
@@ -60,6 +66,7 @@ RokPoint measure(const sweep::SweepPoint& point) {
   config.model = m::bert_config(point.i64("hidden"), 3, point.i64("batch"));
   config.parallel.tensor_parallel = 2;
   g_cli.apply_parallel(config.parallel);
+  config.program_cache = g_program_cache.get();
   config.strategy = rt::strategy_from(point.str("strategy"));
   RokPoint result;
   try {
@@ -133,6 +140,10 @@ int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
   g_cli = options;
+  if (g_cli.program_cache_enabled()) {
+    g_program_cache = std::make_unique<rt::ProgramCache>(
+        rt::ProgramCacheConfig{g_cli.program_cache_dir});
+  }
 
   std::vector<std::string> strategy_names;
   for (rt::Strategy s : kStrategies) {

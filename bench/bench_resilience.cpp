@@ -21,12 +21,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ssdtrain/fault/fault.hpp"
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/cluster_session.hpp"
+#include "ssdtrain/runtime/program_cache.hpp"
 #include "ssdtrain/sched/schedule.hpp"
 #include "ssdtrain/sweep/cli.hpp"
 #include "ssdtrain/sweep/runner.hpp"
@@ -48,6 +50,10 @@ namespace u = ssdtrain::util;
 namespace {
 
 sweep::CliOptions g_cli;
+// Shared program cache: repeated-config points skip their trace step, and
+// --program-cache DIR extends the sharing to sibling shard processes
+// (--no-program-cache disables it for cold-trace A/B runs).
+std::unique_ptr<rt::ProgramCache> g_program_cache;
 int g_measure_steps = 6;
 int g_recover_cap = 8;
 
@@ -73,6 +79,7 @@ ResiliencePoint measure(const sweep::SweepPoint& point) {
   config.model = m::bert_config(2048, 2 * pp, 4);
   config.parallel.pipeline_parallel = pp;
   g_cli.apply_parallel(config.parallel);
+  config.program_cache = g_program_cache.get();
   config.strategy = rt::strategy_from(point.str("strategy"));
   config.micro_batches = 2 * pp;
   config.schedule = sched::PipelineKind::one_f_one_b;
@@ -137,6 +144,10 @@ ResiliencePoint measure(const sweep::SweepPoint& point) {
 
 int main(int argc, char** argv) {
   g_cli = sweep::parse_cli(argc, argv);
+  if (g_cli.program_cache_enabled()) {
+    g_program_cache = std::make_unique<rt::ProgramCache>(
+        rt::ProgramCacheConfig{g_cli.program_cache_dir});
+  }
   const bool smoke =
       !g_cli.positional.empty() && g_cli.positional[0] == "smoke";
 

@@ -14,10 +14,12 @@
 #include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/runtime/program_cache.hpp"
 #include "ssdtrain/runtime/session.hpp"
 #include "ssdtrain/sweep/cli.hpp"
 #include "ssdtrain/sweep/runner.hpp"
@@ -38,6 +40,10 @@ namespace {
 bool g_use_replay = true;
 // --pp/--tp/--dp/--zero override each measured session's parallelism.
 sweep::CliOptions g_cli;
+// Shared program cache: repeated-config points skip their trace step, and
+// --program-cache DIR extends the sharing to sibling shard processes
+// (--no-program-cache disables it for cold-trace A/B runs).
+std::unique_ptr<rt::ProgramCache> g_program_cache;
 
 double run_point(const sweep::SweepPoint& point) {
   rt::SessionConfig config;
@@ -45,6 +51,7 @@ double run_point(const sweep::SweepPoint& point) {
   config.model = m::bert_config(8192, 2, point.i64("batch"));
   config.parallel.tensor_parallel = 2;
   g_cli.apply_parallel(config.parallel);
+  config.program_cache = g_program_cache.get();
   config.strategy = rt::strategy_from(point.str("strategy"));
   rt::TrainingSession session(std::move(config));
   session.run_step();
@@ -57,6 +64,10 @@ int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
   g_cli = options;
+  if (g_cli.program_cache_enabled()) {
+    g_program_cache = std::make_unique<rt::ProgramCache>(
+        rt::ProgramCacheConfig{g_cli.program_cache_dir});
+  }
 
   sweep::SweepSpec spec;
   spec.axis("strategy",

@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "ssdtrain/modules/model.hpp"
+#include "ssdtrain/runtime/program_cache.hpp"
 #include "ssdtrain/runtime/session.hpp"
 #include "ssdtrain/sweep/cli.hpp"
 #include "ssdtrain/sweep/runner.hpp"
@@ -35,6 +37,10 @@ namespace {
 bool g_use_replay = true;
 // --pp/--tp/--dp/--zero override each measured session's parallelism.
 sweep::CliOptions g_cli;
+// Shared program cache: repeated-config points skip their trace step, and
+// --program-cache DIR extends the sharing to sibling shard processes
+// (--no-program-cache disables it for cold-trace A/B runs).
+std::unique_ptr<rt::ProgramCache> g_program_cache;
 
 struct Case {
   std::int64_t hidden;
@@ -53,6 +59,7 @@ Offload measure(const Case& c) {
   config.model = m::bert_config(c.hidden, c.layers, 16);
   config.parallel.tensor_parallel = 2;
   g_cli.apply_parallel(config.parallel);
+  config.program_cache = g_program_cache.get();
   config.strategy = rt::Strategy::ssdtrain;
   rt::TrainingSession session(std::move(config));
   session.run_step();
@@ -71,6 +78,10 @@ int main(int argc, char** argv) {
   const auto options = sweep::parse_cli(argc, argv);
   g_use_replay = !options.no_replay;
   g_cli = options;
+  if (g_cli.program_cache_enabled()) {
+    g_program_cache = std::make_unique<rt::ProgramCache>(
+        rt::ProgramCacheConfig{g_cli.program_cache_dir});
+  }
 
   const std::vector<Case> cases = {{8192, 4}, {12288, 3}, {16384, 2}};
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ssdtrain/parallel/collectives.hpp"
+#include "ssdtrain/runtime/program_cache.hpp"
 #include "ssdtrain/util/check.hpp"
 #include "ssdtrain/util/label.hpp"
 #include "ssdtrain/util/logging.hpp"
@@ -30,7 +31,14 @@ struct ClusterSession::StageContext {
   /// This chunk's forwards/backwards in stage order, closed by its own
   /// optimizer command — the schedule its StepProgram is recorded against.
   std::vector<sched::Command> compute_schedule;
-  std::unique_ptr<StepProgram> program;
+  /// The active program: this stage's sealed recording, or a program-cache
+  /// hit (possibly recorded by another process).
+  std::shared_ptr<const StepProgram> program;
+  /// In-flight recording; promoted to `program` when it seals replayable.
+  std::shared_ptr<StepProgram> recording;
+  /// This stage's program-cache fingerprint (empty without a cache).
+  ProgramKey cache_key;
+  bool program_from_cache = false;
   bool replay_dead = false;  ///< recording came back non-replayable
 
   // Per-step driver state.
@@ -334,6 +342,11 @@ util::Bytes ClusterSession::build_stage(int virtual_stage) {
     }
   }
   ctx.compute_schedule.push_back({sched::CommandKind::optimizer_step, 0, 0});
+
+  if (config_.program_cache != nullptr && config_.use_replay) {
+    ctx.cache_key = stage_program_key(config_, node_->config(), virtual_stage,
+                                      ctx.compute_schedule);
+  }
 
   const bool offloading = config_.strategy == Strategy::ssdtrain ||
                           config_.strategy == Strategy::ssdtrain_cpu ||
@@ -734,10 +747,29 @@ ClusterStepStats ClusterSession::run_step() {
     lane.busy_start = node_->gpu(s).compute_stream->busy_time();
   }
 
+  const bool cache_usable =
+      config_.program_cache != nullptr && config_.use_replay &&
+      (injector_ == nullptr || injector_->structural_epoch() == 0);
   for (auto& ctx : contexts_) {
     ctx.cursor = 0;
     ctx.pre_optimizer.reset();
     ctx.step_end.reset();
+    if (config_.use_replay && !ctx.replay_dead && ctx.program == nullptr &&
+        cache_usable) {
+      // Program-cache lookup before deciding to record: a hit (from this
+      // process or a sibling shard's cache directory) puts the stage
+      // straight into replay — it never traces, so the executor
+      // materializes the cached weight set first.
+      std::shared_ptr<const StepProgram> cached =
+          config_.program_cache->lookup(ctx.cache_key);
+      if (cached != nullptr && cached->replayable &&
+          cached->schedule == ctx.compute_schedule &&
+          cached->uses_cache == (ctx.cache != nullptr)) {
+        ctx.executor->materialize_weights(*cached);
+        ctx.program = std::move(cached);
+        ctx.program_from_cache = true;
+      }
+    }
     if (!config_.use_replay || ctx.replay_dead) {
       ctx.mode = StageContext::Mode::trace;
     } else if (ctx.program != nullptr) {
@@ -750,8 +782,8 @@ ClusterStepStats ClusterSession::run_step() {
       ctx.mode = StageContext::Mode::trace;
     }
     if (ctx.mode == StageContext::Mode::record) {
-      ctx.program = std::make_unique<StepProgram>();
-      ctx.executor->start_recording(*ctx.program, ctx.compute_schedule);
+      ctx.recording = std::make_shared<StepProgram>();
+      ctx.executor->start_recording(*ctx.recording, ctx.compute_schedule);
     }
     ctx.baseline =
         ctx.mode == StageContext::Mode::replay
@@ -857,14 +889,20 @@ ClusterStepStats ClusterSession::run_step() {
   for (auto& ctx : contexts_) {
     if (ctx.mode != StageContext::Mode::record) continue;
     ctx.executor->finish_recording();
-    if (!ctx.program->replayable) {
+    if (!ctx.recording->replayable) {
       util::log_warning(
           "stage replay disabled (gpu " + std::to_string(ctx.gpu) +
           ", chunk " + std::to_string(ctx.chunk) +
-          "): " + ctx.program->invalid_reason);
+          "): " + ctx.recording->invalid_reason);
       ctx.replay_dead = true;
-      ctx.program.reset();
+    } else {
+      if (cache_usable &&
+          (injector_ == nullptr || injector_->structural_epoch() == 0)) {
+        config_.program_cache->store(ctx.cache_key, ctx.recording);
+      }
+      ctx.program = std::move(ctx.recording);
     }
+    ctx.recording.reset();
   }
   for (auto& ctx : contexts_) {
     if (ctx.mode == StageContext::Mode::replay) {

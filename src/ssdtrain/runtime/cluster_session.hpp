@@ -62,6 +62,11 @@ struct ClusterConfig {
   /// chunk c records on step c, one recorder per GPU at a time) and
   /// replays its compact program afterwards.
   bool use_replay = true;
+  /// Optional shared program cache (requires use_replay), consulted per
+  /// virtual stage: a stage whose fingerprint hits skips its recording step
+  /// and replays from step 0. Mirrors SessionConfig::program_cache,
+  /// including the stop-on-structural-fault rule. Not owned.
+  ProgramCache* program_cache = nullptr;
   /// Launch/hop latency of pipeline sends and DP collectives.
   util::Seconds fabric_hop_latency = util::us(5);
   /// Per-GPU DP-fabric link bandwidth (NIC class; the DP group crosses

@@ -75,6 +75,7 @@ tensor::Tensor Executor::weight(const std::string& key,
   weight_grad_bytes_ += w.bytes();
   if (cache_ != nullptr) cache_->register_weight(w);
   weights_.emplace(key, w);
+  weight_order_.push_back(key);
   return w;
 }
 
@@ -495,6 +496,7 @@ void Executor::begin_recorded_command() {
 void Executor::finish_recording() {
   if (recorder_owned_ == nullptr) return;
   if (!recorder_owned_->finalized()) recorder_owned_->finalize();
+  snapshot_weights(recorder_owned_->program());
   if (cache_ != nullptr) cache_->set_trace_recorder(nullptr);
   recorder_ = nullptr;
   recorder_owned_.reset();
@@ -520,7 +522,24 @@ StepStats Executor::record_step(modules::Model& model,
   }
   recorder_ = nullptr;
   if (cache_ != nullptr) cache_->set_trace_recorder(nullptr);
+  snapshot_weights(program);
   return stats;
+}
+
+void Executor::snapshot_weights(StepProgram& program) const {
+  program.weights.clear();
+  program.weights.reserve(weight_order_.size());
+  for (const std::string& key : weight_order_) {
+    const tensor::Tensor& w = weights_.at(key);
+    program.weights.push_back(
+        {key, w.shape(), static_cast<std::uint8_t>(w.dtype())});
+  }
+}
+
+void Executor::materialize_weights(const StepProgram& program) {
+  for (const StepProgram::WeightInit& w : program.weights) {
+    (void)weight(w.key, w.shape, static_cast<tensor::DType>(w.dtype));
+  }
 }
 
 void Executor::replay_kernel(const StepProgram& program,

@@ -164,6 +164,18 @@ class Executor final : public modules::ExecutionContext {
   /// Seals the recording (no-op when none is active).
   void finish_recording();
 
+  /// Copies the executor's weight table (in creation order) into
+  /// program.weights. Called when a recording is sealed, so serialized
+  /// programs carry enough to rebuild the weights in a fresh process.
+  void snapshot_weights(StepProgram& program) const;
+
+  /// Pre-creates every weight in program.weights (a no-op for keys that
+  /// already exist): a cache-hit replay in a cold process then starts from
+  /// the same device state — weights and gradient buffers live — as the
+  /// warm session that recorded the program, so allocator peaks and
+  /// weights_live match bit for bit.
+  void materialize_weights(const StepProgram& program);
+
   /// Multi-executor simulator bracket; nullptr restores the single-executor
   /// behaviour (bracketing only this executor's own recorder).
   void set_sim_guard(SimGuard* guard) { sim_guard_ = guard; }
@@ -244,6 +256,7 @@ class Executor final : public modules::ExecutionContext {
   SimGuard* sim_guard_ = nullptr;
   std::vector<const graph::SavedTensorHooks*> hook_stack_;
   std::map<std::string, tensor::Tensor> weights_;
+  std::vector<std::string> weight_order_;  ///< keys in creation order
   util::Bytes weight_grad_bytes_ = 0;
   std::vector<tensor::Tensor> pending_ready_;
   std::deque<sim::CompletionPtr> stage_input_ready_;

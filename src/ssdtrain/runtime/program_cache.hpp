@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file program_cache.hpp
+/// Cross-session, cross-process StepProgram cache. Since PR 5 every session
+/// pays one full trace step before replay kicks in; in a sweep, any two
+/// points sharing a (workload, schedule, parallel, strategy, machine)
+/// configuration pay that trace redundantly. The ProgramCache keys recorded
+/// programs by a canonical fingerprint of everything that shapes a trace
+/// and serves them back, so a repeated-config point — in this process or in
+/// a sibling shard process — goes straight to replay.
+///
+/// Two tiers:
+///   * in-process — a mutex-guarded map of shared_ptr<const StepProgram>;
+///     sweep workers on many threads share one instance.
+///   * on-disk (optional, --program-cache DIR in the benches) — one file
+///     per key (program_serdes format), written atomically via
+///     rename-on-write so concurrent shard processes never observe a torn
+///     file. Corrupt, wrong-version, or wrong-fingerprint files are
+///     ignored (counted in stats().disk_rejects) and the point re-traces.
+///
+/// The ProgramKey is the *full canonical key text*, not just its hash: the
+/// hash only names the file, and the text stored inside the file must match
+/// the looked-up key exactly, so a hash collision degrades to a miss.
+///
+/// Fault interaction: a structural-fault epoch bump (PR 7) invalidates
+/// recorded programs exactly as before — the sessions additionally stop
+/// consulting and feeding the cache once a structural fault has fired,
+/// because the degraded machine state is not captured by the key. The
+/// fault spec text and seed *are* part of the key, so fault-run traces
+/// never collide with clean-run entries.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ssdtrain/hw/node.hpp"
+#include "ssdtrain/runtime/step_program.hpp"
+#include "ssdtrain/sched/schedule.hpp"
+
+namespace ssdtrain::runtime {
+
+struct SessionConfig;  // session.hpp (which points back at ProgramCache)
+struct ClusterConfig;  // cluster_session.hpp
+
+/// Canonical fingerprint of one trace-shaping configuration. `text` is the
+/// complete human-readable key (stored verbatim in cache files for exact
+/// validation); `hash` is its FNV-1a digest (the file name).
+struct ProgramKey {
+  std::string text;
+  std::uint64_t hash = 0;
+
+  [[nodiscard]] static ProgramKey from_text(std::string text);
+};
+
+/// The fingerprint of everything that shapes a TrainingSession's recorded
+/// program: model + workload spec, parallel config, the full machine
+/// (GPU/PCIe/SSD-array/host specs), strategy, schedule, the SSDTrain knobs
+/// that planner and cache read, and the fault configuration.
+[[nodiscard]] ProgramKey session_program_key(const SessionConfig& config);
+
+/// The per-virtual-stage fingerprint for a ClusterSession: the session
+/// fields plus the resolved node, the stage index and its layer slice, the
+/// pipeline schedule kind, the stage's own compute schedule, and the
+/// cluster fabric knobs.
+[[nodiscard]] ProgramKey stage_program_key(
+    const ClusterConfig& config, const hw::NodeConfig& node,
+    int virtual_stage, const std::vector<sched::Command>& compute_schedule);
+
+struct ProgramCacheConfig {
+  /// On-disk store directory (created on first write). Empty = in-process
+  /// tier only.
+  std::string directory;
+};
+
+struct ProgramCacheStats {
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;        ///< programs inserted (both tiers)
+  std::uint64_t disk_rejects = 0;  ///< corrupt/stale/mismatched files seen
+  std::uint64_t disk_errors = 0;   ///< I/O failures writing the disk tier
+};
+
+/// Thread-safe; one instance is shared by every session a sweep builds
+/// (and, through the directory, by every shard process).
+class ProgramCache {
+ public:
+  ProgramCache() = default;
+  explicit ProgramCache(ProgramCacheConfig config);
+
+  /// The cached program for \p key, consulting memory then disk; null on
+  /// miss. A disk hit is promoted into the in-process tier.
+  [[nodiscard]] std::shared_ptr<const StepProgram> lookup(
+      const ProgramKey& key);
+
+  /// Inserts \p program under \p key (both tiers; the file write is
+  /// atomic rename-on-write). Only replayable programs may be stored.
+  void store(const ProgramKey& key,
+             std::shared_ptr<const StepProgram> program);
+
+  [[nodiscard]] ProgramCacheStats stats() const;
+  [[nodiscard]] bool has_directory() const { return !directory_.empty(); }
+  [[nodiscard]] const std::string& directory() const { return directory_; }
+
+  /// The on-disk file a key maps to ("<dir>/prog-<hash hex>.sprog");
+  /// meaningful only with a directory configured. Exposed for tests and
+  /// tooling.
+  [[nodiscard]] std::string entry_path(const ProgramKey& key) const;
+
+ private:
+  std::string directory_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const StepProgram>> memory_;
+  ProgramCacheStats stats_;
+};
+
+}  // namespace ssdtrain::runtime

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ssdtrain/runtime/program_cache.hpp"
 #include "ssdtrain/util/check.hpp"
 #include "ssdtrain/util/logging.hpp"
 
@@ -33,10 +34,16 @@ Strategy strategy_from(std::string_view name) {
   return Strategy::keep_in_gpu;  // unreachable
 }
 
+TrainingSession::~TrainingSession() = default;
+
 TrainingSession::TrainingSession(SessionConfig config)
     : config_(std::move(config)) {
   config_.parallel.validate();
   replay_active_ = config_.use_replay;
+  if (config_.program_cache != nullptr && config_.use_replay) {
+    program_key_ =
+        std::make_unique<ProgramKey>(session_program_key(config_));
+  }
   // Computed once: the schedule is part of the session's identity (a
   // recorded StepProgram is valid only for this exact command sequence),
   // and replayed steps must not allocate for it.
@@ -129,6 +136,14 @@ TrainingSession::TrainingSession(SessionConfig config)
   }
 }
 
+bool TrainingSession::cache_usable() const {
+  // After a structural fault the live machine (and the offloader's view of
+  // it) no longer matches the configuration fingerprint, so clean-machine
+  // cache entries must be neither used nor created.
+  return config_.program_cache != nullptr && program_key_ != nullptr &&
+         (injector_ == nullptr || injector_->structural_epoch() == 0);
+}
+
 void TrainingSession::rebalance_after_fault() {
   if (!plan_.has_value() || cache_ == nullptr || config_.budget_override) {
     return;
@@ -175,16 +190,41 @@ StepStats TrainingSession::run_step() {
     // path for the rest of the session.
     stats = executor_->run_step(*model_, schedule);
   } else {
-    // First step: trace through the module tree while compiling the
-    // program; every later step replays it.
-    auto program = std::make_unique<StepProgram>();
-    stats = executor_->record_step(*model_, schedule, *program);
-    if (program->replayable) {
-      program_ = std::move(program);
+    // First step. A program-cache hit (this process or a sibling shard's
+    // disk entry) skips the trace entirely: the executor materializes the
+    // cached weight set and replays from step 0. Otherwise trace through
+    // the module tree while compiling the program — every later step
+    // replays it — and publish the recording for the next same-config
+    // session.
+    std::shared_ptr<const StepProgram> cached;
+    if (cache_usable()) {
+      cached = config_.program_cache->lookup(*program_key_);
+      if (cached != nullptr &&
+          (!cached->replayable || cached->schedule != schedule_ ||
+           cached->uses_cache != (cache_ != nullptr))) {
+        // A key collision or stale entry that slipped past the fingerprint
+        // (should not happen; belt and braces) — treat as a miss.
+        cached = nullptr;
+      }
+    }
+    if (cached != nullptr) {
+      executor_->materialize_weights(*cached);
+      program_ = std::move(cached);
+      program_from_cache_ = true;
+      stats = executor_->replay(*program_, schedule);
     } else {
-      replay_active_ = false;
-      util::log_warning("step replay disabled for this session: " +
-                        program->invalid_reason);
+      auto program = std::make_shared<StepProgram>();
+      stats = executor_->record_step(*model_, schedule, *program);
+      if (program->replayable) {
+        if (cache_usable()) {
+          config_.program_cache->store(*program_key_, program);
+        }
+        program_ = std::move(program);
+      } else {
+        replay_active_ = false;
+        util::log_warning("step replay disabled for this session: " +
+                          program->invalid_reason);
+      }
     }
   }
   if (offloader_ != nullptr) {

@@ -24,6 +24,9 @@
 
 namespace ssdtrain::runtime {
 
+class ProgramCache;  // program_cache.hpp
+struct ProgramKey;   // program_cache.hpp
+
 /// Activation-placement strategy (the three corners of the paper's
 /// recompute-offload-keep design space, plus the CPU-offload variant).
 enum class Strategy {
@@ -60,6 +63,15 @@ struct SessionConfig {
   /// on every step for A/B comparison.
   bool use_replay = true;
 
+  /// Optional shared program cache (requires use_replay). When set, the
+  /// session looks its configuration fingerprint up before tracing — a hit
+  /// (from this process or a cache directory another process populated)
+  /// replays from step 0 and never traces — and publishes its own recording
+  /// on a miss. Once a structural fault fires the session stops consulting
+  /// and feeding the cache (the degraded machine is not part of the key).
+  /// Not owned; must outlive the session.
+  ProgramCache* program_cache = nullptr;
+
   // SSDTrain knobs (ablations):
   bool use_gds = true;
   bool forwarding = true;
@@ -81,6 +93,7 @@ struct SessionConfig {
 class TrainingSession {
  public:
   explicit TrainingSession(SessionConfig config);
+  ~TrainingSession();
   TrainingSession(const TrainingSession&) = delete;
   TrainingSession& operator=(const TrainingSession&) = delete;
 
@@ -107,6 +120,10 @@ class TrainingSession {
   /// use_replay = false).
   [[nodiscard]] const StepProgram* program() const { return program_.get(); }
 
+  /// True when the active program came from the program cache rather than
+  /// this session's own trace (it never traced).
+  [[nodiscard]] bool program_from_cache() const { return program_from_cache_; }
+
   /// Null unless config.faults has specs. Benches and tests use it to
   /// trigger structural faults at step boundaries and read the fault log.
   [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
@@ -116,6 +133,8 @@ class TrainingSession {
   /// RAID member shrinks the array's sustainable write bandwidth) and
   /// installs the rebalanced budget into the live cache.
   void rebalance_after_fault();
+  /// A cache is configured and no structural fault has fired yet.
+  [[nodiscard]] bool cache_usable() const;
 
   SessionConfig config_;
   std::unique_ptr<hw::TrainingNode> node_;
@@ -125,7 +144,9 @@ class TrainingSession {
   std::unique_ptr<core::Offloader> offloader_;
   std::unique_ptr<core::TensorCache> cache_;
   std::optional<core::OffloadPlan> plan_;
-  std::unique_ptr<StepProgram> program_;
+  std::shared_ptr<const StepProgram> program_;
+  std::unique_ptr<ProgramKey> program_key_;  ///< set iff a cache is attached
+  bool program_from_cache_ = false;
   std::vector<sched::Command> schedule_;
   bool replay_active_ = false;  ///< false after a non-replayable recording
   std::unique_ptr<fault::FaultInjector> injector_;

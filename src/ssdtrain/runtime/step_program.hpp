@@ -83,11 +83,26 @@ struct StepProgram {
     double y = 0.0;           ///< flops
   };
 
+  /// One executor weight (and its persistent gradient buffer). Weights are
+  /// created lazily by the module tree on the trace step and live across
+  /// steps, so a warm session's replay finds them already on the device. A
+  /// cold process replaying a *deserialized* program never runs that lazy
+  /// path; the executor snapshots its weight table here when a recording
+  /// is sealed, and Executor::materialize_weights pre-creates the entries
+  /// on a program-cache hit so allocator live/peak bytes match a warm
+  /// session exactly.
+  struct WeightInit {
+    std::string key;
+    tensor::TensorShape shape;
+    std::uint8_t dtype = 0;
+  };
+
   std::vector<Op> ops;
   std::vector<std::uint32_t> aux;  ///< dep-slot and prefetch-entry lists
   std::vector<util::Label> labels;
   std::vector<tensor::TensorShape> shapes;
   std::vector<core::TensorCache::ReplayEntryInit> entries;
+  std::vector<WeightInit> weights;  ///< creation-order executor weights
   std::uint32_t slot_count = 0;
   std::vector<sched::Command> schedule;
   bool uses_cache = false;
@@ -146,6 +161,10 @@ class StepRecorder final : public core::TensorCache::TraceRecorder {
   /// last op-stream use, and validates replayability.
   void finalize();
   [[nodiscard]] bool finalized() const { return finalized_; }
+
+  /// The program being compiled (the executor seals weight snapshots into
+  /// it after finalize).
+  [[nodiscard]] StepProgram& program() { return program_; }
 
   // -- core::TensorCache::TraceRecorder --------------------------------------
   void cache_pack_passthrough(core::TensorCache::PassKind kind) override;

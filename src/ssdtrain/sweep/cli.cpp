@@ -53,6 +53,37 @@ parallel::ZeroStage parse_zero_stage(const char* text) {
   return parallel::ZeroStage::none;  // unreachable
 }
 
+// "I/N" with 0 <= I < N and N in [1, 4096].
+void parse_shard(const char* text, CliOptions& options) {
+  const std::string_view value = text;
+  const std::size_t slash = value.find('/');
+  util::expects(slash != std::string_view::npos && slash > 0 &&
+                    slash + 1 < value.size(),
+                "--shard expects I/N (e.g. 0/2), got '" + std::string(value) +
+                    "'");
+  const std::string index_text(value.substr(0, slash));
+  const std::string count_text(value.substr(slash + 1));
+  char* end = nullptr;
+  errno = 0;
+  const long index = std::strtol(index_text.c_str(), &end, 10);
+  util::expects(end != index_text.c_str() && *end == '\0' &&
+                    errno != ERANGE && index >= 0,
+                "--shard index must be a non-negative integer, got '" +
+                    index_text + "'");
+  end = nullptr;
+  errno = 0;
+  const long count = std::strtol(count_text.c_str(), &end, 10);
+  util::expects(end != count_text.c_str() && *end == '\0' &&
+                    errno != ERANGE && count >= 1 && count <= 4096,
+                "--shard count must be an integer in [1, 4096], got '" +
+                    count_text + "'");
+  util::expects(index < count, "--shard index " + index_text +
+                                   " out of range for " + count_text +
+                                   " shards");
+  options.shard_index = static_cast<int>(index);
+  options.shard_count = static_cast<int>(count);
+}
+
 }  // namespace
 
 CliOptions parse_cli(int argc, char** argv) {
@@ -121,6 +152,16 @@ CliOptions parse_cli(int argc, char** argv) {
                     "--fault-seed expects a non-negative integer, got '" +
                         std::string(text) + "'");
       options.fault_seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--shard") {
+      util::expects(i + 1 < argc, "--shard requires I/N");
+      parse_shard(argv[++i], options);
+    } else if (arg == "--program-cache") {
+      util::expects(i + 1 < argc, "--program-cache requires a directory");
+      options.program_cache_dir = argv[++i];
+      util::expects(!options.program_cache_dir.empty(),
+                    "--program-cache directory is empty");
+    } else if (arg == "--no-program-cache") {
+      options.no_program_cache = true;
     } else if (arg == "--retries") {
       util::expects(i + 1 < argc, "--retries requires a count");
       const char* text = argv[++i];
@@ -139,7 +180,8 @@ CliOptions parse_cli(int argc, char** argv) {
                         "--points a=1,b=2, --point-timeout S, --retries N, "
                         "--no-replay, --pp N, --tp N, --dp N, "
                         "--zero none|1|2|3, --faults SPECS, "
-                        "--fault-seed N)");
+                        "--fault-seed N, --shard I/N, "
+                        "--program-cache DIR, --no-program-cache)");
     } else {
       options.positional.emplace_back(arg);
     }
@@ -158,22 +200,39 @@ bool matches_point_filter(const CliOptions& options,
 
 std::vector<SweepPoint> select_points(const SweepSpec& spec,
                                       const CliOptions& options) {
-  std::vector<SweepPoint> points = spec.points();
-  if (!options.points_enabled()) return points;
-  const std::vector<std::string> names = spec.axis_names();
-  for (const auto& [axis, value] : options.point_filter) {
-    (void)value;
-    util::expects(std::find(names.begin(), names.end(), axis) != names.end(),
-                  "--points names unknown axis '" + axis + "'");
-  }
-  std::vector<SweepPoint> selected;
-  for (SweepPoint& point : points) {
-    if (matches_point_filter(options, point)) {
-      selected.push_back(std::move(point));
+  std::vector<SweepPoint> selected = spec.points();
+  if (options.points_enabled()) {
+    const std::vector<std::string> names = spec.axis_names();
+    for (const auto& [axis, value] : options.point_filter) {
+      (void)value;
+      util::expects(
+          std::find(names.begin(), names.end(), axis) != names.end(),
+          "--points names unknown axis '" + axis + "'");
     }
+    std::vector<SweepPoint> filtered;
+    for (SweepPoint& point : selected) {
+      if (matches_point_filter(options, point)) {
+        filtered.push_back(std::move(point));
+      }
+    }
+    util::check(!filtered.empty(),
+                "--points selection matches no grid cell");
+    selected = std::move(filtered);
   }
-  util::check(!selected.empty(),
-              "--points selection matches no grid cell");
+  if (options.sharded()) {
+    // Deterministic round-robin partition of the (filtered) selection:
+    // sweep_merge's interleave is exactly the inverse, restoring the
+    // canonical single-process order. A shard may come up empty when there
+    // are more shards than points — it writes a header-only CSV.
+    std::vector<SweepPoint> shard;
+    for (std::size_t j = 0; j < selected.size(); ++j) {
+      if (j % static_cast<std::size_t>(options.shard_count) ==
+          static_cast<std::size_t>(options.shard_index)) {
+        shard.push_back(std::move(selected[j]));
+      }
+    }
+    selected = std::move(shard);
+  }
   return selected;
 }
 

@@ -32,6 +32,22 @@
 ///                       builds; unset = no injector, byte-identical output
 ///   --fault-seed N      seed for the injector's RNG (default 0); identical
 ///                       seeds reproduce bit-identical fault runs
+///   --shard I/N         run only this process's 1/N slice of the grid:
+///                       after --points filtering, position j of the
+///                       selection belongs to shard j mod N. Shards are
+///                       independent OS processes; tools/sweep_merge
+///                       reassembles their CSVs into the canonical
+///                       single-process row order, byte-identically
+///   --program-cache DIR persistent StepProgram store shared across
+///                       processes: sessions consult DIR before tracing and
+///                       publish new recordings there (atomic
+///                       rename-on-write), so sibling shards and later runs
+///                       skip the trace step of any configuration already
+///                       seen
+///   --no-program-cache  disable the in-process program cache the benches
+///                       share across their sweep points by default (the
+///                       A/B switch for cold-trace comparisons; results are
+///                       bit-identical either way)
 /// plus its own positional arguments, which are passed through untouched.
 
 #include <cstddef>
@@ -64,8 +80,21 @@ struct CliOptions {
   /// --faults spec text (empty = injection disabled) and --fault-seed.
   std::string faults;
   std::uint64_t fault_seed = 0;
+  /// --shard I/N slice of the (filtered) grid this process runs.
+  int shard_index = 0;
+  int shard_count = 1;
+  /// --program-cache directory (empty = in-process tier only) and the
+  /// --no-program-cache kill switch.
+  std::string program_cache_dir;
+  bool no_program_cache = false;
 
   [[nodiscard]] bool csv_enabled() const { return !csv_path.empty(); }
+  [[nodiscard]] bool sharded() const { return shard_count > 1; }
+  /// Benches wire a shared ProgramCache into every session unless the
+  /// cold-trace A/B switch is on.
+  [[nodiscard]] bool program_cache_enabled() const {
+    return !no_program_cache;
+  }
   [[nodiscard]] bool faults_enabled() const { return !faults.empty(); }
 
   /// Parsed --faults/--fault-seed as the config sessions take. Parse errors
@@ -107,10 +136,13 @@ CliOptions parse_cli(int argc, char** argv);
 /// without --points). Constraint keys must name axes of the point.
 bool matches_point_filter(const CliOptions& options, const SweepPoint& point);
 
-/// The spec's grid restricted to the --points selection; the whole grid
-/// when no --points was given. Constraint keys are validated against the
-/// spec's axis names, and an empty selection is a contract violation (the
-/// requested cell does not exist).
+/// The spec's grid restricted to the --points selection (whole grid when no
+/// --points was given), then to this process's --shard slice: position j of
+/// the selection belongs to shard j mod shard_count, preserving order.
+/// Constraint keys are validated against the spec's axis names, and an
+/// empty --points selection is a contract violation (the requested cell
+/// does not exist); an empty *shard* of a non-empty selection is fine (more
+/// shards than points).
 std::vector<SweepPoint> select_points(const SweepSpec& spec,
                                       const CliOptions& options);
 

@@ -1,6 +1,7 @@
 #include "ssdtrain/sweep/resume.hpp"
 
 #include <fstream>
+#include <sstream>
 
 #include "ssdtrain/util/check.hpp"
 
@@ -40,11 +41,24 @@ CsvResume::CsvResume(const std::string& path,
                      std::vector<std::string> key_columns)
     : key_columns_(std::move(key_columns)) {
   util::expects(!key_columns_.empty(), "resume needs at least one key column");
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in.good()) return;  // nothing to resume from
-  std::string line;
-  if (!std::getline(in, line)) return;  // empty file
-  const std::vector<std::string> header = split_csv_line(line);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  // Complete ('\n'-terminated) lines only: a run killed mid-write leaves an
+  // unterminated tail that may hold the right number of commas with a
+  // truncated final cell — getline would hand it over looking whole, and
+  // counting it as completed would skip the interrupted point forever.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t nl = content.find('\n', start);
+       nl != std::string::npos; nl = content.find('\n', start)) {
+    lines.emplace_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.empty()) return;  // empty file, or not even a finished header
+  const std::vector<std::string> header = split_csv_line(lines.front());
   util::check(header.size() >= key_columns_.size(),
               "existing CSV '" + path + "' has fewer columns than the "
               "sweep's key columns — refusing to resume into it");
@@ -56,13 +70,11 @@ CsvResume::CsvResume(const std::string& path,
                     "' — refusing to resume into a different sweep's file");
   }
   resuming_ = true;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::vector<std::string> cells = split_csv_line(line);
-    // A point only counts as completed when the whole row made it to disk:
-    // a run killed mid-write can leave a tail row holding the key columns
-    // but not the metrics, and marking it done would skip the point
-    // forever.
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    std::vector<std::string> cells = split_csv_line(lines[i]);
+    // Second completeness gate: a terminated row that still lost cells
+    // (torn write) must not mark its point done either.
     if (cells.size() < header.size()) continue;
     cells.resize(key_columns_.size());
     seen_.insert(std::move(cells));

@@ -1,5 +1,7 @@
 #include "ssdtrain/util/csv.hpp"
 
+#include <filesystem>
+#include <sstream>
 #include <stdexcept>
 
 #include "ssdtrain/util/check.hpp"
@@ -22,19 +24,36 @@ bool ends_with_newline(const std::string& path) {
   return last == '\n';
 }
 
+/// Byte length of the longest prefix of the file made of complete
+/// ('\n'-terminated) lines; 0 when no line ever finished.
+std::size_t complete_prefix_size(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return 0;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  const std::size_t last = content.find_last_of('\n');
+  return last == std::string::npos ? 0 : last + 1;
+}
+
 }  // namespace
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header, bool append)
     : columns_(header.size()) {
   expects(!header.empty(), "CSV needs at least one column");
-  const bool resume = append && has_content(path);
-  // An interrupted earlier run can leave an unterminated partial row;
-  // close it off so appended rows do not merge into it.
-  const bool needs_newline = resume && !ends_with_newline(path);
+  bool resume = append && has_content(path);
+  if (resume && !ends_with_newline(path)) {
+    // A run killed mid-write can leave an unterminated partial row (which a
+    // resume scan must not count as done, and which must not survive into
+    // the resumed file — the repaired file has to be byte-identical to a
+    // clean run's). Truncate it away; the interrupted point re-runs.
+    const std::size_t keep = complete_prefix_size(path);
+    std::filesystem::resize_file(path, keep);
+    if (keep == 0) resume = false;  // not even the header survived
+  }
   out_.open(path, resume ? std::ios::out | std::ios::app : std::ios::out);
   if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
-  if (needs_newline) out_ << "\n";
   if (!resume) write_row(header);
 }
 

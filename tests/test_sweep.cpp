@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "ssdtrain/sweep/cli.hpp"
 #include "ssdtrain/sweep/resume.hpp"
@@ -494,19 +495,68 @@ TEST(SweepResume, TruncatedTailRowIsNotTreatedAsCompleted) {
   EXPECT_TRUE(resume.contains({"8192", "4"}));
   EXPECT_FALSE(resume.contains({"8192", "8"}));  // must be re-run
 
-  // Appending closes off the partial line before writing new rows.
+  // Appending truncates the torn tail away before writing, so the repaired
+  // file is byte-identical to one a clean run would have produced.
   {
     u::CsvWriter csv(tmp.path, {"hidden", "batch", "result"},
                      /*append=*/true);
     csv.add_row({"8192", "8", "2.0"});
   }
-  std::ifstream in(tmp.path);
-  std::string line;
-  std::vector<std::string> lines;
-  while (std::getline(in, line)) lines.push_back(line);
-  ASSERT_EQ(lines.size(), 4u);
-  EXPECT_EQ(lines[2], "8192,8");        // old partial row left intact
-  EXPECT_EQ(lines[3], "8192,8,2.0");    // new row on its own line
+  std::ifstream in(tmp.path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "hidden,batch,result\n8192,4,1.0\n8192,8,2.0\n");
+}
+
+TEST(SweepResume, TruncatedFinalCellIsNotTreatedAsCompleted) {
+  // The nastier mid-write kill: the tail row carries the header's full
+  // comma count with only its last cell truncated ("2." of "2.75") and no
+  // trailing newline. A getline-based scan sees a complete-looking row and
+  // would skip the interrupted point forever — the regression this test
+  // pins down.
+  TempCsv tmp("sweep_resume_truncated_cell.csv");
+  {
+    std::ofstream out(tmp.path, std::ios::binary);
+    out << "hidden,batch,result\n";
+    out << "8192,4,1.0\n";
+    out << "8192,8,2.";  // killed mid-metric, right comma count
+  }
+  sweep::CsvResume resume(tmp.path, {"hidden", "batch"});
+  EXPECT_EQ(resume.completed(), 1u);
+  EXPECT_TRUE(resume.contains({"8192", "4"}));
+  EXPECT_FALSE(resume.contains({"8192", "8"}));  // must be re-run
+
+  // Re-running the point repairs the file to the clean-run bytes.
+  {
+    u::CsvWriter csv(tmp.path, {"hidden", "batch", "result"},
+                     /*append=*/true);
+    csv.add_row({"8192", "8", "2.75"});
+  }
+  std::ifstream in(tmp.path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "hidden,batch,result\n8192,4,1.0\n8192,8,2.75\n");
+}
+
+TEST(SweepResume, FileTruncatedInsideHeaderStartsFresh) {
+  TempCsv tmp("sweep_resume_torn_header.csv");
+  {
+    std::ofstream out(tmp.path, std::ios::binary);
+    out << "hidden,bat";  // killed while writing the header itself
+  }
+  sweep::CsvResume resume(tmp.path, {"hidden", "batch"});
+  EXPECT_FALSE(resume.resuming());
+  EXPECT_EQ(resume.completed(), 0u);
+
+  {
+    u::CsvWriter csv(tmp.path, {"hidden", "batch", "result"},
+                     /*append=*/true);
+    csv.add_row({"8192", "4", "1.0"});
+  }
+  std::ifstream in(tmp.path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "hidden,batch,result\n8192,4,1.0\n");
 }
 
 TEST(SweepResume, MissingFileMeansNothingToSkip) {
@@ -551,4 +601,81 @@ TEST(SweepCli, DefaultsAndErrors) {
   const char* unknown[] = {"bench", "--frobnicate"};
   EXPECT_THROW(sweep::parse_cli(2, const_cast<char**>(unknown)),
                u::ContractViolation);
+}
+
+TEST(SweepCli, ParsesShardAndProgramCacheFlags) {
+  const char* argv[] = {"bench", "--shard", "1/4", "--program-cache",
+                        "/tmp/progs"};
+  const auto options = sweep::parse_cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(options.shard_index, 1);
+  EXPECT_EQ(options.shard_count, 4);
+  EXPECT_TRUE(options.sharded());
+  EXPECT_EQ(options.program_cache_dir, "/tmp/progs");
+  EXPECT_TRUE(options.program_cache_enabled());
+
+  const char* off[] = {"bench", "--no-program-cache"};
+  const auto disabled = sweep::parse_cli(2, const_cast<char**>(off));
+  EXPECT_FALSE(disabled.program_cache_enabled());
+  EXPECT_FALSE(disabled.sharded());
+
+  const char* out_of_range[] = {"bench", "--shard", "2/2"};
+  EXPECT_THROW(sweep::parse_cli(3, const_cast<char**>(out_of_range)),
+               u::ContractViolation);
+  const char* garbage[] = {"bench", "--shard", "x/2"};
+  EXPECT_THROW(sweep::parse_cli(3, const_cast<char**>(garbage)),
+               u::ContractViolation);
+  const char* no_slash[] = {"bench", "--shard", "1"};
+  EXPECT_THROW(sweep::parse_cli(3, const_cast<char**>(no_slash)),
+               u::ContractViolation);
+  const char* negative[] = {"bench", "--shard", "-1/2"};
+  EXPECT_THROW(sweep::parse_cli(3, const_cast<char**>(negative)),
+               u::ContractViolation);
+}
+
+TEST(SweepCli, ShardPartitionsTheSelectionRoundRobin) {
+  sweep::SweepSpec spec;
+  spec.axis("a", std::vector<std::int64_t>{0, 1, 2, 3, 4});
+
+  // Position j of the selection belongs to shard j mod N, order preserved.
+  const char* argv0[] = {"bench", "--shard", "0/2"};
+  const auto shard0 = sweep::select_points(
+      spec, sweep::parse_cli(3, const_cast<char**>(argv0)));
+  ASSERT_EQ(shard0.size(), 3u);
+  EXPECT_EQ(shard0[0].i64("a"), 0);
+  EXPECT_EQ(shard0[1].i64("a"), 2);
+  EXPECT_EQ(shard0[2].i64("a"), 4);
+
+  const char* argv1[] = {"bench", "--shard", "1/2"};
+  const auto shard1 = sweep::select_points(
+      spec, sweep::parse_cli(3, const_cast<char**>(argv1)));
+  ASSERT_EQ(shard1.size(), 2u);
+  EXPECT_EQ(shard1[0].i64("a"), 1);
+  EXPECT_EQ(shard1[1].i64("a"), 3);
+
+  // Round-robin interleave (sweep_merge's algorithm) restores the
+  // canonical single-process order exactly.
+  std::vector<std::int64_t> merged;
+  for (std::size_t round = 0;; ++round) {
+    bool any = false;
+    for (const auto* shard : {&shard0, &shard1}) {
+      if (round >= shard->size()) continue;
+      merged.push_back((*shard)[round].i64("a"));
+      any = true;
+    }
+    if (!any) break;
+  }
+  EXPECT_EQ(merged, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+
+  // More shards than points: the excess shard is legitimately empty.
+  const char* argv7[] = {"bench", "--shard", "6/7"};
+  EXPECT_TRUE(sweep::select_points(
+                  spec, sweep::parse_cli(3, const_cast<char**>(argv7)))
+                  .empty());
+
+  // Sharding composes with --points: the filter applies first.
+  const char* filtered[] = {"bench", "--points", "a=3", "--shard", "0/2"};
+  const auto only = sweep::select_points(
+      spec, sweep::parse_cli(5, const_cast<char**>(filtered)));
+  ASSERT_EQ(only.size(), 1u);
+  EXPECT_EQ(only[0].i64("a"), 3);
 }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <iostream>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -21,7 +22,10 @@
 #include "ssdtrain/runtime/cluster_session.hpp"
 #include "ssdtrain/runtime/program_cache.hpp"
 #include "ssdtrain/sched/schedule.hpp"
+#include "ssdtrain/sweep/chaos_exec.hpp"
 #include "ssdtrain/sweep/cli.hpp"
+#include "ssdtrain/sweep/progress.hpp"
+#include "ssdtrain/sweep/resume.hpp"
 #include "ssdtrain/sweep/runner.hpp"
 #include "ssdtrain/sweep/spec.hpp"
 #include "ssdtrain/util/check.hpp"
@@ -114,15 +118,65 @@ int main(int argc, char** argv) {
   sweep::SweepSpec spec;
   spec.axis("pp", depths).axis("strategy", strategies);
 
-  sweep::SweepRunner runner(options.workers);
-  const auto points = sweep::select_points(spec, options);
-  const auto outcomes = runner.map(points, measure, options.map_options());
+  std::vector<sweep::SweepPoint> points = sweep::select_points(spec, options);
 
+  // Resumable + streamed CSV (see bench_moe_offload): completed cells are
+  // skipped on relaunch, and each new row is flushed in canonical order so
+  // the row count is the orchestrator's progress heartbeat.
+  if (options.csv_enabled()) {
+    const sweep::CsvResume resume(options.csv_path,
+                                  std::vector<std::string>{"pp", "strategy"});
+    const std::size_t before = points.size();
+    points = resume.remaining(std::move(points));
+    if (resume.resuming()) {
+      std::cout << "resuming: " << before - points.size() << "/" << before
+                << " grid cells already in " << options.csv_path;
+      if (resume.repaired_tail()) std::cout << " (repaired a torn tail)";
+      std::cout << "\n";
+    }
+  }
+  std::unique_ptr<sweep::CsvProgress> progress;
+  if (options.csv_enabled()) {
+    progress = std::make_unique<sweep::CsvProgress>(
+        options.csv_path,
+        std::vector<std::string>{"pp", "strategy", "step_time_s",
+                                 "pipeline_time_s", "measured_bubble",
+                                 "p2p_bytes", "dp_bytes"},
+        sweep::ChaosExec::parse(options.chaos_exec));
+  }
+  const auto row_for = [](const sweep::SweepPoint& point,
+                          const ScalePoint& r) -> std::vector<std::string> {
+    return {std::to_string(point.i64("pp")),
+            point.str("strategy"),
+            u::format_fixed(r.stats.combined.step_time, 9),
+            u::format_fixed(r.stats.pipeline_time, 9),
+            u::format_fixed(r.stats.measured_bubble, 6),
+            std::to_string(r.stats.p2p_bytes),
+            std::to_string(r.stats.dp_bytes)};
+  };
+
+  std::vector<std::size_t> indices(points.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  sweep::SweepRunner runner(options.workers);
+  const auto outcomes = runner.map(
+      indices,
+      [&](std::size_t i) {
+        ScalePoint r = measure(points[i]);
+        if (progress) progress->commit(i, row_for(points[i], r));
+        return r;
+      },
+      options.map_options());
+
+  int failed = 0;
   u::AsciiTable table({"pipeline", "strategy", "steps/sec", "step time",
                        "measured bubble", "p2p traffic", "DP traffic"});
   for (std::size_t i = 0; i < points.size(); ++i) {
-    u::check(outcomes[i].ok(),
-             points[i].label() + " failed: " + outcomes[i].error);
+    if (!outcomes[i].ok()) {
+      std::cerr << points[i].label() << " failed: " << outcomes[i].error
+                << "\n";
+      ++failed;
+      continue;
+    }
     const ScalePoint& r = outcomes[i].get();
     table.add_row({u::label("PP", points[i].i64("pp")),
                    points[i].str("strategy"),
@@ -137,20 +191,5 @@ int main(int argc, char** argv) {
                "simulated and\ndeterministic — the regression golden gates "
                "it within 2%.\n";
 
-  if (options.csv_enabled()) {
-    u::CsvWriter csv(options.csv_path,
-                     {"pp", "strategy", "step_time_s", "pipeline_time_s",
-                      "measured_bubble", "p2p_bytes", "dp_bytes"});
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const ScalePoint& r = outcomes[i].get();
-      csv.add_row({std::to_string(points[i].i64("pp")),
-                   points[i].str("strategy"),
-                   u::format_fixed(r.stats.combined.step_time, 9),
-                   u::format_fixed(r.stats.pipeline_time, 9),
-                   u::format_fixed(r.stats.measured_bubble, 6),
-                   std::to_string(r.stats.p2p_bytes),
-                   std::to_string(r.stats.dp_bytes)});
-    }
-  }
-  return 0;
+  return failed == 0 ? 0 : 1;
 }

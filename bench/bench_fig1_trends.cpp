@@ -70,9 +70,13 @@ int main(int argc, char** argv) {
   const auto outcomes = runner.map(series, [](const Series& s) {
     return SeriesResult{a::trend_points(s.series), a::fit_trend(s.series)};
   }, options.map_options());
+  int failed = 0;
   for (const auto& o : outcomes) {
-    u::check(o.ok(), "series fit failed: " + o.error);
+    if (o.ok()) continue;
+    std::cerr << "series fit failed: " << o.error << "\n";
+    ++failed;
   }
+  if (failed != 0) return 1;
 
   std::cout << "=== Fig. 1: scaling trends — compute vs memory vs LLM size "
                "===\n\n";

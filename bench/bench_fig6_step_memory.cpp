@@ -99,9 +99,13 @@ int main(int argc, char** argv) {
 
   sweep::SweepRunner runner(options.workers);
   const auto outcomes = runner.map(grid, measure, options.map_options());
+  int failed = 0;
   for (const auto& o : outcomes) {
-    u::check(o.ok(), "configuration failed: " + o.error);
+    if (o.ok()) continue;
+    std::cerr << "configuration failed: " << o.error << "\n";
+    ++failed;
   }
+  if (failed != 0) return 1;
 
   std::cout << "=== Fig. 6: SSDTrain vs no offloading "
                "(B=16, seq 1024, TP2, FP16+Flash) ===\n\n";

@@ -158,10 +158,16 @@ int main(int argc, char** argv) {
   const auto points = spec.points();
   const auto outcomes = runner.map(points, measure, options.map_options());
 
+  int failed = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (outcomes[i].ok()) continue;
+    std::cerr << points[i].label() << " failed: " << outcomes[i].error << "\n";
+    ++failed;
+  }
+  if (failed != 0) return 1;
+
   RokResults results;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    u::check(outcomes[i].ok(),
-             points[i].label() + " failed: " + outcomes[i].error);
     results[{points[i].i64("hidden"), points[i].str("strategy"),
              points[i].i64("batch")}] = outcomes[i].get();
   }

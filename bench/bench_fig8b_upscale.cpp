@@ -69,9 +69,13 @@ int main(int argc, char** argv) {
 
   sweep::SweepRunner runner(options.workers);
   const auto outcomes = runner.map(configs, project, options.map_options());
+  int failed = 0;
   for (const auto& o : outcomes) {
-    u::check(o.ok(), "projection failed: " + o.error);
+    if (o.ok()) continue;
+    std::cerr << "projection failed: " << o.error << "\n";
+    ++failed;
   }
+  if (failed != 0) return 1;
 
   std::cout << "=== Fig. 8(b): impact of upscaling on per-GPU SSD write "
                "bandwidth (BERT-style, H12288) ===\n\n";

@@ -15,13 +15,16 @@
 #include <cstdint>
 #include <iostream>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/program_cache.hpp"
 #include "ssdtrain/runtime/session.hpp"
+#include "ssdtrain/sweep/chaos_exec.hpp"
 #include "ssdtrain/sweep/cli.hpp"
+#include "ssdtrain/sweep/progress.hpp"
 #include "ssdtrain/sweep/resume.hpp"
 #include "ssdtrain/sweep/runner.hpp"
 #include "ssdtrain/util/check.hpp"
@@ -104,15 +107,60 @@ int main(int argc, char** argv) {
     points = resume->remaining(std::move(points));
     if (resume->resuming()) {
       std::cout << "resuming: " << before - points.size() << "/" << before
-                << " grid cells already in " << options.csv_path << "\n";
+                << " grid cells already in " << options.csv_path;
+      if (resume->repaired_tail()) std::cout << " (repaired a torn tail)";
+      std::cout << "\n";
     }
   }
 
+  // Streaming CSV commits: each point's row is flushed (in canonical grid
+  // order) the moment it can be, so the row count doubles as the progress
+  // heartbeat sweep_orchestrate watches, a killed run loses at most the
+  // in-flight points, and a --chaos-exec spec can kill/stall this worker
+  // at an exact row boundary.
+  std::unique_ptr<sweep::CsvProgress> progress;
+  if (options.csv_enabled()) {
+    progress = std::make_unique<sweep::CsvProgress>(
+        options.csv_path,
+        std::vector<std::string>{"experts", "top_k", "strategy",
+                                 "step_time_s", "activation_peak_bytes",
+                                 "offloaded_bytes", "plan_offloadable_bytes",
+                                 "required_write_bw_bps"},
+        sweep::ChaosExec::parse(options.chaos_exec));
+  }
+  const auto row_for = [](const sweep::SweepPoint& point,
+                          const MoePoint& r) -> std::vector<std::string> {
+    return {sweep::to_string(point.value("experts")),
+            sweep::to_string(point.value("top_k")),
+            point.str("strategy"),
+            u::format_fixed(r.stats.step_time, 9),
+            std::to_string(r.stats.activation_peak),
+            std::to_string(r.stats.offloaded_bytes),
+            u::format_fixed(r.plan_offloadable, 0),
+            u::format_fixed(r.stats.required_write_bandwidth, 0)};
+  };
+
+  std::vector<std::size_t> indices(points.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
   sweep::SweepRunner runner(options.workers);
-  const auto outcomes = runner.map(points, measure, options.map_options());
+  const auto outcomes = runner.map(
+      indices,
+      [&](std::size_t i) {
+        MoePoint r = measure(points[i]);
+        if (progress) progress->commit(i, row_for(points[i], r));
+        return r;
+      },
+      options.map_options());
+  // A failed point (thrown or watchdog-abandoned) is a hole, not a crash:
+  // report it and exit nonzero at the end so a supervisor can tell
+  // "completed" from "completed with holes" without parsing the CSV.
+  int failed = 0;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    u::check(outcomes[i].ok(),
-             points[i].label() + " failed: " + outcomes[i].error);
+    if (!outcomes[i].ok()) {
+      std::cerr << points[i].label() << " failed: " << outcomes[i].error
+                << "\n";
+      ++failed;
+    }
   }
 
   std::cout << "=== MoE offload sweep (GPT-MoE H4096 L3 B8, TP2) ===\n\n";
@@ -120,6 +168,7 @@ int main(int argc, char** argv) {
                        "act peak", "offloaded", "plan offloadable",
                        "req. write BW"});
   for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!outcomes[i].ok()) continue;
     const MoePoint& r = outcomes[i].get();
     table.add_row(
         {sweep::to_string(points[i].value("experts")),
@@ -134,24 +183,5 @@ int main(int argc, char** argv) {
   std::cout << "Expected shape: offloaded bytes grow with top-k, are flat "
                "in the expert count,\nand ssdtrain stays within ~2% of "
                "keep-in-gpu step time.\n";
-
-  if (options.csv_enabled()) {
-    u::CsvWriter csv(options.csv_path,
-                     {"experts", "top_k", "strategy", "step_time_s",
-                      "activation_peak_bytes", "offloaded_bytes",
-                      "plan_offloadable_bytes", "required_write_bw_bps"},
-                     /*append=*/true);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const MoePoint& r = outcomes[i].get();
-      csv.add_row({sweep::to_string(points[i].value("experts")),
-                   sweep::to_string(points[i].value("top_k")),
-                   points[i].str("strategy"),
-                   u::format_fixed(r.stats.step_time, 9),
-                   std::to_string(r.stats.activation_peak),
-                   std::to_string(r.stats.offloaded_bytes),
-                   u::format_fixed(r.plan_offloadable, 0),
-                   u::format_fixed(r.stats.required_write_bandwidth, 0)});
-    }
-  }
-  return 0;
+  return failed == 0 ? 0 : 1;
 }

@@ -172,11 +172,17 @@ int main(int argc, char** argv) {
   const auto points = sweep::select_points(spec, g_cli);
   const auto outcomes = runner.map(points, measure, g_cli.map_options());
 
+  int failed = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (outcomes[i].ok()) continue;
+    std::cerr << points[i].label() << " failed: " << outcomes[i].error << "\n";
+    ++failed;
+  }
+  if (failed != 0) return 1;
+
   u::AsciiTable table({"fault rate", "strategy", "pp", "p50 step", "p99 step",
                        "retries", "fallbacks", "stall", "recover steps"});
   for (std::size_t i = 0; i < points.size(); ++i) {
-    u::check(outcomes[i].ok(),
-             points[i].label() + " failed: " + outcomes[i].error);
     const ResiliencePoint& r = outcomes[i].get();
     table.add_row({u::format_fixed(points[i].f64("rate"), 2),
                    points[i].str("strategy"),

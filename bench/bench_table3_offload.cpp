@@ -87,9 +87,13 @@ int main(int argc, char** argv) {
 
   sweep::SweepRunner runner(options.workers);
   const auto outcomes = runner.map(cases, measure, options.map_options());
+  int failed = 0;
   for (const auto& o : outcomes) {
-    u::check(o.ok(), "case failed: " + o.error);
+    if (o.ok()) continue;
+    std::cerr << "case failed: " << o.error << "\n";
+    ++failed;
   }
+  if (failed != 0) return 1;
 
   std::cout << "=== Table III: offloaded amount vs model estimate "
                "(BERT, B=16, TP2) ===\n\n";

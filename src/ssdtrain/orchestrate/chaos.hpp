@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file chaos.hpp
+/// Seeded chaos for the sweep orchestrator: deterministic worker-kill and
+/// worker-stall injection so the supervision ladder (heartbeat stall
+/// detection, SIGKILL, backoff relaunch, --max-relaunch exhaustion) is
+/// testable end-to-end. The acceptance property is that an orchestrated
+/// run under chaos produces a merged CSV byte-identical to the
+/// single-process run.
+///
+/// Text grammar (the --chaos flag), following the fault:: spec idiom —
+/// clauses are `kind:key=value[,key=value]`, separated by ';' or by a ','
+/// that starts a new `kind:` clause:
+///
+///   --chaos "kill:rate=0.3,stall:rate=0.1"
+///   --chaos "kill:rate=0.5,after=2,tear=1"
+///
+/// Kinds and keys:
+///   kill   rate  per-launch probability the worker is killed (SIGKILL)
+///          after fixed row count before dying (omitted = drawn in [1, 5))
+///          tear  probability the kill also leaves a torn CSV tail
+///                (an unterminated partial row; default 0.5)
+///   stall  rate  per-launch probability the worker freezes (SIGSTOP)
+///          after fixed row count before freezing (omitted = drawn)
+///
+/// Decisions are drawn per (shard, attempt) from one seeded Xoshiro256, so
+/// identical --chaos/--chaos-seed values reproduce the same kill/stall
+/// schedule run to run. The driver enacts a decision by handing the worker
+/// a --chaos-exec spec (sweep/chaos_exec.hpp): the worker SIGKILLs/SIGSTOPs
+/// *itself* after committing the drawn number of CSV rows, which pins the
+/// chaos point to an exact row boundary instead of a poll-race.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ssdtrain::orchestrate {
+
+struct ChaosSpec {
+  double kill_rate = 0.0;   ///< per-launch SIGKILL probability
+  double stall_rate = 0.0;  ///< per-launch SIGSTOP probability
+  double tear = 0.5;        ///< P(kill also tears the CSV tail)
+  /// Fixed enactment point (rows committed before dying); 0 = draw one
+  /// uniformly in [1, 5) per decision.
+  int after = 0;
+
+  [[nodiscard]] bool enabled() const {
+    return kill_rate > 0.0 || stall_rate > 0.0;
+  }
+};
+
+/// Parses the --chaos grammar. Malformed text is a contract violation with
+/// a message naming the offending token.
+ChaosSpec parse_chaos(std::string_view text);
+
+/// One launch's drawn misbehaviour.
+struct ChaosDecision {
+  enum class Kind { none, kill, stall };
+  Kind kind = Kind::none;
+  int after = 1;      ///< CSV rows the worker commits before enacting
+  bool tear = false;  ///< kill only: leave an unterminated partial row
+
+  [[nodiscard]] bool enabled() const { return kind != Kind::none; }
+  /// The --chaos-exec argument for the worker ("" when none).
+  [[nodiscard]] std::string to_exec_spec() const;
+};
+
+/// Deterministic per-(shard, attempt) decision source.
+class ChaosEngine {
+ public:
+  ChaosEngine() = default;
+  ChaosEngine(ChaosSpec spec, std::uint64_t seed)
+      : spec_(spec), seed_(seed) {}
+
+  [[nodiscard]] const ChaosSpec& spec() const { return spec_; }
+
+  /// The decision for launch \p attempt (0-based) of shard \p shard.
+  /// Stateless: the same (shard, attempt) always draws the same decision.
+  [[nodiscard]] ChaosDecision draw(int shard, int attempt) const;
+
+ private:
+  ChaosSpec spec_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace ssdtrain::orchestrate

@@ -1,0 +1,188 @@
+#include "ssdtrain/orchestrate/launcher.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::orchestrate {
+
+namespace {
+
+ExitStatus status_from(int wstatus) {
+  ExitStatus status;
+  if (WIFSIGNALED(wstatus)) {
+    status.signaled = true;
+    status.signal = WTERMSIG(wstatus);
+  } else if (WIFEXITED(wstatus)) {
+    status.code = WEXITSTATUS(wstatus);
+  } else {
+    // Neither exited nor signaled (should not reach poll/wait, which only
+    // see terminal states); report it as a generic failure.
+    status.code = -1;
+  }
+  return status;
+}
+
+/// fork/exec with the child in its own process group and stdout+stderr
+/// appended to log_path. Used by both backends.
+int spawn_process(const std::vector<std::string>& argv,
+                  const std::string& log_path) {
+  util::expects(!argv.empty(), "launcher: empty worker command");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error("launcher: fork failed");
+  }
+  if (pid == 0) {
+    // Child. Own process group so the supervisor's SIGKILL reaches any
+    // helpers the worker spawns (ssh transports, shells).
+    ::setpgid(0, 0);
+    const int fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                          0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      if (fd > STDERR_FILENO) ::close(fd);
+    }
+    ::execvp(cargv[0], cargv.data());
+    // exec failed: the conventional 127 ("command not found") lets the
+    // supervisor distinguish a broken command from a crashing worker.
+    ::_exit(127);
+  }
+  // Mirror the child's setpgid so kill(-pid) cannot race the exec.
+  ::setpgid(pid, pid);
+  return static_cast<int>(pid);
+}
+
+std::optional<ExitStatus> poll_process(int pid) {
+  int wstatus = 0;
+  const pid_t r = ::waitpid(static_cast<pid_t>(pid), &wstatus, WNOHANG);
+  if (r == 0) return std::nullopt;  // still running
+  if (r < 0) {
+    // Already reaped (or never ours): report a generic failure rather than
+    // wedging the supervisor.
+    ExitStatus status;
+    status.code = -1;
+    return status;
+  }
+  return status_from(wstatus);
+}
+
+void kill_process(int pid) {
+  // The whole process group; a SIGSTOPped process cannot defer SIGKILL.
+  ::kill(-static_cast<pid_t>(pid), SIGKILL);
+  ::kill(static_cast<pid_t>(pid), SIGKILL);
+}
+
+ExitStatus wait_process(int pid) {
+  int wstatus = 0;
+  const pid_t r = ::waitpid(static_cast<pid_t>(pid), &wstatus, 0);
+  if (r < 0) {
+    ExitStatus status;
+    status.code = -1;
+    return status;
+  }
+  return status_from(wstatus);
+}
+
+}  // namespace
+
+std::string ExitStatus::to_text() const {
+  if (signaled) return "killed by signal " + std::to_string(signal);
+  if (code == 0) return "exit 0";
+  return "exit " + std::to_string(code);
+}
+
+int LocalLauncher::spawn(int shard, const std::vector<std::string>& argv,
+                         const std::string& log_path) {
+  (void)shard;
+  return spawn_process(argv, log_path);
+}
+
+std::optional<ExitStatus> LocalLauncher::poll(int handle) {
+  return poll_process(handle);
+}
+
+void LocalLauncher::kill(int handle) { kill_process(handle); }
+
+ExitStatus LocalLauncher::wait(int handle) { return wait_process(handle); }
+
+std::string shell_quote(const std::string& word) {
+  std::string out = "'";
+  for (char c : word) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+CommandTemplateLauncher::CommandTemplateLauncher(
+    std::string command_template, std::vector<std::string> hosts)
+    : template_(std::move(command_template)), hosts_(std::move(hosts)) {
+  util::expects(template_.find("{cmd}") != std::string::npos,
+                "--launcher-template must contain {cmd}");
+  util::expects(hosts_.empty() ||
+                    template_.find("{host}") != std::string::npos,
+                "--hosts given but --launcher-template has no {host}");
+}
+
+std::string CommandTemplateLauncher::format(
+    int shard, const std::vector<std::string>& argv) const {
+  std::string cmd;
+  for (const std::string& arg : argv) {
+    if (!cmd.empty()) cmd += ' ';
+    cmd += shell_quote(arg);
+  }
+  const std::string host =
+      hosts_.empty() ? std::string()
+                     : hosts_[static_cast<std::size_t>(shard) %
+                              hosts_.size()];
+  std::string out = template_;
+  const auto substitute = [&out](std::string_view key,
+                                 const std::string& value) {
+    for (std::size_t at = out.find(key); at != std::string::npos;
+         at = out.find(key, at + value.size())) {
+      out.replace(at, key.size(), value);
+    }
+  };
+  substitute("{cmd}", cmd);
+  substitute("{host}", host);
+  substitute("{shard}", std::to_string(shard));
+  return out;
+}
+
+int CommandTemplateLauncher::spawn(int shard,
+                                   const std::vector<std::string>& argv,
+                                   const std::string& log_path) {
+  return local_.spawn(
+      shard, {"/bin/sh", "-c", format(shard, argv)}, log_path);
+}
+
+std::optional<ExitStatus> CommandTemplateLauncher::poll(int handle) {
+  return local_.poll(handle);
+}
+
+void CommandTemplateLauncher::kill(int handle) { local_.kill(handle); }
+
+ExitStatus CommandTemplateLauncher::wait(int handle) {
+  return local_.wait(handle);
+}
+
+}  // namespace ssdtrain::orchestrate

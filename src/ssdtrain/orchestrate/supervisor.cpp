@@ -1,0 +1,260 @@
+#include "ssdtrain/orchestrate/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "ssdtrain/orchestrate/merge.hpp"
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::orchestrate {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Per-shard supervision state riding alongside the public ShardReport.
+struct ShardState {
+  enum class Status { pending, running, backoff, done, failed };
+  Status status = Status::pending;
+  int handle = -1;
+  Clock::time_point next_launch;    ///< backoff gate (pending/backoff)
+  Clock::time_point last_progress;  ///< last time the CSV row count grew
+  std::size_t last_rows = 0;
+  ShardReport report;
+};
+
+std::string format_delay(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+  return buffer;
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorConfig config) : config_(std::move(config)) {
+  util::expects(!config_.worker_command.empty(),
+                "orchestrate: worker command is empty");
+  util::expects(config_.shard_count >= 1 && config_.shard_count <= 4096,
+                "orchestrate: shard count must be in [1, 4096]");
+  util::expects(config_.launcher != nullptr,
+                "orchestrate: a launcher is required");
+  util::expects(!config_.workdir.empty(), "orchestrate: workdir is empty");
+  util::expects(!config_.out_csv.empty(), "orchestrate: out_csv is empty");
+  util::expects(config_.stall_timeout > 0.0,
+                "orchestrate: stall timeout must be positive");
+  util::expects(config_.poll_interval > 0.0,
+                "orchestrate: poll interval must be positive");
+  util::expects(config_.max_relaunch >= 0,
+                "orchestrate: max relaunch must be non-negative");
+  if (!config_.log) {
+    config_.log = [](const std::string& line) {
+      std::cout << "[orchestrate] " << line << "\n";
+    };
+  }
+}
+
+SupervisorReport Supervisor::run() {
+  std::filesystem::create_directories(config_.workdir);
+  const ChaosEngine chaos(config_.chaos, config_.chaos_seed);
+  const auto& log = config_.log;
+
+  std::vector<ShardState> shards(
+      static_cast<std::size_t>(config_.shard_count));
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    ShardState& s = shards[i];
+    s.report.shard = static_cast<int>(i);
+    s.report.csv_path =
+        config_.workdir + "/shard-" + std::to_string(i) + ".csv";
+    s.report.log_path =
+        config_.workdir + "/shard-" + std::to_string(i) + ".log";
+    s.next_launch = start;
+    s.last_progress = start;
+  }
+
+  const auto launch = [&](ShardState& s) {
+    const int shard = s.report.shard;
+    // Attempt index is 0-based: the chaos draw depends only on (shard,
+    // attempt), never on scheduling order, so runs with the same seed
+    // reproduce the same kill/stall schedule.
+    const ChaosDecision decision = chaos.draw(shard, s.report.launches);
+    std::vector<std::string> argv = config_.worker_command;
+    argv.push_back("--csv");
+    argv.push_back(s.report.csv_path);
+    argv.push_back("--shard");
+    argv.push_back(std::to_string(shard) + "/" +
+                   std::to_string(config_.shard_count));
+    if (decision.enabled()) {
+      argv.push_back("--chaos-exec");
+      argv.push_back(decision.to_exec_spec());
+    }
+    s.handle = config_.launcher->spawn(shard, argv, s.report.log_path);
+    ++s.report.launches;
+    s.status = ShardState::Status::running;
+    s.last_progress = Clock::now();
+    const CsvScan scan = scan_csv(s.report.csv_path);
+    s.last_rows = scan.rows;
+    std::string line = "shard " + std::to_string(shard) + ": launch #" +
+                       std::to_string(s.report.launches);
+    if (scan.rows > 0) {
+      line += " (resuming from " + std::to_string(scan.rows) + " rows)";
+    }
+    if (decision.enabled()) line += " [chaos " + decision.to_exec_spec() + "]";
+    log(line);
+  };
+
+  // A dead or hung shard either backs off for a relaunch or, once its
+  // relaunch budget is spent, degrades into an explicit failure (its rows
+  // stay on disk; the merge is refused, not poisoned).
+  const auto schedule_retry = [&](ShardState& s, const std::string& why) {
+    s.report.last_error = why;
+    const CsvScan scan = scan_csv(s.report.csv_path);
+    s.report.rows = scan.rows;
+    if (scan.torn_tail) {
+      // The relaunched worker's CsvWriter append mode truncates the tail;
+      // count the repair here so it is observable, not silent.
+      ++s.report.tail_repairs;
+      log("shard " + std::to_string(s.report.shard) +
+          ": torn CSV tail detected (" + std::to_string(scan.rows) +
+          " clean rows) — resume will repair it");
+    }
+    const int relaunches = s.report.launches - 1;
+    if (relaunches >= config_.max_relaunch) {
+      s.status = ShardState::Status::failed;
+      log("shard " + std::to_string(s.report.shard) + ": " + why +
+          " — relaunch budget exhausted (" +
+          std::to_string(s.report.launches) + " launches), giving up");
+      return;
+    }
+    const double delay =
+        std::min(config_.backoff_initial *
+                     static_cast<double>(1ULL << std::min(relaunches, 30)),
+                 config_.backoff_max);
+    s.next_launch =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(delay));
+    s.status = ShardState::Status::backoff;
+    log("shard " + std::to_string(s.report.shard) + ": " + why +
+        " — relaunching in " + format_delay(delay) + " (attempt " +
+        std::to_string(s.report.launches + 1) + "/" +
+        std::to_string(config_.max_relaunch + 1) + ")");
+  };
+
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    bool all_terminal = true;
+    for (ShardState& s : shards) {
+      switch (s.status) {
+        case ShardState::Status::pending:
+        case ShardState::Status::backoff:
+          all_terminal = false;
+          if (now >= s.next_launch) launch(s);
+          break;
+        case ShardState::Status::running: {
+          all_terminal = false;
+          if (const std::optional<ExitStatus> exit =
+                  config_.launcher->poll(s.handle)) {
+            const CsvScan scan = scan_csv(s.report.csv_path);
+            if (exit->ok() && !scan.torn_tail) {
+              s.status = ShardState::Status::done;
+              s.report.done = true;
+              s.report.rows = scan.rows;
+              s.report.last_error.clear();
+              log("shard " + std::to_string(s.report.shard) + ": done (" +
+                  std::to_string(scan.rows) + " rows, " +
+                  std::to_string(s.report.launches) + " launch" +
+                  (s.report.launches == 1 ? "" : "es") + ")");
+            } else {
+              ++s.report.crashes;
+              schedule_retry(s, exit->ok()
+                                    ? "exited 0 but left a torn CSV tail"
+                                    : "worker died (" + exit->to_text() + ")");
+            }
+            break;
+          }
+          // Still running: the heartbeat is the CSV row count. A shard
+          // whose count has not advanced within the stall timeout is hung
+          // (SIGSTOPped, wedged I/O, livelock) — kill and relaunch it.
+          const CsvScan scan = scan_csv(s.report.csv_path);
+          if (scan.rows > s.last_rows) {
+            s.last_rows = scan.rows;
+            s.last_progress = now;
+          } else if (seconds_between(s.last_progress, now) >
+                     config_.stall_timeout) {
+            config_.launcher->kill(s.handle);
+            (void)config_.launcher->wait(s.handle);
+            ++s.report.stalls;
+            schedule_retry(
+                s, "no heartbeat for " +
+                       format_delay(seconds_between(s.last_progress, now)) +
+                       " (stall timeout " +
+                       format_delay(config_.stall_timeout) + "), killed");
+          }
+          break;
+        }
+        case ShardState::Status::done:
+        case ShardState::Status::failed:
+          break;
+      }
+    }
+    if (all_terminal) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config_.poll_interval));
+  }
+
+  SupervisorReport report;
+  report.shards.reserve(shards.size());
+  for (ShardState& s : shards) report.shards.push_back(std::move(s.report));
+
+  if (report.failed_shards() > 0) {
+    // Degrade explicitly: no merge (interleaving around a hole would
+    // silently reorder rows), a failed-shards report instead.
+    report.failure_report_path = config_.workdir + "/failed-shards.txt";
+    std::ofstream out(report.failure_report_path,
+                      std::ios::binary | std::ios::trunc);
+    out << "sweep_orchestrate failure report\n"
+        << "merge refused: " << report.failed_shards() << " of "
+        << config_.shard_count << " shards did not complete\n\n";
+    for (const ShardReport& s : report.shards) {
+      out << "shard " << s.shard << ": "
+          << (s.done ? "done" : "FAILED — " + s.last_error) << "\n"
+          << "  launches " << s.launches << ", crashes " << s.crashes
+          << ", stalls " << s.stalls << ", tail repairs " << s.tail_repairs
+          << ", rows completed " << s.rows << "\n"
+          << "  csv " << s.csv_path << "\n  log " << s.log_path << "\n";
+    }
+    out << "\ncompleted rows are preserved; re-running the orchestrator "
+           "resumes every shard from its CSV.\n";
+    report.error = std::to_string(report.failed_shards()) +
+                   " shard(s) failed after exhausting relaunches; see " +
+                   report.failure_report_path;
+    log("FAILED: " + report.error);
+    return report;
+  }
+
+  std::vector<std::string> shard_paths;
+  shard_paths.reserve(report.shards.size());
+  for (const ShardReport& s : report.shards) shard_paths.push_back(s.csv_path);
+  const MergeReport merge = merge_shards(shard_paths, config_.out_csv);
+  if (!merge.ok()) {
+    report.error = "merge failed:\n" + describe(merge);
+    log("FAILED: " + report.error);
+    return report;
+  }
+  report.ok = true;
+  report.merged_rows = merge.rows;
+  log("merged " + std::to_string(merge.rows) + " rows from " +
+      std::to_string(config_.shard_count) + " shards -> " + config_.out_csv);
+  return report;
+}
+
+}  // namespace ssdtrain::orchestrate

@@ -1,0 +1,93 @@
+#include "ssdtrain/sweep/chaos_exec.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::sweep {
+
+namespace {
+
+std::size_t parse_count(std::string_view key, std::string_view value) {
+  const std::string text(value);
+  char* end = nullptr;
+  errno = 0;
+  const long n = std::strtol(text.c_str(), &end, 10);
+  util::expects(end != text.c_str() && *end == '\0' && errno != ERANGE &&
+                    n >= 1 && n <= 1 << 20,
+                "--chaos-exec: '" + std::string(key) +
+                    "' expects a positive integer, got '" + text + "'");
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+ChaosExec ChaosExec::parse(std::string_view text) {
+  ChaosExec exec;
+  if (text.empty()) return exec;
+  const std::size_t colon = text.find(':');
+  util::expects(colon != std::string_view::npos,
+                "--chaos-exec expects kill:... or stall:..., got '" +
+                    std::string(text) + "'");
+  const std::string_view kind = text.substr(0, colon);
+  util::expects(kind == "kill" || kind == "stall",
+                "--chaos-exec: unknown kind '" + std::string(kind) +
+                    "' (known: kill, stall)");
+  exec.kind = kind == "kill" ? Kind::kill : Kind::stall;
+  std::string_view rest = text.substr(colon + 1);
+  while (!rest.empty()) {
+    std::size_t comma = rest.find(',');
+    if (comma == std::string_view::npos) comma = rest.size();
+    const std::string_view item = rest.substr(0, comma);
+    const std::size_t eq = item.find('=');
+    util::expects(eq != std::string_view::npos && eq > 0,
+                  "--chaos-exec: expected key=value, got '" +
+                      std::string(item) + "'");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "after") {
+      exec.after = parse_count(key, value);
+    } else if (key == "tear" && exec.kind == Kind::kill) {
+      exec.tear = value == "1" || value == "true";
+    } else {
+      util::expects(false, "--chaos-exec: unknown key '" + std::string(key) +
+                               "' for '" + std::string(kind) + "'");
+    }
+    if (comma == rest.size()) break;
+    rest = rest.substr(comma + 1);
+  }
+  util::expects(exec.after >= 1, "--chaos-exec: 'after' is required");
+  return exec;
+}
+
+void ChaosExec::maybe_enact(std::size_t rows_committed,
+                            const std::string& csv_path) const {
+  if (!enabled() || rows_committed != after) return;
+  if (kind == Kind::stall) {
+    // The process freezes but stays alive: its CSV row count — the
+    // heartbeat — stops advancing, and the supervisor's stall detector has
+    // to notice and SIGKILL it (SIGSTOP cannot be caught or blocked, and a
+    // stopped process cannot defer the later SIGKILL either).
+    ::kill(::getpid(), SIGSTOP);
+    return;  // only reached if something SIGCONTs us; resume normally
+  }
+  if (tear) {
+    // Die mid-write: an unterminated partial row whose cell prefix looks
+    // plausible. CsvResume must not count it and the relaunched worker's
+    // CsvWriter append-mode repair must truncate it.
+    std::ofstream out(csv_path, std::ios::binary | std::ios::app);
+    out << "9999,torn-partial-ro";
+    out.flush();
+  }
+  ::kill(::getpid(), SIGKILL);
+  // SIGKILL is not deliverable to a zombie only; for a live process it is
+  // immediate and unblockable — loop in case of scheduler delay.
+  for (;;) ::pause();
+}
+
+}  // namespace ssdtrain::sweep

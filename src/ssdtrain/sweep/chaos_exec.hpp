@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file chaos_exec.hpp
+/// Worker-side chaos enactment for the sweep orchestrator. The driver's
+/// seeded ChaosEngine (orchestrate/chaos.hpp) decides *whether* a launch
+/// misbehaves; the worker enacts the decision on itself via the
+/// --chaos-exec flag so the chaos point lands on an exact CSV row boundary
+/// instead of a kill-signal poll race:
+///
+///   --chaos-exec "kill:after=3"         SIGKILL self after committing 3 rows
+///   --chaos-exec "kill:after=3,tear=1"  ... and leave an unterminated
+///                                       partial row (a torn CSV tail) first
+///   --chaos-exec "stall:after=2"        SIGSTOP self after committing 2 rows
+///
+/// Self-SIGKILL models a worker crash (OOM kill, node loss); the torn
+/// variant models dying mid-write, which the resume path must repair.
+/// Self-SIGSTOP models a hang (wedged I/O, livelock): the process stays
+/// alive but its heartbeat — the CSV row count — stops advancing, which is
+/// exactly what the supervisor's stall detection watches for.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace ssdtrain::sweep {
+
+struct ChaosExec {
+  enum class Kind { none, kill, stall };
+  Kind kind = Kind::none;
+  std::size_t after = 0;  ///< CSV rows committed before enacting
+  bool tear = false;      ///< kill only: append a partial row first
+
+  [[nodiscard]] bool enabled() const { return kind != Kind::none; }
+
+  /// Parses the --chaos-exec grammar ("" => disabled). Malformed text is a
+  /// contract violation naming the offending token.
+  static ChaosExec parse(std::string_view text);
+
+  /// Called after each committed (flushed, newline-terminated) CSV row with
+  /// the running count. When the count reaches `after`, enacts: kill
+  /// appends an unterminated partial row to \p csv_path when `tear` is set,
+  /// then SIGKILLs the process; stall SIGSTOPs it. Does not return when it
+  /// enacts a kill.
+  void maybe_enact(std::size_t rows_committed,
+                   const std::string& csv_path) const;
+};
+
+}  // namespace ssdtrain::sweep

@@ -1,6 +1,8 @@
 #include "ssdtrain/sweep/cli.hpp"
 
 #include <algorithm>
+
+#include "ssdtrain/sweep/chaos_exec.hpp"
 #include <cerrno>
 #include <cstdlib>
 #include <string_view>
@@ -162,6 +164,11 @@ CliOptions parse_cli(int argc, char** argv) {
                     "--program-cache directory is empty");
     } else if (arg == "--no-program-cache") {
       options.no_program_cache = true;
+    } else if (arg == "--chaos-exec") {
+      util::expects(i + 1 < argc, "--chaos-exec requires a spec");
+      options.chaos_exec = argv[++i];
+      // Parse eagerly so grammar errors surface at startup.
+      (void)ChaosExec::parse(options.chaos_exec);
     } else if (arg == "--retries") {
       util::expects(i + 1 < argc, "--retries requires a count");
       const char* text = argv[++i];
@@ -181,7 +188,8 @@ CliOptions parse_cli(int argc, char** argv) {
                         "--no-replay, --pp N, --tp N, --dp N, "
                         "--zero none|1|2|3, --faults SPECS, "
                         "--fault-seed N, --shard I/N, "
-                        "--program-cache DIR, --no-program-cache)");
+                        "--program-cache DIR, --no-program-cache, "
+                        "--chaos-exec SPEC)");
     } else {
       options.positional.emplace_back(arg);
     }

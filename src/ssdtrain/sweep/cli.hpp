@@ -48,6 +48,13 @@
 ///                       share across their sweep points by default (the
 ///                       A/B switch for cold-trace comparisons; results are
 ///                       bit-identical either way)
+///   --chaos-exec SPEC   self-inflicted chaos for orchestrator testing
+///                       (sweep::ChaosExec grammar: "kill:after=N[,tear=1]"
+///                       or "stall:after=N"): benches that stream their CSV
+///                       rows through sweep::CsvProgress SIGKILL/SIGSTOP
+///                       themselves after committing N rows. Normally
+///                       injected by sweep_orchestrate's seeded --chaos
+///                       engine, not typed by hand
 /// plus its own positional arguments, which are passed through untouched.
 
 #include <cstddef>
@@ -87,6 +94,8 @@ struct CliOptions {
   /// --no-program-cache kill switch.
   std::string program_cache_dir;
   bool no_program_cache = false;
+  /// --chaos-exec spec text ("" = disabled); parsed eagerly at startup.
+  std::string chaos_exec;
 
   [[nodiscard]] bool csv_enabled() const { return !csv_path.empty(); }
   [[nodiscard]] bool sharded() const { return shard_count > 1; }

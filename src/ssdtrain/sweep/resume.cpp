@@ -57,6 +57,9 @@ CsvResume::CsvResume(const std::string& path,
     lines.emplace_back(content.substr(start, nl - start));
     start = nl + 1;
   }
+  // The unterminated remainder (if any) is the torn tail the writer's
+  // append mode will truncate; record the repair so callers can surface it.
+  repaired_tail_ = start < content.size();
   if (lines.empty()) return;  // empty file, or not even a finished header
   const std::vector<std::string> header = split_csv_line(lines.front());
   util::check(header.size() >= key_columns_.size(),
@@ -75,7 +78,10 @@ CsvResume::CsvResume(const std::string& path,
     std::vector<std::string> cells = split_csv_line(lines[i]);
     // Second completeness gate: a terminated row that still lost cells
     // (torn write) must not mark its point done either.
-    if (cells.size() < header.size()) continue;
+    if (cells.size() < header.size()) {
+      ++torn_rows_;
+      continue;
+    }
     cells.resize(key_columns_.size());
     seen_.insert(std::move(cells));
   }

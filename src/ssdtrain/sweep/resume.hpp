@@ -29,6 +29,18 @@ class CsvResume {
   /// Completed rows found in the existing file.
   [[nodiscard]] std::size_t completed() const { return seen_.size(); }
 
+  /// True when the existing file ended in an unterminated partial row —
+  /// the previous run died mid-write. The tail is not counted as done here
+  /// and CsvWriter's append mode truncates it; this flag makes the repair
+  /// observable (orchestrator logs, "resuming:" messages) instead of
+  /// silent.
+  [[nodiscard]] bool repaired_tail() const { return repaired_tail_; }
+
+  /// Newline-terminated rows that still lost cells (torn mid-row but
+  /// terminated — e.g. a partial row another writer finished the line of).
+  /// Not counted as done either.
+  [[nodiscard]] std::size_t torn_rows() const { return torn_rows_; }
+
   /// True when a row with exactly these key-column cells is present.
   [[nodiscard]] bool contains(const std::vector<std::string>& key) const {
     return seen_.contains(key);
@@ -47,6 +59,8 @@ class CsvResume {
   std::vector<std::string> key_columns_;
   std::set<std::vector<std::string>> seen_;
   bool resuming_ = false;
+  bool repaired_tail_ = false;
+  std::size_t torn_rows_ = 0;
 };
 
 /// Splits one CSV line into cells (RFC 4180 quoting, as CsvWriter emits).

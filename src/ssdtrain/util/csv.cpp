@@ -62,6 +62,10 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
   write_row(cells);
 }
 
+void CsvWriter::flush() {
+  if (out_.is_open()) out_.flush();
+}
+
 void CsvWriter::close() {
   if (out_.is_open()) out_.close();
 }

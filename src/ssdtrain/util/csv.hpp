@@ -23,6 +23,11 @@ class CsvWriter {
 
   void add_row(const std::vector<std::string>& cells);
 
+  /// Pushes buffered rows to the OS so they survive the process dying
+  /// (streamed progress commits flush after every row; batch writers can
+  /// keep relying on close()).
+  void flush();
+
   /// Flushes and closes; also called by the destructor.
   void close();
 

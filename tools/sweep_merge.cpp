@@ -1,138 +1,85 @@
 /// \file sweep_merge.cpp
 /// Reassembles shard CSVs into the canonical single-process sweep file.
 ///
-///   sweep_merge OUT SHARD0.csv SHARD1.csv ... SHARDN-1.csv
+///   sweep_merge [--expect N] OUT SHARD0.csv SHARD1.csv ... SHARDN-1.csv
 ///
 /// Shard i of N (a bench run with --shard i/N) holds positions j of the
 /// filtered grid with j mod N == i, in grid order. The inverse is a
-/// round-robin interleave: round k emits row k of shard 0, then row k of
-/// shard 1, ..., skipping shards that ran out (the tail rounds when the
-/// grid size is not a multiple of N). The merged file is byte-identical to
-/// the CSV a single un-sharded process writes.
+/// round-robin interleave (orchestrate::merge_shards): round k emits row k
+/// of shard 0, then row k of shard 1, ..., skipping shards that ran out.
+/// The merged file is byte-identical to the CSV a single un-sharded
+/// process writes.
 ///
 /// Every input must be a *clean* shard file: identical header lines, every
-/// row '\n'-terminated with the header's cell count. A truncated shard (its
-/// process was killed mid-write) is an error naming the file — re-run that
-/// shard to completion (its --csv resume skips the finished points) before
-/// merging; merging a torn slice would silently drop the interruption.
+/// row '\n'-terminated with the header's cell count. Instead of stopping
+/// at the first bad input, every shard is inspected and the diagnostic
+/// lists ALL missing/torn shard indexes — a supervisor acting on the
+/// report needs the full list — and nothing is written while any shard is
+/// unusable (merging around a hole would silently reorder rows).
+/// --expect N additionally asserts the shard count, catching a forgotten
+/// shard file before its absence scrambles the interleave.
+///
+/// Exit codes: 0 merged, 1 unusable/missing shards, 2 usage error.
 
-#include <fstream>
+#include <cerrno>
+#include <cstdlib>
 #include <iostream>
-#include <sstream>
-#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "ssdtrain/sweep/resume.hpp"
+#include "ssdtrain/orchestrate/merge.hpp"
 
-namespace {
-
-struct ShardFile {
-  std::string path;
-  std::string header;             ///< first line, without the newline
-  std::vector<std::string> rows;  ///< data lines, without the newlines
-};
-
-[[nodiscard]] ShardFile read_shard(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) {
-    throw std::runtime_error("sweep_merge: cannot open '" + path + "'");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string content = buffer.str();
-  if (content.empty()) {
-    throw std::runtime_error("sweep_merge: '" + path + "' is empty");
-  }
-  if (content.back() != '\n') {
-    throw std::runtime_error(
-        "sweep_merge: '" + path +
-        "' does not end in a newline — the shard was interrupted mid-write; "
-        "re-run it to completion (resume skips finished points) before "
-        "merging");
-  }
-  ShardFile shard;
-  shard.path = path;
-  std::size_t start = 0;
-  for (std::size_t nl = content.find('\n', start); nl != std::string::npos;
-       nl = content.find('\n', start)) {
-    std::string line = content.substr(start, nl - start);
-    if (shard.header.empty() && shard.rows.empty() && start == 0) {
-      shard.header = std::move(line);
-    } else {
-      shard.rows.push_back(std::move(line));
-    }
-    start = nl + 1;
-  }
-  if (shard.header.empty()) {
-    throw std::runtime_error("sweep_merge: '" + path + "' has no header");
-  }
-  const std::size_t columns =
-      ssdtrain::sweep::split_csv_line(shard.header).size();
-  for (std::size_t i = 0; i < shard.rows.size(); ++i) {
-    const std::size_t cells =
-        ssdtrain::sweep::split_csv_line(shard.rows[i]).size();
-    if (cells != columns) {
-      throw std::runtime_error(
-          "sweep_merge: '" + path + "' row " + std::to_string(i + 1) +
-          " has " + std::to_string(cells) + " cells, header has " +
-          std::to_string(columns) +
-          " — torn shard file; re-run the shard before merging");
-    }
-  }
-  return shard;
-}
-
-}  // namespace
+namespace orc = ssdtrain::orchestrate;
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::cerr << "usage: sweep_merge OUT SHARD0.csv [SHARD1.csv ...]\n"
+  long expect = -1;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--expect") {
+      if (i + 1 >= argc) {
+        std::cerr << "sweep_merge: --expect requires a shard count\n";
+        return 2;
+      }
+      const char* text = argv[++i];
+      char* end = nullptr;
+      errno = 0;
+      expect = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE || expect < 1) {
+        std::cerr << "sweep_merge: --expect expects a positive integer, "
+                     "got '"
+                  << text << "'\n";
+        return 2;
+      }
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.size() < 2) {
+    std::cerr << "usage: sweep_merge [--expect N] OUT SHARD0.csv "
+                 "[SHARD1.csv ...]\n"
               << "Interleaves shard CSVs (written with --shard i/N, in\n"
               << "argument order = shard order) back into the canonical\n"
-              << "single-process row order.\n";
+              << "single-process row order. --expect N exits nonzero when\n"
+              << "the number of shard files is not N.\n";
     return 2;
   }
-  try {
-    std::vector<ShardFile> shards;
-    shards.reserve(static_cast<std::size_t>(argc - 2));
-    for (int i = 2; i < argc; ++i) shards.push_back(read_shard(argv[i]));
-    for (const ShardFile& shard : shards) {
-      if (shard.header != shards.front().header) {
-        throw std::runtime_error(
-            "sweep_merge: '" + shard.path + "' header differs from '" +
-            shards.front().path + "' — shards of different sweeps?");
-      }
-    }
-
-    const std::string out_path = argv[1];
-    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
-    if (!out.good()) {
-      throw std::runtime_error("sweep_merge: cannot write '" + out_path +
-                               "'");
-    }
-    out << shards.front().header << '\n';
-    std::size_t emitted = 0;
-    for (std::size_t round = 0;; ++round) {
-      bool any = false;
-      for (const ShardFile& shard : shards) {
-        if (round >= shard.rows.size()) continue;
-        out << shard.rows[round] << '\n';
-        ++emitted;
-        any = true;
-      }
-      if (!any) break;
-    }
-    out.flush();
-    if (!out.good()) {
-      throw std::runtime_error("sweep_merge: write to '" + out_path +
-                               "' failed");
-    }
-    std::cout << "sweep_merge: " << emitted << " rows from " << shards.size()
-              << " shards -> " << out_path << "\n";
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n";
+  const std::string out_path = paths.front();
+  const std::vector<std::string> shards(paths.begin() + 1, paths.end());
+  if (expect >= 0 && static_cast<long>(shards.size()) != expect) {
+    std::cerr << "sweep_merge: expected " << expect << " shard files, got "
+              << shards.size()
+              << " — refusing to merge an incomplete shard set\n";
     return 1;
   }
+  const orc::MergeReport report = orc::merge_shards(shards, out_path);
+  if (!report.ok()) {
+    std::cerr << "sweep_merge: cannot merge:\n"
+              << orc::describe(report) << "\n";
+    return 1;
+  }
+  std::cout << "sweep_merge: " << report.rows << " rows from "
+            << shards.size() << " shards -> " << out_path << "\n";
   return 0;
 }

@@ -6,6 +6,7 @@
 // sequential write rate around the clock.
 //
 // Usage: example_endurance_report [duty] [--faults SPECS]
+//                                 [--ckpt-gib G --ckpt-every S]
 //   duty      fraction of the drive's sequential write bandwidth the offload
 //             stream sustains, 0 < duty <= 1 (default 1.0, the worst case)
 //   --faults  degraded-mode projection: io-error specs add retry-induced
@@ -13,6 +14,13 @@
 //             NAND), ssd-dropout specs concentrate the stream on the
 //             surviving RAID members. Without the flag the output is
 //             byte-identical to the healthy report.
+//   --ckpt-gib G --ckpt-every S
+//             checkpoint-write wear: a crash-consistent checkpoint of G GiB
+//             (weights + optimizer state) lands on the same 4-member array
+//             every S seconds, striped across the members. The closed form
+//             adds G/4/S to each drive's write rate and reports the
+//             checkpoint stream's share of the total wear. Without both
+//             flags the output is byte-identical to the plain report.
 
 #include <cstdlib>
 #include <iostream>
@@ -60,10 +68,16 @@ int main(int argc, char** argv) {
   double duty = 1.0;
   std::string fault_text;
   bool duty_set = false;
+  double ckpt_gib = 0.0;
+  double ckpt_every = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--faults" && i + 1 < argc) {
       fault_text = argv[++i];
+    } else if (arg == "--ckpt-gib" && i + 1 < argc) {
+      ckpt_gib = std::atof(argv[++i]);
+    } else if (arg == "--ckpt-every" && i + 1 < argc) {
+      ckpt_every = std::atof(argv[++i]);
     } else if (!duty_set) {
       duty = std::atof(arg.c_str());
       duty_set = true;
@@ -71,6 +85,12 @@ int main(int argc, char** argv) {
   }
   if (duty <= 0.0 || duty > 1.0) {
     std::cerr << "duty must be in (0, 1], got " << duty << "\n";
+    return 1;
+  }
+  const bool with_ckpt = ckpt_gib > 0.0 && ckpt_every > 0.0;
+  if ((ckpt_gib > 0.0) != (ckpt_every > 0.0)) {
+    std::cerr << "--ckpt-gib and --ckpt-every must be given together, both "
+                 "positive\n";
     return 1;
   }
 
@@ -103,6 +123,14 @@ int main(int argc, char** argv) {
                        "write rate", "lifespan"});
   u::AsciiTable degraded({"drive", "healthy lifespan", "faulted write rate",
                           "faulted lifespan"});
+  u::AsciiTable ckpt({"drive", "ckpt write rate", "ckpt wear share",
+                      "combined lifespan"});
+  // Checkpoint stream, striped over the array: every commit programs
+  // ckpt_gib GiB across the 4 members, once per ckpt_every seconds.
+  const double ckpt_rate =
+      with_ckpt ? ckpt_gib * static_cast<double>(u::gib(1)) /
+                      kArrayMembers / ckpt_every
+                : 0.0;
   const auto workload = hw::WorkloadAssumptions::ssdtrain_default();
   for (const auto& spec :
        {cat::optane_p5800x_1600gb(), cat::samsung_980pro_1tb()}) {
@@ -124,6 +152,15 @@ int main(int argc, char** argv) {
                         u::format_bandwidth(faulted_rate),
                         u::format_duration_long(faulted_life)});
     }
+    if (with_ckpt) {
+      const double combined_rate = write_rate + ckpt_rate;
+      const auto combined_life = hw::lifespan_seconds(
+          relaxed, 1.0, static_cast<u::Bytes>(combined_rate));
+      ckpt.add_row({spec.name, u::format_bandwidth(ckpt_rate),
+                    u::format_fixed(100.0 * ckpt_rate / combined_rate, 1) +
+                        " %",
+                    u::format_duration_long(combined_life)});
+    }
   }
   std::cout << table.render() << "\n"
             << "SSDTrain budget = JESD rating x " << workload.retention_multiplier
@@ -143,6 +180,19 @@ int main(int argc, char** argv) {
         << "Aborted attempts still program NAND, so transient-error "
            "windows age the\nsurvivors faster than the healthy fig5 "
            "numbers suggest.\n";
+  }
+  if (with_ckpt) {
+    std::cout
+        << "\nCheckpoint-write wear (--ckpt-gib "
+        << u::format_fixed(ckpt_gib, 1) << " every "
+        << u::format_fixed(ckpt_every, 0) << " s, striped over "
+        << kArrayMembers << " members):\n"
+        << ckpt.render()
+        << "Checkpoints are sequential bulk writes like the activation "
+           "stream (WAF ~1), so\neven an aggressive Young-Daly cadence "
+           "adds single-digit wear share on top of a\nsaturating offload "
+           "stream; at realistic duty cycles the share grows but the\n"
+           "absolute rate stays far inside the relaxed budget.\n";
   }
   return 0;
 }

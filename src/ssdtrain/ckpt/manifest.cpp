@@ -1,0 +1,183 @@
+#include "ssdtrain/ckpt/manifest.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace ssdtrain::ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'S', 'D', 'T', 'C', 'K', 'P', '\n'};
+constexpr std::uint8_t kCommitMarker = 1;
+
+std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    put_u8(out, static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    put_u8(out, static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader; reads past the end set failed()
+/// and return zeros rather than touching out-of-range memory.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+  std::uint8_t u8() {
+    if (pos_ >= data_.size()) {
+      failed_ = true;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      v |= static_cast<std::uint32_t>(u8()) << shift;
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      v |= static_cast<std::uint64_t>(u8()) << shift;
+    }
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+bool fail(std::string* error, const char* reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+}  // namespace
+
+util::Bytes CheckpointManifest::total_bytes() const {
+  util::Bytes total = 0;
+  for (const Shard& shard : shards) total += shard.bytes();
+  return total;
+}
+
+util::Bytes CheckpointManifest::gpu_bytes(int gpu) const {
+  util::Bytes total = 0;
+  for (const Shard& shard : shards) {
+    if (shard.gpu == gpu) total += shard.bytes();
+  }
+  return total;
+}
+
+std::string serialize_manifest(const CheckpointManifest& m) {
+  std::string payload;
+  put_u64(payload, m.sequence);
+  put_u64(payload, m.step);
+  put_f64(payload, m.sim_time);
+  put_u32(payload, static_cast<std::uint32_t>(m.shards.size()));
+  for (const CheckpointManifest::Shard& shard : m.shards) {
+    put_u32(payload, static_cast<std::uint32_t>(shard.gpu));
+    put_u32(payload, static_cast<std::uint32_t>(shard.chunk));
+    put_u64(payload, static_cast<std::uint64_t>(shard.weight_bytes));
+    put_u64(payload, static_cast<std::uint64_t>(shard.optimizer_bytes));
+  }
+  put_u8(payload, kCommitMarker);
+
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kManifestFormatVersion);
+  put_u64(out, fnv1a(payload));
+  out += payload;
+  return out;
+}
+
+bool deserialize_manifest(std::string_view data, CheckpointManifest& out,
+                          std::string* error) {
+  constexpr std::size_t kHeader = sizeof(kMagic) + 4 + 8;
+  if (data.size() < kHeader) {
+    return fail(error, "checkpoint manifest truncated before header");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail(error, "not a checkpoint manifest (bad magic)");
+  }
+  Reader header(data.substr(sizeof(kMagic)));
+  const std::uint32_t version = header.u32();
+  if (version != kManifestFormatVersion) {
+    return fail(error, "checkpoint manifest format version mismatch");
+  }
+  const std::uint64_t checksum = header.u64();
+  const std::string_view payload = data.substr(kHeader);
+  if (fnv1a(payload) != checksum) {
+    return fail(error, "checkpoint manifest checksum mismatch (torn or "
+                       "corrupt)");
+  }
+
+  Reader reader(payload);
+  CheckpointManifest m;
+  m.sequence = reader.u64();
+  m.step = reader.u64();
+  m.sim_time = reader.f64();
+  const std::uint32_t shard_count = reader.u32();
+  // Each shard is 24 bytes; an absurd count means a corrupt length field,
+  // not a real manifest — reject before reserving memory for it.
+  if (shard_count > (1u << 20)) {
+    return fail(error, "checkpoint manifest shard count implausible");
+  }
+  m.shards.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    CheckpointManifest::Shard shard;
+    shard.gpu = static_cast<int>(reader.u32());
+    shard.chunk = static_cast<int>(reader.u32());
+    shard.weight_bytes = static_cast<util::Bytes>(reader.u64());
+    shard.optimizer_bytes = static_cast<util::Bytes>(reader.u64());
+    m.shards.push_back(shard);
+  }
+  const std::uint8_t marker = reader.u8();
+  if (reader.failed()) {
+    return fail(error, "checkpoint manifest truncated mid-payload");
+  }
+  if (marker != kCommitMarker) {
+    return fail(error, "checkpoint manifest commit marker missing (torn "
+                       "shadow write)");
+  }
+  if (!reader.exhausted()) {
+    return fail(error, "checkpoint manifest has trailing bytes");
+  }
+  out = std::move(m);
+  return true;
+}
+
+}  // namespace ssdtrain::ckpt

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file manifest.hpp
+/// Checkpoint manifest: the small, atomically-flipped commit record that
+/// makes a checkpoint crash-consistent. The bulk snapshot (weights +
+/// optimizer/ZeRO shards) is shadow-written to fresh SSD extents first;
+/// only when every shard's flow has drained is the manifest serialized and
+/// appended to the committed list — the flip. A crash mid-write leaves the
+/// previous manifest as the newest committed one, so a torn checkpoint is
+/// never restorable by construction.
+///
+/// Layout (all integers little-endian regardless of host), mirroring
+/// runtime::program_serdes:
+///
+///   magic "SSDTCKP\n" (8 bytes)
+///   u32   format version (kManifestFormatVersion)
+///   u64   FNV-1a checksum of everything after this field
+///   payload:
+///     u64 sequence        monotone commit counter (newest wins)
+///     u64 step            training step the snapshot captured
+///     f64 sim_time        commit instant (simulated seconds)
+///     u32 shard count, then per shard:
+///       u32 gpu, u32 chunk, u64 weight_bytes, u64 optimizer_bytes
+///     u8  commit marker (1) — a torn tail truncates before this byte
+///
+/// deserialize_manifest never throws on malformed input: truncated, bad
+/// magic, wrong version, checksum mismatch, or a torn shadow region all
+/// return false (with a reason) and the restore path falls back to the
+/// previous committed manifest.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::ckpt {
+
+/// Bumped on any layout change; blobs written by other versions are
+/// rejected on read (and the restore falls back), never reinterpreted.
+inline constexpr std::uint32_t kManifestFormatVersion = 1;
+
+struct CheckpointManifest {
+  /// One (gpu, chunk) stage's snapshot: where its bytes live and how many.
+  struct Shard {
+    int gpu = 0;
+    int chunk = 0;
+    util::Bytes weight_bytes = 0;
+    util::Bytes optimizer_bytes = 0;
+
+    [[nodiscard]] util::Bytes bytes() const {
+      return weight_bytes + optimizer_bytes;
+    }
+    bool operator==(const Shard&) const = default;
+  };
+
+  std::uint64_t sequence = 0;  ///< monotone commit counter
+  std::uint64_t step = 0;      ///< step index the snapshot captured
+  util::Seconds sim_time = 0.0;
+  std::vector<Shard> shards;
+
+  [[nodiscard]] util::Bytes total_bytes() const;
+  /// This GPU's share of the snapshot (all its chunks' shards).
+  [[nodiscard]] util::Bytes gpu_bytes(int gpu) const;
+
+  bool operator==(const CheckpointManifest&) const = default;
+};
+
+[[nodiscard]] std::string serialize_manifest(const CheckpointManifest& m);
+
+/// Parses \p data into \p out. Returns false — leaving \p out
+/// unspecified — when the buffer is truncated or corrupt (checksum or torn
+/// commit marker), carries the wrong magic, or was written by a different
+/// format version. \p error, when non-null, receives the reason.
+[[nodiscard]] bool deserialize_manifest(std::string_view data,
+                                        CheckpointManifest& out,
+                                        std::string* error = nullptr);
+
+}  // namespace ssdtrain::ckpt

@@ -1,0 +1,22 @@
+#include "ssdtrain/ckpt/policy.hpp"
+
+#include "ssdtrain/util/check.hpp"
+
+namespace ssdtrain::ckpt {
+
+void CheckpointPolicy::validate() const {
+  const int modes = (every_steps > 0 ? 1 : 0) +
+                    (every_seconds > 0.0 ? 1 : 0) + (auto_interval ? 1 : 0);
+  util::expects(modes <= 1,
+                "checkpoint policy: pick one of every-N-steps, "
+                "every-T-seconds, or auto (Young–Daly), not several");
+  util::expects(every_steps >= 0,
+                "checkpoint policy: step interval must be >= 0");
+  util::expects(every_seconds >= 0.0,
+                "checkpoint policy: time interval must be >= 0");
+  util::expects(!auto_interval || mtbf > 0.0,
+                "checkpoint policy: auto mode needs an MTBF "
+                "(--ckpt-auto requires --mtbf SECONDS)");
+}
+
+}  // namespace ssdtrain::ckpt

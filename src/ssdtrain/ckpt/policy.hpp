@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file policy.hpp
+/// When to checkpoint, and how to account for the time it buys back.
+///
+/// A CheckpointPolicy picks the commit cadence: every N steps, every T
+/// simulated seconds, or `auto`, which measures the cost C of the first
+/// checkpoint and then applies the Young–Daly optimum
+/// T_opt = sqrt(2 * C * MTBF). The GoodputReport splits wall-clock into
+/// useful (committed) step time, checkpoint overhead, restore time, and
+/// work lost to crashes — goodput is the fraction of wall-clock that
+/// survived into committed training progress.
+
+#include <cmath>
+#include <cstdint>
+
+#include "ssdtrain/util/units.hpp"
+
+namespace ssdtrain::ckpt {
+
+/// Young–Daly first-order optimal checkpoint interval for checkpoint cost
+/// \p cost and mean time between failures \p mtbf (both simulated seconds).
+[[nodiscard]] inline util::Seconds young_daly_interval(util::Seconds cost,
+                                                       util::Seconds mtbf) {
+  return std::sqrt(2.0 * cost * mtbf);
+}
+
+/// Commit cadence for the checkpoint writer. At most one of the three modes
+/// may be set (validate() enforces it); a default-constructed policy is
+/// disabled and the sessions write no checkpoints at all — the zero-overhead
+/// path every existing golden run takes.
+struct CheckpointPolicy {
+  /// Commit after every N completed steps (0 = off).
+  int every_steps = 0;
+  /// Commit at the first step boundary at or past each T-second mark
+  /// (0 = off).
+  util::Seconds every_seconds = 0.0;
+  /// Young–Daly auto mode: measure the first checkpoint's cost, then use
+  /// sqrt(2 * cost * mtbf) as the interval. Requires mtbf > 0.
+  bool auto_interval = false;
+  /// Mean time between failures assumed by auto mode (simulated seconds).
+  util::Seconds mtbf = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return every_steps > 0 || every_seconds > 0.0 || auto_interval;
+  }
+
+  /// Throws util::ContractViolation on a contradictory or incomplete
+  /// policy; a disabled policy is always valid.
+  void validate() const;
+};
+
+/// Wall-clock decomposition of a (possibly crash-interrupted) run. All times
+/// are simulated seconds; wall_clock >= useful_time + checkpoint_time +
+/// restore_time + lost_work_time (the remainder is pipeline drain and fault
+/// stall already folded into step times).
+struct GoodputReport {
+  util::Seconds wall_clock = 0.0;      ///< total simulated time elapsed
+  util::Seconds useful_time = 0.0;     ///< step time that survived a commit
+  util::Seconds checkpoint_time = 0.0; ///< time spent writing checkpoints
+  util::Seconds restore_time = 0.0;    ///< time spent restoring after crashes
+  util::Seconds lost_work_time = 0.0;  ///< step time rolled back by crashes
+  std::uint64_t checkpoints = 0;       ///< committed checkpoint count
+  std::uint64_t restores = 0;          ///< recovery-driver invocations
+  std::uint64_t rollback_steps = 0;    ///< steps re-executed after rollbacks
+  util::Bytes checkpoint_bytes = 0;    ///< bytes written by all commits
+
+  /// Fraction of wall-clock that became committed training progress.
+  [[nodiscard]] double goodput() const {
+    return wall_clock > 0.0 ? useful_time / wall_clock : 0.0;
+  }
+};
+
+}  // namespace ssdtrain::ckpt

@@ -60,6 +60,9 @@ std::string FaultSpec::to_text() const {
   if (factor != 1.0) add("factor=" + util::format_fixed(factor, 6));
   if (rate != 0.0) add("rate=" + util::format_fixed(rate, 6));
   if (latency != 0.0) add("latency=" + util::format_fixed(latency, 6));
+  // `recover` is implied by the loss mode (validate rejects every other
+  // combination), so lose=state alone round-trips the full semantics.
+  if (lose == CrashLoss::state) add("lose=state");
   if (!args.empty()) out += ":" + args;
   return out;
 }
@@ -108,10 +111,29 @@ void apply_key(FaultSpec& spec, std::string_view key, std::string_view value) {
   } else if (key == "latency") {
     spec.latency = parse_number(key, value);
     util::expects(spec.latency >= 0.0, "--faults: 'latency' must be >= 0");
+  } else if (key == "lose") {
+    if (value == "none") {
+      spec.lose = CrashLoss::none;
+    } else if (value == "state") {
+      spec.lose = CrashLoss::state;
+    } else {
+      util::expects(false, "--faults: 'lose' expects none|state, got '" +
+                               std::string(value) + "'");
+    }
+  } else if (key == "recover") {
+    if (value == "resume") {
+      spec.recover = CrashRecovery::resume;
+    } else if (value == "rollback") {
+      spec.recover = CrashRecovery::rollback;
+    } else {
+      util::expects(false,
+                    "--faults: 'recover' expects resume|rollback, got '" +
+                        std::string(value) + "'");
+    }
   } else {
     util::expects(false, "--faults: unknown key '" + std::string(key) +
                              "' (known: gpu, member, at, dur, factor, rate, "
-                             "latency)");
+                             "latency, lose, recover)");
   }
 }
 
@@ -138,9 +160,24 @@ void validate(const FaultSpec& spec) {
     case FaultKind::stage_crash:
       util::expects(spec.duration != FaultSpec::open_ended,
                     "--faults: stage-crash needs dur=SECONDS");
+      util::expects(!(spec.lose == CrashLoss::state &&
+                      spec.recover == CrashRecovery::resume),
+                    "--faults: stage-crash lose=state wipes the stage's "
+                    "device state, so recover=resume is impossible — use "
+                    "recover=rollback (or omit it)");
+      util::expects(!(spec.lose == CrashLoss::none &&
+                      spec.recover == CrashRecovery::rollback),
+                    "--faults: stage-crash recover=rollback requires "
+                    "lose=state (a pause-only crash has nothing to roll "
+                    "back)");
       break;
     case FaultKind::ssd_dropout:
       break;
+  }
+  if (spec.kind != FaultKind::stage_crash) {
+    util::expects(spec.lose == CrashLoss::none &&
+                      spec.recover == CrashRecovery::unset,
+                  "--faults: 'lose'/'recover' apply only to stage-crash");
   }
 }
 

@@ -17,7 +17,13 @@
 /// seconds; omitted = open-ended), factor (capacity multiplier in (0, 1]
 /// for derates, time multiplier >= 1 for gpu-straggler), rate (per-attempt
 /// transient-failure probability for io-error), latency (extra per-I/O
-/// setup latency in seconds for ssd-latency).
+/// setup latency in seconds for ssd-latency), lose (stage-crash only:
+/// none = the crash is a pause and every tensor survives, the historical
+/// semantics; state = the crashed stage's device state is wiped and the
+/// session must restore a committed checkpoint), recover (stage-crash only:
+/// resume continues in place — valid only with lose=none — while rollback
+/// restores the last committed checkpoint and replays the lost steps,
+/// implied by lose=state).
 
 #include <cstdint>
 #include <string>
@@ -43,6 +49,20 @@ enum class FaultKind {
 std::string_view to_string(FaultKind kind);
 FaultKind fault_kind_from(std::string_view name);
 
+/// What a stage-crash destroys. `none` keeps the historical free-pause
+/// semantics (the stream stalls for `dur`, all state survives); `state`
+/// wipes the crashed stage's device state — weights, optimizer shards,
+/// cached activations — so the run can only continue by restoring the last
+/// committed checkpoint and rolling back to its step.
+enum class CrashLoss : std::uint8_t { none, state };
+
+/// How the session reacts to a stage-crash. `unset` defers to the loss
+/// mode (lose=none -> resume, lose=state -> rollback); the explicit values
+/// exist so specs can state their intent, and the contradictory
+/// combinations (lose=state with resume, lose=none with rollback) are
+/// rejected by validation.
+enum class CrashRecovery : std::uint8_t { unset, resume, rollback };
+
 struct FaultSpec {
   /// Window end used when `dur` is omitted: effectively "for the rest of
   /// the run" while keeping begin+dur finite arithmetic exact.
@@ -56,8 +76,14 @@ struct FaultSpec {
   double factor = 1.0;
   double rate = 0.0;
   util::Seconds latency = 0.0;
+  /// stage-crash only: what the crash destroys and how to come back.
+  CrashLoss lose = CrashLoss::none;
+  CrashRecovery recover = CrashRecovery::unset;
 
   [[nodiscard]] util::Seconds end() const { return at + duration; }
+  /// True when this spec demands checkpoint rollback (lose=state; the
+  /// explicit recover key only ever confirms what the loss mode implies).
+  [[nodiscard]] bool rolls_back() const { return lose == CrashLoss::state; }
   /// Round-trips through parse_faults.
   [[nodiscard]] std::string to_text() const;
 };
@@ -71,6 +97,50 @@ struct FaultConfig {
   std::uint64_t seed = 0;
 
   [[nodiscard]] bool enabled() const { return !specs.empty(); }
+};
+
+/// Deterministic crash-arrival schedule with a given mean time between
+/// failures. Gap k is mtbf * (0.5 + phase_k) where the phases walk the
+/// unit interval by the golden-ratio conjugate — a low-discrepancy sequence
+/// that equidistributes over [0.5, 1.5) * mtbf, so the mean gap converges
+/// to `mtbf` far faster than i.i.d. exponential draws, and the arithmetic
+/// (one add, one conditional subtract) is bit-identical across platforms,
+/// which libm-backed exponential sampling is not. Benches use this to place
+/// stage-crash triggers at step boundaries; goodput measured against it is
+/// reproducible to the byte for a fixed horizon.
+class CrashSchedule {
+ public:
+  explicit CrashSchedule(util::Seconds mtbf) : mtbf_(mtbf) { advance(); }
+
+  /// The next arrival instant (simulated seconds).
+  [[nodiscard]] util::Seconds next() const { return next_; }
+
+  /// Consumes every arrival at or before \p now; returns how many there
+  /// were. A caller that triggers one crash per non-zero return models
+  /// coalesced failures (a second fault during the restart window is
+  /// absorbed by the restart already in flight).
+  int consume(util::Seconds now) {
+    int arrivals = 0;
+    while (next_ <= now) {
+      advance();
+      ++arrivals;
+    }
+    return arrivals;
+  }
+
+ private:
+  /// Golden-ratio conjugate 1/phi; the classic low-discrepancy increment.
+  static constexpr double kPhi = 0.6180339887498949;
+
+  void advance() {
+    next_ += mtbf_ * (0.5 + phase_);
+    phase_ += kPhi;
+    if (phase_ >= 1.0) phase_ -= 1.0;
+  }
+
+  util::Seconds mtbf_;
+  util::Seconds next_ = 0.0;
+  double phase_ = 0.0;  ///< frac(k * kPhi), by exact recurrence
 };
 
 }  // namespace ssdtrain::fault

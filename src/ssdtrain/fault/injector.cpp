@@ -144,9 +144,15 @@ void FaultInjector::apply_end(std::size_t index) {
   refresh_derates(spec.kind, spec.gpu);
 }
 
+std::vector<CrashRecord> FaultInjector::take_crashes() {
+  return std::exchange(crashes_, {});
+}
+
 void FaultInjector::apply_dropout(const FaultSpec& spec) {
+  int matched = 0;
   for (int g = 0; g < node_->gpu_count(); ++g) {
     if (!covers(spec, g) || !node_->has_array(g)) continue;
+    ++matched;
     auto& array = node_->array(g);
     const auto member = static_cast<std::size_t>(spec.member);
     util::expects(member < array.member_count(),
@@ -159,21 +165,48 @@ void FaultInjector::apply_dropout(const FaultSpec& spec) {
                     array.name() + " member " + std::to_string(spec.member) +
                         " dropped");
   }
+  if (matched == 0) {
+    // A typo'd gpu= (or a GPU without an array) would otherwise vanish
+    // silently; the warning makes the dead spec diagnosable from the log.
+    events_.push_back(FaultEvent{sim_.now(), spec.kind, spec.gpu, true,
+                                 "fault matched no target: " +
+                                     spec.to_text()});
+  }
 }
 
 void FaultInjector::apply_stage_crash(const FaultSpec& spec) {
   const sim::TimePoint end_t = sim_.now() + spec.duration;
+  int matched = 0;
   for (int g = 0; g < node_->gpu_count(); ++g) {
     if (!covers(spec, g)) continue;
+    ++matched;
     // The stream stalls until the restart completion fires: tasks already
     // launched drain, everything enqueued after this instant waits — the
     // stall then propagates through pipeline dependencies.
     auto restart = sim::Completion::create(sim_, util::Label("stage-restart"));
     sim_.schedule_at(end_t, [restart] { restart->fire(); });
     node_->gpu(g).compute_stream->wait_for(restart);
-    note_structural(FaultKind::stage_crash, g,
-                    "stage crash, restart after " +
-                        std::to_string(spec.duration) + "s");
+    if (spec.lose == CrashLoss::state) {
+      // Destructive crash: the stage's device state is gone. No structural
+      // epoch bump — the restored machine is the recorded one, so the
+      // StepProgram stays valid — but the session must run its recovery
+      // driver (restore + rollback) before the next step commits.
+      crashes_.push_back(CrashRecord{g, sim_.now(), end_t});
+      events_.push_back(FaultEvent{sim_.now(), FaultKind::stage_crash, g,
+                                   true,
+                                   "stage crash (state lost), restart after " +
+                                       std::to_string(spec.duration) + "s"});
+    } else {
+      note_structural(FaultKind::stage_crash, g,
+                      "stage crash, restart after " +
+                          std::to_string(spec.duration) + "s");
+    }
+  }
+  if (matched == 0) {
+    events_.push_back(FaultEvent{sim_.now(), spec.kind, spec.gpu, true,
+                                 "fault matched no target: " +
+                                     spec.to_text()});
+    return;
   }
   const FaultSpec logged = spec;
   sim_.schedule_at(end_t, [this, logged] { log(logged, false); });

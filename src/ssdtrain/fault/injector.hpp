@@ -35,6 +35,17 @@ struct FaultEvent {
   std::string detail;
 };
 
+/// One destructive stage crash (stage-crash with lose=state) awaiting the
+/// session's recovery driver. The injector stalls the crashed GPU's stream
+/// for the restart duration, records this, and leaves restore + rollback to
+/// the session: the crash wiped the stage's device state, so the next step
+/// boundary must restore a committed checkpoint before training continues.
+struct CrashRecord {
+  int gpu = 0;
+  sim::TimePoint at = 0.0;       ///< instant the crash fired
+  sim::TimePoint restart = 0.0;  ///< instant the stage comes back up
+};
+
 class FaultInjector {
  public:
   FaultInjector(sim::Simulator& sim, FaultConfig config);
@@ -82,6 +93,15 @@ class FaultInjector {
     return events_;
   }
 
+  /// Destructive crashes (lose=state) that fired since the last
+  /// take_crashes(). Sessions poll this at every step boundary and run
+  /// their checkpoint-restore recovery driver when it is non-empty.
+  [[nodiscard]] const std::vector<CrashRecord>& pending_crashes() const {
+    return crashes_;
+  }
+  /// Consumes the pending crashes (the recovery driver has handled them).
+  [[nodiscard]] std::vector<CrashRecord> take_crashes();
+
  private:
   struct DpPort {
     int gpu = 0;
@@ -116,6 +136,7 @@ class FaultInjector {
   std::vector<DpPort> dp_ports_;
   std::uint64_t structural_epoch_ = 0;
   std::vector<FaultEvent> events_;
+  std::vector<CrashRecord> crashes_;  ///< lose=state crashes, unconsumed
 };
 
 }  // namespace ssdtrain::fault

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "ssdtrain/ckpt/writer.hpp"
 #include "ssdtrain/parallel/collectives.hpp"
 #include "ssdtrain/runtime/program_cache.hpp"
 #include "ssdtrain/util/check.hpp"
@@ -185,6 +186,14 @@ StepStats merge_cluster_stats(const std::vector<StageStepStats>& stages,
 ClusterSession::ClusterSession(ClusterConfig config)
     : config_(std::move(config)) {
   config_.parallel.validate();
+  config_.checkpoint.validate();
+  for (const fault::FaultSpec& spec : config_.faults.specs) {
+    util::expects(!spec.rolls_back() || config_.checkpoint.enabled(),
+                  "--faults: stage-crash lose=state is only recoverable "
+                  "from a committed checkpoint — configure a checkpoint "
+                  "policy (--ckpt-interval N or --ckpt-auto with --mtbf) "
+                  "or drop lose=state");
+  }
   util::expects(config_.micro_batches >= 1, "need at least one micro-batch");
   util::expects(config_.virtual_stages >= 1,
                 "need at least one virtual stage");
@@ -258,6 +267,26 @@ ClusterSession::ClusterSession(ClusterConfig config)
                   "non-first virtual stage receives no boundary tensors");
     lanes_[static_cast<std::size_t>(ctx.gpu)].param_bytes +=
         ctx.model->parameter_bytes(config_.parallel.tensor_parallel);
+  }
+
+  if (config_.checkpoint.enabled()) {
+    ckpt_writer_ = std::make_unique<ckpt::CheckpointWriter>(*node_,
+                                                            config_.use_gds);
+    // Each virtual stage checkpoints its fp16 weight slice plus its share
+    // of the fp32 optimizer state (12 B per parameter, cut to 1/dp when
+    // ZeRO shards the states across the DP group).
+    const double opt_shard =
+        config_.parallel.zero == parallel::ZeroStage::none
+            ? 1.0
+            : 1.0 / config_.parallel.data_parallel;
+    for (const auto& ctx : contexts_) {
+      const util::Bytes weights =
+          ctx.model->parameter_bytes(config_.parallel.tensor_parallel);
+      ckpt_writer_->add_stage(
+          ctx.gpu, ctx.chunk, weights,
+          static_cast<util::Bytes>(6.0 * static_cast<double>(weights) *
+                                   opt_shard));
+    }
   }
 
   if (config_.strategy == Strategy::ssdtrain_cpu) {
@@ -939,7 +968,103 @@ ClusterStepStats ClusterSession::run_step() {
   out.p2p_bytes = p2p_bytes_step_;
   out.dp_bytes = dp_bytes_step_;
   ++step_index_;
+  finish_step_accounting(out);
   return out;
+}
+
+bool ClusterSession::checkpoint_due() const {
+  const ckpt::CheckpointPolicy& policy = config_.checkpoint;
+  if (policy.every_steps > 0) {
+    return steps_since_commit_ >= policy.every_steps;
+  }
+  const sim::TimePoint now = node_->simulator().now();
+  if (policy.every_seconds > 0.0) {
+    return now - last_commit_wall_ >= policy.every_seconds;
+  }
+  if (policy.auto_interval) {
+    if (!auto_cost_known_) return true;
+    return now - last_commit_wall_ >= auto_interval_;
+  }
+  return false;
+}
+
+void ClusterSession::finish_step_accounting(ClusterStepStats& out) {
+  auto& sim = node_->simulator();
+  if (injector_ != nullptr && !injector_->pending_crashes().empty()) {
+    const std::vector<fault::CrashRecord> crashes = injector_->take_crashes();
+    util::check(ckpt_writer_ != nullptr,
+                "stage-crash lose=state fired (via trigger) but no "
+                "checkpoint policy is configured — enable "
+                "--ckpt-interval/--ckpt-auto before injecting destructive "
+                "crashes");
+    // Any stage's destructive crash rolls the whole pipeline back: the
+    // lost stage must reload the last committed checkpoint, and the
+    // surviving stages follow it there (their optimizer steps since the
+    // commit cannot be un-applied in place). All restore flows run
+    // concurrently, contending on the shared fabric.
+    sim::TimePoint earliest = crashes.front().at;
+    for (const fault::CrashRecord& crash : crashes) {
+      earliest = std::min(earliest, crash.at);
+    }
+    const util::Seconds lost =
+        std::max(0.0, earliest - ckpt_writer_->last_commit_time());
+    std::vector<int> gpus;
+    gpus.reserve(lanes_.size());
+    for (int s = 0; s < static_cast<int>(lanes_.size()); ++s) {
+      gpus.push_back(s);
+    }
+    const ckpt::RestoreResult restore = ckpt_writer_->restore(gpus);
+    out.combined.restore_time = restore.time;
+    out.combined.rollback_steps = logical_step_ + 1 - restore.step;
+    out.combined.lost_work_time = lost;
+    out.combined.step_time += restore.time;
+    ++restores_;
+    restore_time_total_ += restore.time;
+    lost_work_total_ += lost;
+    rollback_total_ += out.combined.rollback_steps;
+    provisional_useful_ = 0.0;
+    logical_step_ = restore.step;
+    steps_since_commit_ = 0;
+    last_commit_wall_ = sim.now();
+    return;
+  }
+
+  ++logical_step_;
+  provisional_useful_ += out.combined.step_time;
+  if (ckpt_writer_ == nullptr) return;
+  ++steps_since_commit_;
+  if (!checkpoint_due()) return;
+
+  const ckpt::CheckpointCommit commit = ckpt_writer_->write(logical_step_);
+  out.combined.checkpoint_time = commit.time;
+  out.combined.checkpoint_bytes = commit.bytes;
+  out.combined.step_time += commit.time;
+  checkpoint_time_total_ += commit.time;
+  committed_useful_ += provisional_useful_;
+  provisional_useful_ = 0.0;
+  steps_since_commit_ = 0;
+  last_commit_wall_ = commit.committed_at;
+  if (config_.checkpoint.auto_interval && !auto_cost_known_) {
+    auto_interval_ =
+        ckpt::young_daly_interval(commit.time, config_.checkpoint.mtbf);
+    auto_cost_known_ = true;
+  }
+}
+
+ckpt::GoodputReport ClusterSession::goodput() {
+  ckpt::GoodputReport report;
+  report.wall_clock = node_->simulator().now();
+  report.useful_time = committed_useful_ + provisional_useful_;
+  report.checkpoint_time = checkpoint_time_total_;
+  report.restore_time = restore_time_total_;
+  report.lost_work_time = lost_work_total_;
+  report.checkpoints =
+      ckpt_writer_ != nullptr ? ckpt_writer_->committed_count() : 0;
+  report.restores = restores_;
+  report.rollback_steps = rollback_total_;
+  report.checkpoint_bytes =
+      ckpt_writer_ != nullptr ? ckpt_writer_->bytes_written() : 0;
+  return report;
 }
 
 std::vector<ClusterStepStats> ClusterSession::run_steps(int n) {

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "ssdtrain/ckpt/policy.hpp"
 #include "ssdtrain/core/malloc_hook.hpp"
 #include "ssdtrain/core/offloader.hpp"
 #include "ssdtrain/core/planner.hpp"
@@ -91,6 +92,11 @@ struct ClusterConfig {
   fault::FaultConfig faults;
   /// Offload retry/backoff knobs applied to every stage's offloader.
   core::OffloadFaultPolicy fault_policy;
+
+  /// Crash-consistent checkpointing of every stage's weights + optimizer
+  /// (or ZeRO) shard to its offload SSDs. Disabled by default; required
+  /// before any stage-crash fault with lose=state.
+  ckpt::CheckpointPolicy checkpoint;
 };
 
 /// One virtual stage's measurements (virtual stage = chunk * pp + gpu).
@@ -145,6 +151,17 @@ class ClusterSession {
   /// Null unless config.faults has specs.
   [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
 
+  /// Null unless config.checkpoint is enabled.
+  [[nodiscard]] ckpt::CheckpointWriter* checkpoint_writer() {
+    return ckpt_writer_.get();
+  }
+  /// Steps durably completed (rolls back on destructive crashes); diverges
+  /// from the run_step call count once a recovery replays lost steps.
+  [[nodiscard]] std::uint64_t logical_step() const { return logical_step_; }
+  /// Wall-clock decomposition: useful step time vs checkpoint/restore/lost
+  /// overhead, cluster-wide.
+  [[nodiscard]] ckpt::GoodputReport goodput();
+
  private:
   struct StageContext;  ///< one (gpu, chunk) model slice and its runtime
   struct GpuLane;       ///< one GPU's expanded command stream
@@ -168,6 +185,12 @@ class ClusterSession {
   /// Re-plans every offloading stage against its degraded array bandwidth
   /// and installs the rebalanced budgets into the live caches.
   void rebalance_after_fault();
+  [[nodiscard]] bool checkpoint_due() const;
+  /// Post-step checkpoint/recovery driver (see TrainingSession): restores
+  /// every stage — surviving ranks must roll back with the crashed one,
+  /// since committed optimizer steps cannot be un-applied — or commits a
+  /// due checkpoint, and keeps the goodput ledger.
+  void finish_step_accounting(ClusterStepStats& out);
   sim::CompletionPtr launch_fabric_flow(
       util::Label label, util::Bytes bytes,
       std::vector<sim::BandwidthNetwork::ResourceId> path, int gpu,
@@ -195,6 +218,23 @@ class ClusterSession {
   std::map<std::pair<int, int>, sim::CompletionPtr> pending_backward_;
   util::Bytes p2p_bytes_step_ = 0;
   util::Bytes dp_bytes_step_ = 0;
+
+  // Checkpoint / recovery state (inert without a policy). step_index_
+  // stays monotone — it drives the record stagger — so the rollbackable
+  // step count lives in logical_step_.
+  std::unique_ptr<ckpt::CheckpointWriter> ckpt_writer_;
+  std::uint64_t logical_step_ = 0;
+  int steps_since_commit_ = 0;
+  sim::TimePoint last_commit_wall_ = 0.0;
+  util::Seconds auto_interval_ = 0.0;
+  bool auto_cost_known_ = false;
+  util::Seconds committed_useful_ = 0.0;
+  util::Seconds provisional_useful_ = 0.0;
+  util::Seconds checkpoint_time_total_ = 0.0;
+  util::Seconds restore_time_total_ = 0.0;
+  util::Seconds lost_work_total_ = 0.0;
+  std::uint64_t restores_ = 0;
+  std::uint64_t rollback_total_ = 0;
 };
 
 }  // namespace ssdtrain::runtime

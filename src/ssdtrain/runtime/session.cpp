@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ssdtrain/ckpt/writer.hpp"
 #include "ssdtrain/runtime/program_cache.hpp"
 #include "ssdtrain/util/check.hpp"
 #include "ssdtrain/util/logging.hpp"
@@ -39,6 +40,14 @@ TrainingSession::~TrainingSession() = default;
 TrainingSession::TrainingSession(SessionConfig config)
     : config_(std::move(config)) {
   config_.parallel.validate();
+  config_.checkpoint.validate();
+  for (const fault::FaultSpec& spec : config_.faults.specs) {
+    util::expects(!spec.rolls_back() || config_.checkpoint.enabled(),
+                  "--faults: stage-crash lose=state is only recoverable "
+                  "from a committed checkpoint — configure a checkpoint "
+                  "policy (--ckpt-interval N or --ckpt-auto with --mtbf) "
+                  "or drop lose=state");
+  }
   replay_active_ = config_.use_replay;
   if (config_.program_cache != nullptr && config_.use_replay) {
     program_key_ =
@@ -55,6 +64,16 @@ TrainingSession::TrainingSession(SessionConfig config)
     injector_->bind_node(*node_);
   }
   model_ = modules::build_model(config_.model);
+
+  if (config_.checkpoint.enabled()) {
+    ckpt_writer_ = std::make_unique<ckpt::CheckpointWriter>(*node_,
+                                                            config_.use_gds);
+    // One shard: this GPU's fp16 weights plus the unpartitioned fp32
+    // optimizer state (momentum + master copy, 12 B per 2-byte parameter).
+    const util::Bytes weights =
+        model_->parameter_bytes(config_.parallel.tensor_parallel);
+    ckpt_writer_->add_stage(config_.gpu_index, 0, weights, 6 * weights);
+  }
 
   ExecutorOptions exec_options;
   exec_options.gpu_index = config_.gpu_index;
@@ -242,7 +261,103 @@ StepStats TrainingSession::run_step() {
     last_offloader_ = t;
   }
   stats.program_invalidations = invalidations;
+  finish_step_accounting(stats);
   return stats;
+}
+
+bool TrainingSession::checkpoint_due() const {
+  const ckpt::CheckpointPolicy& policy = config_.checkpoint;
+  if (policy.every_steps > 0) {
+    return steps_since_commit_ >= policy.every_steps;
+  }
+  const sim::TimePoint now = node_->simulator().now();
+  if (policy.every_seconds > 0.0) {
+    return now - last_commit_wall_ >= policy.every_seconds;
+  }
+  if (policy.auto_interval) {
+    // Young–Daly needs the checkpoint cost; the first boundary commits
+    // unconditionally to measure it, then sqrt(2*C*MTBF) takes over.
+    if (!auto_cost_known_) return true;
+    return now - last_commit_wall_ >= auto_interval_;
+  }
+  return false;
+}
+
+void TrainingSession::finish_step_accounting(StepStats& stats) {
+  if (injector_ != nullptr && !injector_->pending_crashes().empty()) {
+    const std::vector<fault::CrashRecord> crashes = injector_->take_crashes();
+    sim::TimePoint earliest = 0.0;
+    bool mine = false;
+    for (const fault::CrashRecord& crash : crashes) {
+      if (crash.gpu != config_.gpu_index) continue;  // idle GPU, no state
+      earliest = mine ? std::min(earliest, crash.at) : crash.at;
+      mine = true;
+    }
+    if (mine) {
+      util::check(ckpt_writer_ != nullptr,
+                  "stage-crash lose=state fired (via trigger) but no "
+                  "checkpoint policy is configured — enable "
+                  "--ckpt-interval/--ckpt-auto before injecting "
+                  "destructive crashes");
+      // The crash wiped this step's work and everything since the last
+      // commit: restore the newest committed checkpoint over the same
+      // contended links and roll the logical step counter back to it.
+      const util::Seconds lost =
+          std::max(0.0, earliest - ckpt_writer_->last_commit_time());
+      const ckpt::RestoreResult restore =
+          ckpt_writer_->restore({config_.gpu_index});
+      stats.restore_time = restore.time;
+      stats.rollback_steps = logical_step_ + 1 - restore.step;
+      stats.lost_work_time = lost;
+      stats.step_time += restore.time;
+      ++restores_;
+      restore_time_total_ += restore.time;
+      lost_work_total_ += lost;
+      rollback_total_ += stats.rollback_steps;
+      provisional_useful_ = 0.0;  // forfeited with the crash
+      logical_step_ = restore.step;
+      steps_since_commit_ = 0;
+      last_commit_wall_ = node_->simulator().now();
+      return;
+    }
+  }
+
+  ++logical_step_;
+  provisional_useful_ += stats.step_time;
+  if (ckpt_writer_ == nullptr) return;
+  ++steps_since_commit_;
+  if (!checkpoint_due()) return;
+
+  const ckpt::CheckpointCommit commit = ckpt_writer_->write(logical_step_);
+  stats.checkpoint_time = commit.time;
+  stats.checkpoint_bytes = commit.bytes;
+  stats.step_time += commit.time;
+  checkpoint_time_total_ += commit.time;
+  committed_useful_ += provisional_useful_;
+  provisional_useful_ = 0.0;
+  steps_since_commit_ = 0;
+  last_commit_wall_ = commit.committed_at;
+  if (config_.checkpoint.auto_interval && !auto_cost_known_) {
+    auto_interval_ =
+        ckpt::young_daly_interval(commit.time, config_.checkpoint.mtbf);
+    auto_cost_known_ = true;
+  }
+}
+
+ckpt::GoodputReport TrainingSession::goodput() {
+  ckpt::GoodputReport report;
+  report.wall_clock = node_->simulator().now();
+  report.useful_time = committed_useful_ + provisional_useful_;
+  report.checkpoint_time = checkpoint_time_total_;
+  report.restore_time = restore_time_total_;
+  report.lost_work_time = lost_work_total_;
+  report.checkpoints =
+      ckpt_writer_ != nullptr ? ckpt_writer_->committed_count() : 0;
+  report.restores = restores_;
+  report.rollback_steps = rollback_total_;
+  report.checkpoint_bytes =
+      ckpt_writer_ != nullptr ? ckpt_writer_->bytes_written() : 0;
+  return report;
 }
 
 std::vector<StepStats> TrainingSession::run_steps(int n) {

@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "ssdtrain/ckpt/policy.hpp"
 #include "ssdtrain/core/offloader.hpp"
 #include "ssdtrain/core/planner.hpp"
 #include "ssdtrain/core/tensor_cache.hpp"
@@ -21,6 +22,10 @@
 #include "ssdtrain/modules/model.hpp"
 #include "ssdtrain/runtime/executor.hpp"
 #include "ssdtrain/runtime/step_stats.hpp"
+
+namespace ssdtrain::ckpt {
+class CheckpointWriter;  // ckpt/writer.hpp
+}  // namespace ssdtrain::ckpt
 
 namespace ssdtrain::runtime {
 
@@ -88,6 +93,13 @@ struct SessionConfig {
   /// Offload retry/backoff knobs; the injector pointer is filled in by the
   /// session.
   core::OffloadFaultPolicy fault_policy;
+
+  /// Crash-consistent checkpointing to the offload SSDs (disabled by
+  /// default — the zero-overhead path is byte-identical to a session
+  /// without the checkpoint layer). Required before any stage-crash fault
+  /// with lose=state: a destructive crash is only recoverable from a
+  /// committed checkpoint.
+  ckpt::CheckpointPolicy checkpoint;
 };
 
 class TrainingSession {
@@ -128,7 +140,28 @@ class TrainingSession {
   /// trigger structural faults at step boundaries and read the fault log.
   [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
 
+  /// Null unless config.checkpoint is enabled. Exposes commit/restore
+  /// telemetry, the trace timeline, and the torn-blob test hook.
+  [[nodiscard]] ckpt::CheckpointWriter* checkpoint_writer() {
+    return ckpt_writer_.get();
+  }
+
+  /// Steps durably completed: committed step count after rollbacks. Equals
+  /// the number of run_step calls only when no crash rolled work back.
+  [[nodiscard]] std::uint64_t logical_step() const { return logical_step_; }
+
+  /// Wall-clock decomposition so far: useful step time vs checkpoint,
+  /// restore, and lost-work overhead. All zeros (with goodput 1.0 once
+  /// steps ran) without a checkpoint policy or crashes.
+  [[nodiscard]] ckpt::GoodputReport goodput();
+
  private:
+  /// The policy says a commit is due at this (post-step) boundary.
+  [[nodiscard]] bool checkpoint_due() const;
+  /// Post-step checkpoint/recovery driver: consumes pending destructive
+  /// crashes (restore + rollback) or commits a due checkpoint, and keeps
+  /// the goodput ledger.
+  void finish_step_accounting(StepStats& stats);
   /// Re-runs the adaptive planner against the degraded machine (a dropped
   /// RAID member shrinks the array's sustainable write bandwidth) and
   /// installs the rebalanced budget into the live cache.
@@ -155,6 +188,23 @@ class TrainingSession {
   /// faults replay).
   std::uint64_t fault_epoch_seen_ = 0;
   core::OffloaderStats last_offloader_;  ///< snapshot for per-step deltas
+
+  // Checkpoint / recovery state (inert without a policy).
+  std::unique_ptr<ckpt::CheckpointWriter> ckpt_writer_;
+  std::uint64_t logical_step_ = 0;     ///< committed steps (rolls back)
+  int steps_since_commit_ = 0;
+  sim::TimePoint last_commit_wall_ = 0.0;
+  util::Seconds auto_interval_ = 0.0;  ///< Young–Daly, once cost is known
+  bool auto_cost_known_ = false;
+  // Goodput ledger: provisional step time becomes useful at the next
+  // commit and is forfeited by a crash.
+  util::Seconds committed_useful_ = 0.0;
+  util::Seconds provisional_useful_ = 0.0;
+  util::Seconds checkpoint_time_total_ = 0.0;
+  util::Seconds restore_time_total_ = 0.0;
+  util::Seconds lost_work_total_ = 0.0;
+  std::uint64_t restores_ = 0;
+  std::uint64_t rollback_total_ = 0;
 };
 
 }  // namespace ssdtrain::runtime

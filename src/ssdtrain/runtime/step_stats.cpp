@@ -34,6 +34,11 @@ StepStats average(const std::vector<StepStats>& steps) {
     out.recompute_fallbacks += s.recompute_fallbacks;
     out.fault_stall_time += s.fault_stall_time / n;
     out.program_invalidations += s.program_invalidations;
+    out.checkpoint_time += s.checkpoint_time / n;
+    out.checkpoint_bytes += s.checkpoint_bytes;
+    out.restore_time += s.restore_time / n;
+    out.rollback_steps += s.rollback_steps;
+    out.lost_work_time += s.lost_work_time / n;
   }
   out.ssd_write_amplification -= 1.0;  // remove default-initialised 1.0
   out.model_throughput =

@@ -52,6 +52,19 @@ struct StepStats {
   /// Recorded StepPrograms discarded this step after a structural fault.
   std::uint64_t program_invalidations = 0;
 
+  // Checkpoint / recovery accounting (all zero without a checkpoint
+  // policy). Times are included in step_time: a checkpointed or recovered
+  // step is longer by exactly these amounts.
+  util::Seconds checkpoint_time = 0.0;  ///< commit written after this step
+  util::Bytes checkpoint_bytes = 0;     ///< shards + manifest this step
+  util::Seconds restore_time = 0.0;     ///< checkpoint read-back this step
+  /// Steps discarded by the rollback this step triggered (crash step -
+  /// checkpoint step); they re-execute on subsequent run_step calls.
+  std::uint64_t rollback_steps = 0;
+  /// Committed-work time thrown away by the crash handled this step
+  /// (crash instant minus last commit instant — the Young–Daly loss term).
+  util::Seconds lost_work_time = 0.0;
+
   core::TensorCacheStats cache;          ///< snapshot at step end
   core::OffloaderStats offloader_totals; ///< snapshot at step end
 };

@@ -154,6 +154,31 @@ CliOptions parse_cli(int argc, char** argv) {
                     "--fault-seed expects a non-negative integer, got '" +
                         std::string(text) + "'");
       options.fault_seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--ckpt-interval") {
+      util::expects(i + 1 < argc, "--ckpt-interval requires a step count");
+      const char* text = argv[++i];
+      char* end = nullptr;
+      errno = 0;
+      const long n = std::strtol(text, &end, 10);
+      util::expects(end != text && *end == '\0' && errno != ERANGE &&
+                        n >= 1 && n <= 1000000,
+                    "--ckpt-interval expects an integer in [1, 1000000], "
+                    "got '" +
+                        std::string(text) + "'");
+      options.ckpt_interval = static_cast<int>(n);
+    } else if (arg == "--ckpt-auto") {
+      options.ckpt_auto = true;
+    } else if (arg == "--mtbf") {
+      util::expects(i + 1 < argc, "--mtbf requires seconds");
+      const char* text = argv[++i];
+      char* end = nullptr;
+      errno = 0;
+      const double seconds = std::strtod(text, &end);
+      util::expects(end != text && *end == '\0' && errno != ERANGE &&
+                        seconds > 0.0,
+                    "--mtbf expects a positive number of seconds, got '" +
+                        std::string(text) + "'");
+      options.mtbf = seconds;
     } else if (arg == "--shard") {
       util::expects(i + 1 < argc, "--shard requires I/N");
       parse_shard(argv[++i], options);
@@ -187,13 +212,17 @@ CliOptions parse_cli(int argc, char** argv) {
                         "--points a=1,b=2, --point-timeout S, --retries N, "
                         "--no-replay, --pp N, --tp N, --dp N, "
                         "--zero none|1|2|3, --faults SPECS, "
-                        "--fault-seed N, --shard I/N, "
+                        "--fault-seed N, --ckpt-interval N, --ckpt-auto, "
+                        "--mtbf SECONDS, --shard I/N, "
                         "--program-cache DIR, --no-program-cache, "
                         "--chaos-exec SPEC)");
     } else {
       options.positional.emplace_back(arg);
     }
   }
+  // Validate the checkpoint cadence eagerly so contradictions (both
+  // cadences, --ckpt-auto without --mtbf) surface at startup.
+  (void)options.checkpoint_policy();
   return options;
 }
 

@@ -26,12 +26,34 @@
 ///                       bit-for-bit without the flags)
 ///   --zero none|1|2|3   override the ZeRO stage the same way
 ///   --faults SPECS      seeded fault injection: a semicolon-separated
-///                       FaultSpec list (fault::parse_faults grammar, e.g.
-///                       "io-error:rate=0.01;ssd-derate:at=0.5,dur=0.2,
-///                       factor=0.25") applied to every session the bench
-///                       builds; unset = no injector, byte-identical output
+///                       FaultSpec list applied to every session the bench
+///                       builds; unset = no injector, byte-identical output.
+///                       Full grammar (fault::parse_faults):
+///                         kind[:key=value[,key=value...]][;kind...]
+///                       kinds: ssd-latency (needs latency=SECONDS),
+///                       ssd-derate / pcie-derate / nvlink-derate /
+///                       dp-derate (factor in (0,1]), gpu-straggler
+///                       (factor >= 1), io-error (rate in (0,1]),
+///                       ssd-dropout (member=I), stage-crash (needs
+///                       dur=SECONDS)
+///                       common keys: gpu=G (-1 = all, the default),
+///                       at=SECONDS, dur=SECONDS
+///                       stage-crash only: lose=none|state (state wipes
+///                       the stage's device state — needs a checkpoint
+///                       policy to recover), recover=resume|rollback
+///                       (implied by lose; resume+lose=state and
+///                       rollback+lose=none are rejected)
 ///   --fault-seed N      seed for the injector's RNG (default 0); identical
 ///                       seeds reproduce bit-identical fault runs
+///   --ckpt-interval N   crash-consistent checkpoint to the offload SSDs
+///                       every N completed steps (shadow write + atomic
+///                       manifest flip; flows contend with activation
+///                       offload and age the NAND). Unset = no
+///                       checkpointing, byte-identical output
+///   --ckpt-auto         Young–Daly auto cadence: the first boundary
+///                       commits to measure the checkpoint cost C, then
+///                       the interval is sqrt(2*C*MTBF). Requires --mtbf
+///   --mtbf SECONDS      mean time between failures assumed by --ckpt-auto
 ///   --shard I/N         run only this process's 1/N slice of the grid:
 ///                       after --points filtering, position j of the
 ///                       selection belongs to shard j mod N. Shards are
@@ -54,7 +76,9 @@
 ///                       rows through sweep::CsvProgress SIGKILL/SIGSTOP
 ///                       themselves after committing N rows. Normally
 ///                       injected by sweep_orchestrate's seeded --chaos
-///                       engine, not typed by hand
+///                       engine (grammar: "kind:rate=P[,after=N][,tear=1]
+///                       [,kind:rate=P...]" with kinds kill|stall, seeded
+///                       by --chaos-seed), not typed by hand
 /// plus its own positional arguments, which are passed through untouched.
 
 #include <cstddef>
@@ -63,6 +87,7 @@
 #include <utility>
 #include <vector>
 
+#include "ssdtrain/ckpt/policy.hpp"
 #include "ssdtrain/fault/fault.hpp"
 #include "ssdtrain/parallel/parallel_config.hpp"
 #include "ssdtrain/sweep/runner.hpp"
@@ -87,6 +112,11 @@ struct CliOptions {
   /// --faults spec text (empty = injection disabled) and --fault-seed.
   std::string faults;
   std::uint64_t fault_seed = 0;
+  /// --ckpt-interval / --ckpt-auto / --mtbf checkpoint cadence; all unset
+  /// by default (no checkpointing — golden CSVs reproduce bit-for-bit).
+  int ckpt_interval = 0;
+  bool ckpt_auto = false;
+  double mtbf = 0.0;
   /// --shard I/N slice of the (filtered) grid this process runs.
   int shard_index = 0;
   int shard_count = 1;
@@ -105,6 +135,9 @@ struct CliOptions {
     return !no_program_cache;
   }
   [[nodiscard]] bool faults_enabled() const { return !faults.empty(); }
+  [[nodiscard]] bool checkpoint_enabled() const {
+    return ckpt_interval > 0 || ckpt_auto;
+  }
 
   /// Parsed --faults/--fault-seed as the config sessions take. Parse errors
   /// in the spec text are contract violations (reported at startup, not
@@ -114,6 +147,18 @@ struct CliOptions {
     config.specs = fault::parse_faults(faults);
     config.seed = fault_seed;
     return config;
+  }
+
+  /// Parsed --ckpt-interval/--ckpt-auto/--mtbf as the policy sessions
+  /// take (disabled when neither cadence flag was given). validate()
+  /// rejects contradictory combinations at startup.
+  [[nodiscard]] ckpt::CheckpointPolicy checkpoint_policy() const {
+    ckpt::CheckpointPolicy policy;
+    policy.every_steps = ckpt_interval;
+    policy.auto_interval = ckpt_auto;
+    policy.mtbf = mtbf;
+    policy.validate();
+    return policy;
   }
 
   [[nodiscard]] bool points_enabled() const { return !point_filter.empty(); }

@@ -49,6 +49,18 @@ void ChromeTrace::append_fault_events(
   }
 }
 
+void ChromeTrace::append_checkpoint_events(
+    const std::vector<ckpt::CheckpointEvent>& log) {
+  static const std::string kCheckpointTrack = "checkpoint";
+  static const std::string kRecoveryTrack = "recovery";
+  for (const ckpt::CheckpointEvent& ev : log) {
+    const bool write = ev.kind == ckpt::CheckpointEvent::Kind::write;
+    events_.push_back(TraceEvent{ev.detail,
+                                 write ? kCheckpointTrack : kRecoveryTrack,
+                                 ev.start, std::max(ev.end, ev.start)});
+  }
+}
+
 std::size_t ChromeTrace::track_id(const std::string& track) {
   for (std::size_t i = 0; i < tracks_.size(); ++i) {
     if (tracks_[i] == track) return i;

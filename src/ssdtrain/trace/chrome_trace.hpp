@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "ssdtrain/ckpt/writer.hpp"
 #include "ssdtrain/fault/injector.hpp"
 #include "ssdtrain/sim/stream.hpp"
 #include "ssdtrain/util/units.hpp"
@@ -38,6 +39,12 @@ class ChromeTrace {
   /// traced range.
   void append_fault_events(const std::vector<fault::FaultEvent>& log,
                            util::Seconds horizon);
+
+  /// Renders a CheckpointWriter's timeline onto "checkpoint" and
+  /// "recovery" tracks: per-GPU shard writes and the commit flip land on
+  /// the checkpoint lane, restore spans (and rejected-blob markers) on the
+  /// recovery lane.
+  void append_checkpoint_events(const std::vector<ckpt::CheckpointEvent>& log);
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;

@@ -121,6 +121,91 @@ TEST(FaultGrammar, MalformedSpecsAreContractViolations) {
   EXPECT_THROW((void)f::parse_faults("io-error:rate"), u::ContractViolation);
 }
 
+TEST(CrashSchedule, MeanGapConvergesToMtbfAndArrivalsIncrease) {
+  const double mtbf = 3.0;
+  f::CrashSchedule schedule(mtbf);
+  double prev = 0.0;
+  int arrivals = 0;
+  // Walk 1000 expected arrivals in coarse chunks; the low-discrepancy
+  // phases should pin the count within a few per mille of the horizon.
+  const double horizon = 1000.0 * mtbf;
+  for (double now = 0.0; now < horizon; now += mtbf / 4.0) {
+    if (schedule.consume(now) > 0) {
+      // Consuming strictly advances the upcoming arrival past `now`.
+      EXPECT_GT(schedule.next(), now);
+      EXPECT_GT(schedule.next(), prev);
+      prev = schedule.next();
+      ++arrivals;
+    }
+  }
+  EXPECT_NEAR(arrivals, 1000, 5);
+}
+
+TEST(CrashSchedule, DeterministicAcrossInstances) {
+  f::CrashSchedule a(0.7);
+  f::CrashSchedule b(0.7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+    a.consume(a.next());
+    b.consume(b.next());
+  }
+}
+
+TEST(FaultGrammar, StageCrashLoseAndRecoverKeys) {
+  // Defaults: a bare stage-crash is the historical free pause.
+  const auto pause = f::parse_faults("stage-crash:gpu=0,at=1,dur=0.5");
+  ASSERT_EQ(pause.size(), 1u);
+  EXPECT_EQ(pause[0].lose, f::CrashLoss::none);
+  EXPECT_EQ(pause[0].recover, f::CrashRecovery::unset);
+  EXPECT_FALSE(pause[0].rolls_back());
+
+  // lose=state demands rollback; the explicit recover key may confirm it.
+  const auto destructive =
+      f::parse_faults("stage-crash:gpu=1,at=2,dur=0.25,lose=state");
+  ASSERT_EQ(destructive.size(), 1u);
+  EXPECT_EQ(destructive[0].lose, f::CrashLoss::state);
+  EXPECT_TRUE(destructive[0].rolls_back());
+  const auto confirmed = f::parse_faults(
+      "stage-crash:gpu=1,at=2,dur=0.25,lose=state,recover=rollback");
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_TRUE(confirmed[0].rolls_back());
+  const auto resume =
+      f::parse_faults("stage-crash:at=1,dur=0.5,recover=resume");
+  ASSERT_EQ(resume.size(), 1u);
+  EXPECT_FALSE(resume[0].rolls_back());
+
+  // to_text round-trips the loss mode.
+  EXPECT_NE(destructive[0].to_text().find("lose=state"), std::string::npos);
+  const auto reparsed = f::parse_faults(destructive[0].to_text());
+  ASSERT_EQ(reparsed.size(), 1u);
+  EXPECT_EQ(reparsed[0].lose, destructive[0].lose);
+  EXPECT_EQ(reparsed[0].at, destructive[0].at);
+  EXPECT_EQ(reparsed[0].duration, destructive[0].duration);
+}
+
+TEST(FaultGrammar, ContradictoryCrashSemanticsAreRejected) {
+  // Resuming in place after the state was wiped is impossible...
+  EXPECT_THROW((void)f::parse_faults(
+                   "stage-crash:at=1,dur=0.5,lose=state,recover=resume"),
+               u::ContractViolation);
+  // ...and rolling back a crash that lost nothing wastes committed work.
+  EXPECT_THROW((void)f::parse_faults(
+                   "stage-crash:at=1,dur=0.5,lose=none,recover=rollback"),
+               u::ContractViolation);
+  // lose/recover are stage-crash-only keys.
+  EXPECT_THROW((void)f::parse_faults("io-error:rate=0.1,lose=state"),
+               u::ContractViolation);
+  EXPECT_THROW((void)f::parse_faults(
+                   "ssd-dropout:member=0,recover=rollback"),
+               u::ContractViolation);
+  // Unknown values for the new keys name the offending token.
+  EXPECT_THROW((void)f::parse_faults("stage-crash:at=1,dur=0.5,lose=bogus"),
+               u::ContractViolation);
+  EXPECT_THROW(
+      (void)f::parse_faults("stage-crash:at=1,dur=0.5,recover=bogus"),
+      u::ContractViolation);
+}
+
 TEST(FaultGrammar, IoErrorSemantics) {
   EXPECT_FALSE(IoError{});
   EXPECT_TRUE(IoError{IoErrorCode::transient});
@@ -246,6 +331,66 @@ TEST_F(FaultInjectorTest, DropoutBumpsStructuralEpochAndLogs) {
   injector.trigger(again);
   EXPECT_EQ(node_.array(0).surviving_members(), 1u);
   EXPECT_EQ(injector.structural_epoch(), 1u);
+}
+
+TEST_F(FaultInjectorTest, NoTargetDropoutLogsWarningInsteadOfSilence) {
+  auto& injector = make_injector({});
+  f::FaultSpec dropout;
+  dropout.kind = f::FaultKind::ssd_dropout;
+  dropout.gpu = 99;  // matches nothing on a single-GPU node
+  dropout.member = 0;
+  injector.trigger(dropout);
+  EXPECT_EQ(injector.structural_epoch(), 0u);
+  EXPECT_EQ(node_.array(0).surviving_members(), 2u);
+  ASSERT_FALSE(injector.events().empty());
+  EXPECT_NE(injector.events().back().detail.find("fault matched no target"),
+            std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, NoTargetStageCrashLogsWarningInsteadOfSilence) {
+  auto& injector = make_injector({});
+  f::FaultSpec crash;
+  crash.kind = f::FaultKind::stage_crash;
+  crash.gpu = 99;
+  crash.duration = 0.5;
+  crash.lose = f::CrashLoss::state;
+  injector.trigger(crash);
+  EXPECT_EQ(injector.structural_epoch(), 0u);
+  EXPECT_TRUE(injector.pending_crashes().empty());
+  ASSERT_FALSE(injector.events().empty());
+  EXPECT_NE(injector.events().back().detail.find("fault matched no target"),
+            std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, DestructiveCrashQueuesRecordWithoutEpochBump) {
+  auto& injector = make_injector({});
+  f::FaultSpec crash;
+  crash.kind = f::FaultKind::stage_crash;
+  crash.gpu = 0;
+  crash.duration = 0.5;
+  crash.lose = f::CrashLoss::state;
+  injector.trigger(crash);
+
+  // The recorded machine IS the restored machine: no structural epoch bump,
+  // the StepProgram stays valid and the replayed steps stay bit-identical.
+  EXPECT_EQ(injector.structural_epoch(), 0u);
+  ASSERT_EQ(injector.pending_crashes().size(), 1u);
+  EXPECT_EQ(injector.pending_crashes()[0].gpu, 0);
+  EXPECT_EQ(injector.pending_crashes()[0].restart,
+            injector.pending_crashes()[0].at + 0.5);
+
+  const auto taken = injector.take_crashes();
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_TRUE(injector.pending_crashes().empty());
+
+  // A pause-only crash (lose=none) keeps the historical structural path.
+  f::FaultSpec pause;
+  pause.kind = f::FaultKind::stage_crash;
+  pause.gpu = 0;
+  pause.duration = 0.5;
+  injector.trigger(pause);
+  EXPECT_EQ(injector.structural_epoch(), 1u);
+  EXPECT_TRUE(injector.pending_crashes().empty());
 }
 
 TEST_F(FaultInjectorTest, FaultEventsRenderOntoChromeTrace) {
